@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 2: LLM training throughput (tokens/s per GPU),
+// energy per GPU for one hour of training (Wh), and energy efficiency
+// (tokens/Wh) for the 800M GPT model, global batch sizes 16..4096, on all
+// NVIDIA/AMD systems (incl. the MI250 GCD/GPU split).
+#include <iostream>
+
+#include "core/caraml.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  std::cout << "=== Fig. 2: LLM training, 800M GPT, micro-batch 4 ===\n\n";
+
+  for (const char* metric : {"tokens_per_s_per_gpu", "energy_per_gpu_wh_1h",
+                             "tokens_per_wh"}) {
+    std::vector<std::string> headers = {std::string("batch")};
+    for (const auto& series : core::fig2_series()) headers.push_back(series.label);
+    TextTable table(headers);
+
+    for (std::int64_t batch : core::fig2_batches()) {
+      std::vector<std::string> row = {std::to_string(batch)};
+      for (const auto& series : core::fig2_series()) {
+        core::LlmRunConfig config;
+        config.system_tag = series.tag;
+        config.devices = series.devices;
+        config.global_batch = batch;
+        const int dp =
+            series.devices > 0
+                ? series.devices
+                : topo::SystemRegistry::instance().by_tag(series.tag)
+                      .devices_per_node;
+        if (!core::llm_layout_valid(batch, config.micro_batch, dp)) {
+          row.push_back("n/a");  // paper: batch 16 impossible at dp=8
+          continue;
+        }
+        const auto result = core::run_llm_gpu(config);
+        if (result.oom) {
+          row.push_back("OOM");
+          continue;
+        }
+        double value = 0.0;
+        if (std::string(metric) == "tokens_per_s_per_gpu") {
+          value = result.tokens_per_s_per_gpu;
+        } else if (std::string(metric) == "energy_per_gpu_wh_1h") {
+          value = result.energy_per_gpu_wh;
+        } else {
+          value = result.tokens_per_wh;
+        }
+        row.push_back(units::format_fixed(value, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "--- " << metric << " ---\n" << table.render() << "\n";
+  }
+
+  // Headline anchors from the paper text (§IV-A).
+  core::LlmRunConfig gh;
+  gh.system_tag = "GH200";
+  gh.global_batch = 4096;
+  core::LlmRunConfig a100;
+  a100.system_tag = "A100";
+  a100.global_batch = 4096;
+  const auto gh_result = core::run_llm_gpu(gh);
+  const auto a100_result = core::run_llm_gpu(a100);
+  std::cout << "anchor GH200 best tokens/s/GPU: "
+            << units::format_fixed(gh_result.tokens_per_s_per_gpu, 0)
+            << " (paper: 47505)\n"
+            << "anchor GH200/A100 speedup: "
+            << units::format_fixed(gh_result.tokens_per_s_per_gpu /
+                                       a100_result.tokens_per_s_per_gpu,
+                                   2)
+            << "x (paper: 2.45x)\n";
+  return 0;
+}

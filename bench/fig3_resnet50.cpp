@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 3: ResNet50 training on a single device — throughput
+// (images/s), energy for a full ImageNet epoch (Wh) and energy efficiency
+// (images/Wh), global batch sizes 16..2048, on all GPU systems plus the
+// MI250 GCD/GPU split (1 GCD vs 1 MI250 = 2 GCDs with dp=2).
+#include <iostream>
+
+#include "core/caraml.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  std::cout << "=== Fig. 3: ResNet50 training, single device, ImageNet ===\n\n";
+
+  for (const char* metric : {"images_per_s", "energy_per_epoch_wh",
+                             "images_per_wh"}) {
+    std::vector<std::string> headers = {std::string("batch")};
+    for (const auto& series : core::fig3_series()) headers.push_back(series.label);
+    TextTable table(headers);
+
+    for (std::int64_t batch : core::fig3_batches()) {
+      std::vector<std::string> row = {std::to_string(batch)};
+      for (const auto& series : core::fig3_series()) {
+        core::ResnetRunConfig config;
+        config.system_tag = series.tag;
+        config.devices = series.devices;
+        config.global_batch = batch;
+        if (batch % series.devices != 0) {
+          row.push_back("n/a");
+          continue;
+        }
+        const auto result = core::run_resnet_gpu(config);
+        if (result.oom) {
+          row.push_back("OOM");
+          continue;
+        }
+        double value = 0.0;
+        if (std::string(metric) == "images_per_s") {
+          value = result.images_per_s_total;
+        } else if (std::string(metric) == "energy_per_epoch_wh") {
+          value = result.energy_per_epoch_wh;
+        } else {
+          value = result.images_per_wh;
+        }
+        row.push_back(units::format_fixed(value, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "--- " << metric << " ---\n" << table.render() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces paper Fig. 4 (a-g): ResNet50 throughput heatmaps — one per
+// system — over (number of accelerators) x (global batch size 16..2048),
+// including multi-node rows where the system has an inter-node fabric, and
+// "OOM" cells where the per-device batch exceeds device memory.
+#include <iostream>
+
+#include "core/caraml.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  std::cout << "=== Fig. 4: ResNet50 throughput (images/s) heatmaps ===\n";
+  std::cout << "(rows: accelerators, columns: global batch; OOM as in the "
+               "paper)\n\n";
+
+  const std::vector<std::string> systems = {"JEDI",  "GH200",  "H100",
+                                            "WAIH100", "MI250", "A100",
+                                            "GC200"};
+  char panel = 'a';
+  for (const auto& tag : systems) {
+    const auto& node = topo::SystemRegistry::instance().by_tag(tag);
+    std::cout << "--- Fig. 4" << panel++ << ": " << node.display_name
+              << " ---\n";
+
+    std::vector<std::string> headers = {"devices"};
+    for (std::int64_t batch : core::fig4_batches()) {
+      headers.push_back(std::to_string(batch));
+    }
+    TextTable table(headers);
+
+    for (int devices : core::fig4_device_counts(tag)) {
+      std::vector<std::string> row = {std::to_string(devices)};
+      for (std::int64_t batch : core::fig4_batches()) {
+        if (batch % devices != 0) {
+          row.push_back("n/a");
+          continue;
+        }
+        core::ResnetRunConfig config;
+        config.system_tag = tag;
+        config.devices = devices;
+        config.global_batch = batch;
+        const auto result = core::run_resnet(config);
+        row.push_back(result.oom
+                          ? "OOM"
+                          : units::format_fixed(result.images_per_s_total, 0));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// google-benchmark microbenchmarks of the thread-backed collectives
+// (caraml::par) and of the simulator's event engine.
+#include <benchmark/benchmark.h>
+
+#include "par/comm.hpp"
+#include "sim/cluster.hpp"
+#include "topo/specs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace caraml;
+
+void BM_AllReduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::int64_t elements = state.range(1);
+  for (auto _ : state) {
+    par::DeviceGroup group(ranks);
+    group.run([&](par::Communicator& comm) {
+      Rng rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+      tensor::Tensor value = tensor::Tensor::randn({elements}, rng);
+      comm.all_reduce_sum(value);
+      benchmark::DoNotOptimize(value.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * elements);
+}
+BENCHMARK(BM_AllReduce)->Args({2, 1024})->Args({4, 1024})->Args({4, 65536});
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int repeats = 100;
+  for (auto _ : state) {
+    par::DeviceGroup group(ranks);
+    group.run([&](par::Communicator& comm) {
+      for (int i = 0; i < repeats; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * repeats);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8);
+
+void BM_SimRingAllReduce(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  const auto& node = topo::SystemRegistry::instance().by_tag("JEDI");
+  for (auto _ : state) {
+    sim::ClusterSim cluster(node, 4, devices / 4);
+    auto done = cluster.ring_all_reduce(1.0e9, {}, "ar");
+    const double makespan = cluster.graph().run();
+    benchmark::DoNotOptimize(makespan);
+    benchmark::DoNotOptimize(done.data());
+  }
+}
+BENCHMARK(BM_SimRingAllReduce)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

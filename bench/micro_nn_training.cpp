@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks of the real CPU training substrate: GPT
+// and ResNet training steps, attention forward/backward, and optimizer
+// update throughput.
+#include <benchmark/benchmark.h>
+
+#include "nn/attention.hpp"
+#include "nn/gpt.hpp"
+#include "nn/optim.hpp"
+#include "nn/resnet.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace caraml;
+
+void BM_GptTrainStep(benchmark::State& state) {
+  Rng rng(1);
+  nn::GptModelConfig config;
+  config.vocab_size = 256;
+  config.block_size = 32;
+  config.num_layers = static_cast<std::int64_t>(state.range(0));
+  config.num_heads = 2;
+  config.embed_dim = 64;
+  nn::GptModel model(config, rng);
+  nn::Adam optimizer(model.parameters(), 1e-3f);
+
+  nn::Tensor tokens({2, 32});
+  std::vector<std::int64_t> targets(64);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    tokens[i] = static_cast<float>(i % 256);
+    targets[static_cast<std::size_t>(i)] = (i + 1) % 256;
+  }
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    const float loss = model.train_step(tokens, targets);
+    optimizer.step();
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // tokens per step
+}
+BENCHMARK(BM_GptTrainStep)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_AttentionForward(benchmark::State& state) {
+  Rng rng(2);
+  const std::int64_t time = state.range(0);
+  nn::CausalSelfAttention attention(64, 4, rng);
+  const nn::Tensor x = nn::Tensor::randn({1, time, 64}, rng, 0.5f);
+  for (auto _ : state) {
+    nn::Tensor y = attention.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * time);
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_AttentionBackward(benchmark::State& state) {
+  Rng rng(3);
+  const std::int64_t time = state.range(0);
+  nn::CausalSelfAttention attention(64, 4, rng);
+  const nn::Tensor x = nn::Tensor::randn({1, time, 64}, rng, 0.5f);
+  const nn::Tensor y = attention.forward(x);
+  const nn::Tensor g = nn::Tensor::ones(y.shape());
+  for (auto _ : state) {
+    nn::Tensor dx = attention.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_AttentionBackward)->Arg(16)->Arg(64);
+
+void BM_ResnetTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  nn::ResNet model(nn::ResNetConfig::tiny(10), rng);
+  nn::Sgd optimizer(model.parameters(), 0.01f, 0.9f);
+  const std::int64_t batch = state.range(0);
+  const nn::Tensor images = nn::Tensor::randn({batch, 3, 16, 16}, rng);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(batch));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::int64_t>(i % 10);
+  }
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    const float loss = model.train_step(images, labels);
+    optimizer.step();
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ResnetTrainStep)->Arg(4)->Arg(16);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(5);
+  const std::int64_t n = state.range(0);
+  nn::Parameter w("w", nn::Tensor::randn({n}, rng));
+  nn::Adam optimizer({&w}, 1e-3f);
+  w.grad.fill(0.01f);
+  for (auto _ : state) {
+    optimizer.step();
+    benchmark::DoNotOptimize(w.value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdamStep)->Arg(1 << 12)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

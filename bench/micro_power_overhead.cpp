@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the jpwr substrate: per-sample method
+// cost, energy integration, and the end-to-end overhead of a PowerScope at
+// the paper's 100 ms sampling period (§III-A4).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "power/methods_host.hpp"
+#include "power/methods_sim.hpp"
+#include "power/scope.hpp"
+#include "sim/power_model.hpp"
+#include "topo/specs.hpp"
+
+namespace {
+
+using namespace caraml;
+
+sim::PowerTrace make_trace(std::size_t intervals) {
+  const auto device = topo::make_a100_sxm4();
+  std::vector<sim::BusyInterval> busy;
+  double t = 0.0;
+  for (std::size_t i = 0; i < intervals; ++i) {
+    busy.push_back(sim::BusyInterval{t, t + 0.8, 0.4, 0});
+    t += 1.0;
+  }
+  return sim::PowerTrace(device, busy, t);
+}
+
+void BM_TraceSample(benchmark::State& state) {
+  const auto trace = make_trace(static_cast<std::size_t>(state.range(0)));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.power_at(t));
+    t += 0.37;
+    if (t > trace.horizon()) t = 0.0;
+  }
+}
+BENCHMARK(BM_TraceSample)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_TraceEnergyIntegral(benchmark::State& state) {
+  const auto trace = make_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.energy_joules(0.0, trace.horizon()));
+  }
+}
+BENCHMARK(BM_TraceEnergyIntegral)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_SyntheticMethodSample(benchmark::State& state) {
+  power::SyntheticMethod method("chan", 150.0, 50.0, 2.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.sample(t));
+    t += 0.1;
+  }
+}
+BENCHMARK(BM_SyntheticMethodSample);
+
+void BM_ProcStatSample(benchmark::State& state) {
+  power::ProcStatMethod method;
+  if (!method.available()) {
+    state.SkipWithError("/proc/stat unavailable");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.sample(0.0));
+  }
+}
+BENCHMARK(BM_ProcStatSample);
+
+void BM_TrapezoidIntegration(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> times(n), watts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    times[i] = 0.1 * static_cast<double>(i);
+    watts[i] = 200.0 + (i % 7) * 10.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power::integrate_trapezoid_joules(times, watts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TrapezoidIntegration)->Arg(100)->Arg(10000);
+
+void BM_PowerScopeLifecycle(benchmark::State& state) {
+  // Full start/stop cycle of a sampling scope with a synthetic method at a
+  // short interval — bounds the tool's intrusiveness.
+  for (auto _ : state) {
+    std::vector<power::MethodPtr> methods = {
+        std::make_shared<power::SyntheticMethod>("chan", 150.0, 50.0, 2.0)};
+    power::PowerScope scope(methods, /*interval_ms=*/1.0);
+    scope.stop();
+    benchmark::DoNotOptimize(scope.num_samples());
+  }
+}
+BENCHMARK(BM_PowerScopeLifecycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

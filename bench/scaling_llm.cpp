@@ -1,0 +1,85 @@
+// Multi-node scaling study — the paper's §III-A3 points out that "JUBE
+// simplifies the process of conducting model layout and scaling experiments";
+// this bench runs the sweeps those experiments would launch: strong and weak
+// scaling of 800M-GPT data-parallel training across JEDI nodes, with the
+// scaling efficiency and the energy cost per token at every size.
+#include <iostream>
+
+#include "core/llm.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  std::cout << "=== LLM scaling on JEDI (4x GH200 per node, 4x IB NDR) "
+               "===\n\n";
+
+  // --- strong scaling: fixed global batch 4096 ---------------------------------
+  {
+    std::cout << "--- strong scaling (global batch fixed at 4096) ---\n";
+    TextTable table({"nodes", "GPUs", "tokens/s total", "speedup",
+                     "efficiency", "tokens/Wh/GPU"});
+    double base = 0.0;
+    for (int nodes : {1, 2, 4, 8, 16}) {
+      core::LlmRunConfig config;
+      config.system_tag = "JEDI";
+      config.global_batch = 4096;
+      config.num_nodes = nodes;
+      const auto result = core::run_llm_gpu(config);
+      if (base == 0.0) base = result.tokens_per_s_total;
+      const double speedup = result.tokens_per_s_total / base;
+      table.add_row({std::to_string(nodes), std::to_string(nodes * 4),
+                     units::format_fixed(result.tokens_per_s_total, 0),
+                     units::format_fixed(speedup, 2) + "x",
+                     units::format_fixed(speedup / nodes * 100, 1) + " %",
+                     units::format_fixed(result.tokens_per_wh, 0)});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  // --- weak scaling: batch 1024 per node -----------------------------------------
+  {
+    std::cout << "--- weak scaling (global batch = 1024 per node) ---\n";
+    TextTable table({"nodes", "GPUs", "global batch", "tokens/s/GPU",
+                     "vs 1 node", "Wh/GPU/h"});
+    double base = 0.0;
+    for (int nodes : {1, 2, 4, 8, 16}) {
+      core::LlmRunConfig config;
+      config.system_tag = "JEDI";
+      config.global_batch = 1024LL * nodes;
+      config.num_nodes = nodes;
+      const auto result = core::run_llm_gpu(config);
+      if (base == 0.0) base = result.tokens_per_s_per_gpu;
+      table.add_row({std::to_string(nodes), std::to_string(nodes * 4),
+                     std::to_string(config.global_batch),
+                     units::format_fixed(result.tokens_per_s_per_gpu, 0),
+                     units::format_fixed(
+                         result.tokens_per_s_per_gpu / base * 100, 1) + " %",
+                     units::format_fixed(result.energy_per_gpu_wh, 0)});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  // --- interconnect ablation: what if JEDI only had the A100's HDR fabric? ------
+  {
+    std::cout << "--- same sweep on the A100 system (2x IB HDR fabric) ---\n";
+    TextTable table({"nodes", "GPUs", "tokens/s total", "efficiency"});
+    double base = 0.0;
+    for (int nodes : {1, 2, 4}) {
+      core::LlmRunConfig config;
+      config.system_tag = "A100";
+      config.global_batch = 4096;
+      config.num_nodes = nodes;
+      const auto result = core::run_llm_gpu(config);
+      if (base == 0.0) base = result.tokens_per_s_total;
+      table.add_row({std::to_string(nodes), std::to_string(nodes * 4),
+                     units::format_fixed(result.tokens_per_s_total, 0),
+                     units::format_fixed(
+                         result.tokens_per_s_total / base / nodes * 100, 1) +
+                         " %"});
+    }
+    std::cout << table.render();
+  }
+  return 0;
+}

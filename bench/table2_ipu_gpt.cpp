@@ -1,0 +1,43 @@
+// Reproduces paper Table II: 117M GPT trained for one epoch on the
+// IPU-M2000 POD4 (4x GC200), layers pipelined across the IPUs, global batch
+// counted in tokens (64 .. 16384).
+#include <iostream>
+
+#include "core/caraml.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  std::cout << "=== Table II: 117M GPT on IPU GC200 (M2000 POD4) ===\n\n";
+
+  // Paper values for side-by-side comparison.
+  struct PaperRow {
+    std::int64_t batch;
+    double tokens_per_s, energy_wh, tokens_per_wh;
+  };
+  const PaperRow paper[] = {
+      {64, 64.99, 15.68, 4.08},       {128, 97.21, 18.20, 7.03},
+      {256, 129.96, 18.37, 13.93},    {512, 155.72, 18.56, 27.60},
+      {1024, 172.94, 19.07, 53.71},   {2048, 183.37, 20.05, 102.13},
+      {4096, 188.88, 21.88, 187.22},  {8192, 191.86, 25.47, 321.34},
+      {16384, 193.41, 33.00, 496.43},
+  };
+
+  TextTable table({"batch", "tokens/s", "paper", "Wh/epoch/IPU", "paper",
+                   "tokens/Wh", "paper", "bubble"});
+  for (const auto& row : paper) {
+    const auto result = core::run_llm_ipu(row.batch);
+    table.add_row({std::to_string(row.batch),
+                   units::format_fixed(result.tokens_per_s, 2),
+                   units::format_fixed(row.tokens_per_s, 2),
+                   units::format_fixed(result.energy_per_epoch_wh, 2),
+                   units::format_fixed(row.energy_wh, 2),
+                   units::format_fixed(result.tokens_per_wh, 2),
+                   units::format_fixed(row.tokens_per_wh, 2),
+                   units::format_fixed(result.pipeline_bubble, 3)});
+  }
+  std::cout << table.render();
+  return 0;
+}

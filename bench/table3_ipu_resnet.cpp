@@ -1,0 +1,41 @@
+// Reproduces paper Table III: ResNet50 trained for one epoch on a single
+// GC200 IPU, global batch 16..4096 — throughput is flat because the on-chip
+// SRAM caps the micro-batch at 16.
+#include <iostream>
+
+#include "core/caraml.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  std::cout << "=== Table III: ResNet50 on a single IPU GC200 ===\n\n";
+
+  struct PaperRow {
+    std::int64_t batch;
+    double images_per_s, energy_wh, images_per_wh;
+  };
+  const PaperRow paper[] = {
+      {16, 1827.72, 32.09, 39925.87},   {32, 1857.90, 31.73, 40382.19},
+      {64, 1879.29, 31.75, 40346.18},   {128, 1888.11, 31.67, 40452.50},
+      {256, 1887.23, 31.58, 40563.65},  {512, 1891.74, 31.49, 40689.85},
+      {1024, 1893.07, 31.50, 40668.79}, {2048, 1889.87, 31.53, 40636.28},
+      {4096, 1891.58, 31.51, 40660.14},
+  };
+
+  TextTable table({"batch", "images/s", "paper", "Wh/epoch", "paper",
+                   "images/Wh", "paper"});
+  for (const auto& row : paper) {
+    const auto result = core::run_resnet_ipu(row.batch, /*ipus=*/1);
+    table.add_row({std::to_string(row.batch),
+                   units::format_fixed(result.images_per_s_total, 2),
+                   units::format_fixed(row.images_per_s, 2),
+                   units::format_fixed(result.energy_per_epoch_wh, 2),
+                   units::format_fixed(row.energy_wh, 2),
+                   units::format_fixed(result.images_per_wh, 2),
+                   units::format_fixed(row.images_per_wh, 2)});
+  }
+  std::cout << table.render();
+  return 0;
+}

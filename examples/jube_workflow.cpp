@@ -1,0 +1,58 @@
+// The paper's user workflow end-to-end (§III-B / Appendix A):
+//
+//   jube run llm_training/llm_benchmark_nvidia_amd.yaml --tag GH200
+//   jube result ... -i last
+//
+// reproduced with the in-process JUBE engine: load the YAML script, pass a
+// system tag, expand the parameter permutations into workpackages, execute
+// the registered CARAML actions, extract figures of merit with patterns,
+// and print the compact result table.
+#include <iostream>
+#include <set>
+
+#include "core/caraml.hpp"
+#include "util/argparse.hpp"
+
+#ifndef CARAML_CONFIG_DIR
+#define CARAML_CONFIG_DIR "configs"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace caraml;
+
+  ArgParser parser("jube_workflow", "run a CARAML JUBE script");
+  parser.add_option("script", "JUBE YAML script",
+                    std::string(CARAML_CONFIG_DIR
+                                "/llm_benchmark_nvidia_amd.yaml"));
+  parser.add_option("tag", "system tag (A100, H100, WAIH100, GH200, JEDI, "
+                           "MI250, GC200)",
+                    std::string("GH200"));
+  if (!parser.parse(argc, argv)) return 0;
+
+  // jube run <script> --tag <tag>
+  jube::Benchmark benchmark =
+      jube::Benchmark::from_yaml_file(parser.get("script"));
+  for (const auto& pattern : core::caraml_patterns()) {
+    benchmark.add_pattern(pattern);
+  }
+  jube::ActionRegistry registry;
+  core::register_caraml_actions(registry);
+
+  const std::set<std::string> tags = {parser.get("tag")};
+  std::cout << "jube run " << parser.get("script") << " --tag "
+            << parser.get("tag") << "\n";
+  const jube::RunResult result = benchmark.run(registry, tags);
+  std::cout << "executed " << result.workpackages.size()
+            << " workpackages\n\n";
+
+  // jube result ... -i last
+  std::cout << "jube result (benchmark '" << benchmark.name() << "'):\n";
+  const bool llm = benchmark.name().find("llm") != std::string::npos;
+  const std::vector<std::string> columns =
+      llm ? std::vector<std::string>{"system", "global_batch", "tokens_per_s",
+                                     "energy_wh", "tokens_per_wh"}
+          : std::vector<std::string>{"system", "global_batch", "images_per_s",
+                                     "energy_wh", "images_per_wh"};
+  std::cout << result.table(columns).render();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Hyperparameter exploration the way the paper motivates CARAML ("rapidly
+// explore an architecture's (hyper-)parameter space", §II-D): sweep the
+// global batch size on two systems and compare throughput, energy, and the
+// efficiency crossover.
+#include <iostream>
+
+#include "core/llm.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace caraml;
+
+  ArgParser parser("llm_sweep", "batch-size sweep of the LLM benchmark");
+  parser.add_option("system-a", "first system tag", std::string("GH200"));
+  parser.add_option("system-b", "second system tag", std::string("A100"));
+  parser.add_option("micro-batch", "micro batch size", std::string("4"));
+  if (!parser.parse(argc, argv)) return 0;
+
+  const std::string a = parser.get("system-a");
+  const std::string b = parser.get("system-b");
+
+  TextTable table({"batch", a + " tok/s/GPU", b + " tok/s/GPU", "speedup",
+                   a + " tok/Wh", b + " tok/Wh"});
+  for (std::int64_t batch = 16; batch <= 4096; batch *= 2) {
+    core::LlmRunConfig config_a;
+    config_a.system_tag = a;
+    config_a.global_batch = batch;
+    config_a.micro_batch = parser.get_int("micro-batch");
+    core::LlmRunConfig config_b = config_a;
+    config_b.system_tag = b;
+
+    const auto ra = core::run_llm_gpu(config_a);
+    const auto rb = core::run_llm_gpu(config_b);
+    if (ra.oom || rb.oom) {
+      table.add_row({std::to_string(batch), ra.oom ? "OOM" : "-",
+                     rb.oom ? "OOM" : "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row(
+        {std::to_string(batch),
+         units::format_fixed(ra.tokens_per_s_per_gpu, 1),
+         units::format_fixed(rb.tokens_per_s_per_gpu, 1),
+         units::format_fixed(
+             ra.tokens_per_s_per_gpu / rb.tokens_per_s_per_gpu, 2) + "x",
+         units::format_fixed(ra.tokens_per_wh, 0),
+         units::format_fixed(rb.tokens_per_wh, 0)});
+  }
+  std::cout << "LLM batch-size sweep, 800M GPT (paper Fig. 2 slice):\n"
+            << table.render();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: run one CARAML benchmark point on a simulated accelerator,
+// then measure its power with jpwr exactly the way the paper's §III-A4
+// context-manager example does.
+//
+//   $ ./build/examples/quickstart
+//
+// Steps:
+//  1. run the LLM-training benchmark (800M GPT, batch 512) on a simulated
+//     GH200 node;
+//  2. replay the resulting device power rail through a jpwr PowerScope
+//     (background sampling thread, 100 "ms" period on a scaled clock);
+//  3. print the sample DataFrame and the integrated energy table.
+#include <iostream>
+#include <thread>
+
+#include "core/llm.hpp"
+#include "power/methods_sim.hpp"
+#include "power/scope.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  // --- 1. one benchmark point ------------------------------------------------
+  core::LlmRunConfig config;
+  config.system_tag = "GH200";  // single GH200 superchip (JURECA eval node)
+  config.global_batch = 512;
+  const core::LlmRunResult result = core::run_llm_gpu(config);
+
+  std::cout << "CARAML LLM benchmark on " << result.system << "\n"
+            << "  global batch        : " << result.global_batch << "\n"
+            << "  iteration time      : "
+            << units::format_seconds(result.iteration_time_s) << "\n"
+            << "  throughput          : "
+            << units::format_fixed(result.tokens_per_s_per_gpu, 1)
+            << " tokens/s/GPU\n"
+            << "  achieved MFU        : "
+            << units::format_fixed(result.mfu * 100.0, 1) << " %\n"
+            << "  avg device power    : "
+            << units::format_watts(result.avg_power_per_gpu_w) << "\n"
+            << "  energy (1 h train)  : "
+            << units::format_watt_hours(result.energy_per_gpu_wh) << "\n"
+            << "  efficiency          : "
+            << units::format_fixed(result.tokens_per_wh, 0)
+            << " tokens/Wh\n\n";
+
+  // --- 2. jpwr-style measurement ----------------------------------------------
+  // met_list = [pynvml-sim over the simulated GPU rail]; the scaled clock
+  // replays the simulated iteration 200x faster than wall time, so the
+  // 0.5 ms wall sampling period equals the paper's 100 ms simulated period.
+  std::vector<power::MethodPtr> met_list = {
+      power::make_pynvml_sim({*result.device0_trace})};
+  const double replay_speed = 200.0;
+  power::PowerScope measured_scope(met_list, /*interval_ms=*/0.5,
+                                   std::make_shared<power::ScaledClock>(
+                                       replay_speed));
+  // "application_call()": wait one simulated iteration of wall time.
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      result.iteration_time_s / replay_speed));
+  measured_scope.stop();
+
+  // --- 3. DataFrames ------------------------------------------------------------
+  std::cout << "jpwr samples (head):\n"
+            << measured_scope.df().to_string(8) << "\n";
+  const auto energy = measured_scope.energy();
+  std::cout << "jpwr energy report:\n" << energy.energy.to_string() << "\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Real end-to-end LLM training on the CPU substrate — the miniature version
+// of the paper's workload path: synthetic OSCAR-like text -> GPT-2-style BPE
+// tokenizer -> GPT decoder trained data-parallel across thread "devices"
+// with gradient all-reduce, measured by jpwr's real /proc/stat method.
+#include <iostream>
+
+#include "data/bpe.hpp"
+#include "data/synthetic.hpp"
+#include "nn/gpt.hpp"
+#include "nn/optim.hpp"
+#include "par/data_parallel.hpp"
+#include "power/methods_host.hpp"
+#include "power/scope.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace caraml;
+
+  // --- corpus + tokenizer (paper §III-A1: OSCAR + GPT-2 tokenizer) -----------
+  Rng rng(2024);
+  const std::string corpus = data::synthetic_oscar_text(4000, rng);
+  data::BpeTokenizer tokenizer;
+  tokenizer.train(corpus, /*vocab_size=*/384);
+  const auto ids = tokenizer.encode(corpus);
+  std::cout << "corpus: " << corpus.size() << " bytes -> " << ids.size()
+            << " BPE tokens (vocab " << tokenizer.vocab_size() << ", "
+            << tokenizer.num_merges() << " merges)\n";
+
+  std::vector<std::int32_t> tokens(ids.begin(), ids.end());
+  data::TokenStream stream(std::move(tokens));
+
+  // --- data-parallel GPT training over 2 thread-devices ----------------------
+  nn::GptModelConfig model_config;
+  model_config.vocab_size = static_cast<std::int64_t>(tokenizer.vocab_size());
+  model_config.block_size = 32;
+  model_config.num_layers = 2;
+  model_config.num_heads = 2;
+  model_config.embed_dim = 32;
+
+  const int world = 2;
+  const std::int64_t micro_batch = 4;
+  const std::int64_t seq = 24;
+
+  power::PowerScope scope(
+      {std::make_shared<power::ProcStatMethod>()}, /*interval_ms=*/50.0);
+
+  par::DataParallelTrainer trainer(world, [&](int rank) {
+    Rng init(7);  // same init on every rank; broadcast keeps them in sync
+    auto model = std::make_shared<nn::GptModel>(model_config, init);
+    auto optimizer = std::make_shared<nn::Adam>(model->parameters(), 3e-3f);
+    (void)rank;
+    return par::DataParallelTrainer::Replica{model, optimizer};
+  });
+
+  const std::int64_t steps = 30;
+  auto result = trainer.train(steps, [&](int rank, std::int64_t step,
+                                         par::DataParallelTrainer::Replica&
+                                             replica) {
+    Rng batch_rng(static_cast<std::uint64_t>(rank * 1000 + step));
+    const auto batch = stream.sample_batch(micro_batch, seq, batch_rng);
+    auto* gpt = dynamic_cast<nn::GptModel*>(replica.model.get());
+    return gpt->train_step(batch.inputs, batch.targets);
+  });
+  scope.stop();
+
+  std::cout << "\ndata-parallel GPT training (" << world << " thread-devices, "
+            << steps << " steps):\n";
+  for (std::int64_t s = 0; s < steps; s += 5) {
+    std::cout << "  step " << s << ": loss "
+              << units::format_fixed(result.losses[static_cast<std::size_t>(s)], 4)
+              << "\n";
+  }
+  std::cout << "  final loss: "
+            << units::format_fixed(result.losses.back(), 4) << " (initial "
+            << units::format_fixed(result.losses.front(), 4) << ")\n"
+            << "  samples/s (aggregate): "
+            << units::format_fixed(result.samples_per_second, 1) << "\n\n";
+
+  const auto energy = scope.energy();
+  std::cout << "jpwr host-power measurement during training:\n"
+            << energy.energy.to_string() << "\n";
+
+  // Round-trip sanity: decode(encode(x)) == x.
+  const std::string sample = corpus.substr(0, 60);
+  std::cout << "tokenizer round-trip: \""
+            << tokenizer.decode(tokenizer.encode(sample)) << "\"\n";
+
+  // Sample from the trained model (a fresh replica trained the same way
+  // would match rank 0's weights; retrain one briefly for the demo).
+  Rng init(7);
+  nn::GptModel generator(model_config, init);
+  nn::Adam gen_optimizer(generator.parameters(), 3e-3f);
+  for (std::int64_t s = 0; s < 60; ++s) {
+    Rng batch_rng(static_cast<std::uint64_t>(s));
+    const auto batch = stream.sample_batch(micro_batch, seq, batch_rng);
+    gen_optimizer.zero_grad();
+    generator.train_step(batch.inputs, batch.targets);
+    gen_optimizer.step();
+  }
+  Rng sample_rng(99);
+  const auto prompt_ids = tokenizer.encode(corpus.substr(0, 12));
+  std::vector<std::int64_t> prompt(prompt_ids.begin(), prompt_ids.end());
+  const auto generated = generator.generate(prompt, 24, 0.8f, sample_rng);
+  std::vector<std::int32_t> out_ids(generated.begin(), generated.end());
+  std::cout << "model sample after 60 steps: \"" << tokenizer.decode(out_ids)
+            << "\"\n";
+  return 0;
+}

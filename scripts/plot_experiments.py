@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Plot the CSVs produced by `caraml export` as paper-style figures.
+
+Usage:
+    ./build/src/core/caraml export --out experiments_csv
+    python3 scripts/plot_experiments.py experiments_csv [output_dir]
+
+Produces fig2.png (three stacked panels, log-x batch axis), fig3.png, and
+one heatmap PNG per fig4_<TAG>.csv — the same shapes as the paper's Figs.
+2-4. Requires matplotlib; exits with a clear message if it is missing.
+"""
+import csv
+import sys
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def plot_series_panels(rows, metrics, titles, out_path, value_key="system"):
+    systems = sorted({r[value_key] for r in rows})
+    fig, axes = plt.subplots(len(metrics), 1, figsize=(7, 3.2 * len(metrics)),
+                             sharex=True)
+    if len(metrics) == 1:
+        axes = [axes]
+    for axis, metric, title in zip(axes, metrics, titles):
+        for system in systems:
+            points = [(int(r["global_batch"]), float(r[metric]))
+                      for r in rows
+                      if r[value_key] == system and r["status"] == "ok"]
+            if not points:
+                continue
+            points.sort()
+            axis.plot([p[0] for p in points], [p[1] for p in points],
+                      marker="o", markersize=3, label=system)
+        axis.set_xscale("log", base=2)
+        axis.set_ylabel(title)
+        axis.grid(True, alpha=0.3)
+    axes[0].legend(fontsize=7, ncol=2)
+    axes[-1].set_xlabel("global batch size")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out_path}")
+
+
+def plot_heatmap(rows, out_path, title):
+    devices = sorted({int(r["devices"]) for r in rows})
+    batches = sorted({int(r["global_batch"]) for r in rows})
+    grid = [[float("nan")] * len(batches) for _ in devices]
+    for r in rows:
+        d = devices.index(int(r["devices"]))
+        b = batches.index(int(r["global_batch"]))
+        grid[d][b] = (float(r["images_per_s"])
+                      if r["status"] == "ok" else float("nan"))
+    fig, axis = plt.subplots(figsize=(7, 0.6 * len(devices) + 1.5))
+    image = axis.imshow(grid, aspect="auto", cmap="viridis", origin="lower")
+    axis.set_xticks(range(len(batches)), [str(b) for b in batches])
+    axis.set_yticks(range(len(devices)), [str(d) for d in devices])
+    axis.set_xlabel("global batch size")
+    axis.set_ylabel("accelerators")
+    axis.set_title(title)
+    for d in range(len(devices)):
+        for b in range(len(batches)):
+            value = grid[d][b]
+            text = "OOM" if value != value else f"{value:.0f}"
+            axis.text(b, d, text, ha="center", va="center", fontsize=6,
+                      color="white")
+    fig.colorbar(image, ax=axis, label="images/s")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out_path}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    in_dir = Path(sys.argv[1])
+    out_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else in_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    fig2 = in_dir / "fig2.csv"
+    if fig2.exists():
+        plot_series_panels(
+            read_csv(fig2),
+            ["tokens_per_s_per_gpu", "energy_wh_per_gpu_1h", "tokens_per_wh"],
+            ["tokens/s/GPU", "Wh/GPU (1 h)", "tokens/Wh"],
+            out_dir / "fig2.png")
+    fig3 = in_dir / "fig3.csv"
+    if fig3.exists():
+        plot_series_panels(
+            read_csv(fig3),
+            ["images_per_s", "energy_wh_per_epoch", "images_per_wh"],
+            ["images/s", "Wh/epoch", "images/Wh"],
+            out_dir / "fig3.png")
+    for path in sorted(in_dir.glob("fig4_*.csv")):
+        tag = path.stem.replace("fig4_", "")
+        plot_heatmap(read_csv(path), out_dir / f"fig4_{tag}.png",
+                     f"ResNet50 throughput — {tag}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+#include "core/caraml.hpp"
+
+#include <sstream>
+
+#include "topo/specs.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::core {
+
+namespace {
+
+std::string context_get(const jube::Context& context, const std::string& key,
+                        const std::string& fallback) {
+  const auto it = context.find(key);
+  return it != context.end() ? it->second : fallback;
+}
+
+std::string llm_train_action(const jube::Context& context) {
+  LlmRunConfig config;
+  config.system_tag = context_get(context, "system", "A100");
+  config.global_batch = str::parse_int(context_get(context, "global_batch", "256"));
+  config.micro_batch = str::parse_int(context_get(context, "micro_batch", "4"));
+  config.devices =
+      static_cast<int>(str::parse_int(context_get(context, "devices", "-1")));
+  const std::string model = context_get(context, "model", "800M");
+  if (model == "117M") config.model = models::GptConfig::gpt_117m();
+  else if (model == "800M") config.model = models::GptConfig::gpt_800m();
+  else if (model == "13B") config.model = models::GptConfig::gpt_13b();
+  else if (model == "175B") config.model = models::GptConfig::gpt_175b();
+  else throw InvalidArgument("unknown model tag: " + model);
+  config.tensor_parallel =
+      static_cast<int>(str::parse_int(context_get(context, "tp", "1")));
+  config.pipeline_parallel =
+      static_cast<int>(str::parse_int(context_get(context, "pp", "1")));
+
+  std::ostringstream os;
+  if (config.system_tag == "GC200") {
+    const IpuLlmResult r = run_llm_ipu(config.global_batch);
+    os << "tokens_per_s: " << r.tokens_per_s << "\n"
+       << "energy_wh: " << r.energy_per_epoch_wh << "\n"
+       << "tokens_per_wh: " << r.tokens_per_wh << "\n";
+    return os.str();
+  }
+  const LlmRunResult r = run_llm_gpu(config);
+  if (r.oom) {
+    os << "status: OOM\n";
+    return os.str();
+  }
+  os << "tokens_per_s: " << r.tokens_per_s_per_gpu << "\n"
+     << "energy_wh: " << r.energy_per_gpu_wh << "\n"
+     << "tokens_per_wh: " << r.tokens_per_wh << "\n"
+     << "avg_power_w: " << r.avg_power_per_gpu_w << "\n";
+  return os.str();
+}
+
+std::string resnet_train_action(const jube::Context& context) {
+  ResnetRunConfig config;
+  config.system_tag = context_get(context, "system", "A100");
+  config.global_batch =
+      str::parse_int(context_get(context, "global_batch", "256"));
+  config.devices =
+      static_cast<int>(str::parse_int(context_get(context, "devices", "1")));
+  config.synthetic_data =
+      context_get(context, "synthetic", "false") == "true";
+  const std::string variant = context_get(context, "variant", "resnet50");
+  if (variant == "resnet18") config.variant = models::ResNetVariant::kResNet18;
+  else if (variant == "resnet34") config.variant = models::ResNetVariant::kResNet34;
+  else if (variant == "resnet50") config.variant = models::ResNetVariant::kResNet50;
+  else throw InvalidArgument("unknown resnet variant: " + variant);
+
+  const ResnetRunResult r = run_resnet(config);
+  std::ostringstream os;
+  if (r.oom) {
+    os << "status: OOM\n";
+    return os.str();
+  }
+  os << "images_per_s: " << r.images_per_s_total << "\n"
+     << "energy_wh: " << r.energy_per_epoch_wh << "\n"
+     << "images_per_wh: " << r.images_per_wh << "\n"
+     << "avg_power_w: " << r.avg_power_per_device_w << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+void register_caraml_actions(jube::ActionRegistry& registry) {
+  registry.register_action("llm_train", llm_train_action);
+  registry.register_action("resnet_train", resnet_train_action);
+}
+
+std::vector<jube::Pattern> caraml_patterns() {
+  return {
+      {"tokens_per_s", R"(tokens_per_s:\s*([0-9.eE+-]+))"},
+      {"images_per_s", R"(images_per_s:\s*([0-9.eE+-]+))"},
+      {"energy_wh", R"(energy_wh:\s*([0-9.eE+-]+))"},
+      {"tokens_per_wh", R"(tokens_per_wh:\s*([0-9.eE+-]+))"},
+      {"images_per_wh", R"(images_per_wh:\s*([0-9.eE+-]+))"},
+      {"avg_power_w", R"(avg_power_w:\s*([0-9.eE+-]+))"},
+      {"status", R"(status:\s*(\w+))"},
+  };
+}
+
+std::vector<SystemSeries> fig2_series() {
+  return {
+      {"GH200 (JEDI)", "JEDI", -1},   {"GH200 (JRDC)", "GH200", -1},
+      {"H100 (JRDC)", "H100", -1},    {"H100 (WestAI)", "WAIH100", -1},
+      {"A100", "A100", -1},           {"MI250:GCD", "MI250", 4},
+      {"MI250:GPU", "MI250", 8},
+  };
+}
+
+std::vector<SystemSeries> fig3_series() {
+  return {
+      {"GH200 (JEDI)", "JEDI", 1},    {"GH200 (JRDC)", "GH200", 1},
+      {"H100 (JRDC)", "H100", 1},     {"H100 (WestAI)", "WAIH100", 1},
+      {"A100", "A100", 1},            {"MI250:GCD", "MI250", 1},
+      {"MI250:GPU", "MI250", 2},
+  };
+}
+
+namespace {
+std::vector<std::int64_t> doubling(std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t b = lo; b <= hi; b *= 2) out.push_back(b);
+  return out;
+}
+}  // namespace
+
+std::vector<std::int64_t> fig2_batches() { return doubling(16, 4096); }
+std::vector<std::int64_t> fig3_batches() { return doubling(16, 2048); }
+std::vector<std::int64_t> table2_batches() { return doubling(64, 16384); }
+std::vector<std::int64_t> table3_batches() { return doubling(16, 4096); }
+std::vector<std::int64_t> fig4_batches() { return doubling(16, 2048); }
+
+std::vector<int> fig4_device_counts(const std::string& tag) {
+  const auto& node = topo::SystemRegistry::instance().by_tag(tag);
+  std::vector<int> counts;
+  for (int d = 1; d <= node.devices_per_node; d *= 2) counts.push_back(d);
+  for (int nodes = 2; nodes <= node.max_nodes; nodes *= 2) {
+    counts.push_back(nodes * node.devices_per_node);
+  }
+  return counts;
+}
+
+}  // namespace caraml::core

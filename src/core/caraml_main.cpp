@@ -1,0 +1,305 @@
+// The `caraml` command-line tool — the user-facing entry point mirroring the
+// paper's Appendix-A jube workflow:
+//
+//   caraml systems                                     # Table I overview
+//   caraml run --script configs/llm_benchmark_nvidia_amd.yaml --tag GH200
+//   caraml llm --system GH200 --batch 512              # one Fig. 2 point
+//   caraml resnet --system MI250 --batch 256 --devices 2
+//   caraml inference --system GH200 --batch 16         # extension benchmark
+//   caraml tts --system JEDI --loss 2.2                # time-to-solution
+//   caraml combine --dir energy_meas                   # merge per-rank CSVs
+
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/caraml.hpp"
+#include "core/experiments.hpp"
+#include "core/inference.hpp"
+#include "core/time_to_solution.hpp"
+#include "power/combine.hpp"
+#include "util/argparse.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace caraml;
+
+int cmd_systems() {
+  TextTable table({"tag", "system", "devices", "accelerator", "peak FP16",
+                   "memory", "TDP", "peer link"});
+  for (const auto& node : topo::SystemRegistry::instance().all()) {
+    table.add_row({node.jube_tag, node.display_name,
+                   std::to_string(node.devices_per_node), node.device.name,
+                   units::format_flops(node.device.peak_fp16_flops),
+                   units::format_bytes(node.device.mem_capacity_bytes),
+                   units::format_watts(node.device.tdp_watts),
+                   node.peer_link.name});
+  }
+  std::cout << "Systems (paper Table I):\n" << table.render();
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  ArgParser parser("caraml run", "run a JUBE benchmark script");
+  parser.add_option("script", "YAML script path");
+  parser.add_option("tag", "system tag", std::string(""));
+  if (!parser.parse(args)) return 0;
+
+  jube::Benchmark benchmark =
+      jube::Benchmark::from_yaml_file(parser.get("script"));
+  for (const auto& pattern : core::caraml_patterns()) {
+    benchmark.add_pattern(pattern);
+  }
+  jube::ActionRegistry registry;
+  core::register_caraml_actions(registry);
+  std::set<std::string> tags;
+  if (!parser.get("tag").empty()) tags.insert(parser.get("tag"));
+
+  const auto result = benchmark.run(registry, tags);
+  std::cout << "benchmark '" << benchmark.name() << "': "
+            << result.workpackages.size() << " workpackages\n";
+  const bool llm = benchmark.name().find("llm") != std::string::npos;
+  const std::vector<std::string> columns =
+      llm ? std::vector<std::string>{"system", "global_batch", "tokens_per_s",
+                                     "energy_wh", "tokens_per_wh", "status"}
+          : std::vector<std::string>{"system", "global_batch", "devices",
+                                     "images_per_s", "energy_wh",
+                                     "images_per_wh", "status"};
+  std::cout << result.table(columns).render();
+  return 0;
+}
+
+int cmd_llm(const std::vector<std::string>& args) {
+  ArgParser parser("caraml llm", "one LLM-training benchmark point");
+  parser.add_option("system", "system tag", std::string("A100"));
+  parser.add_option("batch", "global batch (sequences; tokens for GC200)",
+                    std::string("256"));
+  parser.add_option("micro-batch", "micro batch", std::string("4"));
+  parser.add_option("devices", "devices (-1 = full node)", std::string("-1"));
+  parser.add_option("tp", "tensor parallel", std::string("1"));
+  parser.add_option("pp", "pipeline parallel", std::string("1"));
+  parser.add_option("nodes", "number of nodes", std::string("1"));
+  parser.add_option("model", "117M|800M|13B|175B", std::string("800M"));
+  if (!parser.parse(args)) return 0;
+
+  if (parser.get("system") == "GC200") {
+    const auto result = core::run_llm_ipu(parser.get_int("batch"));
+    std::cout << "IPU GC200 (POD4), " << result.batch_tokens
+              << "-token batch:\n"
+              << "  tokens/s      : "
+              << units::format_fixed(result.tokens_per_s, 2) << "\n"
+              << "  Wh/epoch/IPU  : "
+              << units::format_fixed(result.energy_per_epoch_wh, 2) << "\n"
+              << "  tokens/Wh     : "
+              << units::format_fixed(result.tokens_per_wh, 2) << "\n"
+              << "  bubble        : "
+              << units::format_fixed(result.pipeline_bubble, 3) << "\n";
+    return 0;
+  }
+
+  core::LlmRunConfig config;
+  config.system_tag = parser.get("system");
+  config.global_batch = parser.get_int("batch");
+  config.micro_batch = parser.get_int("micro-batch");
+  config.devices = static_cast<int>(parser.get_int("devices"));
+  config.tensor_parallel = static_cast<int>(parser.get_int("tp"));
+  config.pipeline_parallel = static_cast<int>(parser.get_int("pp"));
+  config.num_nodes = static_cast<int>(parser.get_int("nodes"));
+  const std::string model = parser.get("model");
+  if (model == "117M") config.model = models::GptConfig::gpt_117m();
+  else if (model == "800M") config.model = models::GptConfig::gpt_800m();
+  else if (model == "13B") config.model = models::GptConfig::gpt_13b();
+  else if (model == "175B") config.model = models::GptConfig::gpt_175b();
+  else throw caraml::InvalidArgument("unknown model: " + model);
+
+  const auto result = core::run_llm_gpu(config);
+  if (result.oom) {
+    std::cout << "OOM: " << result.oom_message << "\n";
+    return 1;
+  }
+  std::cout << result.system << ", " << config.model.name << ", batch "
+            << result.global_batch << " (dp=" << result.data_parallel
+            << ", tp=" << config.tensor_parallel
+            << ", pp=" << config.pipeline_parallel << "):\n"
+            << "  tokens/s/GPU  : "
+            << units::format_fixed(result.tokens_per_s_per_gpu, 1) << "\n"
+            << "  tokens/s total: "
+            << units::format_fixed(result.tokens_per_s_total, 1) << "\n"
+            << "  MFU           : "
+            << units::format_fixed(result.mfu * 100, 1) << " %\n"
+            << "  avg power/GPU : "
+            << units::format_watts(result.avg_power_per_gpu_w) << "\n"
+            << "  tokens/Wh     : "
+            << units::format_fixed(result.tokens_per_wh, 0) << "\n"
+            << "  memory/device : "
+            << units::format_bytes(result.memory_per_device_bytes) << "\n";
+  return 0;
+}
+
+int cmd_resnet(const std::vector<std::string>& args) {
+  ArgParser parser("caraml resnet", "one ResNet50 benchmark point");
+  parser.add_option("system", "system tag", std::string("A100"));
+  parser.add_option("batch", "global batch", std::string("256"));
+  parser.add_option("devices", "accelerator count", std::string("1"));
+  parser.add_flag("synthetic", "use synthetic data (skip host pipeline)");
+  parser.add_option("variant", "resnet18|resnet34|resnet50",
+                    std::string("resnet50"));
+  if (!parser.parse(args)) return 0;
+
+  core::ResnetRunConfig config;
+  config.system_tag = parser.get("system");
+  config.global_batch = parser.get_int("batch");
+  config.devices = static_cast<int>(parser.get_int("devices"));
+  config.synthetic_data = parser.get_flag("synthetic");
+  const std::string variant = parser.get("variant");
+  if (variant == "resnet18") config.variant = models::ResNetVariant::kResNet18;
+  else if (variant == "resnet34") config.variant = models::ResNetVariant::kResNet34;
+  else if (variant == "resnet50") config.variant = models::ResNetVariant::kResNet50;
+  else throw caraml::InvalidArgument("unknown variant: " + variant);
+  const auto result = core::run_resnet(config);
+  if (result.oom) {
+    std::cout << "OOM: " << result.oom_message << "\n";
+    return 1;
+  }
+  std::cout << result.system << ", batch " << result.global_batch << " on "
+            << result.devices << " device(s):\n"
+            << "  images/s      : "
+            << units::format_fixed(result.images_per_s_total, 1) << "\n"
+            << "  avg power/dev : "
+            << units::format_watts(result.avg_power_per_device_w) << "\n"
+            << "  Wh/epoch      : "
+            << units::format_fixed(result.energy_per_epoch_wh, 1) << "\n"
+            << "  images/Wh     : "
+            << units::format_fixed(result.images_per_wh, 0) << "\n";
+  return 0;
+}
+
+int cmd_inference(const std::vector<std::string>& args) {
+  ArgParser parser("caraml inference", "LLM inference extension benchmark");
+  parser.add_option("system", "system tag", std::string("GH200"));
+  parser.add_option("batch", "concurrent sequences", std::string("8"));
+  parser.add_option("prompt", "prompt tokens", std::string("512"));
+  parser.add_option("generate", "generated tokens", std::string("128"));
+  if (!parser.parse(args)) return 0;
+
+  core::InferenceConfig config;
+  config.system_tag = parser.get("system");
+  config.batch = parser.get_int("batch");
+  config.prompt_tokens = parser.get_int("prompt");
+  config.generate_tokens = parser.get_int("generate");
+  const auto result = core::run_llm_inference(config);
+  if (result.oom) {
+    std::cout << "OOM: " << result.oom_message << "\n";
+    return 1;
+  }
+  std::cout << result.system << ", batch " << result.batch << ":\n"
+            << "  time-to-first-token : "
+            << units::format_seconds(result.time_to_first_token_s) << "\n"
+            << "  tokens/s/user       : "
+            << units::format_fixed(result.tokens_per_s_per_user, 1) << "\n"
+            << "  tokens/s total      : "
+            << units::format_fixed(result.tokens_per_s_total, 1) << "\n"
+            << "  Wh / 1k tokens      : "
+            << units::format_fixed(result.energy_per_1k_tokens_wh, 3) << "\n"
+            << "  KV cache            : "
+            << units::format_bytes(result.kv_cache_bytes) << "\n";
+  return 0;
+}
+
+int cmd_tts(const std::vector<std::string>& args) {
+  ArgParser parser("caraml tts", "time/energy to a target loss");
+  parser.add_option("system", "system tag", std::string("JEDI"));
+  parser.add_option("loss", "target loss", std::string("2.2"));
+  parser.add_option("batch", "global batch", std::string("1024"));
+  if (!parser.parse(args)) return 0;
+
+  core::LlmRunConfig config;
+  config.system_tag = parser.get("system");
+  config.global_batch = parser.get_int("batch");
+  const auto result = core::estimate_time_to_solution(
+      config, parser.get_double("loss"));
+  std::cout << result.system << " to loss " << result.target_loss << ":\n"
+            << "  tokens needed : "
+            << units::format_fixed(result.tokens_needed / 1e9, 2) << " B\n"
+            << "  wall time     : "
+            << units::format_fixed(result.hours_to_solution, 1) << " h\n"
+            << "  energy        : "
+            << units::format_fixed(result.node_energy_kwh, 1) << " kWh\n";
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  ArgParser parser("caraml export", "write every experiment as CSV");
+  parser.add_option("out", "output directory", std::string("experiments_csv"));
+  if (!parser.parse(args)) return 0;
+  const int written = core::export_all_experiments(parser.get("out"));
+  std::cout << "wrote " << written << " CSV files to " << parser.get("out")
+            << "/\n";
+  return 0;
+}
+
+int cmd_combine(const std::vector<std::string>& args) {
+  ArgParser parser("caraml combine", "merge per-rank jpwr energy CSVs");
+  parser.add_option("dir", "directory with energy_<rank>.csv files");
+  parser.add_option("stem", "file stem", std::string("energy"));
+  if (!parser.parse(args)) return 0;
+
+  const auto combined =
+      power::combine_rank_csvs(parser.get("dir"), parser.get("stem"));
+  std::cout << "combined (" << combined.num_rows() << " rows):\n"
+            << combined.to_string(20) << "\naggregated per channel:\n"
+            << power::aggregate_energy(combined).to_string(20);
+  return 0;
+}
+
+void print_usage() {
+  std::cout <<
+      "caraml — CARAML benchmark suite (C++ reproduction)\n"
+      "usage: caraml <command> [options]\n\n"
+      "commands:\n"
+      "  systems     list the Table-I systems and their JUBE tags\n"
+      "  run         run a JUBE YAML script (--script, --tag)\n"
+      "  llm         one LLM-training point (--system, --batch, ...)\n"
+      "  resnet      one ResNet50 point (--system, --batch, --devices)\n"
+      "  inference   LLM inference extension (--system, --batch)\n"
+      "  tts         time/energy-to-solution estimate (--system, --loss)\n"
+      "  combine     merge per-rank jpwr CSVs (--dir)\n"
+      "  export      write every experiment's data as CSV (--out)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace caraml;
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    if (command == "systems") return cmd_systems();
+    if (command == "run") return cmd_run(args);
+    if (command == "llm") return cmd_llm(args);
+    if (command == "resnet") return cmd_resnet(args);
+    if (command == "inference") return cmd_inference(args);
+    if (command == "tts") return cmd_tts(args);
+    if (command == "combine") return cmd_combine(args);
+    if (command == "export") return cmd_export(args);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    std::cerr << "caraml: unknown command '" << command << "'\n";
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "caraml: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,164 @@
+#include "core/experiments.hpp"
+
+#include <filesystem>
+
+#include "core/caraml.hpp"
+#include "core/llm.hpp"
+#include "core/resnet.hpp"
+#include "topo/specs.hpp"
+
+namespace caraml::core {
+
+df::DataFrame fig2_dataframe() {
+  df::DataFrame frame;
+  frame.add_column("system", df::ColumnType::kString);
+  frame.add_column("devices", df::ColumnType::kInt64);
+  frame.add_column("global_batch", df::ColumnType::kInt64);
+  frame.add_column("tokens_per_s_per_gpu", df::ColumnType::kDouble);
+  frame.add_column("energy_wh_per_gpu_1h", df::ColumnType::kDouble);
+  frame.add_column("tokens_per_wh", df::ColumnType::kDouble);
+  frame.add_column("status", df::ColumnType::kString);
+
+  for (const auto& series : fig2_series()) {
+    const int dp = series.devices > 0
+                       ? series.devices
+                       : topo::SystemRegistry::instance()
+                             .by_tag(series.tag)
+                             .devices_per_node;
+    for (std::int64_t batch : fig2_batches()) {
+      LlmRunConfig config;
+      config.system_tag = series.tag;
+      config.devices = series.devices;
+      config.global_batch = batch;
+      const std::int64_t devices = dp;
+      if (!llm_layout_valid(batch, config.micro_batch, dp)) {
+        frame.append_row({series.label, devices, batch, 0.0, 0.0, 0.0,
+                          std::string("invalid")});
+        continue;
+      }
+      const auto result = run_llm_gpu(config);
+      if (result.oom) {
+        frame.append_row({series.label, devices, batch, 0.0, 0.0, 0.0,
+                          std::string("oom")});
+        continue;
+      }
+      frame.append_row({series.label, devices, batch,
+                        result.tokens_per_s_per_gpu, result.energy_per_gpu_wh,
+                        result.tokens_per_wh, std::string("ok")});
+    }
+  }
+  return frame;
+}
+
+df::DataFrame fig3_dataframe() {
+  df::DataFrame frame;
+  frame.add_column("system", df::ColumnType::kString);
+  frame.add_column("devices", df::ColumnType::kInt64);
+  frame.add_column("global_batch", df::ColumnType::kInt64);
+  frame.add_column("images_per_s", df::ColumnType::kDouble);
+  frame.add_column("energy_wh_per_epoch", df::ColumnType::kDouble);
+  frame.add_column("images_per_wh", df::ColumnType::kDouble);
+  frame.add_column("status", df::ColumnType::kString);
+
+  for (const auto& series : fig3_series()) {
+    for (std::int64_t batch : fig3_batches()) {
+      if (batch % series.devices != 0) {
+        frame.append_row({series.label,
+                          static_cast<std::int64_t>(series.devices), batch,
+                          0.0, 0.0, 0.0, std::string("invalid")});
+        continue;
+      }
+      ResnetRunConfig config;
+      config.system_tag = series.tag;
+      config.devices = series.devices;
+      config.global_batch = batch;
+      const auto result = run_resnet_gpu(config);
+      if (result.oom) {
+        frame.append_row({series.label,
+                          static_cast<std::int64_t>(series.devices), batch,
+                          0.0, 0.0, 0.0, std::string("oom")});
+        continue;
+      }
+      frame.append_row({series.label,
+                        static_cast<std::int64_t>(series.devices), batch,
+                        result.images_per_s_total, result.energy_per_epoch_wh,
+                        result.images_per_wh, std::string("ok")});
+    }
+  }
+  return frame;
+}
+
+df::DataFrame table2_dataframe() {
+  df::DataFrame frame;
+  frame.add_column("batch_tokens", df::ColumnType::kInt64);
+  frame.add_column("tokens_per_s", df::ColumnType::kDouble);
+  frame.add_column("energy_wh_per_epoch_ipu", df::ColumnType::kDouble);
+  frame.add_column("tokens_per_wh", df::ColumnType::kDouble);
+  frame.add_column("pipeline_bubble", df::ColumnType::kDouble);
+  for (std::int64_t batch : table2_batches()) {
+    const auto result = run_llm_ipu(batch);
+    frame.append_row({batch, result.tokens_per_s, result.energy_per_epoch_wh,
+                      result.tokens_per_wh, result.pipeline_bubble});
+  }
+  return frame;
+}
+
+df::DataFrame table3_dataframe() {
+  df::DataFrame frame;
+  frame.add_column("batch", df::ColumnType::kInt64);
+  frame.add_column("images_per_s", df::ColumnType::kDouble);
+  frame.add_column("energy_wh_per_epoch", df::ColumnType::kDouble);
+  frame.add_column("images_per_wh", df::ColumnType::kDouble);
+  for (std::int64_t batch : table3_batches()) {
+    const auto result = run_resnet_ipu(batch, 1);
+    frame.append_row({batch, result.images_per_s_total,
+                      result.energy_per_epoch_wh, result.images_per_wh});
+  }
+  return frame;
+}
+
+df::DataFrame fig4_dataframe(const std::string& system_tag) {
+  df::DataFrame frame;
+  frame.add_column("devices", df::ColumnType::kInt64);
+  frame.add_column("global_batch", df::ColumnType::kInt64);
+  frame.add_column("images_per_s", df::ColumnType::kDouble);
+  frame.add_column("status", df::ColumnType::kString);
+  for (int devices : fig4_device_counts(system_tag)) {
+    for (std::int64_t batch : fig4_batches()) {
+      if (batch % devices != 0) {
+        frame.append_row({static_cast<std::int64_t>(devices), batch, 0.0,
+                          std::string("invalid")});
+        continue;
+      }
+      ResnetRunConfig config;
+      config.system_tag = system_tag;
+      config.devices = devices;
+      config.global_batch = batch;
+      const auto result = run_resnet(config);
+      frame.append_row({static_cast<std::int64_t>(devices), batch,
+                        result.oom ? 0.0 : result.images_per_s_total,
+                        std::string(result.oom ? "oom" : "ok")});
+    }
+  }
+  return frame;
+}
+
+int export_all_experiments(const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  int written = 0;
+  fig2_dataframe().to_csv_file(directory + "/fig2.csv");
+  ++written;
+  fig3_dataframe().to_csv_file(directory + "/fig3.csv");
+  ++written;
+  table2_dataframe().to_csv_file(directory + "/table2.csv");
+  ++written;
+  table3_dataframe().to_csv_file(directory + "/table3.csv");
+  ++written;
+  for (const auto& tag : topo::SystemRegistry::instance().tags()) {
+    fig4_dataframe(tag).to_csv_file(directory + "/fig4_" + tag + ".csv");
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace caraml::core

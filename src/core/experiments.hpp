@@ -1,0 +1,36 @@
+// Experiment data as DataFrames — the machine-readable counterpart of the
+// bench binaries' tables, for plotting and regression tracking. Long format:
+// one row per (system, configuration) point with all figure-of-merit
+// columns. `caraml export` writes them as CSVs.
+#pragma once
+
+#include <string>
+
+#include "df/dataframe.hpp"
+
+namespace caraml::core {
+
+/// Fig. 2: columns system, devices, global_batch, tokens_per_s_per_gpu,
+/// energy_wh_per_gpu_1h, tokens_per_wh, status ("ok"/"oom"/"invalid").
+df::DataFrame fig2_dataframe();
+
+/// Fig. 3: columns system, devices, global_batch, images_per_s,
+/// energy_wh_per_epoch, images_per_wh, status.
+df::DataFrame fig3_dataframe();
+
+/// Table II: columns batch_tokens, tokens_per_s, energy_wh_per_epoch_ipu,
+/// tokens_per_wh, pipeline_bubble.
+df::DataFrame table2_dataframe();
+
+/// Table III: columns batch, images_per_s, energy_wh_per_epoch, images_per_wh.
+df::DataFrame table3_dataframe();
+
+/// One Fig. 4 heatmap: columns devices, global_batch, images_per_s, status.
+df::DataFrame fig4_dataframe(const std::string& system_tag);
+
+/// Write every experiment frame as CSV files into `directory`
+/// (fig2.csv, fig3.csv, table2.csv, table3.csv, fig4_<tag>.csv).
+/// Returns the number of files written.
+int export_all_experiments(const std::string& directory);
+
+}  // namespace caraml::core

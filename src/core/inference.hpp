@@ -1,0 +1,49 @@
+// LLM *inference* benchmark — the paper's future work ("We also aim to
+// expand the suite by including additional AI training and inference
+// benchmarks", §VI), built on the same simulator substrate.
+//
+// Model: a request processes a prompt of `prompt_tokens` (prefill —
+// compute-bound batched GEMMs) and generates `generate_tokens`
+// autoregressively (decode — memory-bandwidth-bound: every generated token
+// streams the fp16 weights plus the KV cache). Reported metrics follow the
+// common serving figures: time-to-first-token, per-user decode rate,
+// aggregate throughput, energy per 1k generated tokens.
+#pragma once
+
+#include <string>
+
+#include "models/gpt_cost.hpp"
+
+namespace caraml::core {
+
+struct InferenceConfig {
+  std::string system_tag = "GH200";
+  models::GptConfig model = models::GptConfig::gpt_800m();
+  std::int64_t batch = 8;            // concurrent sequences
+  std::int64_t prompt_tokens = 512;
+  std::int64_t generate_tokens = 128;
+};
+
+struct InferenceResult {
+  std::string system;
+  std::int64_t batch = 0;
+  bool oom = false;
+  std::string oom_message;
+
+  double time_to_first_token_s = 0.0;   // prefill latency
+  double decode_time_per_token_s = 0.0; // steady-state step latency
+  double tokens_per_s_per_user = 0.0;   // 1 / decode step latency
+  double tokens_per_s_total = 0.0;      // batch * per-user rate
+  double request_latency_s = 0.0;       // prefill + all decode steps
+  double avg_power_w = 0.0;
+  double energy_per_1k_tokens_wh = 0.0;
+  double kv_cache_bytes = 0.0;
+};
+
+/// KV-cache bytes for `tokens` cached positions of `batch` sequences.
+double kv_cache_bytes(const models::GptConfig& model, std::int64_t batch,
+                      std::int64_t tokens);
+
+InferenceResult run_llm_inference(const InferenceConfig& config);
+
+}  // namespace caraml::core

@@ -1,0 +1,78 @@
+// CARAML LLM-training benchmark (paper §III-A1): trains a GPT decoder with
+// Megatron-LM-style data parallelism (NVIDIA/AMD systems) or Poplar-style
+// pipeline parallelism (Graphcore), reporting tokens/s and energy.
+//
+// The hardware is the simulator (DESIGN.md §2): one training iteration is
+// expressed as a task graph — per-device micro-step compute kernels, host
+// overhead, gradient ring-all-reduce, optimizer update — executed by the
+// discrete-event engine; the resulting busy intervals feed the power model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/gpt_cost.hpp"
+#include "sim/power_model.hpp"
+#include "topo/specs.hpp"
+
+namespace caraml::core {
+
+struct LlmRunConfig {
+  std::string system_tag = "A100";     // JUBE tag (Table I)
+  models::GptConfig model = models::GptConfig::gpt_800m();
+  std::int64_t global_batch = 256;     // sequences (GPU) / tokens (IPU)
+  std::int64_t micro_batch = 4;        // sequences (paper: 4)
+  int data_parallel = -1;              // -1: one rank per device of the node
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  int num_nodes = 1;
+  int devices = -1;                    // -1: all devices of the node
+  double exit_duration_min = 60.0;     // paper reports energy for 1 h
+};
+
+struct LlmRunResult {
+  std::string system;
+  std::int64_t global_batch = 0;
+  int data_parallel = 1;
+  bool oom = false;
+  std::string oom_message;
+
+  double iteration_time_s = 0.0;
+  double tokens_per_s_per_gpu = 0.0;   // the paper's Fig. 2 y-axis
+  double tokens_per_s_total = 0.0;
+  double mfu = 0.0;                    // achieved / peak FLOP/s
+  double avg_power_per_gpu_w = 0.0;
+  /// Energy per GPU over exit_duration (Wh) — Fig. 2 middle panel is the
+  /// 1-hour value, numerically equal to avg power in W.
+  double energy_per_gpu_wh = 0.0;
+  double tokens_per_wh = 0.0;          // Fig. 2 bottom panel
+  double memory_per_device_bytes = 0.0;
+
+  /// Power trace of device 0 (for jpwr replay / inspection).
+  std::optional<sim::PowerTrace> device0_trace;
+};
+
+/// Run the GPU/data-parallel (NVIDIA & AMD) LLM benchmark on the simulator.
+LlmRunResult run_llm_gpu(const LlmRunConfig& config);
+
+/// Graphcore path (Table II): 117M GPT, layers pipelined over the IPUs of an
+/// M2000 POD4, batch counted in tokens, one epoch == one pass over the batch.
+struct IpuLlmResult {
+  std::int64_t batch_tokens = 0;
+  double tokens_per_s = 0.0;        // Table II column 2
+  double energy_per_epoch_wh = 0.0; // Table II column 3 (per IPU)
+  double tokens_per_wh = 0.0;       // Table II column 4
+  double iteration_time_s = 0.0;
+  double pipeline_bubble = 0.0;
+};
+IpuLlmResult run_llm_ipu(std::int64_t batch_tokens,
+                         const models::GptConfig& model =
+                             models::GptConfig::gpt_117m());
+
+/// True when (global_batch, micro_batch, dp) is a valid Megatron layout —
+/// the paper notes batch 16 is impossible at dp=8 with micro-batch 4.
+bool llm_layout_valid(std::int64_t global_batch, std::int64_t micro_batch,
+                      int data_parallel);
+
+}  // namespace caraml::core

@@ -1,0 +1,52 @@
+// CARAML ResNet50 benchmark (paper §III-A2): trains ResNet50 from scratch
+// with Horovod-style data parallelism (TensorFlow path for NVIDIA/AMD,
+// Poplar path for Graphcore), reporting images/s, Wh/epoch and images/Wh.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "models/resnet_cost.hpp"
+#include "sim/power_model.hpp"
+
+namespace caraml::core {
+
+struct ResnetRunConfig {
+  std::string system_tag = "A100";
+  models::ResNetVariant variant = models::ResNetVariant::kResNet50;
+  std::int64_t global_batch = 256;
+  int devices = 1;        // accelerators used (<= devices_per_node * nodes)
+  int num_nodes = 1;
+  bool synthetic_data = false;  // synthetic input skips the host-pipeline cap
+};
+
+struct ResnetRunResult {
+  std::string system;
+  std::int64_t global_batch = 0;
+  int devices = 1;
+  bool oom = false;
+  std::string oom_message;
+
+  double iteration_time_s = 0.0;
+  double images_per_s_total = 0.0;      // Fig. 3 / Fig. 4 value
+  double images_per_s_per_device = 0.0;
+  double avg_power_per_device_w = 0.0;
+  double energy_per_epoch_wh = 0.0;     // whole ImageNet epoch (Fig. 3 mid)
+  double images_per_wh = 0.0;           // Fig. 3 bottom
+  double memory_per_device_bytes = 0.0;
+
+  std::optional<sim::PowerTrace> device0_trace;
+};
+
+/// GPU systems (NVIDIA / AMD). `config.devices` spans nodes when
+/// devices > devices_per_node (requires the system's inter-node fabric).
+ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config);
+
+/// Graphcore (Table III / Fig. 4g): micro-batch capped at 16 by on-chip
+/// SRAM; data parallel across IPUs with BSP-synchronized all-reduce.
+ResnetRunResult run_resnet_ipu(std::int64_t global_batch, int ipus = 1);
+
+/// Dispatch on the system tag.
+ResnetRunResult run_resnet(const ResnetRunConfig& config);
+
+}  // namespace caraml::core

@@ -1,0 +1,42 @@
+#include "core/time_to_solution.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::core {
+
+double LossScalingLaw::loss_at(double tokens) const {
+  CARAML_CHECK_MSG(tokens > 0.0, "tokens must be positive");
+  return l_inf + std::pow(t_c / tokens, alpha);
+}
+
+double LossScalingLaw::tokens_to_reach(double target_loss) const {
+  CARAML_CHECK_MSG(target_loss > l_inf,
+                   "target loss must exceed the irreducible loss " +
+                       std::to_string(l_inf));
+  // target = l_inf + (t_c / T)^alpha  =>  T = t_c / (target - l_inf)^(1/alpha)
+  return t_c / std::pow(target_loss - l_inf, 1.0 / alpha);
+}
+
+TimeToSolutionResult estimate_time_to_solution(const LlmRunConfig& config,
+                                               double target_loss,
+                                               const LossScalingLaw& law) {
+  const LlmRunResult run = run_llm_gpu(config);
+  CARAML_CHECK_MSG(!run.oom, "configuration does not fit: " + run.oom_message);
+
+  TimeToSolutionResult result;
+  result.system = run.system;
+  result.target_loss = target_loss;
+  result.tokens_needed = law.tokens_to_reach(target_loss);
+  result.tokens_per_s_total = run.tokens_per_s_total;
+  const double seconds = result.tokens_needed / run.tokens_per_s_total;
+  result.hours_to_solution = seconds / 3600.0;
+  const double devices =
+      run.tokens_per_s_total / run.tokens_per_s_per_gpu;
+  result.node_energy_kwh =
+      run.avg_power_per_gpu_w * devices * seconds / 3600.0 / 1000.0;
+  return result;
+}
+
+}  // namespace caraml::core

@@ -1,0 +1,44 @@
+// Time-/energy-to-solution estimation on top of the throughput benchmark —
+// bridging CARAML's throughput metrics to the MLPerf-style time-to-solution
+// view the paper contrasts them with (§II-D: time-to-solution avoids
+// throughput gaming but costs a full training run; CARAML measures
+// throughput and lets the user extrapolate).
+//
+// The extrapolation uses a Chinchilla-style loss scaling law in trained
+// tokens: L(T) = L_inf + (T_c / T)^alpha.
+#pragma once
+
+#include <string>
+
+#include "core/llm.hpp"
+
+namespace caraml::core {
+
+/// Loss curve parameters (defaults roughly Chinchilla-shaped for small GPT).
+struct LossScalingLaw {
+  double l_inf = 1.7;      // irreducible loss
+  double t_c = 2.6e9;      // token scale
+  double alpha = 0.35;
+
+  /// Loss after training on `tokens` tokens.
+  double loss_at(double tokens) const;
+  /// Tokens needed to reach `target_loss` (> l_inf); throws otherwise.
+  double tokens_to_reach(double target_loss) const;
+};
+
+struct TimeToSolutionResult {
+  std::string system;
+  double target_loss = 0.0;
+  double tokens_needed = 0.0;
+  double hours_to_solution = 0.0;
+  double node_energy_kwh = 0.0;   // all devices of the run
+  double tokens_per_s_total = 0.0;
+};
+
+/// Estimate wall time and energy to train `config.model` to `target_loss`
+/// on the given system/layout, using the simulated steady-state throughput.
+TimeToSolutionResult estimate_time_to_solution(const LlmRunConfig& config,
+                                               double target_loss,
+                                               const LossScalingLaw& law = {});
+
+}  // namespace caraml::core

@@ -1,0 +1,137 @@
+#include "data/bpe.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::data {
+
+BpeTokenizer::BpeTokenizer() { rebuild_vocab(); }
+
+void BpeTokenizer::rebuild_vocab() {
+  vocab_.clear();
+  vocab_.reserve(256 + merges_.size());
+  for (int b = 0; b < 256; ++b) {
+    vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+  for (const auto& [a, b] : merges_) {
+    vocab_.push_back(vocab_[static_cast<std::size_t>(a)] +
+                     vocab_[static_cast<std::size_t>(b)]);
+  }
+}
+
+void BpeTokenizer::train(const std::string& corpus, std::size_t vocab_size) {
+  CARAML_CHECK_MSG(vocab_size >= 256, "vocab size must be at least 256");
+  merges_.clear();
+  merge_rank_.clear();
+
+  std::vector<std::int32_t> tokens;
+  tokens.reserve(corpus.size());
+  for (unsigned char c : corpus) tokens.push_back(static_cast<std::int32_t>(c));
+
+  while (256 + merges_.size() < vocab_size && tokens.size() >= 2) {
+    // Count adjacent pairs.
+    std::map<std::pair<std::int32_t, std::int32_t>, std::size_t> counts;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      ++counts[{tokens[i], tokens[i + 1]}];
+    }
+    // Most frequent pair; ties broken by smaller ids for determinism.
+    std::pair<std::int32_t, std::int32_t> best{0, 0};
+    std::size_t best_count = 0;
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < 2) break;  // nothing worth merging
+
+    const auto new_id = static_cast<std::int32_t>(256 + merges_.size());
+    merges_.push_back(best);
+    merge_rank_[best] = new_id;
+
+    // Apply the merge to the working token stream.
+    std::vector<std::int32_t> merged;
+    merged.reserve(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (i + 1 < tokens.size() && tokens[i] == best.first &&
+          tokens[i + 1] == best.second) {
+        merged.push_back(new_id);
+        ++i;
+      } else {
+        merged.push_back(tokens[i]);
+      }
+    }
+    tokens = std::move(merged);
+  }
+  rebuild_vocab();
+}
+
+std::vector<std::int32_t> BpeTokenizer::encode(const std::string& text) const {
+  std::vector<std::int32_t> tokens;
+  tokens.reserve(text.size());
+  for (unsigned char c : text) tokens.push_back(static_cast<std::int32_t>(c));
+
+  // Repeatedly apply the lowest-rank (earliest learned) applicable merge,
+  // exactly like GPT-2's encoder.
+  while (tokens.size() >= 2) {
+    std::int32_t best_rank = -1;
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const auto it = merge_rank_.find({tokens[i], tokens[i + 1]});
+      if (it != merge_rank_.end() &&
+          (best_rank < 0 || it->second < best_rank)) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank < 0) break;
+    tokens[best_pos] = best_rank;
+    tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return tokens;
+}
+
+std::string BpeTokenizer::decode(const std::vector<std::int32_t>& ids) const {
+  std::string out;
+  for (std::int32_t id : ids) out += token_text(id);
+  return out;
+}
+
+const std::string& BpeTokenizer::token_text(std::int32_t id) const {
+  CARAML_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < vocab_.size(),
+                   "token id out of range: " + std::to_string(id));
+  return vocab_[static_cast<std::size_t>(id)];
+}
+
+std::string BpeTokenizer::save() const {
+  std::ostringstream os;
+  for (const auto& [a, b] : merges_) os << a << " " << b << "\n";
+  return os.str();
+}
+
+BpeTokenizer BpeTokenizer::load(const std::string& serialized) {
+  BpeTokenizer tok;
+  std::istringstream is(serialized);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (str::trim(line).empty()) continue;
+    const auto parts = str::split_ws(line);
+    if (parts.size() != 2) throw ParseError("malformed merge line: " + line);
+    const auto a = static_cast<std::int32_t>(str::parse_int(parts[0]));
+    const auto b = static_cast<std::int32_t>(str::parse_int(parts[1]));
+    const auto limit = static_cast<std::int32_t>(256 + tok.merges_.size());
+    if (a < 0 || b < 0 || a >= limit || b >= limit) {
+      throw ParseError("merge references unknown token: " + line);
+    }
+    const auto new_id = static_cast<std::int32_t>(256 + tok.merges_.size());
+    tok.merges_.emplace_back(a, b);
+    tok.merge_rank_[{a, b}] = new_id;
+  }
+  tok.rebuild_vocab();
+  return tok;
+}
+
+}  // namespace caraml::data

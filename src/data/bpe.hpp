@@ -1,0 +1,47 @@
+// Byte-level byte-pair-encoding tokenizer.
+//
+// The paper's LLM benchmark trains on a subset of OSCAR "preprocessed using
+// GPT-2 tokenizers" (§III-A1). This is a real, trainable GPT-2-style BPE:
+// the base alphabet is the 256 byte values, and training greedily merges the
+// most frequent adjacent token pair until the requested vocabulary size is
+// reached. encode/decode round-trip any byte string exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace caraml::data {
+
+class BpeTokenizer {
+ public:
+  BpeTokenizer();
+
+  /// Learn merges from `corpus` until the vocabulary has `vocab_size`
+  /// entries (>= 256). Retraining resets previous merges.
+  void train(const std::string& corpus, std::size_t vocab_size);
+
+  std::size_t vocab_size() const { return vocab_.size(); }
+  std::size_t num_merges() const { return merges_.size(); }
+
+  std::vector<std::int32_t> encode(const std::string& text) const;
+  std::string decode(const std::vector<std::int32_t>& ids) const;
+
+  /// The byte string a token id expands to.
+  const std::string& token_text(std::int32_t id) const;
+
+  /// Serialize / restore the merge table (one "left right" pair per line).
+  std::string save() const;
+  static BpeTokenizer load(const std::string& serialized);
+
+ private:
+  // merges_[i] = (a, b) merged into token 256 + i.
+  std::vector<std::pair<std::int32_t, std::int32_t>> merges_;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t> merge_rank_;
+  std::vector<std::string> vocab_;  // id -> byte string
+
+  void rebuild_vocab();
+};
+
+}  // namespace caraml::data

@@ -1,0 +1,64 @@
+// Epoch-based data loading: deterministic shuffled epochs without
+// replacement (the input-pipeline semantics of the paper's ResNet benchmark,
+// which processes "all images of the input dataset once" per epoch), for
+// both token streams and indexable datasets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace caraml::data {
+
+/// Yields every index in [0, size) exactly once per epoch, reshuffled with a
+/// deterministic per-epoch seed derived from (base_seed, epoch).
+class ShuffledIndexSampler {
+ public:
+  ShuffledIndexSampler(std::int64_t size, std::uint64_t base_seed);
+
+  std::int64_t size() const { return size_; }
+  std::int64_t epoch() const { return epoch_; }
+  std::int64_t position() const { return position_; }
+  std::int64_t remaining_in_epoch() const { return size_ - position_; }
+
+  /// Next index; rolls into a freshly shuffled epoch when exhausted.
+  std::int64_t next();
+
+  /// Next `n` indices (may span an epoch boundary).
+  std::vector<std::int64_t> next_batch(std::int64_t n);
+
+  /// Jump to the start of a specific epoch (for resumable training).
+  void seek_epoch(std::int64_t epoch);
+
+ private:
+  void reshuffle();
+
+  std::int64_t size_;
+  std::uint64_t base_seed_;
+  std::int64_t epoch_ = 0;
+  std::int64_t position_ = 0;
+  std::vector<std::int64_t> order_;
+};
+
+/// Splits an epoch's samples across data-parallel ranks (Horovod-style
+/// sharding): rank r of w sees indices where (i % w) == r of the shuffled
+/// order, so ranks never overlap within an epoch.
+class ShardedEpochPlan {
+ public:
+  ShardedEpochPlan(std::int64_t dataset_size, int world_size,
+                   std::uint64_t seed);
+
+  /// Shuffled indices owned by `rank` in `epoch`, identical on every caller.
+  std::vector<std::int64_t> shard(int rank, std::int64_t epoch) const;
+
+  std::int64_t dataset_size() const { return size_; }
+  int world_size() const { return world_; }
+
+ private:
+  std::int64_t size_;
+  int world_;
+  std::uint64_t seed_;
+};
+
+}  // namespace caraml::data

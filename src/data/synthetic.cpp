@@ -1,0 +1,135 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::data {
+
+namespace {
+// Invent a pronounceable word for vocabulary slot `index`.
+std::string invent_word(std::size_t index, Rng& rng) {
+  static const char* consonants = "bcdfghjklmnprstvwz";
+  static const char* vowels = "aeiou";
+  const std::size_t syllables = 1 + index % 3;
+  std::string word;
+  for (std::size_t s = 0; s < syllables; ++s) {
+    word += consonants[static_cast<std::size_t>(rng.uniform_int(0, 17))];
+    word += vowels[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  }
+  return word;
+}
+}  // namespace
+
+std::string synthetic_oscar_text(std::size_t num_words, Rng& rng,
+                                 std::size_t vocabulary_words) {
+  CARAML_CHECK_MSG(vocabulary_words >= 2, "need at least two words");
+  std::vector<std::string> vocabulary;
+  vocabulary.reserve(vocabulary_words);
+  for (std::size_t i = 0; i < vocabulary_words; ++i) {
+    vocabulary.push_back(invent_word(i, rng));
+  }
+  // Zipf weights: w_i ~ 1 / (i+1)^1.1.
+  std::vector<double> cumulative(vocabulary_words);
+  double total = 0.0;
+  for (std::size_t i = 0; i < vocabulary_words; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), 1.1);
+    cumulative[i] = total;
+  }
+
+  std::string text;
+  std::size_t words_in_sentence = 0;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    const double r = rng.uniform(0.0, total);
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    const std::size_t index =
+        static_cast<std::size_t>(it - cumulative.begin());
+    std::string word = vocabulary[std::min(index, vocabulary_words - 1)];
+    if (words_in_sentence == 0 && !word.empty()) {
+      word[0] = static_cast<char>(std::toupper(word[0]));
+    }
+    if (!text.empty()) text += " ";
+    text += word;
+    ++words_in_sentence;
+    if (words_in_sentence >= 5 &&
+        (words_in_sentence >= 14 || rng.next_double() < 0.2)) {
+      text += ".";
+      words_in_sentence = 0;
+    }
+  }
+  if (words_in_sentence > 0) text += ".";
+  return text;
+}
+
+TokenStream::TokenStream(std::vector<std::int32_t> tokens)
+    : tokens_(std::move(tokens)) {
+  CARAML_CHECK_MSG(tokens_.size() >= 2, "token stream too short");
+  for (std::int32_t t : tokens_) {
+    CARAML_CHECK_MSG(t >= 0, "negative token id");
+    max_token_ = std::max(max_token_, t);
+  }
+}
+
+TokenStream::Batch TokenStream::sample_batch(std::int64_t batch,
+                                             std::int64_t seq_len,
+                                             Rng& rng) const {
+  CARAML_CHECK_MSG(batch > 0 && seq_len > 0, "batch/seq must be positive");
+  CARAML_CHECK_MSG(static_cast<std::size_t>(seq_len) + 1 <= tokens_.size(),
+                   "sequence longer than the stream");
+  Batch out;
+  out.inputs = tensor::Tensor({batch, seq_len});
+  out.targets.resize(static_cast<std::size_t>(batch * seq_len));
+  const std::int64_t max_start =
+      static_cast<std::int64_t>(tokens_.size()) - seq_len - 1;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::int64_t start = rng.uniform_int(0, max_start);
+    for (std::int64_t t = 0; t < seq_len; ++t) {
+      out.inputs[b * seq_len + t] =
+          static_cast<float>(tokens_[static_cast<std::size_t>(start + t)]);
+      out.targets[static_cast<std::size_t>(b * seq_len + t)] =
+          tokens_[static_cast<std::size_t>(start + t + 1)];
+    }
+  }
+  return out;
+}
+
+SyntheticImageDataset::SyntheticImageDataset(std::int64_t num_classes,
+                                             std::int64_t channels,
+                                             std::int64_t height,
+                                             std::int64_t width,
+                                             std::uint64_t seed)
+    : num_classes_(num_classes),
+      channels_(channels),
+      height_(height),
+      width_(width) {
+  CARAML_CHECK_MSG(num_classes >= 2, "need at least two classes");
+  Rng rng(seed);
+  class_means_.resize(static_cast<std::size_t>(num_classes * channels));
+  for (auto& m : class_means_) {
+    m = static_cast<float>(rng.uniform(-1.5, 1.5));
+  }
+}
+
+SyntheticImageDataset::Batch SyntheticImageDataset::sample_batch(
+    std::int64_t batch, Rng& rng) const {
+  CARAML_CHECK_MSG(batch > 0, "batch must be positive");
+  Batch out;
+  out.images = tensor::Tensor({batch, channels_, height_, width_});
+  out.labels.resize(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const std::int64_t label = rng.uniform_int(0, num_classes_ - 1);
+    out.labels[static_cast<std::size_t>(i)] = label;
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float mu =
+          class_means_[static_cast<std::size_t>(label * channels_ + c)];
+      float* dst = out.images.data() + (i * channels_ + c) * height_ * width_;
+      for (std::int64_t p = 0; p < height_ * width_; ++p) {
+        dst[p] = mu + static_cast<float>(rng.normal(0.0, 1.0));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace caraml::data

@@ -1,0 +1,69 @@
+// Synthetic dataset generators.
+//
+// The paper's benchmarks accept real data (OSCAR / ImageNet) or synthetic
+// data (the `synthetic` JUBE tag). Without the proprietary corpora we
+// generate statistically similar substitutes: a Zipf-distributed word corpus
+// standing in for OSCAR text, and label-conditioned Gaussian images standing
+// in for ImageNet (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace caraml::data {
+
+/// Generate `num_words` words of OSCAR-like text: a vocabulary of invented
+/// words sampled under a Zipf(s≈1.1) law, sentence punctuation included.
+std::string synthetic_oscar_text(std::size_t num_words, Rng& rng,
+                                 std::size_t vocabulary_words = 512);
+
+/// A contiguous token stream with (input, target) batch sampling for
+/// autoregressive training: targets are inputs shifted by one.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<std::int32_t> tokens);
+
+  std::size_t size() const { return tokens_.size(); }
+
+  /// Sample a [batch, seq_len] token tensor and the matching batch*seq_len
+  /// next-token targets at random offsets.
+  struct Batch {
+    tensor::Tensor inputs;                  // [B, T] ids as floats
+    std::vector<std::int64_t> targets;      // B*T next-token ids
+  };
+  Batch sample_batch(std::int64_t batch, std::int64_t seq_len, Rng& rng) const;
+
+  /// Largest token id present (for sizing the model's vocabulary).
+  std::int32_t max_token() const { return max_token_; }
+
+ private:
+  std::vector<std::int32_t> tokens_;
+  std::int32_t max_token_ = 0;
+};
+
+/// Label-conditioned Gaussian image batches: class k images are N(mu_k, I)
+/// per channel, so a real model can actually learn to classify them.
+class SyntheticImageDataset {
+ public:
+  SyntheticImageDataset(std::int64_t num_classes, std::int64_t channels,
+                        std::int64_t height, std::int64_t width,
+                        std::uint64_t seed);
+
+  struct Batch {
+    tensor::Tensor images;                  // [N, C, H, W]
+    std::vector<std::int64_t> labels;       // N class ids
+  };
+  Batch sample_batch(std::int64_t batch, Rng& rng) const;
+
+  std::int64_t num_classes() const { return num_classes_; }
+
+ private:
+  std::int64_t num_classes_, channels_, height_, width_;
+  std::vector<float> class_means_;  // [num_classes * channels]
+};
+
+}  // namespace caraml::data

@@ -1,0 +1,93 @@
+#include "data/token_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace caraml::data {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'A', 'R', 'A', 'M', 'L', 'T', 'K'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_token_file(const std::string& path,
+                     const std::vector<std::int32_t>& tokens) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open token file for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = tokens.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  if (!tokens.empty()) {
+    out.write(reinterpret_cast<const char*>(tokens.data()),
+              static_cast<std::streamsize>(tokens.size() * sizeof(std::int32_t)));
+  }
+  if (!out) throw Error("short write to token file: " + path);
+}
+
+std::vector<std::int32_t> load_token_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open token file: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw ParseError("bad magic in token file: " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    throw ParseError("unsupported token-file version in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw ParseError("truncated token-file header: " + path);
+  std::vector<std::int32_t> tokens(count);
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(tokens.data()),
+            static_cast<std::streamsize>(count * sizeof(std::int32_t)));
+  }
+  if (!in) throw ParseError("token file shorter than its header claims: " + path);
+  return tokens;
+}
+
+PreprocessResult preprocess_corpus(const std::string& corpus,
+                                   std::size_t vocab_size,
+                                   const std::string& output_prefix) {
+  CARAML_CHECK_MSG(!corpus.empty(), "empty corpus");
+  BpeTokenizer tokenizer;
+  tokenizer.train(corpus, vocab_size);
+  const auto tokens = tokenizer.encode(corpus);
+  save_token_file(output_prefix + ".tokens", tokens);
+  {
+    std::ofstream out(output_prefix + ".bpe");
+    if (!out) throw Error("cannot write tokenizer: " + output_prefix + ".bpe");
+    out << tokenizer.save();
+  }
+  PreprocessResult result;
+  result.corpus_bytes = corpus.size();
+  result.num_tokens = tokens.size();
+  result.vocab_size = tokenizer.vocab_size();
+  result.bytes_per_token =
+      tokens.empty() ? 0.0
+                     : static_cast<double>(corpus.size()) /
+                           static_cast<double>(tokens.size());
+  return result;
+}
+
+std::vector<std::int32_t> load_preprocessed_tokens(
+    const std::string& output_prefix) {
+  return load_token_file(output_prefix + ".tokens");
+}
+
+BpeTokenizer load_preprocessed_tokenizer(const std::string& output_prefix) {
+  std::ifstream in(output_prefix + ".bpe");
+  if (!in) throw Error("cannot read tokenizer: " + output_prefix + ".bpe");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return BpeTokenizer::load(buffer.str());
+}
+
+}  // namespace caraml::data

@@ -1,0 +1,44 @@
+// Binary token-file format — the stand-in for Megatron-LM's preprocessed
+// dataset files (the paper ships "tokenized OSCAR data provided with the
+// repository"). Layout: 8-byte magic "CARAMLTK", u32 version, u64 token
+// count, then int32 token ids. Includes a one-call corpus preprocessor
+// (train tokenizer -> encode -> write) mirroring the Megatron preprocessing
+// step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/bpe.hpp"
+
+namespace caraml::data {
+
+/// Write tokens to `path`; throws caraml::Error on I/O failure.
+void save_token_file(const std::string& path,
+                     const std::vector<std::int32_t>& tokens);
+
+/// Read a token file written by save_token_file; validates magic/version
+/// and the token count against the file size.
+std::vector<std::int32_t> load_token_file(const std::string& path);
+
+struct PreprocessResult {
+  std::size_t corpus_bytes = 0;
+  std::size_t num_tokens = 0;
+  std::size_t vocab_size = 0;
+  double bytes_per_token = 0.0;  // compression achieved by BPE
+};
+
+/// The Megatron-style preprocessing pipeline: train a BPE tokenizer on the
+/// corpus, encode it, and write tokens + tokenizer merge table next to each
+/// other ("<prefix>.tokens" / "<prefix>.bpe").
+PreprocessResult preprocess_corpus(const std::string& corpus,
+                                   std::size_t vocab_size,
+                                   const std::string& output_prefix);
+
+/// Load the artifacts written by preprocess_corpus.
+std::vector<std::int32_t> load_preprocessed_tokens(
+    const std::string& output_prefix);
+BpeTokenizer load_preprocessed_tokenizer(const std::string& output_prefix);
+
+}  // namespace caraml::data

@@ -1,0 +1,373 @@
+#include "df/dataframe.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace caraml::df {
+
+std::string column_type_name(ColumnType type) {
+  switch (type) {
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kInt64: return "int64";
+    case ColumnType::kString: return "string";
+  }
+  return "unknown";
+}
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {}
+
+std::size_t Column::size() const {
+  switch (type_) {
+    case ColumnType::kDouble: return doubles_.size();
+    case ColumnType::kInt64: return ints_.size();
+    case ColumnType::kString: return strings_.size();
+  }
+  return 0;
+}
+
+void Column::push_back(const Value& value) {
+  switch (type_) {
+    case ColumnType::kDouble:
+      if (const auto* d = std::get_if<double>(&value)) {
+        doubles_.push_back(*d);
+        return;
+      }
+      if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        doubles_.push_back(static_cast<double>(*i));
+        return;
+      }
+      break;
+    case ColumnType::kInt64:
+      if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        ints_.push_back(*i);
+        return;
+      }
+      break;
+    case ColumnType::kString:
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        strings_.push_back(*s);
+        return;
+      }
+      break;
+  }
+  throw InvalidArgument("value type mismatch for column '" + name_ + "' (" +
+                        column_type_name(type_) + ")");
+}
+
+void Column::push_double(double v) { push_back(Value{v}); }
+void Column::push_int(std::int64_t v) { push_back(Value{v}); }
+void Column::push_string(std::string v) { push_back(Value{std::move(v)}); }
+
+double Column::as_double(std::size_t row) const {
+  CARAML_CHECK(row < size());
+  switch (type_) {
+    case ColumnType::kDouble: return doubles_[row];
+    case ColumnType::kInt64: return static_cast<double>(ints_[row]);
+    case ColumnType::kString:
+      throw InvalidArgument("as_double on string column '" + name_ + "'");
+  }
+  return 0.0;
+}
+
+std::int64_t Column::as_int(std::size_t row) const {
+  CARAML_CHECK(row < size());
+  switch (type_) {
+    case ColumnType::kInt64: return ints_[row];
+    case ColumnType::kDouble: return static_cast<std::int64_t>(doubles_[row]);
+    case ColumnType::kString:
+      throw InvalidArgument("as_int on string column '" + name_ + "'");
+  }
+  return 0;
+}
+
+const std::string& Column::as_string(std::size_t row) const {
+  CARAML_CHECK(row < size());
+  if (type_ != ColumnType::kString)
+    throw InvalidArgument("as_string on numeric column '" + name_ + "'");
+  return strings_[row];
+}
+
+std::string Column::to_text(std::size_t row) const {
+  CARAML_CHECK(row < size());
+  switch (type_) {
+    case ColumnType::kDouble: {
+      std::ostringstream os;
+      os.precision(10);
+      os << doubles_[row];
+      return os.str();
+    }
+    case ColumnType::kInt64: return std::to_string(ints_[row]);
+    case ColumnType::kString: return strings_[row];
+  }
+  return "";
+}
+
+double Column::sum() const {
+  if (type_ == ColumnType::kString)
+    throw InvalidArgument("sum on string column '" + name_ + "'");
+  double total = 0.0;
+  for (std::size_t r = 0; r < size(); ++r) total += as_double(r);
+  return total;
+}
+
+double Column::mean() const {
+  CARAML_CHECK_MSG(size() > 0, "mean of empty column '" + name_ + "'");
+  return sum() / static_cast<double>(size());
+}
+
+double Column::min() const {
+  CARAML_CHECK_MSG(size() > 0, "min of empty column '" + name_ + "'");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < size(); ++r) best = std::min(best, as_double(r));
+  return best;
+}
+
+double Column::max() const {
+  CARAML_CHECK_MSG(size() > 0, "max of empty column '" + name_ + "'");
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < size(); ++r) best = std::max(best, as_double(r));
+  return best;
+}
+
+void DataFrame::add_column(const std::string& name, ColumnType type) {
+  CARAML_CHECK_MSG(!has_column(name), "duplicate column '" + name + "'");
+  CARAML_CHECK_MSG(num_rows() == 0, "cannot add column to non-empty frame");
+  index_[name] = columns_.size();
+  columns_.emplace_back(name, type);
+}
+
+std::size_t DataFrame::num_rows() const {
+  return columns_.empty() ? 0 : columns_.front().size();
+}
+
+bool DataFrame::has_column(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+const Column& DataFrame::column(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw NotFound("no column '" + name + "'");
+  return columns_[it->second];
+}
+
+Column& DataFrame::column(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw NotFound("no column '" + name + "'");
+  return columns_[it->second];
+}
+
+const Column& DataFrame::column_at(std::size_t i) const {
+  CARAML_CHECK(i < columns_.size());
+  return columns_[i];
+}
+
+std::vector<std::string> DataFrame::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+void DataFrame::append_row(const std::vector<Value>& values) {
+  CARAML_CHECK_MSG(values.size() == columns_.size(),
+                   "row width mismatch in append_row");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(values[c]);
+  }
+}
+
+DataFrame DataFrame::filter(const std::vector<std::size_t>& row_indices) const {
+  DataFrame out;
+  for (const auto& c : columns_) out.add_column(c.name(), c.type());
+  for (std::size_t row : row_indices) {
+    CARAML_CHECK(row < num_rows());
+    std::vector<Value> values;
+    values.reserve(columns_.size());
+    for (const auto& c : columns_) {
+      switch (c.type()) {
+        case ColumnType::kDouble: values.emplace_back(c.as_double(row)); break;
+        case ColumnType::kInt64: values.emplace_back(c.as_int(row)); break;
+        case ColumnType::kString: values.emplace_back(c.as_string(row)); break;
+      }
+    }
+    out.append_row(values);
+  }
+  return out;
+}
+
+DataFrame DataFrame::select(const std::vector<std::string>& names) const {
+  DataFrame out;
+  for (const auto& name : names) {
+    const Column& src = column(name);
+    out.add_column(src.name(), src.type());
+  }
+  for (std::size_t row = 0; row < num_rows(); ++row) {
+    std::vector<Value> values;
+    for (const auto& name : names) {
+      const Column& src = column(name);
+      switch (src.type()) {
+        case ColumnType::kDouble: values.emplace_back(src.as_double(row)); break;
+        case ColumnType::kInt64: values.emplace_back(src.as_int(row)); break;
+        case ColumnType::kString: values.emplace_back(src.as_string(row)); break;
+      }
+    }
+    out.append_row(values);
+  }
+  return out;
+}
+
+void DataFrame::concat(const DataFrame& other) {
+  CARAML_CHECK_MSG(num_columns() == other.num_columns(),
+                   "concat: column count mismatch");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    CARAML_CHECK_MSG(columns_[c].name() == other.columns_[c].name() &&
+                         columns_[c].type() == other.columns_[c].type(),
+                     "concat: schema mismatch at column " + columns_[c].name());
+  }
+  for (std::size_t row = 0; row < other.num_rows(); ++row) {
+    std::vector<Value> values;
+    for (const auto& c : other.columns_) {
+      switch (c.type()) {
+        case ColumnType::kDouble: values.emplace_back(c.as_double(row)); break;
+        case ColumnType::kInt64: values.emplace_back(c.as_int(row)); break;
+        case ColumnType::kString: values.emplace_back(c.as_string(row)); break;
+      }
+    }
+    append_row(values);
+  }
+}
+
+std::string DataFrame::to_csv() const {
+  TextTable table(column_names());
+  for (std::size_t row = 0; row < num_rows(); ++row) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    for (const auto& c : columns_) cells.push_back(c.to_text(row));
+    table.add_row(std::move(cells));
+  }
+  return table.render_csv();
+}
+
+void DataFrame::to_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << to_csv();
+}
+
+namespace {
+
+// Minimal CSV line splitter with double-quote escaping.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+bool looks_numeric(const std::string& s) {
+  if (caraml::str::trim(s).empty()) return false;
+  try {
+    caraml::str::parse_double(s);
+    return true;
+  } catch (const ParseError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+DataFrame DataFrame::from_csv(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (caraml::str::trim(line).empty()) continue;
+    rows.push_back(split_csv_line(line));
+  }
+  if (rows.empty()) throw ParseError("from_csv: empty input");
+  const auto& header = rows.front();
+  DataFrame out;
+  // Infer column type from the data rows: numeric iff all values numeric.
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    bool numeric = rows.size() > 1;
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r].size() != header.size())
+        throw ParseError("from_csv: ragged row " + std::to_string(r));
+      if (!looks_numeric(rows[r][c])) {
+        numeric = false;
+        break;
+      }
+    }
+    out.add_column(header[c],
+                   numeric ? ColumnType::kDouble : ColumnType::kString);
+  }
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    std::vector<Value> values;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (out.column_at(c).type() == ColumnType::kDouble) {
+        values.emplace_back(caraml::str::parse_double(rows[r][c]));
+      } else {
+        values.emplace_back(rows[r][c]);
+      }
+    }
+    out.append_row(values);
+  }
+  return out;
+}
+
+DataFrame DataFrame::from_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv(buffer.str());
+}
+
+std::string DataFrame::to_string(std::size_t max_rows) const {
+  TextTable table(column_names());
+  const std::size_t limit = std::min(max_rows, num_rows());
+  for (std::size_t row = 0; row < limit; ++row) {
+    std::vector<std::string> cells;
+    for (const auto& c : columns_) cells.push_back(c.to_text(row));
+    table.add_row(std::move(cells));
+  }
+  std::string out = table.render();
+  if (limit < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - limit) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace caraml::df

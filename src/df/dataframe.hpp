@@ -1,0 +1,104 @@
+// A miniature column-oriented DataFrame.
+//
+// The Python jpwr stores power samples in Pandas DataFrames and exports them
+// to CSV/HDF5. This module reproduces the subset of that behaviour CARAML
+// needs: typed columns (double / int64 / string), row append, column
+// statistics, selection, concatenation and CSV round-tripping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace caraml::df {
+
+/// One cell value.
+using Value = std::variant<double, std::int64_t, std::string>;
+
+enum class ColumnType { kDouble, kInt64, kString };
+
+std::string column_type_name(ColumnType type);
+
+/// A typed column: a name plus a homogeneous value vector.
+class Column {
+ public:
+  Column(std::string name, ColumnType type);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  std::size_t size() const;
+
+  void push_back(const Value& value);  // throws on type mismatch
+  void push_double(double v);
+  void push_int(std::int64_t v);
+  void push_string(std::string v);
+
+  double as_double(std::size_t row) const;  // numeric columns only
+  std::int64_t as_int(std::size_t row) const;
+  const std::string& as_string(std::size_t row) const;
+
+  /// Render cell as text (CSV cell / table cell).
+  std::string to_text(std::size_t row) const;
+
+  // Aggregations over numeric columns; throw on string columns or empty data.
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::vector<double> doubles_;
+  std::vector<std::int64_t> ints_;
+  std::vector<std::string> strings_;
+};
+
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Declare columns up front (order preserved).
+  void add_column(const std::string& name, ColumnType type);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const;
+  bool empty() const { return num_rows() == 0; }
+
+  bool has_column(const std::string& name) const;
+  const Column& column(const std::string& name) const;
+  Column& column(const std::string& name);
+  const Column& column_at(std::size_t index) const;
+  std::vector<std::string> column_names() const;
+
+  /// Append a full row; values must match declared column count and types.
+  void append_row(const std::vector<Value>& values);
+
+  /// Rows where `predicate(row_index)` holds.
+  DataFrame filter(const std::vector<std::size_t>& row_indices) const;
+
+  /// New frame with only the given columns.
+  DataFrame select(const std::vector<std::string>& names) const;
+
+  /// Append all rows of `other` (schemas must match exactly).
+  void concat(const DataFrame& other);
+
+  /// CSV serialization (header row included).
+  std::string to_csv() const;
+  void to_csv_file(const std::string& path) const;
+
+  /// CSV parsing; numeric-looking columns become kDouble, others kString.
+  static DataFrame from_csv(const std::string& text);
+  static DataFrame from_csv_file(const std::string& path);
+
+  /// Pretty table (for terminal output).
+  std::string to_string(std::size_t max_rows = 20) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace caraml::df

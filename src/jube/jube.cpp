@@ -1,0 +1,271 @@
+#include "jube/jube.hpp"
+
+#include <algorithm>
+#include <regex>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::jube {
+
+bool Parameter::active(const std::set<std::string>& tags) const {
+  if (tag.empty()) return true;
+  if (str::starts_with(tag, "!")) return tags.count(tag.substr(1)) == 0;
+  return tags.count(tag) > 0;
+}
+
+bool Step::active(const std::set<std::string>& tags) const {
+  if (tag.empty()) return true;
+  if (str::starts_with(tag, "!")) return tags.count(tag.substr(1)) == 0;
+  return tags.count(tag) > 0;
+}
+
+void ActionRegistry::register_action(const std::string& name, Action action) {
+  CARAML_CHECK_MSG(!actions_.count(name), "duplicate action: " + name);
+  actions_[name] = std::move(action);
+}
+
+bool ActionRegistry::has(const std::string& name) const {
+  return actions_.count(name) > 0;
+}
+
+const Action& ActionRegistry::at(const std::string& name) const {
+  const auto it = actions_.find(name);
+  if (it == actions_.end()) throw NotFound("no registered action: " + name);
+  return it->second;
+}
+
+std::string substitute_context(const std::string& text,
+                               const Context& context) {
+  std::string out = text;
+  // Iterate so parameters may reference other parameters; bail out after a
+  // bounded number of passes to survive accidental cycles.
+  for (int pass = 0; pass < 8; ++pass) {
+    std::string next = out;
+    for (const auto& [name, value] : context) {
+      next = str::replace_all(next, "${" + name + "}", value);
+    }
+    if (next == out) break;
+    out = std::move(next);
+  }
+  return out;
+}
+
+void Benchmark::add_parameter_set(ParameterSet set) {
+  parameter_sets_.push_back(std::move(set));
+}
+
+void Benchmark::add_step(Step step) { steps_.push_back(std::move(step)); }
+
+void Benchmark::add_pattern(Pattern pattern) {
+  patterns_.push_back(std::move(pattern));
+}
+
+std::vector<Context> Benchmark::expand(
+    const std::set<std::string>& tags) const {
+  // Gather active parameters; a later parameter set overrides an earlier
+  // parameter of the same name (JUBE's override semantics).
+  std::vector<Parameter> active;
+  for (const auto& set : parameter_sets_) {
+    for (const auto& parameter : set.parameters) {
+      if (!parameter.active(tags)) continue;
+      const auto it = std::find_if(
+          active.begin(), active.end(),
+          [&](const Parameter& p) { return p.name == parameter.name; });
+      if (it != active.end()) {
+        *it = parameter;
+      } else {
+        active.push_back(parameter);
+      }
+    }
+  }
+
+  std::vector<Context> contexts = {Context{}};
+  for (const auto& parameter : active) {
+    CARAML_CHECK_MSG(!parameter.values.empty(),
+                     "parameter '" + parameter.name + "' has no values");
+    std::vector<Context> expanded;
+    expanded.reserve(contexts.size() * parameter.values.size());
+    for (const auto& base : contexts) {
+      for (const auto& value : parameter.values) {
+        Context next = base;
+        next[parameter.name] = value;
+        expanded.push_back(std::move(next));
+      }
+    }
+    contexts = std::move(expanded);
+  }
+
+  // Resolve ${...} references inside parameter values.
+  for (auto& context : contexts) {
+    for (auto& [name, value] : context) {
+      value = substitute_context(value, context);
+    }
+  }
+  return contexts;
+}
+
+std::vector<std::string> Benchmark::step_order() const {
+  // Kahn's algorithm over step dependencies.
+  std::map<std::string, std::vector<std::string>> successors;
+  std::map<std::string, int> in_degree;
+  for (const auto& step : steps_) {
+    if (!in_degree.count(step.name)) in_degree[step.name] = 0;
+    for (const auto& dep : step.depends) {
+      const bool known = std::any_of(
+          steps_.begin(), steps_.end(),
+          [&](const Step& s) { return s.name == dep; });
+      CARAML_CHECK_MSG(known, "step '" + step.name + "' depends on unknown '" +
+                                  dep + "'");
+      successors[dep].push_back(step.name);
+      ++in_degree[step.name];
+    }
+  }
+  std::vector<std::string> ready;
+  for (const auto& step : steps_) {
+    if (in_degree[step.name] == 0) ready.push_back(step.name);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string current = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(current);
+    for (const auto& succ : successors[current]) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  CARAML_CHECK_MSG(order.size() == steps_.size(),
+                   "cyclic step dependencies in benchmark '" + name_ + "'");
+  return order;
+}
+
+RunResult Benchmark::run(const ActionRegistry& registry,
+                         const std::set<std::string>& tags) const {
+  RunResult result;
+  const auto order = step_order();
+  for (const auto& context : expand(tags)) {
+    Workpackage wp;
+    wp.context = context;
+    for (const auto& step_name : order) {
+      const auto it = std::find_if(
+          steps_.begin(), steps_.end(),
+          [&](const Step& s) { return s.name == step_name; });
+      const Step& step = *it;
+      if (!step.active(tags)) continue;
+      const Action& action = registry.at(step.action_name);
+      wp.outputs[step.name] = action(wp.context);
+    }
+
+    // Analyse: run every pattern over the concatenated step outputs, keep
+    // the last match of group 1.
+    std::string all_output;
+    for (const auto& [step, output] : wp.outputs) {
+      all_output += output;
+      all_output += "\n";
+    }
+    for (const auto& pattern : patterns_) {
+      const std::regex re(pattern.regex);
+      std::string last;
+      for (auto it = std::sregex_iterator(all_output.begin(), all_output.end(),
+                                          re);
+           it != std::sregex_iterator(); ++it) {
+        if (it->size() >= 2) last = (*it)[1].str();
+      }
+      if (!last.empty()) wp.analysed[pattern.name] = last;
+    }
+    result.workpackages.push_back(std::move(wp));
+  }
+  return result;
+}
+
+TextTable RunResult::table(const std::vector<std::string>& columns) const {
+  TextTable table(columns);
+  for (const auto& wp : workpackages) {
+    std::vector<std::string> row;
+    row.reserve(columns.size());
+    for (const auto& column : columns) {
+      const auto analysed = wp.analysed.find(column);
+      if (analysed != wp.analysed.end()) {
+        row.push_back(analysed->second);
+        continue;
+      }
+      const auto param = wp.context.find(column);
+      row.push_back(param != wp.context.end() ? param->second : "");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+namespace {
+
+Parameter parse_parameter(const yaml::NodePtr& node) {
+  Parameter parameter;
+  parameter.name = node->at("name")->as_string();
+  parameter.tag = node->get_or("tag", "");
+  const yaml::NodePtr values = node->find("values");
+  if (values && values->is_sequence()) {
+    for (const auto& value : values->items()) {
+      parameter.values.push_back(value->as_string());
+    }
+  } else if (values && values->is_scalar()) {
+    // Comma-separated scalar, as JUBE allows: "16,32,64".
+    for (const auto& piece : str::split(values->as_string(), ',')) {
+      parameter.values.push_back(str::trim(piece));
+    }
+  } else {
+    throw ParseError("parameter '" + parameter.name + "' needs values");
+  }
+  return parameter;
+}
+
+}  // namespace
+
+Benchmark Benchmark::from_yaml(const yaml::NodePtr& root) {
+  CARAML_CHECK_MSG(root && root->is_map(), "JUBE YAML root must be a map");
+  const yaml::NodePtr bench_node = root->find("benchmark");
+  CARAML_CHECK_MSG(bench_node != nullptr, "missing 'benchmark' key");
+  Benchmark benchmark(bench_node->is_map()
+                          ? bench_node->get_or("name", "unnamed")
+                          : bench_node->as_string());
+
+  if (const yaml::NodePtr sets = root->find("parametersets")) {
+    for (const auto& set_node : sets->items()) {
+      ParameterSet set;
+      set.name = set_node->at("name")->as_string();
+      for (const auto& p : set_node->at("parameters")->items()) {
+        set.parameters.push_back(parse_parameter(p));
+      }
+      benchmark.add_parameter_set(std::move(set));
+    }
+  }
+  if (const yaml::NodePtr steps = root->find("steps")) {
+    for (const auto& step_node : steps->items()) {
+      Step step;
+      step.name = step_node->at("name")->as_string();
+      step.action_name = step_node->get_or("do", step.name);
+      step.tag = step_node->get_or("tag", "");
+      if (const yaml::NodePtr deps = step_node->find("depend")) {
+        if (deps->is_sequence()) {
+          for (const auto& d : deps->items()) step.depends.push_back(d->as_string());
+        } else {
+          step.depends.push_back(deps->as_string());
+        }
+      }
+      benchmark.add_step(std::move(step));
+    }
+  }
+  if (const yaml::NodePtr patterns = root->find("patterns")) {
+    for (const auto& p : patterns->items()) {
+      benchmark.add_pattern(
+          Pattern{p->at("name")->as_string(), p->at("regex")->as_string()});
+    }
+  }
+  return benchmark;
+}
+
+Benchmark Benchmark::from_yaml_file(const std::string& path) {
+  return from_yaml(yaml::parse_file(path));
+}
+
+}  // namespace caraml::jube

@@ -1,0 +1,129 @@
+// An in-process reimplementation of the JUBE workflow engine's core
+// semantics (paper §III-A3, references [29], [30]):
+//
+//  * parameter sets whose parameters carry value *lists*; a benchmark run
+//    expands the cartesian product into workpackages,
+//  * tag filtering: parameters and steps can be restricted to tags passed at
+//    run time (`jube run ... --tag A100` in the paper),
+//  * steps with dependencies, executed per workpackage with ${param}
+//    substitution,
+//  * analyser patterns (regex) that extract figures of merit from step
+//    output, and
+//  * a compact tabular result view (`jube result`).
+//
+// Where the real JUBE shells out to Slurm, this engine invokes registered
+// C++ actions in-process — the scheduling layer is incidental to CARAML's
+// results (DESIGN.md §2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+#include "yaml/yaml.hpp"
+
+namespace caraml::jube {
+
+/// Execution context of one workpackage: parameter name -> value.
+using Context = std::map<std::string, std::string>;
+
+/// One parameter: a name and one or more values. A non-empty `tag` makes the
+/// parameter active only when that tag is passed ("!tag" = active unless).
+struct Parameter {
+  std::string name;
+  std::vector<std::string> values;
+  std::string tag;
+
+  bool active(const std::set<std::string>& tags) const;
+};
+
+struct ParameterSet {
+  std::string name;
+  std::vector<Parameter> parameters;
+};
+
+/// A step action: receives the substituted context, returns its "output"
+/// text (stdout of the job in real JUBE).
+using Action = std::function<std::string(const Context&)>;
+
+struct Step {
+  std::string name;
+  std::vector<std::string> depends;
+  std::string action_name;  // looked up in the ActionRegistry
+  std::string tag;          // optional tag filter, as for parameters
+
+  bool active(const std::set<std::string>& tags) const;
+};
+
+/// Regex pattern extracting a figure of merit from step outputs; the last
+/// match of capture group 1 wins (JUBE's default reduce).
+struct Pattern {
+  std::string name;
+  std::string regex;
+};
+
+/// Registered C++ actions steps can invoke.
+class ActionRegistry {
+ public:
+  void register_action(const std::string& name, Action action);
+  bool has(const std::string& name) const;
+  const Action& at(const std::string& name) const;
+
+ private:
+  std::map<std::string, Action> actions_;
+};
+
+struct Workpackage {
+  Context context;                          // expanded parameters
+  std::map<std::string, std::string> outputs;  // step name -> output text
+  Context analysed;                         // pattern name -> extracted value
+};
+
+struct RunResult {
+  std::vector<Workpackage> workpackages;
+
+  /// JUBE-style result table over parameter/pattern columns.
+  TextTable table(const std::vector<std::string>& columns) const;
+};
+
+class Benchmark {
+ public:
+  explicit Benchmark(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_parameter_set(ParameterSet set);
+  void add_step(Step step);
+  void add_pattern(Pattern pattern);
+
+  /// Expand parameters (cartesian product of all active parameters) into
+  /// workpackage contexts, without running steps.
+  std::vector<Context> expand(const std::set<std::string>& tags) const;
+
+  /// Full run: expand, execute steps in dependency order, apply patterns.
+  RunResult run(const ActionRegistry& registry,
+                const std::set<std::string>& tags) const;
+
+  /// Load benchmark structure (parametersets, steps, patterns) from a JUBE
+  /// YAML script. Step "do" entries name registered actions.
+  static Benchmark from_yaml(const yaml::NodePtr& root);
+  static Benchmark from_yaml_file(const std::string& path);
+
+ private:
+  std::vector<std::string> step_order() const;  // topological
+
+  std::string name_;
+  std::vector<ParameterSet> parameter_sets_;
+  std::vector<Step> steps_;
+  std::vector<Pattern> patterns_;
+};
+
+/// Substitute ${param} placeholders from the context (iteratively, so
+/// parameters may reference other parameters).
+std::string substitute_context(const std::string& text, const Context& context);
+
+}  // namespace caraml::jube

@@ -1,0 +1,90 @@
+// Analytic cost model of GPT decoder training, following the Megatron-LM
+// accounting (Narayanan et al., "Efficient large-scale language model
+// training on GPU clusters using Megatron-LM", the paper's reference [2]).
+//
+// CARAML trains a GPT model from scratch on tokenized OSCAR data; the paper
+// uses 117M (Graphcore), 800M (NVIDIA/AMD) and provides 13B / 175B configs.
+// This model supplies FLOPs, parameter counts, memory footprints and
+// communication volumes to the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace caraml::models {
+
+/// GPT decoder architecture description.
+struct GptConfig {
+  std::string name;
+  int num_layers = 0;
+  int hidden_size = 0;
+  int num_heads = 0;
+  int seq_length = 0;
+  int vocab_size = 50257;  // GPT-2 tokenizer (paper §III-A1)
+
+  // Optimization features the paper's Megatron-LM setup uses (§III-A1).
+  bool flash_attention = true;
+  bool rotary_embeddings = true;
+  bool distributed_optimizer = true;
+  bool mixed_precision = true;
+  bool activation_recompute = false;  // full recompute off by default
+  bool sequence_parallel = false;
+
+  /// Presets matching the paper's model sizes.
+  static GptConfig gpt_117m();  // GPT-2 small; Graphcore benchmark
+  static GptConfig gpt_800m();  // NVIDIA / AMD benchmark (16 x 2048)
+  static GptConfig gpt_13b();
+  static GptConfig gpt_175b();
+
+  /// Transformer-block parameters: 12 * L * h^2 (+ biases/LN, included).
+  double transformer_parameters() const;
+  /// Embedding (+ LM head, tied) parameters: V * h.
+  double embedding_parameters() const;
+  double total_parameters() const;
+
+  /// FLOPs for one token, forward pass only:
+  /// 24*L*h^2 * (1 + s/(6h) + V/(16*L*h)) per token (Megatron formula).
+  double flops_per_token_forward() const;
+
+  /// Training FLOPs per token: 3x forward (backward = 2x forward), plus one
+  /// extra forward when full activation recomputation is on.
+  double flops_per_token_train() const;
+
+  /// FLOPs per iteration for a given global batch (in sequences).
+  double flops_per_iteration(std::int64_t global_batch) const;
+  std::int64_t tokens_per_iteration(std::int64_t global_batch) const;
+};
+
+/// Memory footprint of one model replica shard.
+struct GptMemoryModel {
+  GptConfig config;
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  int data_parallel = 1;
+  int micro_batch = 1;
+
+  /// Weights + gradients + optimizer state per device, bytes.
+  /// Mixed-precision Adam: 2 (fp16 weights) + 4 (fp32 grads) + 8 (Adam m,v)
+  /// + 4 (fp32 master weights) = 18 bytes/param; the distributed optimizer
+  /// shards the 12 bytes of optimizer+master state across data-parallel
+  /// ranks (paper §III-A1 uses distributed optimizers).
+  double model_state_bytes() const;
+
+  /// Activation bytes per device for one micro-batch, following Korthikanti
+  /// et al. (paper reference [4]): ~s*b*h*(34 + 5*a*s/h) bytes per layer
+  /// without optimizations; flash attention + sequence parallelism reduce the
+  /// attention term.
+  double activation_bytes() const;
+
+  /// Fixed framework overhead (CUDA context, NCCL buffers, workspace).
+  double workspace_bytes() const { return 4.0e9; }
+
+  double total_bytes() const {
+    return model_state_bytes() + activation_bytes() + workspace_bytes();
+  }
+
+  /// Gradient bytes all-reduced (or reduce-scattered) per iteration.
+  double gradient_comm_bytes() const;
+};
+
+}  // namespace caraml::models

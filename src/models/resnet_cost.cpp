@@ -1,0 +1,157 @@
+#include "models/resnet_cost.hpp"
+
+#include "util/error.hpp"
+
+namespace caraml::models {
+
+double ConvLayerSpec::forward_flops() const {
+  // 2 * MACs; the FC head is expressed as a 1x1 "conv" over a 1x1 map.
+  return 2.0 * kernel * kernel * in_channels * out_channels *
+         static_cast<double>(out_h) * out_w;
+}
+
+double ConvLayerSpec::parameters() const {
+  double weights = static_cast<double>(kernel) * kernel * in_channels *
+                   out_channels;
+  // Batch-norm gamma/beta per output channel (the FC head instead has a
+  // bias; same count).
+  weights += 2.0 * out_channels;
+  return weights;
+}
+
+double ConvLayerSpec::activation_elements() const {
+  return static_cast<double>(out_channels) * out_h * out_w;
+}
+
+std::string resnet_variant_name(ResNetVariant variant) {
+  switch (variant) {
+    case ResNetVariant::kResNet18: return "ResNet18";
+    case ResNetVariant::kResNet34: return "ResNet34";
+    case ResNetVariant::kResNet50: return "ResNet50";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct StagePlan {
+  int blocks;
+  int width;  // base width of the stage (64, 128, 256, 512)
+};
+
+void add_conv(ResNetModel& model, const std::string& name, int in_ch,
+              int out_ch, int kernel, int stride, int in_size) {
+  ConvLayerSpec layer;
+  layer.name = name;
+  layer.in_channels = in_ch;
+  layer.out_channels = out_ch;
+  layer.kernel = kernel;
+  layer.stride = stride;
+  layer.out_h = (in_size + stride - 1) / stride;
+  layer.out_w = layer.out_h;
+  model.layers.push_back(layer);
+}
+
+// A basic residual block (ResNet18/34): two 3x3 convs.
+int add_basic_block(ResNetModel& model, const std::string& name, int in_ch,
+                    int width, int stride, int in_size) {
+  add_conv(model, name + ".conv1", in_ch, width, 3, stride, in_size);
+  const int mid_size = (in_size + stride - 1) / stride;
+  add_conv(model, name + ".conv2", width, width, 3, 1, mid_size);
+  if (stride != 1 || in_ch != width) {
+    add_conv(model, name + ".downsample", in_ch, width, 1, stride, in_size);
+  }
+  return mid_size;
+}
+
+// A bottleneck block (ResNet50): 1x1 reduce, 3x3, 1x1 expand (4x width).
+int add_bottleneck_block(ResNetModel& model, const std::string& name,
+                         int in_ch, int width, int stride, int in_size) {
+  const int out_ch = width * 4;
+  add_conv(model, name + ".conv1", in_ch, width, 1, 1, in_size);
+  add_conv(model, name + ".conv2", width, width, 3, stride, in_size);
+  const int mid_size = (in_size + stride - 1) / stride;
+  add_conv(model, name + ".conv3", width, out_ch, 1, 1, mid_size);
+  if (stride != 1 || in_ch != out_ch) {
+    add_conv(model, name + ".downsample", in_ch, out_ch, 1, stride, in_size);
+  }
+  return mid_size;
+}
+
+}  // namespace
+
+ResNetModel ResNetModel::build(ResNetVariant variant, int image_size,
+                               int num_classes) {
+  CARAML_CHECK_MSG(image_size >= 32, "image size too small for ResNet");
+  ResNetModel model;
+  model.variant = variant;
+  model.image_size = image_size;
+  model.num_classes = num_classes;
+
+  const bool bottleneck = variant == ResNetVariant::kResNet50;
+  std::vector<StagePlan> stages;
+  switch (variant) {
+    case ResNetVariant::kResNet18:
+      stages = {{2, 64}, {2, 128}, {2, 256}, {2, 512}};
+      break;
+    case ResNetVariant::kResNet34:
+    case ResNetVariant::kResNet50:
+      stages = {{3, 64}, {4, 128}, {6, 256}, {3, 512}};
+      break;
+  }
+
+  // Stem: 7x7/2 conv + 3x3/2 max-pool.
+  add_conv(model, "conv1", 3, 64, 7, 2, image_size);
+  int size = (image_size + 1) / 2;  // after conv1
+  size = (size + 1) / 2;            // after max-pool
+  int channels = 64;
+
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const StagePlan& stage = stages[s];
+    for (int b = 0; b < stage.blocks; ++b) {
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      const std::string name =
+          "layer" + std::to_string(s + 1) + "." + std::to_string(b);
+      if (bottleneck) {
+        size = add_bottleneck_block(model, name, channels, stage.width, stride,
+                                    size);
+        channels = stage.width * 4;
+      } else {
+        size = add_basic_block(model, name, channels, stage.width, stride,
+                               size);
+        channels = stage.width;
+      }
+    }
+  }
+
+  // Global average pool + FC head, expressed as a 1x1 conv over a 1x1 map.
+  add_conv(model, "fc", channels, num_classes, 1, 1, 1);
+  return model;
+}
+
+double ResNetModel::forward_flops_per_image() const {
+  double total = 0.0;
+  for (const auto& layer : layers) total += layer.forward_flops();
+  return total;
+}
+
+double ResNetModel::total_parameters() const {
+  double total = 0.0;
+  for (const auto& layer : layers) total += layer.parameters();
+  return total;
+}
+
+double ResNetModel::activation_bytes_per_image() const {
+  double elements = 0.0;
+  for (const auto& layer : layers) elements += layer.activation_elements();
+  // Mixed precision stores fp16 activations; BN/ReLU bookkeeping and
+  // gradient buffers roughly double the footprint.
+  return elements * 2.0 * 2.0;
+}
+
+double ResNetModel::model_state_bytes() const {
+  // fp32 weights + fp32 gradients + fp32 momentum + fp16 compute copy.
+  return total_parameters() * (4.0 + 4.0 + 4.0 + 2.0);
+}
+
+}  // namespace caraml::models

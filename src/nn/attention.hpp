@@ -1,0 +1,39 @@
+// Multi-head causal self-attention — the transformer core operation the
+// paper highlights (quadratic in sequence length, matrix products of token
+// representations).
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace caraml::nn {
+
+class CausalSelfAttention : public Module {
+ public:
+  CausalSelfAttention(std::int64_t embed_dim, std::int64_t num_heads,
+                      Rng& rng);
+
+  /// input [B, T, C] -> output [B, T, C].
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  std::int64_t num_heads() const { return num_heads_; }
+
+ private:
+  std::int64_t embed_dim_;
+  std::int64_t num_heads_;
+  std::int64_t head_dim_;
+  std::shared_ptr<Linear> qkv_;
+  std::shared_ptr<Linear> proj_;
+
+  // Forward caches.
+  std::int64_t batch_ = 0;
+  std::int64_t time_ = 0;
+  Tensor cached_qkv_;                 // [B*T, 3C]
+  std::vector<Tensor> cached_att_;    // per (b, h): [T, T] post-softmax
+};
+
+}  // namespace caraml::nn

@@ -1,0 +1,156 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               Rng& rng)
+    : weight_("conv_weight",
+              Tensor::randn({out_channels, in_channels, kernel, kernel}, rng,
+                            std::sqrt(2.0f / static_cast<float>(
+                                                 in_channels * kernel * kernel)))) {
+  args_.stride = stride;
+  args_.padding = padding;
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  cached_input_ = input;
+  return tensor::conv2d(input, weight_.value, args_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  Tensor dw = tensor::conv2d_backward_weight(grad_output, cached_input_,
+                                             weight_.value.shape(), args_);
+  tensor::add_inplace(weight_.grad, dw);
+  return tensor::conv2d_backward_input(grad_output, weight_.value,
+                                       cached_input_.shape(), args_);
+}
+
+std::vector<Parameter*> Conv2d::parameters() { return {&weight_}; }
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : gamma_("bn_gamma", Tensor::ones({channels})),
+      beta_("bn_beta", Tensor::zeros({channels})),
+      eps_(eps),
+      momentum_(momentum),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  CARAML_CHECK_MSG(input.rank() == 4, "BatchNorm2d expects NCHW");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  CARAML_CHECK_MSG(c == gamma_.value.numel(), "BatchNorm channel mismatch");
+  const std::int64_t count = n * h * w;
+  CARAML_CHECK_MSG(count > 0, "BatchNorm over empty batch");
+
+  cached_shape_ = input.shape();
+  cached_xhat_ = Tensor(input.shape());
+  cached_inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
+  Tensor out(input.shape());
+
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double total = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = input.data() + (img * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) total += src[i];
+    }
+    const float mu = static_cast<float>(total / count);
+    double var = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = input.data() + (img * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        const double d = src[i] - mu;
+        var += d * d;
+      }
+    }
+    const float variance = static_cast<float>(var / count);
+    const float inv_std = 1.0f / std::sqrt(variance + eps_);
+    cached_inv_std_[static_cast<std::size_t>(ch)] = inv_std;
+    running_mean_[ch] =
+        (1.0f - momentum_) * running_mean_[ch] + momentum_ * mu;
+    running_var_[ch] =
+        (1.0f - momentum_) * running_var_[ch] + momentum_ * variance;
+
+    const float g = gamma_.value[ch];
+    const float b = beta_.value[ch];
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = input.data() + (img * c + ch) * h * w;
+      float* xh = cached_xhat_.data() + (img * c + ch) * h * w;
+      float* dst = out.data() + (img * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        xh[i] = (src[i] - mu) * inv_std;
+        dst[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  CARAML_CHECK_MSG(grad_output.shape() == cached_shape_,
+                   "BatchNorm backward shape mismatch");
+  const std::int64_t n = cached_shape_[0], c = cached_shape_[1],
+                     h = cached_shape_[2], w = cached_shape_[3];
+  const std::int64_t count = n * h * w;
+  Tensor dinput(cached_shape_);
+
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double sum_g = 0.0;
+    double sum_g_xhat = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* g = grad_output.data() + (img * c + ch) * h * w;
+      const float* xh = cached_xhat_.data() + (img * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        sum_g += g[i];
+        sum_g_xhat += static_cast<double>(g[i]) * xh[i];
+      }
+    }
+    gamma_.grad[ch] += static_cast<float>(sum_g_xhat);
+    beta_.grad[ch] += static_cast<float>(sum_g);
+
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(ch)];
+    const float gamma = gamma_.value[ch];
+    const float mean_g = static_cast<float>(sum_g / count);
+    const float mean_g_xhat = static_cast<float>(sum_g_xhat / count);
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* g = grad_output.data() + (img * c + ch) * h * w;
+      const float* xh = cached_xhat_.data() + (img * c + ch) * h * w;
+      float* dx = dinput.data() + (img * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        dx[i] = gamma * inv_std * (g[i] - mean_g - xh[i] * mean_g_xhat);
+      }
+    }
+  }
+  return dinput;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return tensor::maxpool2d(input, kernel_, &cached_indices_);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  return tensor::maxpool2d_backward(grad_output, cached_input_shape_,
+                                    cached_indices_);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return tensor::global_avg_pool(input);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  return tensor::global_avg_pool_backward(grad_output, cached_input_shape_);
+}
+
+}  // namespace caraml::nn

@@ -1,0 +1,75 @@
+// Convolutional layers for the ResNet path: Conv2d, BatchNorm2d, MaxPool2d,
+// global average pooling, and a flattening classifier head.
+#pragma once
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace caraml::nn {
+
+class Conv2d : public Module {
+ public:
+  /// He-initialized [out, in, k, k] weights, no bias (BatchNorm follows).
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         Rng& rng);
+
+  Tensor forward(const Tensor& input) override;   // NCHW
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  Parameter& weight() { return weight_; }
+
+ private:
+  Parameter weight_;
+  tensor::Conv2dArgs args_;
+  Tensor cached_input_;
+};
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input) override;   // NCHW, training statistics
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  Parameter gamma_;
+  Parameter beta_;
+  float eps_;
+  float momentum_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // caches
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  tensor::Shape cached_shape_;
+};
+
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::int64_t kernel) : kernel_(kernel) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::int64_t kernel_;
+  tensor::Shape cached_input_shape_;
+  std::vector<std::int64_t> cached_indices_;
+};
+
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;   // NCHW -> [N, C]
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  tensor::Shape cached_input_shape_;
+};
+
+}  // namespace caraml::nn

@@ -1,0 +1,32 @@
+#include "nn/dropout.hpp"
+
+#include "util/error.hpp"
+
+namespace caraml::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  CARAML_CHECK_MSG(p >= 0.0f && p < 1.0f, "drop probability must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || p_ == 0.0f) {
+    mask_ = Tensor();
+    return input;
+  }
+  const float scale = 1.0f / (1.0f - p_);
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const bool keep = rng_.next_double() >= p_;
+    mask_[i] = keep ? scale : 0.0f;
+    out[i] = input[i] * mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;  // eval mode / p == 0
+  return tensor::mul(grad_output, mask_);
+}
+
+}  // namespace caraml::nn

@@ -1,0 +1,32 @@
+// Inverted dropout with a deterministic per-module RNG stream, so training
+// runs are reproducible across replicas (the data-parallel trainer relies on
+// bit-identical replicas).
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace caraml::nn {
+
+class Dropout : public Module {
+ public:
+  /// `p` is the drop probability. The module starts in training mode;
+  /// eval() turns it into an exact identity.
+  Dropout(float p, std::uint64_t seed);
+
+  void train() { training_ = true; }
+  void eval() { training_ = false; }
+  bool is_training() const { return training_; }
+  float p() const { return p_; }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  float p_;
+  bool training_ = true;
+  Rng rng_;
+  Tensor mask_;  // scaled keep-mask of the last forward
+};
+
+}  // namespace caraml::nn

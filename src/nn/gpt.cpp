@@ -1,0 +1,203 @@
+#include "nn/gpt.hpp"
+
+#include "util/error.hpp"
+
+namespace caraml::nn {
+
+using tensor::Tensor;
+
+TransformerBlock::TransformerBlock(std::int64_t embed_dim,
+                                   std::int64_t num_heads, Rng& rng)
+    : embed_dim_(embed_dim),
+      ln1_(std::make_shared<LayerNorm>(embed_dim)),
+      attn_(std::make_shared<CausalSelfAttention>(embed_dim, num_heads, rng)),
+      ln2_(std::make_shared<LayerNorm>(embed_dim)),
+      fc_in_(std::make_shared<Linear>(embed_dim, 4 * embed_dim, rng)),
+      act_(std::make_shared<Gelu>()),
+      fc_out_(std::make_shared<Linear>(4 * embed_dim, embed_dim, rng)) {}
+
+Tensor TransformerBlock::forward(const Tensor& input) {
+  CARAML_CHECK_MSG(input.rank() == 3 && input.dim(2) == embed_dim_,
+                   "block expects [B, T, C]");
+  batch_ = input.dim(0);
+  time_ = input.dim(1);
+  const std::int64_t n = batch_ * time_;
+
+  // x = input + attn(ln1(input))
+  Tensor ln1_out = ln1_->forward(input.reshape({n, embed_dim_}));
+  Tensor attn_out = attn_->forward(ln1_out.reshape({batch_, time_, embed_dim_}));
+  Tensor x = tensor::add(input, attn_out);
+
+  // x = x + mlp(ln2(x))
+  Tensor ln2_out = ln2_->forward(x.reshape({n, embed_dim_}));
+  Tensor mlp = fc_out_->forward(act_->forward(fc_in_->forward(ln2_out)));
+  Tensor out = tensor::add(x, mlp.reshape({batch_, time_, embed_dim_}));
+  return out;
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_output) {
+  const std::int64_t n = batch_ * time_;
+  CARAML_CHECK_MSG(grad_output.rank() == 3, "block backward expects [B, T, C]");
+
+  // out = x + mlp(ln2(x)): grad flows through both branches.
+  Tensor g_flat = grad_output.reshape({n, embed_dim_});
+  Tensor d_mlp = fc_in_->backward(
+      act_->backward(fc_out_->backward(g_flat)));       // d ln2_out
+  Tensor d_x_from_ln2 = ln2_->backward(d_mlp);           // [n, C]
+  Tensor d_x = tensor::add(g_flat, d_x_from_ln2);        // residual
+
+  // x = input + attn(ln1(input)).
+  Tensor d_attn_in = attn_->backward(d_x.reshape({batch_, time_, embed_dim_}));
+  Tensor d_input_from_ln1 =
+      ln1_->backward(d_attn_in.reshape({n, embed_dim_}));
+  Tensor d_input = tensor::add(d_x, d_input_from_ln1);
+  return d_input.reshape({batch_, time_, embed_dim_});
+}
+
+std::vector<Parameter*> TransformerBlock::parameters() {
+  std::vector<Parameter*> out;
+  for (auto* m : {static_cast<Module*>(ln1_.get()),
+                  static_cast<Module*>(attn_.get()),
+                  static_cast<Module*>(ln2_.get()),
+                  static_cast<Module*>(fc_in_.get()),
+                  static_cast<Module*>(fc_out_.get())}) {
+    for (Parameter* p : m->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+GptModel::GptModel(GptModelConfig config, Rng& rng)
+    : config_(config),
+      tok_emb_(std::make_shared<Embedding>(config.vocab_size, config.embed_dim,
+                                           rng)),
+      pos_emb_("pos_emb", Tensor::randn({config.block_size, config.embed_dim},
+                                        rng, 0.02f)),
+      ln_f_(std::make_shared<LayerNorm>(config.embed_dim)),
+      lm_head_(std::make_shared<Linear>(config.embed_dim, config.vocab_size,
+                                        rng, /*bias=*/false)) {
+  CARAML_CHECK_MSG(config.num_layers >= 1, "GPT needs at least one layer");
+  blocks_.reserve(static_cast<std::size_t>(config.num_layers));
+  for (std::int64_t i = 0; i < config.num_layers; ++i) {
+    blocks_.push_back(std::make_shared<TransformerBlock>(config.embed_dim,
+                                                         config.num_heads,
+                                                         rng));
+  }
+}
+
+Tensor GptModel::forward(const Tensor& tokens) {
+  CARAML_CHECK_MSG(tokens.rank() == 2, "GPT expects tokens [B, T]");
+  batch_ = tokens.dim(0);
+  time_ = tokens.dim(1);
+  CARAML_CHECK_MSG(time_ <= config_.block_size,
+                   "sequence longer than block size");
+  const std::int64_t n = batch_ * time_;
+  const std::int64_t c = config_.embed_dim;
+
+  Tensor x = tok_emb_->forward(tokens);  // [n, C]
+  for (std::int64_t b = 0; b < batch_; ++b) {
+    for (std::int64_t t = 0; t < time_; ++t) {
+      float* row = x.data() + (b * time_ + t) * c;
+      const float* pos = pos_emb_.value.data() + t * c;
+      for (std::int64_t j = 0; j < c; ++j) row[j] += pos[j];
+    }
+  }
+
+  Tensor h = x.reshape({batch_, time_, c});
+  for (auto& block : blocks_) h = block->forward(h);
+
+  Tensor hn = ln_f_->forward(h.reshape({n, c}));
+  return lm_head_->forward(hn);  // [n, vocab]
+}
+
+Tensor GptModel::backward(const Tensor& grad_logits) {
+  const std::int64_t n = batch_ * time_;
+  const std::int64_t c = config_.embed_dim;
+  CARAML_CHECK_MSG(grad_logits.rank() == 2 && grad_logits.dim(0) == n,
+                   "GPT backward expects [B*T, vocab]");
+
+  Tensor g = ln_f_->backward(lm_head_->backward(grad_logits));  // [n, C]
+  Tensor h = g.reshape({batch_, time_, c});
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    h = (*it)->backward(h);
+  }
+
+  Tensor d_emb = h.reshape({n, c});
+  // Positional-embedding gradient: sum over batch.
+  for (std::int64_t b = 0; b < batch_; ++b) {
+    for (std::int64_t t = 0; t < time_; ++t) {
+      const float* row = d_emb.data() + (b * time_ + t) * c;
+      float* pos = pos_emb_.grad.data() + t * c;
+      for (std::int64_t j = 0; j < c; ++j) pos[j] += row[j];
+    }
+  }
+  tok_emb_->backward(d_emb);
+  return Tensor();  // token ids carry no gradient
+}
+
+std::vector<Parameter*> GptModel::parameters() {
+  std::vector<Parameter*> out = tok_emb_->parameters();
+  out.push_back(&pos_emb_);
+  for (auto& block : blocks_) {
+    for (Parameter* p : block->parameters()) out.push_back(p);
+  }
+  for (Parameter* p : ln_f_->parameters()) out.push_back(p);
+  for (Parameter* p : lm_head_->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::int64_t> GptModel::generate(
+    const std::vector<std::int64_t>& prompt, std::int64_t new_tokens,
+    float temperature, Rng& rng) {
+  CARAML_CHECK_MSG(!prompt.empty(), "generation needs a non-empty prompt");
+  CARAML_CHECK_MSG(temperature >= 0.0f, "temperature must be non-negative");
+  std::vector<std::int64_t> sequence = prompt;
+  const std::int64_t vocab = config_.vocab_size;
+
+  for (std::int64_t step = 0; step < new_tokens; ++step) {
+    // Sliding context window of at most block_size tokens.
+    const std::int64_t context =
+        std::min<std::int64_t>(static_cast<std::int64_t>(sequence.size()),
+                               config_.block_size);
+    Tensor tokens({1, context});
+    for (std::int64_t t = 0; t < context; ++t) {
+      tokens[t] = static_cast<float>(
+          sequence[sequence.size() - static_cast<std::size_t>(context - t)]);
+    }
+    const Tensor logits = forward(tokens);  // [context, vocab]
+    const float* last = logits.data() + (context - 1) * vocab;
+
+    std::int64_t next = 0;
+    if (temperature == 0.0f) {
+      for (std::int64_t v = 1; v < vocab; ++v) {
+        if (last[v] > last[next]) next = v;
+      }
+    } else {
+      Tensor scaled({1, vocab});
+      for (std::int64_t v = 0; v < vocab; ++v) {
+        scaled[v] = last[v] / temperature;
+      }
+      const Tensor probs = tensor::softmax_rows(scaled);
+      double r = rng.next_double();
+      for (std::int64_t v = 0; v < vocab; ++v) {
+        r -= probs[v];
+        if (r <= 0.0) {
+          next = v;
+          break;
+        }
+        next = v;  // numeric tail: fall through to the last token
+      }
+    }
+    sequence.push_back(next);
+  }
+  return sequence;
+}
+
+float GptModel::train_step(const Tensor& tokens,
+                           const std::vector<std::int64_t>& targets) {
+  const Tensor logits = forward(tokens);
+  const LossResult loss = softmax_cross_entropy(logits, targets);
+  backward(loss.grad_logits);
+  return loss.loss;
+}
+
+}  // namespace caraml::nn

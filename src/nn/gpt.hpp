@@ -1,0 +1,84 @@
+// A real, trainable GPT decoder — the miniature counterpart of the
+// Megatron-LM model CARAML's LLM benchmark trains (paper §III-A1).
+//
+// Architecture: token + learned positional embeddings, pre-norm transformer
+// blocks (causal attention + GELU MLP with residual connections), final
+// layer norm, and an untied LM head. Sized down for CPU execution; the
+// paper-scale 800M/13B/175B variants are handled analytically by
+// models::GptConfig + the simulator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+
+namespace caraml::nn {
+
+struct GptModelConfig {
+  std::int64_t vocab_size = 256;
+  std::int64_t block_size = 64;   // maximum sequence length
+  std::int64_t num_layers = 2;
+  std::int64_t num_heads = 2;
+  std::int64_t embed_dim = 32;
+};
+
+/// One pre-norm transformer block: x += attn(ln1(x)); x += mlp(ln2(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::int64_t embed_dim, std::int64_t num_heads, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;   // [B, T, C]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  std::int64_t embed_dim_;
+  std::shared_ptr<LayerNorm> ln1_;
+  std::shared_ptr<CausalSelfAttention> attn_;
+  std::shared_ptr<LayerNorm> ln2_;
+  std::shared_ptr<Linear> fc_in_;
+  std::shared_ptr<Gelu> act_;
+  std::shared_ptr<Linear> fc_out_;
+  std::int64_t batch_ = 0, time_ = 0;
+};
+
+class GptModel : public Module {
+ public:
+  GptModel(GptModelConfig config, Rng& rng);
+
+  const GptModelConfig& config() const { return config_; }
+
+  /// tokens [B, T] (ids as floats) -> logits [B*T, vocab].
+  Tensor forward(const Tensor& tokens) override;
+  Tensor backward(const Tensor& grad_logits) override;
+  std::vector<Parameter*> parameters() override;
+
+  /// One full training step: forward, cross-entropy against `targets`
+  /// (shifted tokens, B*T ids), backward. Returns the loss. Gradients are
+  /// accumulated (call optimizer.zero_grad() between steps).
+  float train_step(const Tensor& tokens,
+                   const std::vector<std::int64_t>& targets);
+
+  /// Autoregressive sampling: extend `prompt` by `new_tokens` ids.
+  /// temperature == 0 means greedy decoding; otherwise softmax sampling at
+  /// the given temperature. The context window slides when the sequence
+  /// exceeds block_size.
+  std::vector<std::int64_t> generate(const std::vector<std::int64_t>& prompt,
+                                     std::int64_t new_tokens,
+                                     float temperature, Rng& rng);
+
+ private:
+  GptModelConfig config_;
+  std::shared_ptr<Embedding> tok_emb_;
+  Parameter pos_emb_;  // [block_size, C]
+  std::vector<std::shared_ptr<TransformerBlock>> blocks_;
+  std::shared_ptr<LayerNorm> ln_f_;
+  std::shared_ptr<Linear> lm_head_;
+  std::int64_t batch_ = 0, time_ = 0;
+};
+
+}  // namespace caraml::nn

@@ -1,0 +1,189 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::nn {
+
+using tensor::Shape;
+
+// --- Linear ------------------------------------------------------------------
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias, float init_std)
+    : weight_("weight", Tensor::randn({out_features, in_features}, rng,
+                                      init_std)),
+      bias_("bias", Tensor::zeros({out_features})),
+      has_bias_(bias) {}
+
+Tensor Linear::forward(const Tensor& input) {
+  CARAML_CHECK_MSG(input.rank() == 2, "Linear expects [N, in]");
+  CARAML_CHECK_MSG(input.dim(1) == weight_.value.dim(1),
+                   "Linear input feature mismatch");
+  cached_input_ = input;
+  Tensor out = tensor::matmul_nt(input, weight_.value);  // [N, out]
+  if (has_bias_) {
+    const std::int64_t n = out.dim(0), c = out.dim(1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        out[i * c + j] += bias_.value[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  CARAML_CHECK_MSG(grad_output.rank() == 2 &&
+                       grad_output.dim(0) == cached_input_.dim(0) &&
+                       grad_output.dim(1) == weight_.value.dim(0),
+                   "Linear backward shape mismatch");
+  // dW [out,in] += g^T [out,N] * x [N,in]
+  Tensor dw = tensor::matmul_tn(grad_output, cached_input_);
+  tensor::add_inplace(weight_.grad, dw);
+  if (has_bias_) {
+    const std::int64_t n = grad_output.dim(0), c = grad_output.dim(1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        bias_.grad[j] += grad_output[i * c + j];
+      }
+    }
+  }
+  // dX [N,in] = g [N,out] * W [out,in]
+  return tensor::matmul(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+// --- Embedding ---------------------------------------------------------------
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t dim, Rng& rng,
+                     float init_std)
+    : weight_("embedding", Tensor::randn({vocab, dim}, rng, init_std)) {}
+
+Tensor Embedding::forward(const Tensor& input) {
+  const std::int64_t n = input.numel();
+  const std::int64_t d = dim();
+  cached_ids_.resize(static_cast<std::size_t>(n));
+  Tensor out({n, d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto id = static_cast<std::int64_t>(input[i]);
+    CARAML_CHECK_MSG(id >= 0 && id < vocab(), "token id out of range");
+    cached_ids_[static_cast<std::size_t>(i)] = id;
+    const float* src = weight_.value.data() + id * d;
+    float* dst = out.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Tensor Embedding::backward(const Tensor& grad_output) {
+  const std::int64_t n = static_cast<std::int64_t>(cached_ids_.size());
+  const std::int64_t d = dim();
+  CARAML_CHECK_MSG(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+                       grad_output.dim(1) == d,
+                   "Embedding backward shape mismatch");
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* dst = weight_.grad.data() + cached_ids_[static_cast<std::size_t>(i)] * d;
+    const float* src = grad_output.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  return Tensor();
+}
+
+std::vector<Parameter*> Embedding::parameters() { return {&weight_}; }
+
+// --- LayerNorm ---------------------------------------------------------------
+
+LayerNorm::LayerNorm(std::int64_t features, float eps)
+    : gamma_("gamma", Tensor::ones({features})),
+      beta_("beta", Tensor::zeros({features})),
+      eps_(eps) {}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  CARAML_CHECK_MSG(input.rank() == 2, "LayerNorm expects [N, C]");
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  CARAML_CHECK_MSG(c == gamma_.value.numel(), "LayerNorm feature mismatch");
+  cached_input_ = input;
+  cached_normalized_ = Tensor({n, c});
+  cached_inv_std_.assign(static_cast<std::size_t>(n), 0.0f);
+  Tensor out({n, c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = input.data() + i * c;
+    double total = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) total += row[j];
+    const float mu = static_cast<float>(total / c);
+    double var = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const double d = row[j] - mu;
+      var += d * d;
+    }
+    const float inv_std =
+        1.0f / std::sqrt(static_cast<float>(var / c) + eps_);
+    cached_inv_std_[static_cast<std::size_t>(i)] = inv_std;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float norm = (row[j] - mu) * inv_std;
+      cached_normalized_[i * c + j] = norm;
+      out[i * c + j] = norm * gamma_.value[j] + beta_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  const std::int64_t n = cached_input_.dim(0), c = cached_input_.dim(1);
+  CARAML_CHECK_MSG(grad_output.same_shape(cached_input_),
+                   "LayerNorm backward shape mismatch");
+  Tensor dinput({n, c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(i)];
+    const float* g = grad_output.data() + i * c;
+    const float* xn = cached_normalized_.data() + i * c;
+    // dnorm = g * gamma; dx = inv_std * (dnorm - mean(dnorm) - xn*mean(dnorm*xn))
+    double mean_dnorm = 0.0;
+    double mean_dnorm_xn = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const double dn = static_cast<double>(g[j]) * gamma_.value[j];
+      mean_dnorm += dn;
+      mean_dnorm_xn += dn * xn[j];
+      gamma_.grad[j] += g[j] * xn[j];
+      beta_.grad[j] += g[j];
+    }
+    mean_dnorm /= c;
+    mean_dnorm_xn /= c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const double dn = static_cast<double>(g[j]) * gamma_.value[j];
+      dinput[i * c + j] = static_cast<float>(
+          inv_std * (dn - mean_dnorm - xn[j] * mean_dnorm_xn));
+    }
+  }
+  return dinput;
+}
+
+std::vector<Parameter*> LayerNorm::parameters() { return {&gamma_, &beta_}; }
+
+// --- activations ---------------------------------------------------------------
+
+Tensor Gelu::forward(const Tensor& input) {
+  cached_input_ = input;
+  return tensor::gelu(input);
+}
+
+Tensor Gelu::backward(const Tensor& grad_output) {
+  return tensor::gelu_backward(cached_input_, grad_output);
+}
+
+Tensor Relu::forward(const Tensor& input) {
+  cached_input_ = input;
+  return tensor::relu(input);
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  return tensor::relu_backward(cached_input_, grad_output);
+}
+
+}  // namespace caraml::nn

@@ -1,0 +1,90 @@
+// Core dense layers: Linear, Embedding, LayerNorm, activations.
+//
+// Convention for sequence models: activations are [N, C] matrices where N
+// flattens (batch, time); Embedding consumes token ids stored as floats.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace caraml::nn {
+
+class Linear : public Module {
+ public:
+  /// weight [out, in] initialized N(0, init_std); optional bias.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true, float init_std = 0.02f);
+
+  Tensor forward(const Tensor& input) override;   // [N, in] -> [N, out]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  Parameter& weight() { return weight_; }
+  Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+  bool has_bias_;
+  Tensor cached_input_;
+};
+
+class Embedding : public Module {
+ public:
+  Embedding(std::int64_t vocab, std::int64_t dim, Rng& rng,
+            float init_std = 0.02f);
+
+  /// input: token ids (floats) of any shape with N elements -> [N, dim].
+  Tensor forward(const Tensor& input) override;
+  /// Returns an empty tensor (ids carry no gradient).
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  Parameter& weight() { return weight_; }
+  std::int64_t vocab() const { return weight_.value.dim(0); }
+  std::int64_t dim() const { return weight_.value.dim(1); }
+
+ private:
+  Parameter weight_;  // [vocab, dim]
+  std::vector<std::int64_t> cached_ids_;
+};
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t features, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;   // [N, C] -> [N, C]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+
+ private:
+  Parameter gamma_;
+  Parameter beta_;
+  float eps_;
+  Tensor cached_input_;
+  Tensor cached_normalized_;
+  std::vector<float> cached_inv_std_;
+};
+
+class Gelu : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class Relu : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace caraml::nn

@@ -1,0 +1,47 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::nn {
+
+using tensor::Tensor;
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& targets) {
+  CARAML_CHECK_MSG(logits.rank() == 2, "loss expects [N, C] logits");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  CARAML_CHECK_MSG(static_cast<std::int64_t>(targets.size()) == n,
+                   "target count mismatch");
+  LossResult result;
+  result.grad_logits = tensor::softmax_rows(logits);  // start from probs
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t target = targets[static_cast<std::size_t>(i)];
+    CARAML_CHECK_MSG(target >= 0 && target < c, "target id out of range");
+    const float p = result.grad_logits[i * c + target];
+    total -= std::log(std::max(p, 1e-12f));
+    // dL/dlogits = (softmax - one_hot) / N
+    result.grad_logits[i * c + target] -= 1.0f;
+  }
+  for (std::int64_t i = 0; i < n * c; ++i) result.grad_logits[i] *= inv_n;
+  result.loss = static_cast<float>(total / n);
+  return result;
+}
+
+double accuracy(const Tensor& logits,
+                const std::vector<std::int64_t>& targets) {
+  const auto predictions = tensor::argmax_rows(logits);
+  CARAML_CHECK_MSG(predictions.size() == targets.size(),
+                   "accuracy size mismatch");
+  if (predictions.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == targets[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+}  // namespace caraml::nn

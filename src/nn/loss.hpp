@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss over logits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace caraml::nn {
+
+struct LossResult {
+  float loss = 0.0f;            // mean negative log-likelihood
+  tensor::Tensor grad_logits;   // dL/dlogits, [N, C]
+};
+
+/// logits [N, C], targets: N class ids. Returns mean NLL and its gradient.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& targets);
+
+/// Classification accuracy of logits [N, C] against targets.
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& targets);
+
+}  // namespace caraml::nn

@@ -1,0 +1,94 @@
+// Module framework for the real (CPU-executed) training path.
+//
+// Each Module implements an explicit forward pass that caches what its
+// backward pass needs, mirroring the define-by-run frameworks CARAML wraps
+// (PyTorch for the LLM, TensorFlow for ResNet) at a miniature scale.
+// Gradients are accumulated into Parameter::grad; optimizers consume them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace caraml::nn {
+
+using tensor::Tensor;
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  std::int64_t numel() const { return value.numel(); }
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Forward pass; caches activations needed by backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Backward pass: consumes dL/d(output), accumulates parameter gradients,
+  /// returns dL/d(input). Must be called after forward() with a gradient of
+  /// the same shape as the forward output.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All parameters owned by this module (recursively).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  std::int64_t num_parameters() {
+    std::int64_t total = 0;
+    for (Parameter* p : parameters()) total += p->numel();
+    return total;
+  }
+};
+
+/// Runs modules in order; backward in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  void add(std::shared_ptr<Module> module) { modules_.push_back(std::move(module)); }
+  std::size_t size() const { return modules_.size(); }
+  Module& at(std::size_t i) { return *modules_[i]; }
+
+  Tensor forward(const Tensor& input) override {
+    Tensor x = input;
+    for (auto& module : modules_) x = module->forward(x);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  std::vector<Parameter*> parameters() override {
+    std::vector<Parameter*> out;
+    for (auto& module : modules_) {
+      for (Parameter* p : module->parameters()) out.push_back(p);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Module>> modules_;
+};
+
+}  // namespace caraml::nn

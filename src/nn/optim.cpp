@@ -1,0 +1,88 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    tensor::Tensor& vel = velocity_[i];
+    for (std::int64_t j = 0; j < p->numel(); ++j) {
+      float g = p->grad[j];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * p->value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      p->value[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    tensor::Tensor& m = m_[i];
+    tensor::Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p->numel(); ++j) {
+      float g = p->grad[j];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * p->value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      p->value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+  CARAML_CHECK_MSG(max_norm > 0.0, "max_norm must be positive");
+  double total = 0.0;
+  for (const Parameter* p : params) {
+    for (std::int64_t j = 0; j < p->numel(); ++j) {
+      total += static_cast<double>(p->grad[j]) * p->grad[j];
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const float factor = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) {
+      for (std::int64_t j = 0; j < p->numel(); ++j) p->grad[j] *= factor;
+    }
+  }
+  return norm;
+}
+
+}  // namespace caraml::nn

@@ -1,0 +1,64 @@
+// Optimizers: SGD with momentum (the ResNet benchmark's optimizer) and Adam
+// (Megatron-LM's optimizer).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace caraml::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+/// Global gradient-norm clipping (Megatron default 1.0). Returns the
+/// pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace caraml::nn

@@ -1,0 +1,57 @@
+#include "nn/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::nn {
+
+WarmupCosineLr::WarmupCosineLr(float peak, float min_lr,
+                               std::int64_t warmup_steps,
+                               std::int64_t total_steps)
+    : peak_(peak),
+      min_lr_(min_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {
+  CARAML_CHECK_MSG(peak > 0.0f, "peak LR must be positive");
+  CARAML_CHECK_MSG(min_lr >= 0.0f && min_lr <= peak, "min LR out of range");
+  CARAML_CHECK_MSG(warmup_steps >= 0, "negative warmup");
+  CARAML_CHECK_MSG(total_steps > warmup_steps, "total must exceed warmup");
+}
+
+float WarmupCosineLr::lr_at(std::int64_t step) const {
+  if (step < warmup_steps_) {
+    return peak_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return min_lr_;
+  const double progress = static_cast<double>(step - warmup_steps_) /
+                          static_cast<double>(total_steps_ - warmup_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+  return static_cast<float>(min_lr_ + (peak_ - min_lr_) * cosine);
+}
+
+StepDecayLr::StepDecayLr(float base, float factor,
+                         std::vector<std::int64_t> boundaries)
+    : base_(base), factor_(factor), boundaries_(std::move(boundaries)) {
+  CARAML_CHECK_MSG(base > 0.0f, "base LR must be positive");
+  CARAML_CHECK_MSG(factor > 0.0f && factor <= 1.0f,
+                   "decay factor must be in (0, 1]");
+  CARAML_CHECK_MSG(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+                   "boundaries must be sorted");
+}
+
+float StepDecayLr::lr_at(std::int64_t step) const {
+  float lr = base_;
+  for (const auto boundary : boundaries_) {
+    if (step >= boundary) {
+      lr *= factor_;
+    } else {
+      break;
+    }
+  }
+  return lr;
+}
+
+}  // namespace caraml::nn

@@ -1,0 +1,54 @@
+// Learning-rate schedules. Megatron-LM trains with linear warmup followed by
+// cosine decay to a minimum LR; the TensorFlow CNN benchmark uses stepwise
+// decay. Both are provided, plus constant/linear for tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace caraml::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate at (0-based) step.
+  virtual float lr_at(std::int64_t step) const = 0;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr_at(std::int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup from 0 to `peak` over `warmup_steps`, then cosine decay to
+/// `min_lr` at `total_steps` (flat at `min_lr` afterwards).
+class WarmupCosineLr final : public LrSchedule {
+ public:
+  WarmupCosineLr(float peak, float min_lr, std::int64_t warmup_steps,
+                 std::int64_t total_steps);
+  float lr_at(std::int64_t step) const override;
+
+ private:
+  float peak_;
+  float min_lr_;
+  std::int64_t warmup_steps_;
+  std::int64_t total_steps_;
+};
+
+/// Stepwise decay: lr = base * factor^(number of boundaries passed).
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(float base, float factor, std::vector<std::int64_t> boundaries);
+  float lr_at(std::int64_t step) const override;
+
+ private:
+  float base_;
+  float factor_;
+  std::vector<std::int64_t> boundaries_;
+};
+
+}  // namespace caraml::nn

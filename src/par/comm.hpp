@@ -1,0 +1,98 @@
+// Thread-backed device group and collective communication.
+//
+// The paper's workloads scale with PyTorch Distributed (LLM) and Horovod
+// (ResNet): data-parallel replicas exchange gradients with all-reduce, and
+// pipeline stages exchange activations point-to-point. This module provides
+// those primitives over OS threads — each "rank" is a thread standing in for
+// one accelerator — in MPI-like style (cf. the LLNL MPI tutorial idioms):
+// every collective is called collectively by all ranks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace caraml::par {
+
+using tensor::Tensor;
+
+class DeviceGroup;
+
+/// Per-rank handle passed to the worker function.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Block until all ranks arrive.
+  void barrier();
+
+  /// In-place sum all-reduce over all ranks (all ranks end with the sum).
+  void all_reduce_sum(Tensor& value);
+
+  /// In-place mean all-reduce (gradient averaging à la Horovod).
+  void all_reduce_mean(Tensor& value);
+
+  /// Broadcast `value` from `root` to everyone (in-place).
+  void broadcast(Tensor& value, int root);
+
+  /// Gather each rank's tensor; returns all contributions (index = rank) on
+  /// every rank.
+  std::vector<Tensor> all_gather(const Tensor& value);
+
+  /// Point-to-point: blocking send/recv matched by (source, destination, tag).
+  void send(const Tensor& value, int destination, int tag = 0);
+  Tensor recv(int source, int tag = 0);
+
+ private:
+  friend class DeviceGroup;
+  Communicator(DeviceGroup* group, int rank) : group_(group), rank_(rank) {}
+
+  DeviceGroup* group_;
+  int rank_;
+};
+
+/// Spawns one thread per rank and runs `fn(comm)` on each; joins on run().
+/// Exceptions thrown by any rank are rethrown from run() (first one wins).
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(int size);
+
+  int size() const { return size_; }
+
+  /// Execute `fn` collectively; blocks until all ranks finish.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  friend class Communicator;
+
+  // Collective rendezvous state.
+  void barrier_impl();
+  void collect_pointer(int rank, const void* pointer);
+  const void* pointer_of(int rank) const { return pointers_[static_cast<std::size_t>(rank)]; }
+
+  int size_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<const void*> pointers_;
+
+  // Point-to-point mailboxes keyed by (source, destination, tag).
+  struct Mailbox {
+    std::vector<Tensor> queue;
+  };
+  std::map<std::tuple<int, int, int>, Mailbox> mailboxes_;
+  std::mutex mail_mutex_;
+  std::condition_variable mail_cv_;
+};
+
+}  // namespace caraml::par

@@ -1,0 +1,76 @@
+#include "par/data_parallel.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace caraml::par {
+
+void all_reduce_gradients(Communicator& comm,
+                          const std::vector<nn::Parameter*>& params) {
+  for (nn::Parameter* p : params) {
+    comm.all_reduce_mean(p->grad);
+  }
+}
+
+void broadcast_parameters(Communicator& comm,
+                          const std::vector<nn::Parameter*>& params) {
+  for (nn::Parameter* p : params) {
+    comm.broadcast(p->value, /*root=*/0);
+  }
+}
+
+double parameter_divergence(Communicator& comm,
+                            const std::vector<nn::Parameter*>& params) {
+  double worst = 0.0;
+  for (nn::Parameter* p : params) {
+    const auto contributions = comm.all_gather(p->value);
+    for (const auto& other : contributions) {
+      for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+        worst = std::max(
+            worst, static_cast<double>(std::fabs(other[i] - p->value[i])));
+      }
+    }
+  }
+  return worst;
+}
+
+DataParallelResult DataParallelTrainer::train(std::int64_t steps,
+                                              const StepFn& local_step) {
+  CARAML_CHECK_MSG(steps >= 1, "need at least one step");
+  DeviceGroup group(world_size_);
+  std::vector<float> loss_sums(static_cast<std::size_t>(steps), 0.0f);
+  std::mutex loss_mutex;
+
+  Stopwatch watch;
+  group.run([&](Communicator& comm) {
+    Replica replica = factory_(comm.rank());
+    auto params = replica.model->parameters();
+    broadcast_parameters(comm, params);
+
+    for (std::int64_t step = 0; step < steps; ++step) {
+      replica.optimizer->zero_grad();
+      const float loss = local_step(comm.rank(), step, replica);
+      all_reduce_gradients(comm, params);
+      replica.optimizer->step();
+      {
+        std::lock_guard<std::mutex> lock(loss_mutex);
+        loss_sums[static_cast<std::size_t>(step)] +=
+            loss / static_cast<float>(world_size_);
+      }
+      comm.barrier();
+    }
+  });
+  const double elapsed = watch.elapsed_seconds();
+
+  DataParallelResult result;
+  result.losses = std::move(loss_sums);
+  result.steps = steps;
+  result.samples_per_second =
+      elapsed > 0.0 ? static_cast<double>(steps * world_size_) / elapsed : 0.0;
+  return result;
+}
+
+}  // namespace caraml::par

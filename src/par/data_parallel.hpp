@@ -1,0 +1,62 @@
+// Data-parallel training driver (Horovod / PyTorch-DDP style, paper §II-B,
+// §III-A): every rank holds a full model replica, computes gradients on its
+// own micro-batch, and the replicas average gradients with all-reduce before
+// each optimizer step — keeping all replicas bit-identical.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+#include "par/comm.hpp"
+
+namespace caraml::par {
+
+/// Average the gradients of `params` across ranks (in place).
+void all_reduce_gradients(Communicator& comm,
+                          const std::vector<nn::Parameter*>& params);
+
+/// Broadcast parameter values from rank 0 so all replicas start identical.
+void broadcast_parameters(Communicator& comm,
+                          const std::vector<nn::Parameter*>& params);
+
+/// Maximum absolute difference of parameters across ranks (sync check).
+double parameter_divergence(Communicator& comm,
+                            const std::vector<nn::Parameter*>& params);
+
+struct DataParallelResult {
+  std::vector<float> losses;          // mean loss per step (averaged over ranks)
+  double samples_per_second = 0.0;    // aggregate training throughput
+  std::int64_t steps = 0;
+};
+
+/// Runs synchronous data-parallel training.
+///
+/// `make_replica(rank)` builds one model replica plus optimizer;
+/// `make_batch(rank, step)` produces that rank's micro-batch and must return
+/// the loss from a forward/backward on the replica.
+class DataParallelTrainer {
+ public:
+  struct Replica {
+    std::shared_ptr<nn::Module> model;
+    std::shared_ptr<nn::Optimizer> optimizer;
+  };
+
+  using ReplicaFactory = std::function<Replica(int rank)>;
+  /// Returns the loss of one local forward+backward at (rank, step).
+  using StepFn = std::function<float(int rank, std::int64_t step,
+                                     Replica& replica)>;
+
+  DataParallelTrainer(int world_size, ReplicaFactory factory)
+      : world_size_(world_size), factory_(std::move(factory)) {}
+
+  DataParallelResult train(std::int64_t steps, const StepFn& local_step);
+
+ private:
+  int world_size_;
+  ReplicaFactory factory_;
+};
+
+}  // namespace caraml::par

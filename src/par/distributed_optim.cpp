@@ -1,0 +1,98 @@
+#include "par/distributed_optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::par {
+
+DistributedAdam::DistributedAdam(std::vector<nn::Parameter*> params,
+                                 Communicator& comm, float lr, float beta1,
+                                 float beta2, float eps)
+    : params_(std::move(params)),
+      comm_(comm),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  CARAML_CHECK_MSG(!params_.empty(), "no parameters to optimize");
+  offsets_.reserve(params_.size() + 1);
+  offsets_.push_back(0);
+  for (const nn::Parameter* p : params_) {
+    total_ += p->numel();
+    offsets_.push_back(total_);
+  }
+  const int p = comm_.size();
+  const std::int64_t shard = (total_ + p - 1) / p;
+  shard_begin_ = std::min<std::int64_t>(total_, comm_.rank() * shard);
+  shard_end_ = std::min<std::int64_t>(total_, shard_begin_ + shard);
+  m_.assign(static_cast<std::size_t>(shard_end_ - shard_begin_), 0.0f);
+  v_.assign(static_cast<std::size_t>(shard_end_ - shard_begin_), 0.0f);
+}
+
+float DistributedAdam::read_param(std::int64_t flat) const {
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), flat) - 1;
+  const std::size_t index = static_cast<std::size_t>(it - offsets_.begin());
+  return params_[index]->value[flat - *it];
+}
+
+void DistributedAdam::write_param(std::int64_t flat, float value) {
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), flat) - 1;
+  const std::size_t index = static_cast<std::size_t>(it - offsets_.begin());
+  params_[index]->value[flat - *it] = value;
+}
+
+float DistributedAdam::read_grad(std::int64_t flat) const {
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), flat) - 1;
+  const std::size_t index = static_cast<std::size_t>(it - offsets_.begin());
+  return params_[index]->grad[flat - *it];
+}
+
+void DistributedAdam::zero_grad() {
+  for (nn::Parameter* p : params_) p->zero_grad();
+}
+
+void DistributedAdam::step() {
+  // 1. Average gradients across ranks (stands in for reduce-scatter).
+  for (nn::Parameter* p : params_) {
+    comm_.all_reduce_mean(p->grad);
+  }
+
+  // 2. Adam update on the local shard only.
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const std::int64_t p = comm_.size();
+  const std::int64_t shard = (total_ + p - 1) / p;
+  nn::Tensor local({shard});  // padded shard of updated values
+  for (std::int64_t i = shard_begin_; i < shard_end_; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i - shard_begin_);
+    const float g = read_grad(i);
+    m_[s] = beta1_ * m_[s] + (1.0f - beta1_) * g;
+    v_[s] = beta2_ * v_[s] + (1.0f - beta2_) * g * g;
+    const float m_hat = m_[s] / bc1;
+    const float v_hat = v_[s] / bc2;
+    local[i - shard_begin_] =
+        read_param(i) - lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+
+  // 3. All-gather the updated shards and install them everywhere.
+  const auto shards = comm_.all_gather(local);
+  for (int r = 0; r < comm_.size(); ++r) {
+    const std::int64_t begin = std::min<std::int64_t>(total_, r * shard);
+    const std::int64_t end = std::min<std::int64_t>(total_, begin + shard);
+    for (std::int64_t i = begin; i < end; ++i) {
+      write_param(i, shards[static_cast<std::size_t>(r)][i - begin]);
+    }
+  }
+}
+
+std::int64_t DistributedAdam::local_state_bytes() const {
+  return static_cast<std::int64_t>((m_.size() + v_.size()) * sizeof(float));
+}
+
+}  // namespace caraml::par

@@ -1,0 +1,59 @@
+// ZeRO-style distributed Adam — the "distributed optimizers" feature the
+// paper's Megatron-LM configuration enables (§III-A1). Each data-parallel
+// rank keeps Adam moments (and performs the update) only for its 1/p shard
+// of the flattened parameter space; after the shard update, parameter values
+// are re-assembled on every rank with an all-gather. Gradient averaging is a
+// reduce-scatter in real Megatron; over thread-shared memory we average the
+// full gradient and let each rank consume its shard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "par/comm.hpp"
+
+namespace caraml::par {
+
+class DistributedAdam {
+ public:
+  DistributedAdam(std::vector<nn::Parameter*> params, Communicator& comm,
+                  float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f);
+
+  /// Average gradients across ranks, update this rank's shard, all-gather
+  /// the updated parameter values. Collective: all ranks must call it.
+  void step();
+
+  void zero_grad();
+
+  /// Bytes of optimizer state held by this rank (the ZeRO memory saving:
+  /// ~1/p of the full Adam state).
+  std::int64_t local_state_bytes() const;
+
+  std::int64_t total_parameters() const { return total_; }
+  std::int64_t shard_begin() const { return shard_begin_; }
+  std::int64_t shard_end() const { return shard_end_; }
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  // Flattened-view helpers.
+  float read_param(std::int64_t flat) const;
+  void write_param(std::int64_t flat, float value);
+  float read_grad(std::int64_t flat) const;
+
+  std::vector<nn::Parameter*> params_;
+  Communicator& comm_;
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t total_ = 0;
+  std::int64_t shard_begin_ = 0;
+  std::int64_t shard_end_ = 0;
+  std::int64_t t_ = 0;
+  // Adam moments for the local shard only.
+  std::vector<float> m_;
+  std::vector<float> v_;
+  // Cumulative parameter offsets for flat indexing.
+  std::vector<std::int64_t> offsets_;
+};
+
+}  // namespace caraml::par

@@ -1,0 +1,223 @@
+#include "par/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace caraml::par {
+
+double gpipe_bubble_fraction(int stages, int micro) {
+  CARAML_CHECK_MSG(stages >= 1 && micro >= 1, "need positive stages/micro");
+  return static_cast<double>(stages - 1) /
+         static_cast<double>(micro + stages - 1);
+}
+
+namespace {
+
+struct QueueItem {
+  int micro;
+  bool forward;
+};
+
+// Per-stage work queues in execution order.
+std::vector<std::vector<QueueItem>> build_queues(PipelineScheduleKind kind,
+                                                 int stages, int micro) {
+  std::vector<std::vector<QueueItem>> queues(static_cast<std::size_t>(stages));
+  if (kind == PipelineScheduleKind::kGPipe) {
+    // All forwards (micro order), then all backwards (reverse micro order).
+    for (int s = 0; s < stages; ++s) {
+      for (int i = 0; i < micro; ++i) queues[static_cast<std::size_t>(s)].push_back({i, true});
+      for (int i = micro - 1; i >= 0; --i) queues[static_cast<std::size_t>(s)].push_back({i, false});
+    }
+    return queues;
+  }
+  // 1F1B (non-interleaved): stage s warms up with (p - s - 1) forwards, then
+  // alternates one-forward-one-backward, then drains remaining backwards.
+  for (int s = 0; s < stages; ++s) {
+    auto& queue = queues[static_cast<std::size_t>(s)];
+    const int warmup = std::min(stages - s - 1, micro);
+    int next_fwd = 0;
+    int next_bwd = 0;
+    for (int i = 0; i < warmup; ++i) queue.push_back({next_fwd++, true});
+    while (next_fwd < micro) {
+      queue.push_back({next_fwd++, true});
+      queue.push_back({next_bwd++, false});
+    }
+    while (next_bwd < micro) queue.push_back({next_bwd++, false});
+  }
+  return queues;
+}
+
+}  // namespace
+
+PipelineSchedule build_pipeline_schedule(PipelineScheduleKind kind, int stages,
+                                         int micro, double backward_cost) {
+  CARAML_CHECK_MSG(stages >= 1, "need at least one stage");
+  CARAML_CHECK_MSG(micro >= 1, "need at least one micro-batch");
+  CARAML_CHECK_MSG(backward_cost > 0.0, "backward cost must be positive");
+
+  auto queues = build_queues(kind, stages, micro);
+
+  // finish[(s, i, fwd)] once scheduled.
+  std::map<std::tuple<int, int, bool>, double> finish;
+  std::vector<std::size_t> head(static_cast<std::size_t>(stages), 0);
+  std::vector<double> stage_free(static_cast<std::size_t>(stages), 0.0);
+
+  PipelineSchedule schedule;
+  schedule.num_stages = stages;
+  schedule.num_micro = micro;
+  schedule.kind = kind;
+
+  bool progress = true;
+  std::size_t remaining = static_cast<std::size_t>(stages) *
+                          static_cast<std::size_t>(micro) * 2;
+  while (remaining > 0) {
+    CARAML_CHECK_MSG(progress, "pipeline schedule deadlocked");
+    progress = false;
+    for (int s = 0; s < stages; ++s) {
+      auto& queue = queues[static_cast<std::size_t>(s)];
+      while (head[static_cast<std::size_t>(s)] < queue.size()) {
+        const QueueItem item = queue[head[static_cast<std::size_t>(s)]];
+        // Dependency: forward needs previous stage's forward of the same
+        // micro; backward needs the next stage's backward (or own forward on
+        // the last stage).
+        double dep_time = 0.0;
+        bool dep_ready = true;
+        if (item.forward) {
+          if (s > 0) {
+            const auto it = finish.find({s - 1, item.micro, true});
+            if (it == finish.end()) dep_ready = false;
+            else dep_time = it->second;
+          }
+        } else {
+          if (s < stages - 1) {
+            const auto it = finish.find({s + 1, item.micro, false});
+            if (it == finish.end()) dep_ready = false;
+            else dep_time = it->second;
+          } else {
+            const auto it = finish.find({s, item.micro, true});
+            if (it == finish.end()) dep_ready = false;
+            else dep_time = it->second;
+          }
+        }
+        if (!dep_ready) break;  // FIFO: head blocks the stage
+
+        const double duration = item.forward ? 1.0 : backward_cost;
+        const double start =
+            std::max(stage_free[static_cast<std::size_t>(s)], dep_time);
+        const double end = start + duration;
+        stage_free[static_cast<std::size_t>(s)] = end;
+        finish[{s, item.micro, item.forward}] = end;
+        schedule.slots.push_back(PipelineSlot{
+            s, item.micro, item.forward, static_cast<int>(start)});
+        schedule.makespan = std::max(schedule.makespan, end);
+        ++head[static_cast<std::size_t>(s)];
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+
+  const double useful_per_stage =
+      static_cast<double>(micro) * (1.0 + backward_cost);
+  schedule.bubble_fraction =
+      1.0 - useful_per_stage / schedule.makespan;
+  return schedule;
+}
+
+PipelineTrainer::PipelineTrainer(
+    std::vector<std::shared_ptr<nn::Module>> stages)
+    : stages_(std::move(stages)) {
+  CARAML_CHECK_MSG(!stages_.empty(), "pipeline needs at least one stage");
+}
+
+std::vector<nn::Parameter*> PipelineTrainer::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto& stage : stages_) {
+    for (nn::Parameter* p : stage->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+float PipelineTrainer::train_iteration(
+    const std::vector<nn::Tensor>& micro_batches, const LossFn& loss) {
+  CARAML_CHECK_MSG(!micro_batches.empty(), "need at least one micro-batch");
+  const int p = static_cast<int>(stages_.size());
+  const int m = static_cast<int>(micro_batches.size());
+  // Tag space: [0, m) activations downstream, [m, 2m) gradients upstream.
+  const int grad_tag_base = m;
+
+  std::vector<float> micro_losses(static_cast<std::size_t>(m), 0.0f);
+  DeviceGroup group(p);
+  group.run([&](Communicator& comm) {
+    const int s = comm.rank();
+    nn::Module& stage = *stages_[static_cast<std::size_t>(s)];
+    std::vector<nn::Tensor> stage_inputs(static_cast<std::size_t>(m));
+    std::vector<nn::Tensor> last_stage_grads;
+    if (s == p - 1) last_stage_grads.resize(static_cast<std::size_t>(m));
+
+    // --- forward phase: stream all micro-batches through the pipeline.
+    // Only the stage *inputs* are retained (activation recomputation).
+    for (int i = 0; i < m; ++i) {
+      nn::Tensor input =
+          s == 0 ? micro_batches[static_cast<std::size_t>(i)]
+                 : comm.recv(s - 1, /*tag=*/i);
+      nn::Tensor output = stage.forward(input);
+      stage_inputs[static_cast<std::size_t>(i)] = std::move(input);
+      if (s + 1 < p) {
+        comm.send(output, s + 1, /*tag=*/i);
+      } else {
+        const MicroLoss micro = loss(output, static_cast<std::size_t>(i));
+        micro_losses[static_cast<std::size_t>(i)] = micro.loss;
+        last_stage_grads[static_cast<std::size_t>(i)] = micro.grad;
+      }
+    }
+
+    // --- backward phase (GPipe: reverse micro order). The stage replays
+    // each micro's forward to restore its caches, then back-propagates.
+    // (Stages must be deterministic in forward — no live dropout.)
+    for (int i = m - 1; i >= 0; --i) {
+      nn::Tensor grad_out =
+          s == p - 1 ? std::move(last_stage_grads[static_cast<std::size_t>(i)])
+                     : comm.recv(s + 1, grad_tag_base + i);
+      stage.forward(stage_inputs[static_cast<std::size_t>(i)]);  // recompute
+      nn::Tensor grad_in = stage.backward(grad_out);
+      if (s > 0 && grad_in.numel() > 0) {
+        comm.send(grad_in, s - 1, grad_tag_base + i);
+      }
+    }
+  });
+
+  float total = 0.0f;
+  for (float value : micro_losses) total += value;
+  return total / static_cast<float>(m);
+}
+
+std::vector<nn::Tensor> run_pipeline_inference(
+    const std::vector<std::shared_ptr<nn::Module>>& stages,
+    const std::vector<nn::Tensor>& micro_batches) {
+  CARAML_CHECK_MSG(!stages.empty(), "pipeline needs at least one stage");
+  const int p = static_cast<int>(stages.size());
+  const int m = static_cast<int>(micro_batches.size());
+
+  std::vector<nn::Tensor> outputs(static_cast<std::size_t>(m));
+  DeviceGroup group(p);
+  group.run([&](Communicator& comm) {
+    const int s = comm.rank();
+    for (int i = 0; i < m; ++i) {
+      nn::Tensor activation =
+          s == 0 ? micro_batches[static_cast<std::size_t>(i)]
+                 : comm.recv(s - 1, /*tag=*/i);
+      nn::Tensor out = stages[static_cast<std::size_t>(s)]->forward(activation);
+      if (s + 1 < p) {
+        comm.send(out, s + 1, /*tag=*/i);
+      } else {
+        outputs[static_cast<std::size_t>(i)] = std::move(out);
+      }
+    }
+  });
+  return outputs;
+}
+
+}  // namespace caraml::par

@@ -1,0 +1,97 @@
+// Pipeline parallelism (paper §III-A1: the Graphcore GPT splits layers over
+// 4 IPUs; §IV-A attributes the IPU's low throughput to the pipeline bubble).
+//
+// Two parts:
+//  * schedule computation (GPipe and 1F1B) returning exact per-slot
+//    timelines and bubble fractions — consumed by the simulator and the
+//    Table II reproduction, and
+//  * a real threaded pipeline executor that streams micro-batches through
+//    stage modules living on different "devices" (threads) using
+//    Communicator send/recv.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "par/comm.hpp"
+
+namespace caraml::par {
+
+enum class PipelineScheduleKind { kGPipe, kOneFOneB };
+
+/// One schedule slot: stage s executes forward/backward of micro-batch m at
+/// time step t (unit stage-times).
+struct PipelineSlot {
+  int stage = 0;
+  int micro = 0;
+  bool forward = true;
+  int time = 0;
+};
+
+struct PipelineSchedule {
+  int num_stages = 0;
+  int num_micro = 0;
+  PipelineScheduleKind kind = PipelineScheduleKind::kGPipe;
+  std::vector<PipelineSlot> slots;
+  /// Total time steps until the last slot finishes (in unit stage-times;
+  /// backward slots count `backward_cost` units).
+  double makespan = 0.0;
+  /// Idle fraction of the stage-time grid: bubble = 1 - useful/total.
+  double bubble_fraction = 0.0;
+};
+
+/// Build a schedule for `stages` pipeline stages and `micro` micro-batches.
+/// `backward_cost` is the backward slot duration relative to forward
+/// (Megatron uses ~2.0).
+PipelineSchedule build_pipeline_schedule(PipelineScheduleKind kind, int stages,
+                                         int micro, double backward_cost = 2.0);
+
+/// Closed-form GPipe bubble fraction: (p - 1) / (m + p - 1).
+double gpipe_bubble_fraction(int stages, int micro);
+
+/// A real threaded pipeline: stage s (one rank) applies its module to each
+/// incoming micro-batch and forwards the activation to stage s+1. Returns
+/// the outputs of the last stage, in micro-batch order. Forward-only
+/// (inference); training pipelines are modeled via the schedule above.
+std::vector<nn::Tensor> run_pipeline_inference(
+    const std::vector<std::shared_ptr<nn::Module>>& stages,
+    const std::vector<nn::Tensor>& micro_batches);
+
+/// Real GPipe *training* over thread stages with activation recomputation:
+/// the forward phase streams every micro-batch through the pipeline (stages
+/// keep only each micro's stage *input*); the backward phase replays each
+/// micro's forward on its stage to restore the module caches — exactly the
+/// recomputation trade the paper's Megatron configuration uses — before
+/// back-propagating and forwarding the gradient upstream. Parameter
+/// gradients accumulate across micro-batches, giving bit-identical results
+/// to serial training on the concatenated batch (asserted in tests).
+class PipelineTrainer {
+ public:
+  /// `stages[s]` lives on rank s. `loss` maps the last stage's output for
+  /// micro i to (loss_i, dL/d(output_i)); the total loss is the mean.
+  struct MicroLoss {
+    float loss = 0.0f;
+    nn::Tensor grad;
+  };
+  using LossFn = std::function<MicroLoss(const nn::Tensor& output,
+                                         std::size_t micro_index)>;
+
+  explicit PipelineTrainer(std::vector<std::shared_ptr<nn::Module>> stages);
+
+  /// One training iteration over `micro_batches`; accumulates parameter
+  /// gradients in the stage modules and returns the mean micro loss.
+  /// (Callers zero gradients and step optimizers between iterations.)
+  float train_iteration(const std::vector<nn::Tensor>& micro_batches,
+                        const LossFn& loss);
+
+  std::size_t num_stages() const { return stages_.size(); }
+  std::vector<nn::Parameter*> parameters();
+
+ private:
+  std::vector<std::shared_ptr<nn::Module>> stages_;
+};
+
+}  // namespace caraml::par

@@ -1,0 +1,48 @@
+// Clock abstraction for the jpwr sampling loop.
+//
+// The real tool samples wall-clock time; for replaying simulated power
+// traces (or speeding up tests) a scaled clock maps wall time onto virtual
+// trace time.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+namespace caraml::power {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since an arbitrary epoch (monotonic).
+  virtual double now() const = 0;
+};
+
+/// Monotonic wall clock.
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Wall clock scaled by a constant factor: one wall second advances `speed`
+/// virtual seconds. Used to replay hour-long simulated traces in
+/// milliseconds of test time.
+class ScaledClock final : public Clock {
+ public:
+  explicit ScaledClock(double speed) : speed_(speed) {}
+  double now() const override { return base_.now() * speed_; }
+  double speed() const { return speed_; }
+
+ private:
+  WallClock base_;
+  double speed_;
+};
+
+}  // namespace caraml::power

@@ -1,0 +1,106 @@
+#include "power/combine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::power {
+
+std::vector<std::string> find_rank_files(const std::string& dir,
+                                         const std::string& stem) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (str::starts_with(name, stem) && str::ends_with(name, ".csv") &&
+        name.size() > stem.size() + 4) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+df::DataFrame combine_rank_csvs(const std::string& dir,
+                                const std::string& stem) {
+  const auto files = find_rank_files(dir, stem);
+  if (files.empty()) {
+    throw NotFound("no '" + stem + "*.csv' files in " + dir);
+  }
+  df::DataFrame combined;
+  for (const auto& path : files) {
+    const df::DataFrame frame = df::DataFrame::from_csv_file(path);
+    // Rank label = filename between stem and ".csv", trimmed of separators.
+    std::string rank = std::filesystem::path(path).filename().string();
+    rank = rank.substr(stem.size(), rank.size() - stem.size() - 4);
+    while (!rank.empty() && (rank.front() == '_' || rank.front() == '-')) {
+      rank = rank.substr(1);
+    }
+
+    if (combined.num_columns() == 0) {
+      combined.add_column("rank", df::ColumnType::kString);
+      for (const auto& name : frame.column_names()) {
+        combined.add_column(name, frame.column(name).type());
+      }
+    }
+    for (std::size_t row = 0; row < frame.num_rows(); ++row) {
+      std::vector<df::Value> values;
+      values.emplace_back(rank);
+      for (const auto& name : frame.column_names()) {
+        const auto& column = frame.column(name);
+        if (column.type() == df::ColumnType::kString) {
+          values.emplace_back(column.as_string(row));
+        } else {
+          values.emplace_back(column.as_double(row));
+        }
+      }
+      combined.append_row(values);
+    }
+  }
+  return combined;
+}
+
+df::DataFrame aggregate_energy(const df::DataFrame& combined) {
+  CARAML_CHECK_MSG(combined.has_column("channel") &&
+                       combined.has_column("energy_wh") &&
+                       combined.has_column("avg_watts"),
+                   "combined frame missing jpwr energy columns");
+  struct Totals {
+    double energy_wh = 0.0;
+    double watts_sum = 0.0;
+    double watts_max = 0.0;
+    std::int64_t ranks = 0;
+  };
+  std::map<std::string, Totals> per_channel;
+  std::vector<std::string> order;  // first-seen channel order
+  for (std::size_t row = 0; row < combined.num_rows(); ++row) {
+    const std::string channel = combined.column("channel").as_string(row);
+    if (!per_channel.count(channel)) order.push_back(channel);
+    Totals& totals = per_channel[channel];
+    totals.energy_wh += combined.column("energy_wh").as_double(row);
+    const double watts = combined.column("avg_watts").as_double(row);
+    totals.watts_sum += watts;
+    totals.watts_max = std::max(totals.watts_max, watts);
+    ++totals.ranks;
+  }
+  df::DataFrame out;
+  out.add_column("channel", df::ColumnType::kString);
+  out.add_column("total_energy_wh", df::ColumnType::kDouble);
+  out.add_column("mean_avg_watts", df::ColumnType::kDouble);
+  out.add_column("max_avg_watts", df::ColumnType::kDouble);
+  out.add_column("ranks", df::ColumnType::kInt64);
+  for (const auto& channel : order) {
+    const Totals& totals = per_channel.at(channel);
+    out.append_row({channel, totals.energy_wh,
+                    totals.watts_sum / static_cast<double>(totals.ranks),
+                    totals.watts_max, totals.ranks});
+  }
+  return out;
+}
+
+}  // namespace caraml::power

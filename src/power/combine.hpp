@@ -1,0 +1,33 @@
+// Post-processing: combine per-rank jpwr result files into a single CSV —
+// the paper's "To combine the energy data into a single CSV file and
+// postprocess results do: jube continue ..." step (§III-B / Appendix A).
+//
+// jpwr avoids multi-node write races by writing one file per rank with a
+// --df-suffix like "_%q{SLURM_PROCID}"; this module gathers
+// "<dir>/energy_<rank>.csv" files, adds a "rank" column, concatenates, and
+// can aggregate per-channel totals across ranks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "df/dataframe.hpp"
+
+namespace caraml::power {
+
+/// All files in `dir` matching "<stem><suffix>.csv" where suffix is
+/// non-empty; returned sorted by suffix for determinism.
+std::vector<std::string> find_rank_files(const std::string& dir,
+                                         const std::string& stem);
+
+/// Concatenate per-rank energy CSVs into one frame with an extra leading
+/// "rank" column holding the filename suffix. Throws caraml::NotFound when
+/// no files match.
+df::DataFrame combine_rank_csvs(const std::string& dir,
+                                const std::string& stem = "energy");
+
+/// Aggregate a combined frame per channel: total energy, mean/max power
+/// across ranks, rank count.
+df::DataFrame aggregate_energy(const df::DataFrame& combined);
+
+}  // namespace caraml::power

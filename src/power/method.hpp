@@ -1,0 +1,44 @@
+// jpwr "methods": modular backends that read instantaneous power for a set
+// of devices (paper §III-A4).
+//
+// The Python jpwr ships methods for pynvml (NVIDIA), rocm-smi (AMD),
+// gcipuinfo (Graphcore) and the Grace-Hopper sysfs hwmon interface. This
+// C++ reproduction mirrors that modular structure; hardware counters are
+// replaced by simulator power rails or real host sources (/proc/stat, RAPL)
+// — see DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace caraml::power {
+
+/// One power reading for one measured channel.
+struct Reading {
+  std::string channel;  // e.g. "gpu0", "grace-cpu", "ipu2"
+  double watts = 0.0;
+};
+
+class Method {
+ public:
+  virtual ~Method() = default;
+
+  /// Method name as used on the jpwr command line (e.g. "pynvml", "rocm",
+  /// "gcipuinfo", "gh", "procstat", "rapl").
+  virtual std::string name() const = 0;
+
+  /// Channels this method reports, fixed for the method's lifetime.
+  virtual std::vector<std::string> channels() const = 0;
+
+  /// Sample instantaneous power of all channels at time `t` (seconds on the
+  /// measuring clock). Must be thread-safe: called from the sampling thread.
+  virtual std::vector<Reading> sample(double t) = 0;
+
+  /// Whether the backend is usable in this process/environment.
+  virtual bool available() const { return true; }
+};
+
+using MethodPtr = std::shared_ptr<Method>;
+
+}  // namespace caraml::power

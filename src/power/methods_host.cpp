@@ -1,0 +1,184 @@
+#include "power/methods_host.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace caraml::power {
+
+ProcStatMethod::ProcStatMethod(double cpu_tdp_watts, double idle_watts,
+                               std::string stat_path)
+    : tdp_(cpu_tdp_watts), idle_(idle_watts), stat_path_(std::move(stat_path)) {}
+
+bool ProcStatMethod::read_times(CpuTimes* out) const {
+  std::ifstream in(stat_path_);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  const auto fields = str::split_ws(line);
+  // "cpu user nice system idle iowait irq softirq steal ..."
+  if (fields.size() < 5 || fields[0] != "cpu") return false;
+  std::uint64_t total = 0;
+  std::uint64_t idle_time = 0;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    std::uint64_t v = 0;
+    try {
+      v = static_cast<std::uint64_t>(str::parse_int(fields[i]));
+    } catch (...) {
+      return false;
+    }
+    total += v;
+    if (i == 4 || i == 5) idle_time += v;  // idle + iowait
+  }
+  out->total = total;
+  out->busy = total - idle_time;
+  return true;
+}
+
+bool ProcStatMethod::available() const {
+  CpuTimes t;
+  return read_times(&t);
+}
+
+std::vector<Reading> ProcStatMethod::sample(double) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CpuTimes current;
+  if (!read_times(&current)) {
+    return {Reading{"cpu", 0.0}};
+  }
+  double busy_fraction = 0.0;
+  if (have_last_ && current.total > last_.total) {
+    busy_fraction = static_cast<double>(current.busy - last_.busy) /
+                    static_cast<double>(current.total - last_.total);
+  }
+  last_ = current;
+  have_last_ = true;
+  return {Reading{"cpu", idle_ + (tdp_ - idle_) * busy_fraction}};
+}
+
+RaplMethod::RaplMethod(std::string powercap_root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(powercap_root, ec)) return;
+  for (const auto& entry : fs::directory_iterator(powercap_root, ec)) {
+    if (ec) break;
+    const std::string dir = entry.path().filename().string();
+    if (!str::starts_with(dir, "intel-rapl:")) continue;
+    const std::string energy_path = entry.path().string() + "/energy_uj";
+    std::ifstream probe(energy_path);
+    std::uint64_t value = 0;
+    if (!(probe >> value)) continue;  // unreadable (permissions) -> skip
+    Domain domain;
+    std::ifstream name_file(entry.path().string() + "/name");
+    std::string name;
+    if (name_file >> name) {
+      domain.channel = name + ":" + dir;
+    } else {
+      domain.channel = dir;
+    }
+    domain.energy_path = energy_path;
+    domains_.push_back(std::move(domain));
+  }
+}
+
+std::vector<std::string> RaplMethod::channels() const {
+  std::vector<std::string> out;
+  out.reserve(domains_.size());
+  for (const auto& domain : domains_) out.push_back(domain.channel);
+  return out;
+}
+
+std::vector<Reading> RaplMethod::sample(double t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Reading> out;
+  out.reserve(domains_.size());
+  for (auto& domain : domains_) {
+    std::uint64_t value = 0;
+    std::ifstream in(domain.energy_path);
+    if (!(in >> value)) {
+      out.push_back(Reading{domain.channel, domain.last_watts});
+      continue;
+    }
+    double watts = domain.last_watts;
+    if (domain.have_last && t > domain.last_t && value >= domain.last_uj) {
+      watts = static_cast<double>(value - domain.last_uj) * 1e-6 /
+              (t - domain.last_t);
+    }
+    domain.last_uj = value;
+    domain.last_t = t;
+    domain.have_last = true;
+    domain.last_watts = watts;
+    out.push_back(Reading{domain.channel, watts});
+  }
+  return out;
+}
+
+HwmonMethod::HwmonMethod(std::string hwmon_root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(hwmon_root, ec)) return;
+  for (const auto& chip : fs::directory_iterator(hwmon_root, ec)) {
+    if (ec) break;
+    std::string chip_name = chip.path().filename().string();
+    {
+      std::ifstream name_file(chip.path() / "name");
+      std::string label;
+      if (name_file >> label) chip_name = label;
+    }
+    std::error_code chip_ec;
+    for (const auto& entry : fs::directory_iterator(chip.path(), chip_ec)) {
+      if (chip_ec) break;
+      const std::string file = entry.path().filename().string();
+      if (!str::starts_with(file, "power") || !str::ends_with(file, "_input")) {
+        continue;
+      }
+      // Probe readability (hwmon files are often root-only).
+      std::ifstream probe(entry.path());
+      long long value = 0;
+      if (!(probe >> value)) continue;
+      Sensor sensor;
+      // Prefer the sensor's label file ("powerN_label") when present.
+      const std::string index =
+          file.substr(5, file.size() - 5 - 6);  // "power<N>_input"
+      std::ifstream label_file(chip.path() /
+                               ("power" + index + "_label"));
+      std::string label;
+      if (std::getline(label_file, label) && !str::trim(label).empty()) {
+        sensor.channel = chip_name + ":" + str::trim(label);
+      } else {
+        sensor.channel = chip_name + ":" + file;
+      }
+      sensor.path = entry.path().string();
+      sensors_.push_back(std::move(sensor));
+    }
+  }
+  std::sort(sensors_.begin(), sensors_.end(),
+            [](const Sensor& a, const Sensor& b) {
+              return a.channel < b.channel;
+            });
+}
+
+std::vector<std::string> HwmonMethod::channels() const {
+  std::vector<std::string> out;
+  out.reserve(sensors_.size());
+  for (const auto& sensor : sensors_) out.push_back(sensor.channel);
+  return out;
+}
+
+std::vector<Reading> HwmonMethod::sample(double) {
+  std::vector<Reading> out;
+  out.reserve(sensors_.size());
+  for (const auto& sensor : sensors_) {
+    long long microwatts = 0;
+    std::ifstream in(sensor.path);
+    if (!(in >> microwatts)) microwatts = 0;
+    out.push_back(Reading{sensor.channel,
+                          static_cast<double>(microwatts) * 1e-6});
+  }
+  return out;
+}
+
+}  // namespace caraml::power

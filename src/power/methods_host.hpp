@@ -1,0 +1,97 @@
+// Real host-side power methods.
+//
+// These are the only backends in the reproduction that touch actual
+// counters: /proc/stat CPU utilization mapped through a TDP model, and the
+// Linux RAPL powercap sysfs interface when readable. Both degrade gracefully
+// (available() == false) on systems without the interfaces — mirroring the
+// Python jpwr's behaviour when a vendor library is missing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "power/method.hpp"
+
+namespace caraml::power {
+
+/// Estimates host CPU power from /proc/stat utilization:
+/// P = idle + (tdp - idle) * busy_fraction (since the previous sample).
+class ProcStatMethod : public Method {
+ public:
+  explicit ProcStatMethod(double cpu_tdp_watts = 200.0,
+                          double idle_watts = 40.0,
+                          std::string stat_path = "/proc/stat");
+
+  std::string name() const override { return "procstat"; }
+  std::vector<std::string> channels() const override { return {"cpu"}; }
+  std::vector<Reading> sample(double t) override;
+  bool available() const override;
+
+ private:
+  struct CpuTimes {
+    std::uint64_t busy = 0;
+    std::uint64_t total = 0;
+  };
+  bool read_times(CpuTimes* out) const;
+
+  double tdp_;
+  double idle_;
+  std::string stat_path_;
+  std::mutex mutex_;
+  CpuTimes last_{};
+  bool have_last_ = false;
+};
+
+/// Reads Intel/AMD RAPL energy counters from
+/// /sys/class/powercap/intel-rapl:*/energy_uj and differentiates them to
+/// power. One channel per package domain.
+class RaplMethod : public Method {
+ public:
+  explicit RaplMethod(std::string powercap_root = "/sys/class/powercap");
+
+  std::string name() const override { return "rapl"; }
+  std::vector<std::string> channels() const override;
+  std::vector<Reading> sample(double t) override;
+  bool available() const override { return !domains_.empty(); }
+
+ private:
+  struct Domain {
+    std::string channel;
+    std::string energy_path;
+    std::uint64_t last_uj = 0;
+    double last_t = 0.0;
+    bool have_last = false;
+    double last_watts = 0.0;
+  };
+
+  std::vector<Domain> domains_;
+  std::mutex mutex_;
+};
+
+/// The paper's "gh" method reads Grace-Hopper power from the Linux hwmon
+/// sysfs tree (/sys/class/hwmon/hwmon*/power*_input reporting microwatts,
+/// as on NVIDIA Grace — paper §III-A4, reference [36]). This backend scans
+/// the real hwmon tree of the host: on a Grace machine it reports the
+/// module rails; elsewhere it reports whatever power sensors exist (often
+/// none), degrading gracefully like the Python tool without its vendor
+/// libraries.
+class HwmonMethod : public Method {
+ public:
+  explicit HwmonMethod(std::string hwmon_root = "/sys/class/hwmon");
+
+  std::string name() const override { return "gh"; }
+  std::vector<std::string> channels() const override;
+  std::vector<Reading> sample(double t) override;
+  bool available() const override { return !sensors_.empty(); }
+
+ private:
+  struct Sensor {
+    std::string channel;  // "<chip>:<label-or-file>"
+    std::string path;     // .../powerN_input (microwatts)
+  };
+  std::vector<Sensor> sensors_;
+};
+
+}  // namespace caraml::power

@@ -1,0 +1,112 @@
+#include "power/methods_sim.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::power {
+
+TraceMethod::TraceMethod(std::string name, std::vector<std::string> channels,
+                         std::vector<sim::PowerTrace> traces)
+    : name_(std::move(name)),
+      channels_(std::move(channels)),
+      traces_(std::move(traces)) {
+  CARAML_CHECK_MSG(channels_.size() == traces_.size(),
+                   "one trace per channel required");
+  CARAML_CHECK_MSG(!channels_.empty(), "method needs at least one channel");
+}
+
+std::vector<Reading> TraceMethod::sample(double t) {
+  std::vector<Reading> out;
+  out.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    out.push_back(Reading{channels_[i], traces_[i].power_at(t)});
+  }
+  return out;
+}
+
+const sim::PowerTrace& TraceMethod::trace(std::size_t i) const {
+  CARAML_CHECK(i < traces_.size());
+  return traces_[i];
+}
+
+namespace {
+std::vector<std::string> numbered(const std::string& prefix, std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+}  // namespace
+
+std::shared_ptr<TraceMethod> make_pynvml_sim(
+    std::vector<sim::PowerTrace> gpu_traces) {
+  auto channels = numbered("gpu", gpu_traces.size());
+  return std::make_shared<TraceMethod>("pynvml", std::move(channels),
+                                       std::move(gpu_traces));
+}
+
+std::shared_ptr<TraceMethod> make_rocm_smi_sim(
+    std::vector<sim::PowerTrace> gcd_traces) {
+  auto channels = numbered("card", gcd_traces.size());
+  return std::make_shared<TraceMethod>("rocm", std::move(channels),
+                                       std::move(gcd_traces));
+}
+
+std::shared_ptr<TraceMethod> make_gcipuinfo_sim(
+    std::vector<sim::PowerTrace> ipu_traces) {
+  auto channels = numbered("ipu", ipu_traces.size());
+  return std::make_shared<TraceMethod>("gcipuinfo", std::move(channels),
+                                       std::move(ipu_traces));
+}
+
+GraceHopperSimMethod::GraceHopperSimMethod(
+    std::vector<sim::PowerTrace> module_traces, double grace_fraction)
+    : modules_(std::move(module_traces)), grace_fraction_(grace_fraction) {
+  CARAML_CHECK_MSG(!modules_.empty(), "gh method needs at least one module");
+  CARAML_CHECK_MSG(grace_fraction_ >= 0.0 && grace_fraction_ < 1.0,
+                   "grace fraction must be in [0, 1)");
+}
+
+std::vector<std::string> GraceHopperSimMethod::channels() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    out.push_back("module" + std::to_string(i));
+    out.push_back("grace" + std::to_string(i));
+  }
+  return out;
+}
+
+std::vector<Reading> GraceHopperSimMethod::sample(double t) {
+  std::vector<Reading> out;
+  out.reserve(modules_.size() * 2);
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const double module_watts = modules_[i].power_at(t);
+    out.push_back(Reading{"module" + std::to_string(i), module_watts});
+    out.push_back(
+        Reading{"grace" + std::to_string(i), module_watts * grace_fraction_});
+  }
+  return out;
+}
+
+SyntheticMethod::SyntheticMethod(std::string channel, double base_watts,
+                                 double amplitude, double period_s)
+    : channel_(std::move(channel)),
+      base_(base_watts),
+      amplitude_(amplitude),
+      period_(period_s) {
+  CARAML_CHECK_MSG(period_ > 0.0, "period must be positive");
+}
+
+std::vector<Reading> SyntheticMethod::sample(double t) {
+  const double w = 2.0 * M_PI / period_;
+  return {Reading{channel_, base_ + amplitude_ * std::sin(w * t)}};
+}
+
+double SyntheticMethod::exact_energy_joules(double t) const {
+  const double w = 2.0 * M_PI / period_;
+  // ∫(base + amp*sin(w t)) dt = base*t + amp*(1 - cos(w t))/w.
+  return base_ * t + amplitude_ * (1.0 - std::cos(w * t)) / w;
+}
+
+}  // namespace caraml::power

@@ -1,0 +1,85 @@
+// Simulated vendor methods: pynvml / rocm-smi / gcipuinfo / Grace-Hopper
+// hwmon, each backed by sim::PowerTrace power rails instead of hardware
+// counters. The channel naming follows each vendor's tool conventions so the
+// exported DataFrames look like the Python jpwr's.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/method.hpp"
+#include "sim/power_model.hpp"
+
+namespace caraml::power {
+
+/// Base for all trace-replay methods: channel i reads trace i at time t.
+class TraceMethod : public Method {
+ public:
+  TraceMethod(std::string name, std::vector<std::string> channels,
+              std::vector<sim::PowerTrace> traces);
+
+  std::string name() const override { return name_; }
+  std::vector<std::string> channels() const override { return channels_; }
+  std::vector<Reading> sample(double t) override;
+
+  const sim::PowerTrace& trace(std::size_t i) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> channels_;
+  std::vector<sim::PowerTrace> traces_;
+};
+
+/// NVIDIA Management Library flavor: channels "gpu0", "gpu1", ...
+std::shared_ptr<TraceMethod> make_pynvml_sim(
+    std::vector<sim::PowerTrace> gpu_traces);
+
+/// ROCm SMI flavor: channels "card0", "card1", ... (one per GCD).
+std::shared_ptr<TraceMethod> make_rocm_smi_sim(
+    std::vector<sim::PowerTrace> gcd_traces);
+
+/// Graphcore gcipuinfo flavor: channels "ipu0", ...
+std::shared_ptr<TraceMethod> make_gcipuinfo_sim(
+    std::vector<sim::PowerTrace> ipu_traces);
+
+/// Grace-Hopper sysfs hwmon flavor (method "gh" in jpwr): reports the module
+/// power plus a CPU rail derived from it. Channels:
+/// "module0", "grace0", "module1", ...
+class GraceHopperSimMethod : public Method {
+ public:
+  /// `grace_fraction`: share of the package power drawn by the Grace CPU
+  /// complex (reported as a separate hwmon channel).
+  GraceHopperSimMethod(std::vector<sim::PowerTrace> module_traces,
+                       double grace_fraction = 0.18);
+
+  std::string name() const override { return "gh"; }
+  std::vector<std::string> channels() const override;
+  std::vector<Reading> sample(double t) override;
+
+ private:
+  std::vector<sim::PowerTrace> modules_;
+  double grace_fraction_;
+};
+
+/// Deterministic synthetic signal for tests: watts(t) = base + amp*sin(w*t).
+class SyntheticMethod : public Method {
+ public:
+  SyntheticMethod(std::string channel, double base_watts, double amplitude,
+                  double period_s);
+
+  std::string name() const override { return "synthetic"; }
+  std::vector<std::string> channels() const override { return {channel_}; }
+  std::vector<Reading> sample(double t) override;
+
+  /// Closed-form energy over [0, t] in joules (for integration tests).
+  double exact_energy_joules(double t) const;
+
+ private:
+  std::string channel_;
+  double base_;
+  double amplitude_;
+  double period_;
+};
+
+}  // namespace caraml::power

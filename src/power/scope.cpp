@@ -1,0 +1,190 @@
+#include "power/scope.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace caraml::power {
+
+PowerScope::PowerScope(std::vector<MethodPtr> methods, double interval_ms,
+                       std::shared_ptr<Clock> clock)
+    : methods_(std::move(methods)),
+      interval_s_(interval_ms / 1e3),
+      clock_(clock ? std::move(clock) : std::make_shared<WallClock>()) {
+  CARAML_CHECK_MSG(!methods_.empty(), "PowerScope needs at least one method");
+  CARAML_CHECK_MSG(interval_ms > 0.0, "sampling interval must be positive");
+  for (const auto& method : methods_) {
+    CARAML_CHECK_MSG(method != nullptr, "null method");
+    for (const auto& channel : method->channels()) {
+      columns_.push_back(method->name() + ":" + channel);
+    }
+  }
+  take_sample();  // guarantee a point at scope entry
+  thread_ = std::thread([this] { sampling_loop(); });
+}
+
+PowerScope::~PowerScope() {
+  try {
+    stop();
+  } catch (...) {
+    // Never throw from a destructor.
+  }
+}
+
+void PowerScope::stop() {
+  if (stopped_) return;
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  take_sample();  // final point at scope exit
+  stopped_ = true;
+}
+
+void PowerScope::sampling_loop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s_));
+    if (stopping_.load()) break;
+    take_sample();
+  }
+}
+
+void PowerScope::take_sample() {
+  const double t = clock_->now();
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  for (const auto& method : methods_) {
+    for (const auto& reading : method->sample(t)) {
+      row.push_back(reading.watts);
+    }
+  }
+  CARAML_CHECK_MSG(row.size() == columns_.size(),
+                   "method reported unexpected channel count");
+  std::lock_guard<std::mutex> lock(mutex_);
+  times_.push_back(t);
+  watts_.push_back(std::move(row));
+}
+
+df::DataFrame PowerScope::df() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  df::DataFrame frame;
+  frame.add_column("time", df::ColumnType::kDouble);
+  for (const auto& column : columns_) {
+    frame.add_column(column, df::ColumnType::kDouble);
+  }
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    std::vector<df::Value> row;
+    row.reserve(columns_.size() + 1);
+    row.emplace_back(times_[i]);
+    for (double w : watts_[i]) row.emplace_back(w);
+    frame.append_row(row);
+  }
+  return frame;
+}
+
+double integrate_trapezoid_joules(const std::vector<double>& times,
+                                  const std::vector<double>& watts) {
+  CARAML_CHECK_MSG(times.size() == watts.size(),
+                   "times/watts length mismatch");
+  double joules = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double dt = times[i] - times[i - 1];
+    CARAML_CHECK_MSG(dt >= 0.0, "timestamps must be non-decreasing");
+    joules += 0.5 * (watts[i] + watts[i - 1]) * dt;
+  }
+  return joules;
+}
+
+PowerScope::EnergyResult PowerScope::energy() const {
+  std::vector<double> times;
+  std::vector<std::vector<double>> samples;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    times = times_;
+    samples = watts_;
+  }
+
+  EnergyResult result;
+  result.energy.add_column("channel", df::ColumnType::kString);
+  result.energy.add_column("energy_wh", df::ColumnType::kDouble);
+  result.energy.add_column("avg_watts", df::ColumnType::kDouble);
+  result.energy.add_column("min_watts", df::ColumnType::kDouble);
+  result.energy.add_column("max_watts", df::ColumnType::kDouble);
+  result.energy.add_column("duration_s", df::ColumnType::kDouble);
+  result.energy.add_column("samples", df::ColumnType::kInt64);
+
+  const double duration_s =
+      times.size() >= 2 ? times.back() - times.front() : 0.0;
+
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::vector<double> series;
+    series.reserve(samples.size());
+    for (const auto& row : samples) series.push_back(row[c]);
+    const double joules = integrate_trapezoid_joules(times, series);
+    double min_w = series.empty() ? 0.0 : series.front();
+    double max_w = min_w;
+    double sum_w = 0.0;
+    for (double w : series) {
+      min_w = std::min(min_w, w);
+      max_w = std::max(max_w, w);
+      sum_w += w;
+    }
+    const double avg =
+        duration_s > 0.0
+            ? joules / duration_s
+            : (series.empty() ? 0.0 : sum_w / static_cast<double>(series.size()));
+    result.energy.append_row({columns_[c], units::joules_to_wh(joules), avg,
+                              min_w, max_w, duration_s,
+                              static_cast<std::int64_t>(series.size())});
+  }
+
+  // Per-method sample frames (jpwr's additional_data).
+  const df::DataFrame all = df();
+  for (const auto& method : methods_) {
+    std::vector<std::string> wanted = {"time"};
+    for (const auto& channel : method->channels()) {
+      wanted.push_back(method->name() + ":" + channel);
+    }
+    result.additional[method->name()] = all.select(wanted);
+  }
+  return result;
+}
+
+double PowerScope::channel_energy_wh(const std::string& column) const {
+  const auto it = std::find(columns_.begin(), columns_.end(), column);
+  if (it == columns_.end()) throw NotFound("no power channel: " + column);
+  const std::size_t index =
+      static_cast<std::size_t>(it - columns_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> series;
+  series.reserve(watts_.size());
+  for (const auto& row : watts_) series.push_back(row[index]);
+  return units::joules_to_wh(integrate_trapezoid_joules(times_, series));
+}
+
+std::size_t PowerScope::num_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return times_.size();
+}
+
+double PowerScope::duration() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return times_.size() >= 2 ? times_.back() - times_.front() : 0.0;
+}
+
+void export_results(const PowerScope& scope, const ExportOptions& options) {
+  CARAML_CHECK_MSG(!options.out_dir.empty(), "--df-out directory required");
+  if (options.filetype != "csv") {
+    throw InvalidArgument("unsupported --df-filetype: " + options.filetype +
+                          " (only 'csv' is supported in this build)");
+  }
+  const std::string suffix = str::expand_env(options.suffix);
+  std::filesystem::create_directories(options.out_dir);
+  scope.df().to_csv_file(options.out_dir + "/power" + suffix + ".csv");
+  scope.energy().energy.to_csv_file(options.out_dir + "/energy" + suffix +
+                                    ".csv");
+}
+
+}  // namespace caraml::power

@@ -1,0 +1,102 @@
+// PowerScope — the C++ analogue of jpwr's `get_power` context manager
+// (paper §III-A4).
+//
+//   std::vector<MethodPtr> met_list = {make_pynvml_sim(...),
+//                                      std::make_shared<GraceHopperSimMethod>(...)};
+//   {
+//     PowerScope measured_scope(met_list, /*interval_ms=*/100);
+//     application_call();
+//   }  // sampling stops at scope exit
+//   auto df = measured_scope.df();
+//   auto [energy_df, additional] = measured_scope.energy();
+//
+// The scope starts a background sampling thread that periodically queries all
+// methods, storing (timestamp, watts) points; energy is computed by
+// trapezoidal integration at the end, exactly as the Python tool does.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "df/dataframe.hpp"
+#include "power/clock.hpp"
+#include "power/method.hpp"
+
+namespace caraml::power {
+
+class PowerScope {
+ public:
+  /// Starts sampling immediately. `interval_ms` is the polling period (the
+  /// paper uses 100 ms); `clock` defaults to a wall clock — pass a
+  /// ScaledClock to replay simulated traces quickly.
+  explicit PowerScope(std::vector<MethodPtr> methods,
+                      double interval_ms = 100.0,
+                      std::shared_ptr<Clock> clock = nullptr);
+  ~PowerScope();
+
+  PowerScope(const PowerScope&) = delete;
+  PowerScope& operator=(const PowerScope&) = delete;
+
+  /// Stop sampling (idempotent); takes a final sample so every scope has at
+  /// least two points.
+  void stop();
+
+  /// Raw samples: columns "time" + one per "<method>:<channel>".
+  df::DataFrame df() const;
+
+  struct EnergyResult {
+    /// One row per channel: channel, energy_wh, avg_watts, min_watts,
+    /// max_watts, duration_s, samples.
+    df::DataFrame energy;
+    /// Additional per-method data frames (method name -> samples restricted
+    /// to that method), mirroring jpwr's `additional_data` dict.
+    std::map<std::string, df::DataFrame> additional;
+  };
+  EnergyResult energy() const;
+
+  /// Total energy (Wh) of one channel ("<method>:<channel>").
+  double channel_energy_wh(const std::string& column) const;
+
+  std::size_t num_samples() const;
+  double duration() const;
+
+ private:
+  void sampling_loop();
+  void take_sample();
+
+  std::vector<MethodPtr> methods_;
+  std::vector<std::string> columns_;  // "<method>:<channel>", sample order
+  double interval_s_;
+  std::shared_ptr<Clock> clock_;
+
+  mutable std::mutex mutex_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> watts_;  // [sample][column]
+
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+/// Trapezoidal integration of (t, w) samples to joules — the same estimator
+/// jpwr applies to its sample DataFrame.
+double integrate_trapezoid_joules(const std::vector<double>& times,
+                                  const std::vector<double>& watts);
+
+/// Result-file export (jpwr's --df-out/--df-filetype/--df-suffix):
+/// writes "<out_dir>/power<suffix>.<ext>" and "<out_dir>/energy<suffix>.<ext>"
+/// after expanding %q{VAR} escapes in `suffix`. Only "csv" is supported as
+/// filetype (HDF5 is out of scope); anything else throws.
+struct ExportOptions {
+  std::string out_dir;
+  std::string filetype = "csv";
+  std::string suffix;
+};
+void export_results(const PowerScope& scope, const ExportOptions& options);
+
+}  // namespace caraml::power

@@ -1,0 +1,247 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caraml::sim {
+
+ClusterSim::ClusterSim(const topo::NodeSpec& node, int devices_per_node,
+                       int num_nodes)
+    : node_(node),
+      devices_per_node_(devices_per_node < 0 ? node.devices_per_node
+                                             : devices_per_node),
+      num_nodes_(num_nodes) {
+  CARAML_CHECK_MSG(devices_per_node_ >= 1, "need at least one device");
+  CARAML_CHECK_MSG(devices_per_node_ <= node.devices_per_node,
+                   "more devices requested than the node has");
+  CARAML_CHECK_MSG(num_nodes_ >= 1, "need at least one node");
+  if (num_nodes_ > 1) {
+    CARAML_CHECK_MSG(node.inter_node.bandwidth > 0.0,
+                     node.display_name + " has no inter-node interconnect");
+  }
+  num_devices_ = devices_per_node_ * num_nodes_;
+  for (int d = 0; d < num_devices_; ++d) {
+    const std::string suffix = std::to_string(d);
+    compute_.push_back(graph_.add_resource("dev" + suffix));
+    host_.push_back(graph_.add_resource("host" + suffix));
+    links_.push_back(graph_.add_resource("link" + suffix));
+  }
+}
+
+Resource* ClusterSim::compute(int device) {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  return compute_[static_cast<std::size_t>(device)];
+}
+
+Resource* ClusterSim::host(int device) {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  return host_[static_cast<std::size_t>(device)];
+}
+
+Resource* ClusterSim::ring_link(int device) {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  return links_[static_cast<std::size_t>(device)];
+}
+
+bool ClusterSim::hop_crosses_node(int device) const {
+  const int next = (device + 1) % num_devices_;
+  return device / devices_per_node_ != next / devices_per_node_;
+}
+
+double ClusterSim::hop_time(int device, double bytes) const {
+  const topo::LinkSpec& link =
+      hop_crosses_node(device) ? node_.inter_node : node_.peer_link;
+  CARAML_CHECK_MSG(link.bandwidth > 0.0,
+                   "hop over absent link from device " +
+                       std::to_string(device));
+  return link.latency_s + bytes / link.bandwidth;
+}
+
+std::vector<TaskId> ClusterSim::ring_all_reduce(double bytes,
+                                                std::vector<TaskId> deps,
+                                                const std::string& name,
+                                                double utilization) {
+  const int n = num_devices_;
+  deps.resize(static_cast<std::size_t>(n), kInvalidTask);
+  if (n == 1) {
+    // Degenerate: nothing to communicate; emit a zero-length marker task so
+    // callers can uniformly depend on the result.
+    TaskId t = graph_.add_task(compute_[0], 0.0, 0.0, name + ".noop");
+    if (deps[0] != kInvalidTask) graph_.add_dependency(deps[0], t);
+    return {t};
+  }
+  // Ring all-reduce: 2*(n-1) steps; each step every device forwards a
+  // bytes/n chunk to its successor. Step k of device d depends on step k-1
+  // of device d (link free) and step k-1 of device d-1 (chunk arrived).
+  const double chunk = bytes / n;
+  std::vector<TaskId> prev(static_cast<std::size_t>(n), kInvalidTask);
+  for (int d = 0; d < n; ++d) prev[static_cast<std::size_t>(d)] = deps[static_cast<std::size_t>(d)];
+  for (int step = 0; step < 2 * (n - 1); ++step) {
+    std::vector<TaskId> current(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      const TaskId send = graph_.add_task(
+          links_[static_cast<std::size_t>(d)], hop_time(d, chunk), utilization,
+          name + ".s" + std::to_string(step) + ".d" + std::to_string(d));
+      if (prev[static_cast<std::size_t>(d)] != kInvalidTask) {
+        graph_.add_dependency(prev[static_cast<std::size_t>(d)], send);
+      }
+      const int from = (d - 1 + n) % n;
+      if (prev[static_cast<std::size_t>(from)] != kInvalidTask) {
+        graph_.add_dependency(prev[static_cast<std::size_t>(from)], send);
+      }
+      current[static_cast<std::size_t>(d)] = send;
+    }
+    prev = std::move(current);
+  }
+  return prev;
+}
+
+std::vector<TaskId> ClusterSim::ring_all_gather(double bytes,
+                                                std::vector<TaskId> deps,
+                                                const std::string& name,
+                                                double utilization) {
+  const int n = num_devices_;
+  deps.resize(static_cast<std::size_t>(n), kInvalidTask);
+  if (n == 1) {
+    TaskId t = graph_.add_task(compute_[0], 0.0, 0.0, name + ".noop");
+    if (deps[0] != kInvalidTask) graph_.add_dependency(deps[0], t);
+    return {t};
+  }
+  std::vector<TaskId> prev = deps;
+  for (int step = 0; step < n - 1; ++step) {
+    std::vector<TaskId> current(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      const TaskId send = graph_.add_task(
+          links_[static_cast<std::size_t>(d)], hop_time(d, bytes), utilization,
+          name + ".s" + std::to_string(step) + ".d" + std::to_string(d));
+      if (prev[static_cast<std::size_t>(d)] != kInvalidTask) {
+        graph_.add_dependency(prev[static_cast<std::size_t>(d)], send);
+      }
+      const int from = (d - 1 + n) % n;
+      if (prev[static_cast<std::size_t>(from)] != kInvalidTask) {
+        graph_.add_dependency(prev[static_cast<std::size_t>(from)], send);
+      }
+      current[static_cast<std::size_t>(d)] = send;
+    }
+    prev = std::move(current);
+  }
+  return prev;
+}
+
+std::vector<TaskId> ClusterSim::broadcast(double bytes, TaskId dep,
+                                          const std::string& name,
+                                          double utilization) {
+  const int n = num_devices_;
+  std::vector<TaskId> done(static_cast<std::size_t>(n), kInvalidTask);
+  TaskId previous = dep;
+  // Sequential ring forward: device d sends to d+1 once it has the data.
+  for (int d = 0; d + 1 < n; ++d) {
+    const TaskId send = graph_.add_task(
+        links_[static_cast<std::size_t>(d)], hop_time(d, bytes), utilization,
+        name + ".hop" + std::to_string(d));
+    if (previous != kInvalidTask) graph_.add_dependency(previous, send);
+    done[static_cast<std::size_t>(d + 1)] = send;
+    previous = send;
+  }
+  // Device 0 holds the data from the start.
+  TaskId origin = graph_.add_task(compute_[0], 0.0, 0.0, name + ".origin");
+  if (dep != kInvalidTask) graph_.add_dependency(dep, origin);
+  done[0] = origin;
+  return done;
+}
+
+std::vector<TaskId> ClusterSim::hierarchical_all_reduce(
+    double bytes, std::vector<TaskId> deps, const std::string& name,
+    double utilization) {
+  if (num_nodes_ == 1) return ring_all_reduce(bytes, std::move(deps), name,
+                                              utilization);
+  deps.resize(static_cast<std::size_t>(num_devices_), kInvalidTask);
+  const int dpn = devices_per_node_;
+
+  // Phase 1: intra-node ring all-reduce per node — 2*(dpn-1) steps over the
+  // peer link. Modeled per node as a chain of steps on each device's link.
+  std::vector<TaskId> phase1(static_cast<std::size_t>(num_devices_));
+  const double intra_chunk = dpn > 1 ? bytes / dpn : bytes;
+  for (int node_index = 0; node_index < num_nodes_; ++node_index) {
+    for (int local = 0; local < dpn; ++local) {
+      const int d = node_index * dpn + local;
+      TaskId prev = deps[static_cast<std::size_t>(d)];
+      if (dpn > 1) {
+        for (int step = 0; step < 2 * (dpn - 1); ++step) {
+          const double t = node_.peer_link.latency_s +
+                           intra_chunk / node_.peer_link.bandwidth;
+          const TaskId send = graph_.add_task(
+              links_[static_cast<std::size_t>(d)], t, utilization,
+              name + ".intra" + std::to_string(step));
+          if (prev != kInvalidTask) graph_.add_dependency(prev, send);
+          prev = send;
+        }
+      }
+      phase1[static_cast<std::size_t>(d)] = prev;
+    }
+  }
+
+  // Phase 2: inter-node ring across node leaders (device 0 of each node)
+  // over InfiniBand; 2*(nodes-1) steps of bytes/nodes chunks.
+  std::vector<TaskId> leader_done(static_cast<std::size_t>(num_nodes_));
+  const double inter_chunk = bytes / num_nodes_;
+  for (int node_index = 0; node_index < num_nodes_; ++node_index) {
+    const int leader = node_index * dpn;
+    TaskId prev = phase1[static_cast<std::size_t>(leader)];
+    // The leader must also wait for its node peers' reduce-scatter.
+    for (int local = 1; local < dpn; ++local) {
+      // Gate via a zero-cost merge task on the leader's compute queue.
+      const TaskId merge = graph_.add_task(
+          compute_[static_cast<std::size_t>(leader)], 0.0, 0.0,
+          name + ".merge");
+      graph_.add_dependency(phase1[static_cast<std::size_t>(leader)], merge);
+      graph_.add_dependency(
+          phase1[static_cast<std::size_t>(node_index * dpn + local)], merge);
+      prev = merge;
+    }
+    for (int step = 0; step < 2 * (num_nodes_ - 1); ++step) {
+      const double t = node_.inter_node.latency_s +
+                       inter_chunk / node_.inter_node.bandwidth;
+      const TaskId send = graph_.add_task(
+          links_[static_cast<std::size_t>(leader)], t, utilization,
+          name + ".inter" + std::to_string(step));
+      if (prev != kInvalidTask) graph_.add_dependency(prev, send);
+      prev = send;
+    }
+    leader_done[static_cast<std::size_t>(node_index)] = prev;
+  }
+
+  // Phase 3: intra-node broadcast of the reduced result.
+  std::vector<TaskId> done(static_cast<std::size_t>(num_devices_));
+  for (int node_index = 0; node_index < num_nodes_; ++node_index) {
+    const TaskId from_leader =
+        leader_done[static_cast<std::size_t>(node_index)];
+    for (int local = 0; local < dpn; ++local) {
+      const int d = node_index * dpn + local;
+      if (local == 0) {
+        done[static_cast<std::size_t>(d)] = from_leader;
+        continue;
+      }
+      const double t =
+          node_.peer_link.latency_s + bytes / dpn / node_.peer_link.bandwidth;
+      const TaskId bc = graph_.add_task(links_[static_cast<std::size_t>(d)],
+                                        t, utilization, name + ".bcast");
+      graph_.add_dependency(from_leader, bc);
+      done[static_cast<std::size_t>(d)] = bc;
+    }
+  }
+  return done;
+}
+
+TaskId ClusterSim::p2p_send(int device, double bytes, TaskId dep,
+                            const std::string& name, double utilization) {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  const TaskId send = graph_.add_task(links_[static_cast<std::size_t>(device)],
+                                      hop_time(device, bytes), utilization,
+                                      name);
+  if (dep != kInvalidTask) graph_.add_dependency(dep, send);
+  return send;
+}
+
+}  // namespace caraml::sim

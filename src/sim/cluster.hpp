@@ -1,0 +1,83 @@
+// ClusterSim: a simulated (multi-node) accelerator cluster assembled from a
+// topo::NodeSpec — per-device compute queues, host input pipelines, a ring
+// of interconnect links (intra-node peer links, inter-node InfiniBand), and
+// collective-communication builders (ring all-reduce / all-gather /
+// broadcast) expressed as task subgraphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "topo/specs.hpp"
+
+namespace caraml::sim {
+
+class ClusterSim {
+ public:
+  /// `devices_per_node` defaults to the node spec's device count; `num_nodes`
+  /// devices ring across nodes over the inter-node interconnect.
+  ClusterSim(const topo::NodeSpec& node, int devices_per_node = -1,
+             int num_nodes = 1);
+
+  const topo::NodeSpec& node() const { return node_; }
+  int num_devices() const { return num_devices_; }
+  int devices_per_node() const { return devices_per_node_; }
+  int num_nodes() const { return num_nodes_; }
+
+  TaskGraph& graph() { return graph_; }
+
+  Resource* compute(int device);
+  Resource* host(int device);
+  /// The outgoing ring link of `device` (to device+1 mod n).
+  Resource* ring_link(int device);
+
+  /// True when the ring hop leaving `device` crosses a node boundary.
+  bool hop_crosses_node(int device) const;
+
+  /// Transfer time for `bytes` over the hop leaving `device`.
+  double hop_time(int device, double bytes) const;
+
+  /// Ring all-reduce of `bytes` contributed per device.
+  /// `deps[d]` (may be kInvalidTask) gates device d's participation; the
+  /// returned vector holds one finishing task per device.
+  std::vector<TaskId> ring_all_reduce(double bytes, std::vector<TaskId> deps,
+                                      const std::string& name,
+                                      double utilization = 0.25);
+
+  /// Ring all-gather of `bytes` owned per device (each device ends with
+  /// n*bytes); (n-1) forwarding steps.
+  std::vector<TaskId> ring_all_gather(double bytes, std::vector<TaskId> deps,
+                                      const std::string& name,
+                                      double utilization = 0.25);
+
+  /// Broadcast `bytes` from device 0 around the ring.
+  std::vector<TaskId> broadcast(double bytes, TaskId dep,
+                                const std::string& name,
+                                double utilization = 0.25);
+
+  /// Point-to-point transfer device -> device+1 (pipeline-parallel sends).
+  TaskId p2p_send(int device, double bytes, TaskId dep,
+                  const std::string& name, double utilization = 0.25);
+
+  /// Hierarchical all-reduce (NCCL-style for multi-node rings): intra-node
+  /// ring reduce-scatter + all-gather, then an inter-node ring across the
+  /// node leaders over the InfiniBand fabric, then an intra-node broadcast.
+  /// Falls back to the flat ring on a single node.
+  std::vector<TaskId> hierarchical_all_reduce(double bytes,
+                                              std::vector<TaskId> deps,
+                                              const std::string& name,
+                                              double utilization = 0.25);
+
+ private:
+  topo::NodeSpec node_;
+  int devices_per_node_;
+  int num_nodes_;
+  int num_devices_;
+  TaskGraph graph_;
+  std::vector<Resource*> compute_;
+  std::vector<Resource*> host_;
+  std::vector<Resource*> links_;  // outgoing ring link per device
+};
+
+}  // namespace caraml::sim

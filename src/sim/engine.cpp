@@ -1,0 +1,157 @@
+#include "sim/engine.hpp"
+
+#include <queue>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace caraml::sim {
+
+double Resource::busy_time() const {
+  double total = 0.0;
+  for (const auto& interval : busy_) total += interval.end - interval.start;
+  return total;
+}
+
+Resource* TaskGraph::add_resource(std::string name) {
+  CARAML_CHECK_MSG(!ran_, "cannot add resources after run()");
+  resources_.push_back(std::make_unique<Resource>(
+      std::move(name), static_cast<std::uint32_t>(resources_.size())));
+  return resources_.back().get();
+}
+
+TaskId TaskGraph::add_task(Resource* resource, double service_time,
+                           double utilization, std::string name,
+                           double release_time) {
+  CARAML_CHECK_MSG(!ran_, "cannot add tasks after run()");
+  CARAML_CHECK_MSG(resource != nullptr, "task needs a resource");
+  CARAML_CHECK_MSG(service_time >= 0.0, "negative service time");
+  Task task;
+  task.resource = resource;
+  task.service_time = service_time;
+  task.utilization = utilization;
+  task.release_time = release_time;
+  task.name = std::move(name);
+  tasks_.push_back(std::move(task));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::add_dependency(TaskId before, TaskId after) {
+  CARAML_CHECK(before < tasks_.size() && after < tasks_.size());
+  CARAML_CHECK_MSG(before != after, "task cannot depend on itself");
+  tasks_[before].successors.push_back(after);
+  ++tasks_[after].unmet_deps;
+}
+
+void TaskGraph::add_chain(const std::vector<TaskId>& tasks) {
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    add_dependency(tasks[i - 1], tasks[i]);
+  }
+}
+
+double TaskGraph::run() {
+  CARAML_CHECK_MSG(!ran_, "TaskGraph::run() called twice");
+  ran_ = true;
+
+  enum class EventKind { kReady, kComplete };
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    EventKind kind;
+    TaskId task;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // deterministic FIFO tie-break
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+  std::uint64_t seq = 0;
+
+  // Which task each resource is currently serving (kInvalidTask = idle).
+  std::vector<TaskId> serving(resources_.size(), kInvalidTask);
+
+  auto start_task = [&](TaskId id, double now) {
+    Task& task = tasks_[id];
+    Resource* res = task.resource;
+    task.start = now;
+    task.finish = now + task.service_time;
+    serving[res->index()] = id;
+    res->busy_.push_back(BusyInterval{task.start, task.finish,
+                                      task.utilization, id});
+    res->free_at_ = task.finish;
+    events.push(Event{task.finish, seq++, EventKind::kComplete, id});
+  };
+
+  std::size_t completed = 0;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].unmet_deps == 0) {
+      events.push(Event{tasks_[id].release_time, seq++, EventKind::kReady, id});
+    }
+  }
+
+  double makespan = 0.0;
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    const double now = event.time;
+    Task& task = tasks_[event.task];
+    Resource* res = task.resource;
+
+    if (event.kind == EventKind::kReady) {
+      if (serving[res->index()] == kInvalidTask && res->free_at_ <= now) {
+        start_task(event.task, now);
+      } else {
+        res->queue_.push_back(event.task);
+      }
+      continue;
+    }
+
+    // kComplete
+    task.done = true;
+    ++completed;
+    makespan = std::max(makespan, task.finish);
+    serving[res->index()] = kInvalidTask;
+
+    for (TaskId succ : task.successors) {
+      CARAML_CHECK_MSG(tasks_[succ].unmet_deps > 0, "dependency bookkeeping");
+      if (--tasks_[succ].unmet_deps == 0) {
+        const double ready = std::max(now, tasks_[succ].release_time);
+        events.push(Event{ready, seq++, EventKind::kReady, succ});
+      }
+    }
+
+    if (!res->queue_.empty()) {
+      const TaskId next = res->queue_.front();
+      res->queue_.erase(res->queue_.begin());
+      start_task(next, std::max(now, res->free_at_));
+    }
+  }
+
+  if (completed != tasks_.size()) {
+    throw Error("TaskGraph::run: dependency cycle — only " +
+                std::to_string(completed) + " of " +
+                std::to_string(tasks_.size()) + " tasks completed");
+  }
+  return makespan;
+}
+
+double TaskGraph::finish_time(TaskId task) const {
+  CARAML_CHECK(task < tasks_.size());
+  CARAML_CHECK_MSG(ran_, "finish_time before run()");
+  return tasks_[task].finish;
+}
+
+double TaskGraph::start_time(TaskId task) const {
+  CARAML_CHECK(task < tasks_.size());
+  CARAML_CHECK_MSG(ran_, "start_time before run()");
+  return tasks_[task].start;
+}
+
+const std::string& TaskGraph::task_name(TaskId task) const {
+  CARAML_CHECK(task < tasks_.size());
+  return tasks_[task].name;
+}
+
+}  // namespace caraml::sim

@@ -1,0 +1,120 @@
+// Discrete-event simulation engine.
+//
+// The CARAML-cpp hardware substitute executes workloads as *task graphs* over
+// *resources*. A resource is a serial server (an accelerator's compute queue,
+// one direction of an interconnect link, a host data-pipeline). A task
+// occupies one resource for a service time and may depend on other tasks.
+// The engine runs a classic event loop: when all dependencies of a task have
+// finished it enters its resource's FIFO queue; a resource serves one task at
+// a time. Completion events advance the virtual clock.
+//
+// The recorded per-resource busy intervals (with a utilization annotation)
+// are the input to the power model in sim/power_model.hpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace caraml::sim {
+
+/// A busy interval on a resource: [start, end) with an abstract utilization
+/// in [0, 1] used by the power model.
+struct BusyInterval {
+  double start = 0.0;
+  double end = 0.0;
+  double utilization = 0.0;
+  std::uint32_t task_index = 0;
+};
+
+/// A serial server. Create via TaskGraph::add_resource.
+class Resource {
+ public:
+  Resource(std::string name, std::uint32_t index)
+      : name_(std::move(name)), index_(index) {}
+
+  const std::string& name() const { return name_; }
+  std::uint32_t index() const { return index_; }
+
+  const std::vector<BusyInterval>& busy_intervals() const { return busy_; }
+
+  /// Total busy time over the run.
+  double busy_time() const;
+
+  /// Time the resource finished its last task (0 when never used).
+  double last_end() const {
+    return busy_.empty() ? 0.0 : busy_.back().end;
+  }
+
+ private:
+  friend class TaskGraph;
+  std::string name_;
+  std::uint32_t index_;
+  std::vector<BusyInterval> busy_;
+  double free_at_ = 0.0;
+  std::vector<std::uint32_t> queue_;  // ready tasks waiting for this resource
+};
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+/// A dependency-driven task graph executed by the event engine.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Create a resource; the returned pointer remains valid for the lifetime
+  /// of the graph (resources are stored behind unique_ptr).
+  Resource* add_resource(std::string name);
+
+  /// Add a task bound to `resource` with the given service time and power
+  /// utilization. `release_time` is the earliest time the task may start
+  /// (default: as soon as dependencies allow).
+  TaskId add_task(Resource* resource, double service_time,
+                  double utilization = 1.0, std::string name = {},
+                  double release_time = 0.0);
+
+  /// `after` cannot start before `before` finishes.
+  void add_dependency(TaskId before, TaskId after);
+
+  /// Convenience: sequential chain — each task depends on the previous one.
+  void add_chain(const std::vector<TaskId>& tasks);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_resources() const { return resources_.size(); }
+  Resource* resource(std::size_t i) { return resources_[i].get(); }
+  const Resource* resource_at(std::size_t i) const {
+    return resources_[i].get();
+  }
+
+  /// Execute; returns the makespan (time the last task finishes). Throws
+  /// caraml::Error when the graph has a dependency cycle.
+  double run();
+
+  /// Completion time of a task after run().
+  double finish_time(TaskId task) const;
+  double start_time(TaskId task) const;
+  const std::string& task_name(TaskId task) const;
+
+ private:
+  struct Task {
+    Resource* resource = nullptr;
+    double service_time = 0.0;
+    double utilization = 1.0;
+    double release_time = 0.0;
+    std::string name;
+    std::vector<TaskId> successors;
+    std::uint32_t unmet_deps = 0;
+    double start = -1.0;
+    double finish = -1.0;
+    bool done = false;
+  };
+
+  std::vector<std::unique_ptr<Resource>> resources_;
+  std::vector<Task> tasks_;
+  bool ran_ = false;
+};
+
+}  // namespace caraml::sim

@@ -1,0 +1,68 @@
+// Device memory accounting for the simulator.
+//
+// Before a workload is simulated, its driver registers every allocation
+// (model state, activations, workspace) against the device's capacity. When
+// the budget is exceeded a caraml::OutOfMemory is thrown — these are the
+// "OOM" cells of the paper's Fig. 4 heatmaps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace caraml::sim {
+
+class MemoryTracker {
+ public:
+  MemoryTracker(std::string device_name, double capacity_bytes)
+      : device_name_(std::move(device_name)), capacity_(capacity_bytes) {}
+
+  double capacity() const { return capacity_; }
+  double used() const { return used_; }
+  double available() const { return capacity_ - used_; }
+
+  /// Register an allocation; throws caraml::OutOfMemory with a breakdown of
+  /// current allocations when it does not fit.
+  void allocate(const std::string& label, double bytes) {
+    CARAML_CHECK_MSG(bytes >= 0.0, "negative allocation");
+    if (used_ + bytes > capacity_) {
+      std::string message = device_name_ + ": OOM allocating '" + label +
+                            "' (" + units::format_bytes(bytes) +
+                            "), capacity " + units::format_bytes(capacity_) +
+                            ", already allocated:";
+      for (const auto& [name, size] : allocations_) {
+        message += " " + name + "=" + units::format_bytes(size);
+      }
+      throw OutOfMemory(message);
+    }
+    used_ += bytes;
+    allocations_.emplace_back(label, bytes);
+  }
+
+  /// Release a previously registered allocation by label (first match).
+  void release(const std::string& label) {
+    for (auto it = allocations_.begin(); it != allocations_.end(); ++it) {
+      if (it->first == label) {
+        used_ -= it->second;
+        allocations_.erase(it);
+        return;
+      }
+    }
+    throw NotFound(device_name_ + ": release of unknown allocation '" + label +
+                   "'");
+  }
+
+  const std::vector<std::pair<std::string, double>>& allocations() const {
+    return allocations_;
+  }
+
+ private:
+  std::string device_name_;
+  double capacity_;
+  double used_ = 0.0;
+  std::vector<std::pair<std::string, double>> allocations_;
+};
+
+}  // namespace caraml::sim

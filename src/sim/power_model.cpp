@@ -1,0 +1,89 @@
+#include "sim/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace caraml::sim {
+
+double busy_power_watts(const topo::DeviceSpec& device, double utilization) {
+  CARAML_CHECK_MSG(utilization >= 0.0, "negative utilization");
+  const double u_ref = device.util_at_tdp > 0.0 ? device.util_at_tdp : 1.0;
+  const double rel = std::min(1.0, utilization / u_ref);
+  const double dynamic_frac =
+      device.power_floor_frac +
+      (1.0 - device.power_floor_frac) *
+          std::pow(rel, topo::kPowerCurveExponent);
+  return device.idle_watts +
+         (device.tdp_watts - device.idle_watts) * dynamic_frac;
+}
+
+PowerTrace::PowerTrace(const topo::DeviceSpec& device,
+                       const std::vector<BusyInterval>& intervals,
+                       double horizon)
+    : idle_(device.idle_watts), horizon_(horizon) {
+  CARAML_CHECK_MSG(horizon >= 0.0, "negative horizon");
+  double cursor = 0.0;
+  for (const auto& interval : intervals) {
+    CARAML_CHECK_MSG(interval.start >= cursor - 1e-12,
+                     "busy intervals must be sorted and non-overlapping");
+    if (interval.start >= horizon) break;
+    if (interval.start > cursor) {
+      segments_.push_back(Segment{cursor, interval.start, idle_});
+    }
+    const double end = std::min(interval.end, horizon);
+    if (end > interval.start) {
+      segments_.push_back(Segment{interval.start, end,
+                                  busy_power_watts(device,
+                                                   interval.utilization)});
+    }
+    cursor = std::max(cursor, end);
+  }
+  if (cursor < horizon) {
+    segments_.push_back(Segment{cursor, horizon, idle_});
+  }
+}
+
+double PowerTrace::power_at(double t) const {
+  if (t < 0.0 || segments_.empty()) return idle_;
+  // Binary search over segment starts.
+  std::size_t lo = 0, hi = segments_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (segments_[mid].end <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= segments_.size()) return idle_;
+  const Segment& s = segments_[lo];
+  return (t >= s.start && t < s.end) ? s.watts : idle_;
+}
+
+double PowerTrace::energy_joules(double t0, double t1) const {
+  CARAML_CHECK_MSG(t1 >= t0, "energy interval reversed");
+  double energy = 0.0;
+  for (const auto& s : segments_) {
+    const double lo = std::max(t0, s.start);
+    const double hi = std::min(t1, s.end);
+    if (hi > lo) energy += s.watts * (hi - lo);
+  }
+  // Beyond the trace horizon the device idles.
+  if (t1 > horizon_) energy += idle_ * (t1 - std::max(t0, horizon_));
+  if (t0 < 0.0) energy += idle_ * (std::min(0.0, t1) - t0);
+  return energy;
+}
+
+double PowerTrace::energy_wh(double t0, double t1) const {
+  return units::joules_to_wh(energy_joules(t0, t1));
+}
+
+double PowerTrace::average_power() const {
+  if (horizon_ <= 0.0) return idle_;
+  return energy_joules(0.0, horizon_) / horizon_;
+}
+
+}  // namespace caraml::sim

@@ -1,0 +1,56 @@
+// Power model: maps a device's simulated busy intervals to a power-vs-time
+// trace and integrates it to energy.
+//
+// The curve P(u) = idle + (TDP - idle) * min(1, u / util_at_tdp)^1.3 is
+// calibrated per device (topo::DeviceSpec knobs) against the paper's measured
+// energy anchors; the superlinear exponent reflects DVFS (power ~ V^2 f while
+// throughput ~ f).
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "topo/specs.hpp"
+
+namespace caraml::sim {
+
+/// Instantaneous busy power for a device at abstract utilization u in [0,1+].
+double busy_power_watts(const topo::DeviceSpec& device, double utilization);
+
+/// A step-wise power trace over simulated time.
+class PowerTrace {
+ public:
+  /// Build from a device's busy intervals over [0, horizon]; gaps draw idle
+  /// power. Intervals must be non-overlapping and sorted (guaranteed for a
+  /// serial Resource).
+  PowerTrace(const topo::DeviceSpec& device,
+             const std::vector<BusyInterval>& intervals, double horizon);
+
+  /// Power at simulated time t (idle outside any interval / beyond horizon).
+  double power_at(double t) const;
+
+  /// Exact energy integral over [t0, t1] in joules.
+  double energy_joules(double t0, double t1) const;
+  double energy_wh(double t0, double t1) const;
+
+  /// Average power over [0, horizon].
+  double average_power() const;
+
+  double horizon() const { return horizon_; }
+  double idle_power() const { return idle_; }
+
+  /// Piecewise-constant segments (start, end, watts), covering [0, horizon].
+  struct Segment {
+    double start;
+    double end;
+    double watts;
+  };
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  double idle_;
+  double horizon_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace caraml::sim

@@ -1,0 +1,80 @@
+#include "sim/roofline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caraml::sim {
+
+double KernelProfile::arithmetic_intensity() const {
+  CARAML_CHECK_MSG(bytes > 0.0, "kernel moves no bytes");
+  return flops / bytes;
+}
+
+KernelProfile gemm_profile(std::int64_t m, std::int64_t n, std::int64_t k,
+                           double dtype_bytes) {
+  CARAML_CHECK_MSG(m > 0 && n > 0 && k > 0, "GEMM dims must be positive");
+  KernelProfile profile;
+  profile.name = "gemm_" + std::to_string(m) + "x" + std::to_string(n) + "x" +
+                 std::to_string(k);
+  profile.flops = 2.0 * static_cast<double>(m) * n * k;
+  profile.bytes = dtype_bytes * (static_cast<double>(m) * k +
+                                 static_cast<double>(k) * n +
+                                 static_cast<double>(m) * n);
+  return profile;
+}
+
+KernelProfile conv2d_profile(std::int64_t n, std::int64_t c, std::int64_t o,
+                             std::int64_t oh, std::int64_t ow, std::int64_t kh,
+                             std::int64_t kw, double dtype_bytes) {
+  // Implicit GEMM: M = n*oh*ow, N = o, K = c*kh*kw. Input bytes counted once
+  // (ideal reuse of the im2col expansion).
+  KernelProfile profile;
+  profile.name = "conv2d";
+  profile.flops = 2.0 * static_cast<double>(n) * oh * ow * o * c * kh * kw;
+  profile.bytes =
+      dtype_bytes * (static_cast<double>(n) * c * oh * ow +      // input
+                     static_cast<double>(o) * c * kh * kw +       // weights
+                     static_cast<double>(n) * o * oh * ow);       // output
+  return profile;
+}
+
+KernelProfile gemv_profile(std::int64_t rows, std::int64_t cols,
+                           double dtype_bytes) {
+  KernelProfile profile;
+  profile.name = "gemv";
+  profile.flops = 2.0 * static_cast<double>(rows) * cols;
+  profile.bytes = dtype_bytes * (static_cast<double>(rows) * cols +
+                                 static_cast<double>(cols) + rows);
+  return profile;
+}
+
+KernelProfile elementwise_profile(std::int64_t n, double flops_per_element,
+                                  double dtype_bytes) {
+  KernelProfile profile;
+  profile.name = "elementwise";
+  profile.flops = flops_per_element * static_cast<double>(n);
+  profile.bytes = 2.0 * dtype_bytes * static_cast<double>(n);
+  return profile;
+}
+
+double ridge_intensity(const topo::DeviceSpec& device) {
+  CARAML_CHECK_MSG(device.mem_bandwidth > 0.0, "device has no bandwidth");
+  return device.peak_fp16_flops / device.mem_bandwidth;
+}
+
+bool is_compute_bound(const topo::DeviceSpec& device,
+                      const KernelProfile& profile) {
+  return profile.arithmetic_intensity() >= ridge_intensity(device);
+}
+
+double kernel_time(const topo::DeviceSpec& device, const KernelProfile& profile,
+                   double efficiency) {
+  const double eff = efficiency > 0.0 ? efficiency : device.max_mfu_gemm;
+  CARAML_CHECK_MSG(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1]");
+  const double compute = profile.flops / (device.peak_fp16_flops * eff);
+  const double memory = profile.bytes / device.mem_bandwidth;
+  return std::max(compute, memory) + device.launch_overhead_s;
+}
+
+}  // namespace caraml::sim

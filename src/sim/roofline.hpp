@@ -1,0 +1,57 @@
+// Roofline kernel profiles: FLOPs and bytes moved for the kernel classes the
+// CARAML workloads execute (GEMM, conv2d via implicit GEMM, elementwise,
+// reductions, GEMV-like decode steps), and the induced execution time on a
+// topo::DeviceSpec — time = max(compute roof, memory roof) / efficiency.
+//
+// The workload cost models use calibrated MFU values for whole iterations;
+// this module provides the per-kernel view (used by the inference model, the
+// micro-level tests, and as the documented basis of those calibrations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topo/specs.hpp"
+
+namespace caraml::sim {
+
+struct KernelProfile {
+  std::string name;
+  double flops = 0.0;
+  double bytes = 0.0;  // DRAM traffic (reads + writes), assuming cold caches
+
+  /// FLOPs per byte.
+  double arithmetic_intensity() const;
+};
+
+/// C[m,n] = A[m,k] * B[k,n]; `dtype_bytes` = 2 for fp16.
+KernelProfile gemm_profile(std::int64_t m, std::int64_t n, std::int64_t k,
+                           double dtype_bytes = 2.0);
+
+/// NCHW conv as implicit GEMM: batch n, in-channels c, out-channels o,
+/// output spatial oh x ow, kernel kh x kw.
+KernelProfile conv2d_profile(std::int64_t n, std::int64_t c, std::int64_t o,
+                             std::int64_t oh, std::int64_t ow, std::int64_t kh,
+                             std::int64_t kw, double dtype_bytes = 2.0);
+
+/// y = W x (the per-token decode step shape): reads the full matrix.
+KernelProfile gemv_profile(std::int64_t rows, std::int64_t cols,
+                           double dtype_bytes = 2.0);
+
+/// Elementwise op over n elements (read + write).
+KernelProfile elementwise_profile(std::int64_t n, double flops_per_element = 1.0,
+                                  double dtype_bytes = 2.0);
+
+/// The device's ridge point: intensity (FLOP/byte) above which kernels are
+/// compute-bound.
+double ridge_intensity(const topo::DeviceSpec& device);
+
+bool is_compute_bound(const topo::DeviceSpec& device,
+                      const KernelProfile& profile);
+
+/// Execution time: max(flops / (peak * efficiency), bytes / bandwidth)
+/// + launch overhead. `efficiency` defaults to the device's GEMM MFU ceiling.
+double kernel_time(const topo::DeviceSpec& device, const KernelProfile& profile,
+                   double efficiency = 0.0);
+
+}  // namespace caraml::sim

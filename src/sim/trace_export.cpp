@@ -1,0 +1,81 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::sim {
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_chrome_trace(const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t r = 0; r < graph.num_resources(); ++r) {
+    const Resource* resource = graph.resource_at(r);
+    // Thread-name metadata event per resource track.
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << r
+       << ",\"args\":{\"name\":\"" << json_escape(resource->name())
+       << "\"}}";
+    for (const auto& interval : resource->busy_intervals()) {
+      os << ",{\"name\":\""
+         << json_escape(graph.task_name(interval.task_index)) << "\","
+         << "\"ph\":\"X\",\"pid\":1,\"tid\":" << r
+         << ",\"ts\":" << interval.start * 1e6
+         << ",\"dur\":" << (interval.end - interval.start) * 1e6
+         << ",\"args\":{\"utilization\":" << interval.utilization << "}}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_chrome_trace(const TaskGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write trace: " + path);
+  out << to_chrome_trace(graph);
+}
+
+df::DataFrame utilization_summary(const TaskGraph& graph) {
+  double makespan = 0.0;
+  for (std::size_t r = 0; r < graph.num_resources(); ++r) {
+    makespan = std::max(makespan, graph.resource_at(r)->last_end());
+  }
+  df::DataFrame frame;
+  frame.add_column("resource", df::ColumnType::kString);
+  frame.add_column("busy_s", df::ColumnType::kDouble);
+  frame.add_column("busy_fraction", df::ColumnType::kDouble);
+  frame.add_column("tasks", df::ColumnType::kInt64);
+  frame.add_column("mean_utilization", df::ColumnType::kDouble);
+  for (std::size_t r = 0; r < graph.num_resources(); ++r) {
+    const Resource* resource = graph.resource_at(r);
+    const double busy = resource->busy_time();
+    double weighted_util = 0.0;
+    for (const auto& interval : resource->busy_intervals()) {
+      weighted_util += interval.utilization * (interval.end - interval.start);
+    }
+    frame.append_row(
+        {resource->name(), busy, makespan > 0.0 ? busy / makespan : 0.0,
+         static_cast<std::int64_t>(resource->busy_intervals().size()),
+         busy > 0.0 ? weighted_util / busy : 0.0});
+  }
+  return frame;
+}
+
+}  // namespace caraml::sim

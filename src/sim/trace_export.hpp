@@ -1,0 +1,23 @@
+// Export simulated executions for inspection: Chrome-tracing JSON (open in
+// chrome://tracing or Perfetto) and a per-resource utilization summary.
+#pragma once
+
+#include <string>
+
+#include "df/dataframe.hpp"
+#include "sim/engine.hpp"
+
+namespace caraml::sim {
+
+/// Serialize a finished TaskGraph as a Chrome trace-event JSON document:
+/// one "complete" (ph:"X") event per busy interval, one track (tid) per
+/// resource. Timestamps are microseconds of simulated time.
+std::string to_chrome_trace(const TaskGraph& graph);
+
+void write_chrome_trace(const TaskGraph& graph, const std::string& path);
+
+/// Per-resource summary: name, busy seconds, busy fraction of the makespan,
+/// task count, mean utilization annotation.
+df::DataFrame utilization_summary(const TaskGraph& graph);
+
+}  // namespace caraml::sim

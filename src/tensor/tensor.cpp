@@ -1,0 +1,613 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+
+namespace caraml::tensor {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    CARAML_CHECK_MSG(d >= 0, "negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  data_.assign(static_cast<std::size_t>(numel_), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)),
+      data_(std::move(data)) {
+  CARAML_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == numel_,
+                   "data size does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  for (std::int64_t i = 0; i < n; ++i) t.data_[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  return t;
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  CARAML_CHECK_MSG(i < shape_.size(), "dim index out of range");
+  return shape_[i];
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> index) {
+  CARAML_CHECK_MSG(index.size() == shape_.size(), "index rank mismatch");
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (std::int64_t i : index) {
+    CARAML_CHECK_MSG(i >= 0 && i < shape_[d], "index out of range");
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return data_[static_cast<std::size_t>(flat)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return const_cast<Tensor*>(this)->at(index);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  CARAML_CHECK_MSG(shape_numel(new_shape) == numel_,
+                   "reshape numel mismatch: " + shape_to_string(shape_) +
+                       " -> " + shape_to_string(new_shape));
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::transpose2d() const {
+  CARAML_CHECK_MSG(rank() == 2, "transpose2d needs a 2-D tensor");
+  const std::int64_t rows = shape_[0];
+  const std::int64_t cols = shape_[1];
+  Tensor out({cols, rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out.data_[static_cast<std::size_t>(c * rows + r)] =
+          data_[static_cast<std::size_t>(r * cols + c)];
+    }
+  }
+  return out;
+}
+
+// --- elementwise -----------------------------------------------------------
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  CARAML_CHECK_MSG(a.shape() == b.shape(),
+                   std::string(op) + ": shape mismatch " +
+                       shape_to_string(a.shape()) + " vs " +
+                       shape_to_string(b.shape()));
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+void axpy(Tensor& y, float alpha, const Tensor& x) {
+  check_same_shape(y, x, "axpy");
+  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] += alpha * x[i];
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  return out;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
+  check_same_shape(x, grad_out, "relu_backward");
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = x[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+  return out;
+}
+
+namespace {
+// tanh-approximation GELU, as used by GPT-style models.
+inline float gelu_scalar(float x) {
+  const float c = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = c * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float gelu_grad_scalar(float x) {
+  const float c = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float inner = c * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * c * (1.0f + 3.0f * 0.044715f * x * x);
+}
+}  // namespace
+
+Tensor gelu(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = gelu_scalar(a[i]);
+  return out;
+}
+
+Tensor gelu_backward(const Tensor& x, const Tensor& grad_out) {
+  check_same_shape(x, grad_out, "gelu_backward");
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = grad_out[i] * gelu_grad_scalar(x[i]);
+  }
+  return out;
+}
+
+// --- reductions ------------------------------------------------------------
+
+float sum(const Tensor& a) {
+  double total = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) total += a[i];
+  return static_cast<float>(total);
+}
+
+float mean(const Tensor& a) {
+  CARAML_CHECK_MSG(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float best = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    best = std::max(best, std::fabs(a[i]));
+  }
+  return best;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  CARAML_CHECK_MSG(a.rank() == 2, "argmax_rows needs a 2-D tensor");
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t best = 0;
+    float best_value = a[r * cols];
+    for (std::int64_t c = 1; c < cols; ++c) {
+      const float v = a[r * cols + c];
+      if (v > best_value) {
+        best_value = v;
+        best = c;
+      }
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+// --- GEMM ------------------------------------------------------------------
+
+namespace {
+
+// Inner kernel: C[m,n] += A[m,k] * B[k,n] for a row range of C.
+// B is accessed row-wise (k outer) so the inner loop is contiguous.
+void gemm_rows(const float* a, const float* b, float* c, std::int64_t row_begin,
+               std::int64_t row_end, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+constexpr std::int64_t kParallelGemmThreshold = 64 * 64;
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CARAML_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul needs 2-D tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CARAML_CHECK_MSG(b.dim(0) == k,
+                   "matmul inner dimension mismatch: " +
+                       shape_to_string(a.shape()) + " x " +
+                       shape_to_string(b.shape()));
+  Tensor c({m, n});
+  if (m * n < kParallelGemmThreshold || m == 1) {
+    gemm_rows(a.data(), b.data(), c.data(), 0, m, k, n);
+    return c;
+  }
+  parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t i) {
+    gemm_rows(a.data(), b.data(), c.data(), static_cast<std::int64_t>(i),
+              static_cast<std::int64_t>(i + 1), k, n);
+  });
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  CARAML_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul_nt needs 2-D");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  CARAML_CHECK_MSG(b.dim(1) == k, "matmul_nt inner dimension mismatch");
+  Tensor c({m, n});
+  auto rows = [&](std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a.data() + i * k;
+      float* c_row = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* b_row = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] = acc;
+      }
+    }
+  };
+  if (m * n < kParallelGemmThreshold || m == 1) {
+    rows(0, m);
+  } else {
+    parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t i) {
+      rows(static_cast<std::int64_t>(i), static_cast<std::int64_t>(i + 1));
+    });
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  CARAML_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul_tn needs 2-D");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  CARAML_CHECK_MSG(b.dim(0) == k, "matmul_tn inner dimension mismatch");
+  Tensor c({m, n});
+  // c[i,j] = sum_p a[p,i] * b[p,j]; accumulate row-wise over p for locality.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* a_row = a.data() + p * m;
+    const float* b_row = b.data() + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float a_val = a_row[i];
+      if (a_val == 0.0f) continue;
+      float* c_row = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+  return c;
+}
+
+// --- softmax ---------------------------------------------------------------
+
+Tensor softmax_rows(const Tensor& a) {
+  CARAML_CHECK_MSG(a.rank() == 2, "softmax_rows needs a 2-D tensor");
+  const std::int64_t rows = a.dim(0), cols = a.dim(1);
+  Tensor out(a.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in_row = a.data() + r * cols;
+    float* out_row = out.data() + r * cols;
+    float max_value = in_row[0];
+    for (std::int64_t c = 1; c < cols; ++c) max_value = std::max(max_value, in_row[c]);
+    double total = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out_row[c] = std::exp(in_row[c] - max_value);
+      total += out_row[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (std::int64_t c = 0; c < cols; ++c) out_row[c] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_rows_backward(const Tensor& y, const Tensor& grad_out) {
+  check_same_shape(y, grad_out, "softmax_rows_backward");
+  CARAML_CHECK_MSG(y.rank() == 2, "softmax_rows_backward needs 2-D");
+  const std::int64_t rows = y.dim(0), cols = y.dim(1);
+  Tensor out(y.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* y_row = y.data() + r * cols;
+    const float* g_row = grad_out.data() + r * cols;
+    float* o_row = out.data() + r * cols;
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) dot += static_cast<double>(y_row[c]) * g_row[c];
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o_row[c] = y_row[c] * (g_row[c] - static_cast<float>(dot));
+    }
+  }
+  return out;
+}
+
+// --- conv2d ----------------------------------------------------------------
+
+namespace {
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+}  // namespace
+
+Tensor im2col(const Tensor& input, std::int64_t kh, std::int64_t kw,
+              const Conv2dArgs& args) {
+  CARAML_CHECK_MSG(input.rank() == 4, "im2col needs NCHW input");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = conv_out_size(h, kh, args.stride, args.padding);
+  const std::int64_t ow = conv_out_size(w, kw, args.stride, args.padding);
+  CARAML_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
+  // Columns: [n*oh*ow, c*kh*kw].
+  Tensor cols({n * oh * ow, c * kh * kw});
+  parallel_for(0, static_cast<std::size_t>(n * oh * ow), [&](std::size_t idx) {
+    const std::int64_t flat = static_cast<std::int64_t>(idx);
+    const std::int64_t img = flat / (oh * ow);
+    const std::int64_t oy = (flat / ow) % oh;
+    const std::int64_t ox = flat % ow;
+    float* dst = cols.data() + flat * (c * kh * kw);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t ky = 0; ky < kh; ++ky) {
+        const std::int64_t iy = oy * args.stride + ky - args.padding;
+        for (std::int64_t kx = 0; kx < kw; ++kx) {
+          const std::int64_t ix = ox * args.stride + kx - args.padding;
+          float value = 0.0f;
+          if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+            value = input[((img * c + ch) * h + iy) * w + ix];
+          }
+          *dst++ = value;
+        }
+      }
+    }
+  });
+  return cols;
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight,
+              const Conv2dArgs& args) {
+  CARAML_CHECK_MSG(input.rank() == 4 && weight.rank() == 4,
+                   "conv2d needs NCHW input and OCHW weight");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t o = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  CARAML_CHECK_MSG(weight.dim(1) == c, "conv2d channel mismatch");
+  const std::int64_t oh = conv_out_size(h, kh, args.stride, args.padding);
+  const std::int64_t ow = conv_out_size(w, kw, args.stride, args.padding);
+
+  const Tensor cols = im2col(input, kh, kw, args);          // [n*oh*ow, ckk]
+  const Tensor w2 = weight.reshape({o, c * kh * kw});       // [o, ckk]
+  const Tensor out2 = matmul_nt(cols, w2);                  // [n*oh*ow, o]
+
+  // Rearrange [n*oh*ow, o] -> [n, o, oh, ow].
+  Tensor out({n, o, oh, ow});
+  parallel_for(0, static_cast<std::size_t>(n * oh * ow), [&](std::size_t idx) {
+    const std::int64_t flat = static_cast<std::int64_t>(idx);
+    const std::int64_t img = flat / (oh * ow);
+    const std::int64_t pixel = flat % (oh * ow);
+    for (std::int64_t ch = 0; ch < o; ++ch) {
+      out[(img * o + ch) * oh * ow + pixel] = out2[flat * o + ch];
+    }
+  });
+  return out;
+}
+
+Tensor conv2d_backward_weight(const Tensor& grad_out, const Tensor& input,
+                              const Shape& weight_shape,
+                              const Conv2dArgs& args) {
+  const std::int64_t n = input.dim(0);
+  const std::int64_t o = weight_shape[0], c = weight_shape[1],
+                     kh = weight_shape[2], kw = weight_shape[3];
+  const std::int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const Tensor cols = im2col(input, kh, kw, args);  // [n*oh*ow, ckk]
+
+  // grad_out as [n*oh*ow, o].
+  Tensor g2({n * oh * ow, o});
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < o; ++ch) {
+      for (std::int64_t pixel = 0; pixel < oh * ow; ++pixel) {
+        g2[(img * oh * ow + pixel) * o + ch] =
+            grad_out[(img * o + ch) * oh * ow + pixel];
+      }
+    }
+  }
+  // dW[o, ckk] = g2^T [o, n*oh*ow] * cols [n*oh*ow, ckk].
+  Tensor dw2 = matmul_tn(g2, cols);
+  return dw2.reshape({o, c, kh, kw});
+}
+
+Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                             const Shape& input_shape, const Conv2dArgs& args) {
+  const std::int64_t n = input_shape[0], c = input_shape[1],
+                     h = input_shape[2], w = input_shape[3];
+  const std::int64_t o = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  const std::int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+
+  // g2 [n*oh*ow, o] * W [o, ckk] -> col gradients [n*oh*ow, ckk].
+  Tensor g2({n * oh * ow, o});
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < o; ++ch) {
+      for (std::int64_t pixel = 0; pixel < oh * ow; ++pixel) {
+        g2[(img * oh * ow + pixel) * o + ch] =
+            grad_out[(img * o + ch) * oh * ow + pixel];
+      }
+    }
+  }
+  const Tensor w2 = weight.reshape({o, c * kh * kw});
+  const Tensor dcols = matmul(g2, w2);  // [n*oh*ow, ckk]
+
+  // col2im scatter-add.
+  Tensor dinput({n, c, h, w});
+  for (std::int64_t flat = 0; flat < n * oh * ow; ++flat) {
+    const std::int64_t img = flat / (oh * ow);
+    const std::int64_t oy = (flat / ow) % oh;
+    const std::int64_t ox = flat % ow;
+    const float* src = dcols.data() + flat * (c * kh * kw);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t ky = 0; ky < kh; ++ky) {
+        const std::int64_t iy = oy * args.stride + ky - args.padding;
+        for (std::int64_t kx = 0; kx < kw; ++kx) {
+          const std::int64_t ix = ox * args.stride + kx - args.padding;
+          const float value = *src++;
+          if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+            dinput[((img * c + ch) * h + iy) * w + ix] += value;
+          }
+        }
+      }
+    }
+  }
+  return dinput;
+}
+
+Tensor maxpool2d(const Tensor& input, std::int64_t kernel,
+                 std::vector<std::int64_t>* indices) {
+  CARAML_CHECK_MSG(input.rank() == 4, "maxpool2d needs NCHW input");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = h / kernel;
+  const std::int64_t ow = w / kernel;
+  CARAML_CHECK_MSG(oh > 0 && ow > 0, "maxpool output would be empty");
+  Tensor out({n, c, oh, ow});
+  if (indices) indices->assign(static_cast<std::size_t>(out.numel()), 0);
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -1e30f;
+          std::int64_t best_index = 0;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t iy = oy * kernel + ky;
+              const std::int64_t ix = ox * kernel + kx;
+              const std::int64_t flat = ((img * c + ch) * h + iy) * w + ix;
+              if (input[flat] > best) {
+                best = input[flat];
+                best_index = flat;
+              }
+            }
+          }
+          const std::int64_t out_flat = ((img * c + ch) * oh + oy) * ow + ox;
+          out[out_flat] = best;
+          if (indices) (*indices)[static_cast<std::size_t>(out_flat)] = best_index;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
+                          const std::vector<std::int64_t>& indices) {
+  CARAML_CHECK_MSG(static_cast<std::int64_t>(indices.size()) ==
+                       grad_out.numel(),
+                   "maxpool2d_backward indices mismatch");
+  Tensor dinput(input_shape);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    dinput[indices[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return dinput;
+}
+
+Tensor global_avg_pool(const Tensor& input) {
+  CARAML_CHECK_MSG(input.rank() == 4, "global_avg_pool needs NCHW input");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      double total = 0.0;
+      const float* src = input.data() + (img * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) total += src[i];
+      out[img * c + ch] = static_cast<float>(total) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& grad_out,
+                                const Shape& input_shape) {
+  const std::int64_t n = input_shape[0], c = input_shape[1],
+                     h = input_shape[2], w = input_shape[3];
+  CARAML_CHECK_MSG(grad_out.rank() == 2 && grad_out.dim(0) == n &&
+                       grad_out.dim(1) == c,
+                   "global_avg_pool_backward shape mismatch");
+  Tensor dinput(input_shape);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out[img * c + ch] * inv;
+      float* dst = dinput.data() + (img * c + ch) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) dst[i] = g;
+    }
+  }
+  return dinput;
+}
+
+}  // namespace caraml::tensor

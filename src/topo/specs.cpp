@@ -1,0 +1,377 @@
+#include "topo/specs.hpp"
+
+#include "util/error.hpp"
+
+namespace caraml::topo {
+
+std::string vendor_name(Vendor vendor) {
+  switch (vendor) {
+    case Vendor::kNvidia: return "NVIDIA";
+    case Vendor::kAmd: return "AMD";
+    case Vendor::kGraphcore: return "Graphcore";
+  }
+  return "unknown";
+}
+
+namespace {
+constexpr double GB = 1e9;
+constexpr double TFLOPS = 1e12;
+constexpr double GBs = 1e9;  // bytes/s
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Device specs — datasheet numbers from paper Fig. 1; calibration knobs fitted
+// against the paper's measured anchors (see EXPERIMENTS.md "Calibration").
+// ---------------------------------------------------------------------------
+
+DeviceSpec make_a100_sxm4() {
+  DeviceSpec d;
+  d.name = "NVIDIA A100 (SXM4)";
+  d.vendor = Vendor::kNvidia;
+  d.arch = ArchClass::kGpuSimd;
+  d.compute_units = 108;
+  d.peak_fp16_flops = 312.0 * TFLOPS;
+  d.mem_capacity_bytes = 40.0 * GB;
+  d.mem_bandwidth = 1555.0 * GBs;
+  d.sram_bytes = 40.0e6;  // 40 MB L2
+  d.tdp_watts = 400.0;
+  // Calibration: best-case 800M-GPT throughput anchor 19.4k tokens/s/GPU
+  // (= 47505 / 2.45, paper §IV-A).
+  d.idle_watts = 60.0;
+  d.max_mfu_gemm = 0.405;
+  d.max_mfu_conv = 0.1651;
+  d.batch_half_mfu = 24.0;
+  d.power_floor_frac = 0.0;
+  d.launch_overhead_s = 6e-6;
+  d.util_at_tdp = 0.419;
+  d.conv_power_boost = 2.065;
+  return d;
+}
+
+DeviceSpec make_h100_pcie() {
+  DeviceSpec d;
+  d.name = "NVIDIA H100 (PCIe)";
+  d.vendor = Vendor::kNvidia;
+  d.arch = ArchClass::kGpuSimd;
+  d.compute_units = 114;
+  d.peak_fp16_flops = 756.0 * TFLOPS;
+  d.mem_capacity_bytes = 80.0 * GB;
+  d.mem_bandwidth = 2000.0 * GBs;
+  d.sram_bytes = 50.0e6;
+  d.tdp_watts = 350.0;
+  // Calibration: GH200 throughput is ~2x H100-PCIe and PCIe is the most
+  // energy-efficient device by up to 25% (paper §IV-A) — the 350 W power cap
+  // pushes the card to an efficient operating point (low util_at_tdp).
+  d.idle_watts = 50.0;
+  d.max_mfu_gemm = 0.205;
+  d.max_mfu_conv = 0.0974;
+  d.batch_half_mfu = 24.0;
+  d.power_floor_frac = 0.0;
+  d.launch_overhead_s = 5e-6;
+  d.util_at_tdp = 0.2516;
+  d.conv_power_boost = 2.515;
+  return d;
+}
+
+DeviceSpec make_h100_sxm5() {
+  DeviceSpec d;
+  d.name = "NVIDIA H100 (SXM5)";
+  d.vendor = Vendor::kNvidia;
+  d.arch = ArchClass::kGpuSimd;
+  d.compute_units = 132;
+  d.peak_fp16_flops = 990.0 * TFLOPS;
+  d.mem_capacity_bytes = 94.0 * GB;
+  d.mem_bandwidth = 2400.0 * GBs;
+  d.sram_bytes = 50.0e6;
+  d.tdp_watts = 700.0;
+  // Calibration: WestAI H100 processes 1.3x the tokens of the PCIe variant
+  // (paper §IV-A).
+  d.idle_watts = 70.0;
+  d.max_mfu_gemm = 0.200;
+  d.max_mfu_conv = 0.0967;
+  d.batch_half_mfu = 24.0;
+  d.power_floor_frac = 0.0;
+  d.launch_overhead_s = 5e-6;
+  d.util_at_tdp = 0.2427;
+  d.conv_power_boost = 2.068;
+  return d;
+}
+
+DeviceSpec make_gh200() {
+  DeviceSpec d;
+  d.name = "NVIDIA GH200 (Hopper H100 + Grace)";
+  d.vendor = Vendor::kNvidia;
+  d.arch = ArchClass::kGpuSimd;
+  d.compute_units = 132;
+  d.peak_fp16_flops = 990.0 * TFLOPS;
+  d.mem_capacity_bytes = 96.0 * GB;
+  d.mem_bandwidth = 4000.0 * GBs;  // HBM3 at 4 TB/s (paper Fig. 1)
+  d.sram_bytes = 60.0e6;
+  d.tdp_watts = 690.0;  // full package incl. Grace CPU (paper Table I: 680/700)
+  // Calibration: 47,505 tokens/s/GPU anchor on a single-device node
+  // (paper §IV-A) => MFU 0.293 on 990 TFLOP/s.
+  d.idle_watts = 100.0;
+  d.max_mfu_gemm = 0.298;
+  d.max_mfu_conv = 0.1115;
+  d.batch_half_mfu = 24.0;
+  d.power_floor_frac = 0.0;
+  d.launch_overhead_s = 4e-6;
+  d.util_at_tdp = 0.3147;
+  d.conv_power_boost = 2.202;
+  return d;
+}
+
+DeviceSpec make_mi250_gcd() {
+  DeviceSpec d;
+  // One MI250 is an MCM of two GCDs; the OS sees each GCD as a GPU
+  // (paper Fig. 1 / §II-C). We model at GCD granularity.
+  d.name = "AMD MI250 GCD (1/2 MCM)";
+  d.vendor = Vendor::kAmd;
+  d.arch = ArchClass::kGpuSimd;
+  d.compute_units = 104;
+  d.peak_fp16_flops = 362.1 / 2.0 * TFLOPS;
+  d.mem_capacity_bytes = 64.0 * GB;
+  d.mem_bandwidth = 1600.0 * GBs;
+  d.sram_bytes = 16.0e6;
+  d.tdp_watts = 280.0;  // 560 W per MCM
+  d.idle_watts = 45.0;
+  d.max_mfu_gemm = 0.32;
+  d.max_mfu_conv = 0.1762;
+  d.batch_half_mfu = 48.0;  // steeper small-batch falloff (paper §IV-B:
+                            // MI250 only wins images/Wh at larger batches)
+  d.power_floor_frac = 0.0;
+  d.launch_overhead_s = 8e-6;
+  d.util_at_tdp = 0.3846;
+  d.conv_power_boost = 0.75;
+  // Shared MCM package power attributed to a lone active GCD (paper §IV-B:
+  // using both GCDs of an MI250 is slightly more energy-efficient).
+  d.mcm_shared_watts = 10.0;
+  return d;
+}
+
+DeviceSpec make_gc200_ipu() {
+  DeviceSpec d;
+  d.name = "Graphcore GC200 IPU";
+  d.vendor = Vendor::kGraphcore;
+  d.arch = ArchClass::kIpuMimd;
+  d.compute_units = 1472;
+  d.peak_fp16_flops = 250.0 * TFLOPS;
+  // 900 MB on-chip SRAM; chip-external streaming DRAM in the M2000 chassis.
+  d.mem_capacity_bytes = 448.0 * GB / 4.0;  // M2000 streaming memory per IPU
+  d.mem_bandwidth = 1.136 * GBs;  // effective DRAM streaming bw (calibrated
+                                  // against Table II stage time, see models/)
+  d.sram_bytes = 900.0e6;
+  d.tdp_watts = 300.0;
+  d.idle_watts = 25.0;
+  d.max_mfu_gemm = 0.05;    // DRAM-streaming bound for GPT (Table II)
+  d.max_mfu_conv = 0.18565;  // ResNet50 fits in SRAM: 1890 img/s (Table III)
+  d.batch_half_mfu = 8.0;
+  d.power_floor_frac = 0.0;
+  d.launch_overhead_s = 2e-5;
+  d.util_at_tdp = 0.3095;
+  d.conv_power_boost = 1.0;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Node specs — paper Table I.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+LinkSpec nvlink_c2c() { return {"NVLink-C2C", 900.0 * GBs, 2e-6}; }
+LinkSpec pcie_gen5() { return {"PCIe Gen 5", 128.0 * GBs, 5e-6}; }
+LinkSpec pcie_gen4() { return {"PCIe Gen 4", 64.0 * GBs, 5e-6}; }
+LinkSpec nvlink4_900() { return {"NVLink4", 900.0 * GBs, 3e-6}; }
+LinkSpec nvlink4_600() { return {"NVLink4 (bridge)", 600.0 * GBs, 3e-6}; }
+LinkSpec nvlink3_600() { return {"NVLink3", 600.0 * GBs, 3e-6}; }
+LinkSpec infinity_fabric() { return {"Infinity Fabric", 500.0 * GBs, 4e-6}; }
+LinkSpec ipu_link() { return {"IPU-Link", 256.0 * GBs, 4e-6}; }
+LinkSpec no_link() { return {"none", 0.0, 0.0}; }
+LinkSpec ib_ndr_4x200() { return {"4x IB NDR", 4 * 25.0 * GBs, 2e-5}; }
+LinkSpec ib_ndr_2x400() { return {"2x IB NDR", 2 * 50.0 * GBs, 2e-5}; }
+LinkSpec ib_hdr_2x200() { return {"2x IB HDR", 2 * 25.0 * GBs, 2e-5}; }
+
+}  // namespace
+
+SystemRegistry::SystemRegistry() {
+  {
+    NodeSpec n;
+    n.platform = "JEDI";
+    n.jube_tag = "JEDI";
+    n.display_name = "GH200 (JEDI)";
+    n.device = make_gh200();
+    n.devices_per_node = 4;
+    n.cpu_model = "NVIDIA Grace (4x 72c)";
+    n.cpu_cores = 4 * 72;
+    n.cpu_mem_bytes = 4 * 120.0 * GB;
+    n.cpu_mem_bw = 4 * 512.0 * GBs;
+    n.host_link = nvlink_c2c();
+    n.peer_link = nvlink4_900();
+    n.inter_node = ib_ndr_4x200();
+    n.max_nodes = 16;
+    n.host_contention = 0.07;
+    n.contention_power_frac = 0.0;
+    n.fixed_iter_overhead_s = 0.5;
+    n.host_pipeline_images_per_s = 5200.0;
+    nodes_.push_back(n);
+  }
+  {
+    NodeSpec n;
+    n.platform = "JURECA";
+    n.jube_tag = "GH200";
+    n.display_name = "GH200 (JRDC)";
+    n.device = make_gh200();
+    n.devices_per_node = 1;
+    n.cpu_model = "NVIDIA Grace (72c)";
+    n.cpu_cores = 72;
+    n.cpu_mem_bytes = 480.0 * GB;
+    n.cpu_mem_bw = 512.0 * GBs;
+    n.host_link = nvlink_c2c();
+    n.peer_link = no_link();
+    n.inter_node = no_link();
+    n.max_nodes = 1;
+    n.host_contention = 0.07;
+    n.contention_power_frac = 0.0;
+    n.fixed_iter_overhead_s = 0.5;
+    n.host_pipeline_images_per_s = 5200.0;
+    nodes_.push_back(n);
+  }
+  {
+    NodeSpec n;
+    n.platform = "JURECA";
+    n.jube_tag = "H100";
+    n.display_name = "H100 (JRDC)";
+    n.device = make_h100_pcie();
+    n.devices_per_node = 4;
+    n.cpu_model = "2x 72c Intel Xeon Platinum 8452Y";
+    n.cpu_cores = 144;
+    n.cpu_mem_bytes = 512.0 * GB;
+    n.cpu_mem_bw = 2 * 307.0 * GBs;
+    n.host_link = pcie_gen5();
+    n.peer_link = nvlink4_600();
+    n.inter_node = no_link();
+    n.max_nodes = 1;
+    n.host_contention = 0.02;
+    n.contention_power_frac = 0.3;
+    n.fixed_iter_overhead_s = 0.7;
+    n.host_pipeline_images_per_s = 8000.0;
+    nodes_.push_back(n);
+  }
+  {
+    NodeSpec n;
+    n.platform = "WestAI";
+    n.jube_tag = "WAIH100";
+    n.display_name = "H100 (WestAI)";
+    n.device = make_h100_sxm5();
+    n.devices_per_node = 4;
+    n.cpu_model = "2x 32c Intel Xeon Platinum 8462Y";
+    n.cpu_cores = 64;
+    n.cpu_mem_bytes = 512.0 * GB;
+    n.cpu_mem_bw = 2 * 307.0 * GBs;
+    n.host_link = pcie_gen5();
+    n.peer_link = nvlink4_900();
+    n.inter_node = ib_ndr_2x400();
+    n.max_nodes = 8;
+    n.host_contention = 0.02;
+    n.contention_power_frac = 0.3;
+    n.fixed_iter_overhead_s = 0.7;
+    n.host_pipeline_images_per_s = 8000.0;
+    nodes_.push_back(n);
+  }
+  {
+    NodeSpec n;
+    n.platform = "JURECA";
+    n.jube_tag = "MI250";
+    n.display_name = "AMD MI250";
+    n.device = make_mi250_gcd();
+    n.devices_per_node = 8;  // 4 MI250 MCMs = 8 GCDs visible to the OS
+    n.cpu_model = "2x 48c AMD EPYC 7443";
+    n.cpu_cores = 96;
+    n.cpu_mem_bytes = 512.0 * GB;
+    n.cpu_mem_bw = 2 * 204.0 * GBs;
+    n.host_link = pcie_gen4();
+    n.peer_link = infinity_fabric();
+    n.inter_node = ib_hdr_2x200();
+    n.max_nodes = 2;
+    n.host_contention = 0.02;
+    n.contention_power_frac = 1.3;
+    n.fixed_iter_overhead_s = 0.9;
+    n.host_pipeline_images_per_s = 6000.0;
+    nodes_.push_back(n);
+  }
+  {
+    NodeSpec n;
+    n.platform = "JURECA";
+    n.jube_tag = "GC200";
+    n.display_name = "IPU-M2000 (GC200)";
+    n.device = make_gc200_ipu();
+    n.devices_per_node = 4;  // IPU-POD4
+    n.cpu_model = "2x 48c AMD EPYC 7413";
+    n.cpu_cores = 96;
+    n.cpu_mem_bytes = 512.0 * GB;
+    n.cpu_mem_bw = 2 * 204.0 * GBs;
+    n.host_link = pcie_gen4();
+    n.peer_link = ipu_link();
+    n.inter_node = no_link();
+    n.max_nodes = 1;
+    n.host_contention = 0.01;
+    n.contention_power_frac = 0.0;
+    n.fixed_iter_overhead_s = 0.3;
+    n.host_pipeline_images_per_s = 4000.0;
+    nodes_.push_back(n);
+  }
+  {
+    NodeSpec n;
+    n.platform = "JURECA";
+    n.jube_tag = "A100";
+    n.display_name = "A100";
+    n.device = make_a100_sxm4();
+    n.devices_per_node = 4;
+    n.cpu_model = "2x 64c AMD EPYC 7742";
+    n.cpu_cores = 128;
+    n.cpu_mem_bytes = 512.0 * GB;
+    n.cpu_mem_bw = 2 * 204.0 * GBs;
+    n.host_link = pcie_gen4();
+    n.peer_link = nvlink3_600();
+    n.inter_node = ib_hdr_2x200();
+    n.max_nodes = 4;
+    n.host_contention = 0.02;
+    n.contention_power_frac = 0.3;
+    n.fixed_iter_overhead_s = 0.7;
+    n.host_pipeline_images_per_s = 8000.0;
+    nodes_.push_back(n);
+  }
+}
+
+const SystemRegistry& SystemRegistry::instance() {
+  static SystemRegistry registry;
+  return registry;
+}
+
+const NodeSpec& SystemRegistry::by_tag(const std::string& tag) const {
+  for (const auto& node : nodes_) {
+    if (node.jube_tag == tag) return node;
+  }
+  throw NotFound("unknown system tag: " + tag);
+}
+
+bool SystemRegistry::has_tag(const std::string& tag) const {
+  for (const auto& node : nodes_) {
+    if (node.jube_tag == tag) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SystemRegistry::tags() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node.jube_tag);
+  return out;
+}
+
+std::vector<std::string> SystemRegistry::gpu_tags() const {
+  return {"JEDI", "GH200", "H100", "WAIH100", "MI250", "A100"};
+}
+
+}  // namespace caraml::topo

@@ -1,0 +1,144 @@
+// Hardware descriptions for the seven systems the paper evaluates
+// (paper Fig. 1 and Table I).
+//
+// Every quantity with a datasheet source is taken verbatim from the paper.
+// In addition each DeviceSpec carries *calibration knobs* for the performance
+// and power models (max achievable model-FLOPs-utilization, batch saturation,
+// idle power, power curve shape). Those are fitted against the paper's
+// measured anchor points; see DESIGN.md §4 and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace caraml::topo {
+
+enum class Vendor { kNvidia, kAmd, kGraphcore };
+
+std::string vendor_name(Vendor vendor);
+
+/// Architecture family of the accelerator, per Flynn's taxonomy discussion in
+/// the paper (GPUs: SIMD shared-memory hierarchy; IPU: MIMD distributed
+/// per-core memory).
+enum class ArchClass { kGpuSimd, kIpuMimd };
+
+/// One accelerator device (paper Fig. 1).
+struct DeviceSpec {
+  std::string name;          // e.g. "NVIDIA A100 (SXM4)"
+  Vendor vendor = Vendor::kNvidia;
+  ArchClass arch = ArchClass::kGpuSimd;
+
+  int compute_units = 0;           // SMs / CUs / IPU-cores
+  double peak_fp16_flops = 0.0;    // FLOP/s, dense (no sparsity)
+  double mem_capacity_bytes = 0.0; // HBM (GPU) or streaming DRAM budget (IPU)
+  double mem_bandwidth = 0.0;      // bytes/s to device memory
+  double sram_bytes = 0.0;         // on-chip SRAM (IPU: 900 MB; GPU: L2)
+  double tdp_watts = 0.0;          // per device (GH200: full package)
+
+  // --- calibration knobs (fitted, not datasheet) ---------------------------
+  double idle_watts = 0.0;         // power at zero utilization
+  double max_mfu_gemm = 0.0;       // achievable MFU for transformer GEMMs
+  double max_mfu_conv = 0.0;       // achievable MFU for conv workloads
+  double batch_half_mfu = 0.0;     // per-device batch at which MFU = max/2
+  double power_floor_frac = 0.0;   // busy power at util->0, as fraction of TDP
+  double launch_overhead_s = 0.0;  // fixed per-kernel launch latency
+  /// Absolute utilization (achieved FLOP/s / peak) at which dynamic power
+  /// reaches TDP: P = idle + (TDP-idle) * min(1, u/util_at_tdp)^1.3.
+  double util_at_tdp = 1.0;
+  /// Conv kernels draw more power per achieved FLOP than GEMMs (memory
+  /// traffic, low tensor-core occupancy); multiplies u for conv workloads.
+  double conv_power_boost = 1.0;
+  /// For MCM devices (MI250): package power shared between the two GCDs,
+  /// attributed to a lone active GCD when its sibling idles.
+  double mcm_shared_watts = 0.0;
+};
+
+/// Exponent of the power-vs-utilization curve (DVFS makes power superlinear
+/// in delivered throughput).
+inline constexpr double kPowerCurveExponent = 1.3;
+
+/// A point-to-point or shared interconnect (paper Table I rows
+/// "CPU-Acc. Connect", "Acc.-Acc. Connect", "Interconnect internode").
+struct LinkSpec {
+  std::string name;           // "NVLink4", "PCIe Gen 5", "IPU-Link", ...
+  double bandwidth = 0.0;     // bytes/s, bidirectional per device
+  double latency_s = 0.0;     // per-message latency
+};
+
+/// A full node configuration (one column of paper Table I).
+struct NodeSpec {
+  std::string platform;       // "JEDI", "JURECA", "WestAI"
+  std::string jube_tag;       // the tag used in `jube run ... --tag <tag>`
+  std::string display_name;   // e.g. "GH200 (JEDI)"
+
+  DeviceSpec device;
+  int devices_per_node = 0;
+
+  std::string cpu_model;
+  int cpu_cores = 0;                 // total per node
+  double cpu_mem_bytes = 0.0;        // total per node
+  double cpu_mem_bw = 0.0;           // bytes/s
+
+  LinkSpec host_link;                // CPU <-> accelerator
+  LinkSpec peer_link;                // accelerator <-> accelerator intra-node
+  LinkSpec inter_node;               // InfiniBand; bandwidth 0 => single node
+  int max_nodes = 1;                 // nodes available for Fig. 4 scaling
+
+  // --- calibration knobs ----------------------------------------------------
+  /// Per-extra-active-device MFU degradation from shared host resources:
+  /// mfu_eff = mfu / (1 + host_contention * (active_devices - 1)).
+  /// Explains GH200-JEDI (4 devices) running ~20% below GH200-JRDC (1 device)
+  /// per device (paper §IV-A).
+  double host_contention = 0.0;
+  /// How "busy" the device looks (for power) during contention-induced
+  /// stalls: 0 = stalls idle at low power (GH200's host-memory stalls, which
+  /// make JEDI *cheaper* per device than JRDC, §IV-A), >1 = busy-wait
+  /// communication drawing extra power (MI250 at dp=8 consumes *more* energy
+  /// per device than dp=4, §IV-A).
+  double contention_power_frac = 0.0;
+  /// Fixed per-iteration host time (optimizer launch storm, data prep,
+  /// logging). Amortized over micro-steps; produces the rising-saturating
+  /// throughput-vs-global-batch curves of Fig. 2.
+  double fixed_iter_overhead_s = 0.0;
+  /// Peak host input-pipeline rate per device for image workloads (before the
+  /// page-cache factor). Models the "faster data loading with 4x CPU memory"
+  /// effect of paper §IV-B.
+  double host_pipeline_images_per_s = 0.0;
+
+  /// CPU host memory available per accelerator (drives the data-staging
+  /// model that explains GH200-JEDI vs GH200-JRDC, paper §IV-A/B).
+  double cpu_mem_per_device() const {
+    return devices_per_node > 0 ? cpu_mem_bytes / devices_per_node
+                                : cpu_mem_bytes;
+  }
+};
+
+/// Registry of all systems from Table I, addressable by JUBE tag
+/// (A100, H100, WAIH100, GH200, JEDI, MI250, GC200).
+class SystemRegistry {
+ public:
+  static const SystemRegistry& instance();
+
+  const NodeSpec& by_tag(const std::string& tag) const;
+  bool has_tag(const std::string& tag) const;
+  std::vector<std::string> tags() const;
+  const std::vector<NodeSpec>& all() const { return nodes_; }
+
+  /// All GPU systems (everything except GC200) in the order the paper plots
+  /// them in Fig. 2 / Fig. 3.
+  std::vector<std::string> gpu_tags() const;
+
+ private:
+  SystemRegistry();
+  std::vector<NodeSpec> nodes_;
+};
+
+/// Device spec builders (paper Fig. 1), exposed for tests.
+DeviceSpec make_a100_sxm4();
+DeviceSpec make_h100_pcie();
+DeviceSpec make_h100_sxm5();
+DeviceSpec make_gh200();
+DeviceSpec make_mi250_gcd();  // one GCD = one logical GPU (half an MI250)
+DeviceSpec make_gc200_ipu();
+
+}  // namespace caraml::topo

@@ -1,0 +1,128 @@
+#include "util/argparse.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           std::optional<std::string> default_value) {
+  CARAML_CHECK_MSG(!specs_.count(name), "duplicate option: " + name);
+  specs_[name] = Spec{help, false, std::move(default_value)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  CARAML_CHECK_MSG(!specs_.count(name), "duplicate flag: " + name);
+  specs_[name] = Spec{help, true, std::nullopt};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  values_.clear();
+  flags_.clear();
+  rest_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    if (str::starts_with(arg, "--")) {
+      std::string name = arg.substr(2);
+      std::string inline_value;
+      bool has_inline = false;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_inline = true;
+      }
+      const auto it = specs_.find(name);
+      if (it == specs_.end()) throw ParseError("unknown option: --" + name);
+      if (it->second.is_flag) {
+        if (has_inline) throw ParseError("flag --" + name + " takes no value");
+        flags_[name] = true;
+      } else if (has_inline) {
+        values_[name] = inline_value;
+      } else {
+        if (i + 1 >= args.size())
+          throw ParseError("option --" + name + " expects a value");
+        values_[name] = args[++i];
+      }
+      continue;
+    }
+    if (collect_rest_) {
+      rest_.assign(args.begin() + static_cast<std::ptrdiff_t>(i), args.end());
+      break;
+    }
+    throw ParseError("unexpected positional argument: " + arg);
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0 || flags_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end()) throw NotFound("option not declared: --" + name);
+  if (spec->second.default_value) return *spec->second.default_value;
+  throw ParseError("required option missing: --" + name);
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : fallback;
+}
+
+long long ArgParser::get_int(const std::string& name) const {
+  return str::parse_int(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return str::parse_double(get(name));
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end()) throw NotFound("flag not declared: --" + name);
+  CARAML_CHECK_MSG(spec->second.is_flag, "--" + name + " is not a flag");
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second;
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Spec& spec = specs_.at(name);
+    os << "  --" << name;
+    if (!spec.is_flag) os << " <value>";
+    os << "\n      " << spec.help;
+    if (spec.default_value) os << " (default: " << *spec.default_value << ")";
+    os << "\n";
+  }
+  if (collect_rest_) {
+    os << "  <command...>\n      application command line to wrap\n";
+  }
+  return os.str();
+}
+
+}  // namespace caraml

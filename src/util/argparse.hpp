@@ -1,0 +1,63 @@
+// Small command-line parser used by the bench/example binaries and the
+// jpwr-style CLI wrapper (`--methods`, `--df-out`, `--df-filetype`,
+// `--df-suffix` plus a trailing wrapped command).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace caraml {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// --name <value> option; `default_value` empty optional means required
+  /// only if queried via `get` without default.
+  void add_option(const std::string& name, const std::string& help,
+                  std::optional<std::string> default_value = std::nullopt);
+
+  /// --name boolean flag (no value).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// When enabled, parsing stops at the first positional argument and the
+  /// remainder (including that argument) is available via `rest()` — the
+  /// jpwr CLI uses this to capture the wrapped application command line.
+  void set_collect_rest(bool collect) { collect_rest_ = collect; }
+
+  /// Parse argv; throws caraml::ParseError on unknown options. Returns false
+  /// if --help was requested (help text printed to stdout).
+  bool parse(int argc, const char* const* argv);
+  bool parse(const std::vector<std::string>& args);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  const std::vector<std::string>& rest() const { return rest_; }
+
+  std::string help() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::optional<std::string> default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // declaration order, for help text
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> rest_;
+  bool collect_rest_ = false;
+};
+
+}  // namespace caraml

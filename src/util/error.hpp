@@ -1,0 +1,69 @@
+// Error handling primitives for CARAML.
+//
+// Follows the C++ Core Guidelines: exceptions for error reporting (E.2),
+// invariants checked with a dedicated macro that throws rather than aborts,
+// so library users can recover from misuse in tests.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace caraml {
+
+/// Base class for every error thrown by the CARAML libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulated device runs out of memory (the paper's "OOM" cells
+/// in Fig. 4).
+class OutOfMemory : public Error {
+ public:
+  explicit OutOfMemory(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing configuration (YAML / CLI / CSV) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a requested entity (system tag, method name, column) is absent.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CARAML_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace caraml
+
+/// Contract check that throws caraml::Error. Usable in Release builds; the
+/// checks guard API misuse, not hot inner loops.
+#define CARAML_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::caraml::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CARAML_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::caraml::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

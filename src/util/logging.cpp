@@ -1,0 +1,45 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace caraml::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+std::string level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "unknown";
+}
+
+Level level_from_name(const std::string& name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  throw InvalidArgument("unknown log level: " + name);
+}
+
+void write(Level level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace caraml::log

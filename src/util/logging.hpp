@@ -1,0 +1,48 @@
+// Minimal thread-safe logging used across the CARAML libraries.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace caraml::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Convert between level and its lower-case name ("debug", "info", ...).
+std::string level_name(Level level);
+Level level_from_name(const std::string& name);
+
+/// Emit one formatted line ("[info] message") to stderr under a global lock.
+void write(Level level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { write(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace caraml::log

@@ -1,0 +1,36 @@
+// Streaming statistics (Welford) and percentile helpers for benchmark
+// reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace caraml {
+
+/// Numerically stable running mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double value);
+  void merge(const RunningStats& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two values.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile (p in [0, 100]) of a copy of `values`.
+/// Throws caraml::Error on empty input or p out of range.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace caraml

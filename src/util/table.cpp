@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace caraml {
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CARAML_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CARAML_CHECK_MSG(row.size() == headers_.size(),
+                   "row width does not match header width");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  CARAML_CHECK(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_cell = [&](const std::string& cell, std::size_t c) {
+    const std::size_t pad = widths[c] - cell.size();
+    if (aligns_[c] == Align::kLeft) return cell + std::string(pad, ' ');
+    return std::string(pad, ' ') + cell;
+  };
+
+  std::ostringstream os;
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << " " << render_cell(headers_[c], c) << " |";
+  }
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << render_cell(row[c], c) << " |";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ",";
+    os << csv_escape(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << csv_escape(row[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace caraml

@@ -1,0 +1,43 @@
+// ASCII table rendering, matching JUBE's compact tabular result output that
+// the paper shows after `jube result ... -i last`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace caraml {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column text table with per-column alignment.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  std::size_t num_columns() const { return headers_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Row must have exactly num_columns() cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Default alignment is left for the first column, right for the rest
+  /// (numeric results). Override per column.
+  void set_align(std::size_t column, Align align);
+
+  /// Render with a header separator, e.g.
+  ///   | system | tokens_per_s | energy_wh |
+  ///   |--------|--------------|-----------|
+  ///   | A100   |      19390.0 |     389.1 |
+  std::string render() const;
+
+  /// Render as CSV (no padding), for machine consumption.
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+}  // namespace caraml

@@ -1,0 +1,131 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::units {
+
+namespace {
+
+std::string format_value(double v, int precision, const std::string& suffix) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%s", precision, v, suffix.c_str());
+  return buffer;
+}
+
+// Splits "40 GiB" / "96GB" into (number, unit-string).
+std::pair<double, std::string> split_number_unit(const std::string& s) {
+  const std::string t = str::trim(s);
+  std::size_t i = 0;
+  while (i < t.size() &&
+         (std::isdigit(static_cast<unsigned char>(t[i])) || t[i] == '.' ||
+          t[i] == '-' || t[i] == '+' || t[i] == 'e' || t[i] == 'E')) {
+    // Avoid consuming the 'E' of "EiB": only treat e/E as part of the number
+    // when followed by a digit or sign.
+    if ((t[i] == 'e' || t[i] == 'E') &&
+        !(i + 1 < t.size() && (std::isdigit(static_cast<unsigned char>(t[i + 1])) ||
+                               t[i + 1] == '-' || t[i + 1] == '+'))) {
+      break;
+    }
+    ++i;
+  }
+  if (i == 0) throw ParseError("no numeric value in: " + s);
+  const double value = str::parse_double(t.substr(0, i));
+  const std::string unit = str::trim(t.substr(i));
+  return {value, unit};
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  if (bytes >= kTiB) return format_value(bytes / kTiB, 2, " TiB");
+  if (bytes >= kGiB) return format_value(bytes / kGiB, 2, " GiB");
+  if (bytes >= kMiB) return format_value(bytes / kMiB, 2, " MiB");
+  if (bytes >= kKiB) return format_value(bytes / kKiB, 2, " KiB");
+  return format_value(bytes, 0, " B");
+}
+
+std::string format_flops(double flops_per_s) {
+  if (flops_per_s >= kTera) return format_value(flops_per_s / kTera, 1, " TFLOP/s");
+  if (flops_per_s >= kGiga) return format_value(flops_per_s / kGiga, 1, " GFLOP/s");
+  if (flops_per_s >= kMega) return format_value(flops_per_s / kMega, 1, " MFLOP/s");
+  return format_value(flops_per_s, 0, " FLOP/s");
+}
+
+std::string format_bandwidth(double bytes_per_s) {
+  if (bytes_per_s >= kTera) return format_value(bytes_per_s / kTera, 1, " TB/s");
+  if (bytes_per_s >= kGiga) return format_value(bytes_per_s / kGiga, 1, " GB/s");
+  if (bytes_per_s >= kMega) return format_value(bytes_per_s / kMega, 1, " MB/s");
+  return format_value(bytes_per_s, 0, " B/s");
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds >= 3600.0) return format_value(seconds / 3600.0, 2, " h");
+  if (seconds >= 60.0) return format_value(seconds / 60.0, 2, " min");
+  if (seconds >= 1.0) return format_value(seconds, 3, " s");
+  if (seconds >= 1e-3) return format_value(seconds * 1e3, 2, " ms");
+  if (seconds >= 1e-6) return format_value(seconds * 1e6, 2, " us");
+  return format_value(seconds * 1e9, 1, " ns");
+}
+
+std::string format_watts(double watts) { return format_value(watts, 1, " W"); }
+
+std::string format_watt_hours(double wh) { return format_value(wh, 2, " Wh"); }
+
+std::string format_fixed(double value, int precision) {
+  return format_value(value, precision, "");
+}
+
+double parse_bytes(const std::string& s) {
+  static const std::map<std::string, double> factors = {
+      {"B", 1.0},        {"KB", 1e3},      {"MB", 1e6},      {"GB", 1e9},
+      {"TB", 1e12},      {"KiB", kKiB},    {"MiB", kMiB},    {"GiB", kGiB},
+      {"TiB", kTiB},
+  };
+  auto [value, unit] = split_number_unit(s);
+  if (unit.empty()) return value;
+  const auto it = factors.find(unit);
+  if (it == factors.end()) throw ParseError("unknown byte unit: " + unit);
+  return value * it->second;
+}
+
+double parse_bandwidth(const std::string& s) {
+  static const std::map<std::string, double> factors = {
+      {"B/s", 1.0},   {"KB/s", 1e3},  {"MB/s", 1e6},
+      {"GB/s", 1e9},  {"TB/s", 1e12},
+  };
+  auto [value, unit] = split_number_unit(s);
+  if (unit.empty()) return value;
+  const auto it = factors.find(unit);
+  if (it == factors.end()) throw ParseError("unknown bandwidth unit: " + unit);
+  return value * it->second;
+}
+
+double parse_flops(const std::string& s) {
+  static const std::map<std::string, double> factors = {
+      {"FLOP/s", 1.0},     {"KFLOP/s", 1e3},  {"MFLOP/s", 1e6},
+      {"GFLOP/s", 1e9},    {"TFLOP/s", 1e12}, {"PFLOP/s", 1e15},
+  };
+  auto [value, unit] = split_number_unit(s);
+  if (unit.empty()) return value;
+  const auto it = factors.find(unit);
+  if (it == factors.end()) throw ParseError("unknown FLOP/s unit: " + unit);
+  return value * it->second;
+}
+
+double parse_watts(const std::string& s) {
+  static const std::map<std::string, double> factors = {
+      {"W", 1.0}, {"kW", 1e3}, {"mW", 1e-3},
+  };
+  auto [value, unit] = split_number_unit(s);
+  if (unit.empty()) return value;
+  const auto it = factors.find(unit);
+  if (it == factors.end()) throw ParseError("unknown watt unit: " + unit);
+  return value * it->second;
+}
+
+}  // namespace caraml::units

@@ -1,0 +1,55 @@
+// Unit formatting/parsing for the quantities CARAML reports: bytes, FLOP/s,
+// bandwidth, seconds, watts, watt-hours and plain throughput rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace caraml::units {
+
+// Binary byte constants.
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = kKiB * 1024.0;
+inline constexpr double kGiB = kMiB * 1024.0;
+inline constexpr double kTiB = kGiB * 1024.0;
+
+// Decimal SI constants (used for FLOP/s and link bandwidths, matching vendor
+// datasheets quoted in the paper's Fig. 1 / Table I).
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// "1.50 GiB", "512.00 MiB" etc.
+std::string format_bytes(double bytes);
+
+/// "312.0 TFLOP/s", "4.0 GFLOP/s".
+std::string format_flops(double flops_per_s);
+
+/// "900.0 GB/s" (decimal, matching interconnect datasheets).
+std::string format_bandwidth(double bytes_per_s);
+
+/// "1.234 s", "12.3 ms", "45.6 us", "2.1 min", "1.5 h".
+std::string format_seconds(double seconds);
+
+/// "350.0 W".
+std::string format_watts(double watts);
+
+/// "31.53 Wh".
+std::string format_watt_hours(double wh);
+
+/// Fixed-precision float without trailing garbage: format_fixed(1.5, 2) = "1.50".
+std::string format_fixed(double value, int precision);
+
+/// Parse "40 GiB", "96GB", "4 TB/s", "312 TFLOP/s", "700 W" into base units
+/// (bytes, bytes/s, flop/s, watts). Throws caraml::ParseError.
+double parse_bytes(const std::string& s);
+double parse_bandwidth(const std::string& s);
+double parse_flops(const std::string& s);
+double parse_watts(const std::string& s);
+
+/// Joules <-> watt-hours.
+inline constexpr double joules_to_wh(double joules) { return joules / 3600.0; }
+inline constexpr double wh_to_joules(double wh) { return wh * 3600.0; }
+
+}  // namespace caraml::units

@@ -1,0 +1,467 @@
+#include "yaml/yaml.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::yaml {
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+NodePtr Node::make_scalar(std::string value) {
+  auto node = NodePtr(new Node(NodeKind::kScalar));
+  node->scalar_ = std::move(value);
+  return node;
+}
+
+NodePtr Node::make_map() { return NodePtr(new Node(NodeKind::kMap)); }
+
+NodePtr Node::make_sequence() { return NodePtr(new Node(NodeKind::kSequence)); }
+
+const std::string& Node::as_string() const {
+  if (!is_scalar()) throw InvalidArgument("YAML node is not a scalar");
+  return scalar_;
+}
+
+std::int64_t Node::as_int() const { return str::parse_int(as_string()); }
+
+double Node::as_double() const { return str::parse_double(as_string()); }
+
+bool Node::as_bool() const { return str::parse_bool(as_string()); }
+
+bool Node::has(const std::string& key) const {
+  if (!is_map()) return false;
+  for (const auto& [k, v] : map_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const NodePtr& Node::at(const std::string& key) const {
+  if (!is_map()) throw InvalidArgument("YAML node is not a map");
+  for (const auto& [k, v] : map_) {
+    if (k == key) return v;
+  }
+  throw NotFound("YAML map has no key '" + key + "'");
+}
+
+NodePtr Node::find(const std::string& key) const {
+  if (!is_map()) return nullptr;
+  for (const auto& [k, v] : map_) {
+    if (k == key) return v;
+  }
+  return nullptr;
+}
+
+std::string Node::get_or(const std::string& key,
+                         const std::string& fallback) const {
+  const NodePtr node = find(key);
+  return node && node->is_scalar() ? node->as_string() : fallback;
+}
+
+std::int64_t Node::get_int_or(const std::string& key,
+                              std::int64_t fallback) const {
+  const NodePtr node = find(key);
+  return node && node->is_scalar() ? node->as_int() : fallback;
+}
+
+double Node::get_double_or(const std::string& key, double fallback) const {
+  const NodePtr node = find(key);
+  return node && node->is_scalar() ? node->as_double() : fallback;
+}
+
+bool Node::get_bool_or(const std::string& key, bool fallback) const {
+  const NodePtr node = find(key);
+  return node && node->is_scalar() ? node->as_bool() : fallback;
+}
+
+void Node::set(const std::string& key, NodePtr value) {
+  if (!is_map()) throw InvalidArgument("YAML node is not a map");
+  for (auto& [k, v] : map_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  map_.emplace_back(key, std::move(value));
+}
+
+const std::vector<std::pair<std::string, NodePtr>>& Node::entries() const {
+  if (!is_map()) throw InvalidArgument("YAML node is not a map");
+  return map_;
+}
+
+std::size_t Node::size() const {
+  switch (kind_) {
+    case NodeKind::kScalar: return 1;
+    case NodeKind::kMap: return map_.size();
+    case NodeKind::kSequence: return seq_.size();
+  }
+  return 0;
+}
+
+const NodePtr& Node::item(std::size_t index) const {
+  if (!is_sequence()) throw InvalidArgument("YAML node is not a sequence");
+  CARAML_CHECK(index < seq_.size());
+  return seq_[index];
+}
+
+void Node::push_back(NodePtr value) {
+  if (!is_sequence()) throw InvalidArgument("YAML node is not a sequence");
+  seq_.push_back(std::move(value));
+}
+
+const std::vector<NodePtr>& Node::items() const {
+  if (!is_sequence()) throw InvalidArgument("YAML node is not a sequence");
+  return seq_;
+}
+
+namespace {
+bool scalar_needs_quotes(const std::string& s) {
+  if (s.empty()) return true;
+  return s.find_first_of(":#[]{},\"'\n") != std::string::npos ||
+         s.front() == ' ' || s.back() == ' ' || s.front() == '-';
+}
+}  // namespace
+
+std::string Node::dump(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::ostringstream os;
+  switch (kind_) {
+    case NodeKind::kScalar:
+      if (scalar_needs_quotes(scalar_)) {
+        os << '"' << str::replace_all(scalar_, "\"", "\\\"") << '"';
+      } else {
+        os << scalar_;
+      }
+      break;
+    case NodeKind::kMap:
+      for (const auto& [key, value] : map_) {
+        os << pad << key << ":";
+        if (value->is_scalar()) {
+          os << " " << value->dump(0) << "\n";
+        } else {
+          os << "\n" << value->dump(indent + 1);
+        }
+      }
+      break;
+    case NodeKind::kSequence:
+      for (const auto& value : seq_) {
+        if (value->is_scalar()) {
+          os << pad << "- " << value->dump(0) << "\n";
+        } else if (value->is_sequence()) {
+          // A nested sequence cannot share the dash line; emit a bare dash
+          // and indent the inner sequence below it.
+          os << pad << "-\n" << value->dump(indent + 1);
+        } else {
+          // Maps render with the first entry on the dash line.
+          std::string body = value->dump(indent + 1);
+          const std::string child_pad(static_cast<std::size_t>(indent + 1) * 2,
+                                      ' ');
+          if (str::starts_with(body, child_pad)) {
+            body = pad + "- " + body.substr(child_pad.size());
+          }
+          os << body;
+        }
+      }
+      break;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string content;  // without indentation, comment stripped
+  std::size_t number = 0;
+};
+
+[[noreturn]] void fail(const Line& line, const std::string& message) {
+  throw ParseError("YAML line " + std::to_string(line.number) + ": " + message +
+                   " — '" + line.content + "'");
+}
+
+// Strip a trailing comment, honoring quotes. A '#' starts a comment when at
+// start of content or preceded by whitespace.
+std::string strip_comment(const std::string& s) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (c == '#' && !in_single && !in_double &&
+             (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+std::vector<Line> tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream is(text);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(is, raw)) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    if (raw.find('\t') != std::string::npos) {
+      // Tabs in indentation are a classic YAML pitfall; reject clearly.
+      const std::size_t first_non_ws = raw.find_first_not_of(" \t");
+      if (first_non_ws != std::string::npos &&
+          raw.substr(0, first_non_ws).find('\t') != std::string::npos) {
+        throw ParseError("YAML line " + std::to_string(number) +
+                         ": tab character in indentation");
+      }
+    }
+    std::string content = strip_comment(raw);
+    const std::size_t first = content.find_first_not_of(' ');
+    if (first == std::string::npos) continue;  // blank / comment-only
+    Line line;
+    line.indent = static_cast<int>(first);
+    line.content = str::rtrim(content.substr(first));
+    line.number = number;
+    if (line.content == "---") continue;  // document start marker
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+// Parse one scalar token, removing quotes.
+NodePtr parse_scalar_token(const std::string& raw, const Line& line) {
+  const std::string s = str::trim(raw);
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    std::string out;
+    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+      if (s[i] == '\\' && i + 2 < s.size()) {
+        const char next = s[i + 1];
+        if (next == '"' || next == '\\') {
+          out.push_back(next);
+          ++i;
+          continue;
+        }
+        if (next == 'n') {
+          out.push_back('\n');
+          ++i;
+          continue;
+        }
+        if (next == 't') {
+          out.push_back('\t');
+          ++i;
+          continue;
+        }
+      }
+      out.push_back(s[i]);
+    }
+    return Node::make_scalar(out);
+  }
+  if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+    return Node::make_scalar(
+        str::replace_all(s.substr(1, s.size() - 2), "''", "'"));
+  }
+  if (!s.empty() && (s.front() == '"' || s.front() == '\'')) {
+    fail(line, "unterminated quoted scalar");
+  }
+  return Node::make_scalar(s);
+}
+
+// Split a flow sequence "[a, b, c]" body on top-level commas.
+std::vector<std::string> split_flow_items(const std::string& body,
+                                          const Line& line) {
+  std::vector<std::string> items;
+  std::string current;
+  int depth = 0;
+  bool in_single = false, in_double = false;
+  for (char c : body) {
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    if (!in_single && !in_double) {
+      if (c == '[' || c == '{') ++depth;
+      if (c == ']' || c == '}') --depth;
+      if (depth < 0) fail(line, "unbalanced brackets in flow sequence");
+      if (c == ',' && depth == 0) {
+        items.push_back(current);
+        current.clear();
+        continue;
+      }
+    }
+    current.push_back(c);
+  }
+  if (depth != 0 || in_single || in_double) {
+    fail(line, "unterminated flow sequence");
+  }
+  if (!str::trim(current).empty() || !items.empty()) items.push_back(current);
+  return items;
+}
+
+NodePtr parse_flow_or_scalar(const std::string& raw, const Line& line) {
+  const std::string s = str::trim(raw);
+  if (!s.empty() && s.front() == '[') {
+    if (s.back() != ']') fail(line, "unterminated flow sequence");
+    auto seq = Node::make_sequence();
+    for (const auto& item : split_flow_items(s.substr(1, s.size() - 2), line)) {
+      const std::string trimmed = str::trim(item);
+      if (trimmed.empty()) fail(line, "empty item in flow sequence");
+      if (!trimmed.empty() && trimmed.front() == '[') {
+        seq->push_back(parse_flow_or_scalar(trimmed, line));
+      } else {
+        seq->push_back(parse_scalar_token(trimmed, line));
+      }
+    }
+    return seq;
+  }
+  return parse_scalar_token(s, line);
+}
+
+// Find the position of the key/value separating ':' outside quotes/brackets.
+// Returns npos when the line is not a mapping entry.
+std::size_t find_map_colon(const std::string& s) {
+  bool in_single = false, in_double = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (!in_single && !in_double) {
+      if (c == '[' || c == '{') ++depth;
+      if (c == ']' || c == '}') --depth;
+      if (c == ':' && depth == 0 &&
+          (i + 1 == s.size() || s[i + 1] == ' ')) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  NodePtr parse_document() {
+    if (lines_.empty()) return Node::make_map();
+    NodePtr root = parse_block(lines_.front().indent);
+    if (pos_ != lines_.size()) fail(lines_[pos_], "trailing content");
+    return root;
+  }
+
+ private:
+  bool done() const { return pos_ >= lines_.size(); }
+  const Line& current() const { return lines_[pos_]; }
+
+  NodePtr parse_block(int indent) {
+    const Line& first = current();
+    if (first.indent != indent) fail(first, "unexpected indentation");
+    if (str::starts_with(first.content, "- ") || first.content == "-") {
+      return parse_sequence(indent);
+    }
+    if (find_map_colon(first.content) != std::string::npos) {
+      return parse_map(indent);
+    }
+    // Bare scalar document.
+    NodePtr scalar = parse_flow_or_scalar(first.content, first);
+    ++pos_;
+    return scalar;
+  }
+
+  NodePtr parse_map(int indent) {
+    auto map = Node::make_map();
+    while (!done() && current().indent == indent) {
+      const Line line = current();
+      const std::size_t colon = find_map_colon(line.content);
+      if (colon == std::string::npos) fail(line, "expected 'key: value'");
+      std::string key = str::trim(line.content.substr(0, colon));
+      if (key.size() >= 2 &&
+          ((key.front() == '"' && key.back() == '"') ||
+           (key.front() == '\'' && key.back() == '\''))) {
+        key = parse_scalar_token(key, line)->as_string();
+      }
+      if (key.empty()) fail(line, "empty map key");
+      if (map->has(key)) fail(line, "duplicate map key '" + key + "'");
+      const std::string value_text = str::trim(line.content.substr(colon + 1));
+      ++pos_;
+      if (!value_text.empty()) {
+        map->set(key, parse_flow_or_scalar(value_text, line));
+      } else if (!done() && current().indent > indent) {
+        map->set(key, parse_block(current().indent));
+      } else if (!done() && current().indent == indent &&
+                 (str::starts_with(current().content, "- ") ||
+                  current().content == "-")) {
+        // "key:" followed by sequence items at the same indentation — valid
+        // and common YAML.
+        map->set(key, parse_sequence(indent));
+      } else {
+        map->set(key, Node::make_scalar(""));
+      }
+    }
+    if (!done() && current().indent > indent) {
+      fail(current(), "unexpected deeper indentation");
+    }
+    return map;
+  }
+
+  NodePtr parse_sequence(int indent) {
+    auto seq = Node::make_sequence();
+    while (!done() && current().indent == indent &&
+           (str::starts_with(current().content, "- ") ||
+            current().content == "-")) {
+      const Line line = current();
+      const std::string after_dash =
+          line.content == "-" ? "" : str::trim(line.content.substr(2));
+      if (after_dash.empty()) {
+        ++pos_;
+        if (!done() && current().indent > indent) {
+          seq->push_back(parse_block(current().indent));
+        } else {
+          seq->push_back(Node::make_scalar(""));
+        }
+        continue;
+      }
+      const std::size_t colon = find_map_colon(after_dash);
+      if (colon != std::string::npos) {
+        // "- key: value" — an inline map item; rewrite the current line as a
+        // map entry at the dash-content indentation and parse a map block.
+        const int item_indent = indent + 2;
+        lines_[pos_].indent = item_indent;
+        lines_[pos_].content = after_dash;
+        seq->push_back(parse_map(item_indent));
+        continue;
+      }
+      seq->push_back(parse_flow_or_scalar(after_dash, line));
+      ++pos_;
+    }
+    if (!done() && current().indent > indent) {
+      fail(current(), "unexpected deeper indentation after sequence");
+    }
+    return seq;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+NodePtr parse(const std::string& text) {
+  return Parser(tokenize(text)).parse_document();
+}
+
+NodePtr parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open YAML file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace caraml::yaml

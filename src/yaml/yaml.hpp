@@ -1,0 +1,81 @@
+// Minimal YAML-subset parser.
+//
+// JUBE scripts in CARAML are YAML files (the paper ships
+// llm_benchmark_nvidia_amd.yaml / llm_benchmark_ipu.yaml). This parser covers
+// the subset those configs need:
+//   * block mappings and sequences nested by indentation,
+//   * inline flow sequences `[a, b, c]`,
+//   * scalars (plain / single- / double-quoted), `#` comments,
+//   * lazily typed scalar access (string/int/double/bool).
+// Anchors, aliases, multi-document streams and block scalars are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace caraml::yaml {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+enum class NodeKind { kScalar, kMap, kSequence };
+
+class Node {
+ public:
+  static NodePtr make_scalar(std::string value);
+  static NodePtr make_map();
+  static NodePtr make_sequence();
+
+  NodeKind kind() const { return kind_; }
+  bool is_scalar() const { return kind_ == NodeKind::kScalar; }
+  bool is_map() const { return kind_ == NodeKind::kMap; }
+  bool is_sequence() const { return kind_ == NodeKind::kSequence; }
+
+  // --- scalar access -------------------------------------------------------
+  const std::string& as_string() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  bool as_bool() const;
+
+  // --- map access ----------------------------------------------------------
+  bool has(const std::string& key) const;
+  /// Throws caraml::NotFound when the key is absent.
+  const NodePtr& at(const std::string& key) const;
+  /// Returns nullptr when absent.
+  NodePtr find(const std::string& key) const;
+  /// Scalar convenience with default.
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+  void set(const std::string& key, NodePtr value);
+  const std::vector<std::pair<std::string, NodePtr>>& entries() const;
+
+  // --- sequence access -----------------------------------------------------
+  std::size_t size() const;  // map: #entries, sequence: #items, scalar: 1
+  const NodePtr& item(std::size_t index) const;
+  void push_back(NodePtr value);
+  const std::vector<NodePtr>& items() const;
+
+  /// Serialize back to YAML text (round-trip for debugging / tests).
+  std::string dump(int indent = 0) const;
+
+ private:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind_;
+  std::string scalar_;
+  std::vector<std::pair<std::string, NodePtr>> map_;
+  std::vector<NodePtr> seq_;
+};
+
+/// Parse a YAML document; throws caraml::ParseError on malformed input.
+NodePtr parse(const std::string& text);
+
+/// Parse from a file path.
+NodePtr parse_file(const std::string& path);
+
+}  // namespace caraml::yaml

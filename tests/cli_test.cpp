@@ -1,0 +1,99 @@
+// End-to-end tests of the `caraml` and `jpwr` command-line binaries, run as
+// subprocesses (paths injected by CMake).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(CaramlCli, SystemsListsAllTags) {
+  const auto result = run_command(std::string(CARAML_CLI_PATH) + " systems");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  for (const char* tag :
+       {"JEDI", "GH200", "H100", "WAIH100", "MI250", "GC200", "A100"}) {
+    EXPECT_NE(result.output.find(tag), std::string::npos) << tag;
+  }
+}
+
+TEST(CaramlCli, LlmPointPrintsMetrics) {
+  const auto result = run_command(std::string(CARAML_CLI_PATH) +
+                                  " llm --system GH200 --batch 512");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("tokens/s/GPU"), std::string::npos);
+  EXPECT_NE(result.output.find("tokens/Wh"), std::string::npos);
+}
+
+TEST(CaramlCli, IpuPathViaGc200Tag) {
+  const auto result = run_command(std::string(CARAML_CLI_PATH) +
+                                  " llm --system GC200 --batch 1024");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Wh/epoch/IPU"), std::string::npos);
+}
+
+TEST(CaramlCli, OomReportedWithNonZeroExit) {
+  const auto result = run_command(
+      std::string(CARAML_CLI_PATH) +
+      " resnet --system A100 --batch 2048 --devices 1");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("OOM"), std::string::npos);
+}
+
+TEST(CaramlCli, UnknownCommandFails) {
+  const auto result = run_command(std::string(CARAML_CLI_PATH) + " frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST(CaramlCli, HelpListsSubcommands) {
+  const auto result = run_command(std::string(CARAML_CLI_PATH) + " --help");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* cmd :
+       {"systems", "run", "llm", "resnet", "inference", "tts", "combine",
+        "export"}) {
+    EXPECT_NE(result.output.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST(JpwrCli, WrapsCommandAndReportsEnergy) {
+  const auto result = run_command(std::string(CARAML_JPWR_PATH) +
+                                  " --methods synthetic --interval 5 sleep "
+                                  "0.05");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("jpwr energy report"), std::string::npos);
+  EXPECT_NE(result.output.find("synthetic:synthetic0"), std::string::npos);
+}
+
+TEST(JpwrCli, PropagatesChildExitCode) {
+  const auto result = run_command(std::string(CARAML_JPWR_PATH) +
+                                  " --methods synthetic false");
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST(JpwrCli, MissingCommandFails) {
+  const auto result =
+      run_command(std::string(CARAML_JPWR_PATH) + " --methods synthetic");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("no command given"), std::string::npos);
+}
+
+}  // namespace

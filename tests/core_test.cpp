@@ -1,0 +1,554 @@
+#include <gtest/gtest.h>
+
+#include "core/caraml.hpp"
+#include "core/llm.hpp"
+#include "core/experiments.hpp"
+#include "core/resnet.hpp"
+#include "util/error.hpp"
+
+namespace caraml::core {
+namespace {
+
+LlmRunResult run_llm(const std::string& tag, std::int64_t batch,
+                     int devices = -1) {
+  LlmRunConfig config;
+  config.system_tag = tag;
+  config.global_batch = batch;
+  config.devices = devices;
+  return run_llm_gpu(config);
+}
+
+// --- layout validity (paper §IV-A) ------------------------------------------------
+
+TEST(LlmLayout, Batch16ImpossibleAtDp8) {
+  // "When using data parallelism of 8 the global batch size of 16 is not
+  // possible since it is not divisible by micro-batch-size times data
+  // parallel" (paper §IV-A).
+  EXPECT_FALSE(llm_layout_valid(16, 4, 8));
+  EXPECT_TRUE(llm_layout_valid(16, 4, 4));
+  EXPECT_TRUE(llm_layout_valid(32, 4, 8));
+  EXPECT_FALSE(llm_layout_valid(0, 4, 4));
+  EXPECT_FALSE(llm_layout_valid(16, 0, 4));
+}
+
+TEST(LlmLayout, InvalidLayoutThrows) {
+  LlmRunConfig config;
+  config.system_tag = "MI250";
+  config.global_batch = 16;
+  config.devices = 8;
+  EXPECT_THROW(run_llm_gpu(config), Error);
+}
+
+// --- headline anchors from the paper text ------------------------------------------
+
+TEST(LlmAnchors, Gh200BestThroughputNear47505) {
+  const auto result = run_llm("GH200", 4096);
+  EXPECT_NEAR(result.tokens_per_s_per_gpu, 47505.0, 47505.0 * 0.05);
+}
+
+TEST(LlmAnchors, Gh200OverA100SpeedupNear2p45) {
+  const double gh = run_llm("GH200", 4096).tokens_per_s_per_gpu;
+  const double a100 = run_llm("A100", 4096).tokens_per_s_per_gpu;
+  EXPECT_NEAR(gh / a100, 2.45, 0.15);
+}
+
+TEST(LlmAnchors, WestAiProcesses1p3xTheJrdcH100) {
+  const double sxm = run_llm("WAIH100", 2048).tokens_per_s_per_gpu;
+  const double pcie = run_llm("H100", 2048).tokens_per_s_per_gpu;
+  EXPECT_NEAR(sxm / pcie, 1.3, 0.1);
+}
+
+TEST(LlmAnchors, JrdcGh200About20PercentFasterThanJedi) {
+  const double jrdc = run_llm("GH200", 2048).tokens_per_s_per_gpu;
+  const double jedi = run_llm("JEDI", 2048).tokens_per_s_per_gpu;
+  EXPECT_NEAR(jrdc / jedi, 1.2, 0.08);
+  // ...with correspondingly higher energy per device (paper: ~20%).
+  const double e_jrdc = run_llm("GH200", 2048).energy_per_gpu_wh;
+  const double e_jedi = run_llm("JEDI", 2048).energy_per_gpu_wh;
+  EXPECT_NEAR(e_jrdc / e_jedi, 1.2, 0.1);
+}
+
+TEST(LlmAnchors, H100PcieIsMostEnergyEfficient) {
+  // Paper §IV-A: the H100-PCIe outperforms all other devices in tokens/Wh
+  // by up to 25%, even against GH200.
+  const double pcie = run_llm("H100", 2048).tokens_per_wh;
+  for (const char* tag : {"GH200", "JEDI", "WAIH100", "A100"}) {
+    const double other = run_llm(tag, 2048).tokens_per_wh;
+    EXPECT_GT(pcie, other) << tag;
+  }
+  const double gh = run_llm("GH200", 2048).tokens_per_wh;
+  EXPECT_LT(pcie / gh, 1.3);  // "up to 25%"
+  EXPECT_GT(pcie / gh, 1.05);
+}
+
+TEST(LlmAnchors, JediEfficiencySlightlyBetterThanJrdc) {
+  const double jedi = run_llm("JEDI", 4096).tokens_per_wh;
+  const double jrdc = run_llm("GH200", 4096).tokens_per_wh;
+  EXPECT_GT(jedi, jrdc);                 // "even slightly better for JEDI"
+  EXPECT_LT(jedi / jrdc, 1.1);           // but only slightly
+}
+
+TEST(LlmAnchors, Mi250FourGcdsBeatEightPerDevice) {
+  // Paper §IV-A: 4 GCDs (2 GPUs) performs slightly better per device than
+  // 8 GCDs (4 GPUs), with lower energy per device and better efficiency.
+  const auto gcd = run_llm("MI250", 1024, /*devices=*/4);
+  const auto gpu = run_llm("MI250", 1024, /*devices=*/8);
+  EXPECT_GT(gcd.tokens_per_s_per_gpu, gpu.tokens_per_s_per_gpu);
+  EXPECT_LT(gcd.energy_per_gpu_wh, gpu.energy_per_gpu_wh);
+  EXPECT_GT(gcd.tokens_per_wh, gpu.tokens_per_wh);
+}
+
+// --- shape properties ------------------------------------------------------------------
+
+class LlmBatchSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LlmBatchSweep, ThroughputMonotoneAndSaturating) {
+  double prev = 0.0;
+  for (std::int64_t batch : {64, 256, 1024, 4096}) {
+    const auto result = run_llm(GetParam(), batch);
+    ASSERT_FALSE(result.oom);
+    EXPECT_GT(result.tokens_per_s_per_gpu, prev) << "batch " << batch;
+    prev = result.tokens_per_s_per_gpu;
+  }
+  // Saturation: the 1024 -> 4096 gain is below 10%.
+  const double late_gain = run_llm(GetParam(), 4096).tokens_per_s_per_gpu /
+                           run_llm(GetParam(), 1024).tokens_per_s_per_gpu;
+  EXPECT_LT(late_gain, 1.10);
+}
+
+TEST_P(LlmBatchSweep, PowerBoundedByIdleAndTdp) {
+  const auto& node = topo::SystemRegistry::instance().by_tag(GetParam());
+  for (std::int64_t batch : {16, 1024}) {
+    const auto result = run_llm(GetParam(), batch);
+    EXPECT_GE(result.avg_power_per_gpu_w, node.device.idle_watts);
+    EXPECT_LE(result.avg_power_per_gpu_w, node.device.tdp_watts);
+  }
+}
+
+TEST_P(LlmBatchSweep, MfuBelowCalibratedMaximum) {
+  const auto& node = topo::SystemRegistry::instance().by_tag(GetParam());
+  const auto result = run_llm(GetParam(), 4096);
+  EXPECT_LE(result.mfu, node.device.max_mfu_gemm + 1e-6);
+  EXPECT_GT(result.mfu, 0.3 * node.device.max_mfu_gemm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Core, LlmBatchSweep,
+                         ::testing::Values("JEDI", "GH200", "H100", "WAIH100",
+                                           "A100"));
+
+TEST(Llm, LargerModelsNeedModelParallelism) {
+  LlmRunConfig config;
+  config.system_tag = "GH200";
+  config.model = models::GptConfig::gpt_13b();
+  config.global_batch = 16;
+  config.micro_batch = 1;
+  const auto result = run_llm_gpu(config);
+  EXPECT_TRUE(result.oom);
+  EXPECT_NE(result.oom_message.find("OOM"), std::string::npos);
+}
+
+TEST(Llm, TensorParallelMakes13bFitOnJedi) {
+  LlmRunConfig config;
+  config.system_tag = "JEDI";
+  config.model = models::GptConfig::gpt_13b();
+  config.global_batch = 64;
+  config.micro_batch = 1;
+  config.tensor_parallel = 4;
+  const auto result = run_llm_gpu(config);
+  EXPECT_FALSE(result.oom);
+  EXPECT_GT(result.tokens_per_s_per_gpu, 0.0);
+}
+
+TEST(Llm, PipelineBubbleReducesThroughputAtSmallBatch) {
+  LlmRunConfig base;
+  base.system_tag = "JEDI";
+  base.model = models::GptConfig::gpt_13b();
+  base.global_batch = 8;
+  base.micro_batch = 1;
+  base.tensor_parallel = 4;
+  const auto tp = run_llm_gpu(base);
+
+  LlmRunConfig pipe = base;
+  pipe.tensor_parallel = 1;
+  pipe.pipeline_parallel = 4;
+  const auto pp = run_llm_gpu(pipe);
+  ASSERT_FALSE(tp.oom);
+  ASSERT_FALSE(pp.oom);
+  // At 8 micro-batches over 4 stages the bubble costs ~(p-1)/(m+p-1) = 27%.
+  EXPECT_LT(pp.tokens_per_s_total, tp.tokens_per_s_total);
+}
+
+TEST(Llm, GpuRunnerRejectsGraphcore) {
+  LlmRunConfig config;
+  config.system_tag = "GC200";
+  EXPECT_THROW(run_llm_gpu(config), Error);
+}
+
+TEST(Llm, PowerTraceExposedForJpwr) {
+  const auto result = run_llm("A100", 256);
+  ASSERT_TRUE(result.device0_trace.has_value());
+  EXPECT_GT(result.device0_trace->average_power(), 0.0);
+}
+
+// --- IPU GPT (Table II) ------------------------------------------------------------------
+
+struct TableIIRow {
+  std::int64_t batch;
+  double tokens_per_s, energy_wh, tokens_per_wh;
+};
+
+class TableII : public ::testing::TestWithParam<TableIIRow> {};
+
+TEST_P(TableII, ReproducesPaperWithin6Percent) {
+  const TableIIRow row = GetParam();
+  const auto result = run_llm_ipu(row.batch);
+  EXPECT_NEAR(result.tokens_per_s, row.tokens_per_s, row.tokens_per_s * 0.06);
+  // Energy: within 15% (the batch-64 row of the paper deviates from the
+  // otherwise linear trend; see EXPERIMENTS.md).
+  EXPECT_NEAR(result.energy_per_epoch_wh, row.energy_wh, row.energy_wh * 0.15);
+  EXPECT_NEAR(result.tokens_per_wh, row.tokens_per_wh,
+              row.tokens_per_wh * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Core, TableII,
+    ::testing::Values(TableIIRow{64, 64.99, 15.68, 4.08},
+                      TableIIRow{256, 129.96, 18.37, 13.93},
+                      TableIIRow{1024, 172.94, 19.07, 53.71},
+                      TableIIRow{4096, 188.88, 21.88, 187.22},
+                      TableIIRow{16384, 193.41, 33.00, 496.43}));
+
+TEST(IpuGpt, BubbleShrinksWithBatch) {
+  EXPECT_GT(run_llm_ipu(64).pipeline_bubble,
+            run_llm_ipu(4096).pipeline_bubble);
+}
+
+TEST(IpuGpt, InvalidBatchRejected) {
+  EXPECT_THROW(run_llm_ipu(10), Error);  // not a multiple of 32 tokens
+}
+
+// --- ResNet (Fig. 3 / Table III / Fig. 4) ---------------------------------------------------
+
+TEST(Resnet, ThroughputRisesWithBatchOnGpus) {
+  for (const char* tag : {"GH200", "A100", "H100"}) {
+    ResnetRunConfig small;
+    small.system_tag = tag;
+    small.devices = 1;
+    small.global_batch = 16;
+    ResnetRunConfig large = small;
+    large.global_batch = 512;
+    EXPECT_GT(run_resnet_gpu(large).images_per_s_total,
+              run_resnet_gpu(small).images_per_s_total)
+        << tag;
+  }
+}
+
+TEST(Resnet, A100OomsAtLargeSingleDeviceBatch) {
+  ResnetRunConfig config;
+  config.system_tag = "A100";
+  config.devices = 1;
+  config.global_batch = 2048;
+  EXPECT_TRUE(run_resnet_gpu(config).oom);
+  config.global_batch = 512;
+  EXPECT_FALSE(run_resnet_gpu(config).oom);
+}
+
+TEST(Resnet, BiggerMemoryDelaysOom) {
+  // GH200 (96 GB) sustains the batch that OOMs the A100 (40 GB).
+  ResnetRunConfig config;
+  config.system_tag = "GH200";
+  config.devices = 1;
+  config.global_batch = 2048;
+  EXPECT_FALSE(run_resnet_gpu(config).oom);
+}
+
+TEST(Resnet, DataParallelSpreadsMemory) {
+  // Batch 2048 OOMs one A100 but fits 4 (per-device 512).
+  ResnetRunConfig config;
+  config.system_tag = "A100";
+  config.devices = 4;
+  config.global_batch = 2048;
+  EXPECT_FALSE(run_resnet_gpu(config).oom);
+}
+
+TEST(Resnet, JrdcBeatsJediAtLargeBatchViaHostMemory) {
+  // Paper §IV-B: GH200 (JRDC) beats (JEDI), especially at larger batches,
+  // thanks to 4x CPU memory per device for data loading.
+  ResnetRunConfig jedi;
+  jedi.system_tag = "JEDI";
+  jedi.devices = 1;
+  jedi.global_batch = 2048;
+  ResnetRunConfig jrdc = jedi;
+  jrdc.system_tag = "GH200";
+  EXPECT_GT(run_resnet_gpu(jrdc).images_per_s_total,
+            run_resnet_gpu(jedi).images_per_s_total);
+}
+
+TEST(Resnet, SyntheticDataSkipsHostPipeline) {
+  ResnetRunConfig real;
+  real.system_tag = "JEDI";
+  real.devices = 1;
+  real.global_batch = 2048;
+  ResnetRunConfig synthetic = real;
+  synthetic.synthetic_data = true;
+  EXPECT_GE(run_resnet_gpu(synthetic).images_per_s_total,
+            run_resnet_gpu(real).images_per_s_total);
+}
+
+TEST(Resnet, Mi250WinsEfficiencyAtLargeBatchOnly) {
+  // Paper §IV-B: MI250 best images/Wh at higher batches; H100/GH200 better
+  // at small batches.
+  ResnetRunConfig mi250;
+  mi250.system_tag = "MI250";
+  mi250.devices = 2;
+  ResnetRunConfig h100 = mi250;
+  h100.system_tag = "H100";
+  h100.devices = 1;
+
+  mi250.global_batch = h100.global_batch = 16;
+  EXPECT_LT(run_resnet_gpu(mi250).images_per_wh,
+            run_resnet_gpu(h100).images_per_wh);
+  mi250.global_batch = h100.global_batch = 1024;
+  EXPECT_GT(run_resnet_gpu(mi250).images_per_wh,
+            run_resnet_gpu(h100).images_per_wh);
+}
+
+TEST(Resnet, OneMi250MoreEfficientThanOneGcd) {
+  // Paper §IV-B: using both GCDs gives slightly lower epoch energy and
+  // slightly higher efficiency than a single GCD.
+  ResnetRunConfig gcd;
+  gcd.system_tag = "MI250";
+  gcd.devices = 1;
+  gcd.global_batch = 512;
+  ResnetRunConfig gpu = gcd;
+  gpu.devices = 2;
+  const auto r_gcd = run_resnet_gpu(gcd);
+  const auto r_gpu = run_resnet_gpu(gpu);
+  EXPECT_LT(r_gpu.energy_per_epoch_wh, r_gcd.energy_per_epoch_wh);
+  EXPECT_GT(r_gpu.images_per_wh, r_gcd.images_per_wh);
+  EXPECT_LT(r_gpu.images_per_wh / r_gcd.images_per_wh, 1.25);  // "slightly"
+}
+
+// --- Table III -------------------------------------------------------------------------------
+
+struct TableIIIRow {
+  std::int64_t batch;
+  double images_per_s, energy_wh, images_per_wh;
+};
+
+class TableIII : public ::testing::TestWithParam<TableIIIRow> {};
+
+TEST_P(TableIII, ReproducesPaperWithin5Percent) {
+  const TableIIIRow row = GetParam();
+  const auto result = run_resnet_ipu(row.batch, 1);
+  EXPECT_NEAR(result.images_per_s_total, row.images_per_s,
+              row.images_per_s * 0.05);
+  EXPECT_NEAR(result.energy_per_epoch_wh, row.energy_wh, row.energy_wh * 0.05);
+  EXPECT_NEAR(result.images_per_wh, row.images_per_wh,
+              row.images_per_wh * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Core, TableIII,
+    ::testing::Values(TableIIIRow{16, 1827.72, 32.09, 39925.87},
+                      TableIIIRow{128, 1888.11, 31.67, 40452.50},
+                      TableIIIRow{1024, 1893.07, 31.50, 40668.79},
+                      TableIIIRow{4096, 1891.58, 31.51, 40660.14}));
+
+TEST(IpuResnet, FlatThroughputAcrossBatches) {
+  // SRAM caps the micro-batch at 16, so throughput barely moves (paper:
+  // "model performance does not scale on increasing the global batch size").
+  const double at16 = run_resnet_ipu(16, 1).images_per_s_total;
+  const double at4096 = run_resnet_ipu(4096, 1).images_per_s_total;
+  EXPECT_NEAR(at4096 / at16, 1.0, 0.05);
+}
+
+TEST(IpuResnet, TwoIpusBestAtBatch16) {
+  // Paper §IV-B (Fig. 4g): for global batch 16 the best throughput uses 2
+  // IPUs — the batch fits on-chip and fewer IPU-Links are involved.
+  const double one = run_resnet_ipu(16, 1).images_per_s_total;
+  const double two = run_resnet_ipu(16, 2).images_per_s_total;
+  const double four = run_resnet_ipu(16, 4).images_per_s_total;
+  EXPECT_GT(two, one);
+  EXPECT_GT(two, four);
+}
+
+TEST(IpuResnet, ScalesAcrossIpusAtLargeBatch) {
+  const double one = run_resnet_ipu(1024, 1).images_per_s_total;
+  const double four = run_resnet_ipu(1024, 4).images_per_s_total;
+  EXPECT_GT(four, 3.0 * one);
+}
+
+TEST(IpuResnet, InvalidIpuCountRejected) {
+  EXPECT_THROW(run_resnet_ipu(64, 5), Error);
+  EXPECT_THROW(run_resnet_ipu(10, 4), Error);
+}
+
+// --- Fig. 4 heatmap properties -----------------------------------------------------------------
+
+TEST(Fig4, BestCellIsLargestBatchMostGpus) {
+  // Paper: "In nearly all GPU cases, the best value achieved is for the
+  // largest batch size using most GPUs." Check on the WestAI system.
+  double best = 0.0;
+  int best_devices = 0;
+  std::int64_t best_batch = 0;
+  for (int devices : {1, 2, 4}) {
+    for (std::int64_t batch : {256, 1024, 2048}) {
+      if (batch % devices != 0) continue;
+      ResnetRunConfig config;
+      config.system_tag = "WAIH100";
+      config.devices = devices;
+      config.global_batch = batch;
+      const auto result = run_resnet_gpu(config);
+      if (result.oom) continue;
+      if (result.images_per_s_total > best) {
+        best = result.images_per_s_total;
+        best_devices = devices;
+        best_batch = batch;
+      }
+    }
+  }
+  EXPECT_EQ(best_devices, 4);
+  EXPECT_EQ(best_batch, 2048);
+}
+
+TEST(Fig4, MultiNodeScalingContinues) {
+  ResnetRunConfig one_node;
+  one_node.system_tag = "JEDI";
+  one_node.devices = 4;
+  one_node.global_batch = 2048;
+  ResnetRunConfig two_nodes = one_node;
+  two_nodes.devices = 8;
+  EXPECT_GT(run_resnet_gpu(two_nodes).images_per_s_total,
+            run_resnet_gpu(one_node).images_per_s_total);
+}
+
+TEST(Fig4, DeviceCountsIncludeMultiNodeRows) {
+  const auto jedi = fig4_device_counts("JEDI");
+  EXPECT_GE(jedi.size(), 5u);  // 1,2,4 then 8,16,...
+  EXPECT_EQ(fig4_device_counts("GH200"), std::vector<int>{1});
+  const auto gc200 = fig4_device_counts("GC200");
+  EXPECT_EQ(gc200, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(Fig4, TooManyNodesRejected) {
+  ResnetRunConfig config;
+  config.system_tag = "A100";
+  config.devices = 32;  // A100 system has max 4 nodes = 16 devices
+  config.global_batch = 2048;
+  EXPECT_THROW(run_resnet_gpu(config), Error);
+}
+
+// --- series / sweep definitions -------------------------------------------------------------
+
+TEST(Series, Fig2HasSevenSeriesIncludingMcmSplit) {
+  const auto series = fig2_series();
+  EXPECT_EQ(series.size(), 7u);
+  EXPECT_EQ(series[5].label, "MI250:GCD");
+  EXPECT_EQ(series[5].devices, 4);
+  EXPECT_EQ(series[6].devices, 8);
+}
+
+TEST(Series, BatchSweepsMatchPaperRanges) {
+  EXPECT_EQ(fig2_batches().front(), 16);
+  EXPECT_EQ(fig2_batches().back(), 4096);
+  EXPECT_EQ(fig3_batches().back(), 2048);
+  EXPECT_EQ(table2_batches().front(), 64);
+  EXPECT_EQ(table2_batches().back(), 16384);
+  EXPECT_EQ(table3_batches().back(), 4096);
+}
+
+// --- experiment data export -------------------------------------------------------------
+
+TEST(Experiments, Table2FrameMatchesRunner) {
+  const auto frame = table2_dataframe();
+  ASSERT_EQ(frame.num_rows(), table2_batches().size());
+  EXPECT_EQ(frame.column("batch_tokens").as_int(0), 64);
+  const auto direct = run_llm_ipu(64);
+  EXPECT_NEAR(frame.column("tokens_per_s").as_double(0),
+              direct.tokens_per_s, 1e-9);
+}
+
+TEST(Experiments, Fig4FrameMarksOomCells) {
+  const auto frame = fig4_dataframe("A100");
+  bool found_oom = false, found_ok = false;
+  for (std::size_t row = 0; row < frame.num_rows(); ++row) {
+    const std::string status = frame.column("status").as_string(row);
+    if (status == "oom") found_oom = true;
+    if (status == "ok") {
+      found_ok = true;
+      EXPECT_GT(frame.column("images_per_s").as_double(row), 0.0);
+    }
+  }
+  EXPECT_TRUE(found_oom);
+  EXPECT_TRUE(found_ok);
+}
+
+TEST(Experiments, Table3FrameColumns) {
+  const auto frame = table3_dataframe();
+  EXPECT_EQ(frame.num_rows(), table3_batches().size());
+  EXPECT_NEAR(frame.column("images_per_s").as_double(0), 1827.0, 30.0);
+}
+
+// --- JUBE actions ---------------------------------------------------------------------------
+
+TEST(Actions, LlmActionEmitsFiguresOfMerit) {
+  jube::ActionRegistry registry;
+  register_caraml_actions(registry);
+  const std::string output = registry.at("llm_train")(
+      {{"system", "A100"}, {"global_batch", "256"}});
+  EXPECT_NE(output.find("tokens_per_s:"), std::string::npos);
+  EXPECT_NE(output.find("tokens_per_wh:"), std::string::npos);
+}
+
+TEST(Actions, ResnetActionReportsOom) {
+  jube::ActionRegistry registry;
+  register_caraml_actions(registry);
+  const std::string output = registry.at("resnet_train")(
+      {{"system", "A100"}, {"global_batch", "2048"}, {"devices", "1"}});
+  EXPECT_NE(output.find("status: OOM"), std::string::npos);
+}
+
+TEST(Actions, ResnetVariantSelectable) {
+  jube::ActionRegistry registry;
+  register_caraml_actions(registry);
+  // Synthetic data skips the host input pipeline, which would otherwise cap
+  // the lighter ResNet18 (paper: synthetic tag available for this purpose).
+  const std::string r18 = registry.at("resnet_train")(
+      {{"system", "GH200"}, {"global_batch", "256"}, {"devices", "1"},
+       {"variant", "resnet18"}, {"synthetic", "true"}});
+  const std::string r50 = registry.at("resnet_train")(
+      {{"system", "GH200"}, {"global_batch", "256"}, {"devices", "1"},
+       {"variant", "resnet50"}, {"synthetic", "true"}});
+  // ResNet18 has ~1/3 the FLOPs -> visibly higher throughput.
+  const auto parse = [](const std::string& out) {
+    const auto pos = out.find("images_per_s: ");
+    return std::stod(out.substr(pos + 14));
+  };
+  EXPECT_GT(parse(r18), 2.0 * parse(r50));
+  EXPECT_THROW(registry.at("resnet_train")(
+                   {{"system", "A100"}, {"variant", "vgg16"}}),
+               Error);
+}
+
+TEST(Actions, LlmModelSelectable) {
+  jube::ActionRegistry registry;
+  register_caraml_actions(registry);
+  // 13B needs tp to fit on JEDI; the action accepts model/tp/pp keys.
+  const std::string out = registry.at("llm_train")(
+      {{"system", "JEDI"}, {"global_batch", "64"}, {"micro_batch", "1"},
+       {"model", "13B"}, {"tp", "4"}});
+  EXPECT_NE(out.find("tokens_per_s:"), std::string::npos);
+  EXPECT_THROW(registry.at("llm_train")({{"model", "9000B"}}), Error);
+}
+
+TEST(Actions, IpuActionUsesTable2Path) {
+  jube::ActionRegistry registry;
+  register_caraml_actions(registry);
+  const std::string output = registry.at("llm_train")(
+      {{"system", "GC200"}, {"global_batch", "1024"}});
+  EXPECT_NE(output.find("tokens_per_s:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caraml::core

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/bpe.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace caraml::data {
+namespace {
+
+// --- BPE tokenizer ----------------------------------------------------------------
+
+TEST(Bpe, UntrainedTokenizerIsByteLevel) {
+  BpeTokenizer tokenizer;
+  EXPECT_EQ(tokenizer.vocab_size(), 256u);
+  const auto ids = tokenizer.encode("abc");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 'a');
+  EXPECT_EQ(tokenizer.decode(ids), "abc");
+}
+
+TEST(Bpe, TrainingLearnsMerges) {
+  BpeTokenizer tokenizer;
+  tokenizer.train("aaabdaaabac aaab aaab aaab", 260);
+  EXPECT_GT(tokenizer.num_merges(), 0u);
+  EXPECT_EQ(tokenizer.vocab_size(), 260u);
+}
+
+TEST(Bpe, CompressionShortensTokenStream) {
+  Rng rng(1);
+  const std::string corpus = synthetic_oscar_text(500, rng);
+  BpeTokenizer tokenizer;
+  tokenizer.train(corpus, 384);
+  const auto ids = tokenizer.encode(corpus);
+  EXPECT_LT(ids.size(), corpus.size());  // merges compress
+  EXPECT_LT(static_cast<double>(ids.size()), 0.8 * corpus.size());
+}
+
+TEST(Bpe, RoundTripOnTrainingText) {
+  Rng rng(2);
+  const std::string corpus = synthetic_oscar_text(200, rng);
+  BpeTokenizer tokenizer;
+  tokenizer.train(corpus, 320);
+  EXPECT_EQ(tokenizer.decode(tokenizer.encode(corpus)), corpus);
+}
+
+class BpeRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+TEST_P(BpeRoundTrip, AnyByteStringSurvives) {
+  // Property: decode(encode(x)) == x for arbitrary byte strings, even ones
+  // unrelated to the training corpus (byte-level base alphabet).
+  Rng seed_rng(GetParam());
+  std::string text;
+  const std::int64_t length = seed_rng.uniform_int(0, 300);
+  for (std::int64_t i = 0; i < length; ++i) {
+    text.push_back(static_cast<char>(seed_rng.uniform_int(0, 255)));
+  }
+  Rng corpus_rng(99);
+  BpeTokenizer tokenizer;
+  tokenizer.train(synthetic_oscar_text(300, corpus_rng), 300);
+  EXPECT_EQ(tokenizer.decode(tokenizer.encode(text)), text);
+}
+INSTANTIATE_TEST_SUITE_P(Data, BpeRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Bpe, SaveLoadPreservesEncoding) {
+  Rng rng(3);
+  const std::string corpus = synthetic_oscar_text(300, rng);
+  BpeTokenizer tokenizer;
+  tokenizer.train(corpus, 350);
+  const BpeTokenizer restored = BpeTokenizer::load(tokenizer.save());
+  EXPECT_EQ(restored.vocab_size(), tokenizer.vocab_size());
+  const std::string probe = corpus.substr(0, 120);
+  EXPECT_EQ(restored.encode(probe), tokenizer.encode(probe));
+}
+
+TEST(Bpe, LoadRejectsMalformedInput) {
+  EXPECT_THROW(BpeTokenizer::load("not a merge line\n"), ParseError);
+  EXPECT_THROW(BpeTokenizer::load("999 1000\n"), ParseError);  // unknown ids
+}
+
+TEST(Bpe, TokenTextExpandsMerges) {
+  BpeTokenizer tokenizer;
+  tokenizer.train("ababababab", 257);  // one merge: ('a','b') -> 256
+  ASSERT_EQ(tokenizer.num_merges(), 1u);
+  EXPECT_EQ(tokenizer.token_text(256), "ab");
+  EXPECT_THROW(tokenizer.token_text(300), Error);
+}
+
+TEST(Bpe, VocabBelow256Rejected) {
+  BpeTokenizer tokenizer;
+  EXPECT_THROW(tokenizer.train("abc", 100), Error);
+}
+
+// --- synthetic OSCAR text ------------------------------------------------------------
+
+TEST(SyntheticOscar, ProducesRequestedWordCount) {
+  Rng rng(4);
+  const std::string text = synthetic_oscar_text(100, rng);
+  std::size_t words = 1;
+  for (char c : text) {
+    if (c == ' ') ++words;
+  }
+  EXPECT_EQ(words, 100u);
+  EXPECT_EQ(text.back(), '.');
+}
+
+TEST(SyntheticOscar, DeterministicPerSeed) {
+  Rng a(5), b(5);
+  EXPECT_EQ(synthetic_oscar_text(50, a), synthetic_oscar_text(50, b));
+}
+
+TEST(SyntheticOscar, ZipfSkewsWordFrequencies) {
+  Rng rng(6);
+  const std::string text = synthetic_oscar_text(2000, rng, 64);
+  // The most frequent word should appear far more often than a uniform
+  // distribution would suggest (2000/64 ≈ 31).
+  std::map<std::string, int> counts;
+  std::string word;
+  for (char c : text) {
+    if (c == ' ' || c == '.') {
+      if (!word.empty()) ++counts[word];
+      word.clear();
+    } else {
+      word.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  int best = 0;
+  for (const auto& [w, n] : counts) best = std::max(best, n);
+  EXPECT_GT(best, 80);
+}
+
+// --- token stream ---------------------------------------------------------------------
+
+TEST(TokenStream, SampleBatchShapesAndTargets) {
+  std::vector<std::int32_t> tokens;
+  for (int i = 0; i < 100; ++i) tokens.push_back(i % 10);
+  TokenStream stream(std::move(tokens));
+  EXPECT_EQ(stream.max_token(), 9);
+
+  Rng rng(7);
+  const auto batch = stream.sample_batch(4, 8, rng);
+  EXPECT_EQ(batch.inputs.dim(0), 4);
+  EXPECT_EQ(batch.inputs.dim(1), 8);
+  ASSERT_EQ(batch.targets.size(), 32u);
+  // Targets are inputs shifted by one within the modular sequence.
+  for (std::int64_t b = 0; b < 4; ++b) {
+    for (std::int64_t t = 0; t < 8; ++t) {
+      const auto input = static_cast<std::int64_t>(batch.inputs[b * 8 + t]);
+      const auto target = batch.targets[static_cast<std::size_t>(b * 8 + t)];
+      EXPECT_EQ(target, (input + 1) % 10);
+    }
+  }
+}
+
+TEST(TokenStream, RejectsTooLongSequences) {
+  TokenStream stream({1, 2, 3, 4});
+  Rng rng(8);
+  EXPECT_THROW(stream.sample_batch(1, 10, rng), Error);
+  EXPECT_THROW(TokenStream({1}), Error);
+  EXPECT_THROW(TokenStream({1, -2}), Error);
+}
+
+// --- synthetic images ---------------------------------------------------------------------
+
+TEST(SyntheticImages, BatchShapesAndLabelRange) {
+  SyntheticImageDataset dataset(4, 3, 8, 8, /*seed=*/9);
+  Rng rng(10);
+  const auto batch = dataset.sample_batch(16, rng);
+  EXPECT_EQ(batch.images.dim(0), 16);
+  EXPECT_EQ(batch.images.dim(1), 3);
+  EXPECT_EQ(batch.images.dim(2), 8);
+  ASSERT_EQ(batch.labels.size(), 16u);
+  for (auto label : batch.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(SyntheticImages, ClassesHaveDistinctMeans) {
+  SyntheticImageDataset dataset(2, 1, 16, 16, /*seed=*/11);
+  Rng rng(12);
+  // Average many samples per class; the class means should separate.
+  double mean0 = 0.0, mean1 = 0.0;
+  int n0 = 0, n1 = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto batch = dataset.sample_batch(4, rng);
+    for (std::int64_t s = 0; s < 4; ++s) {
+      double m = 0.0;
+      for (std::int64_t p = 0; p < 256; ++p) m += batch.images[s * 256 + p];
+      m /= 256.0;
+      if (batch.labels[static_cast<std::size_t>(s)] == 0) {
+        mean0 += m;
+        ++n0;
+      } else {
+        mean1 += m;
+        ++n1;
+      }
+    }
+  }
+  ASSERT_GT(n0, 0);
+  ASSERT_GT(n1, 0);
+  EXPECT_GT(std::abs(mean0 / n0 - mean1 / n1), 0.2);
+}
+
+TEST(SyntheticImages, DeterministicMeansPerSeed) {
+  SyntheticImageDataset a(3, 2, 4, 4, 42), b(3, 2, 4, 4, 42);
+  Rng ra(1), rb(1);
+  const auto batch_a = a.sample_batch(2, ra);
+  const auto batch_b = b.sample_batch(2, rb);
+  for (std::int64_t i = 0; i < batch_a.images.numel(); ++i) {
+    EXPECT_FLOAT_EQ(batch_a.images[i], batch_b.images[i]);
+  }
+}
+
+TEST(SyntheticImages, RejectsDegenerateConfig) {
+  EXPECT_THROW(SyntheticImageDataset(1, 3, 8, 8, 1), Error);
+  SyntheticImageDataset dataset(2, 1, 4, 4, 1);
+  Rng rng(2);
+  EXPECT_THROW(dataset.sample_batch(0, rng), Error);
+}
+
+}  // namespace
+}  // namespace caraml::data

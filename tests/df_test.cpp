@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "df/dataframe.hpp"
+#include "util/error.hpp"
+
+namespace caraml::df {
+namespace {
+
+DataFrame sample_frame() {
+  DataFrame frame;
+  frame.add_column("system", ColumnType::kString);
+  frame.add_column("batch", ColumnType::kInt64);
+  frame.add_column("tokens_per_s", ColumnType::kDouble);
+  frame.append_row({std::string("A100"), std::int64_t{64}, 14147.9});
+  frame.append_row({std::string("GH200"), std::int64_t{64}, 40776.4});
+  frame.append_row({std::string("GH200"), std::int64_t{256}, 46211.6});
+  return frame;
+}
+
+TEST(DataFrame, BasicShape) {
+  const DataFrame frame = sample_frame();
+  EXPECT_EQ(frame.num_columns(), 3u);
+  EXPECT_EQ(frame.num_rows(), 3u);
+  EXPECT_FALSE(frame.empty());
+  EXPECT_TRUE(frame.has_column("batch"));
+  EXPECT_FALSE(frame.has_column("nope"));
+}
+
+TEST(DataFrame, ColumnAccess) {
+  const DataFrame frame = sample_frame();
+  EXPECT_EQ(frame.column("system").as_string(1), "GH200");
+  EXPECT_EQ(frame.column("batch").as_int(2), 256);
+  EXPECT_DOUBLE_EQ(frame.column("tokens_per_s").as_double(0), 14147.9);
+}
+
+TEST(DataFrame, UnknownColumnThrows) {
+  const DataFrame frame = sample_frame();
+  EXPECT_THROW(frame.column("missing"), NotFound);
+}
+
+TEST(DataFrame, TypeMismatchThrows) {
+  DataFrame frame;
+  frame.add_column("x", ColumnType::kInt64);
+  EXPECT_THROW(frame.append_row({std::string("not-an-int")}), InvalidArgument);
+}
+
+TEST(DataFrame, IntPromotesToDoubleColumn) {
+  DataFrame frame;
+  frame.add_column("x", ColumnType::kDouble);
+  frame.append_row({std::int64_t{5}});
+  EXPECT_DOUBLE_EQ(frame.column("x").as_double(0), 5.0);
+}
+
+TEST(DataFrame, RowWidthMismatchThrows) {
+  DataFrame frame = sample_frame();
+  EXPECT_THROW(frame.append_row({std::string("x")}), Error);
+}
+
+TEST(DataFrame, DuplicateColumnThrows) {
+  DataFrame frame;
+  frame.add_column("x", ColumnType::kDouble);
+  EXPECT_THROW(frame.add_column("x", ColumnType::kInt64), Error);
+}
+
+TEST(DataFrame, AddColumnAfterRowsThrows) {
+  DataFrame frame = sample_frame();
+  EXPECT_THROW(frame.add_column("late", ColumnType::kDouble), Error);
+}
+
+TEST(Column, Aggregations) {
+  const DataFrame frame = sample_frame();
+  const Column& column = frame.column("tokens_per_s");
+  EXPECT_NEAR(column.sum(), 14147.9 + 40776.4 + 46211.6, 1e-6);
+  EXPECT_NEAR(column.mean(), (14147.9 + 40776.4 + 46211.6) / 3.0, 1e-6);
+  EXPECT_DOUBLE_EQ(column.min(), 14147.9);
+  EXPECT_DOUBLE_EQ(column.max(), 46211.6);
+}
+
+TEST(Column, StringAggregationThrows) {
+  const DataFrame frame = sample_frame();
+  EXPECT_THROW(frame.column("system").sum(), InvalidArgument);
+}
+
+TEST(Column, EmptyMeanThrows) {
+  Column column("x", ColumnType::kDouble);
+  EXPECT_THROW(column.mean(), Error);
+}
+
+TEST(DataFrame, Select) {
+  const DataFrame frame = sample_frame();
+  const DataFrame out = frame.select({"batch", "system"});
+  EXPECT_EQ(out.num_columns(), 2u);
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.column_at(0).name(), "batch");
+  EXPECT_EQ(out.column("system").as_string(0), "A100");
+}
+
+TEST(DataFrame, FilterByRowIndices) {
+  const DataFrame frame = sample_frame();
+  const DataFrame out = frame.filter({2, 0});
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.column("batch").as_int(0), 256);
+  EXPECT_EQ(out.column("batch").as_int(1), 64);
+}
+
+TEST(DataFrame, Concat) {
+  DataFrame a = sample_frame();
+  const DataFrame b = sample_frame();
+  a.concat(b);
+  EXPECT_EQ(a.num_rows(), 6u);
+  EXPECT_EQ(a.column("system").as_string(5), "GH200");
+}
+
+TEST(DataFrame, ConcatSchemaMismatchThrows) {
+  DataFrame a = sample_frame();
+  DataFrame b;
+  b.add_column("other", ColumnType::kDouble);
+  EXPECT_THROW(a.concat(b), Error);
+}
+
+TEST(DataFrame, CsvRoundTrip) {
+  const DataFrame frame = sample_frame();
+  const DataFrame back = DataFrame::from_csv(frame.to_csv());
+  ASSERT_EQ(back.num_rows(), 3u);
+  ASSERT_EQ(back.num_columns(), 3u);
+  // Numeric columns round-trip as doubles; strings stay strings.
+  EXPECT_EQ(back.column("system").type(), ColumnType::kString);
+  EXPECT_EQ(back.column("batch").type(), ColumnType::kDouble);
+  EXPECT_NEAR(back.column("tokens_per_s").as_double(2), 46211.6, 1e-6);
+  EXPECT_EQ(back.column("system").as_string(1), "GH200");
+}
+
+TEST(DataFrame, CsvQuotedCells) {
+  DataFrame frame;
+  frame.add_column("label", ColumnType::kString);
+  frame.append_row({std::string("has,comma")});
+  frame.append_row({std::string("has\"quote")});
+  const DataFrame back = DataFrame::from_csv(frame.to_csv());
+  EXPECT_EQ(back.column("label").as_string(0), "has,comma");
+  EXPECT_EQ(back.column("label").as_string(1), "has\"quote");
+}
+
+TEST(DataFrame, FromCsvEmptyThrows) {
+  EXPECT_THROW(DataFrame::from_csv("  \n \n"), ParseError);
+}
+
+TEST(DataFrame, FromCsvRaggedThrows) {
+  EXPECT_THROW(DataFrame::from_csv("a,b\n1\n"), ParseError);
+}
+
+TEST(DataFrame, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "caraml_df_test.csv").string();
+  sample_frame().to_csv_file(path);
+  const DataFrame back = DataFrame::from_csv_file(path);
+  EXPECT_EQ(back.num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DataFrame, ToStringTruncates) {
+  DataFrame frame;
+  frame.add_column("i", ColumnType::kInt64);
+  for (std::int64_t i = 0; i < 30; ++i) frame.append_row({i});
+  const std::string out = frame.to_string(5);
+  EXPECT_NE(out.find("25 more rows"), std::string::npos);
+}
+
+TEST(ColumnType, Names) {
+  EXPECT_EQ(column_type_name(ColumnType::kDouble), "double");
+  EXPECT_EQ(column_type_name(ColumnType::kInt64), "int64");
+  EXPECT_EQ(column_type_name(ColumnType::kString), "string");
+}
+
+}  // namespace
+}  // namespace caraml::df

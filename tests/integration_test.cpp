@@ -1,0 +1,189 @@
+// End-to-end integration tests across modules: the full CARAML user
+// workflow (YAML script -> JUBE engine -> simulator -> result table), jpwr
+// measuring a replayed simulation, and real training driven through the
+// data-parallel substrate with power measurement attached.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "core/caraml.hpp"
+#include "data/bpe.hpp"
+#include "data/synthetic.hpp"
+#include "nn/gpt.hpp"
+#include "nn/optim.hpp"
+#include "par/data_parallel.hpp"
+#include "power/methods_sim.hpp"
+#include "power/scope.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace caraml {
+namespace {
+
+TEST(Integration, FullJubeWorkflowFromYaml) {
+  // The Appendix-A user journey: write a script, run with a tag, get the
+  // compact result table.
+  const std::string script =
+      "benchmark:\n"
+      "  name: caraml-llm\n"
+      "parametersets:\n"
+      "  - name: systems\n"
+      "    parameters:\n"
+      "      - name: system\n"
+      "        values: [A100]\n"
+      "      - name: system\n"
+      "        tag: GH200\n"
+      "        values: [GH200]\n"
+      "      - name: devices\n"
+      "        values: \"-1\"\n"
+      "  - name: model\n"
+      "    parameters:\n"
+      "      - name: global_batch\n"
+      "        values: [64, 256]\n"
+      "steps:\n"
+      "  - name: train\n"
+      "    do: llm_train\n";
+
+  jube::Benchmark benchmark = jube::Benchmark::from_yaml(yaml::parse(script));
+  for (const auto& pattern : core::caraml_patterns()) {
+    benchmark.add_pattern(pattern);
+  }
+  jube::ActionRegistry registry;
+  core::register_caraml_actions(registry);
+
+  const auto result = benchmark.run(registry, {"GH200"});
+  ASSERT_EQ(result.workpackages.size(), 2u);
+  for (const auto& wp : result.workpackages) {
+    EXPECT_EQ(wp.context.at("system"), "GH200");
+    EXPECT_TRUE(wp.analysed.count("tokens_per_s"));
+    EXPECT_GT(str::parse_double(wp.analysed.at("tokens_per_s")), 1000.0);
+  }
+  // Larger batch => higher throughput, visible through the whole pipeline.
+  EXPECT_GT(str::parse_double(result.workpackages[1].analysed.at("tokens_per_s")),
+            str::parse_double(result.workpackages[0].analysed.at("tokens_per_s")));
+
+  const TextTable table =
+      result.table({"system", "global_batch", "tokens_per_s"});
+  EXPECT_NE(table.render().find("GH200"), std::string::npos);
+}
+
+TEST(Integration, ShippedConfigFilesLoadAndRun) {
+  // The repository's configs/ scripts must stay valid.
+  const std::filesystem::path configs =
+      std::filesystem::path(CARAML_CONFIG_DIR);
+  for (const char* name :
+       {"llm_benchmark_nvidia_amd.yaml", "resnet50_benchmark.yaml"}) {
+    const auto path = configs / name;
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    jube::Benchmark benchmark = jube::Benchmark::from_yaml_file(path.string());
+    for (const auto& pattern : core::caraml_patterns()) {
+      benchmark.add_pattern(pattern);
+    }
+    jube::ActionRegistry registry;
+    core::register_caraml_actions(registry);
+    const auto result = benchmark.run(registry, {});
+    EXPECT_GT(result.workpackages.size(), 0u) << name;
+    for (const auto& wp : result.workpackages) {
+      EXPECT_FALSE(wp.outputs.empty());
+    }
+  }
+}
+
+TEST(Integration, JpwrMeasuresReplayedSimulation) {
+  // Simulate a benchmark, replay its power rail through the sampling scope,
+  // and check the trapezoid energy against the exact trace integral.
+  core::LlmRunConfig config;
+  config.system_tag = "A100";
+  config.global_batch = 256;
+  const auto run = core::run_llm_gpu(config);
+  ASSERT_TRUE(run.device0_trace.has_value());
+  const double exact_wh =
+      run.device0_trace->energy_wh(0.0, run.device0_trace->horizon());
+
+  const double speed = run.device0_trace->horizon() / 0.05;  // 50 ms replay
+  std::vector<power::MethodPtr> methods = {
+      power::make_pynvml_sim({*run.device0_trace})};
+  power::PowerScope scope(methods, /*interval_ms=*/0.2,
+                          std::make_shared<power::ScaledClock>(speed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  scope.stop();
+
+  // Scale wall-clock-integrated energy back to simulated time.
+  const double measured_wh =
+      scope.channel_energy_wh("pynvml:gpu0") * speed *
+      (run.device0_trace->horizon() / (scope.duration() * speed));
+  EXPECT_NEAR(measured_wh, exact_wh, exact_wh * 0.25);
+  EXPECT_GE(scope.num_samples(), 10u);
+}
+
+TEST(Integration, TokenizerToTrainingPipeline) {
+  // OSCAR-like corpus -> BPE -> TokenStream -> data-parallel GPT training;
+  // the loss must fall and replicas stay in sync (checked inside trainer).
+  Rng rng(77);
+  const std::string corpus = data::synthetic_oscar_text(800, rng);
+  data::BpeTokenizer tokenizer;
+  tokenizer.train(corpus, 300);
+  const auto ids = tokenizer.encode(corpus);
+  data::TokenStream stream(std::vector<std::int32_t>(ids.begin(), ids.end()));
+
+  nn::GptModelConfig model_config;
+  model_config.vocab_size = static_cast<std::int64_t>(tokenizer.vocab_size());
+  model_config.block_size = 16;
+  model_config.num_layers = 1;
+  model_config.num_heads = 2;
+  model_config.embed_dim = 16;
+
+  par::DataParallelTrainer trainer(2, [&](int) {
+    Rng init(5);
+    auto model = std::make_shared<nn::GptModel>(model_config, init);
+    auto optimizer = std::make_shared<nn::Adam>(model->parameters(), 5e-3f);
+    return par::DataParallelTrainer::Replica{model, optimizer};
+  });
+  const auto result = trainer.train(
+      12, [&](int rank, std::int64_t step,
+              par::DataParallelTrainer::Replica& replica) {
+        Rng data(static_cast<std::uint64_t>(rank * 31 + step));
+        const auto batch = stream.sample_batch(2, 12, data);
+        auto* gpt = dynamic_cast<nn::GptModel*>(replica.model.get());
+        return gpt->train_step(batch.inputs, batch.targets);
+      });
+  EXPECT_LT(result.losses.back(), result.losses.front());
+}
+
+TEST(Integration, AllSevenSystemsProduceAFullResnetRow) {
+  // One Fig. 3-style row across every Table-I system end-to-end.
+  for (const auto& tag : topo::SystemRegistry::instance().tags()) {
+    core::ResnetRunConfig config;
+    config.system_tag = tag;
+    config.devices = 1;
+    config.global_batch = 64;
+    const auto result = core::run_resnet(config);
+    EXPECT_FALSE(result.oom) << tag;
+    EXPECT_GT(result.images_per_s_total, 50.0) << tag;
+    EXPECT_GT(result.images_per_wh, 1000.0) << tag;
+    EXPECT_GT(result.avg_power_per_device_w, 0.0) << tag;
+  }
+}
+
+TEST(Integration, EnergyAccountingConsistency) {
+  // tokens/Wh must equal tokens/s * 3600 / avg-power for every system —
+  // the invariant linking the three panels of Fig. 2.
+  for (const char* tag : {"A100", "GH200", "WAIH100"}) {
+    core::LlmRunConfig config;
+    config.system_tag = tag;
+    config.global_batch = 512;
+    const auto result = core::run_llm_gpu(config);
+    const double reconstructed =
+        result.tokens_per_s_per_gpu * 3600.0 / result.avg_power_per_gpu_w;
+    EXPECT_NEAR(result.tokens_per_wh, reconstructed,
+                reconstructed * 1e-9)
+        << tag;
+    // And the 1-hour energy equals the average power numerically.
+    EXPECT_NEAR(result.energy_per_gpu_wh, result.avg_power_per_gpu_w, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace caraml

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "jube/jube.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::jube {
+namespace {
+
+Benchmark two_param_benchmark() {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "params";
+  set.parameters.push_back(Parameter{"system", {"A100", "GH200"}, ""});
+  set.parameters.push_back(Parameter{"batch", {"16", "32", "64"}, ""});
+  benchmark.add_parameter_set(set);
+  return benchmark;
+}
+
+// --- parameter expansion --------------------------------------------------------
+
+TEST(Jube, ExpansionIsCartesianProduct) {
+  const auto contexts = two_param_benchmark().expand({});
+  EXPECT_EQ(contexts.size(), 6u);
+  // Order: outer loop over contexts, inner over values.
+  EXPECT_EQ(contexts[0].at("system"), "A100");
+  EXPECT_EQ(contexts[0].at("batch"), "16");
+  EXPECT_EQ(contexts[5].at("system"), "GH200");
+  EXPECT_EQ(contexts[5].at("batch"), "64");
+}
+
+TEST(Jube, TaggedParameterOnlyActiveWithTag) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"system", {"A100"}, ""});
+  set.parameters.push_back(Parameter{"system", {"GH200"}, "GH200"});
+  benchmark.add_parameter_set(set);
+
+  EXPECT_EQ(benchmark.expand({})[0].at("system"), "A100");
+  EXPECT_EQ(benchmark.expand({"GH200"})[0].at("system"), "GH200");
+}
+
+TEST(Jube, NegatedTag) {
+  Parameter p{"x", {"1"}, "!synthetic"};
+  EXPECT_TRUE(p.active({}));
+  EXPECT_FALSE(p.active({"synthetic"}));
+  EXPECT_TRUE(p.active({"other"}));
+}
+
+TEST(Jube, LaterSetOverridesEarlierParameter) {
+  Benchmark benchmark("demo");
+  ParameterSet base;
+  base.name = "base";
+  base.parameters.push_back(Parameter{"batch", {"16"}, ""});
+  ParameterSet override_set;
+  override_set.name = "override";
+  override_set.parameters.push_back(Parameter{"batch", {"128"}, ""});
+  benchmark.add_parameter_set(base);
+  benchmark.add_parameter_set(override_set);
+  const auto contexts = benchmark.expand({});
+  ASSERT_EQ(contexts.size(), 1u);
+  EXPECT_EQ(contexts[0].at("batch"), "128");
+}
+
+TEST(Jube, DependentParameterSubstitution) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"model", {"gpt"}, ""});
+  set.parameters.push_back(Parameter{"run_name", {"${model}_${batch}"}, ""});
+  set.parameters.push_back(Parameter{"batch", {"64"}, ""});
+  benchmark.add_parameter_set(set);
+  const auto contexts = benchmark.expand({});
+  EXPECT_EQ(contexts[0].at("run_name"), "gpt_64");
+}
+
+TEST(Jube, EmptyValuesRejected) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"x", {}, ""});
+  benchmark.add_parameter_set(set);
+  EXPECT_THROW(benchmark.expand({}), Error);
+}
+
+TEST(Jube, SubstituteContextIterates) {
+  Context context{{"a", "${b}"}, {"b", "42"}};
+  EXPECT_EQ(substitute_context("${a}", context), "42");
+}
+
+// --- steps -------------------------------------------------------------------------
+
+TEST(Jube, StepsRunInDependencyOrder) {
+  Benchmark benchmark = two_param_benchmark();
+  benchmark.add_step(Step{"analyse", {"train"}, "record", ""});
+  benchmark.add_step(Step{"train", {"download"}, "record", ""});
+  benchmark.add_step(Step{"download", {}, "record", ""});
+
+  std::vector<std::string> order;
+  ActionRegistry registry;
+  registry.register_action("record", [&](const Context& context) {
+    order.push_back("ran");
+    return "system=" + context.at("system");
+  });
+
+  const auto result = benchmark.run(registry, {});
+  EXPECT_EQ(result.workpackages.size(), 6u);
+  // All three steps ran for every workpackage.
+  EXPECT_EQ(order.size(), 18u);
+  for (const auto& wp : result.workpackages) {
+    EXPECT_EQ(wp.outputs.size(), 3u);
+  }
+}
+
+TEST(Jube, CyclicStepsRejected) {
+  Benchmark benchmark("demo");
+  benchmark.add_step(Step{"a", {"b"}, "x", ""});
+  benchmark.add_step(Step{"b", {"a"}, "x", ""});
+  ActionRegistry registry;
+  registry.register_action("x", [](const Context&) { return ""; });
+  EXPECT_THROW(benchmark.run(registry, {}), Error);
+}
+
+TEST(Jube, UnknownDependencyRejected) {
+  Benchmark benchmark("demo");
+  benchmark.add_step(Step{"a", {"ghost"}, "x", ""});
+  ActionRegistry registry;
+  registry.register_action("x", [](const Context&) { return ""; });
+  EXPECT_THROW(benchmark.run(registry, {}), Error);
+}
+
+TEST(Jube, TaggedStepSkippedWithoutTag) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"x", {"1"}, ""});
+  benchmark.add_parameter_set(set);
+  benchmark.add_step(Step{"always", {}, "noop", ""});
+  benchmark.add_step(Step{"gc_only", {}, "noop", "GC200"});
+  ActionRegistry registry;
+  registry.register_action("noop", [](const Context&) { return "ok"; });
+
+  const auto without = benchmark.run(registry, {});
+  EXPECT_EQ(without.workpackages[0].outputs.size(), 1u);
+  const auto with = benchmark.run(registry, {"GC200"});
+  EXPECT_EQ(with.workpackages[0].outputs.size(), 2u);
+}
+
+TEST(Jube, MissingActionThrows) {
+  Benchmark benchmark("demo");
+  benchmark.add_step(Step{"a", {}, "unregistered", ""});
+  ActionRegistry registry;
+  EXPECT_THROW(benchmark.run(registry, {}), NotFound);
+}
+
+TEST(ActionRegistry, DuplicateRegistrationRejected) {
+  ActionRegistry registry;
+  registry.register_action("x", [](const Context&) { return ""; });
+  EXPECT_TRUE(registry.has("x"));
+  EXPECT_THROW(
+      registry.register_action("x", [](const Context&) { return ""; }),
+      Error);
+}
+
+// --- patterns & result table -----------------------------------------------------------
+
+TEST(Jube, PatternExtractsLastMatch) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"x", {"1"}, ""});
+  benchmark.add_parameter_set(set);
+  benchmark.add_step(Step{"train", {}, "emit", ""});
+  benchmark.add_pattern(Pattern{"fom", R"(tokens_per_s:\s*([0-9.]+))"});
+  ActionRegistry registry;
+  registry.register_action("emit", [](const Context&) {
+    return std::string(
+        "warmup tokens_per_s: 100.5\nfinal tokens_per_s: 199.25\n");
+  });
+  const auto result = benchmark.run(registry, {});
+  EXPECT_EQ(result.workpackages[0].analysed.at("fom"), "199.25");
+}
+
+TEST(Jube, ResultTableMixesParametersAndPatterns) {
+  Benchmark benchmark = two_param_benchmark();
+  benchmark.add_step(Step{"train", {}, "emit", ""});
+  benchmark.add_pattern(Pattern{"fom", R"(fom=([0-9]+))"});
+  ActionRegistry registry;
+  registry.register_action("emit", [](const Context& context) {
+    return "fom=" + context.at("batch") + "0\n";  // fom = batch * 10
+  });
+  const auto result = benchmark.run(registry, {});
+  const TextTable table = result.table({"system", "batch", "fom"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("A100"), std::string::npos);
+  EXPECT_NE(rendered.find("160"), std::string::npos);  // batch 16 -> fom 160
+  EXPECT_NE(rendered.find("640"), std::string::npos);
+}
+
+TEST(Jube, ResultTableEmptyCellForUnknownColumn) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"x", {"1"}, ""});
+  benchmark.add_parameter_set(set);
+  ActionRegistry registry;
+  const auto result = benchmark.run(registry, {});
+  const TextTable table = result.table({"x", "nonexistent"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+// --- YAML loading ------------------------------------------------------------------------
+
+TEST(Jube, FromYamlBuildsBenchmark) {
+  const auto root = yaml::parse(
+      "benchmark:\n"
+      "  name: caraml-llm\n"
+      "parametersets:\n"
+      "  - name: systems\n"
+      "    parameters:\n"
+      "      - name: system\n"
+      "        values: [A100, GH200]\n"
+      "      - name: batch\n"
+      "        values: \"16, 32\"\n"
+      "      - name: system\n"
+      "        tag: MI250\n"
+      "        values: [MI250]\n"
+      "steps:\n"
+      "  - name: train\n"
+      "    do: llm_train\n"
+      "patterns:\n"
+      "  - name: fom\n"
+      "    regex: \"fom=([0-9]+)\"\n");
+  Benchmark benchmark = Benchmark::from_yaml(root);
+  EXPECT_EQ(benchmark.name(), "caraml-llm");
+
+  // Without tag: 2 systems x 2 batches; with MI250 tag: override kicks in.
+  EXPECT_EQ(benchmark.expand({}).size(), 4u);
+  const auto mi250 = benchmark.expand({"MI250"});
+  EXPECT_EQ(mi250.size(), 2u);
+  EXPECT_EQ(mi250[0].at("system"), "MI250");
+
+  ActionRegistry registry;
+  registry.register_action("llm_train", [](const Context& context) {
+    return "fom=" + context.at("batch") + "\n";
+  });
+  const auto result = benchmark.run(registry, {});
+  EXPECT_EQ(result.workpackages.size(), 4u);
+  EXPECT_EQ(result.workpackages[0].analysed.at("fom"), "16");
+}
+
+TEST(Jube, FromYamlMissingBenchmarkKeyThrows) {
+  EXPECT_THROW(Benchmark::from_yaml(yaml::parse("steps:\n  - name: a\n")),
+               Error);
+}
+
+TEST(Jube, FromYamlStepDependencies) {
+  const auto root = yaml::parse(
+      "benchmark:\n"
+      "  name: x\n"
+      "steps:\n"
+      "  - name: train\n"
+      "    do: act\n"
+      "    depend: fetch\n"
+      "  - name: fetch\n"
+      "    do: act\n");
+  Benchmark benchmark = Benchmark::from_yaml(root);
+  std::vector<std::string> order;
+  ActionRegistry registry;
+  registry.register_action("act", [&](const Context&) {
+    order.push_back("step");
+    return "";
+  });
+  benchmark.run(registry, {});
+  EXPECT_EQ(order.size(), 2u);
+}
+
+}  // namespace
+}  // namespace caraml::jube

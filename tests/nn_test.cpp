@@ -1,0 +1,542 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/gpt.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/resnet.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace caraml::nn {
+namespace {
+
+using tensor::Tensor;
+
+// Check d(sum(module(x)))/dx and d/dparams against central finite differences.
+// The module is re-run for each probe, so it must be deterministic.
+void check_gradients(Module& module, const Tensor& input, float eps = 1e-2f,
+                     float tol = 5e-2f, int param_stride = 7,
+                     int input_stride = 5) {
+  // Analytic gradients.
+  module.zero_grad();
+  const Tensor out = module.forward(input);
+  const Tensor ones = Tensor::ones(out.shape());
+  const Tensor dinput = module.backward(ones);
+
+  auto loss_at = [&](const Tensor& x) {
+    return tensor::sum(module.forward(x));
+  };
+
+  // Input gradient.
+  if (dinput.numel() > 0) {
+    for (std::int64_t i = 0; i < input.numel(); i += input_stride) {
+      Tensor xp = input, xm = input;
+      xp[i] += eps;
+      xm[i] -= eps;
+      const float fd = (loss_at(xp) - loss_at(xm)) / (2.0f * eps);
+      ASSERT_NEAR(dinput[i], fd, tol) << "input grad, index " << i;
+    }
+  }
+
+  // Parameter gradients (captured before the probe runs overwrite them...
+  // probes do not call backward, so grads are intact).
+  for (Parameter* p : module.parameters()) {
+    for (std::int64_t i = 0; i < p->numel(); i += param_stride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float up = loss_at(input);
+      p->value[i] = saved - eps;
+      const float down = loss_at(input);
+      p->value[i] = saved;
+      const float fd = (up - down) / (2.0f * eps);
+      ASSERT_NEAR(p->grad[i], fd, tol)
+          << "param " << p->name << ", index " << i;
+    }
+  }
+}
+
+// --- Linear -----------------------------------------------------------------------
+
+TEST(Linear, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear layer(2, 3, rng);
+  layer.weight().value = Tensor({3, 2}, {1.0f, 0.0f, 0.0f, 1.0f, 1.0f, 1.0f});
+  layer.bias()->value = Tensor({3}, {0.5f, -0.5f, 0.0f});
+  const Tensor x({1, 2}, {2.0f, 3.0f});
+  const Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 2.5f);
+  EXPECT_FLOAT_EQ(y[2], 5.0f);
+}
+
+TEST(Linear, GradientsMatchFiniteDifference) {
+  Rng rng(2);
+  Linear layer(4, 3, rng, true, 0.5f);
+  const Tensor x = Tensor::randn({5, 4}, rng);
+  check_gradients(layer, x, 1e-2f, 2e-2f, 3, 2);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer(4, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  EXPECT_EQ(layer.bias(), nullptr);
+}
+
+TEST(Linear, ShapeMismatchThrows) {
+  Rng rng(4);
+  Linear layer(4, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({1, 3})), Error);
+}
+
+// --- Embedding --------------------------------------------------------------------
+
+TEST(Embedding, LooksUpRows) {
+  Rng rng(5);
+  Embedding embed(10, 4, rng);
+  const Tensor ids({2}, {3.0f, 7.0f});
+  const Tensor out = embed.forward(ids);
+  for (std::int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out[j], embed.weight().value[3 * 4 + j]);
+    EXPECT_FLOAT_EQ(out[4 + j], embed.weight().value[7 * 4 + j]);
+  }
+}
+
+TEST(Embedding, BackwardAccumulatesPerToken) {
+  Rng rng(6);
+  Embedding embed(10, 2, rng);
+  const Tensor ids({3}, {1.0f, 1.0f, 2.0f});  // token 1 appears twice
+  embed.forward(ids);
+  const Tensor g({3, 2}, {1.0f, 1.0f, 1.0f, 1.0f, 5.0f, 5.0f});
+  embed.backward(g);
+  EXPECT_FLOAT_EQ(embed.weight().grad[1 * 2 + 0], 2.0f);
+  EXPECT_FLOAT_EQ(embed.weight().grad[2 * 2 + 0], 5.0f);
+  EXPECT_FLOAT_EQ(embed.weight().grad[0], 0.0f);
+}
+
+TEST(Embedding, OutOfRangeTokenThrows) {
+  Rng rng(7);
+  Embedding embed(10, 2, rng);
+  EXPECT_THROW(embed.forward(Tensor({1}, {10.0f})), Error);
+}
+
+// --- LayerNorm --------------------------------------------------------------------
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm layer(4);
+  const Tensor x({2, 4}, {1.0f, 2.0f, 3.0f, 4.0f, -2.0f, 0.0f, 2.0f, 4.0f});
+  const Tensor y = layer.forward(x);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t c = 0; c < 4; ++c) mean += y[r * 4 + c];
+    mean /= 4.0;
+    for (std::int64_t c = 0; c < 4; ++c) {
+      var += (y[r * 4 + c] - mean) * (y[r * 4 + c] - mean);
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var / 4.0, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GradientsMatchFiniteDifference) {
+  Rng rng(8);
+  LayerNorm layer(6);
+  layer.gamma().value = Tensor::randn({6}, rng, 0.3f);
+  for (std::int64_t i = 0; i < 6; ++i) layer.gamma().value[i] += 1.0f;
+  const Tensor x = Tensor::randn({4, 6}, rng);
+  check_gradients(layer, x, 1e-2f, 3e-2f, 2, 1);
+}
+
+// --- activations as modules ---------------------------------------------------------
+
+TEST(GeluModule, GradientsMatchFiniteDifference) {
+  Rng rng(9);
+  Gelu layer;
+  const Tensor x = Tensor::randn({3, 5}, rng);
+  check_gradients(layer, x, 1e-2f, 2e-2f, 1, 1);
+}
+
+TEST(ReluModule, GradientsAwayFromKink) {
+  Relu layer;
+  const Tensor x({4}, {-2.0f, -0.5f, 0.5f, 2.0f});
+  check_gradients(layer, x, 1e-3f, 1e-2f, 1, 1);
+}
+
+// --- attention ----------------------------------------------------------------------
+
+TEST(Attention, OutputShapeMatchesInput) {
+  Rng rng(10);
+  CausalSelfAttention attn(8, 2, rng);
+  const Tensor x = Tensor::randn({2, 5, 8}, rng, 0.5f);
+  const Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Attention, CausalMaskBlocksFuture) {
+  // Changing a future token must not change earlier outputs.
+  Rng rng(11);
+  CausalSelfAttention attn(8, 2, rng);
+  Tensor x = Tensor::randn({1, 4, 8}, rng, 0.5f);
+  const Tensor y1 = attn.forward(x);
+  // Perturb the last time step.
+  for (std::int64_t j = 0; j < 8; ++j) x[3 * 8 + j] += 10.0f;
+  const Tensor y2 = attn.forward(x);
+  for (std::int64_t t = 0; t < 3; ++t) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1[t * 8 + j], y2[t * 8 + j], 1e-5)
+          << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+TEST(Attention, GradientsMatchFiniteDifference) {
+  Rng rng(12);
+  CausalSelfAttention attn(4, 2, rng);
+  const Tensor x = Tensor::randn({1, 3, 4}, rng, 0.5f);
+  check_gradients(attn, x, 1e-2f, 5e-2f, 11, 1);
+}
+
+TEST(Attention, HeadDivisibilityEnforced) {
+  Rng rng(13);
+  EXPECT_THROW(CausalSelfAttention(10, 3, rng), Error);
+}
+
+// --- transformer block / GPT ----------------------------------------------------------
+
+TEST(TransformerBlock, GradientsMatchFiniteDifference) {
+  Rng rng(14);
+  TransformerBlock block(4, 2, rng);
+  const Tensor x = Tensor::randn({1, 3, 4}, rng, 0.5f);
+  check_gradients(block, x, 1e-2f, 6e-2f, 13, 1);
+}
+
+TEST(Gpt, ForwardShape) {
+  Rng rng(15);
+  GptModelConfig config;
+  config.vocab_size = 50;
+  config.block_size = 8;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.embed_dim = 16;
+  GptModel model(config, rng);
+  const Tensor tokens({2, 6}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  const Tensor logits = model.forward(tokens);
+  EXPECT_EQ(logits.dim(0), 12);
+  EXPECT_EQ(logits.dim(1), 50);
+}
+
+TEST(Gpt, SequenceLongerThanBlockThrows) {
+  Rng rng(16);
+  GptModelConfig config;
+  config.block_size = 4;
+  GptModel model(config, rng);
+  EXPECT_THROW(model.forward(Tensor({1, 5})), Error);
+}
+
+TEST(Gpt, ParameterCountIsPlausible) {
+  Rng rng(17);
+  GptModelConfig config;
+  config.vocab_size = 100;
+  config.block_size = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.embed_dim = 32;
+  GptModel model(config, rng);
+  // embeddings 100*32 + pos 16*32 + head 100*32 + 2 blocks of ~12*32^2.
+  const std::int64_t params = model.num_parameters();
+  EXPECT_GT(params, 30000);
+  EXPECT_LT(params, 50000);
+}
+
+TEST(Gpt, TrainingReducesLoss) {
+  Rng rng(18);
+  GptModelConfig config;
+  config.vocab_size = 16;
+  config.block_size = 8;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.embed_dim = 16;
+  GptModel model(config, rng);
+  Adam optimizer(model.parameters(), 1e-2f);
+
+  // A fixed periodic sequence the model can memorize.
+  Tensor tokens({2, 8});
+  std::vector<std::int64_t> targets(16);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t t = 0; t < 8; ++t) {
+      tokens[b * 8 + t] = static_cast<float>((b + t) % 4);
+      targets[static_cast<std::size_t>(b * 8 + t)] = (b + t + 1) % 4;
+    }
+  }
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    optimizer.zero_grad();
+    const float loss = model.train_step(tokens, targets);
+    optimizer.step();
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+// --- loss ----------------------------------------------------------------------------
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::zeros({3, 8});
+  const LossResult result = softmax_cross_entropy(logits, {0, 3, 7});
+  EXPECT_NEAR(result.loss, std::log(8.0f), 1e-5);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Rng rng(19);
+  const Tensor logits = Tensor::randn({4, 6}, rng);
+  const LossResult result = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double total = 0.0;
+    for (std::int64_t c = 0; c < 6; ++c) {
+      total += result.grad_logits[r * 6 + c];
+    }
+    EXPECT_NEAR(total, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradientMatchesFiniteDifference) {
+  Rng rng(20);
+  const Tensor logits = Tensor::randn({2, 4}, rng);
+  const std::vector<std::int64_t> targets = {1, 3};
+  const LossResult result = softmax_cross_entropy(logits, targets);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float fd = (softmax_cross_entropy(lp, targets).loss -
+                      softmax_cross_entropy(lm, targets).loss) /
+                     (2.0f * eps);
+    EXPECT_NEAR(result.grad_logits[i], fd, 1e-3);
+  }
+}
+
+TEST(Loss, TargetOutOfRangeThrows) {
+  const Tensor logits = Tensor::zeros({1, 4});
+  EXPECT_THROW(softmax_cross_entropy(logits, {4}), Error);
+}
+
+TEST(Loss, AccuracyComputation) {
+  const Tensor logits({2, 3}, {0.0f, 5.0f, 0.0f, 9.0f, 0.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 2}), 0.5);
+}
+
+// --- conv modules -----------------------------------------------------------------------
+
+TEST(Conv2dModule, GradientsMatchFiniteDifference) {
+  Rng rng(21);
+  Conv2d layer(2, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  check_gradients(layer, x, 1e-2f, 6e-2f, 5, 3);
+}
+
+TEST(BatchNorm, NormalizesPerChannel) {
+  BatchNorm2d layer(2);
+  Rng rng(22);
+  const Tensor x = Tensor::randn({4, 2, 3, 3}, rng, 2.0f);
+  const Tensor y = layer.forward(x);
+  for (std::int64_t ch = 0; ch < 2; ++ch) {
+    double mean = 0.0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t i = 0; i < 9; ++i) mean += y[(n * 2 + ch) * 9 + i];
+    }
+    EXPECT_NEAR(mean / 36.0, 0.0, 1e-4);
+  }
+}
+
+TEST(BatchNorm, RunningStatsUpdated) {
+  BatchNorm2d layer(1, 1e-5f, 0.5f);
+  const Tensor x = Tensor::full({2, 1, 2, 2}, 4.0f);
+  layer.forward(x);
+  // Running mean moves halfway from 0 toward 4.
+  EXPECT_NEAR(layer.running_mean()[0], 2.0f, 1e-5);
+}
+
+TEST(BatchNorm, GradientsMatchFiniteDifference) {
+  Rng rng(23);
+  BatchNorm2d layer(2);
+  const Tensor x = Tensor::randn({3, 2, 2, 2}, rng);
+  check_gradients(layer, x, 1e-2f, 6e-2f, 1, 1);
+}
+
+TEST(MaxPoolModule, RoundTrip) {
+  Rng rng(24);
+  MaxPool2d layer(2);
+  const Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  const Tensor y = layer.forward(x);
+  const Tensor g = Tensor::ones(y.shape());
+  const Tensor dx = layer.backward(g);
+  EXPECT_NEAR(tensor::sum(dx), 4.0f, 1e-5);
+}
+
+// --- residual blocks / ResNet -------------------------------------------------------------
+
+TEST(ResidualBlock, BasicBlockGradients) {
+  Rng rng(25);
+  ResidualBlock block(2, 2, 1, /*bottleneck=*/false, rng);
+  const Tensor x = Tensor::randn({1, 2, 4, 4}, rng, 0.7f);
+  check_gradients(block, x, 1e-2f, 8e-2f, 9, 5);
+}
+
+TEST(ResidualBlock, BottleneckWithProjection) {
+  Rng rng(26);
+  ResidualBlock block(4, 2, 2, /*bottleneck=*/true, rng);
+  EXPECT_EQ(block.out_channels(), 8);
+  const Tensor x = Tensor::randn({1, 4, 6, 6}, rng);
+  const Tensor y = block.forward(x);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(y.dim(2), 3);  // stride 2
+  const Tensor dx = block.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(ResNet, ForwardShapeAndParams) {
+  Rng rng(27);
+  ResNet model(nn::ResNetConfig::tiny(10), rng);
+  const Tensor images = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor logits = model.forward(images);
+  EXPECT_EQ(logits.dim(0), 2);
+  EXPECT_EQ(logits.dim(1), 10);
+  EXPECT_GT(model.num_parameters(), 1000);
+}
+
+TEST(ResNet, TrainingReducesLossOnSeparableData) {
+  Rng rng(28);
+  ResNet model(nn::ResNetConfig::tiny(2), rng);
+  Sgd optimizer(model.parameters(), 0.05f, 0.9f);
+  // Class 0: all -1 images, class 1: all +1.
+  Tensor images({8, 3, 8, 8});
+  std::vector<std::int64_t> labels(8);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const float v = i % 2 == 0 ? -1.0f : 1.0f;
+    labels[static_cast<std::size_t>(i)] = i % 2;
+    for (std::int64_t j = 0; j < 3 * 64; ++j) images[i * 3 * 64 + j] = v;
+  }
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 20; ++step) {
+    optimizer.zero_grad();
+    const float loss = model.train_step(images, labels);
+    optimizer.step();
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(ResNet, BottleneckVariantRuns) {
+  Rng rng(29);
+  ResNet model(nn::ResNetConfig::small_bottleneck(4), rng);
+  const Tensor images = Tensor::randn({1, 3, 16, 16}, rng);
+  EXPECT_EQ(model.forward(images).dim(1), 4);
+}
+
+// --- optimizers -----------------------------------------------------------------------------
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // Minimize f(w) = 0.5 * ||w - target||^2 by hand-feeding gradients.
+  Parameter w("w", Tensor({3}, {5.0f, -4.0f, 2.0f}));
+  const Tensor target({3}, {1.0f, 1.0f, 1.0f});
+  Sgd optimizer({&w}, 0.1f, 0.0f);
+  for (int step = 0; step < 200; ++step) {
+    optimizer.zero_grad();
+    for (std::int64_t i = 0; i < 3; ++i) w.grad[i] = w.value[i] - target[i];
+    optimizer.step();
+  }
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_NEAR(w.value[i], 1.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Parameter slow("s", Tensor({1}, {10.0f}));
+  Parameter fast("f", Tensor({1}, {10.0f}));
+  Sgd plain({&slow}, 0.01f, 0.0f);
+  Sgd momentum({&fast}, 0.01f, 0.9f);
+  for (int step = 0; step < 50; ++step) {
+    plain.zero_grad();
+    momentum.zero_grad();
+    slow.grad[0] = slow.value[0];
+    fast.grad[0] = fast.value[0];
+    plain.step();
+    momentum.step();
+  }
+  EXPECT_LT(std::fabs(fast.value[0]), std::fabs(slow.value[0]));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Parameter w("w", Tensor({1}, {1.0f}));
+  Sgd optimizer({&w}, 0.1f, 0.0f, 0.5f);
+  optimizer.zero_grad();  // gradient zero, decay only
+  optimizer.step();
+  EXPECT_NEAR(w.value[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Parameter w("w", Tensor({2}, {8.0f, -8.0f}));
+  Adam optimizer({&w}, 0.3f);
+  for (int step = 0; step < 300; ++step) {
+    optimizer.zero_grad();
+    for (std::int64_t i = 0; i < 2; ++i) w.grad[i] = w.value[i];
+    optimizer.step();
+  }
+  EXPECT_NEAR(w.value[0], 0.0f, 1e-2);
+  EXPECT_NEAR(w.value[1], 0.0f, 1e-2);
+  EXPECT_EQ(optimizer.step_count(), 300);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Parameter w("w", Tensor({2}, {0.0f, 0.0f}));
+  w.grad = Tensor({2}, {3.0f, 4.0f});  // norm 5
+  const double norm = clip_grad_norm({&w}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(w.grad[0], 0.6f, 1e-5);
+  EXPECT_NEAR(w.grad[1], 0.8f, 1e-5);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Parameter w("w", Tensor({2}, {0.0f, 0.0f}));
+  w.grad = Tensor({2}, {0.3f, 0.4f});
+  clip_grad_norm({&w}, 1.0);
+  EXPECT_NEAR(w.grad[0], 0.3f, 1e-6);
+}
+
+// --- Sequential ---------------------------------------------------------------------------
+
+TEST(Sequential, ChainsModules) {
+  Rng rng(30);
+  auto sequential = std::make_shared<Sequential>();
+  sequential->add(std::make_shared<Linear>(4, 8, rng));
+  sequential->add(std::make_shared<Gelu>());
+  sequential->add(std::make_shared<Linear>(8, 2, rng));
+  EXPECT_EQ(sequential->size(), 3u);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  const Tensor y = sequential->forward(x);
+  EXPECT_EQ(y.dim(1), 2);
+  const Tensor dx = sequential->backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_EQ(sequential->parameters().size(), 4u);
+}
+
+TEST(Sequential, GradientsMatchFiniteDifference) {
+  Rng rng(31);
+  Sequential sequential;
+  sequential.add(std::make_shared<Linear>(3, 5, rng, true, 0.5f));
+  sequential.add(std::make_shared<Gelu>());
+  sequential.add(std::make_shared<Linear>(5, 2, rng, true, 0.5f));
+  const Tensor x = Tensor::randn({2, 3}, rng);
+  check_gradients(sequential, x, 1e-2f, 4e-2f, 3, 1);
+}
+
+}  // namespace
+}  // namespace caraml::nn

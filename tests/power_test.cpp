@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "power/clock.hpp"
+#include "power/methods_host.hpp"
+#include "power/methods_sim.hpp"
+#include "power/scope.hpp"
+#include "topo/specs.hpp"
+#include "util/error.hpp"
+
+namespace caraml::power {
+namespace {
+
+sim::PowerTrace square_wave_trace(double busy_watts_util, double horizon) {
+  auto device = topo::make_a100_sxm4();
+  std::vector<sim::BusyInterval> intervals;
+  for (double t = 0.0; t + 1.0 <= horizon; t += 2.0) {
+    intervals.push_back(sim::BusyInterval{t, t + 1.0, busy_watts_util, 0});
+  }
+  return sim::PowerTrace(device, intervals, horizon);
+}
+
+// --- clocks ----------------------------------------------------------------------
+
+TEST(Clock, WallClockAdvances) {
+  WallClock clock;
+  const double t0 = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(clock.now(), t0);
+}
+
+TEST(Clock, ScaledClockRunsFaster) {
+  ScaledClock fast(1000.0);
+  WallClock wall;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(fast.now(), wall.now());
+  EXPECT_DOUBLE_EQ(fast.speed(), 1000.0);
+}
+
+// --- trapezoid integration ----------------------------------------------------------
+
+TEST(Integration, ConstantPower) {
+  const std::vector<double> times = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> watts = {100.0, 100.0, 100.0, 100.0};
+  EXPECT_NEAR(integrate_trapezoid_joules(times, watts), 300.0, 1e-9);
+}
+
+TEST(Integration, LinearRamp) {
+  const std::vector<double> times = {0.0, 2.0};
+  const std::vector<double> watts = {0.0, 100.0};
+  EXPECT_NEAR(integrate_trapezoid_joules(times, watts), 100.0, 1e-9);
+}
+
+TEST(Integration, EmptyAndSingleSample) {
+  EXPECT_DOUBLE_EQ(integrate_trapezoid_joules({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(integrate_trapezoid_joules({1.0}, {50.0}), 0.0);
+}
+
+TEST(Integration, MismatchedLengthsThrow) {
+  EXPECT_THROW(integrate_trapezoid_joules({0.0, 1.0}, {5.0}), Error);
+}
+
+TEST(Integration, DecreasingTimestampsThrow) {
+  EXPECT_THROW(integrate_trapezoid_joules({1.0, 0.0}, {5.0, 5.0}), Error);
+}
+
+class SyntheticIntegration : public ::testing::TestWithParam<double> {};
+TEST_P(SyntheticIntegration, DenseTrapezoidMatchesClosedForm) {
+  // Property: for the sinusoidal synthetic method, dense trapezoid
+  // integration converges to the analytic energy for any period.
+  const double period = GetParam();
+  SyntheticMethod method("c", 200.0, 80.0, period);
+  std::vector<double> times, watts;
+  const double horizon = 3.0 * period;
+  for (double t = 0.0; t <= horizon; t += period / 500.0) {
+    times.push_back(t);
+    watts.push_back(method.sample(t)[0].watts);
+  }
+  const double numeric = integrate_trapezoid_joules(times, watts);
+  const double exact = method.exact_energy_joules(times.back());
+  EXPECT_NEAR(numeric, exact, exact * 1e-4);
+}
+INSTANTIATE_TEST_SUITE_P(Power, SyntheticIntegration,
+                         ::testing::Values(0.5, 2.0, 10.0, 60.0));
+
+// --- simulated methods -----------------------------------------------------------
+
+TEST(TraceMethod, PynvmlChannelsAndValues) {
+  auto method = make_pynvml_sim({square_wave_trace(0.4, 10.0),
+                                 square_wave_trace(0.2, 10.0)});
+  EXPECT_EQ(method->name(), "pynvml");
+  const auto channels = method->channels();
+  ASSERT_EQ(channels.size(), 2u);
+  EXPECT_EQ(channels[0], "gpu0");
+  EXPECT_EQ(channels[1], "gpu1");
+  const auto readings = method->sample(0.5);  // inside a busy interval
+  EXPECT_GT(readings[0].watts, readings[1].watts);
+}
+
+TEST(TraceMethod, RocmAndGcipuinfoNaming) {
+  EXPECT_EQ(make_rocm_smi_sim({square_wave_trace(0.3, 4.0)})->channels()[0],
+            "card0");
+  EXPECT_EQ(make_gcipuinfo_sim({square_wave_trace(0.3, 4.0)})->channels()[0],
+            "ipu0");
+}
+
+TEST(TraceMethod, ChannelTraceCountMismatchThrows) {
+  EXPECT_THROW(TraceMethod("x", {"a", "b"}, {square_wave_trace(0.3, 4.0)}),
+               Error);
+}
+
+TEST(GraceHopperMethod, ReportsModuleAndGraceRails) {
+  GraceHopperSimMethod method({square_wave_trace(0.3, 4.0)},
+                              /*grace_fraction=*/0.2);
+  const auto channels = method.channels();
+  ASSERT_EQ(channels.size(), 2u);
+  EXPECT_EQ(channels[0], "module0");
+  EXPECT_EQ(channels[1], "grace0");
+  const auto readings = method.sample(0.5);
+  EXPECT_NEAR(readings[1].watts, readings[0].watts * 0.2, 1e-9);
+}
+
+TEST(GraceHopperMethod, InvalidFractionThrows) {
+  EXPECT_THROW(
+      GraceHopperSimMethod({square_wave_trace(0.3, 4.0)}, 1.5), Error);
+}
+
+TEST(SyntheticMethod, OscillatesAroundBase) {
+  SyntheticMethod method("c", 150.0, 50.0, 4.0);
+  EXPECT_NEAR(method.sample(0.0)[0].watts, 150.0, 1e-9);
+  EXPECT_NEAR(method.sample(1.0)[0].watts, 200.0, 1e-9);  // peak at T/4
+  EXPECT_NEAR(method.sample(3.0)[0].watts, 100.0, 1e-9);  // trough at 3T/4
+}
+
+// --- host methods -----------------------------------------------------------------
+
+TEST(ProcStatMethod, AvailableOnLinuxAndReturnsSaneValues) {
+  ProcStatMethod method(200.0, 40.0);
+  if (!method.available()) GTEST_SKIP() << "/proc/stat not readable";
+  method.sample(0.0);  // first sample establishes the baseline
+  const auto readings = method.sample(0.1);
+  ASSERT_EQ(readings.size(), 1u);
+  EXPECT_GE(readings[0].watts, 40.0 - 1e-9);
+  EXPECT_LE(readings[0].watts, 200.0 + 1e-9);
+}
+
+TEST(ProcStatMethod, ParsesSyntheticStatFile) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "caraml_fake_stat";
+  {
+    std::ofstream out(path);
+    out << "cpu 100 0 100 800 0 0 0 0 0 0\n";
+  }
+  ProcStatMethod method(200.0, 40.0, path.string());
+  EXPECT_TRUE(method.available());
+  method.sample(0.0);
+  {
+    std::ofstream out(path);
+    // +200 busy, +0 idle since the last sample -> 100% busy.
+    out << "cpu 300 0 100 800 0 0 0 0 0 0\n";
+  }
+  const auto readings = method.sample(1.0);
+  EXPECT_NEAR(readings[0].watts, 200.0, 1e-6);
+  std::filesystem::remove(path);
+}
+
+TEST(ProcStatMethod, MissingFileUnavailable) {
+  ProcStatMethod method(200.0, 40.0, "/nonexistent/stat");
+  EXPECT_FALSE(method.available());
+}
+
+TEST(HwmonMethod, ParsesSyntheticHwmonTree) {
+  namespace fs = std::filesystem;
+  const auto root = fs::temp_directory_path() / "caraml_hwmon";
+  fs::remove_all(root);
+  fs::create_directories(root / "hwmon0");
+  {
+    std::ofstream(root / "hwmon0" / "name") << "grace_socket\n";
+    std::ofstream(root / "hwmon0" / "power1_input") << "123456789\n";
+    std::ofstream(root / "hwmon0" / "power1_label") << "Module Power\n";
+    std::ofstream(root / "hwmon0" / "power2_input") << "4000000\n";
+    std::ofstream(root / "hwmon0" / "temp1_input") << "42000\n";  // ignored
+  }
+  HwmonMethod method(root.string());
+  ASSERT_TRUE(method.available());
+  const auto channels = method.channels();
+  ASSERT_EQ(channels.size(), 2u);
+  EXPECT_EQ(channels[0], "grace_socket:Module Power");
+  EXPECT_EQ(channels[1], "grace_socket:power2_input");
+  const auto readings = method.sample(0.0);
+  EXPECT_NEAR(readings[0].watts, 123.456789, 1e-9);  // microwatts -> watts
+  EXPECT_NEAR(readings[1].watts, 4.0, 1e-9);
+  fs::remove_all(root);
+}
+
+TEST(HwmonMethod, MissingTreeUnavailable) {
+  HwmonMethod method("/nonexistent/hwmon");
+  EXPECT_FALSE(method.available());
+  EXPECT_TRUE(method.channels().empty());
+}
+
+TEST(RaplMethod, GracefullyHandlesMissingPowercap) {
+  RaplMethod method("/nonexistent/powercap");
+  EXPECT_FALSE(method.available());
+  EXPECT_TRUE(method.channels().empty());
+}
+
+// --- PowerScope --------------------------------------------------------------------
+
+TEST(PowerScope, CollectsSamplesAndStops) {
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("c", 100.0, 0.0, 1.0)};
+  PowerScope scope(methods, /*interval_ms=*/2.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  scope.stop();
+  EXPECT_GE(scope.num_samples(), 4u);
+  EXPECT_GT(scope.duration(), 0.0);
+  scope.stop();  // idempotent
+}
+
+TEST(PowerScope, ConstantPowerEnergyMatchesDuration) {
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("c", 120.0, 0.0, 1.0)};
+  PowerScope scope(methods, 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  scope.stop();
+  const double wh = scope.channel_energy_wh("synthetic:c");
+  const double expected = 120.0 * scope.duration() / 3600.0;
+  EXPECT_NEAR(wh, expected, expected * 0.01);
+}
+
+TEST(PowerScope, DataFrameHasTimePlusChannelColumns) {
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("a", 100.0, 0.0, 1.0),
+      std::make_shared<SyntheticMethod>("b", 50.0, 0.0, 1.0)};
+  PowerScope scope(methods, 2.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  scope.stop();
+  const auto frame = scope.df();
+  ASSERT_EQ(frame.num_columns(), 3u);
+  EXPECT_TRUE(frame.has_column("time"));
+  EXPECT_TRUE(frame.has_column("synthetic:a"));
+  EXPECT_TRUE(frame.has_column("synthetic:b"));
+  EXPECT_GE(frame.num_rows(), 2u);
+}
+
+TEST(PowerScope, EnergyResultPerChannelAndAdditionalData) {
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("a", 100.0, 0.0, 1.0)};
+  PowerScope scope(methods, 2.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  scope.stop();
+  const auto result = scope.energy();
+  ASSERT_EQ(result.energy.num_rows(), 1u);
+  EXPECT_EQ(result.energy.column("channel").as_string(0), "synthetic:a");
+  EXPECT_NEAR(result.energy.column("avg_watts").as_double(0), 100.0, 1.0);
+  EXPECT_NEAR(result.energy.column("min_watts").as_double(0), 100.0, 1e-6);
+  ASSERT_TRUE(result.additional.count("synthetic"));
+  EXPECT_EQ(result.additional.at("synthetic").num_columns(), 2u);
+}
+
+TEST(PowerScope, ScaledClockReplaysSimulatedTrace) {
+  // Replay a 10-simulated-second square wave in ~10 wall-ms.
+  std::vector<MethodPtr> methods = {make_pynvml_sim({square_wave_trace(
+      topo::make_a100_sxm4().util_at_tdp, 10.0)})};
+  PowerScope scope(methods, 0.5,
+                   std::make_shared<ScaledClock>(1000.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  scope.stop();
+  const auto frame = scope.df();
+  const auto& column = frame.column("pynvml:gpu0");
+  EXPECT_NEAR(column.max(), 400.0, 1.0);  // A100 TDP during busy
+  EXPECT_NEAR(column.min(), 60.0, 1.0);   // idle during gaps
+}
+
+TEST(PowerScope, RequiresMethodsAndPositiveInterval) {
+  EXPECT_THROW(PowerScope(std::vector<MethodPtr>{}, 10.0), Error);
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("c", 1.0, 0.0, 1.0)};
+  EXPECT_THROW(PowerScope(methods, 0.0), Error);
+}
+
+// --- export ------------------------------------------------------------------------
+
+TEST(Export, WritesPowerAndEnergyCsvWithSuffix) {
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("c", 100.0, 0.0, 1.0)};
+  PowerScope scope(methods, 2.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  scope.stop();
+
+  ::setenv("SLURM_PROCID", "3", 1);
+  const auto dir = std::filesystem::temp_directory_path() / "caraml_export";
+  std::filesystem::remove_all(dir);
+  ExportOptions options;
+  options.out_dir = dir.string();
+  options.suffix = "_%q{SLURM_PROCID}";
+  export_results(scope, options);
+  EXPECT_TRUE(std::filesystem::exists(dir / "power_3.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "energy_3.csv"));
+
+  const auto back =
+      df::DataFrame::from_csv_file((dir / "energy_3.csv").string());
+  EXPECT_EQ(back.column("channel").as_string(0), "synthetic:c");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Export, RejectsUnsupportedFiletype) {
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("c", 100.0, 0.0, 1.0)};
+  PowerScope scope(methods, 2.0);
+  scope.stop();
+  ExportOptions options;
+  options.out_dir = std::filesystem::temp_directory_path().string();
+  options.filetype = "h5";
+  EXPECT_THROW(export_results(scope, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace caraml::power

@@ -1,0 +1,143 @@
+// Tests for the roofline kernel profiles and the time-to-solution model.
+#include <gtest/gtest.h>
+
+#include "core/time_to_solution.hpp"
+#include "sim/roofline.hpp"
+#include "topo/specs.hpp"
+#include "util/error.hpp"
+
+namespace caraml {
+namespace {
+
+// --- kernel profiles ------------------------------------------------------------
+
+TEST(Roofline, GemmFlopsAndBytes) {
+  const auto profile = sim::gemm_profile(128, 256, 64);
+  EXPECT_DOUBLE_EQ(profile.flops, 2.0 * 128 * 256 * 64);
+  EXPECT_DOUBLE_EQ(profile.bytes,
+                   2.0 * (128.0 * 64 + 64.0 * 256 + 128.0 * 256));
+}
+
+TEST(Roofline, IntensityGrowsWithGemmSize) {
+  double prev = 0.0;
+  for (std::int64_t n : {32, 128, 512, 2048}) {
+    const double intensity =
+        sim::gemm_profile(n, n, n).arithmetic_intensity();
+    EXPECT_GT(intensity, prev);
+    prev = intensity;
+  }
+  // Square GEMM intensity approaches n/3 FLOP/byte at fp16.
+  EXPECT_NEAR(sim::gemm_profile(2048, 2048, 2048).arithmetic_intensity(),
+              2048.0 / 3.0, 2.0);
+}
+
+TEST(Roofline, GemvIsMemoryBoundEverywhere) {
+  // The decode-step shape: every weight read once, ~2 FLOPs per weight.
+  const auto profile = sim::gemv_profile(4096, 4096);
+  EXPECT_LT(profile.arithmetic_intensity(), 1.5);
+  for (const char* maker : {"A100", "GH200", "H100"}) {
+    const auto& device = topo::SystemRegistry::instance().by_tag(maker).device;
+    EXPECT_FALSE(sim::is_compute_bound(device, profile)) << maker;
+  }
+}
+
+TEST(Roofline, LargeGemmIsComputeBoundOnEveryGpu) {
+  const auto profile = sim::gemm_profile(4096, 4096, 4096);
+  for (const auto& node : topo::SystemRegistry::instance().all()) {
+    if (node.device.arch != topo::ArchClass::kGpuSimd) continue;
+    EXPECT_TRUE(sim::is_compute_bound(node.device, profile))
+        << node.display_name;
+  }
+}
+
+TEST(Roofline, RidgePointMatchesSpecs) {
+  const auto device = topo::make_a100_sxm4();
+  EXPECT_NEAR(sim::ridge_intensity(device), 312e12 / 1555e9, 1e-6);
+}
+
+TEST(Roofline, KernelTimeTakesTheBindingRoof) {
+  const auto device = topo::make_a100_sxm4();
+  // Memory-bound: time ~= bytes / bandwidth.
+  const auto gemv = sim::gemv_profile(8192, 8192);
+  EXPECT_NEAR(sim::kernel_time(device, gemv, 1.0),
+              gemv.bytes / device.mem_bandwidth + device.launch_overhead_s,
+              1e-9);
+  // Compute-bound: time ~= flops / (peak * eff).
+  const auto gemm = sim::gemm_profile(8192, 8192, 8192);
+  EXPECT_NEAR(sim::kernel_time(device, gemm, 0.5),
+              gemm.flops / (device.peak_fp16_flops * 0.5) +
+                  device.launch_overhead_s,
+              1e-6);
+}
+
+TEST(Roofline, ConvProfileMatchesDirectCount) {
+  // 3x3 conv, 64->64 channels, 56x56 output, batch 2.
+  const auto profile = sim::conv2d_profile(2, 64, 64, 56, 56, 3, 3);
+  EXPECT_DOUBLE_EQ(profile.flops, 2.0 * 2 * 56 * 56 * 64 * 64 * 9);
+  EXPECT_GT(profile.arithmetic_intensity(), 50.0);  // convs reuse heavily
+}
+
+TEST(Roofline, ElementwiseIsDeeplyMemoryBound) {
+  const auto profile = sim::elementwise_profile(1 << 20);
+  EXPECT_LT(profile.arithmetic_intensity(), 0.5);
+}
+
+TEST(Roofline, InvalidInputsThrow) {
+  EXPECT_THROW(sim::gemm_profile(0, 4, 4), Error);
+  const auto device = topo::make_a100_sxm4();
+  EXPECT_THROW(sim::kernel_time(device, sim::gemm_profile(4, 4, 4), 1.5),
+               Error);
+}
+
+// --- time to solution -------------------------------------------------------------
+
+TEST(TimeToSolution, ScalingLawInvertsExactly) {
+  core::LossScalingLaw law;
+  const double tokens = law.tokens_to_reach(2.3);
+  EXPECT_NEAR(law.loss_at(tokens), 2.3, 1e-9);
+}
+
+TEST(TimeToSolution, LowerLossNeedsMoreTokens) {
+  core::LossScalingLaw law;
+  EXPECT_GT(law.tokens_to_reach(2.0), law.tokens_to_reach(2.5));
+}
+
+TEST(TimeToSolution, TargetBelowIrreducibleThrows) {
+  core::LossScalingLaw law;
+  EXPECT_THROW(law.tokens_to_reach(law.l_inf), Error);
+  EXPECT_THROW(law.tokens_to_reach(1.0), Error);
+}
+
+TEST(TimeToSolution, FasterSystemFinishesSooner) {
+  core::LlmRunConfig jedi;
+  jedi.system_tag = "JEDI";
+  jedi.global_batch = 1024;
+  core::LlmRunConfig a100 = jedi;
+  a100.system_tag = "A100";
+  const auto fast = core::estimate_time_to_solution(jedi, 2.2);
+  const auto slow = core::estimate_time_to_solution(a100, 2.2);
+  EXPECT_LT(fast.hours_to_solution, slow.hours_to_solution);
+  EXPECT_EQ(fast.tokens_needed, slow.tokens_needed);  // same law
+}
+
+TEST(TimeToSolution, EnergyConsistentWithPowerAndTime) {
+  core::LlmRunConfig config;
+  config.system_tag = "GH200";
+  config.global_batch = 1024;
+  const auto result = core::estimate_time_to_solution(config, 2.3);
+  const auto run = core::run_llm_gpu(config);
+  const double expected_kwh = run.avg_power_per_gpu_w *
+                              result.hours_to_solution / 1000.0;
+  EXPECT_NEAR(result.node_energy_kwh, expected_kwh, expected_kwh * 1e-6);
+}
+
+TEST(TimeToSolution, OomConfigurationRejected) {
+  core::LlmRunConfig config;
+  config.system_tag = "A100";
+  config.model = models::GptConfig::gpt_175b();
+  config.global_batch = 16;
+  EXPECT_THROW(core::estimate_time_to_solution(config, 2.2), Error);
+}
+
+}  // namespace
+}  // namespace caraml

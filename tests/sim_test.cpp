@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+#include "sim/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/memory.hpp"
+#include "sim/power_model.hpp"
+#include "topo/specs.hpp"
+#include "util/error.hpp"
+
+namespace caraml::sim {
+namespace {
+
+// --- task graph engine -----------------------------------------------------------
+
+TEST(TaskGraph, SingleTask) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  const TaskId task = graph.add_task(device, 2.5);
+  EXPECT_DOUBLE_EQ(graph.run(), 2.5);
+  EXPECT_DOUBLE_EQ(graph.start_time(task), 0.0);
+  EXPECT_DOUBLE_EQ(graph.finish_time(task), 2.5);
+}
+
+TEST(TaskGraph, ChainSerializesOnDependencies) {
+  TaskGraph graph;
+  Resource* a = graph.add_resource("a");
+  Resource* b = graph.add_resource("b");
+  const TaskId first = graph.add_task(a, 1.0);
+  const TaskId second = graph.add_task(b, 2.0);
+  graph.add_dependency(first, second);
+  EXPECT_DOUBLE_EQ(graph.run(), 3.0);
+  EXPECT_DOUBLE_EQ(graph.start_time(second), 1.0);
+}
+
+TEST(TaskGraph, ResourceSerializesIndependentTasks) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  graph.add_task(device, 1.0);
+  graph.add_task(device, 1.0);
+  graph.add_task(device, 1.0);
+  EXPECT_DOUBLE_EQ(graph.run(), 3.0);
+  EXPECT_DOUBLE_EQ(device->busy_time(), 3.0);
+}
+
+TEST(TaskGraph, IndependentResourcesRunInParallel) {
+  TaskGraph graph;
+  Resource* a = graph.add_resource("a");
+  Resource* b = graph.add_resource("b");
+  graph.add_task(a, 3.0);
+  graph.add_task(b, 2.0);
+  EXPECT_DOUBLE_EQ(graph.run(), 3.0);
+}
+
+TEST(TaskGraph, DiamondDependency) {
+  TaskGraph graph;
+  Resource* a = graph.add_resource("a");
+  Resource* b = graph.add_resource("b");
+  Resource* c = graph.add_resource("c");
+  const TaskId root = graph.add_task(a, 1.0);
+  const TaskId left = graph.add_task(b, 2.0);
+  const TaskId right = graph.add_task(c, 3.0);
+  const TaskId join = graph.add_task(a, 1.0);
+  graph.add_dependency(root, left);
+  graph.add_dependency(root, right);
+  graph.add_dependency(left, join);
+  graph.add_dependency(right, join);
+  EXPECT_DOUBLE_EQ(graph.run(), 5.0);  // 1 + max(2,3) + 1
+}
+
+TEST(TaskGraph, ReleaseTimeDelaysStart) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  const TaskId task = graph.add_task(device, 1.0, 1.0, "late", 5.0);
+  graph.run();
+  EXPECT_DOUBLE_EQ(graph.start_time(task), 5.0);
+}
+
+TEST(TaskGraph, FifoOrderPreserved) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  const TaskId first = graph.add_task(device, 1.0);
+  const TaskId second = graph.add_task(device, 1.0);
+  graph.run();
+  EXPECT_LT(graph.start_time(first), graph.start_time(second));
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  const TaskId a = graph.add_task(device, 1.0);
+  const TaskId b = graph.add_task(device, 1.0);
+  graph.add_dependency(a, b);
+  graph.add_dependency(b, a);
+  EXPECT_THROW(graph.run(), Error);
+}
+
+TEST(TaskGraph, ChainHelper) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  std::vector<TaskId> tasks;
+  for (int i = 0; i < 5; ++i) tasks.push_back(graph.add_task(device, 1.0));
+  graph.add_chain(tasks);
+  EXPECT_DOUBLE_EQ(graph.run(), 5.0);
+}
+
+TEST(TaskGraph, SelfDependencyRejected) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  const TaskId task = graph.add_task(device, 1.0);
+  EXPECT_THROW(graph.add_dependency(task, task), Error);
+}
+
+TEST(TaskGraph, RunTwiceRejected) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  graph.add_task(device, 1.0);
+  graph.run();
+  EXPECT_THROW(graph.run(), Error);
+}
+
+TEST(TaskGraph, BusyIntervalsRecorded) {
+  TaskGraph graph;
+  Resource* device = graph.add_resource("dev");
+  const TaskId a = graph.add_task(device, 1.0, 0.5);
+  graph.add_task(device, 2.0, 0.9);
+  graph.run();
+  ASSERT_EQ(device->busy_intervals().size(), 2u);
+  EXPECT_DOUBLE_EQ(device->busy_intervals()[0].utilization, 0.5);
+  EXPECT_DOUBLE_EQ(device->busy_intervals()[1].end, 3.0);
+  EXPECT_EQ(device->busy_intervals()[0].task_index, a);
+  EXPECT_DOUBLE_EQ(device->last_end(), 3.0);
+}
+
+TEST(TaskGraph, PipelineMakespanMatchesFormula) {
+  // m micro-batches over s serial stages: makespan = (m + s - 1) * t.
+  const int stages = 4, micro = 8;
+  const double t = 0.5;
+  TaskGraph graph;
+  std::vector<Resource*> res;
+  for (int s = 0; s < stages; ++s) res.push_back(graph.add_resource("s"));
+  for (int m = 0; m < micro; ++m) {
+    TaskId prev = kInvalidTask;
+    for (int s = 0; s < stages; ++s) {
+      const TaskId task = graph.add_task(res[static_cast<std::size_t>(s)], t);
+      if (prev != kInvalidTask) graph.add_dependency(prev, task);
+      prev = task;
+    }
+  }
+  EXPECT_NEAR(graph.run(), (micro + stages - 1) * t, 1e-12);
+}
+
+class RandomDag : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDag, ScheduleRespectsAllInvariants) {
+  // Property test: for random DAGs over random resources, the event engine
+  // must produce a schedule where (a) every task starts after its
+  // dependencies finish and its release time, (b) no resource serves two
+  // tasks at once, (c) the makespan is the latest finish.
+  caraml::Rng rng(GetParam());
+  TaskGraph graph;
+  const int num_resources = static_cast<int>(rng.uniform_int(1, 5));
+  std::vector<Resource*> resources;
+  for (int r = 0; r < num_resources; ++r) {
+    resources.push_back(graph.add_resource("r" + std::to_string(r)));
+  }
+  const int num_tasks = static_cast<int>(rng.uniform_int(5, 60));
+  std::vector<TaskId> tasks;
+  std::vector<std::vector<TaskId>> deps(static_cast<std::size_t>(num_tasks));
+  for (int t = 0; t < num_tasks; ++t) {
+    const double service = rng.uniform(0.01, 2.0);
+    const double release = rng.next_double() < 0.2 ? rng.uniform(0.0, 3.0)
+                                                   : 0.0;
+    const TaskId id = graph.add_task(
+        resources[static_cast<std::size_t>(
+            rng.uniform_int(0, num_resources - 1))],
+        service, 0.5, "t" + std::to_string(t), release);
+    // Random edges from earlier tasks only (guarantees acyclicity).
+    for (int p = 0; p < t; ++p) {
+      if (rng.next_double() < 0.15) {
+        graph.add_dependency(tasks[static_cast<std::size_t>(p)], id);
+        deps[static_cast<std::size_t>(t)].push_back(
+            tasks[static_cast<std::size_t>(p)]);
+      }
+    }
+    tasks.push_back(id);
+  }
+
+  const double makespan = graph.run();
+
+  double latest = 0.0;
+  for (int t = 0; t < num_tasks; ++t) {
+    const TaskId id = tasks[static_cast<std::size_t>(t)];
+    const double start = graph.start_time(id);
+    ASSERT_GE(start, -1e-12) << "task " << t;
+    for (TaskId d : deps[static_cast<std::size_t>(t)]) {
+      ASSERT_GE(start, graph.finish_time(d) - 1e-9)
+          << "task " << t << " started before its dependency";
+    }
+    latest = std::max(latest, graph.finish_time(id));
+  }
+  ASSERT_NEAR(makespan, latest, 1e-9);
+
+  for (Resource* resource : resources) {
+    const auto& intervals = resource->busy_intervals();
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      ASSERT_GE(intervals[i].start, intervals[i - 1].end - 1e-9)
+          << "overlap on " << resource->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sim, RandomDag,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u));
+
+// --- memory tracker ---------------------------------------------------------------
+
+TEST(MemoryTracker, AllocatesWithinCapacity) {
+  MemoryTracker tracker("dev", 100.0);
+  tracker.allocate("weights", 60.0);
+  tracker.allocate("activations", 30.0);
+  EXPECT_DOUBLE_EQ(tracker.used(), 90.0);
+  EXPECT_DOUBLE_EQ(tracker.available(), 10.0);
+}
+
+TEST(MemoryTracker, ThrowsOomWithBreakdown) {
+  MemoryTracker tracker("A100", 100.0);
+  tracker.allocate("weights", 80.0);
+  try {
+    tracker.allocate("activations", 40.0);
+    FAIL() << "expected OOM";
+  } catch (const OutOfMemory& oom) {
+    const std::string what = oom.what();
+    EXPECT_NE(what.find("A100"), std::string::npos);
+    EXPECT_NE(what.find("activations"), std::string::npos);
+    EXPECT_NE(what.find("weights"), std::string::npos);
+  }
+}
+
+TEST(MemoryTracker, ReleaseFreesSpace) {
+  MemoryTracker tracker("dev", 100.0);
+  tracker.allocate("a", 70.0);
+  tracker.release("a");
+  EXPECT_DOUBLE_EQ(tracker.used(), 0.0);
+  EXPECT_NO_THROW(tracker.allocate("b", 100.0));
+  EXPECT_THROW(tracker.release("nope"), NotFound);
+}
+
+// --- power model ------------------------------------------------------------------
+
+TEST(PowerModel, IdleAtZeroUtilization) {
+  const auto device = topo::make_a100_sxm4();
+  EXPECT_DOUBLE_EQ(busy_power_watts(device, 0.0), device.idle_watts);
+}
+
+TEST(PowerModel, TdpAtReferenceUtilization) {
+  const auto device = topo::make_a100_sxm4();
+  EXPECT_NEAR(busy_power_watts(device, device.util_at_tdp), device.tdp_watts,
+              1e-9);
+  // Clamped above the reference point.
+  EXPECT_NEAR(busy_power_watts(device, 2.0 * device.util_at_tdp),
+              device.tdp_watts, 1e-9);
+}
+
+TEST(PowerModel, MonotoneInUtilization) {
+  const auto device = topo::make_gh200();
+  double prev = 0.0;
+  for (double u = 0.0; u <= 0.5; u += 0.01) {
+    const double p = busy_power_watts(device, u);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, SuperlinearCurve) {
+  // P(u/2) - idle < (P(u) - idle) / 2 for the DVFS-like exponent > 1.
+  const auto device = topo::make_h100_sxm5();
+  const double u = device.util_at_tdp;
+  const double half = busy_power_watts(device, u / 2.0) - device.idle_watts;
+  const double full = busy_power_watts(device, u) - device.idle_watts;
+  EXPECT_LT(half, full / 2.0);
+}
+
+TEST(PowerTrace, ConstantBusyEnergy) {
+  const auto device = topo::make_a100_sxm4();
+  std::vector<BusyInterval> intervals = {{0.0, 10.0, device.util_at_tdp, 0}};
+  PowerTrace trace(device, intervals, 10.0);
+  EXPECT_NEAR(trace.energy_joules(0.0, 10.0), device.tdp_watts * 10.0, 1e-6);
+  EXPECT_NEAR(trace.average_power(), device.tdp_watts, 1e-9);
+}
+
+TEST(PowerTrace, IdleGapsDrawIdlePower) {
+  const auto device = topo::make_a100_sxm4();
+  std::vector<BusyInterval> intervals = {{2.0, 4.0, device.util_at_tdp, 0}};
+  PowerTrace trace(device, intervals, 10.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(1.0), device.idle_watts);
+  EXPECT_NEAR(trace.power_at(3.0), device.tdp_watts, 1e-9);
+  EXPECT_DOUBLE_EQ(trace.power_at(9.0), device.idle_watts);
+  const double expected =
+      device.tdp_watts * 2.0 + device.idle_watts * 8.0;
+  EXPECT_NEAR(trace.energy_joules(0.0, 10.0), expected, 1e-6);
+}
+
+TEST(PowerTrace, PartialWindowIntegration) {
+  const auto device = topo::make_a100_sxm4();
+  std::vector<BusyInterval> intervals = {{0.0, 4.0, device.util_at_tdp, 0}};
+  PowerTrace trace(device, intervals, 8.0);
+  EXPECT_NEAR(trace.energy_joules(2.0, 6.0),
+              device.tdp_watts * 2.0 + device.idle_watts * 2.0, 1e-6);
+}
+
+TEST(PowerTrace, BeyondHorizonIsIdle) {
+  const auto device = topo::make_a100_sxm4();
+  PowerTrace trace(device, {}, 5.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(100.0), device.idle_watts);
+  EXPECT_NEAR(trace.energy_joules(0.0, 10.0), device.idle_watts * 10.0, 1e-6);
+}
+
+TEST(PowerTrace, EnergyWhConversion) {
+  const auto device = topo::make_a100_sxm4();
+  PowerTrace trace(device, {}, 3600.0);
+  EXPECT_NEAR(trace.energy_wh(0.0, 3600.0), device.idle_watts, 1e-9);
+}
+
+TEST(PowerTrace, OverlappingIntervalsRejected) {
+  const auto device = topo::make_a100_sxm4();
+  std::vector<BusyInterval> bad = {{0.0, 2.0, 0.5, 0}, {1.0, 3.0, 0.5, 1}};
+  EXPECT_THROW(PowerTrace(device, bad, 3.0), Error);
+}
+
+// --- cluster & collectives ----------------------------------------------------------
+
+TEST(ClusterSim, RingAllReduceMatchesClosedForm) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("A100");
+  ClusterSim cluster(node, 4, 1);
+  const double bytes = 1.0e9;
+  auto done = cluster.ring_all_reduce(bytes, {}, "ar");
+  const double makespan = cluster.graph().run();
+  // 2(n-1) steps of (latency + (bytes/n)/bw).
+  const double step =
+      node.peer_link.latency_s + bytes / 4.0 / node.peer_link.bandwidth;
+  EXPECT_NEAR(makespan, 6.0 * step, step * 0.01);
+  EXPECT_EQ(done.size(), 4u);
+}
+
+TEST(ClusterSim, SingleDeviceAllReduceIsFree) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("GH200");
+  ClusterSim cluster(node, 1, 1);
+  cluster.ring_all_reduce(1e9, {}, "ar");
+  EXPECT_DOUBLE_EQ(cluster.graph().run(), 0.0);
+}
+
+TEST(ClusterSim, InterNodeHopsUseSlowFabric) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("JEDI");
+  ClusterSim cluster(node, 4, 2);
+  EXPECT_FALSE(cluster.hop_crosses_node(0));
+  EXPECT_TRUE(cluster.hop_crosses_node(3));   // device 3 -> 4 crosses nodes
+  EXPECT_TRUE(cluster.hop_crosses_node(7));   // wraparound
+  const double intra = cluster.hop_time(0, 1e9);
+  const double inter = cluster.hop_time(3, 1e9);
+  EXPECT_GT(inter, intra);
+}
+
+TEST(ClusterSim, MultiNodeWithoutFabricRejected) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("GH200");
+  EXPECT_THROW(ClusterSim(node, 1, 2), Error);
+}
+
+TEST(ClusterSim, BroadcastVisitsEveryDevice) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("A100");
+  ClusterSim cluster(node, 4, 1);
+  auto done = cluster.broadcast(1e6, kInvalidTask, "bc");
+  const double makespan = cluster.graph().run();
+  EXPECT_EQ(done.size(), 4u);
+  // Sequential ring forward: 3 hops.
+  const double hop = cluster.hop_time(0, 1e6);
+  EXPECT_NEAR(makespan, 3.0 * hop, hop * 0.01);
+}
+
+TEST(ClusterSim, AllGatherForwardsNMinus1Rounds) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("A100");
+  ClusterSim cluster(node, 4, 1);
+  cluster.ring_all_gather(1e8, {}, "ag");
+  const double makespan = cluster.graph().run();
+  const double step = cluster.hop_time(0, 1e8);
+  EXPECT_NEAR(makespan, 3.0 * step, step * 0.01);
+}
+
+TEST(ClusterSim, P2pSendOccupiesLink) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("GC200");
+  ClusterSim cluster(node, 4, 1);
+  const TaskId send = cluster.p2p_send(1, 256e6, kInvalidTask, "send");
+  cluster.graph().run();
+  EXPECT_NEAR(cluster.graph().finish_time(send),
+              node.peer_link.latency_s + 256e6 / node.peer_link.bandwidth,
+              1e-9);
+}
+
+TEST(ClusterSim, DeviceCountValidation) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("A100");
+  EXPECT_THROW(ClusterSim(node, 8, 1), Error);  // node has only 4
+  ClusterSim ok(node, -1, 1);
+  EXPECT_EQ(ok.num_devices(), 4);
+}
+
+TEST(ClusterSim, HierarchicalFallsBackToRingOnOneNode) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("A100");
+  ClusterSim flat(node, 4, 1);
+  flat.ring_all_reduce(1e9, {}, "ar");
+  const double ring_time = flat.graph().run();
+  ClusterSim hier(node, 4, 1);
+  hier.hierarchical_all_reduce(1e9, {}, "ar");
+  EXPECT_NEAR(hier.graph().run(), ring_time, ring_time * 1e-9);
+}
+
+TEST(ClusterSim, HierarchicalBeatsFlatRingAcrossNodes) {
+  // With many devices spanning nodes, the flat ring pays the IB latency on
+  // every one of its 2(n-1) steps; the hierarchical version only rings the
+  // node leaders over IB.
+  const auto& node = topo::SystemRegistry::instance().by_tag("JEDI");
+  const double bytes = 51.2e6;  // ResNet50 gradients
+  ClusterSim flat(node, 4, 8);
+  flat.ring_all_reduce(bytes, {}, "ar");
+  const double flat_time = flat.graph().run();
+  ClusterSim hier(node, 4, 8);
+  hier.hierarchical_all_reduce(bytes, {}, "ar");
+  const double hier_time = hier.graph().run();
+  EXPECT_LT(hier_time, flat_time);
+}
+
+TEST(ClusterSim, HierarchicalReturnsOneTaskPerDevice) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("JEDI");
+  ClusterSim cluster(node, 4, 2);
+  auto done = cluster.hierarchical_all_reduce(1e8, {}, "ar");
+  EXPECT_EQ(done.size(), 8u);
+  EXPECT_GT(cluster.graph().run(), 0.0);
+  for (TaskId t : done) {
+    EXPECT_GT(cluster.graph().finish_time(t), 0.0);
+  }
+}
+
+struct RingCase {
+  int devices_per_node;
+  int nodes;
+};
+class RingSweep : public ::testing::TestWithParam<RingCase> {};
+TEST_P(RingSweep, AllReduceReturnsOneTaskPerDevice) {
+  const auto& node = topo::SystemRegistry::instance().by_tag("JEDI");
+  ClusterSim cluster(node, GetParam().devices_per_node, GetParam().nodes);
+  auto done = cluster.ring_all_reduce(1e8, {}, "ar");
+  EXPECT_EQ(done.size(),
+            static_cast<std::size_t>(GetParam().devices_per_node *
+                                     GetParam().nodes));
+  EXPECT_GT(cluster.graph().run(), 0.0);
+}
+INSTANTIATE_TEST_SUITE_P(Sim, RingSweep,
+                         ::testing::Values(RingCase{2, 1}, RingCase{4, 1},
+                                           RingCase{4, 2}, RingCase{4, 4}));
+
+}  // namespace
+}  // namespace caraml::sim

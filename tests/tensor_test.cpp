@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace caraml::tensor {
+namespace {
+
+// Naive reference GEMM.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+// Naive reference conv2d (NCHW, OCHW weights).
+Tensor naive_conv2d(const Tensor& input, const Tensor& weight,
+                    const Conv2dArgs& args) {
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t o = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  const std::int64_t oh = (h + 2 * args.padding - kh) / args.stride + 1;
+  const std::int64_t ow = (w + 2 * args.padding - kw) / args.stride + 1;
+  Tensor out({n, o, oh, ow});
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t oc = 0; oc < o; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t iy = oy * args.stride + ky - args.padding;
+                const std::int64_t ix = ox * args.stride + kx - args.padding;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(
+                           input[((img * c + ic) * h + iy) * w + ix]) *
+                       weight[((oc * c + ic) * kh + ky) * kw + kx];
+              }
+            }
+          }
+          out[((img * o + oc) * oh + oy) * ow + ox] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at flat index " << i;
+  }
+}
+
+// --- construction / shape ---------------------------------------------------------
+
+TEST(Tensor, ZerosAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(1), 3);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[2], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[0], -1.0f);
+}
+
+TEST(Tensor, MultiDimIndexing) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at({1, 2}), 7.0f);
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0}), Error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::arange(6);
+  Tensor r = t.reshape({2, 3});
+  EXPECT_EQ(r.at({1, 0}), 3.0f);
+  EXPECT_THROW(t.reshape({4, 2}), Error);
+}
+
+TEST(Tensor, Transpose2d) {
+  Tensor t = Tensor::arange(6).reshape({2, 3});
+  Tensor tt = t.transpose2d();
+  EXPECT_EQ(tt.dim(0), 3);
+  EXPECT_EQ(tt.at({2, 1}), t.at({1, 2}));
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng a(3), b(3);
+  const Tensor x = Tensor::randn({16}, a);
+  const Tensor y = Tensor::randn({16}, b);
+  expect_close(x, y, 0.0f);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), Error);
+}
+
+// --- elementwise ------------------------------------------------------------------
+
+TEST(Elementwise, AddSubMulScale) {
+  const Tensor a({2}, {1.0f, 2.0f});
+  const Tensor b({2}, {3.0f, 5.0f});
+  expect_close(add(a, b), Tensor({2}, {4.0f, 7.0f}));
+  expect_close(sub(b, a), Tensor({2}, {2.0f, 3.0f}));
+  expect_close(mul(a, b), Tensor({2}, {3.0f, 10.0f}));
+  expect_close(scale(a, 2.0f), Tensor({2}, {2.0f, 4.0f}));
+}
+
+TEST(Elementwise, ShapeMismatchThrows) {
+  EXPECT_THROW(add(Tensor({2}), Tensor({3})), Error);
+}
+
+TEST(Elementwise, Axpy) {
+  Tensor y({2}, {1.0f, 1.0f});
+  axpy(y, 2.0f, Tensor({2}, {3.0f, 4.0f}));
+  expect_close(y, Tensor({2}, {7.0f, 9.0f}));
+}
+
+TEST(Elementwise, ReluAndBackward) {
+  const Tensor x({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  expect_close(relu(x), Tensor({4}, {0.0f, 0.0f, 2.0f, 0.0f}));
+  const Tensor g({4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  expect_close(relu_backward(x, g), Tensor({4}, {0.0f, 0.0f, 1.0f, 0.0f}));
+}
+
+TEST(Elementwise, GeluValues) {
+  const Tensor x({3}, {-2.0f, 0.0f, 2.0f});
+  const Tensor y = gelu(x);
+  EXPECT_NEAR(y[0], -0.0454f, 1e-3);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6);
+  EXPECT_NEAR(y[2], 1.9546f, 1e-3);
+}
+
+TEST(Elementwise, GeluGradientMatchesFiniteDifference) {
+  Rng rng(5);
+  const Tensor x = Tensor::randn({32}, rng);
+  const Tensor ones = Tensor::ones({32});
+  const Tensor grad = gelu_backward(x, ones);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.numel(); i += 5) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fd = (gelu(xp)[i] - gelu(xm)[i]) / (2.0f * eps);
+    EXPECT_NEAR(grad[i], fd, 2e-3) << "index " << i;
+  }
+}
+
+// --- reductions -------------------------------------------------------------------
+
+TEST(Reductions, SumMeanMaxAbs) {
+  const Tensor t({4}, {1.0f, -2.0f, 3.0f, -4.0f});
+  EXPECT_FLOAT_EQ(sum(t), -2.0f);
+  EXPECT_FLOAT_EQ(mean(t), -0.5f);
+  EXPECT_FLOAT_EQ(max_abs(t), 4.0f);
+}
+
+TEST(Reductions, ArgmaxRows) {
+  const Tensor t({2, 3}, {1.0f, 5.0f, 2.0f, 9.0f, 0.0f, 3.0f});
+  const auto idx = argmax_rows(t);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+// --- matmul ------------------------------------------------------------------------
+
+class MatmulSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulSizes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(42);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  expect_close(matmul(a, b), naive_matmul(a, b),
+               1e-3f * static_cast<float>(k));
+}
+
+TEST_P(MatmulSizes, NtEqualsTransposedOperand) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(43);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor bt = Tensor::randn({n, k}, rng);
+  expect_close(matmul_nt(a, bt), matmul(a, bt.transpose2d()),
+               1e-3f * static_cast<float>(k));
+}
+
+TEST_P(MatmulSizes, TnEqualsTransposedOperand) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(44);
+  const Tensor at = Tensor::randn({k, m}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  expect_close(matmul_tn(at, b), matmul(at.transpose2d(), b),
+               1e-3f * static_cast<float>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tensor, MatmulSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(8, 8, 8), std::make_tuple(17, 31, 13),
+                      std::make_tuple(64, 32, 96),
+                      std::make_tuple(128, 64, 128)));
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({4, 2})), Error);
+  EXPECT_THROW(matmul_nt(Tensor({2, 3}), Tensor({4, 4})), Error);
+  EXPECT_THROW(matmul_tn(Tensor({3, 2}), Tensor({4, 4})), Error);
+}
+
+TEST(Matmul, IdentityIsNoOp) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn({5, 5}, rng);
+  Tensor eye({5, 5});
+  for (int i = 0; i < 5; ++i) eye[i * 5 + i] = 1.0f;
+  expect_close(matmul(a, eye), a);
+}
+
+// --- softmax -----------------------------------------------------------------------
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(9);
+  const Tensor x = Tensor::randn({7, 11}, rng, 3.0f);
+  const Tensor y = softmax_rows(x);
+  for (std::int64_t r = 0; r < 7; ++r) {
+    double total = 0.0;
+    for (std::int64_t c = 0; c < 11; ++c) total += y[r * 11 + c];
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  const Tensor x({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  const Tensor y = softmax_rows(x);
+  EXPECT_FALSE(std::isnan(y[0]));
+  EXPECT_GT(y[1], y[0]);
+}
+
+TEST(Softmax, BackwardMatchesFiniteDifference) {
+  Rng rng(13);
+  const Tensor x = Tensor::randn({2, 5}, rng);
+  const Tensor g = Tensor::randn({2, 5}, rng);
+  const Tensor y = softmax_rows(x);
+  const Tensor dx = softmax_rows_backward(y, g);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const Tensor yp = softmax_rows(xp), ym = softmax_rows(xm);
+    double fd = 0.0;
+    for (std::int64_t j = 0; j < x.numel(); ++j) {
+      fd += static_cast<double>(yp[j] - ym[j]) / (2.0 * eps) * g[j];
+    }
+    EXPECT_NEAR(dx[i], fd, 2e-3) << "index " << i;
+  }
+}
+
+// --- conv2d ------------------------------------------------------------------------
+
+struct ConvCase {
+  int n, c, h, o, k, stride, padding;
+};
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, MatchesNaiveReference) {
+  const ConvCase p = GetParam();
+  Rng rng(21);
+  const Tensor input = Tensor::randn({p.n, p.c, p.h, p.h}, rng);
+  const Tensor weight = Tensor::randn({p.o, p.c, p.k, p.k}, rng);
+  Conv2dArgs args;
+  args.stride = p.stride;
+  args.padding = p.padding;
+  expect_close(conv2d(input, weight, args), naive_conv2d(input, weight, args),
+               1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tensor, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 5, 1, 3, 1, 1},
+                      ConvCase{2, 3, 8, 4, 3, 1, 1},
+                      ConvCase{1, 2, 9, 3, 3, 2, 1},
+                      ConvCase{2, 4, 7, 2, 1, 1, 0},
+                      ConvCase{1, 3, 12, 5, 7, 2, 3},
+                      ConvCase{3, 2, 6, 2, 3, 3, 0}));
+
+TEST(Conv2d, BackwardInputMatchesFiniteDifference) {
+  Rng rng(23);
+  const Tensor input = Tensor::randn({1, 2, 5, 5}, rng);
+  const Tensor weight = Tensor::randn({3, 2, 3, 3}, rng);
+  Conv2dArgs args;
+  args.stride = 1;
+  args.padding = 1;
+  const Tensor out = conv2d(input, weight, args);
+  const Tensor g = Tensor::ones(out.shape());
+  const Tensor dinput = conv2d_backward_input(g, weight, input.shape(), args);
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < input.numel(); i += 7) {
+    Tensor ip = input, im = input;
+    ip[i] += eps;
+    im[i] -= eps;
+    const float fd =
+        (sum(conv2d(ip, weight, args)) - sum(conv2d(im, weight, args))) /
+        (2.0f * eps);
+    EXPECT_NEAR(dinput[i], fd, 5e-2) << "index " << i;
+  }
+}
+
+TEST(Conv2d, BackwardWeightMatchesFiniteDifference) {
+  Rng rng(25);
+  const Tensor input = Tensor::randn({2, 2, 4, 4}, rng);
+  const Tensor weight = Tensor::randn({2, 2, 3, 3}, rng);
+  Conv2dArgs args;
+  args.stride = 1;
+  args.padding = 1;
+  const Tensor out = conv2d(input, weight, args);
+  const Tensor g = Tensor::ones(out.shape());
+  const Tensor dweight =
+      conv2d_backward_weight(g, input, weight.shape(), args);
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < weight.numel(); i += 5) {
+    Tensor wp = weight, wm = weight;
+    wp[i] += eps;
+    wm[i] -= eps;
+    const float fd =
+        (sum(conv2d(input, wp, args)) - sum(conv2d(input, wm, args))) /
+        (2.0f * eps);
+    EXPECT_NEAR(dweight[i], fd, 5e-2) << "index " << i;
+  }
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  Conv2dArgs args;
+  EXPECT_THROW(conv2d(Tensor({1, 3, 4, 4}), Tensor({2, 4, 3, 3}), args),
+               Error);
+}
+
+TEST(Im2col, ShapeAndContent) {
+  // 1x1x3x3 input, 2x2 kernel, stride 1, no padding -> 4 patches of 4.
+  Tensor input = Tensor::arange(9).reshape({1, 1, 3, 3});
+  Conv2dArgs args;
+  const Tensor cols = im2col(input, 2, 2, args);
+  ASSERT_EQ(cols.dim(0), 4);
+  ASSERT_EQ(cols.dim(1), 4);
+  // First patch: rows 0-1, cols 0-1 -> {0, 1, 3, 4}.
+  EXPECT_EQ(cols[0], 0.0f);
+  EXPECT_EQ(cols[1], 1.0f);
+  EXPECT_EQ(cols[2], 3.0f);
+  EXPECT_EQ(cols[3], 4.0f);
+}
+
+// --- pooling ------------------------------------------------------------------------
+
+TEST(MaxPool, ForwardAndIndices) {
+  Tensor input = Tensor::arange(16).reshape({1, 1, 4, 4});
+  std::vector<std::int64_t> indices;
+  const Tensor out = maxpool2d(input, 2, &indices);
+  ASSERT_EQ(out.numel(), 4);
+  EXPECT_EQ(out[0], 5.0f);
+  EXPECT_EQ(out[3], 15.0f);
+  EXPECT_EQ(indices[3], 15);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  Tensor input = Tensor::arange(16).reshape({1, 1, 4, 4});
+  std::vector<std::int64_t> indices;
+  const Tensor out = maxpool2d(input, 2, &indices);
+  const Tensor g = Tensor::ones(out.shape());
+  const Tensor dinput = maxpool2d_backward(g, input.shape(), indices);
+  EXPECT_EQ(dinput[5], 1.0f);
+  EXPECT_EQ(dinput[0], 0.0f);
+  EXPECT_NEAR(sum(dinput), 4.0f, 1e-6);
+}
+
+TEST(GlobalAvgPool, ForwardBackward) {
+  Tensor input = Tensor::arange(8).reshape({1, 2, 2, 2});
+  const Tensor out = global_avg_pool(input);
+  ASSERT_EQ(out.dim(1), 2);
+  EXPECT_FLOAT_EQ(out[0], 1.5f);   // mean of 0..3
+  EXPECT_FLOAT_EQ(out[1], 5.5f);   // mean of 4..7
+  const Tensor g({1, 2}, {4.0f, 8.0f});
+  const Tensor dinput = global_avg_pool_backward(g, input.shape());
+  EXPECT_FLOAT_EQ(dinput[0], 1.0f);
+  EXPECT_FLOAT_EQ(dinput[7], 2.0f);
+}
+
+}  // namespace
+}  // namespace caraml::tensor

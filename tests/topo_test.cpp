@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "topo/specs.hpp"
+#include "util/error.hpp"
+
+namespace caraml::topo {
+namespace {
+
+TEST(SystemRegistry, HasAllSevenPaperTags) {
+  const auto& registry = SystemRegistry::instance();
+  for (const char* tag :
+       {"JEDI", "GH200", "H100", "WAIH100", "MI250", "GC200", "A100"}) {
+    EXPECT_TRUE(registry.has_tag(tag)) << tag;
+  }
+  EXPECT_EQ(registry.tags().size(), 7u);
+}
+
+TEST(SystemRegistry, UnknownTagThrows) {
+  EXPECT_THROW(SystemRegistry::instance().by_tag("TPUv4"), NotFound);
+  EXPECT_FALSE(SystemRegistry::instance().has_tag("TPUv4"));
+}
+
+TEST(SystemRegistry, GpuTagsExcludeGraphcore) {
+  for (const auto& tag : SystemRegistry::instance().gpu_tags()) {
+    EXPECT_NE(tag, "GC200");
+    EXPECT_EQ(SystemRegistry::instance().by_tag(tag).device.arch,
+              ArchClass::kGpuSimd);
+  }
+}
+
+// --- datasheet values from paper Fig. 1 --------------------------------------
+
+TEST(DeviceSpecs, A100MatchesFig1) {
+  const DeviceSpec d = make_a100_sxm4();
+  EXPECT_EQ(d.compute_units, 108);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_flops, 312e12);
+  EXPECT_DOUBLE_EQ(d.mem_capacity_bytes, 40e9);
+  EXPECT_DOUBLE_EQ(d.tdp_watts, 400.0);
+}
+
+TEST(DeviceSpecs, H100PcieMatchesFig1) {
+  const DeviceSpec d = make_h100_pcie();
+  EXPECT_EQ(d.compute_units, 114);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_flops, 756e12);
+  EXPECT_DOUBLE_EQ(d.mem_capacity_bytes, 80e9);
+  EXPECT_DOUBLE_EQ(d.tdp_watts, 350.0);
+}
+
+TEST(DeviceSpecs, H100SxmMatchesFig1) {
+  const DeviceSpec d = make_h100_sxm5();
+  EXPECT_EQ(d.compute_units, 132);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_flops, 990e12);
+  EXPECT_DOUBLE_EQ(d.mem_capacity_bytes, 94e9);
+  EXPECT_DOUBLE_EQ(d.tdp_watts, 700.0);
+}
+
+TEST(DeviceSpecs, Gh200MatchesFig1) {
+  const DeviceSpec d = make_gh200();
+  EXPECT_EQ(d.compute_units, 132);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_flops, 990e12);
+  EXPECT_DOUBLE_EQ(d.mem_capacity_bytes, 96e9);
+  EXPECT_DOUBLE_EQ(d.mem_bandwidth, 4e12);  // 4 TB/s HBM3
+}
+
+TEST(DeviceSpecs, Mi250GcdIsHalfAnMcm) {
+  const DeviceSpec d = make_mi250_gcd();
+  EXPECT_EQ(d.compute_units, 104);                      // per GCD
+  EXPECT_DOUBLE_EQ(d.peak_fp16_flops, 362.1e12 / 2.0);  // half of 362.1
+  EXPECT_DOUBLE_EQ(d.tdp_watts, 280.0);                 // half of 560 W
+  EXPECT_GT(d.mcm_shared_watts, 0.0);
+}
+
+TEST(DeviceSpecs, Gc200MatchesFig1) {
+  const DeviceSpec d = make_gc200_ipu();
+  EXPECT_EQ(d.compute_units, 1472);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_flops, 250e12);
+  EXPECT_DOUBLE_EQ(d.sram_bytes, 900e6);  // 900 MB distributed SRAM
+  EXPECT_DOUBLE_EQ(d.tdp_watts, 300.0);
+  EXPECT_EQ(d.arch, ArchClass::kIpuMimd);
+}
+
+// --- Table I node rows ---------------------------------------------------------
+
+TEST(NodeSpecs, JediHasFourGh200AndNvlinkC2c) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag("JEDI");
+  EXPECT_EQ(node.devices_per_node, 4);
+  EXPECT_EQ(node.host_link.name, "NVLink-C2C");
+  EXPECT_DOUBLE_EQ(node.host_link.bandwidth, 900e9);
+  EXPECT_DOUBLE_EQ(node.peer_link.bandwidth, 900e9);  // NVLink4
+  EXPECT_GT(node.inter_node.bandwidth, 0.0);          // 4x IB NDR
+}
+
+TEST(NodeSpecs, Gh200JrdcIsSingleDevice) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag("GH200");
+  EXPECT_EQ(node.devices_per_node, 1);
+  EXPECT_DOUBLE_EQ(node.cpu_mem_bytes, 480e9);
+  EXPECT_DOUBLE_EQ(node.inter_node.bandwidth, 0.0);
+  // 4x the CPU memory per device of JEDI (480 GB vs 120 GB).
+  const NodeSpec& jedi = SystemRegistry::instance().by_tag("JEDI");
+  EXPECT_NEAR(node.cpu_mem_per_device() / jedi.cpu_mem_per_device(), 4.0,
+              1e-9);
+}
+
+TEST(NodeSpecs, H100VariantsDifferInFormFactor) {
+  const NodeSpec& pcie = SystemRegistry::instance().by_tag("H100");
+  const NodeSpec& sxm = SystemRegistry::instance().by_tag("WAIH100");
+  EXPECT_LT(pcie.device.tdp_watts, sxm.device.tdp_watts);
+  EXPECT_LT(pcie.peer_link.bandwidth, sxm.peer_link.bandwidth);  // 600 vs 900
+  EXPECT_EQ(pcie.host_link.name, "PCIe Gen 5");
+}
+
+TEST(NodeSpecs, Mi250NodeExposesEightGcds) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag("MI250");
+  EXPECT_EQ(node.devices_per_node, 8);  // 4 MCMs, 8 logical GPUs
+  EXPECT_EQ(node.peer_link.name, "Infinity Fabric");
+  EXPECT_DOUBLE_EQ(node.peer_link.bandwidth, 500e9);
+}
+
+TEST(NodeSpecs, Gc200IsPod4) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag("GC200");
+  EXPECT_EQ(node.devices_per_node, 4);
+  EXPECT_EQ(node.peer_link.name, "IPU-Link");
+  EXPECT_DOUBLE_EQ(node.peer_link.bandwidth, 256e9);
+}
+
+TEST(NodeSpecs, A100NodeUsesNvlink3) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag("A100");
+  EXPECT_EQ(node.devices_per_node, 4);
+  EXPECT_DOUBLE_EQ(node.peer_link.bandwidth, 600e9);
+  EXPECT_EQ(node.cpu_cores, 128);  // 2x 64c EPYC 7742
+}
+
+// --- invariants over every system (property-style sweep) -----------------------
+
+class AllNodes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllNodes, PhysicallySensible) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag(GetParam());
+  EXPECT_GT(node.devices_per_node, 0);
+  EXPECT_GT(node.cpu_cores, 0);
+  EXPECT_GT(node.cpu_mem_bytes, 0.0);
+  EXPECT_GT(node.device.peak_fp16_flops, 0.0);
+  EXPECT_GT(node.device.mem_capacity_bytes, 0.0);
+  EXPECT_GT(node.device.tdp_watts, node.device.idle_watts);
+  EXPECT_GT(node.device.idle_watts, 0.0);
+  EXPECT_GT(node.device.max_mfu_gemm, 0.0);
+  EXPECT_LE(node.device.max_mfu_gemm, 1.0);
+  EXPECT_GT(node.device.max_mfu_conv, 0.0);
+  EXPECT_LE(node.device.max_mfu_conv, 1.0);
+  EXPECT_GT(node.device.util_at_tdp, 0.0);
+  EXPECT_GE(node.max_nodes, 1);
+  EXPECT_GT(node.host_link.bandwidth, 0.0);
+}
+
+TEST_P(AllNodes, MultiNodeSystemsHaveFabric) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag(GetParam());
+  if (node.max_nodes > 1) {
+    EXPECT_GT(node.inter_node.bandwidth, 0.0);
+  }
+}
+
+TEST_P(AllNodes, VendorNameResolves) {
+  const NodeSpec& node = SystemRegistry::instance().by_tag(GetParam());
+  EXPECT_NE(vendor_name(node.device.vendor), "unknown");
+}
+
+INSTANTIATE_TEST_SUITE_P(Topo, AllNodes,
+                         ::testing::Values("JEDI", "GH200", "H100", "WAIH100",
+                                           "MI250", "GC200", "A100"));
+
+}  // namespace
+}  // namespace caraml::topo

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "yaml/yaml.hpp"
+
+namespace caraml::yaml {
+namespace {
+
+TEST(Yaml, ScalarDocument) {
+  const NodePtr root = parse("hello");
+  ASSERT_TRUE(root->is_scalar());
+  EXPECT_EQ(root->as_string(), "hello");
+}
+
+TEST(Yaml, SimpleMap) {
+  const NodePtr root = parse("name: caraml\nbatch: 64\n");
+  ASSERT_TRUE(root->is_map());
+  EXPECT_EQ(root->at("name")->as_string(), "caraml");
+  EXPECT_EQ(root->at("batch")->as_int(), 64);
+}
+
+TEST(Yaml, TypedScalarAccess) {
+  const NodePtr root = parse("a: 2.5\nb: true\nc: -3\n");
+  EXPECT_DOUBLE_EQ(root->at("a")->as_double(), 2.5);
+  EXPECT_TRUE(root->at("b")->as_bool());
+  EXPECT_EQ(root->at("c")->as_int(), -3);
+}
+
+TEST(Yaml, NestedMap) {
+  const NodePtr root = parse(
+      "benchmark:\n"
+      "  name: llm\n"
+      "  model:\n"
+      "    layers: 16\n");
+  EXPECT_EQ(root->at("benchmark")->at("model")->at("layers")->as_int(), 16);
+}
+
+TEST(Yaml, BlockSequence) {
+  const NodePtr root = parse("items:\n  - a\n  - b\n  - c\n");
+  const NodePtr items = root->at("items");
+  ASSERT_TRUE(items->is_sequence());
+  ASSERT_EQ(items->size(), 3u);
+  EXPECT_EQ(items->item(1)->as_string(), "b");
+}
+
+TEST(Yaml, SequenceAtSameIndentAsKey) {
+  const NodePtr root = parse("tags:\n- A100\n- GH200\n");
+  ASSERT_TRUE(root->at("tags")->is_sequence());
+  EXPECT_EQ(root->at("tags")->item(1)->as_string(), "GH200");
+}
+
+TEST(Yaml, FlowSequence) {
+  const NodePtr root = parse("batches: [16, 32, 64]\n");
+  const NodePtr batches = root->at("batches");
+  ASSERT_TRUE(batches->is_sequence());
+  ASSERT_EQ(batches->size(), 3u);
+  EXPECT_EQ(batches->item(2)->as_int(), 64);
+}
+
+TEST(Yaml, NestedFlowSequence) {
+  const NodePtr root = parse("grid: [[1, 2], [3, 4]]\n");
+  const NodePtr grid = root->at("grid");
+  ASSERT_EQ(grid->size(), 2u);
+  EXPECT_EQ(grid->item(1)->item(0)->as_int(), 3);
+}
+
+TEST(Yaml, SequenceOfMaps) {
+  const NodePtr root = parse(
+      "parameters:\n"
+      "  - name: system\n"
+      "    values: [A100]\n"
+      "  - name: batch\n"
+      "    values: [16, 32]\n");
+  const NodePtr params = root->at("parameters");
+  ASSERT_EQ(params->size(), 2u);
+  EXPECT_EQ(params->item(0)->at("name")->as_string(), "system");
+  EXPECT_EQ(params->item(1)->at("values")->size(), 2u);
+}
+
+TEST(Yaml, QuotedStrings) {
+  const NodePtr root = parse(
+      "a: \"with: colon\"\n"
+      "b: 'single # not comment'\n"
+      "c: \"escaped \\\" quote\"\n");
+  EXPECT_EQ(root->at("a")->as_string(), "with: colon");
+  EXPECT_EQ(root->at("b")->as_string(), "single # not comment");
+  EXPECT_EQ(root->at("c")->as_string(), "escaped \" quote");
+}
+
+TEST(Yaml, Comments) {
+  const NodePtr root = parse(
+      "# full-line comment\n"
+      "key: value  # trailing comment\n");
+  EXPECT_EQ(root->at("key")->as_string(), "value");
+}
+
+TEST(Yaml, EmptyValueBecomesEmptyScalar) {
+  const NodePtr root = parse("key:\nother: x\n");
+  EXPECT_TRUE(root->at("key")->is_scalar());
+  EXPECT_EQ(root->at("key")->as_string(), "");
+}
+
+TEST(Yaml, DocumentStartMarkerIgnored) {
+  const NodePtr root = parse("---\nkey: 1\n");
+  EXPECT_EQ(root->at("key")->as_int(), 1);
+}
+
+TEST(Yaml, DuplicateKeyThrows) {
+  EXPECT_THROW(parse("a: 1\na: 2\n"), ParseError);
+}
+
+TEST(Yaml, TabIndentationThrows) {
+  EXPECT_THROW(parse("a:\n\tb: 1\n"), ParseError);
+}
+
+TEST(Yaml, UnterminatedFlowThrows) {
+  EXPECT_THROW(parse("a: [1, 2\n"), ParseError);
+}
+
+TEST(Yaml, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse("a: \"oops\n"), ParseError);
+}
+
+TEST(Yaml, MissingKeyThrows) {
+  const NodePtr root = parse("a: 1\n");
+  EXPECT_THROW(root->at("b"), NotFound);
+  EXPECT_EQ(root->find("b"), nullptr);
+}
+
+TEST(Yaml, GetOrDefaults) {
+  const NodePtr root = parse("a: 5\n");
+  EXPECT_EQ(root->get_or("missing", "fallback"), "fallback");
+  EXPECT_EQ(root->get_int_or("a", 0), 5);
+  EXPECT_EQ(root->get_int_or("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(root->get_double_or("missing", 2.5), 2.5);
+  EXPECT_TRUE(root->get_bool_or("missing", true));
+}
+
+TEST(Yaml, DumpRoundTrip) {
+  const std::string doc =
+      "benchmark:\n"
+      "  name: llm\n"
+      "steps:\n"
+      "  - train\n"
+      "  - analyse\n";
+  const NodePtr root = parse(doc);
+  const NodePtr again = parse(root->dump());
+  EXPECT_EQ(again->at("benchmark")->at("name")->as_string(), "llm");
+  EXPECT_EQ(again->at("steps")->size(), 2u);
+}
+
+TEST(Yaml, JubeStyleDocument) {
+  // The shape of the shipped configs/llm_benchmark_nvidia_amd.yaml.
+  const NodePtr root = parse(
+      "benchmark:\n"
+      "  name: caraml-llm\n"
+      "parametersets:\n"
+      "  - name: systems\n"
+      "    parameters:\n"
+      "      - name: system\n"
+      "        values: [A100, GH200]\n"
+      "      - name: batch\n"
+      "        values: \"16,32\"\n"
+      "steps:\n"
+      "  - name: train\n"
+      "    do: llm_train\n");
+  EXPECT_EQ(root->at("benchmark")->at("name")->as_string(), "caraml-llm");
+  const NodePtr sets = root->at("parametersets");
+  ASSERT_EQ(sets->size(), 1u);
+  const NodePtr params = sets->item(0)->at("parameters");
+  ASSERT_EQ(params->size(), 2u);
+  EXPECT_EQ(params->item(0)->at("values")->item(1)->as_string(), "GH200");
+  EXPECT_EQ(params->item(1)->at("values")->as_string(), "16,32");
+  EXPECT_EQ(root->at("steps")->item(0)->at("do")->as_string(), "llm_train");
+}
+
+// Property test: random trees survive dump -> parse.
+class YamlRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+caraml::yaml::NodePtr random_tree(caraml::Rng& rng, int depth) {
+  using caraml::yaml::Node;
+  const double r = rng.next_double();
+  if (depth >= 3 || r < 0.4) {
+    // Scalar: plain word, number, or a string needing quotes.
+    switch (rng.uniform_int(0, 3)) {
+      case 0: return Node::make_scalar("word" + std::to_string(rng.uniform_int(0, 99)));
+      case 1: return Node::make_scalar(std::to_string(rng.uniform_int(-50, 50)));
+      case 2: return Node::make_scalar("has: colon #" + std::to_string(rng.uniform_int(0, 9)));
+      default: return Node::make_scalar("");
+    }
+  }
+  if (r < 0.7) {
+    auto map = Node::make_map();
+    const std::int64_t entries = rng.uniform_int(1, 4);
+    for (std::int64_t i = 0; i < entries; ++i) {
+      map->set("key" + std::to_string(i), random_tree(rng, depth + 1));
+    }
+    return map;
+  }
+  auto seq = Node::make_sequence();
+  const std::int64_t items = rng.uniform_int(1, 4);
+  for (std::int64_t i = 0; i < items; ++i) {
+    seq->push_back(random_tree(rng, depth + 1));
+  }
+  return seq;
+}
+
+void expect_equal_trees(const caraml::yaml::NodePtr& a,
+                        const caraml::yaml::NodePtr& b) {
+  ASSERT_EQ(a->kind(), b->kind());
+  if (a->is_scalar()) {
+    EXPECT_EQ(a->as_string(), b->as_string());
+  } else if (a->is_map()) {
+    ASSERT_EQ(a->entries().size(), b->entries().size());
+    for (const auto& [key, value] : a->entries()) {
+      expect_equal_trees(value, b->at(key));
+    }
+  } else {
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      expect_equal_trees(a->item(i), b->item(i));
+    }
+  }
+}
+}  // namespace
+
+TEST_P(YamlRoundTrip, DumpParseIsIdentity) {
+  caraml::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    NodePtr tree = random_tree(rng, 0);
+    if (tree->is_scalar() && tree->as_string().empty()) continue;
+    NodePtr back = parse(tree->dump());
+    expect_equal_trees(tree, back);
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Yaml, YamlRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Yaml, SetAndEntries) {
+  NodePtr map = Node::make_map();
+  map->set("a", Node::make_scalar("1"));
+  map->set("b", Node::make_scalar("2"));
+  map->set("a", Node::make_scalar("3"));  // overwrite
+  ASSERT_EQ(map->entries().size(), 2u);
+  EXPECT_EQ(map->at("a")->as_string(), "3");
+}
+
+TEST(Yaml, EmptyDocumentIsEmptyMap) {
+  const NodePtr root = parse("\n# only comments\n");
+  ASSERT_TRUE(root->is_map());
+  EXPECT_EQ(root->size(), 0u);
+}
+
+}  // namespace
+}  // namespace caraml::yaml
