@@ -9,24 +9,127 @@
 //   caraml tts --system JEDI --loss 2.2                # time-to-solution
 //   caraml combine --dir energy_meas                   # merge per-rank CSVs
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/caraml.hpp"
 #include "core/experiments.hpp"
 #include "core/inference.hpp"
 #include "core/time_to_solution.hpp"
+#include "power/clock.hpp"
 #include "power/combine.hpp"
+#include "power/methods_sim.hpp"
+#include "power/scope.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/argparse.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace {
 
 using namespace caraml;
+
+// ---------------------------------------------------------------------------
+// Telemetry plumbing shared by the benchmark subcommands.
+// ---------------------------------------------------------------------------
+
+void add_telemetry_options(ArgParser& parser) {
+  parser.add_option("metrics-out",
+                    "directory for metrics.csv/json, energy CSVs and "
+                    "manifest.jsonl ('' = off)",
+                    std::string(""));
+  parser.add_option("trace-out", "Chrome-trace JSON file ('' = off)",
+                    std::string(""));
+  parser.add_option("log-format", "log output format: text|json",
+                    std::string("text"));
+}
+
+struct TelemetryCli {
+  std::string metrics_out;
+  std::string trace_out;
+
+  /// Apply the parsed telemetry flags: set the log format and enable the
+  /// global tracer when any output was requested (spans cost nothing
+  /// otherwise).
+  static TelemetryCli from_parser(const ArgParser& parser) {
+    TelemetryCli t;
+    t.metrics_out = parser.get("metrics-out");
+    t.trace_out = parser.get("trace-out");
+    log::set_format(log::format_from_name(parser.get("log-format")));
+    if (!t.trace_out.empty()) telemetry::Tracer::global().set_enabled(true);
+    return t;
+  }
+
+  bool active() const { return !metrics_out.empty() || !trace_out.empty(); }
+
+  /// Post-run export: replay the simulated device power trace through a
+  /// PowerScope (fast-forwarded with a ScaledClock, as jpwr would sample the
+  /// real device), write energy/power CSVs + metrics files + a manifest line
+  /// into --metrics-out, and the combined Chrome trace to --trace-out.
+  void finish(const std::string& command, const std::string& system_tag,
+              const std::map<std::string, std::string>& config,
+              const std::map<std::string, double>& results,
+              const std::optional<sim::PowerTrace>& device_trace) const {
+    telemetry::Manifest manifest;
+    manifest.command = command;
+    manifest.timestamp = telemetry::iso8601_utc_now();
+    manifest.system_tag = system_tag;
+    manifest.git_revision = telemetry::git_describe();
+    manifest.config = config;
+    manifest.results = results;
+
+    auto& tracer = telemetry::Tracer::global();
+    if (!metrics_out.empty() && device_trace.has_value()) {
+      // Sample the virtual trace at ~50 points, compressed to <= 0.2 wall
+      // seconds. interval_ms is a wall period, so the clock-time spacing is
+      // horizon / 50 once the ScaledClock speed-up is applied.
+      const double horizon = std::max(device_trace->horizon(), 1e-6);
+      const double speed = std::max(1.0, horizon / 0.2);
+      const double wall_interval_ms = 1000.0 * horizon / (50.0 * speed);
+      power::PowerScope scope(
+          {power::make_pynvml_sim({*device_trace})}, wall_interval_ms,
+          std::make_shared<power::ScaledClock>(speed));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(horizon / speed));
+      scope.stop();
+
+      power::ExportOptions options;
+      options.out_dir = metrics_out;
+      power::export_results(scope, options);
+      if (tracer.enabled()) power::append_counter_track(scope, tracer);
+
+      const auto diag = scope.diagnostics();
+      manifest.power_samples = diag.samples;
+      manifest.sample_overruns = diag.overruns;
+      manifest.sample_jitter_ms_mean = diag.jitter_ms_mean;
+      manifest.sample_jitter_ms_max = diag.jitter_ms_max;
+    }
+    if (!metrics_out.empty()) {
+      telemetry::Registry::global().write_files(metrics_out);
+      telemetry::append_manifest_line(manifest,
+                                      metrics_out + "/manifest.jsonl");
+      std::cout << "telemetry: metrics + manifest written to " << metrics_out
+                << "/\n";
+    }
+    if (!trace_out.empty()) {
+      tracer.write_chrome_trace(trace_out);
+      std::cout << "telemetry: trace written to " << trace_out << " ("
+                << tracer.num_events() << " events)\n";
+    }
+  }
+};
 
 int cmd_systems() {
   TextTable table({"tag", "system", "devices", "accelerator", "peak FP16",
@@ -84,7 +187,9 @@ int cmd_llm(const std::vector<std::string>& args) {
   parser.add_option("pp", "pipeline parallel", std::string("1"));
   parser.add_option("nodes", "number of nodes", std::string("1"));
   parser.add_option("model", "117M|800M|13B|175B", std::string("800M"));
+  add_telemetry_options(parser);
   if (!parser.parse(args)) return 0;
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
 
   if (parser.get("system") == "GC200") {
     const auto result = core::run_llm_ipu(parser.get_int("batch"));
@@ -98,6 +203,15 @@ int cmd_llm(const std::vector<std::string>& args) {
               << units::format_fixed(result.tokens_per_wh, 2) << "\n"
               << "  bubble        : "
               << units::format_fixed(result.pipeline_bubble, 3) << "\n";
+    if (telemetry.active()) {
+      telemetry.finish(
+          "llm", "GC200",
+          {{"batch_tokens", std::to_string(result.batch_tokens)}},
+          {{"tokens_per_s", result.tokens_per_s},
+           {"energy_per_epoch_wh", result.energy_per_epoch_wh},
+           {"tokens_per_wh", result.tokens_per_wh}},
+          std::nullopt);
+    }
     return 0;
   }
 
@@ -117,9 +231,31 @@ int cmd_llm(const std::vector<std::string>& args) {
   else throw caraml::InvalidArgument("unknown model: " + model);
 
   const auto result = core::run_llm_gpu(config);
+  const std::map<std::string, std::string> run_config = {
+      {"model", config.model.name},
+      {"global_batch", std::to_string(config.global_batch)},
+      {"micro_batch", std::to_string(config.micro_batch)},
+      {"devices", std::to_string(config.devices)},
+      {"tp", std::to_string(config.tensor_parallel)},
+      {"pp", std::to_string(config.pipeline_parallel)},
+      {"nodes", std::to_string(config.num_nodes)}};
   if (result.oom) {
     std::cout << "OOM: " << result.oom_message << "\n";
+    if (telemetry.active()) {
+      telemetry.finish("llm", config.system_tag, run_config, {{"oom", 1.0}},
+                       std::nullopt);
+    }
     return 1;
+  }
+  if (telemetry.active()) {
+    telemetry.finish("llm", config.system_tag, run_config,
+                     {{"iteration_time_s", result.iteration_time_s},
+                      {"tokens_per_s_per_gpu", result.tokens_per_s_per_gpu},
+                      {"tokens_per_s_total", result.tokens_per_s_total},
+                      {"mfu", result.mfu},
+                      {"avg_power_per_gpu_w", result.avg_power_per_gpu_w},
+                      {"tokens_per_wh", result.tokens_per_wh}},
+                     result.device0_trace);
   }
   std::cout << result.system << ", " << config.model.name << ", batch "
             << result.global_batch << " (dp=" << result.data_parallel
@@ -148,7 +284,9 @@ int cmd_resnet(const std::vector<std::string>& args) {
   parser.add_flag("synthetic", "use synthetic data (skip host pipeline)");
   parser.add_option("variant", "resnet18|resnet34|resnet50",
                     std::string("resnet50"));
+  add_telemetry_options(parser);
   if (!parser.parse(args)) return 0;
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
 
   core::ResnetRunConfig config;
   config.system_tag = parser.get("system");
@@ -161,9 +299,28 @@ int cmd_resnet(const std::vector<std::string>& args) {
   else if (variant == "resnet50") config.variant = models::ResNetVariant::kResNet50;
   else throw caraml::InvalidArgument("unknown variant: " + variant);
   const auto result = core::run_resnet(config);
+  const std::map<std::string, std::string> run_config = {
+      {"variant", variant},
+      {"global_batch", std::to_string(config.global_batch)},
+      {"devices", std::to_string(config.devices)},
+      {"synthetic", config.synthetic_data ? "1" : "0"}};
   if (result.oom) {
     std::cout << "OOM: " << result.oom_message << "\n";
+    if (telemetry.active()) {
+      telemetry.finish("resnet", config.system_tag, run_config,
+                       {{"oom", 1.0}}, std::nullopt);
+    }
     return 1;
+  }
+  if (telemetry.active()) {
+    telemetry.finish(
+        "resnet", config.system_tag, run_config,
+        {{"iteration_time_s", result.iteration_time_s},
+         {"images_per_s_total", result.images_per_s_total},
+         {"avg_power_per_device_w", result.avg_power_per_device_w},
+         {"energy_per_epoch_wh", result.energy_per_epoch_wh},
+         {"images_per_wh", result.images_per_wh}},
+        result.device0_trace);
   }
   std::cout << result.system << ", batch " << result.global_batch << " on "
             << result.devices << " device(s):\n"
@@ -184,7 +341,9 @@ int cmd_inference(const std::vector<std::string>& args) {
   parser.add_option("batch", "concurrent sequences", std::string("8"));
   parser.add_option("prompt", "prompt tokens", std::string("512"));
   parser.add_option("generate", "generated tokens", std::string("128"));
+  add_telemetry_options(parser);
   if (!parser.parse(args)) return 0;
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
 
   core::InferenceConfig config;
   config.system_tag = parser.get("system");
@@ -192,9 +351,26 @@ int cmd_inference(const std::vector<std::string>& args) {
   config.prompt_tokens = parser.get_int("prompt");
   config.generate_tokens = parser.get_int("generate");
   const auto result = core::run_llm_inference(config);
+  const std::map<std::string, std::string> run_config = {
+      {"batch", std::to_string(config.batch)},
+      {"prompt_tokens", std::to_string(config.prompt_tokens)},
+      {"generate_tokens", std::to_string(config.generate_tokens)}};
   if (result.oom) {
     std::cout << "OOM: " << result.oom_message << "\n";
+    if (telemetry.active()) {
+      telemetry.finish("inference", config.system_tag, run_config,
+                       {{"oom", 1.0}}, std::nullopt);
+    }
     return 1;
+  }
+  if (telemetry.active()) {
+    telemetry.finish(
+        "inference", config.system_tag, run_config,
+        {{"time_to_first_token_s", result.time_to_first_token_s},
+         {"tokens_per_s_per_user", result.tokens_per_s_per_user},
+         {"tokens_per_s_total", result.tokens_per_s_total},
+         {"energy_per_1k_tokens_wh", result.energy_per_1k_tokens_wh}},
+        std::nullopt);
   }
   std::cout << result.system << ", batch " << result.batch << ":\n"
             << "  time-to-first-token : "
@@ -268,7 +444,11 @@ void print_usage() {
       "  inference   LLM inference extension (--system, --batch)\n"
       "  tts         time/energy-to-solution estimate (--system, --loss)\n"
       "  combine     merge per-rank jpwr CSVs (--dir)\n"
-      "  export      write every experiment's data as CSV (--out)\n";
+      "  export      write every experiment's data as CSV (--out)\n\n"
+      "telemetry (llm / resnet / inference):\n"
+      "  --metrics-out DIR   metrics.csv/json, energy CSVs, manifest.jsonl\n"
+      "  --trace-out FILE    Chrome-trace JSON (open in Perfetto)\n"
+      "  --log-format FMT    text (default) or json structured logs\n";
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include "sim/memory.hpp"
 #include "sim/power_model.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "topo/specs.hpp"
 #include "util/error.hpp"
 
@@ -20,6 +22,8 @@ double kv_cache_bytes(const models::GptConfig& model, std::int64_t batch,
 }
 
 InferenceResult run_llm_inference(const InferenceConfig& config) {
+  TELEMETRY_SPAN("inference/run");
+  telemetry::Registry::global().counter("inference/runs").add();
   const NodeSpec& node = SystemRegistry::instance().by_tag(config.system_tag);
   CARAML_CHECK_MSG(node.device.arch == topo::ArchClass::kGpuSimd,
                    "inference model targets GPU systems");
@@ -43,6 +47,7 @@ InferenceResult run_llm_inference(const InferenceConfig& config) {
     tracker.allocate("kv_cache", result.kv_cache_bytes);
     tracker.allocate("workspace", 2.0e9);
   } catch (const OutOfMemory& oom) {
+    telemetry::Registry::global().counter("inference/oom").add();
     result.oom = true;
     result.oom_message = oom.what();
     return result;

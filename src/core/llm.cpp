@@ -5,6 +5,9 @@
 
 #include "sim/cluster.hpp"
 #include "sim/memory.hpp"
+#include "sim/trace_export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -23,6 +26,8 @@ bool llm_layout_valid(std::int64_t global_batch, std::int64_t micro_batch,
 }
 
 LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
+  TELEMETRY_SPAN("llm/run_gpu");
+  telemetry::Registry::global().counter("llm/runs").add();
   const NodeSpec& node = SystemRegistry::instance().by_tag(config.system_tag);
   CARAML_CHECK_MSG(node.device.arch == topo::ArchClass::kGpuSimd,
                    "run_llm_gpu targets GPU systems; use run_llm_ipu for " +
@@ -66,6 +71,7 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
     tracker.allocate("activations", memory.activation_bytes());
     tracker.allocate("workspace", memory.workspace_bytes());
   } catch (const OutOfMemory& oom) {
+    telemetry::Registry::global().counter("llm/oom").add();
     result.oom = true;
     result.oom_message = oom.what();
     return result;
@@ -176,6 +182,10 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
 
   sim::PowerTrace trace(node.device, cluster.compute(0)->busy_intervals(),
                         iteration_time);
+  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+    sim::append_chrome_events(graph, tracer);
+    sim::append_power_counters(trace, "power/dev0_w", tracer);
+  }
   result.avg_power_per_gpu_w = trace.average_power();
   result.energy_per_gpu_wh =
       result.avg_power_per_gpu_w * (config.exit_duration_min / 60.0);
@@ -207,6 +217,8 @@ constexpr double kIpuAttributedWatts = 656.0;
 
 IpuLlmResult run_llm_ipu(std::int64_t batch_tokens,
                          const models::GptConfig& model) {
+  TELEMETRY_SPAN("llm/run_ipu");
+  telemetry::Registry::global().counter("llm/runs").add();
   const NodeSpec& node = SystemRegistry::instance().by_tag("GC200");
   const int ipus = node.devices_per_node;
 
@@ -245,6 +257,9 @@ IpuLlmResult run_llm_ipu(std::int64_t batch_tokens,
     }
   }
   const double iteration_time = graph.run();
+  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+    sim::append_chrome_events(graph, tracer);
+  }
   result.iteration_time_s = iteration_time;
   result.tokens_per_s = static_cast<double>(batch_tokens) / iteration_time;
   result.pipeline_bubble =

@@ -5,6 +5,9 @@
 
 #include "sim/cluster.hpp"
 #include "sim/memory.hpp"
+#include "sim/trace_export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/error.hpp"
 
 namespace caraml::core {
@@ -32,6 +35,8 @@ constexpr double kGpuIterFixedOverheadS = 0.004;  // step sync, Horovod cycle
 }  // namespace
 
 ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
+  TELEMETRY_SPAN("resnet/run_gpu");
+  telemetry::Registry::global().counter("resnet/runs").add();
   const NodeSpec& node = SystemRegistry::instance().by_tag(config.system_tag);
   CARAML_CHECK_MSG(node.device.arch == topo::ArchClass::kGpuSimd,
                    "run_resnet_gpu targets GPU systems");
@@ -73,6 +78,7 @@ ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
     tracker.allocate("activations", activations);
     tracker.allocate("workspace", workspace);
   } catch (const OutOfMemory& oom) {
+    telemetry::Registry::global().counter("resnet/oom").add();
     result.oom = true;
     result.oom_message = oom.what();
     return result;
@@ -164,6 +170,10 @@ ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
   // Average power over the steady-state window.
   sim::PowerTrace trace(node.device, cluster.compute(0)->busy_intervals(),
                         makespan);
+  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+    sim::append_chrome_events(graph, tracer);
+    sim::append_power_counters(trace, "power/dev0_w", tracer);
+  }
   result.avg_power_per_device_w =
       last_done > first_done
           ? trace.energy_joules(first_done, last_done) /
@@ -201,6 +211,8 @@ constexpr double kIpuBusyWatts = 167.3;
 }  // namespace
 
 ResnetRunResult run_resnet_ipu(std::int64_t global_batch, int ipus) {
+  TELEMETRY_SPAN("resnet/run_ipu");
+  telemetry::Registry::global().counter("resnet/runs").add();
   const NodeSpec& node = SystemRegistry::instance().by_tag("GC200");
   CARAML_CHECK_MSG(ipus >= 1 && ipus <= node.devices_per_node,
                    "IPU count out of range for the M2000 POD4");

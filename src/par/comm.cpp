@@ -3,9 +3,25 @@
 #include <exception>
 #include <thread>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace caraml::par {
+
+namespace {
+
+// Collective-traffic telemetry. Every rank's call counts once, matching how
+// NCCL/Horovod profilers attribute per-rank traffic; bytes are the tensor
+// payload (fp32).
+telemetry::Counter& collective_counter(const char* name) {
+  return telemetry::Registry::global().counter(name);
+}
+
+std::int64_t tensor_bytes(const Tensor& value) {
+  return value.numel() * static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace
 
 DeviceGroup::DeviceGroup(int size) : size_(size) {
   CARAML_CHECK_MSG(size >= 1, "device group needs at least one rank");
@@ -51,9 +67,14 @@ void DeviceGroup::run(const std::function<void(Communicator&)>& fn) {
 
 int Communicator::size() const { return group_->size(); }
 
-void Communicator::barrier() { group_->barrier_impl(); }
+void Communicator::barrier() {
+  collective_counter("par/barriers").add();
+  group_->barrier_impl();
+}
 
 void Communicator::all_reduce_sum(Tensor& value) {
+  collective_counter("par/allreduce_calls").add();
+  collective_counter("par/allreduce_bytes").add(tensor_bytes(value));
   // Rendezvous: publish pointers, barrier, everyone reads all contributions
   // into a private sum, barrier (so no one mutates while others read), then
   // each rank installs its privately computed sum.
@@ -80,6 +101,7 @@ void Communicator::all_reduce_mean(Tensor& value) {
 
 void Communicator::broadcast(Tensor& value, int root) {
   CARAML_CHECK_MSG(root >= 0 && root < size(), "broadcast root out of range");
+  collective_counter("par/broadcasts").add();
   group_->collect_pointer(rank_, &value);
   barrier();
   if (rank_ != root) {
@@ -90,6 +112,7 @@ void Communicator::broadcast(Tensor& value, int root) {
 }
 
 std::vector<Tensor> Communicator::all_gather(const Tensor& value) {
+  collective_counter("par/allgather_calls").add();
   group_->collect_pointer(rank_, &value);
   barrier();
   std::vector<Tensor> out;
@@ -104,6 +127,8 @@ std::vector<Tensor> Communicator::all_gather(const Tensor& value) {
 void Communicator::send(const Tensor& value, int destination, int tag) {
   CARAML_CHECK_MSG(destination >= 0 && destination < size(),
                    "send destination out of range");
+  collective_counter("par/p2p_messages").add();
+  collective_counter("par/p2p_bytes").add(tensor_bytes(value));
   std::lock_guard<std::mutex> lock(group_->mail_mutex_);
   group_->mailboxes_[{rank_, destination, tag}].queue.push_back(value);
   group_->mail_cv_.notify_all();

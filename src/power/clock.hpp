@@ -15,6 +15,11 @@ class Clock {
   virtual ~Clock() = default;
   /// Seconds since an arbitrary epoch (monotonic).
   virtual double now() const = 0;
+
+  /// Wall-clock seconds a caller must sleep for `clock_dt` seconds to elapse
+  /// on *this* clock. Lets the sampling loop schedule absolute deadlines in
+  /// clock time regardless of the clock's speed.
+  virtual double wall_delay(double clock_dt) const { return clock_dt; }
 };
 
 /// Monotonic wall clock.
@@ -38,6 +43,9 @@ class ScaledClock final : public Clock {
  public:
   explicit ScaledClock(double speed) : speed_(speed) {}
   double now() const override { return base_.now() * speed_; }
+  double wall_delay(double clock_dt) const override {
+    return clock_dt / speed_;
+  }
   double speed() const { return speed_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <filesystem>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -17,6 +18,10 @@ PowerScope::PowerScope(std::vector<MethodPtr> methods, double interval_ms,
       clock_(clock ? std::move(clock) : std::make_shared<WallClock>()) {
   CARAML_CHECK_MSG(!methods_.empty(), "PowerScope needs at least one method");
   CARAML_CHECK_MSG(interval_ms > 0.0, "sampling interval must be positive");
+  // `interval_ms` is a wall-clock period; convert it once into this clock's
+  // units so deadlines can be scheduled in clock time (wall_delay(1.0) is
+  // the wall seconds per clock second of any linear clock).
+  clock_interval_ = interval_s_ / clock_->wall_delay(1.0);
   for (const auto& method : methods_) {
     CARAML_CHECK_MSG(method != nullptr, "null method");
     for (const auto& channel : method->channels()) {
@@ -24,6 +29,7 @@ PowerScope::PowerScope(std::vector<MethodPtr> methods, double interval_ms,
     }
   }
   take_sample();  // guarantee a point at scope entry
+  start_clock_ = times_.back();
   thread_ = std::thread([this] { sampling_loop(); });
 }
 
@@ -44,10 +50,42 @@ void PowerScope::stop() {
 }
 
 void PowerScope::sampling_loop() {
+  // Absolute-deadline scheduling: sample k targets start + k * interval.
+  // Sleeping only the *remaining* time to each deadline (instead of a fixed
+  // interval after the previous sample) removes the cumulative drift of
+  // per-sample processing time; deadlines missed by a whole period are
+  // skipped and counted as overruns rather than allowed to pile up.
+  auto& jitter_hist = telemetry::Registry::global().histogram(
+      "power/sample_jitter_ms",
+      telemetry::Histogram::exponential_buckets(1e-3, 2.0, 32));
+  auto& overrun_counter =
+      telemetry::Registry::global().counter("power/sample_overruns");
+  std::uint64_t tick = 1;
   while (!stopping_.load()) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s_));
-    if (stopping_.load()) break;
+    const double deadline =
+        start_clock_ + static_cast<double>(tick) * clock_interval_;
+    double now = clock_->now();
+    if (now < deadline) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(clock_->wall_delay(deadline - now)));
+      if (stopping_.load()) break;
+      now = clock_->now();
+    }
     take_sample();
+    const double jitter_ms =
+        std::max(0.0, clock_->wall_delay(now - deadline)) * 1e3;
+    jitter_hist.observe(jitter_ms);
+    std::int64_t missed = 0;
+    if (now >= deadline + clock_interval_) {
+      missed = static_cast<std::int64_t>((now - deadline) / clock_interval_);
+      overrun_counter.add(missed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      overruns_ += missed;
+      jitter_ms_.add(jitter_ms);
+    }
+    tick += static_cast<std::uint64_t>(missed) + 1;
   }
 }
 
@@ -174,6 +212,18 @@ double PowerScope::duration() const {
   return times_.size() >= 2 ? times_.back() - times_.front() : 0.0;
 }
 
+PowerScope::SamplingDiagnostics PowerScope::diagnostics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SamplingDiagnostics diag;
+  diag.samples = static_cast<std::int64_t>(times_.size());
+  diag.overruns = overruns_;
+  if (jitter_ms_.count() > 0) {
+    diag.jitter_ms_mean = jitter_ms_.mean();
+    diag.jitter_ms_max = jitter_ms_.max();
+  }
+  return diag;
+}
+
 void export_results(const PowerScope& scope, const ExportOptions& options) {
   CARAML_CHECK_MSG(!options.out_dir.empty(), "--df-out directory required");
   if (options.filetype != "csv") {
@@ -185,6 +235,22 @@ void export_results(const PowerScope& scope, const ExportOptions& options) {
   scope.df().to_csv_file(options.out_dir + "/power" + suffix + ".csv");
   scope.energy().energy.to_csv_file(options.out_dir + "/energy" + suffix +
                                     ".csv");
+}
+
+void append_counter_track(const PowerScope& scope,
+                          telemetry::Tracer& tracer) {
+  const df::DataFrame frame = scope.df();
+  if (frame.empty()) return;
+  const std::uint32_t track = tracer.track("power");
+  const auto& time = frame.column("time");
+  for (const std::string& name : frame.column_names()) {
+    if (name == "time") continue;
+    const auto& column = frame.column(name);
+    for (std::size_t row = 0; row < frame.num_rows(); ++row) {
+      tracer.add_counter("power/" + name, "watts", track,
+                         time.as_double(row), column.as_double(row));
+    }
+  }
 }
 
 }  // namespace caraml::power

@@ -26,6 +26,8 @@
 #include "df/dataframe.hpp"
 #include "power/clock.hpp"
 #include "power/method.hpp"
+#include "telemetry/span.hpp"
+#include "util/stats.hpp"
 
 namespace caraml::power {
 
@@ -65,18 +67,37 @@ class PowerScope {
   std::size_t num_samples() const;
   double duration() const;
 
+  /// Health of the sampling loop over the scope's lifetime. Samples are
+  /// scheduled at absolute deadlines (start + k * interval); an *overrun* is
+  /// a deadline skipped entirely because sampling ran long, and *jitter* is
+  /// the wall-clock lateness of each taken sample against its deadline.
+  /// These numbers also feed the telemetry registry
+  /// ("power/sample_jitter_ms" histogram, "power/sample_overruns" counter)
+  /// and the run manifest.
+  struct SamplingDiagnostics {
+    std::int64_t samples = 0;
+    std::int64_t overruns = 0;
+    double jitter_ms_mean = 0.0;
+    double jitter_ms_max = 0.0;
+  };
+  SamplingDiagnostics diagnostics() const;
+
  private:
   void sampling_loop();
   void take_sample();
 
   std::vector<MethodPtr> methods_;
   std::vector<std::string> columns_;  // "<method>:<channel>", sample order
-  double interval_s_;
+  double interval_s_;       // wall-clock sampling period
+  double clock_interval_;   // the same period in clock time
+  double start_clock_ = 0.0;  // clock time of the scope-entry sample
   std::shared_ptr<Clock> clock_;
 
   mutable std::mutex mutex_;
   std::vector<double> times_;
   std::vector<std::vector<double>> watts_;  // [sample][column]
+  std::int64_t overruns_ = 0;
+  RunningStats jitter_ms_;
 
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
@@ -98,5 +119,12 @@ struct ExportOptions {
   std::string suffix;
 };
 void export_results(const PowerScope& scope, const ExportOptions& options);
+
+/// Append the scope's samples to `tracer` as Chrome-trace ph:"C" counter
+/// events (one counter per "<method>:<channel>" column, all on one "power"
+/// track), so the power series renders as an overlay in Perfetto beside the
+/// compute spans.
+void append_counter_track(const PowerScope& scope,
+                          telemetry::Tracer& tracer);
 
 }  // namespace caraml::power

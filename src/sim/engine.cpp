@@ -3,6 +3,7 @@
 #include <queue>
 #include <tuple>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace caraml::sim {
@@ -53,6 +54,16 @@ double TaskGraph::run() {
   CARAML_CHECK_MSG(!ran_, "TaskGraph::run() called twice");
   ran_ = true;
 
+  // Event-loop telemetry: registration once per run(), lock-free atomic
+  // updates inside the loop (this is the hottest path in the repository).
+  auto& registry = telemetry::Registry::global();
+  auto& events_counter = registry.counter("sim/events_processed");
+  auto& tasks_counter = registry.counter("sim/tasks_completed");
+  auto& graphs_counter = registry.counter("sim/graphs_run");
+  auto& queue_depth_hist = registry.histogram(
+      "sim/queue_depth", telemetry::Histogram::linear_buckets(1.0, 1.0, 64));
+  graphs_counter.add();
+
   enum class EventKind { kReady, kComplete };
   struct Event {
     double time;
@@ -77,6 +88,9 @@ double TaskGraph::run() {
     Resource* res = task.resource;
     task.start = now;
     task.finish = now + task.service_time;
+    const double wait = task.ready >= 0.0 ? now - task.ready : 0.0;
+    res->queue_wait_total_ += wait;
+    res->queue_wait_max_ = std::max(res->queue_wait_max_, wait);
     serving[res->index()] = id;
     res->busy_.push_back(BusyInterval{task.start, task.finish,
                                       task.utilization, id});
@@ -95,15 +109,18 @@ double TaskGraph::run() {
   while (!events.empty()) {
     const Event event = events.top();
     events.pop();
+    events_counter.add();
     const double now = event.time;
     Task& task = tasks_[event.task];
     Resource* res = task.resource;
 
     if (event.kind == EventKind::kReady) {
+      task.ready = now;
       if (serving[res->index()] == kInvalidTask && res->free_at_ <= now) {
         start_task(event.task, now);
       } else {
         res->queue_.push_back(event.task);
+        queue_depth_hist.observe(static_cast<double>(res->queue_.size()));
       }
       continue;
     }
@@ -111,6 +128,7 @@ double TaskGraph::run() {
     // kComplete
     task.done = true;
     ++completed;
+    tasks_counter.add();
     makespan = std::max(makespan, task.finish);
     serving[res->index()] = kInvalidTask;
 
@@ -147,6 +165,18 @@ double TaskGraph::start_time(TaskId task) const {
   CARAML_CHECK(task < tasks_.size());
   CARAML_CHECK_MSG(ran_, "start_time before run()");
   return tasks_[task].start;
+}
+
+double TaskGraph::ready_time(TaskId task) const {
+  CARAML_CHECK(task < tasks_.size());
+  CARAML_CHECK_MSG(ran_, "ready_time before run()");
+  return tasks_[task].ready;
+}
+
+double TaskGraph::queue_wait(TaskId task) const {
+  CARAML_CHECK(task < tasks_.size());
+  CARAML_CHECK_MSG(ran_, "queue_wait before run()");
+  return tasks_[task].start - tasks_[task].ready;
 }
 
 const std::string& TaskGraph::task_name(TaskId task) const {

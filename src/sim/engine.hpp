@@ -48,12 +48,25 @@ class Resource {
     return busy_.empty() ? 0.0 : busy_.back().end;
   }
 
+  /// Queue-wait statistics: time tasks spent between becoming ready and
+  /// starting service on this resource (0 for tasks served immediately).
+  double queue_wait_total() const { return queue_wait_total_; }
+  double queue_wait_max() const { return queue_wait_max_; }
+  /// Mean wait over every task served by this resource.
+  double queue_wait_mean() const {
+    return busy_.empty() ? 0.0
+                         : queue_wait_total_ /
+                               static_cast<double>(busy_.size());
+  }
+
  private:
   friend class TaskGraph;
   std::string name_;
   std::uint32_t index_;
   std::vector<BusyInterval> busy_;
   double free_at_ = 0.0;
+  double queue_wait_total_ = 0.0;
+  double queue_wait_max_ = 0.0;
   std::vector<std::uint32_t> queue_;  // ready tasks waiting for this resource
 };
 
@@ -96,6 +109,10 @@ class TaskGraph {
   /// Completion time of a task after run().
   double finish_time(TaskId task) const;
   double start_time(TaskId task) const;
+  /// Time the task became ready (dependencies met, release time reached).
+  double ready_time(TaskId task) const;
+  /// start_time - ready_time: how long the task queued for its resource.
+  double queue_wait(TaskId task) const;
   const std::string& task_name(TaskId task) const;
 
  private:
@@ -107,6 +124,7 @@ class TaskGraph {
     std::string name;
     std::vector<TaskId> successors;
     std::uint32_t unmet_deps = 0;
+    double ready = -1.0;
     double start = -1.0;
     double finish = -1.0;
     bool done = false;

@@ -2,48 +2,41 @@
 
 #include <algorithm>
 #include <fstream>
-#include <sstream>
 
 #include "util/error.hpp"
-#include "util/strings.hpp"
 
 namespace caraml::sim {
 
-namespace {
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-}  // namespace
-
-std::string to_chrome_trace(const TaskGraph& graph) {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
+void append_chrome_events(const TaskGraph& graph, telemetry::Tracer& tracer) {
   for (std::size_t r = 0; r < graph.num_resources(); ++r) {
     const Resource* resource = graph.resource_at(r);
-    // Thread-name metadata event per resource track.
-    if (!first) os << ",";
-    first = false;
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << r
-       << ",\"args\":{\"name\":\"" << json_escape(resource->name())
-       << "\"}}";
+    const std::uint32_t track = tracer.track(resource->name());
     for (const auto& interval : resource->busy_intervals()) {
-      os << ",{\"name\":\""
-         << json_escape(graph.task_name(interval.task_index)) << "\","
-         << "\"ph\":\"X\",\"pid\":1,\"tid\":" << r
-         << ",\"ts\":" << interval.start * 1e6
-         << ",\"dur\":" << (interval.end - interval.start) * 1e6
-         << ",\"args\":{\"utilization\":" << interval.utilization << "}}";
+      tracer.add_span(graph.task_name(interval.task_index), track,
+                      interval.start, interval.end - interval.start,
+                      "utilization", interval.utilization);
     }
   }
-  os << "]}";
-  return os.str();
+}
+
+void append_power_counters(const PowerTrace& trace,
+                           const std::string& counter_name,
+                           telemetry::Tracer& tracer) {
+  const std::uint32_t track = tracer.track("power");
+  for (const auto& segment : trace.segments()) {
+    tracer.add_counter(counter_name, "watts", track, segment.start,
+                       segment.watts);
+  }
+  if (!trace.segments().empty()) {
+    tracer.add_counter(counter_name, "watts", track, trace.horizon(),
+                       trace.segments().back().watts);
+  }
+}
+
+std::string to_chrome_trace(const TaskGraph& graph) {
+  telemetry::Tracer tracer;
+  append_chrome_events(graph, tracer);
+  return tracer.to_chrome_trace();
 }
 
 void write_chrome_trace(const TaskGraph& graph, const std::string& path) {
@@ -63,6 +56,8 @@ df::DataFrame utilization_summary(const TaskGraph& graph) {
   frame.add_column("busy_fraction", df::ColumnType::kDouble);
   frame.add_column("tasks", df::ColumnType::kInt64);
   frame.add_column("mean_utilization", df::ColumnType::kDouble);
+  frame.add_column("queue_wait_mean_s", df::ColumnType::kDouble);
+  frame.add_column("queue_wait_max_s", df::ColumnType::kDouble);
   for (std::size_t r = 0; r < graph.num_resources(); ++r) {
     const Resource* resource = graph.resource_at(r);
     const double busy = resource->busy_time();
@@ -73,7 +68,8 @@ df::DataFrame utilization_summary(const TaskGraph& graph) {
     frame.append_row(
         {resource->name(), busy, makespan > 0.0 ? busy / makespan : 0.0,
          static_cast<std::int64_t>(resource->busy_intervals().size()),
-         busy > 0.0 ? weighted_util / busy : 0.0});
+         busy > 0.0 ? weighted_util / busy : 0.0,
+         resource->queue_wait_mean(), resource->queue_wait_max()});
   }
   return frame;
 }

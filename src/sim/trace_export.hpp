@@ -1,23 +1,45 @@
 // Export simulated executions for inspection: Chrome-tracing JSON (open in
 // chrome://tracing or Perfetto) and a per-resource utilization summary.
+//
+// The export path is built on caraml::telemetry::Tracer, so simulator busy
+// intervals (virtual-clock spans), wall-clock TELEMETRY_SPAN scopes, and
+// power samples (ph:"C" counter events) can be combined into one trace
+// document on one timeline.
 #pragma once
 
 #include <string>
 
 #include "df/dataframe.hpp"
 #include "sim/engine.hpp"
+#include "sim/power_model.hpp"
+#include "telemetry/span.hpp"
 
 namespace caraml::sim {
 
-/// Serialize a finished TaskGraph as a Chrome trace-event JSON document:
-/// one "complete" (ph:"X") event per busy interval, one track (tid) per
-/// resource. Timestamps are microseconds of simulated time.
+/// Append a finished TaskGraph to `tracer`: one track per resource, one
+/// "complete" (ph:"X") span per busy interval with its utilization
+/// annotation. Timestamps are seconds of simulated time.
+void append_chrome_events(const TaskGraph& graph, telemetry::Tracer& tracer);
+
+/// Append a PowerTrace as a ph:"C" counter series named `counter_name`
+/// (args key "watts"): one event per piecewise-constant segment boundary,
+/// plus a closing event at the horizon, so the power overlay in Perfetto
+/// covers the whole simulated run.
+void append_power_counters(const PowerTrace& trace,
+                           const std::string& counter_name,
+                           telemetry::Tracer& tracer);
+
+/// Serialize a finished TaskGraph as a standalone Chrome trace-event JSON
+/// document: one track (tid) per resource. Timestamps are microseconds of
+/// simulated time.
 std::string to_chrome_trace(const TaskGraph& graph);
 
 void write_chrome_trace(const TaskGraph& graph, const std::string& path);
 
 /// Per-resource summary: name, busy seconds, busy fraction of the makespan,
-/// task count, mean utilization annotation.
+/// task count, mean utilization annotation, and queue-wait statistics
+/// (mean/max seconds tasks spent queued for the resource) so the table and
+/// the Perfetto trace agree about where time went.
 df::DataFrame utilization_summary(const TaskGraph& graph);
 
 }  // namespace caraml::sim

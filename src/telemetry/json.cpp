@@ -1,0 +1,320 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace caraml::telemetry::json {
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw Error("json: value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) throw Error("json: value is not a number");
+  return number_;
+}
+
+std::int64_t Value::as_int() const {
+  return static_cast<std::int64_t>(std::llround(as_number()));
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) throw Error("json: value is not a string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) throw Error("json: value is not an array");
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) throw Error("json: value is not an object");
+  return object_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  for (const auto& [name, value] : as_object()) {
+    if (name == key) return value;
+  }
+  throw NotFound("json: no member '" + key + "'");
+}
+
+bool Value::contains(const std::string& key) const {
+  for (const auto& [name, value] : as_object()) {
+    (void)value;
+    if (name == key) return true;
+  }
+  return false;
+}
+
+void Value::set(const std::string& key, Value value) {
+  if (kind_ != Kind::kObject) {
+    if (kind_ != Kind::kNull) throw Error("json: set() on a non-object");
+    kind_ = Kind::kObject;
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_to(const Value& value, std::ostringstream& os) {
+  switch (value.kind()) {
+    case Value::Kind::kNull: os << "null"; break;
+    case Value::Kind::kBool: os << (value.as_bool() ? "true" : "false"); break;
+    case Value::Kind::kNumber: {
+      const double n = value.as_number();
+      if (std::isfinite(n) && n == std::llround(n) &&
+          std::fabs(n) < 9.0e15) {
+        os << std::llround(n);
+      } else if (std::isfinite(n)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+        os << buf;
+      } else {
+        os << "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Value::Kind::kString:
+      os << '"' << escape(value.as_string()) << '"';
+      break;
+    case Value::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& element : value.as_array()) {
+        if (!first) os << ',';
+        first = false;
+        dump_to(element, os);
+      }
+      os << ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << escape(key) << "\":";
+        dump_to(member, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("json: " + message + " at offset " +
+                     std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value(nullptr);
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            // UTF-8 encode (no surrogate-pair handling; manifests are ASCII).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) fail("invalid number");
+    try {
+      return Value(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("invalid number");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value(std::move(out));
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value(std::move(out));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string dump(const Value& value) {
+  std::ostringstream os;
+  dump_to(value, os);
+  return os.str();
+}
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace caraml::telemetry::json

@@ -1,0 +1,79 @@
+// Minimal JSON value: parse + serialize, enough for run manifests and for
+// validating the Chrome-trace documents the telemetry exporters emit.
+//
+// Objects preserve member order (stored as a member vector, not a map) so a
+// round-tripped manifest line stays diffable against the original.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace caraml::telemetry::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// One object member; objects are ordered member lists.
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  Value(std::nullptr_t) : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  Value(int n) : kind_(Kind::kNumber), number_(n) {}
+  Value(std::int64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; throw caraml::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object lookup; throws caraml::NotFound when the key is missing.
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Builder helper for objects: appends (key, value).
+  void set(const std::string& key, Value value);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string escape(const std::string& text);
+
+/// Serialize a value to compact JSON.
+std::string dump(const Value& value);
+
+/// Parse a complete JSON document; throws caraml::ParseError on malformed
+/// input or trailing garbage.
+Value parse(const std::string& text);
+
+}  // namespace caraml::telemetry::json

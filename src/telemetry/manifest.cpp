@@ -1,0 +1,109 @@
+#include "telemetry/manifest.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace caraml::telemetry {
+
+std::string Manifest::to_json_line() const {
+  json::Value root{json::Object{}};
+  root.set("schema_version", schema_version);
+  root.set("command", command);
+  root.set("timestamp", timestamp);
+  root.set("system_tag", system_tag);
+  root.set("git_revision", git_revision);
+  root.set("rng_seed", static_cast<double>(rng_seed));
+  json::Value config_obj{json::Object{}};
+  for (const auto& [key, value] : config) config_obj.set(key, value);
+  root.set("config", std::move(config_obj));
+  json::Value sampling{json::Object{}};
+  sampling.set("power_samples", power_samples);
+  sampling.set("overruns", sample_overruns);
+  sampling.set("jitter_ms_mean", sample_jitter_ms_mean);
+  sampling.set("jitter_ms_max", sample_jitter_ms_max);
+  root.set("sampling", std::move(sampling));
+  json::Value results_obj{json::Object{}};
+  for (const auto& [key, value] : results) results_obj.set(key, value);
+  root.set("results", std::move(results_obj));
+  return json::dump(root);
+}
+
+Manifest Manifest::from_json_line(const std::string& line) {
+  const json::Value root = json::parse(line);
+  Manifest manifest;
+  manifest.schema_version = static_cast<int>(root.at("schema_version").as_int());
+  if (manifest.schema_version != Manifest{}.schema_version) {
+    throw Error("manifest schema_version " +
+                std::to_string(manifest.schema_version) + " not supported");
+  }
+  manifest.command = root.at("command").as_string();
+  manifest.timestamp = root.at("timestamp").as_string();
+  manifest.system_tag = root.at("system_tag").as_string();
+  manifest.git_revision = root.at("git_revision").as_string();
+  manifest.rng_seed =
+      static_cast<std::uint64_t>(root.at("rng_seed").as_number());
+  for (const auto& [key, value] : root.at("config").as_object()) {
+    manifest.config[key] = value.as_string();
+  }
+  const json::Value& sampling = root.at("sampling");
+  manifest.power_samples = sampling.at("power_samples").as_int();
+  manifest.sample_overruns = sampling.at("overruns").as_int();
+  manifest.sample_jitter_ms_mean = sampling.at("jitter_ms_mean").as_number();
+  manifest.sample_jitter_ms_max = sampling.at("jitter_ms_max").as_number();
+  for (const auto& [key, value] : root.at("results").as_object()) {
+    manifest.results[key] = value.as_number();
+  }
+  return manifest;
+}
+
+void append_manifest_line(const Manifest& manifest, const std::string& path) {
+  const std::filesystem::path file(path);
+  if (file.has_parent_path()) {
+    std::filesystem::create_directories(file.parent_path());
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw Error("cannot append manifest: " + path);
+  out << manifest.to_json_line() << "\n";
+}
+
+std::string iso8601_utc_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
+std::string git_describe() {
+  FILE* pipe =
+      ::popen("git describe --always --dirty --tags 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 128> buffer;
+  std::string out;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    out += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+}  // namespace caraml::telemetry

@@ -1,0 +1,50 @@
+// Run manifests: one JSON line per benchmark run, written next to the
+// energy CSVs so every number in a results directory can be traced back to
+// the exact configuration, code revision, RNG seed, and measurement-pipeline
+// health (sample counts, overruns, jitter) that produced it — the
+// auditability requirement MLPerf Power places on energy measurements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace caraml::telemetry {
+
+struct Manifest {
+  int schema_version = 1;
+  std::string command;        // e.g. "llm", "resnet", "jpwr"
+  std::string timestamp;      // ISO-8601 UTC, e.g. "2026-08-06T08:15:42.123Z"
+  std::string system_tag;     // JUBE tag (paper Table I)
+  std::string git_revision;   // `git describe --always --dirty`, or "unknown"
+  std::uint64_t rng_seed = 0;
+  std::map<std::string, std::string> config;  // flattened run configuration
+
+  // Measurement-pipeline diagnostics (PowerScope).
+  std::int64_t power_samples = 0;
+  std::int64_t sample_overruns = 0;   // missed sampling deadlines
+  double sample_jitter_ms_mean = 0.0;
+  double sample_jitter_ms_max = 0.0;
+
+  std::map<std::string, double> results;  // headline metrics of the run
+
+  /// Serialize as a single JSON line (no trailing newline).
+  std::string to_json_line() const;
+
+  /// Parse a line produced by to_json_line; throws caraml::ParseError on
+  /// malformed input and caraml::Error on schema mismatch.
+  static Manifest from_json_line(const std::string& line);
+};
+
+/// Append `manifest` as one line to the JSONL file at `path` (created, along
+/// with parent directories, when missing).
+void append_manifest_line(const Manifest& manifest, const std::string& path);
+
+/// Current UTC time as ISO-8601 with millisecond precision.
+std::string iso8601_utc_now();
+
+/// Best-effort `git describe --always --dirty` of the current working
+/// directory; returns "unknown" when git or the repository is unavailable.
+std::string git_describe();
+
+}  // namespace caraml::telemetry

@@ -1,0 +1,305 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace caraml::telemetry {
+
+namespace detail {
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  CARAML_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket");
+  CARAML_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                       std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                           bounds_.end(),
+                   "histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::linear_buckets(double start, double width,
+                                              std::size_t count) {
+  CARAML_CHECK_MSG(width > 0.0 && count > 0, "invalid linear buckets");
+  std::vector<double> bounds(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds[i] = start + width * static_cast<double>(i);
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::exponential_buckets(double start, double factor,
+                                                   std::size_t count) {
+  CARAML_CHECK_MSG(start > 0.0 && factor > 1.0 && count > 0,
+                   "invalid exponential buckets");
+  std::vector<double> bounds(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds[i] = bound;
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::default_buckets() {
+  return exponential_buckets(1e-6, 2.0, 40);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  detail::atomic_min(min_, value);
+  detail::atomic_max(max_, value);
+}
+
+double Histogram::mean() const noexcept {
+  const std::int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::percentile(double p) const {
+  CARAML_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of [0, 100]");
+  const auto counts = bucket_counts();
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total == 0) throw Error("percentile of empty histogram");
+
+  const double target = p / 100.0 * static_cast<double>(total);
+  const double lo_clamp = min();
+  const double hi_clamp = max();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      // Interpolate inside bucket i, whose value range (clamped to the
+      // observed extremes) is (lower, upper].
+      double lower = i == 0 ? lo_clamp : std::max(lo_clamp, bounds_[i - 1]);
+      double upper = i < bounds_.size() ? std::min(hi_clamp, bounds_[i])
+                                        : hi_clamp;
+      if (upper < lower) upper = lower;
+      const double fraction =
+          counts[i] > 0
+              ? std::clamp((target - cumulative) /
+                               static_cast<double>(counts[i]),
+                           0.0, 1.0)
+              : 0.0;
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return hi_clamp;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(upper_bounds.empty()
+                                           ? Histogram::default_buckets()
+                                           : std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+bool Registry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         histograms_.count(name) > 0;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, metric] : counters_) out.push_back(name);
+  for (const auto& [name, metric] : gauges_) out.push_back(name);
+  for (const auto& [name, metric] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+df::DataFrame Registry::to_dataframe() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  df::DataFrame frame;
+  frame.add_column("name", df::ColumnType::kString);
+  frame.add_column("type", df::ColumnType::kString);
+  frame.add_column("count", df::ColumnType::kInt64);
+  frame.add_column("sum", df::ColumnType::kDouble);
+  frame.add_column("min", df::ColumnType::kDouble);
+  frame.add_column("max", df::ColumnType::kDouble);
+  frame.add_column("mean", df::ColumnType::kDouble);
+  frame.add_column("p50", df::ColumnType::kDouble);
+  frame.add_column("p90", df::ColumnType::kDouble);
+  frame.add_column("p99", df::ColumnType::kDouble);
+
+  for (const auto& [name, metric] : counters_) {
+    const double v = static_cast<double>(metric->value());
+    frame.append_row({name, std::string("counter"), metric->value(), v, v, v,
+                      v, v, v, v});
+  }
+  for (const auto& [name, metric] : gauges_) {
+    const double v = metric->value();
+    frame.append_row({name, std::string("gauge"), std::int64_t{1}, v, v, v, v,
+                      v, v, v});
+  }
+  for (const auto& [name, metric] : histograms_) {
+    const bool empty = metric->count() == 0;
+    frame.append_row({name, std::string("histogram"), metric->count(),
+                      metric->sum(), metric->min(), metric->max(),
+                      metric->mean(), empty ? 0.0 : metric->percentile(50),
+                      empty ? 0.0 : metric->percentile(90),
+                      empty ? 0.0 : metric->percentile(99)});
+  }
+  return frame;
+}
+
+std::string Registry::to_json() const {
+  json::Value root{json::Object{}};
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, metric] : counters_) {
+    json::Value entry{json::Object{}};
+    entry.set("type", "counter");
+    entry.set("value", metric->value());
+    root.set(name, std::move(entry));
+  }
+  for (const auto& [name, metric] : gauges_) {
+    json::Value entry{json::Object{}};
+    entry.set("type", "gauge");
+    entry.set("value", metric->value());
+    root.set(name, std::move(entry));
+  }
+  for (const auto& [name, metric] : histograms_) {
+    json::Value entry{json::Object{}};
+    entry.set("type", "histogram");
+    entry.set("count", metric->count());
+    entry.set("sum", metric->sum());
+    entry.set("min", metric->min());
+    entry.set("max", metric->max());
+    entry.set("mean", metric->mean());
+    if (metric->count() > 0) {
+      entry.set("p50", metric->percentile(50));
+      entry.set("p90", metric->percentile(90));
+      entry.set("p99", metric->percentile(99));
+    }
+    json::Array counts;
+    for (const std::int64_t c : metric->bucket_counts()) {
+      counts.emplace_back(c);
+    }
+    entry.set("bucket_counts", std::move(counts));
+    root.set(name, std::move(entry));
+  }
+  return json::dump(root);
+}
+
+void Registry::write_files(const std::string& directory) const {
+  std::filesystem::create_directories(directory);
+  to_dataframe().to_csv_file(directory + "/metrics.csv");
+  std::ofstream out(directory + "/metrics.json");
+  if (!out) throw Error("cannot write metrics json in " + directory);
+  out << to_json() << "\n";
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->reset();
+  for (auto& [name, metric] : gauges_) metric->reset();
+  for (auto& [name, metric] : histograms_) metric->reset();
+}
+
+}  // namespace caraml::telemetry

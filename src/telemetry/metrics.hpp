@@ -1,0 +1,147 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms with percentile estimates.
+//
+// The registry mirrors the structure MLPerf Power and Prometheus clients
+// use: metric *registration* (name lookup / creation) takes a lock once,
+// after which the returned handle supports lock-free hot-path updates via
+// relaxed atomics — cheap enough for the simulator event loop and the
+// PowerScope sampling thread. Snapshots export through df::DataFrame so the
+// numbers land next to the benchmark CSVs in the same format.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "df/dataframe.hpp"
+
+namespace caraml::telemetry {
+
+namespace detail {
+// Portable atomic float ops (CAS loops; atomic<double>::fetch_add is C++20
+// but not guaranteed lock-free everywhere).
+void atomic_add(std::atomic<double>& target, double delta) noexcept;
+void atomic_min(std::atomic<double>& target, double value) noexcept;
+void atomic_max(std::atomic<double>& target, double value) noexcept;
+}  // namespace detail
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins double metric.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations in
+/// (bounds[i-1], bounds[i]]; one overflow bucket catches everything above
+/// the last bound. Percentiles interpolate linearly inside the bucket,
+/// clamped to the observed min/max.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  static std::vector<double> linear_buckets(double start, double width,
+                                            std::size_t count);
+  static std::vector<double> exponential_buckets(double start, double factor,
+                                                 std::size_t count);
+  /// Registry default: 1e-6 .. ~5e5 in x2 steps (covers ns..days in seconds,
+  /// and bytes..hundreds of KB).
+  static std::vector<double> default_buckets();
+
+  void observe(double value) noexcept;
+
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+  double min() const noexcept;  // 0 when empty
+  double max() const noexcept;  // 0 when empty
+
+  /// p in [0, 100]; throws caraml::Error when the histogram is empty.
+  double percentile(double p) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  std::vector<std::int64_t> bucket_counts() const;  // bounds.size() + 1
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Named metric store. `Registry::global()` is the process-wide instance the
+/// instrumented subsystems write to; tests can construct private registries.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Get-or-create. Handles stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is only consulted on first creation; empty means
+  /// Histogram::default_buckets().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds = {});
+
+  bool has(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Snapshot: one row per metric with columns
+  /// name, type, count, sum, min, max, mean, p50, p90, p99.
+  df::DataFrame to_dataframe() const;
+
+  /// Snapshot as a JSON object keyed by metric name.
+  std::string to_json() const;
+
+  /// Write `<dir>/metrics.csv` and `<dir>/metrics.json` (creates `dir`).
+  void write_files(const std::string& directory) const;
+
+  /// Zero every metric value; registrations (and handles) survive.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace caraml::telemetry

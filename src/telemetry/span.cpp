@@ -1,0 +1,170 @@
+#include "telemetry/span.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace caraml::telemetry {
+
+std::uint64_t Tracer::next_stamp() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Tracer() : stamp_(next_stamp()) {
+  const auto anchor = std::chrono::steady_clock::now();
+  clock_ = [anchor] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         anchor)
+        .count();
+  };
+}
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::set_clock(std::function<double()> now_seconds) {
+  CARAML_CHECK_MSG(now_seconds != nullptr, "tracer clock must be callable");
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(now_seconds);
+}
+
+double Tracer::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clock_();
+}
+
+std::uint32_t Tracer::track(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  tracks_.push_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+std::uint32_t Tracer::thread_track() {
+  static std::atomic<int> next_thread_number{0};
+  thread_local int thread_number = -1;
+  if (thread_number < 0) {
+    thread_number = next_thread_number.fetch_add(1, std::memory_order_relaxed);
+  }
+  thread_local std::uint64_t cached_stamp = 0;  // 0 never matches a tracer
+  thread_local std::uint32_t cached_track = 0;
+  const std::uint64_t stamp = stamp_.load(std::memory_order_relaxed);
+  if (cached_stamp != stamp) {
+    cached_track = track("thread/" + std::to_string(thread_number));
+    cached_stamp = stamp;
+  }
+  return cached_track;
+}
+
+void Tracer::add_span(const std::string& name, std::uint32_t track,
+                      double start_s, double dur_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(SpanEvent{name, track, start_s, dur_s, {}, 0.0, false});
+}
+
+void Tracer::add_span(const std::string& name, std::uint32_t track,
+                      double start_s, double dur_s,
+                      const std::string& arg_name, double arg_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(
+      SpanEvent{name, track, start_s, dur_s, arg_name, arg_value, true});
+}
+
+void Tracer::add_counter(const std::string& counter, const std::string& series,
+                         std::uint32_t track, double t_s, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back(CounterEvent{counter, series, track, t_s, value});
+}
+
+std::vector<SpanEvent> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<CounterEvent> Tracer::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<std::string> Tracer::track_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracks_;
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size() + counters_.size();
+}
+
+std::string Tracer::to_chrome_trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    separator();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+       << ",\"args\":{\"name\":\"" << json::escape(tracks_[t]) << "\"}}";
+  }
+  for (const auto& span : spans_) {
+    separator();
+    os << "{\"name\":\"" << json::escape(span.name)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.track
+       << ",\"ts\":" << span.start_s * 1e6 << ",\"dur\":" << span.dur_s * 1e6;
+    if (span.has_arg) {
+      os << ",\"args\":{\"" << json::escape(span.arg_name)
+         << "\":" << span.arg_value << "}";
+    }
+    os << "}";
+  }
+  for (const auto& counter : counters_) {
+    separator();
+    os << "{\"name\":\"" << json::escape(counter.name)
+       << "\",\"ph\":\"C\",\"pid\":1,\"tid\":" << counter.track
+       << ",\"ts\":" << counter.t_s * 1e6 << ",\"args\":{\""
+       << json::escape(counter.series) << "\":" << counter.value << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write trace: " + path);
+  out << to_chrome_trace();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracks_.clear();
+  spans_.clear();
+  counters_.clear();
+  stamp_.store(next_stamp(), std::memory_order_relaxed);
+}
+
+Span::Span(const char* name, Tracer& tracer) : name_(name) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  track_ = tracer.thread_track();
+  start_s_ = tracer.now();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  const double end_s = tracer_->now();
+  tracer_->add_span(name_, track_, start_s_, end_s - start_s_);
+}
+
+}  // namespace caraml::telemetry

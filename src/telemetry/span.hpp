@@ -1,0 +1,135 @@
+// Span-based tracing with Chrome-trace JSON export.
+//
+// A Tracer collects three kinds of trace events on one timeline:
+//   * spans    — ph:"X" complete events (RAII TELEMETRY_SPAN scopes, or
+//                explicit add_span calls for simulator busy intervals);
+//   * counters — ph:"C" events (power samples render as an overlay track
+//                in Perfetto / chrome://tracing);
+//   * track metadata — ph:"M" thread_name events naming each track.
+//
+// The timeline clock is injectable: by default `now()` is wall seconds since
+// tracer construction, but the simulator replays its *virtual* clock by
+// adding events with explicit timestamps (and the CLI can re-anchor the wall
+// clock with set_clock), so compute spans and power counters line up in one
+// Perfetto view.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace caraml::telemetry {
+
+struct SpanEvent {
+  std::string name;
+  std::uint32_t track = 0;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+  /// Optional single argument rendered into the event's "args" object
+  /// (e.g. "utilization" for simulator busy intervals).
+  std::string arg_name;
+  double arg_value = 0.0;
+  bool has_arg = false;
+};
+
+struct CounterEvent {
+  std::string name;    // counter track name, e.g. "power pynvml:gpu0"
+  std::string series;  // args key, e.g. "watts"
+  std::uint32_t track = 0;
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by TELEMETRY_SPAN and the instrumented
+  /// runners. Disabled by default: instrumentation is a no-op until the CLI
+  /// (or a test) enables it.
+  static Tracer& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Replace the timeline clock (seconds). Must not race with active spans;
+  /// call before instrumented code runs.
+  void set_clock(std::function<double()> now_seconds);
+  /// Current time on the trace timeline.
+  double now() const;
+
+  /// Get-or-create a named track; ids are dense and stable.
+  std::uint32_t track(const std::string& name);
+  /// Track for the calling thread ("thread/<n>"), created on first use.
+  std::uint32_t thread_track();
+
+  void add_span(const std::string& name, std::uint32_t track, double start_s,
+                double dur_s);
+  void add_span(const std::string& name, std::uint32_t track, double start_s,
+                double dur_s, const std::string& arg_name, double arg_value);
+  void add_counter(const std::string& counter, const std::string& series,
+                   std::uint32_t track, double t_s, double value);
+
+  std::vector<SpanEvent> spans() const;
+  std::vector<CounterEvent> counters() const;
+  std::vector<std::string> track_names() const;
+  std::size_t num_events() const;
+
+  /// Serialize as a Chrome trace-event JSON document ({"traceEvents": [...]})
+  /// with timestamps in microseconds.
+  std::string to_chrome_trace() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Drop all recorded events and tracks (enabled flag and clock survive).
+  void clear();
+
+ private:
+  static std::uint64_t next_stamp();
+
+  std::atomic<bool> enabled_{false};
+  // Unique identity of this tracer's current track table: assigned at
+  // construction and replaced by clear(). thread_track() caches per-thread
+  // ids against it, so neither address reuse of a destroyed Tracer nor
+  // clear() can serve a stale track id.
+  std::atomic<std::uint64_t> stamp_;
+  std::function<double()> clock_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> tracks_;
+  std::vector<SpanEvent> spans_;
+  std::vector<CounterEvent> counters_;
+};
+
+/// RAII span: records a ph:"X" event on the calling thread's track from
+/// construction to destruction. Free when the tracer is disabled. Nestable —
+/// overlapping spans on one track render as a flame stack in Perfetto.
+class Span {
+ public:
+  explicit Span(const char* name, Tracer& tracer = Tracer::global());
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing was disabled at entry
+  const char* name_;
+  std::uint32_t track_ = 0;
+  double start_s_ = 0.0;
+};
+
+#define CARAML_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define CARAML_TELEMETRY_CONCAT(a, b) CARAML_TELEMETRY_CONCAT_INNER(a, b)
+
+/// Usage: TELEMETRY_SPAN("llm/step");
+#define TELEMETRY_SPAN(name)                                     \
+  ::caraml::telemetry::Span CARAML_TELEMETRY_CONCAT(             \
+      caraml_telemetry_span_, __LINE__)(name)
+
+}  // namespace caraml::telemetry

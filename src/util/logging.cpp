@@ -1,6 +1,9 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 #include "util/error.hpp"
@@ -9,12 +12,60 @@ namespace caraml::log {
 
 namespace {
 std::atomic<Level> g_level{Level::kWarn};
+std::atomic<Format> g_format{Format::kText};
 std::mutex g_mutex;
+
+std::string timestamp_utc() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
+// Local JSON string escaping (telemetry::json would invert the layering:
+// telemetry depends on util).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
 }  // namespace
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 
 Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_format(Format format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+
+Format format() { return g_format.load(std::memory_order_relaxed); }
 
 std::string level_name(Level level) {
   switch (level) {
@@ -36,10 +87,39 @@ Level level_from_name(const std::string& name) {
   throw InvalidArgument("unknown log level: " + name);
 }
 
+std::string format_name(Format format) {
+  switch (format) {
+    case Format::kText: return "text";
+    case Format::kJson: return "json";
+  }
+  return "unknown";
+}
+
+Format format_from_name(const std::string& name) {
+  if (name == "text") return Format::kText;
+  if (name == "json") return Format::kJson;
+  throw InvalidArgument("unknown log format: " + name);
+}
+
+int thread_id() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void write(Level level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::string ts = timestamp_utc();
+  const int tid = thread_id();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  if (g_format.load(std::memory_order_relaxed) == Format::kJson) {
+    std::cerr << "{\"ts\":\"" << ts << "\",\"level\":\"" << level_name(level)
+              << "\",\"thread\":" << tid << ",\"msg\":\""
+              << json_escape(message) << "\"}\n";
+  } else {
+    std::cerr << "[" << ts << "] [" << level_name(level) << "] [t" << tid
+              << "] " << message << "\n";
+  }
 }
 
 }  // namespace caraml::log

@@ -1,4 +1,10 @@
-// Minimal thread-safe logging used across the CARAML libraries.
+// Minimal thread-safe structured logging used across the CARAML libraries.
+//
+// Lines carry an ISO-8601 UTC timestamp and a small sequential thread id.
+// Two output formats, switchable at runtime (CLI: --log-format json):
+//   text (default):  [2026-08-06T08:15:42.123Z] [info] [t0] message
+//   json:            {"ts":"...","level":"info","thread":0,"msg":"message"}
+// The streaming API (log::info() << ...) is unchanged.
 #pragma once
 
 #include <mutex>
@@ -9,15 +15,30 @@ namespace caraml::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Line format: classic text or one JSON object per line.
+enum class Format { kText = 0, kJson = 1 };
+
 /// Global log threshold; messages below it are dropped.
 void set_level(Level level);
 Level level();
+
+/// Global output format (default: text).
+void set_format(Format format);
+Format format();
 
 /// Convert between level and its lower-case name ("debug", "info", ...).
 std::string level_name(Level level);
 Level level_from_name(const std::string& name);
 
-/// Emit one formatted line ("[info] message") to stderr under a global lock.
+/// Convert between format and its name ("text", "json").
+std::string format_name(Format format);
+Format format_from_name(const std::string& name);
+
+/// Small sequential id of the calling thread (0 for the first thread that
+/// logs, 1 for the second, ...); stable for the thread's lifetime.
+int thread_id();
+
+/// Emit one formatted line to stderr under a global lock.
 void write(Level level, const std::string& message);
 
 namespace detail {

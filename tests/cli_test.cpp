@@ -4,6 +4,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -56,6 +58,53 @@ TEST(CaramlCli, OomReportedWithNonZeroExit) {
       " resnet --system A100 --batch 2048 --devices 1");
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.output.find("OOM"), std::string::npos);
+}
+
+TEST(CaramlCli, TelemetryFlagsProduceTraceMetricsAndManifest) {
+  const std::string dir = ::testing::TempDir() + "caraml_cli_telemetry";
+  run_command("rm -rf " + dir + " && mkdir -p " + dir);
+  const auto result = run_command(
+      std::string(CARAML_CLI_PATH) +
+      " llm --system GH200 --batch 512 --trace-out " + dir +
+      "/trace.json --metrics-out " + dir + "/out --log-format json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("tokens/s/GPU"), std::string::npos);
+
+  // Chrome trace contains both complete spans and power counter events.
+  std::ifstream trace(dir + "/trace.json");
+  ASSERT_TRUE(trace.good());
+  std::stringstream trace_text;
+  trace_text << trace.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("traceEvents"), std::string::npos);
+
+  // Metrics include the simulator event-loop counters and the PowerScope
+  // jitter histogram; the energy CSV and manifest land beside them.
+  std::ifstream metrics(dir + "/out/metrics.csv");
+  ASSERT_TRUE(metrics.good());
+  std::stringstream metrics_text;
+  metrics_text << metrics.rdbuf();
+  EXPECT_NE(metrics_text.str().find("sim/events_processed"),
+            std::string::npos);
+  EXPECT_NE(metrics_text.str().find("power/sample_jitter_ms"),
+            std::string::npos);
+  EXPECT_TRUE(std::ifstream(dir + "/out/energy.csv").good());
+  std::ifstream manifest(dir + "/out/manifest.jsonl");
+  ASSERT_TRUE(manifest.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(manifest, line));
+  EXPECT_NE(line.find("\"command\":\"llm\""), std::string::npos);
+  EXPECT_NE(line.find("\"system_tag\":\"GH200\""), std::string::npos);
+  EXPECT_NE(line.find("\"power_samples\""), std::string::npos);
+}
+
+TEST(CaramlCli, JsonLogFormatRejected) {
+  const auto result = run_command(std::string(CARAML_CLI_PATH) +
+                                  " llm --system GH200 --batch 512 "
+                                  "--log-format yaml");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("log format"), std::string::npos);
 }
 
 TEST(CaramlCli, UnknownCommandFails) {
