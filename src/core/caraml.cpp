@@ -1,7 +1,10 @@
 #include "core/caraml.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "core/resilient.hpp"
+#include "fault/fault.hpp"
 #include "topo/specs.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -14,6 +17,52 @@ std::string context_get(const jube::Context& context, const std::string& key,
                         const std::string& fallback) {
   const auto it = context.find(key);
   return it != context.end() ? it->second : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection parameters: when a workpackage context carries a fault plan
+// (file) or a nonzero fault rate, the train actions run resiliently and
+// annotate their output with status/restart/checkpoint lines the result
+// patterns pick up.
+// ---------------------------------------------------------------------------
+
+bool fault_requested(const jube::Context& context) {
+  return !context_get(context, "fault_plan", "").empty() ||
+         str::parse_double(context_get(context, "fault_rate", "0")) > 0.0;
+}
+
+ResilienceOptions resilience_from_context(const jube::Context& context,
+                                          int num_devices) {
+  ResilienceOptions options;
+  const std::string plan_file = context_get(context, "fault_plan", "");
+  if (!plan_file.empty()) {
+    options.plan = fault::FaultPlan::from_yaml_file(plan_file);
+  } else {
+    options.plan = fault::FaultPlan::generate(
+        static_cast<std::uint64_t>(
+            str::parse_int(context_get(context, "fault_seed", "0"))),
+        str::parse_double(context_get(context, "fault_rate", "0")),
+        str::parse_double(context_get(context, "fault_horizon_s", "60")),
+        std::max(1, num_devices));
+  }
+  options.retry.seed = options.plan.seed;
+  options.retry.max_attempts = static_cast<int>(
+      str::parse_int(context_get(context, "fault_retries", "3")));
+  options.steps = str::parse_int(context_get(context, "fault_steps", "50"));
+  options.checkpoint_every =
+      str::parse_int(context_get(context, "checkpoint_every", "10"));
+  options.checkpoint_dir = context_get(context, "checkpoint_dir", "");
+  return options;
+}
+
+void append_report(std::ostream& os, const fault::RunReport& report) {
+  os << "status: " << report.status << "\n"
+     << "fault_fingerprint: " << report.fault_fingerprint << "\n"
+     << "fault_events: " << report.fault_events << "\n"
+     << "oom_retries: " << report.oom_retries << "\n"
+     << "restarts: " << report.restarts << "\n"
+     << "checkpoints: " << report.checkpoints_saved << "\n"
+     << "steps_replayed: " << report.steps_replayed << "\n";
 }
 
 std::string llm_train_action(const jube::Context& context) {
@@ -40,6 +89,27 @@ std::string llm_train_action(const jube::Context& context) {
     os << "tokens_per_s: " << r.tokens_per_s << "\n"
        << "energy_wh: " << r.energy_per_epoch_wh << "\n"
        << "tokens_per_wh: " << r.tokens_per_wh << "\n";
+    return os.str();
+  }
+  if (fault_requested(context)) {
+    const int devices_for_plan =
+        config.devices > 0
+            ? config.devices
+            : topo::SystemRegistry::instance().by_tag(config.system_tag)
+                  .devices_per_node;
+    const ResilientLlmResult rr = run_llm_resilient(
+        config, resilience_from_context(context, devices_for_plan));
+    append_report(os, rr.report);
+    os << "effective_tokens_per_s: " << rr.effective_tokens_per_s_total
+       << "\n"
+       << "effective_avg_power_w: " << rr.effective_avg_power_per_gpu_w
+       << "\n";
+    if (!rr.base.oom) {
+      os << "tokens_per_s: " << rr.base.tokens_per_s_per_gpu << "\n"
+         << "energy_wh: " << rr.base.energy_per_gpu_wh << "\n"
+         << "tokens_per_wh: " << rr.base.tokens_per_wh << "\n"
+         << "avg_power_w: " << rr.base.avg_power_per_gpu_w << "\n";
+    }
     return os.str();
   }
   const LlmRunResult r = run_llm_gpu(config);
@@ -69,8 +139,24 @@ std::string resnet_train_action(const jube::Context& context) {
   else if (variant == "resnet50") config.variant = models::ResNetVariant::kResNet50;
   else throw InvalidArgument("unknown resnet variant: " + variant);
 
-  const ResnetRunResult r = run_resnet(config);
   std::ostringstream os;
+  if (fault_requested(context)) {
+    const ResilientResnetResult rr = run_resnet_resilient(
+        config, resilience_from_context(context, std::max(1, config.devices)));
+    append_report(os, rr.report);
+    os << "effective_images_per_s: " << rr.effective_images_per_s_total
+       << "\n"
+       << "effective_avg_power_w: " << rr.effective_avg_power_per_device_w
+       << "\n";
+    if (!rr.base.oom) {
+      os << "images_per_s: " << rr.base.images_per_s_total << "\n"
+         << "energy_wh: " << rr.base.energy_per_epoch_wh << "\n"
+         << "images_per_wh: " << rr.base.images_per_wh << "\n"
+         << "avg_power_w: " << rr.base.avg_power_per_device_w << "\n";
+    }
+    return os.str();
+  }
+  const ResnetRunResult r = run_resnet(config);
   if (r.oom) {
     os << "status: OOM\n";
     return os.str();
@@ -90,14 +176,27 @@ void register_caraml_actions(jube::ActionRegistry& registry) {
 }
 
 std::vector<jube::Pattern> caraml_patterns() {
+  // \b keeps the base metrics from matching inside the "effective_*" lines
+  // a resilient run emits ("_" is a word character, so there is no boundary
+  // after the prefix).
   return {
-      {"tokens_per_s", R"(tokens_per_s:\s*([0-9.eE+-]+))"},
-      {"images_per_s", R"(images_per_s:\s*([0-9.eE+-]+))"},
-      {"energy_wh", R"(energy_wh:\s*([0-9.eE+-]+))"},
-      {"tokens_per_wh", R"(tokens_per_wh:\s*([0-9.eE+-]+))"},
-      {"images_per_wh", R"(images_per_wh:\s*([0-9.eE+-]+))"},
-      {"avg_power_w", R"(avg_power_w:\s*([0-9.eE+-]+))"},
+      {"tokens_per_s", R"(\btokens_per_s:\s*([0-9.eE+-]+))"},
+      {"images_per_s", R"(\bimages_per_s:\s*([0-9.eE+-]+))"},
+      {"energy_wh", R"(\benergy_wh:\s*([0-9.eE+-]+))"},
+      {"tokens_per_wh", R"(\btokens_per_wh:\s*([0-9.eE+-]+))"},
+      {"images_per_wh", R"(\bimages_per_wh:\s*([0-9.eE+-]+))"},
+      {"avg_power_w", R"(\bavg_power_w:\s*([0-9.eE+-]+))"},
       {"status", R"(status:\s*(\w+))"},
+      {"fault_fingerprint", R"(fault_fingerprint:\s*([0-9a-f]+))"},
+      {"fault_events", R"(fault_events:\s*([0-9]+))"},
+      {"oom_retries", R"(oom_retries:\s*([0-9]+))"},
+      {"restarts", R"(\brestarts:\s*([0-9]+))"},
+      {"checkpoints", R"(checkpoints:\s*([0-9]+))"},
+      {"steps_replayed", R"(steps_replayed:\s*([0-9]+))"},
+      {"effective_tokens_per_s",
+       R"(effective_tokens_per_s:\s*([0-9.eE+-]+))"},
+      {"effective_images_per_s",
+       R"(effective_images_per_s:\s*([0-9.eE+-]+))"},
   };
 }
 

@@ -23,7 +23,9 @@
 #include "core/caraml.hpp"
 #include "core/experiments.hpp"
 #include "core/inference.hpp"
+#include "core/resilient.hpp"
 #include "core/time_to_solution.hpp"
+#include "fault/fault.hpp"
 #include "power/clock.hpp"
 #include "power/combine.hpp"
 #include "power/methods_sim.hpp"
@@ -56,6 +58,79 @@ void add_telemetry_options(ArgParser& parser) {
                     std::string("text"));
 }
 
+// ---------------------------------------------------------------------------
+// Fault-injection flags shared by llm / resnet / inference / run.
+// ---------------------------------------------------------------------------
+
+void add_fault_options(ArgParser& parser) {
+  parser.add_option("fault-plan", "YAML fault-plan file ('' = none)",
+                    std::string(""));
+  parser.add_option("fault-seed", "fault-injection seed", std::string("0"));
+  parser.add_option("fault-rate",
+                    "injected faults per simulated minute (0 = off)",
+                    std::string("0"));
+  parser.add_option("fault-horizon",
+                    "simulated seconds the generated plan covers",
+                    std::string("60"));
+  parser.add_option("fault-steps", "training steps of the resilient run",
+                    std::string("50"));
+  parser.add_option("checkpoint-every", "steps between checkpoints",
+                    std::string("10"));
+  parser.add_option("checkpoint-dir",
+                    "persist the latest checkpoint here ('' = off)",
+                    std::string(""));
+  parser.add_option("retries", "max attempts per failure", std::string("3"));
+}
+
+bool fault_active(const ArgParser& parser) {
+  return !parser.get("fault-plan").empty() ||
+         parser.get_double("fault-rate") > 0.0;
+}
+
+core::ResilienceOptions resilience_from_parser(const ArgParser& parser,
+                                               int num_devices) {
+  core::ResilienceOptions options;
+  if (!parser.get("fault-plan").empty()) {
+    options.plan = fault::FaultPlan::from_yaml_file(parser.get("fault-plan"));
+  } else {
+    options.plan = fault::FaultPlan::generate(
+        static_cast<std::uint64_t>(parser.get_int("fault-seed")),
+        parser.get_double("fault-rate"), parser.get_double("fault-horizon"),
+        std::max(1, num_devices));
+  }
+  options.retry.seed = options.plan.seed;
+  options.retry.max_attempts = static_cast<int>(parser.get_int("retries"));
+  options.steps = parser.get_int("fault-steps");
+  options.checkpoint_every = parser.get_int("checkpoint-every");
+  options.checkpoint_dir = parser.get("checkpoint-dir");
+  return options;
+}
+
+std::map<std::string, std::string> fault_config_entries(
+    const ArgParser& parser) {
+  return {{"fault_plan", parser.get("fault-plan")},
+          {"fault_seed", parser.get("fault-seed")},
+          {"fault_rate", parser.get("fault-rate")},
+          {"retries", parser.get("retries")}};
+}
+
+void print_report(const fault::RunReport& report,
+                  const fault::FaultPlan& plan) {
+  std::cout << "  fault plan    : seed " << plan.seed << ", "
+            << plan.events.size() << " event(s), fingerprint "
+            << report.fault_fingerprint << "\n"
+            << "  steps         : " << report.steps_completed << "/"
+            << report.steps_total << " (replayed " << report.steps_replayed
+            << ")\n"
+            << "  recovery      : " << report.restarts << " restart(s), "
+            << report.oom_retries << " OOM retr(y/ies), "
+            << report.checkpoints_saved << " checkpoint(s), "
+            << units::format_fixed(report.lost_time_s, 2) << " s lost\n";
+  for (const auto& incident : report.incidents) {
+    std::cout << "  incident      : " << incident << "\n";
+  }
+}
+
 struct TelemetryCli {
   std::string metrics_out;
   std::string trace_out;
@@ -81,7 +156,8 @@ struct TelemetryCli {
   void finish(const std::string& command, const std::string& system_tag,
               const std::map<std::string, std::string>& config,
               const std::map<std::string, double>& results,
-              const std::optional<sim::PowerTrace>& device_trace) const {
+              const std::optional<sim::PowerTrace>& device_trace,
+              const fault::RunReport* report = nullptr) const {
     telemetry::Manifest manifest;
     manifest.command = command;
     manifest.timestamp = telemetry::iso8601_utc_now();
@@ -89,6 +165,16 @@ struct TelemetryCli {
     manifest.git_revision = telemetry::git_describe();
     manifest.config = config;
     manifest.results = results;
+    if (report != nullptr) {
+      manifest.status = report->status;
+      manifest.fault_seed = report->fault_seed;
+      manifest.fault_fingerprint = report->fault_fingerprint;
+      manifest.fault_events = report->fault_events;
+      manifest.oom_retries = report->oom_retries;
+      manifest.restarts = report->restarts;
+      manifest.checkpoints = report->checkpoints_saved;
+      manifest.steps_replayed = report->steps_replayed;
+    }
 
     auto& tracer = telemetry::Tracer::global();
     if (!metrics_out.empty() && device_trace.has_value()) {
@@ -115,6 +201,8 @@ struct TelemetryCli {
       manifest.sample_overruns = diag.overruns;
       manifest.sample_jitter_ms_mean = diag.jitter_ms_mean;
       manifest.sample_jitter_ms_max = diag.jitter_ms_max;
+      manifest.method_errors = diag.method_errors;
+      manifest.methods_quarantined = diag.methods_quarantined;
     }
     if (!metrics_out.empty()) {
       telemetry::Registry::global().write_files(metrics_out);
@@ -150,6 +238,9 @@ int cmd_run(const std::vector<std::string>& args) {
   ArgParser parser("caraml run", "run a JUBE benchmark script");
   parser.add_option("script", "YAML script path");
   parser.add_option("tag", "system tag", std::string(""));
+  parser.add_option("step-timeout", "seconds per step attempt (0 = none)",
+                    std::string("0"));
+  add_fault_options(parser);
   if (!parser.parse(args)) return 0;
 
   jube::Benchmark benchmark =
@@ -162,7 +253,40 @@ int cmd_run(const std::vector<std::string>& args) {
   std::set<std::string> tags;
   if (!parser.get("tag").empty()) tags.insert(parser.get("tag"));
 
-  const auto result = benchmark.run(registry, tags);
+  const bool resilient =
+      fault_active(parser) || parser.get_double("step-timeout") > 0.0;
+  jube::RunResult result;
+  if (resilient) {
+    if (fault_active(parser)) {
+      // Thread the fault flags into every workpackage context so the train
+      // actions pick them up (see fault_requested in caraml.cpp).
+      const auto single = [](const std::string& name,
+                             const std::string& value) {
+        return jube::Parameter{name, {value}, ""};
+      };
+      jube::ParameterSet fault_set;
+      fault_set.name = "fault_injection";
+      fault_set.parameters = {
+          single("fault_plan", parser.get("fault-plan")),
+          single("fault_seed", parser.get("fault-seed")),
+          single("fault_rate", parser.get("fault-rate")),
+          single("fault_horizon_s", parser.get("fault-horizon")),
+          single("fault_steps", parser.get("fault-steps")),
+          single("checkpoint_every", parser.get("checkpoint-every")),
+          single("checkpoint_dir", parser.get("checkpoint-dir")),
+          single("fault_retries", parser.get("retries")),
+      };
+      benchmark.add_parameter_set(std::move(fault_set));
+    }
+    jube::RunOptions options;
+    options.retry.max_attempts = static_cast<int>(parser.get_int("retries"));
+    options.retry.seed =
+        static_cast<std::uint64_t>(parser.get_int("fault-seed"));
+    options.step_timeout_s = parser.get_double("step-timeout");
+    result = benchmark.run(registry, tags, options);
+  } else {
+    result = benchmark.run(registry, tags);
+  }
   std::cout << "benchmark '" << benchmark.name() << "': "
             << result.workpackages.size() << " workpackages\n";
   const bool llm = benchmark.name().find("llm") != std::string::npos;
@@ -173,6 +297,14 @@ int cmd_run(const std::vector<std::string>& args) {
                                      "images_per_s", "energy_wh",
                                      "images_per_wh", "status"};
   std::cout << result.table(columns).render();
+  int failed = 0;
+  for (const auto& wp : result.workpackages) {
+    if (wp.status == "failed") ++failed;
+  }
+  if (failed > 0) {
+    std::cout << failed << " workpackage(s) failed\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -188,6 +320,7 @@ int cmd_llm(const std::vector<std::string>& args) {
   parser.add_option("nodes", "number of nodes", std::string("1"));
   parser.add_option("model", "117M|800M|13B|175B", std::string("800M"));
   add_telemetry_options(parser);
+  add_fault_options(parser);
   if (!parser.parse(args)) return 0;
   const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
 
@@ -230,8 +363,7 @@ int cmd_llm(const std::vector<std::string>& args) {
   else if (model == "175B") config.model = models::GptConfig::gpt_175b();
   else throw caraml::InvalidArgument("unknown model: " + model);
 
-  const auto result = core::run_llm_gpu(config);
-  const std::map<std::string, std::string> run_config = {
+  std::map<std::string, std::string> run_config = {
       {"model", config.model.name},
       {"global_batch", std::to_string(config.global_batch)},
       {"micro_batch", std::to_string(config.micro_batch)},
@@ -239,6 +371,46 @@ int cmd_llm(const std::vector<std::string>& args) {
       {"tp", std::to_string(config.tensor_parallel)},
       {"pp", std::to_string(config.pipeline_parallel)},
       {"nodes", std::to_string(config.num_nodes)}};
+
+  if (fault_active(parser)) {
+    const auto& node =
+        topo::SystemRegistry::instance().by_tag(config.system_tag);
+    const int devices =
+        (config.devices > 0 ? config.devices : node.devices_per_node) *
+        config.num_nodes;
+    const auto options = resilience_from_parser(parser, devices);
+    const auto resilient = core::run_llm_resilient(config, options);
+    for (const auto& [key, value] : fault_config_entries(parser)) {
+      run_config[key] = value;
+    }
+    std::cout << config.system_tag << ", " << config.model.name
+              << ": resilient run -> " << resilient.report.status << "\n";
+    print_report(resilient.report, options.plan);
+    std::cout << "  micro batch   : " << resilient.final_micro_batch << "\n"
+              << "  eff tokens/s  : "
+              << units::format_fixed(resilient.effective_tokens_per_s_total, 1)
+              << "\n"
+              << "  eff power/GPU : "
+              << units::format_watts(resilient.effective_avg_power_per_gpu_w)
+              << "\n";
+    if (telemetry.active()) {
+      telemetry.finish(
+          "llm", config.system_tag, run_config,
+          {{"effective_tokens_per_s", resilient.effective_tokens_per_s_total},
+           {"effective_avg_power_per_gpu_w",
+            resilient.effective_avg_power_per_gpu_w},
+           {"effective_energy_per_gpu_wh",
+            resilient.effective_energy_per_gpu_wh},
+           {"steps_completed",
+            static_cast<double>(resilient.report.steps_completed)},
+           {"final_micro_batch",
+            static_cast<double>(resilient.final_micro_batch)}},
+          resilient.base.device0_trace, &resilient.report);
+    }
+    return resilient.report.status == "failed" ? 1 : 0;
+  }
+
+  const auto result = core::run_llm_gpu(config);
   if (result.oom) {
     std::cout << "OOM: " << result.oom_message << "\n";
     if (telemetry.active()) {
@@ -285,6 +457,7 @@ int cmd_resnet(const std::vector<std::string>& args) {
   parser.add_option("variant", "resnet18|resnet34|resnet50",
                     std::string("resnet50"));
   add_telemetry_options(parser);
+  add_fault_options(parser);
   if (!parser.parse(args)) return 0;
   const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
 
@@ -298,12 +471,48 @@ int cmd_resnet(const std::vector<std::string>& args) {
   else if (variant == "resnet34") config.variant = models::ResNetVariant::kResNet34;
   else if (variant == "resnet50") config.variant = models::ResNetVariant::kResNet50;
   else throw caraml::InvalidArgument("unknown variant: " + variant);
-  const auto result = core::run_resnet(config);
-  const std::map<std::string, std::string> run_config = {
+  std::map<std::string, std::string> run_config = {
       {"variant", variant},
       {"global_batch", std::to_string(config.global_batch)},
       {"devices", std::to_string(config.devices)},
       {"synthetic", config.synthetic_data ? "1" : "0"}};
+
+  if (fault_active(parser)) {
+    const auto options =
+        resilience_from_parser(parser, std::max(1, config.devices));
+    const auto resilient = core::run_resnet_resilient(config, options);
+    for (const auto& [key, value] : fault_config_entries(parser)) {
+      run_config[key] = value;
+    }
+    std::cout << config.system_tag << ", ResNet: resilient run -> "
+              << resilient.report.status << "\n";
+    print_report(resilient.report, options.plan);
+    std::cout << "  global batch  : " << resilient.final_global_batch << "\n"
+              << "  eff images/s  : "
+              << units::format_fixed(resilient.effective_images_per_s_total, 1)
+              << "\n"
+              << "  eff power/dev : "
+              << units::format_watts(
+                     resilient.effective_avg_power_per_device_w)
+              << "\n";
+    if (telemetry.active()) {
+      telemetry.finish(
+          "resnet", config.system_tag, run_config,
+          {{"effective_images_per_s", resilient.effective_images_per_s_total},
+           {"effective_avg_power_per_device_w",
+            resilient.effective_avg_power_per_device_w},
+           {"effective_energy_per_device_wh",
+            resilient.effective_energy_per_device_wh},
+           {"steps_completed",
+            static_cast<double>(resilient.report.steps_completed)},
+           {"final_global_batch",
+            static_cast<double>(resilient.final_global_batch)}},
+          resilient.base.device0_trace, &resilient.report);
+    }
+    return resilient.report.status == "failed" ? 1 : 0;
+  }
+
+  const auto result = core::run_resnet(config);
   if (result.oom) {
     std::cout << "OOM: " << result.oom_message << "\n";
     if (telemetry.active()) {
@@ -342,6 +551,7 @@ int cmd_inference(const std::vector<std::string>& args) {
   parser.add_option("prompt", "prompt tokens", std::string("512"));
   parser.add_option("generate", "generated tokens", std::string("128"));
   add_telemetry_options(parser);
+  add_fault_options(parser);
   if (!parser.parse(args)) return 0;
   const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
 
@@ -350,16 +560,57 @@ int cmd_inference(const std::vector<std::string>& args) {
   config.batch = parser.get_int("batch");
   config.prompt_tokens = parser.get_int("prompt");
   config.generate_tokens = parser.get_int("generate");
-  const auto result = core::run_llm_inference(config);
-  const std::map<std::string, std::string> run_config = {
+
+  // Inference has no step timeline to checkpoint; fault flags stamp the
+  // manifest with the plan's provenance and retry a flaky run.
+  std::optional<core::ResilienceOptions> resilience;
+  fault::RunReport report;
+  if (fault_active(parser)) {
+    resilience = resilience_from_parser(parser, 1);
+    report.fault_seed = resilience->plan.seed;
+    report.fault_fingerprint = resilience->plan.fingerprint();
+    report.fault_events =
+        static_cast<std::int64_t>(resilience->plan.events.size());
+  }
+  std::map<std::string, std::string> run_config = {
       {"batch", std::to_string(config.batch)},
       {"prompt_tokens", std::to_string(config.prompt_tokens)},
       {"generate_tokens", std::to_string(config.generate_tokens)}};
+  if (resilience.has_value()) {
+    for (const auto& [key, value] : fault_config_entries(parser)) {
+      run_config[key] = value;
+    }
+  }
+
+  core::InferenceResult result;
+  if (resilience.has_value()) {
+    const fault::RetryOutcome outcome = fault::retry_with_backoff(
+        "inference", resilience->retry,
+        [&]() { result = core::run_llm_inference(config); });
+    if (!outcome.succeeded) {
+      report.status = "failed";
+      report.incidents.push_back(outcome.last_error);
+      std::cout << "inference failed after " << outcome.attempts
+                << " attempt(s): " << outcome.last_error << "\n";
+      if (telemetry.active()) {
+        telemetry.finish("inference", config.system_tag, run_config,
+                         {{"attempts", static_cast<double>(outcome.attempts)}},
+                         std::nullopt, &report);
+      }
+      return 1;
+    }
+    if (outcome.attempts > 1) report.status = "degraded";
+  } else {
+    result = core::run_llm_inference(config);
+  }
+
   if (result.oom) {
+    if (resilience.has_value()) report.status = "failed";
     std::cout << "OOM: " << result.oom_message << "\n";
     if (telemetry.active()) {
       telemetry.finish("inference", config.system_tag, run_config,
-                       {{"oom", 1.0}}, std::nullopt);
+                       {{"oom", 1.0}}, std::nullopt,
+                       resilience.has_value() ? &report : nullptr);
     }
     return 1;
   }
@@ -370,7 +621,7 @@ int cmd_inference(const std::vector<std::string>& args) {
          {"tokens_per_s_per_user", result.tokens_per_s_per_user},
          {"tokens_per_s_total", result.tokens_per_s_total},
          {"energy_per_1k_tokens_wh", result.energy_per_1k_tokens_wh}},
-        std::nullopt);
+        std::nullopt, resilience.has_value() ? &report : nullptr);
   }
   std::cout << result.system << ", batch " << result.batch << ":\n"
             << "  time-to-first-token : "
@@ -448,7 +699,19 @@ void print_usage() {
       "telemetry (llm / resnet / inference):\n"
       "  --metrics-out DIR   metrics.csv/json, energy CSVs, manifest.jsonl\n"
       "  --trace-out FILE    Chrome-trace JSON (open in Perfetto)\n"
-      "  --log-format FMT    text (default) or json structured logs\n";
+      "  --log-format FMT    text (default) or json structured logs\n\n"
+      "fault injection (llm / resnet / inference / run):\n"
+      "  --fault-plan FILE   YAML fault schedule (device/throttle/link/sensor)\n"
+      "  --fault-seed N --fault-rate R\n"
+      "                      generate a deterministic plan instead (R faults\n"
+      "                      per simulated minute over --fault-horizon s)\n"
+      "  --fault-steps N --checkpoint-every K --checkpoint-dir DIR\n"
+      "                      resilient training timeline: N steps with a\n"
+      "                      checkpoint every K (persisted to DIR when set)\n"
+      "  --retries N         bounded retry budget (restarts, step attempts)\n"
+      "  --step-timeout S    per-step attempt timeout for `caraml run`\n"
+      "exit code is nonzero when the run (or any workpackage) ends failed;\n"
+      "the manifest line is still written with status/fault annotations.\n";
 }
 
 }  // namespace

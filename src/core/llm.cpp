@@ -92,8 +92,15 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
   // Power during the (possibly contention-stalled) kernels: stalls draw idle
   // power on GH200 (host-memory waits) but busy-wait power on MI250
   // (Infinity-Fabric communication), cf. topo::NodeSpec::contention_power_frac.
+  CARAML_CHECK_MSG(config.compute_time_factor >= 1.0 &&
+                       config.link_time_factor >= 1.0,
+                   "derate time factors must be >= 1");
+  CARAML_CHECK_MSG(config.power_cap_factor > 0.0 &&
+                       config.power_cap_factor <= 1.0,
+                   "power cap factor must be in (0, 1]");
   const double power_util =
-      mfu + node.contention_power_frac * (node.device.max_mfu_gemm - mfu);
+      config.power_cap_factor *
+      (mfu + node.contention_power_frac * (node.device.max_mfu_gemm - mfu));
   const double flops_micro = config.model.flops_per_token_train() *
                              micro_tokens / (tp * pp);
   double t_micro = flops_micro / (node.device.peak_fp16_flops * mfu) +
@@ -121,6 +128,10 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
   }
 
   ClusterSim cluster(node, devices_per_node, config.num_nodes);
+  for (int d = 0; d < num_devices; ++d) {
+    cluster.set_compute_derate(d, config.compute_time_factor);
+    cluster.set_link_derate(d, config.link_time_factor);
+  }
   TaskGraph& graph = cluster.graph();
 
   // Host-side fixed per-iteration work (data prep, launch storm, logging).
@@ -139,9 +150,9 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
     TaskId prev = host_done[static_cast<std::size_t>(d)];
     for (std::int64_t m = 0; m < n_micro + bubble_slots; ++m) {
       const bool bubble = m >= n_micro;
-      const TaskId task = graph.add_task(cluster.compute(d), t_micro,
-                                         bubble ? 0.0 : power_util,
-                                         bubble ? "bubble" : "micro");
+      const TaskId task = graph.add_task(
+          cluster.compute(d), t_micro * cluster.compute_derate(d),
+          bubble ? 0.0 : power_util, bubble ? "bubble" : "micro");
       graph.add_dependency(prev, task);
       prev = task;
     }
@@ -161,8 +172,9 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
   const double opt_bytes = memory.model_state_bytes();
   const double t_opt = opt_bytes / node.device.mem_bandwidth;
   for (int d = 0; d < num_devices; ++d) {
-    const TaskId opt =
-        graph.add_task(cluster.compute(d), t_opt, 0.08, "optimizer");
+    const TaskId opt = graph.add_task(
+        cluster.compute(d), t_opt * cluster.compute_derate(d), 0.08,
+        "optimizer");
     graph.add_dependency(
         reduced[static_cast<std::size_t>(d % static_cast<int>(reduced.size()))],
         opt);

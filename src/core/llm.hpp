@@ -29,6 +29,14 @@ struct LlmRunConfig {
   int num_nodes = 1;
   int devices = -1;                    // -1: all devices of the node
   double exit_duration_min = 60.0;     // paper reports energy for 1 h
+
+  // Fault-injection derates (src/fault): a thermal-throttle or power-cap
+  // window overlapping the run slows kernels (time factor >= 1), caps the
+  // utilization the power model sees (power factor in (0, 1]), and
+  // stretches every ring transfer (link factor >= 1).
+  double compute_time_factor = 1.0;
+  double power_cap_factor = 1.0;
+  double link_time_factor = 1.0;
 };
 
 struct LlmRunResult {

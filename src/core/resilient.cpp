@@ -1,0 +1,260 @@
+#include "core/resilient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "fault/checkpoint.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "util/error.hpp"
+
+namespace caraml::core {
+
+namespace {
+
+std::string format(const char* fmt, double a, double b = 0.0) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer), fmt, a, b);
+  return buffer;
+}
+
+struct Timeline {
+  double busy_s = 0.0;  // device-compute time, including replayed steps
+};
+
+/// Walk the training-step timeline against the plan's device failures:
+/// periodic checkpoints cost wall time; a failure rewinds to the last
+/// checkpoint (replaying the steps since), pays the restart cost plus the
+/// policy's deterministic backoff, and consumes one restart from the budget.
+/// Exhausting the budget marks the run failed with partial accounting.
+Timeline walk_steps(const ResilienceOptions& options, double iteration_s,
+                    std::int64_t samples_per_step, fault::RunReport& report) {
+  CARAML_CHECK_MSG(options.steps >= 1, "resilient run needs >= 1 step");
+  CARAML_CHECK_MSG(options.checkpoint_every >= 1,
+                   "checkpoint interval must be >= 1 step");
+  CARAML_CHECK_MSG(iteration_s > 0.0, "iteration time must be positive");
+
+  auto& registry = telemetry::Registry::global();
+  const std::vector<double> failures = options.plan.failure_times();
+  const int max_restarts = std::max(0, options.retry.max_attempts - 1);
+
+  Timeline timeline;
+  report.steps_total = options.steps;
+  double t = 0.0;          // wall clock
+  double ckpt_wall = 0.0;  // wall time of the last completed checkpoint
+  std::int64_t step = 0;
+  std::int64_t last_ckpt = 0;
+  std::size_t fi = 0;
+  while (step < report.steps_total) {
+    const double step_end = t + iteration_s;
+    if (fi < failures.size() && failures[fi] <= step_end) {
+      // A device dies while this step computes.
+      const double strike = std::max(failures[fi], t);
+      ++fi;
+      registry.counter("fault/device_failures").add();
+      timeline.busy_s += strike - t;  // partial, wasted compute
+      if (report.restarts >= max_restarts) {
+        report.status = "failed";
+        report.incidents.push_back(
+            format("device failure at t=%.1fs: restart budget (%.0f) "
+                   "exhausted",
+                   strike, static_cast<double>(max_restarts)));
+        report.lost_time_s += strike - ckpt_wall;
+        report.steps_replayed += step - last_ckpt;
+        step = last_ckpt;  // work since the checkpoint never completed
+        t = strike;
+        break;
+      }
+      ++report.restarts;
+      registry.counter("fault/restarts").add();
+      const double backoff = options.retry.delay_s(report.restarts + 1);
+      report.incidents.push_back(
+          format("device failure at t=%.1fs: restarting from step %.0f",
+                 strike, static_cast<double>(last_ckpt)));
+      report.steps_replayed += step - last_ckpt;
+      report.lost_time_s +=
+          (strike - ckpt_wall) + options.restart_cost_s + backoff;
+      step = last_ckpt;
+      t = strike + options.restart_cost_s + backoff;
+      ckpt_wall = t;  // the restart resumes exactly at the checkpoint
+      continue;
+    }
+
+    timeline.busy_s += iteration_s;
+    t = step_end;
+    ++step;
+    if (step - last_ckpt >= options.checkpoint_every &&
+        step < report.steps_total) {
+      t += options.checkpoint_cost_s;
+      last_ckpt = step;
+      ckpt_wall = t;
+      ++report.checkpoints_saved;
+      registry.counter("fault/checkpoints").add();
+      if (!options.checkpoint_dir.empty()) {
+        fault::TrainingCheckpoint checkpoint;
+        checkpoint.step = step;
+        checkpoint.samples_consumed = step * samples_per_step;
+        checkpoint.optimizer_clock_s = timeline.busy_s;
+        checkpoint.sampler_state =
+            options.plan.seed ^ static_cast<std::uint64_t>(step);
+        checkpoint.save(options.checkpoint_dir + "/checkpoint.json");
+      }
+    }
+  }
+  report.steps_completed = step;
+  report.wall_time_s = t;
+  return timeline;
+}
+
+/// Whole-run derate window: the plan's horizon, stretched to cover every
+/// scheduled window.
+double derate_window(const fault::FaultPlan& plan) {
+  double window = plan.horizon_s;
+  for (const auto& event : plan.events) {
+    window = std::max(window, event.time_s + event.duration_s);
+  }
+  return window;
+}
+
+void stamp_plan(const fault::FaultPlan& plan, fault::RunReport& report) {
+  report.fault_seed = plan.seed;
+  report.fault_fingerprint = plan.fingerprint();
+  report.fault_events = static_cast<std::int64_t>(plan.events.size());
+}
+
+/// Fold the plan's throttle/link windows into the run config's scalar
+/// factors, annotating the report when the run is measurably derated.
+template <typename Config>
+void apply_derates(const fault::FaultPlan& plan, Config& config,
+                   fault::RunReport& report) {
+  const double window = derate_window(plan);
+  if (window <= 0.0) return;
+  const fault::Derate derate = plan.average_derate(-1, 0.0, window);
+  const double link = plan.average_link_derate(-1, 0.0, window);
+  config.compute_time_factor *= derate.time_factor;
+  config.power_cap_factor *= derate.power_factor;
+  config.link_time_factor *= link;
+  if (derate.time_factor > 1.0 + 1e-12) {
+    report.incidents.push_back(
+        format("thermal throttle: compute derated x%.3f, power capped x%.3f",
+               derate.time_factor, derate.power_factor));
+  }
+  if (link > 1.0 + 1e-12) {
+    report.incidents.push_back(
+        format("link degradation: transfers stretched x%.3f", link));
+  }
+  if (const std::size_t dropouts = plan.count(fault::FaultKind::kSensorDropout);
+      dropouts > 0) {
+    report.incidents.push_back(
+        format("%.0f sensor dropout window(s): power sampling degraded",
+               static_cast<double>(dropouts)));
+  }
+}
+
+void finalize_status(fault::RunReport& report) {
+  if (report.status == "failed") return;
+  report.status = report.incidents.empty() ? "ok" : "degraded";
+}
+
+}  // namespace
+
+ResilientLlmResult run_llm_resilient(LlmRunConfig config,
+                                     const ResilienceOptions& options) {
+  TELEMETRY_SPAN("llm/run_resilient");
+  ResilientLlmResult out;
+  fault::RunReport& report = out.report;
+  stamp_plan(options.plan, report);
+  apply_derates(options.plan, config, report);
+
+  // OOM graceful degradation: halve the micro-batch until the model fits.
+  LlmRunResult run = run_llm_gpu(config);
+  while (run.oom && config.micro_batch > 1) {
+    ++report.oom_retries;
+    telemetry::Registry::global().counter("fault/oom_retries").add();
+    report.incidents.push_back(
+        format("OOM at micro-batch %.0f: retrying at %.0f",
+               static_cast<double>(config.micro_batch),
+               static_cast<double>(config.micro_batch / 2)));
+    config.micro_batch /= 2;
+    run = run_llm_gpu(config);
+  }
+  out.final_micro_batch = config.micro_batch;
+  if (run.oom) {
+    report.status = "failed";
+    report.incidents.push_back("OOM at micro-batch 1: " + run.oom_message);
+    out.base = std::move(run);
+    return out;
+  }
+
+  const std::int64_t tokens_per_step =
+      config.global_batch * config.model.seq_length;
+  const Timeline timeline =
+      walk_steps(options, run.iteration_time_s, tokens_per_step, report);
+
+  const double wall = std::max(report.wall_time_s, 1e-12);
+  out.effective_tokens_per_s_total =
+      static_cast<double>(report.steps_completed * tokens_per_step) / wall;
+  const double idle_w =
+      run.device0_trace ? run.device0_trace->idle_power() : 0.0;
+  out.effective_avg_power_per_gpu_w =
+      (run.avg_power_per_gpu_w * timeline.busy_s +
+       idle_w * std::max(0.0, wall - timeline.busy_s)) /
+      wall;
+  out.effective_energy_per_gpu_wh =
+      out.effective_avg_power_per_gpu_w * wall / 3600.0;
+  finalize_status(report);
+  out.base = std::move(run);
+  return out;
+}
+
+ResilientResnetResult run_resnet_resilient(ResnetRunConfig config,
+                                           const ResilienceOptions& options) {
+  TELEMETRY_SPAN("resnet/run_resilient");
+  ResilientResnetResult out;
+  fault::RunReport& report = out.report;
+  stamp_plan(options.plan, report);
+  apply_derates(options.plan, config, report);
+
+  // OOM degradation: halve the global batch while it still divides evenly
+  // across the devices.
+  ResnetRunResult run = run_resnet(config);
+  while (run.oom && config.global_batch / 2 >= config.devices &&
+         (config.global_batch / 2) % config.devices == 0) {
+    ++report.oom_retries;
+    telemetry::Registry::global().counter("fault/oom_retries").add();
+    report.incidents.push_back(
+        format("OOM at global batch %.0f: retrying at %.0f",
+               static_cast<double>(config.global_batch),
+               static_cast<double>(config.global_batch / 2)));
+    config.global_batch /= 2;
+    run = run_resnet(config);
+  }
+  out.final_global_batch = config.global_batch;
+  if (run.oom) {
+    report.status = "failed";
+    report.incidents.push_back("OOM at minimum batch: " + run.oom_message);
+    out.base = std::move(run);
+    return out;
+  }
+
+  const Timeline timeline =
+      walk_steps(options, run.iteration_time_s, config.global_batch, report);
+
+  const double wall = std::max(report.wall_time_s, 1e-12);
+  out.effective_images_per_s_total =
+      static_cast<double>(report.steps_completed * config.global_batch) / wall;
+  const double idle_w =
+      run.device0_trace ? run.device0_trace->idle_power() : 0.0;
+  out.effective_avg_power_per_device_w =
+      (run.avg_power_per_device_w * timeline.busy_s +
+       idle_w * std::max(0.0, wall - timeline.busy_s)) /
+      wall;
+  out.effective_energy_per_device_wh =
+      out.effective_avg_power_per_device_w * wall / 3600.0;
+  finalize_status(report);
+  out.base = std::move(run);
+  return out;
+}
+
+}  // namespace caraml::core

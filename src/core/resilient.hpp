@@ -1,0 +1,58 @@
+// Resilient training runners: wrap the LLM/ResNet benchmarks with the fault
+// machinery of src/fault — OOM graceful degradation (halve the batch and
+// retry), thermal-throttle/link derating applied to the simulated kernels,
+// and checkpoint-restart after injected device failures — then report honest
+// *effective* throughput/energy for the degraded run (completed work over
+// wall time, idle power drawn during recovery).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/llm.hpp"
+#include "core/resnet.hpp"
+#include "fault/fault.hpp"
+
+namespace caraml::core {
+
+struct ResilienceOptions {
+  fault::FaultPlan plan;
+  fault::RetryPolicy retry;            // max_attempts bounds restarts
+  std::int64_t steps = 50;             // training steps the run covers
+  std::int64_t checkpoint_every = 10;  // steps between checkpoints
+  double checkpoint_cost_s = 0.5;      // wall time to write one checkpoint
+  double restart_cost_s = 5.0;         // re-init after a device failure
+  std::string checkpoint_dir;  // when set, persist the latest checkpoint here
+};
+
+struct ResilientLlmResult {
+  LlmRunResult base;  // the final (fitting, derated) configuration
+  fault::RunReport report;
+  std::int64_t final_micro_batch = 0;  // after OOM halvings
+  double effective_tokens_per_s_total = 0.0;   // completed work / wall time
+  double effective_avg_power_per_gpu_w = 0.0;  // idle during recovery windows
+  double effective_energy_per_gpu_wh = 0.0;    // over the whole wall time
+};
+
+struct ResilientResnetResult {
+  ResnetRunResult base;
+  fault::RunReport report;
+  std::int64_t final_global_batch = 0;  // after OOM halvings
+  double effective_images_per_s_total = 0.0;
+  double effective_avg_power_per_device_w = 0.0;
+  double effective_energy_per_device_wh = 0.0;
+};
+
+/// Run the LLM benchmark under `options.plan`. Never throws for injected
+/// faults: the report's status is "ok", "degraded" (survived with incident
+/// annotations) or "failed" (restart/OOM budget exhausted — partial
+/// accounting is still filled in).
+ResilientLlmResult run_llm_resilient(LlmRunConfig config,
+                                     const ResilienceOptions& options);
+
+/// ResNet counterpart (dispatches GPU/IPU like run_resnet). OOM degradation
+/// halves the global batch while it stays divisible by the device count.
+ResilientResnetResult run_resnet_resilient(ResnetRunConfig config,
+                                           const ResilienceOptions& options);
+
+}  // namespace caraml::core

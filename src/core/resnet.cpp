@@ -96,13 +96,24 @@ ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
       flops / (node.device.peak_fp16_flops * mfu) +
       static_cast<double>(model.layers.size()) * node.device.launch_overhead_s;
 
+  CARAML_CHECK_MSG(config.compute_time_factor >= 1.0 &&
+                       config.link_time_factor >= 1.0,
+                   "derate time factors must be >= 1");
+  CARAML_CHECK_MSG(config.power_cap_factor > 0.0 &&
+                       config.power_cap_factor <= 1.0,
+                   "power cap factor must be in (0, 1]");
   ClusterSim cluster(node, devices_per_node, num_nodes);
+  for (int d = 0; d < n; ++d) {
+    cluster.set_compute_derate(d, config.compute_time_factor);
+    cluster.set_link_derate(d, config.link_time_factor);
+  }
   TaskGraph& graph = cluster.graph();
 
   const double mfu_uncontended =
       node.device.max_mfu_conv * static_cast<double>(b_dev) /
       (static_cast<double>(b_dev) + node.device.batch_half_mfu);
   const double power_util =
+      config.power_cap_factor *
       (mfu + node.contention_power_frac * (mfu_uncontended - mfu)) *
       node.device.conv_power_boost;
   const double t_host =
@@ -128,8 +139,9 @@ ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
         // Host tasks queue FIFO on the host resource: natural prefetching.
         input = graph.add_task(cluster.host(d), t_host, 0.0, "input");
       }
-      const TaskId task = graph.add_task(cluster.compute(d), t_compute,
-                                         power_util, "fwd+bwd");
+      const TaskId task = graph.add_task(
+          cluster.compute(d), t_compute * cluster.compute_derate(d),
+          power_util, "fwd+bwd");
       if (input != sim::kInvalidTask) graph.add_dependency(input, task);
       if (prev_update[static_cast<std::size_t>(d)] != sim::kInvalidTask) {
         graph.add_dependency(prev_update[static_cast<std::size_t>(d)], task);
@@ -144,8 +156,9 @@ ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
         "allreduce" + std::to_string(iter));
 
     for (int d = 0; d < n; ++d) {
-      const TaskId update =
-          graph.add_task(cluster.compute(d), t_update, 0.08, "sgd");
+      const TaskId update = graph.add_task(
+          cluster.compute(d), t_update * cluster.compute_derate(d), 0.08,
+          "sgd");
       graph.add_dependency(
           reduced[static_cast<std::size_t>(d %
                                            static_cast<int>(reduced.size()))],

@@ -18,6 +18,12 @@ struct ResnetRunConfig {
   int devices = 1;        // accelerators used (<= devices_per_node * nodes)
   int num_nodes = 1;
   bool synthetic_data = false;  // synthetic input skips the host-pipeline cap
+
+  // Fault-injection derates (src/fault) — same semantics as LlmRunConfig:
+  // time factors >= 1 stretch kernels/transfers, power cap in (0, 1].
+  double compute_time_factor = 1.0;
+  double power_cap_factor = 1.0;
+  double link_time_factor = 1.0;
 };
 
 struct ResnetRunResult {

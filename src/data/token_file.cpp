@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -29,27 +30,69 @@ void save_token_file(const std::string& path,
 }
 
 std::vector<std::int32_t> load_token_file(const std::string& path) {
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kMagic) + sizeof(kVersion) + sizeof(std::uint64_t);
+  constexpr std::uint64_t kCountOffset = sizeof(kMagic) + sizeof(kVersion);
+  constexpr std::uint64_t kTokenBytes = sizeof(std::int32_t);
+
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open token file: " + path);
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) throw Error("cannot determine size of token file: " + path);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(end_pos);
+  in.seekg(0, std::ios::beg);
+
+  if (file_size < kHeaderBytes) {
+    throw ParseError("truncated token file " + path + ": " +
+                     std::to_string(file_size) +
+                     " bytes, but the header alone needs " +
+                     std::to_string(kHeaderBytes));
+  }
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw ParseError("bad magic in token file: " + path);
+    throw ParseError("bad magic in token file " + path +
+                     " (offset 0): expected \"CARAMLTK\"");
   }
   std::uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   if (!in || version != kVersion) {
-    throw ParseError("unsupported token-file version in " + path);
+    throw ParseError("unsupported token-file version " +
+                     std::to_string(version) + " in " + path + " (offset " +
+                     std::to_string(sizeof(kMagic)) + "): expected " +
+                     std::to_string(kVersion));
   }
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in) throw ParseError("truncated token-file header: " + path);
+
+  // Validate the declared count against the real file size BEFORE allocating:
+  // a corrupt count must produce a diagnostic, not a multi-terabyte
+  // allocation. This also rejects trailing garbage after the payload.
+  const bool count_overflows =
+      count > (std::numeric_limits<std::uint64_t>::max() - kHeaderBytes) /
+                  kTokenBytes;
+  if (count_overflows || kHeaderBytes + count * kTokenBytes != file_size) {
+    const std::string expected =
+        count_overflows ? "> 2^64"
+                        : std::to_string(kHeaderBytes + count * kTokenBytes);
+    throw ParseError("corrupt token file " + path + ": count at offset " +
+                     std::to_string(kCountOffset) + " claims " +
+                     std::to_string(count) + " token(s), expected file size " +
+                     expected + " bytes but found " +
+                     std::to_string(file_size) + " bytes");
+  }
   std::vector<std::int32_t> tokens(count);
   if (count > 0) {
     in.read(reinterpret_cast<char*>(tokens.data()),
-            static_cast<std::streamsize>(count * sizeof(std::int32_t)));
+            static_cast<std::streamsize>(count * kTokenBytes));
   }
-  if (!in) throw ParseError("token file shorter than its header claims: " + path);
+  if (!in) {
+    throw ParseError("short read from token file " + path + " at offset " +
+                     std::to_string(kHeaderBytes) + ": wanted " +
+                     std::to_string(count * kTokenBytes) + " payload bytes");
+  }
   return tokens;
 }
 

@@ -1,0 +1,64 @@
+#include "fault/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace caraml::fault {
+
+namespace json = telemetry::json;
+
+std::string TrainingCheckpoint::to_json() const {
+  json::Value root{json::Object{}};
+  root.set("schema_version", schema_version);
+  root.set("step", step);
+  root.set("samples_consumed", samples_consumed);
+  root.set("optimizer_clock_s", optimizer_clock_s);
+  root.set("sampler_state", static_cast<double>(sampler_state));
+  return json::dump(root);
+}
+
+TrainingCheckpoint TrainingCheckpoint::from_json(const std::string& text) {
+  const json::Value root = json::parse(text);
+  TrainingCheckpoint checkpoint;
+  checkpoint.schema_version =
+      static_cast<int>(root.at("schema_version").as_int());
+  if (checkpoint.schema_version != TrainingCheckpoint{}.schema_version) {
+    throw Error("unsupported checkpoint schema_version " +
+                std::to_string(checkpoint.schema_version));
+  }
+  checkpoint.step = root.at("step").as_int();
+  checkpoint.samples_consumed = root.at("samples_consumed").as_int();
+  checkpoint.optimizer_clock_s = root.at("optimizer_clock_s").as_number();
+  checkpoint.sampler_state =
+      static_cast<std::uint64_t>(root.at("sampler_state").as_number());
+  return checkpoint;
+}
+
+void TrainingCheckpoint::save(const std::string& path) const {
+  const std::filesystem::path file(path);
+  if (file.has_parent_path()) {
+    std::filesystem::create_directories(file.parent_path());
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw Error("cannot write checkpoint: " + tmp);
+    out << to_json() << "\n";
+    if (!out.flush()) throw Error("short write to checkpoint: " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+TrainingCheckpoint TrainingCheckpoint::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read checkpoint: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+}  // namespace caraml::fault

@@ -1,0 +1,31 @@
+// Checkpoint-restart state for the training runners.
+//
+// On an injected device failure the runner resumes from the last checkpoint
+// instead of aborting: the checkpoint records how far training progressed
+// (step, consumed samples/tokens, optimizer clock, data-sampler RNG state)
+// so remaining-step accounting stays exact across restarts. The on-disk
+// format is one JSON object per file, human-readable and stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace caraml::fault {
+
+struct TrainingCheckpoint {
+  int schema_version = 1;
+  std::int64_t step = 0;
+  std::int64_t samples_consumed = 0;  // tokens (LLM) or images (ResNet)
+  double optimizer_clock_s = 0.0;     // accumulated optimizer/update time
+  std::uint64_t sampler_state = 0;    // data-sampler RNG/epoch state
+
+  std::string to_json() const;
+  static TrainingCheckpoint from_json(const std::string& text);
+
+  /// Write to `path` atomically (tmp file + rename); creates parent dirs.
+  void save(const std::string& path) const;
+  /// Throws caraml::Error when missing, caraml::ParseError when corrupt.
+  static TrainingCheckpoint load(const std::string& path);
+};
+
+}  // namespace caraml::fault

@@ -1,0 +1,165 @@
+// Deterministic fault injection and resilience policies (DESIGN goal:
+// degrade, don't die).
+//
+// The CARAML paper's automation repeatedly survives flaky fleets — failed
+// Slurm jobs, unreadable GH200 power sensors, gcipuinfo gaps, OOM boundaries,
+// thermally throttled nodes — yet still emits comparable result tables. This
+// module reproduces that behaviour in the simulator: a FaultPlan is a fully
+// deterministic schedule of injected faults (seeded RNG or explicit YAML),
+// and RetryPolicy/retry_with_backoff provide the bounded-retry machinery the
+// runners and the JUBE engine use to survive what the plan injects. Because
+// every draw is seed-derived, a degraded run is exactly reproducible: the
+// same seed yields byte-identical schedules, retry counts and results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "yaml/yaml.hpp"
+
+namespace caraml::fault {
+
+enum class FaultKind {
+  kDeviceFailure,    // device dies mid-run; the runner restarts from checkpoint
+  kThermalThrottle,  // window scaling roofline throughput and TDP by severity
+  kLinkDegrade,      // window scaling interconnect bandwidth by severity
+  kSensorDropout,    // window during which a power method throws on read()
+};
+
+std::string fault_kind_name(FaultKind kind);
+FaultKind fault_kind_from_name(const std::string& name);
+
+/// One scheduled fault. Point faults (device failure) have duration 0;
+/// window faults carry a duration and a severity in (0, 1]: the fraction of
+/// nominal throughput (throttle), bandwidth (link) that remains.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kThermalThrottle;
+  double time_s = 0.0;
+  double duration_s = 0.0;
+  int device = -1;  // -1 = all devices / sensors
+  double severity = 0.5;
+
+  bool active_at(double t) const {
+    return t >= time_s && t < time_s + duration_s;
+  }
+  bool applies_to(int dev) const { return device < 0 || device == dev; }
+};
+
+/// Combined slowdown of a device over a time range: service times multiply
+/// by `time_factor` (>= 1), power draw by `power_factor` (<= 1).
+struct Derate {
+  double time_factor = 1.0;
+  double power_factor = 1.0;
+};
+
+/// A deterministic fault schedule over a simulated run of `horizon_s`
+/// seconds. Either generated from (seed, rate) or loaded from YAML.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double rate = 0.0;       // expected faults per simulated minute
+  double horizon_s = 0.0;  // run window the schedule covers
+  std::vector<FaultEvent> events;  // sorted by time_s
+
+  bool empty() const { return events.empty(); }
+
+  /// Seed-derived schedule: ~`rate` faults per simulated minute over
+  /// [0, horizon_s], at least one when rate > 0. Identical inputs produce
+  /// byte-identical schedules.
+  static FaultPlan generate(std::uint64_t seed, double rate, double horizon_s,
+                            int num_devices);
+
+  /// Explicit schedule from YAML (top-level map or under a "fault_plan" key):
+  ///   fault_plan:
+  ///     seed: 7
+  ///     horizon_s: 120
+  ///     events:
+  ///       - {kind: device_failure, time_s: 12.5, device: 0}
+  ///       - {kind: thermal_throttle, time_s: 3, duration_s: 10, severity: 0.6}
+  static FaultPlan from_yaml(const yaml::NodePtr& root);
+  static FaultPlan from_yaml_file(const std::string& path);
+
+  /// Times of device-failure events within [0, horizon_s], sorted.
+  std::vector<double> failure_times() const;
+
+  /// Sensor-dropout windows affecting sensor/device index `device`
+  /// (index -1 events hit every sensor), as (start, end) pairs.
+  std::vector<std::pair<double, double>> sensor_outages(int device) const;
+
+  /// Instantaneous derate of `device` at time t (throttle windows compound).
+  /// `device` = -1 compounds every device's windows: a lockstep data-parallel
+  /// run is gated by its slowest member.
+  Derate derate_at(int device, double t) const;
+
+  /// Time-weighted average derate of `device` (-1: any device) over [t0, t1].
+  Derate average_derate(int device, double t0, double t1) const;
+
+  /// Time-weighted average link-bandwidth derate factor (>= 1) of `device`
+  /// (-1: any device) over [t0, t1].
+  double average_link_derate(int device, double t0, double t1) const;
+
+  std::size_t count(FaultKind kind) const;
+
+  /// Stable 64-bit FNV-1a hash of the serialized schedule, as hex — equal
+  /// fingerprints mean byte-identical fault schedules (determinism tests,
+  /// manifest provenance).
+  std::string fingerprint() const;
+
+  /// One line per event, for logs and --verbose output.
+  std::string summary() const;
+};
+
+/// Bounded exponential backoff with deterministic, seed-derived jitter.
+struct RetryPolicy {
+  int max_attempts = 3;        // total tries, including the first
+  double base_delay_s = 0.25;  // backoff before the 2nd attempt
+  double multiplier = 2.0;     // exponential growth per retry
+  double jitter_frac = 0.1;    // +/- fraction of the delay
+  std::uint64_t seed = 0;      // jitter stream (deterministic per attempt)
+
+  /// Backoff before attempt `attempt` (2-based; attempt 1 has no delay).
+  /// Deterministic in (seed, attempt).
+  double delay_s(int attempt) const;
+};
+
+struct RetryOutcome {
+  bool succeeded = false;
+  int attempts = 0;
+  double total_backoff_s = 0.0;
+  std::string last_error;
+};
+
+/// Run `body` up to policy.max_attempts times, backing off between attempts
+/// via `sleeper` (defaults to a real sleep; tests inject a no-op). Records
+/// "fault/retry_attempts" / "fault/retry_exhausted" counters and a
+/// "retry/<name>" span per attempt. Never throws: the outcome carries the
+/// last error text when every attempt failed.
+RetryOutcome retry_with_backoff(
+    const std::string& name, const RetryPolicy& policy,
+    const std::function<void()>& body,
+    const std::function<void(double)>& sleeper = {});
+
+/// How a resilient run ended, plus the accounting that makes the degradation
+/// auditable in manifests and result tables.
+struct RunReport {
+  std::string status = "ok";  // ok | degraded | failed
+  int oom_retries = 0;        // micro-batch halvings before the run fit
+  int restarts = 0;           // checkpoint-restarts after device failures
+  std::int64_t checkpoints_saved = 0;
+  std::int64_t steps_total = 0;
+  std::int64_t steps_completed = 0;
+  std::int64_t steps_replayed = 0;  // redone because of restarts
+  double lost_time_s = 0.0;         // replay + restart overhead
+  double wall_time_s = 0.0;
+  std::uint64_t fault_seed = 0;
+  std::string fault_fingerprint;
+  std::int64_t fault_events = 0;
+  std::vector<std::string> incidents;  // human-readable annotations
+
+  bool completed() const { return steps_completed == steps_total; }
+};
+
+}  // namespace caraml::fault

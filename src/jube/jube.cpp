@@ -1,7 +1,11 @@
 #include "jube/jube.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <regex>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -139,6 +143,26 @@ std::vector<std::string> Benchmark::step_order() const {
   return order;
 }
 
+void Benchmark::analyse(Workpackage& wp) const {
+  // Run every pattern over the concatenated step outputs, keep the last
+  // match of group 1 (JUBE's default reduce).
+  std::string all_output;
+  for (const auto& [step, output] : wp.outputs) {
+    all_output += output;
+    all_output += "\n";
+  }
+  for (const auto& pattern : patterns_) {
+    const std::regex re(pattern.regex);
+    std::string last;
+    for (auto it =
+             std::sregex_iterator(all_output.begin(), all_output.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      if (it->size() >= 2) last = (*it)[1].str();
+    }
+    if (!last.empty()) wp.analysed[pattern.name] = last;
+  }
+}
+
 RunResult Benchmark::run(const ActionRegistry& registry,
                          const std::set<std::string>& tags) const {
   RunResult result;
@@ -155,23 +179,126 @@ RunResult Benchmark::run(const ActionRegistry& registry,
       const Action& action = registry.at(step.action_name);
       wp.outputs[step.name] = action(wp.context);
     }
+    analyse(wp);
+    result.workpackages.push_back(std::move(wp));
+  }
+  return result;
+}
 
-    // Analyse: run every pattern over the concatenated step outputs, keep
-    // the last match of group 1.
-    std::string all_output;
-    for (const auto& [step, output] : wp.outputs) {
-      all_output += output;
-      all_output += "\n";
-    }
-    for (const auto& pattern : patterns_) {
-      const std::regex re(pattern.regex);
-      std::string last;
-      for (auto it = std::sregex_iterator(all_output.begin(), all_output.end(),
-                                          re);
-           it != std::sregex_iterator(); ++it) {
-        if (it->size() >= 2) last = (*it)[1].str();
+namespace {
+
+/// Run one step attempt, bounded by `timeout_s` when positive. The action
+/// runs on a worker thread; on timeout the worker is abandoned (detached —
+/// in-process actions cannot be killed, like a hung Slurm job that outlives
+/// its sbatch timeout) and the attempt fails.
+std::string run_action_bounded(Action action, const Context& context,
+                               double timeout_s) {
+  if (timeout_s <= 0.0) return action(context);
+  auto promise = std::make_shared<std::promise<std::string>>();
+  auto future = promise->get_future();
+  std::thread([promise, action = std::move(action), context]() {
+    try {
+      promise->set_value(action(context));
+    } catch (...) {
+      try {
+        promise->set_exception(std::current_exception());
+      } catch (...) {
       }
-      if (!last.empty()) wp.analysed[pattern.name] = last;
+    }
+  }).detach();
+  if (future.wait_for(std::chrono::duration<double>(timeout_s)) ==
+      std::future_status::timeout) {
+    throw Error("step timed out after " + std::to_string(timeout_s) + "s");
+  }
+  return future.get();
+}
+
+}  // namespace
+
+RunResult Benchmark::run(const ActionRegistry& registry,
+                         const std::set<std::string>& tags,
+                         const RunOptions& options) const {
+  RunResult result;
+  const auto order = step_order();
+  for (const auto& context : expand(tags)) {
+    Workpackage wp;
+    wp.context = context;
+    std::set<std::string> broken;  // failed or skipped steps
+    for (const auto& step_name : order) {
+      const auto it = std::find_if(
+          steps_.begin(), steps_.end(),
+          [&](const Step& s) { return s.name == step_name; });
+      const Step& step = *it;
+      if (!step.active(tags)) continue;
+
+      StepOutcome outcome;
+      outcome.step = step_name;
+
+      // Transitive skip: a dependent of a failed step can never run.
+      const bool blocked = std::any_of(
+          step.depends.begin(), step.depends.end(),
+          [&](const std::string& dep) { return broken.count(dep) > 0; });
+      if (blocked) {
+        outcome.status = "skipped";
+        outcome.attempts = 0;
+        outcome.error = "dependency failed";
+        broken.insert(step_name);
+        wp.step_outcomes.push_back(std::move(outcome));
+        continue;
+      }
+
+      // A missing action is a configuration error, not a transient fault —
+      // fail the step immediately instead of burning retries.
+      if (!registry.has(step.action_name)) {
+        outcome.status = "failed";
+        outcome.error = "no registered action: " + step.action_name;
+        if (!options.harvest_partial) throw NotFound(outcome.error);
+        broken.insert(step_name);
+        wp.step_outcomes.push_back(std::move(outcome));
+        continue;
+      }
+
+      const Action& action = registry.at(step.action_name);
+      std::string output;
+      const fault::RetryOutcome retried = fault::retry_with_backoff(
+          name_ + "/" + step_name, options.retry,
+          [&]() {
+            output =
+                run_action_bounded(action, wp.context, options.step_timeout_s);
+          },
+          options.sleeper);
+      outcome.attempts = retried.attempts;
+      outcome.backoff_s = retried.total_backoff_s;
+      if (retried.succeeded) {
+        outcome.status = retried.attempts > 1 ? "retried" : "ok";
+        wp.outputs[step_name] = std::move(output);
+      } else {
+        outcome.status = "failed";
+        outcome.error = retried.last_error;
+        if (!options.harvest_partial) {
+          throw Error("step '" + step_name + "' failed after " +
+                      std::to_string(retried.attempts) +
+                      " attempts: " + retried.last_error);
+        }
+        broken.insert(step_name);
+      }
+      wp.step_outcomes.push_back(std::move(outcome));
+    }
+
+    for (const auto& outcome : wp.step_outcomes) {
+      if (outcome.status == "failed" || outcome.status == "skipped") {
+        wp.status = "failed";
+        break;
+      }
+      if (outcome.status == "retried") wp.status = "degraded";
+    }
+
+    analyse(wp);
+    // Surface the workpackage status in result tables: an action may have
+    // reported its own (pattern-extracted) status, but step-level failures
+    // and retries outrank a clean-looking output.
+    if (wp.status != "ok" || !wp.analysed.count("status")) {
+      wp.analysed["status"] = wp.status;
     }
     result.workpackages.push_back(std::move(wp));
   }

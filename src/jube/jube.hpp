@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "util/table.hpp"
 #include "yaml/yaml.hpp"
 
@@ -77,10 +78,34 @@ class ActionRegistry {
   std::map<std::string, Action> actions_;
 };
 
+/// How one step execution ended under the resilient run() overload.
+struct StepOutcome {
+  std::string step;
+  std::string status = "ok";  // ok | retried | failed | skipped
+  int attempts = 1;           // 0 when skipped
+  double backoff_s = 0.0;     // total retry backoff spent on the step
+  std::string error;          // last error / skip reason
+};
+
 struct Workpackage {
   Context context;                          // expanded parameters
   std::map<std::string, std::string> outputs;  // step name -> output text
   Context analysed;                         // pattern name -> extracted value
+  std::string status = "ok";                // ok | degraded | failed
+  std::vector<StepOutcome> step_outcomes;   // resilient run() only
+};
+
+/// Resilience knobs for the fault-tolerant run() overload — the simulated
+/// counterpart of CARAML's Slurm-level requeue/timeout handling.
+struct RunOptions {
+  fault::RetryPolicy retry;   // per-step bounded retry with backoff
+  double step_timeout_s = 0.0;  // 0 = no timeout; else each attempt is bounded
+  /// Keep going after a step exhausts its retries: mark the step failed,
+  /// skip its transitive dependents, and still analyse/tabulate the
+  /// workpackage (annotated status column). When false, the first exhausted
+  /// step aborts the run with an exception, like the strict overload.
+  bool harvest_partial = true;
+  std::function<void(double)> sleeper;  // test seam for backoff sleeps
 };
 
 struct RunResult {
@@ -105,8 +130,18 @@ class Benchmark {
   std::vector<Context> expand(const std::set<std::string>& tags) const;
 
   /// Full run: expand, execute steps in dependency order, apply patterns.
+  /// Strict: the first step error propagates as an exception.
   RunResult run(const ActionRegistry& registry,
                 const std::set<std::string>& tags) const;
+
+  /// Resilient run: each step attempt is bounded by `options.step_timeout_s`
+  /// and retried per `options.retry`; exhausted steps are harvested as
+  /// failed rows (their dependents skipped) instead of aborting the whole
+  /// benchmark. Workpackage/step statuses land in the analysed "status"
+  /// column so degraded rows are visible in result tables.
+  RunResult run(const ActionRegistry& registry,
+                const std::set<std::string>& tags,
+                const RunOptions& options) const;
 
   /// Load benchmark structure (parametersets, steps, patterns) from a JUBE
   /// YAML script. Step "do" entries name registered actions.
@@ -115,6 +150,7 @@ class Benchmark {
 
  private:
   std::vector<std::string> step_order() const;  // topological
+  void analyse(Workpackage& wp) const;          // apply patterns to outputs
 
   std::string name_;
   std::vector<ParameterSet> parameter_sets_;

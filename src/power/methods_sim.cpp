@@ -89,6 +89,34 @@ std::vector<Reading> GraceHopperSimMethod::sample(double t) {
   return out;
 }
 
+FlakyMethod::FlakyMethod(MethodPtr inner,
+                         std::vector<std::pair<double, double>> outage_windows)
+    : inner_(std::move(inner)), outages_(std::move(outage_windows)) {
+  CARAML_CHECK_MSG(inner_ != nullptr, "FlakyMethod needs an inner method");
+  for (const auto& [start, end] : outages_) {
+    CARAML_CHECK_MSG(end >= start, "outage window must have end >= start");
+  }
+}
+
+std::string FlakyMethod::name() const { return inner_->name(); }
+
+std::vector<std::string> FlakyMethod::channels() const {
+  return inner_->channels();
+}
+
+bool FlakyMethod::available() const { return inner_->available(); }
+
+std::vector<Reading> FlakyMethod::sample(double t) {
+  for (const auto& [start, end] : outages_) {
+    if (t >= start && t < end) {
+      throw Error("sensor dropout: method " + inner_->name() +
+                  " unreadable in [" + std::to_string(start) + ", " +
+                  std::to_string(end) + ") at t=" + std::to_string(t));
+    }
+  }
+  return inner_->sample(t);
+}
+
 SyntheticMethod::SyntheticMethod(std::string channel, double base_watts,
                                  double amplitude, double period_s)
     : channel_(std::move(channel)),

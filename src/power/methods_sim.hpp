@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "power/method.hpp"
@@ -60,6 +61,27 @@ class GraceHopperSimMethod : public Method {
  private:
   std::vector<sim::PowerTrace> modules_;
   double grace_fraction_;
+};
+
+/// Sensor-dropout decorator: delegates to `inner`, but throws from sample()
+/// while the sampling time lies inside any outage window — the simulated
+/// equivalent of the paper's unreadable GH200 hwmon files and gcipuinfo
+/// gaps. Windows typically come from fault::FaultPlan::sensor_outages().
+/// PowerScope isolates the failure (NaN columns, quarantine after repeated
+/// errors) instead of dying.
+class FlakyMethod : public Method {
+ public:
+  FlakyMethod(MethodPtr inner,
+              std::vector<std::pair<double, double>> outage_windows);
+
+  std::string name() const override;
+  std::vector<std::string> channels() const override;
+  std::vector<Reading> sample(double t) override;
+  bool available() const override;
+
+ private:
+  MethodPtr inner_;
+  std::vector<std::pair<double, double>> outages_;  // [start, end)
 };
 
 /// Deterministic synthetic signal for tests: watts(t) = base + amp*sin(w*t).

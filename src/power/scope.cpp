@@ -2,31 +2,42 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <limits>
 
 #include "telemetry/metrics.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace caraml::power {
 
 PowerScope::PowerScope(std::vector<MethodPtr> methods, double interval_ms,
-                       std::shared_ptr<Clock> clock)
+                       std::shared_ptr<Clock> clock,
+                       int quarantine_after_errors)
     : methods_(std::move(methods)),
+      quarantine_after_(quarantine_after_errors),
       interval_s_(interval_ms / 1e3),
       clock_(clock ? std::move(clock) : std::make_shared<WallClock>()) {
   CARAML_CHECK_MSG(!methods_.empty(), "PowerScope needs at least one method");
   CARAML_CHECK_MSG(interval_ms > 0.0, "sampling interval must be positive");
+  CARAML_CHECK_MSG(quarantine_after_errors >= 1,
+                   "quarantine threshold must be >= 1");
   // `interval_ms` is a wall-clock period; convert it once into this clock's
   // units so deadlines can be scheduled in clock time (wall_delay(1.0) is
   // the wall seconds per clock second of any linear clock).
   clock_interval_ = interval_s_ / clock_->wall_delay(1.0);
   for (const auto& method : methods_) {
     CARAML_CHECK_MSG(method != nullptr, "null method");
+    MethodState state;
+    state.first_column = columns_.size();
     for (const auto& channel : method->channels()) {
       columns_.push_back(method->name() + ":" + channel);
     }
+    state.channels = columns_.size() - state.first_column;
+    method_state_.push_back(std::move(state));
   }
   take_sample();  // guarantee a point at scope entry
   start_clock_ = times_.back();
@@ -91,18 +102,81 @@ void PowerScope::sampling_loop() {
 
 void PowerScope::take_sample() {
   const double t = clock_->now();
-  std::vector<double> row;
-  row.reserve(columns_.size());
-  for (const auto& method : methods_) {
-    for (const auto& reading : method->sample(t)) {
-      row.push_back(reading.watts);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> row(columns_.size(), nan);
+  // Sample every method outside the lock; remember what went wrong per
+  // method and fold it into the shared state in one locked pass below.
+  struct Attempt {
+    bool called = false;
+    bool failed = false;
+    std::string error;
+  };
+  std::vector<Attempt> attempts(methods_.size());
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    bool quarantined;
+    std::size_t first_column;
+    std::size_t channels;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      quarantined = method_state_[i].quarantined;
+      first_column = method_state_[i].first_column;
+      channels = method_state_[i].channels;
+    }
+    if (quarantined) continue;  // its columns stay NaN
+    attempts[i].called = true;
+    try {
+      const auto readings = methods_[i]->sample(t);
+      if (readings.size() != channels) {
+        throw Error("method " + methods_[i]->name() + " reported " +
+                    std::to_string(readings.size()) + " channels, expected " +
+                    std::to_string(channels));
+      }
+      for (std::size_t c = 0; c < readings.size(); ++c) {
+        row[first_column + c] = readings[c].watts;
+      }
+    } catch (const std::exception& e) {
+      attempts[i].failed = true;
+      attempts[i].error = e.what();
+    } catch (...) {
+      attempts[i].failed = true;
+      attempts[i].error = "unknown error";
     }
   }
-  CARAML_CHECK_MSG(row.size() == columns_.size(),
-                   "method reported unexpected channel count");
-  std::lock_guard<std::mutex> lock(mutex_);
-  times_.push_back(t);
-  watts_.push_back(std::move(row));
+
+  auto& error_counter =
+      telemetry::Registry::global().counter("power/method_errors");
+  auto& quarantine_counter =
+      telemetry::Registry::global().counter("power/method_quarantines");
+  std::vector<std::string> quarantined_now;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    times_.push_back(t);
+    watts_.push_back(std::move(row));
+    for (std::size_t i = 0; i < methods_.size(); ++i) {
+      if (!attempts[i].called) continue;
+      MethodState& state = method_state_[i];
+      if (!attempts[i].failed) {
+        state.consecutive_errors = 0;
+        continue;
+      }
+      ++state.errors;
+      ++state.consecutive_errors;
+      state.last_error = attempts[i].error;
+      error_counter.add();
+      if (state.consecutive_errors >= quarantine_after_ &&
+          !state.quarantined) {
+        state.quarantined = true;
+        quarantine_counter.add();
+        quarantined_now.push_back(methods_[i]->name() + " (" +
+                                  attempts[i].error + ")");
+      }
+    }
+  }
+  for (const auto& description : quarantined_now) {
+    log::warn() << "power method quarantined after " << quarantine_after_
+                << " consecutive errors: " << description
+                << " — its columns continue as NaN";
+  }
 }
 
 df::DataFrame PowerScope::df() const {
@@ -157,25 +231,44 @@ PowerScope::EnergyResult PowerScope::energy() const {
       times.size() >= 2 ? times.back() - times.front() : 0.0;
 
   for (std::size_t c = 0; c < columns_.size(); ++c) {
-    std::vector<double> series;
-    series.reserve(samples.size());
-    for (const auto& row : samples) series.push_back(row[c]);
-    const double joules = integrate_trapezoid_joules(times, series);
-    double min_w = series.empty() ? 0.0 : series.front();
+    // NaN samples (failed reads, quarantined methods) are excluded from the
+    // integral and statistics; the row reports the valid-sample count, and a
+    // channel with no valid sample at all emits NaN instead of aborting the
+    // export — partial energy tables are the point of method isolation.
+    std::vector<double> valid_times;
+    std::vector<double> valid_watts;
+    valid_times.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const double w = samples[i][c];
+      if (std::isnan(w)) continue;
+      valid_times.push_back(times[i]);
+      valid_watts.push_back(w);
+    }
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    if (valid_watts.empty()) {
+      result.energy.append_row({columns_[c], nan, nan, nan, nan, duration_s,
+                                static_cast<std::int64_t>(0)});
+      continue;
+    }
+    const double joules = integrate_trapezoid_joules(valid_times, valid_watts);
+    double min_w = valid_watts.front();
     double max_w = min_w;
     double sum_w = 0.0;
-    for (double w : series) {
+    for (double w : valid_watts) {
       min_w = std::min(min_w, w);
       max_w = std::max(max_w, w);
       sum_w += w;
     }
+    const double covered_s =
+        valid_times.size() >= 2 ? valid_times.back() - valid_times.front()
+                                : 0.0;
     const double avg =
-        duration_s > 0.0
-            ? joules / duration_s
-            : (series.empty() ? 0.0 : sum_w / static_cast<double>(series.size()));
+        covered_s > 0.0
+            ? joules / covered_s
+            : sum_w / static_cast<double>(valid_watts.size());
     result.energy.append_row({columns_[c], units::joules_to_wh(joules), avg,
                               min_w, max_w, duration_s,
-                              static_cast<std::int64_t>(series.size())});
+                              static_cast<std::int64_t>(valid_watts.size())});
   }
 
   // Per-method sample frames (jpwr's additional_data).
@@ -221,7 +314,27 @@ PowerScope::SamplingDiagnostics PowerScope::diagnostics() const {
     diag.jitter_ms_mean = jitter_ms_.mean();
     diag.jitter_ms_max = jitter_ms_.max();
   }
+  for (const auto& state : method_state_) {
+    diag.method_errors += state.errors;
+    if (state.quarantined) ++diag.methods_quarantined;
+  }
   return diag;
+}
+
+std::vector<PowerScope::MethodDiagnostics> PowerScope::method_diagnostics()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MethodDiagnostics> out;
+  out.reserve(methods_.size());
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    MethodDiagnostics diag;
+    diag.method = methods_[i]->name();
+    diag.errors = method_state_[i].errors;
+    diag.quarantined = method_state_[i].quarantined;
+    diag.last_error = method_state_[i].last_error;
+    out.push_back(std::move(diag));
+  }
+  return out;
 }
 
 void export_results(const PowerScope& scope, const ExportOptions& options) {

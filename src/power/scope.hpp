@@ -36,9 +36,18 @@ class PowerScope {
   /// Starts sampling immediately. `interval_ms` is the polling period (the
   /// paper uses 100 ms); `clock` defaults to a wall clock — pass a
   /// ScaledClock to replay simulated traces quickly.
+  ///
+  /// Methods are isolated from each other: a method that throws during a
+  /// sample contributes NaN for its channels on that row, and after
+  /// `quarantine_after_errors` consecutive errors it is quarantined (never
+  /// called again; its columns stay NaN) instead of killing the sampling
+  /// thread — the paper's GH200 sensor gaps and gcipuinfo dropouts must not
+  /// abort a measurement. Healthy methods keep sampling and their energy
+  /// still exports.
   explicit PowerScope(std::vector<MethodPtr> methods,
                       double interval_ms = 100.0,
-                      std::shared_ptr<Clock> clock = nullptr);
+                      std::shared_ptr<Clock> clock = nullptr,
+                      int quarantine_after_errors = 3);
   ~PowerScope();
 
   PowerScope(const PowerScope&) = delete;
@@ -79,15 +88,38 @@ class PowerScope {
     std::int64_t overruns = 0;
     double jitter_ms_mean = 0.0;
     double jitter_ms_max = 0.0;
+    std::int64_t method_errors = 0;       // failed sample() calls, all methods
+    std::int64_t methods_quarantined = 0;
   };
   SamplingDiagnostics diagnostics() const;
+
+  /// Per-method health: error counts, quarantine state, last error text.
+  struct MethodDiagnostics {
+    std::string method;
+    std::int64_t errors = 0;
+    bool quarantined = false;
+    std::string last_error;
+  };
+  std::vector<MethodDiagnostics> method_diagnostics() const;
 
  private:
   void sampling_loop();
   void take_sample();
 
+  /// Bookkeeping for one method's slice of each sample row.
+  struct MethodState {
+    std::size_t first_column = 0;
+    std::size_t channels = 0;
+    std::int64_t errors = 0;
+    int consecutive_errors = 0;
+    bool quarantined = false;
+    std::string last_error;
+  };
+
   std::vector<MethodPtr> methods_;
   std::vector<std::string> columns_;  // "<method>:<channel>", sample order
+  std::vector<MethodState> method_state_;  // parallel to methods_
+  int quarantine_after_;
   double interval_s_;       // wall-clock sampling period
   double clock_interval_;   // the same period in clock time
   double start_clock_ = 0.0;  // clock time of the scope-entry sample

@@ -27,6 +27,30 @@ ClusterSim::ClusterSim(const topo::NodeSpec& node, int devices_per_node,
     host_.push_back(graph_.add_resource("host" + suffix));
     links_.push_back(graph_.add_resource("link" + suffix));
   }
+  compute_derate_.assign(static_cast<std::size_t>(num_devices_), 1.0);
+  link_derate_.assign(static_cast<std::size_t>(num_devices_), 1.0);
+}
+
+void ClusterSim::set_compute_derate(int device, double factor) {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  CARAML_CHECK_MSG(factor >= 1.0, "derate factor must be >= 1");
+  compute_derate_[static_cast<std::size_t>(device)] = factor;
+}
+
+double ClusterSim::compute_derate(int device) const {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  return compute_derate_[static_cast<std::size_t>(device)];
+}
+
+void ClusterSim::set_link_derate(int device, double factor) {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  CARAML_CHECK_MSG(factor >= 1.0, "derate factor must be >= 1");
+  link_derate_[static_cast<std::size_t>(device)] = factor;
+}
+
+double ClusterSim::link_derate(int device) const {
+  CARAML_CHECK(device >= 0 && device < num_devices_);
+  return link_derate_[static_cast<std::size_t>(device)];
 }
 
 Resource* ClusterSim::compute(int device) {
@@ -55,7 +79,8 @@ double ClusterSim::hop_time(int device, double bytes) const {
   CARAML_CHECK_MSG(link.bandwidth > 0.0,
                    "hop over absent link from device " +
                        std::to_string(device));
-  return link.latency_s + bytes / link.bandwidth;
+  return (link.latency_s + bytes / link.bandwidth) *
+         link_derate_[static_cast<std::size_t>(device)];
 }
 
 std::vector<TaskId> ClusterSim::ring_all_reduce(double bytes,
@@ -169,8 +194,9 @@ std::vector<TaskId> ClusterSim::hierarchical_all_reduce(
       TaskId prev = deps[static_cast<std::size_t>(d)];
       if (dpn > 1) {
         for (int step = 0; step < 2 * (dpn - 1); ++step) {
-          const double t = node_.peer_link.latency_s +
-                           intra_chunk / node_.peer_link.bandwidth;
+          const double t = (node_.peer_link.latency_s +
+                            intra_chunk / node_.peer_link.bandwidth) *
+                           link_derate_[static_cast<std::size_t>(d)];
           const TaskId send = graph_.add_task(
               links_[static_cast<std::size_t>(d)], t, utilization,
               name + ".intra" + std::to_string(step));
@@ -201,8 +227,9 @@ std::vector<TaskId> ClusterSim::hierarchical_all_reduce(
       prev = merge;
     }
     for (int step = 0; step < 2 * (num_nodes_ - 1); ++step) {
-      const double t = node_.inter_node.latency_s +
-                       inter_chunk / node_.inter_node.bandwidth;
+      const double t = (node_.inter_node.latency_s +
+                        inter_chunk / node_.inter_node.bandwidth) *
+                       link_derate_[static_cast<std::size_t>(leader)];
       const TaskId send = graph_.add_task(
           links_[static_cast<std::size_t>(leader)], t, utilization,
           name + ".inter" + std::to_string(step));
@@ -224,7 +251,9 @@ std::vector<TaskId> ClusterSim::hierarchical_all_reduce(
         continue;
       }
       const double t =
-          node_.peer_link.latency_s + bytes / dpn / node_.peer_link.bandwidth;
+          (node_.peer_link.latency_s +
+           bytes / dpn / node_.peer_link.bandwidth) *
+          link_derate_[static_cast<std::size_t>(d)];
       const TaskId bc = graph_.add_task(links_[static_cast<std::size_t>(d)],
                                         t, utilization, name + ".bcast");
       graph_.add_dependency(from_leader, bc);

@@ -35,8 +35,19 @@ class ClusterSim {
   /// True when the ring hop leaving `device` crosses a node boundary.
   bool hop_crosses_node(int device) const;
 
-  /// Transfer time for `bytes` over the hop leaving `device`.
+  /// Transfer time for `bytes` over the hop leaving `device`, including the
+  /// link's degradation factor.
   double hop_time(int device, double bytes) const;
+
+  /// Fault-injection derates (factors >= 1 multiplying service times).
+  /// Compute derates slow the device's kernels (thermal throttling, power
+  /// caps); link derates stretch every transfer over the device's outgoing
+  /// ring link (flaky cables, congested fabrics). Callers set them before
+  /// building the task graph so busy intervals reflect the degraded state.
+  void set_compute_derate(int device, double factor);
+  double compute_derate(int device) const;
+  void set_link_derate(int device, double factor);
+  double link_derate(int device) const;
 
   /// Ring all-reduce of `bytes` contributed per device.
   /// `deps[d]` (may be kInvalidTask) gates device d's participation; the
@@ -78,6 +89,8 @@ class ClusterSim {
   std::vector<Resource*> compute_;
   std::vector<Resource*> host_;
   std::vector<Resource*> links_;  // outgoing ring link per device
+  std::vector<double> compute_derate_;  // service-time factor per device
+  std::vector<double> link_derate_;     // transfer-time factor per link
 };
 
 }  // namespace caraml::sim

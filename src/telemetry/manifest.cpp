@@ -28,7 +28,19 @@ std::string Manifest::to_json_line() const {
   sampling.set("overruns", sample_overruns);
   sampling.set("jitter_ms_mean", sample_jitter_ms_mean);
   sampling.set("jitter_ms_max", sample_jitter_ms_max);
+  sampling.set("method_errors", method_errors);
+  sampling.set("methods_quarantined", methods_quarantined);
   root.set("sampling", std::move(sampling));
+  root.set("status", status);
+  json::Value fault_obj{json::Object{}};
+  fault_obj.set("seed", static_cast<double>(fault_seed));
+  fault_obj.set("fingerprint", fault_fingerprint);
+  fault_obj.set("events", fault_events);
+  fault_obj.set("oom_retries", oom_retries);
+  fault_obj.set("restarts", restarts);
+  fault_obj.set("checkpoints", checkpoints);
+  fault_obj.set("steps_replayed", steps_replayed);
+  root.set("fault", std::move(fault_obj));
   json::Value results_obj{json::Object{}};
   for (const auto& [key, value] : results) results_obj.set(key, value);
   root.set("results", std::move(results_obj));
@@ -39,7 +51,8 @@ Manifest Manifest::from_json_line(const std::string& line) {
   const json::Value root = json::parse(line);
   Manifest manifest;
   manifest.schema_version = static_cast<int>(root.at("schema_version").as_int());
-  if (manifest.schema_version != Manifest{}.schema_version) {
+  if (manifest.schema_version < 1 ||
+      manifest.schema_version > Manifest{}.schema_version) {
     throw Error("manifest schema_version " +
                 std::to_string(manifest.schema_version) + " not supported");
   }
@@ -57,6 +70,28 @@ Manifest Manifest::from_json_line(const std::string& line) {
   manifest.sample_overruns = sampling.at("overruns").as_int();
   manifest.sample_jitter_ms_mean = sampling.at("jitter_ms_mean").as_number();
   manifest.sample_jitter_ms_max = sampling.at("jitter_ms_max").as_number();
+  if (sampling.contains("method_errors")) {
+    manifest.method_errors = sampling.at("method_errors").as_int();
+  }
+  if (sampling.contains("methods_quarantined")) {
+    manifest.methods_quarantined =
+        sampling.at("methods_quarantined").as_int();
+  }
+  // v1 lines predate the status/fault fields; keep their defaults.
+  if (root.contains("status")) {
+    manifest.status = root.at("status").as_string();
+  }
+  if (root.contains("fault")) {
+    const json::Value& fault_obj = root.at("fault");
+    manifest.fault_seed =
+        static_cast<std::uint64_t>(fault_obj.at("seed").as_number());
+    manifest.fault_fingerprint = fault_obj.at("fingerprint").as_string();
+    manifest.fault_events = fault_obj.at("events").as_int();
+    manifest.oom_retries = fault_obj.at("oom_retries").as_int();
+    manifest.restarts = fault_obj.at("restarts").as_int();
+    manifest.checkpoints = fault_obj.at("checkpoints").as_int();
+    manifest.steps_replayed = fault_obj.at("steps_replayed").as_int();
+  }
   for (const auto& [key, value] : root.at("results").as_object()) {
     manifest.results[key] = value.as_number();
   }

@@ -12,7 +12,9 @@
 namespace caraml::telemetry {
 
 struct Manifest {
-  int schema_version = 1;
+  /// v2 adds run status + fault/resilience provenance and the per-method
+  /// sampler health counters; v1 lines still parse (fields default).
+  int schema_version = 2;
   std::string command;        // e.g. "llm", "resnet", "jpwr"
   std::string timestamp;      // ISO-8601 UTC, e.g. "2026-08-06T08:15:42.123Z"
   std::string system_tag;     // JUBE tag (paper Table I)
@@ -25,6 +27,18 @@ struct Manifest {
   std::int64_t sample_overruns = 0;   // missed sampling deadlines
   double sample_jitter_ms_mean = 0.0;
   double sample_jitter_ms_max = 0.0;
+  std::int64_t method_errors = 0;         // failed power-method reads
+  std::int64_t methods_quarantined = 0;   // methods benched after repeats
+
+  // How the run ended and what faults it survived (src/fault).
+  std::string status = "ok";      // ok | degraded | failed
+  std::uint64_t fault_seed = 0;
+  std::string fault_fingerprint;  // empty when no fault plan was active
+  std::int64_t fault_events = 0;
+  std::int64_t oom_retries = 0;
+  std::int64_t restarts = 0;
+  std::int64_t checkpoints = 0;
+  std::int64_t steps_replayed = 0;
 
   std::map<std::string, double> results;  // headline metrics of the run
 

@@ -304,6 +304,8 @@ std::vector<std::string> split_flow_items(const std::string& body,
   return items;
 }
 
+std::size_t find_map_colon(const std::string& s);
+
 NodePtr parse_flow_or_scalar(const std::string& raw, const Line& line) {
   const std::string s = str::trim(raw);
   if (!s.empty() && s.front() == '[') {
@@ -312,13 +314,29 @@ NodePtr parse_flow_or_scalar(const std::string& raw, const Line& line) {
     for (const auto& item : split_flow_items(s.substr(1, s.size() - 2), line)) {
       const std::string trimmed = str::trim(item);
       if (trimmed.empty()) fail(line, "empty item in flow sequence");
-      if (!trimmed.empty() && trimmed.front() == '[') {
+      if (trimmed.front() == '[' || trimmed.front() == '{') {
         seq->push_back(parse_flow_or_scalar(trimmed, line));
       } else {
         seq->push_back(parse_scalar_token(trimmed, line));
       }
     }
     return seq;
+  }
+  if (!s.empty() && s.front() == '{') {
+    if (s.back() != '}') fail(line, "unterminated flow mapping");
+    auto map = Node::make_map();
+    for (const auto& item : split_flow_items(s.substr(1, s.size() - 2), line)) {
+      const std::string trimmed = str::trim(item);
+      if (trimmed.empty()) fail(line, "empty entry in flow mapping");
+      const std::size_t colon = find_map_colon(trimmed);
+      if (colon == std::string::npos) {
+        fail(line, "flow mapping entry without ':'");
+      }
+      const std::string key = str::trim(trimmed.substr(0, colon));
+      if (key.empty()) fail(line, "empty key in flow mapping");
+      map->set(key, parse_flow_or_scalar(trimmed.substr(colon + 1), line));
+    }
+    return map;
   }
   return parse_scalar_token(s, line);
 }

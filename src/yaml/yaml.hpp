@@ -4,7 +4,7 @@
 // llm_benchmark_nvidia_amd.yaml / llm_benchmark_ipu.yaml). This parser covers
 // the subset those configs need:
 //   * block mappings and sequences nested by indentation,
-//   * inline flow sequences `[a, b, c]`,
+//   * inline flow sequences `[a, b, c]` and flow mappings `{k: v, ...}`,
 //   * scalars (plain / single- / double-quoted), `#` comments,
 //   * lazily typed scalar access (string/int/double/bool).
 // Anchors, aliases, multi-document streams and block scalars are out of scope.

@@ -242,6 +242,99 @@ TEST(TokenFile, RejectsBadMagicAndTruncation) {
   EXPECT_THROW(data::load_token_file("/nonexistent/tokens.bin"), Error);
 }
 
+namespace {
+
+/// Error text of load_token_file() on `path`, "" when it unexpectedly loads.
+std::string load_error(const std::string& path) {
+  try {
+    data::load_token_file(path);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+/// Patch `bytes` at `offset` into an otherwise valid 3-token file.
+std::string crafted_token_file(const std::string& name, std::size_t offset,
+                               const std::string& bytes) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / name).string();
+  data::save_token_file(path, {10, 20, 30});
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+}  // namespace
+
+TEST(TokenFile, TruncatedHeaderNamesPathAndSizes) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "caraml_short.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "CARAML";  // 6 bytes, header needs 20
+  }
+  const std::string error = load_error(path);
+  EXPECT_NE(error.find(path), std::string::npos);
+  EXPECT_NE(error.find("6 bytes"), std::string::npos);
+  EXPECT_NE(error.find("20"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TokenFile, BadMagicDiagnosticNamesOffsetAndExpectation) {
+  const auto path = crafted_token_file("caraml_magic.bin", 0, "WRONGMAG");
+  const std::string error = load_error(path);
+  EXPECT_NE(error.find(path), std::string::npos);
+  EXPECT_NE(error.find("offset 0"), std::string::npos);
+  EXPECT_NE(error.find("CARAMLTK"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TokenFile, UnsupportedVersionDiagnosticNamesBothVersions) {
+  const auto path = crafted_token_file(
+      "caraml_version.bin", 8, std::string("\x07\x00\x00\x00", 4));
+  const std::string error = load_error(path);
+  EXPECT_NE(error.find("version 7"), std::string::npos);
+  EXPECT_NE(error.find("offset 8"), std::string::npos);
+  EXPECT_NE(error.find("expected 1"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TokenFile, CountMismatchReportsExpectedVsActualSize) {
+  // Claim 5 tokens in a file that holds 3: expected 20+5*4=40, found 32.
+  const auto path = crafted_token_file(
+      "caraml_count.bin", 12, std::string("\x05\x00\x00\x00\x00\x00\x00\x00", 8));
+  const std::string error = load_error(path);
+  EXPECT_NE(error.find("offset 12"), std::string::npos);
+  EXPECT_NE(error.find("claims 5"), std::string::npos);
+  EXPECT_NE(error.find("40 bytes"), std::string::npos);
+  EXPECT_NE(error.find("32 bytes"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TokenFile, TrailingGarbageRejected) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "caraml_trail.bin").string();
+  data::save_token_file(path, {1, 2, 3});
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_THROW(data::load_token_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TokenFile, AbsurdCountFailsFastWithoutAllocating) {
+  // count = 2^62: validated against the real file size before any allocation,
+  // so this throws ParseError instead of std::bad_alloc.
+  const auto path = crafted_token_file(
+      "caraml_huge.bin", 12,
+      std::string("\x00\x00\x00\x00\x00\x00\x00\x40", 8));
+  EXPECT_THROW(data::load_token_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
 TEST(TokenFile, PreprocessPipeline) {
   Rng rng(11);
   const std::string corpus = data::synthetic_oscar_text(400, rng);

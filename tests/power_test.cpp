@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -282,6 +283,86 @@ TEST(PowerScope, RequiresMethodsAndPositiveInterval) {
   std::vector<MethodPtr> methods = {
       std::make_shared<SyntheticMethod>("c", 1.0, 0.0, 1.0)};
   EXPECT_THROW(PowerScope(methods, 0.0), Error);
+}
+
+// --- fault isolation ---------------------------------------------------------------
+
+/// Always-throwing method that counts how often the scope still calls it.
+class ThrowingMethod : public Method {
+ public:
+  std::string name() const override { return "broken"; }
+  std::vector<std::string> channels() const override { return {"x"}; }
+  std::vector<Reading> sample(double) override {
+    ++calls;
+    throw Error("sensor unreadable");
+  }
+  int calls = 0;
+};
+
+TEST(PowerScope, ThrowingMethodIsQuarantinedHealthyMethodSurvives) {
+  auto broken = std::make_shared<ThrowingMethod>();
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("c", 100.0, 0.0, 1.0), broken};
+  PowerScope scope(methods, 1.0, nullptr, /*quarantine_after_errors=*/3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  scope.stop();
+
+  // Quarantined after exactly 3 consecutive errors, then never called again.
+  EXPECT_EQ(broken->calls, 3);
+  const auto diag = scope.diagnostics();
+  EXPECT_EQ(diag.method_errors, 3);
+  EXPECT_EQ(diag.methods_quarantined, 1);
+
+  // Its columns are NaN; the healthy method's data and energy still export.
+  const auto frame = scope.df();
+  const auto& broken_column = frame.column("broken:x");
+  for (std::size_t i = 0; i < frame.num_rows(); ++i) {
+    EXPECT_TRUE(std::isnan(broken_column.as_double(i)));
+  }
+  EXPECT_TRUE(std::isnan(scope.channel_energy_wh("broken:x")));
+  const double healthy_wh = scope.channel_energy_wh("synthetic:c");
+  EXPECT_FALSE(std::isnan(healthy_wh));
+  EXPECT_GT(healthy_wh, 0.0);
+
+  bool found = false;
+  for (const auto& method : scope.method_diagnostics()) {
+    if (method.method != "broken") {
+      EXPECT_EQ(method.errors, 0);
+      continue;
+    }
+    found = true;
+    EXPECT_TRUE(method.quarantined);
+    EXPECT_EQ(method.errors, 3);
+    EXPECT_NE(method.last_error.find("sensor unreadable"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PowerScope, StopSurvivesThrowingMethodWithoutLosingOtherData) {
+  // A long interval means the entry sample and stop()'s final sample are the
+  // only rows — the shutdown path itself must isolate the throwing method.
+  auto broken = std::make_shared<ThrowingMethod>();
+  std::vector<MethodPtr> methods = {
+      std::make_shared<SyntheticMethod>("c", 80.0, 0.0, 1.0), broken};
+  PowerScope scope(methods, 10000.0);
+  EXPECT_NO_THROW(scope.stop());
+  const auto frame = scope.df();
+  ASSERT_GE(frame.num_rows(), 2u);
+  const auto& healthy = frame.column("synthetic:c");
+  for (std::size_t i = 0; i < frame.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(healthy.as_double(i), 80.0);
+  }
+  // The energy table still has a row per channel.
+  EXPECT_EQ(scope.energy().energy.num_rows(), 2u);
+}
+
+TEST(FlakyMethod, ThrowsOnlyInsideOutageWindows) {
+  FlakyMethod flaky(std::make_shared<SyntheticMethod>("c", 50.0, 0.0, 1.0),
+                    {{2.0, 5.0}});
+  EXPECT_EQ(flaky.sample(1.0).size(), 1u);
+  EXPECT_THROW(flaky.sample(2.0), Error);
+  EXPECT_THROW(flaky.sample(4.999), Error);
+  EXPECT_EQ(flaky.sample(5.0).size(), 1u);
 }
 
 // --- export ------------------------------------------------------------------------

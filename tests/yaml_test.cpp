@@ -65,6 +65,32 @@ TEST(Yaml, NestedFlowSequence) {
   EXPECT_EQ(grid->item(1)->item(0)->as_int(), 3);
 }
 
+TEST(Yaml, FlowMapping) {
+  const NodePtr root =
+      parse("event: {kind: device_failure, time_s: 12.5, device: 0}\n");
+  const NodePtr event = root->at("event");
+  ASSERT_TRUE(event->is_map());
+  EXPECT_EQ(event->at("kind")->as_string(), "device_failure");
+  EXPECT_DOUBLE_EQ(event->at("time_s")->as_double(), 12.5);
+  EXPECT_EQ(event->at("device")->as_int(), 0);
+}
+
+TEST(Yaml, FlowMappingInsideSequence) {
+  const NodePtr root = parse(
+      "events:\n"
+      "  - {kind: thermal_throttle, severity: 0.5, nested: [1, 2]}\n"
+      "  - {kind: link_degrade}\n");
+  const NodePtr events = root->at("events");
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ(events->item(0)->at("nested")->size(), 2u);
+  EXPECT_EQ(events->item(1)->at("kind")->as_string(), "link_degrade");
+}
+
+TEST(Yaml, UnterminatedFlowMappingThrows) {
+  EXPECT_THROW(parse("event: {kind: x\n"), ParseError);
+  EXPECT_THROW(parse("event: {no_colon_here}\n"), ParseError);
+}
+
 TEST(Yaml, SequenceOfMaps) {
   const NodePtr root = parse(
       "parameters:\n"
