@@ -1,7 +1,9 @@
 #include "core/caraml.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "core/resilient.hpp"
 #include "fault/fault.hpp"
@@ -168,11 +170,31 @@ std::string resnet_train_action(const jube::Context& context) {
   return os.str();
 }
 
+/// Harness-turnaround calibration action: sleeps `sleep_ms` wall-clock
+/// milliseconds and reports how long it actually slept. The analytic train
+/// actions above finish in microseconds, so they cannot exercise (or
+/// demonstrate) sweep-level parallelism and caching — this action stands in
+/// for a real job's wall time in the sweep smoke config and tests.
+std::string harness_sleep_action(const jube::Context& context) {
+  const std::int64_t sleep_ms =
+      str::parse_int(context_get(context, "sleep_ms", "100"));
+  CARAML_CHECK_MSG(sleep_ms >= 0, "sleep_ms must be >= 0");
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  const auto slept = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::ostringstream os;
+  os << "slept_ms: " << slept.count() << "\n"
+     << "status: ok\n";
+  return os.str();
+}
+
 }  // namespace
 
 void register_caraml_actions(jube::ActionRegistry& registry) {
   registry.register_action("llm_train", llm_train_action);
   registry.register_action("resnet_train", resnet_train_action);
+  registry.register_action("harness_sleep", harness_sleep_action);
 }
 
 std::vector<jube::Pattern> caraml_patterns() {
@@ -197,6 +219,7 @@ std::vector<jube::Pattern> caraml_patterns() {
        R"(effective_tokens_per_s:\s*([0-9.eE+-]+))"},
       {"effective_images_per_s",
        R"(effective_images_per_s:\s*([0-9.eE+-]+))"},
+      {"slept_ms", R"(\bslept_ms:\s*([0-9]+))"},
   };
 }
 

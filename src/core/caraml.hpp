@@ -13,8 +13,10 @@
 namespace caraml::core {
 
 /// Register the CARAML step actions on a JUBE registry:
-///  * "llm_train"    — params: system, global_batch, micro_batch, devices
-///  * "resnet_train" — params: system, global_batch, devices
+///  * "llm_train"     — params: system, global_batch, micro_batch, devices
+///  * "resnet_train"  — params: system, global_batch, devices
+///  * "harness_sleep" — params: sleep_ms; wall-clock stand-in for real job
+///    time, used by the sweep-parallelism smoke config
 /// Each emits "key: value" lines that the standard patterns extract.
 void register_caraml_actions(jube::ActionRegistry& registry);
 

@@ -153,11 +153,20 @@ struct TelemetryCli {
   /// PowerScope (fast-forwarded with a ScaledClock, as jpwr would sample the
   /// real device), write energy/power CSVs + metrics files + a manifest line
   /// into --metrics-out, and the combined Chrome trace to --trace-out.
+  /// Sweep execution provenance for the manifest's "sweep" block.
+  struct SweepInfo {
+    std::int64_t workpackages = 0;
+    int jobs = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+  };
+
   void finish(const std::string& command, const std::string& system_tag,
               const std::map<std::string, std::string>& config,
               const std::map<std::string, double>& results,
               const std::optional<sim::PowerTrace>& device_trace,
-              const fault::RunReport* report = nullptr) const {
+              const fault::RunReport* report = nullptr,
+              const SweepInfo* sweep = nullptr) const {
     telemetry::Manifest manifest;
     manifest.command = command;
     manifest.timestamp = telemetry::iso8601_utc_now();
@@ -165,6 +174,12 @@ struct TelemetryCli {
     manifest.git_revision = telemetry::git_describe();
     manifest.config = config;
     manifest.results = results;
+    if (sweep != nullptr) {
+      manifest.sweep_workpackages = sweep->workpackages;
+      manifest.sweep_jobs = sweep->jobs;
+      manifest.sweep_cache_hits = sweep->cache_hits;
+      manifest.sweep_cache_misses = sweep->cache_misses;
+    }
     if (report != nullptr) {
       manifest.status = report->status;
       manifest.fault_seed = report->fault_seed;
@@ -240,8 +255,18 @@ int cmd_run(const std::vector<std::string>& args) {
   parser.add_option("tag", "system tag", std::string(""));
   parser.add_option("step-timeout", "seconds per step attempt (0 = none)",
                     std::string("0"));
+  parser.add_option("sweep-jobs",
+                    "concurrent workpackages (1 = sequential, 0 = one per "
+                    "hardware thread)",
+                    std::string("1"));
+  parser.add_option("sweep-cache",
+                    "JSONL result-cache file; re-runs skip cached "
+                    "workpackages ('' = off)",
+                    std::string(""));
+  add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
 
   jube::Benchmark benchmark =
       jube::Benchmark::from_yaml_file(parser.get("script"));
@@ -252,6 +277,19 @@ int cmd_run(const std::vector<std::string>& args) {
   core::register_caraml_actions(registry);
   std::set<std::string> tags;
   if (!parser.get("tag").empty()) tags.insert(parser.get("tag"));
+
+  jube::SweepOptions sweep;
+  sweep.jobs = static_cast<int>(parser.get_int("sweep-jobs"));
+  sweep.cache_path = parser.get("sweep-cache");
+  if (!parser.get("fault-plan").empty()) {
+    // A fault-plan file changes what workpackages experience without leaving
+    // a trace in their contexts' values alone — fold its fingerprint into
+    // the cache identity so cached results never cross fault schedules.
+    // (Generated plans are covered by the fault_* context parameters below.)
+    sweep.fault_fingerprint =
+        fault::FaultPlan::from_yaml_file(parser.get("fault-plan"))
+            .fingerprint();
+  }
 
   const bool resilient =
       fault_active(parser) || parser.get_double("step-timeout") > 0.0;
@@ -283,24 +321,53 @@ int cmd_run(const std::vector<std::string>& args) {
     options.retry.seed =
         static_cast<std::uint64_t>(parser.get_int("fault-seed"));
     options.step_timeout_s = parser.get_double("step-timeout");
-    result = benchmark.run(registry, tags, options);
+    result = benchmark.run(registry, tags, options, sweep);
   } else {
-    result = benchmark.run(registry, tags);
+    result = benchmark.run(registry, tags, sweep);
   }
   std::cout << "benchmark '" << benchmark.name() << "': "
-            << result.workpackages.size() << " workpackages\n";
+            << result.workpackages.size() << " workpackages";
+  if (sweep.jobs != 1) std::cout << " (jobs=" << sweep.jobs << ")";
+  std::cout << "\n";
+  if (!sweep.cache_path.empty()) {
+    std::cout << "sweep cache " << sweep.cache_path << ": "
+              << result.cache_hits << " hit(s), " << result.cache_misses
+              << " miss(es)\n";
+  }
   const bool llm = benchmark.name().find("llm") != std::string::npos;
+  const bool smoke = benchmark.name().find("smoke") != std::string::npos;
   const std::vector<std::string> columns =
-      llm ? std::vector<std::string>{"system", "global_batch", "tokens_per_s",
-                                     "energy_wh", "tokens_per_wh", "status"}
-          : std::vector<std::string>{"system", "global_batch", "devices",
-                                     "images_per_s", "energy_wh",
-                                     "images_per_wh", "status"};
+      smoke ? std::vector<std::string>{"shard", "sleep_ms", "slept_ms",
+                                       "status"}
+      : llm ? std::vector<std::string>{"system", "global_batch", "tokens_per_s",
+                                       "energy_wh", "tokens_per_wh", "status"}
+            : std::vector<std::string>{"system", "global_batch", "devices",
+                                       "images_per_s", "energy_wh",
+                                       "images_per_wh", "status"};
   std::cout << result.table(columns).render();
   int failed = 0;
   for (const auto& wp : result.workpackages) {
     if (wp.status == "failed") ++failed;
   }
+
+  if (telemetry.active()) {
+    TelemetryCli::SweepInfo info;
+    info.workpackages =
+        static_cast<std::int64_t>(result.workpackages.size());
+    info.jobs = sweep.jobs;
+    info.cache_hits = static_cast<std::int64_t>(result.cache_hits);
+    info.cache_misses = static_cast<std::int64_t>(result.cache_misses);
+    telemetry.finish(
+        "run", parser.get("tag"),
+        {{"script", parser.get("script")},
+         {"sweep_jobs", parser.get("sweep-jobs")},
+         {"sweep_cache", parser.get("sweep-cache")}},
+        {{"workpackages",
+          static_cast<double>(result.workpackages.size())},
+         {"failed", static_cast<double>(failed)}},
+        std::nullopt, nullptr, &info);
+  }
+
   if (failed > 0) {
     std::cout << failed << " workpackage(s) failed\n";
     return 1;

@@ -21,6 +21,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -93,6 +94,9 @@ struct Workpackage {
   Context analysed;                         // pattern name -> extracted value
   std::string status = "ok";                // ok | degraded | failed
   std::vector<StepOutcome> step_outcomes;   // resilient run() only
+  /// True when the workpackage was served from a sweep result cache instead
+  /// of executing its steps (step_outcomes stay empty in that case).
+  bool from_cache = false;
 };
 
 /// Resilience knobs for the fault-tolerant run() overload — the simulated
@@ -108,8 +112,32 @@ struct RunOptions {
   std::function<void(double)> sleeper;  // test seam for backoff sleeps
 };
 
+/// Sweep-level execution knobs shared by both run() overloads: workpackage
+/// parallelism and a persistent result cache (see sweep.hpp). Workpackage
+/// results always land in deterministic expansion order regardless of
+/// completion order, and per-workpackage retry jitter streams are derived
+/// from (retry seed, workpackage index) so fault/backoff schedules are
+/// byte-identical between sequential and parallel sweeps.
+struct SweepOptions {
+  /// Concurrent workpackages: 1 = sequential (default), N > 1 = a dedicated
+  /// pool of N workers, 0 = one worker per hardware thread. Workpackages run
+  /// on their own pool (not ThreadPool::global()) so actions remain free to
+  /// use the global pool internally without starving the sweep.
+  int jobs = 1;
+  /// JSONL result-cache file ("" = caching off). Completed (non-failed)
+  /// workpackages are appended as they finish; a re-run skips every
+  /// fingerprint hit and reports hit/miss counts on the RunResult.
+  std::string cache_path;
+  /// Extra fingerprint material (typically the active fault plan's
+  /// fingerprint) so cached results are never reused across different fault
+  /// schedules.
+  std::string fault_fingerprint;
+};
+
 struct RunResult {
   std::vector<Workpackage> workpackages;
+  std::size_t cache_hits = 0;    // workpackages served from the sweep cache
+  std::size_t cache_misses = 0;  // workpackages that had to execute
 
   /// JUBE-style result table over parameter/pattern columns.
   TextTable table(const std::vector<std::string>& columns) const;
@@ -134,6 +162,13 @@ class Benchmark {
   RunResult run(const ActionRegistry& registry,
                 const std::set<std::string>& tags) const;
 
+  /// Strict run with sweep-level parallelism and result caching. With
+  /// jobs > 1 the first error (in expansion order) is rethrown after every
+  /// in-flight workpackage has finished.
+  RunResult run(const ActionRegistry& registry,
+                const std::set<std::string>& tags,
+                const SweepOptions& sweep) const;
+
   /// Resilient run: each step attempt is bounded by `options.step_timeout_s`
   /// and retried per `options.retry`; exhausted steps are harvested as
   /// failed rows (their dependents skipped) instead of aborting the whole
@@ -143,6 +178,11 @@ class Benchmark {
                 const std::set<std::string>& tags,
                 const RunOptions& options) const;
 
+  /// Resilient run with sweep-level parallelism and result caching.
+  RunResult run(const ActionRegistry& registry,
+                const std::set<std::string>& tags,
+                const RunOptions& options, const SweepOptions& sweep) const;
+
   /// Load benchmark structure (parametersets, steps, patterns) from a JUBE
   /// YAML script. Step "do" entries name registered actions.
   static Benchmark from_yaml(const yaml::NodePtr& root);
@@ -150,7 +190,28 @@ class Benchmark {
 
  private:
   std::vector<std::string> step_order() const;  // topological
-  void analyse(Workpackage& wp) const;          // apply patterns to outputs
+  /// Active (step, action) pairs in execution order — the step material of
+  /// the workpackage fingerprint.
+  std::vector<std::pair<std::string, std::string>> active_steps(
+      const std::vector<std::string>& order,
+      const std::set<std::string>& tags) const;
+  /// Apply patterns to the outputs, concatenated in `order` (execution)
+  /// sequence so the last-match reduce sees steps in dependency order.
+  void analyse(Workpackage& wp, const std::vector<std::string>& order) const;
+  /// Execute one workpackage. `options == nullptr` selects strict semantics
+  /// (first error throws); otherwise the resilient retry/timeout/harvest
+  /// path runs with a retry jitter stream derived from
+  /// (options->retry.seed, index).
+  Workpackage run_workpackage(const ActionRegistry& registry,
+                              const std::set<std::string>& tags,
+                              const std::vector<std::string>& order,
+                              const Context& context,
+                              const RunOptions* options,
+                              std::size_t index) const;
+  RunResult run_sweep(const ActionRegistry& registry,
+                      const std::set<std::string>& tags,
+                      const RunOptions* options,
+                      const SweepOptions& sweep) const;
 
   std::string name_;
   std::vector<ParameterSet> parameter_sets_;
@@ -159,7 +220,10 @@ class Benchmark {
 };
 
 /// Substitute ${param} placeholders from the context (iteratively, so
-/// parameters may reference other parameters).
+/// parameters may reference other parameters). Throws caraml::Error, naming
+/// the offending parameter(s), when references cannot be resolved — either
+/// because a parameter is missing from the context or because parameters
+/// reference each other in a cycle.
 std::string substitute_context(const std::string& text, const Context& context);
 
 }  // namespace caraml::jube

@@ -1,0 +1,76 @@
+// Sweep-level result caching for the JUBE engine.
+//
+// The paper's JUBE sweeps expand into dozens of workpackages per benchmark;
+// re-running a sweep after a crash, a config tweak, or on a second system
+// should not re-execute configurations whose results are already known.
+// Each workpackage is fingerprinted from (benchmark name, expanded context,
+// active step/action names in execution order, fault/retry provenance), and
+// completed results are appended as single JSON lines to a cache file. A
+// later run with the same cache skips every fingerprint hit — MLPerf-Power-
+// style turnaround economics for the harness itself.
+//
+// Cache line format (one JSON object per line):
+//   {"schema_version":1,"fingerprint":"<hex16>","benchmark":"<name>",
+//    "status":"ok","context":{...},"outputs":{...},"analysed":{...}}
+//
+// Failed workpackages are never cached (a re-run retries them), and
+// malformed lines — e.g. a line truncated by a crashed writer — are skipped
+// with a warning rather than aborting the sweep.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "jube/jube.hpp"
+
+namespace caraml::jube {
+
+/// Stable FNV-1a fingerprint (hex16) of one workpackage's identity:
+/// benchmark name, expanded context, the active (step, action) pairs in
+/// execution order, and `extra` provenance (fault plan fingerprint, retry /
+/// timeout options). Equal fingerprints mean the workpackage would execute
+/// identically.
+std::string workpackage_fingerprint(
+    const std::string& benchmark, const Context& context,
+    const std::vector<std::pair<std::string, std::string>>& steps,
+    const std::string& extra);
+
+/// JSONL-backed workpackage result cache. Loads every existing line on
+/// open() (last line wins per fingerprint); append() is thread-safe so
+/// concurrent workpackages can record results as they finish.
+class SweepCache {
+ public:
+  SweepCache() = default;
+  explicit SweepCache(const std::string& path) { open(path); }
+
+  /// Load `path` (created, along with parent directories, when missing) and
+  /// open it for appending. Throws caraml::Error when the file cannot be
+  /// opened for writing.
+  void open(const std::string& path);
+
+  bool enabled() const { return enabled_; }
+  const std::string& path() const { return path_; }
+  std::size_t size() const;
+
+  /// Fetch a cached result into `out` (status, outputs, analysed, context;
+  /// `out.from_cache` is set). Returns false on a miss.
+  bool lookup(const std::string& fingerprint, Workpackage& out) const;
+
+  /// Append one completed workpackage under `fingerprint`. Thread-safe.
+  void append(const std::string& fingerprint, const std::string& benchmark,
+              const Workpackage& wp);
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Workpackage> entries_;
+  std::ofstream out_;
+};
+
+}  // namespace caraml::jube

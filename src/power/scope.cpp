@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <filesystem>
 #include <limits>
 
@@ -13,6 +14,62 @@
 #include "util/units.hpp"
 
 namespace caraml::power {
+
+namespace {
+
+/// Process-wide serialization of power channels. Two concurrent PowerScopes
+/// polling the same "<method>:<channel>" column would double-count energy
+/// and interleave sensor reads — on real hardware the counters are a shared
+/// device resource (one NVML handle per GPU). A scope acquires a lease on
+/// every column it samples: a scope on another thread holding any of them
+/// blocks this constructor until that scope stops; re-acquiring a held
+/// channel from the *same* thread throws instead (it would self-deadlock,
+/// and nesting scopes over one device is a measurement bug, not a queue).
+/// Parallel JUBE workpackages measuring disjoint devices proceed untouched.
+class ChannelSerializer {
+ public:
+  static ChannelSerializer& global() {
+    static ChannelSerializer serializer;
+    return serializer;
+  }
+
+  void acquire(const std::vector<std::string>& columns) {
+    const std::thread::id self = std::this_thread::get_id();
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      bool busy = false;
+      for (const auto& column : columns) {
+        const auto it = held_.find(column);
+        if (it == held_.end()) continue;
+        if (it->second == self) {
+          throw Error("power channel '" + column +
+                      "' is already being sampled by a PowerScope on this "
+                      "thread — nested scopes over one device double-count "
+                      "energy");
+        }
+        busy = true;
+      }
+      if (!busy) break;
+      cv_.wait(lock);
+    }
+    for (const auto& column : columns) held_[column] = self;
+  }
+
+  void release(const std::vector<std::string>& columns) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& column : columns) held_.erase(column);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::thread::id> held_;
+};
+
+}  // namespace
 
 PowerScope::PowerScope(std::vector<MethodPtr> methods, double interval_ms,
                        std::shared_ptr<Clock> clock,
@@ -39,6 +96,8 @@ PowerScope::PowerScope(std::vector<MethodPtr> methods, double interval_ms,
     state.channels = columns_.size() - state.first_column;
     method_state_.push_back(std::move(state));
   }
+  ChannelSerializer::global().acquire(columns_);
+  channels_held_ = true;
   take_sample();  // guarantee a point at scope entry
   start_clock_ = times_.back();
   thread_ = std::thread([this] { sampling_loop(); });
@@ -58,6 +117,10 @@ void PowerScope::stop() {
   if (thread_.joinable()) thread_.join();
   take_sample();  // final point at scope exit
   stopped_ = true;
+  if (channels_held_) {
+    ChannelSerializer::global().release(columns_);
+    channels_held_ = false;
+  }
 }
 
 void PowerScope::sampling_loop() {

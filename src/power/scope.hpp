@@ -133,6 +133,7 @@ class PowerScope {
 
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
+  bool channels_held_ = false;  // process-wide channel leases (see scope.cpp)
   std::thread thread_;
 };
 

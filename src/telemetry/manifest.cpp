@@ -41,6 +41,14 @@ std::string Manifest::to_json_line() const {
   fault_obj.set("checkpoints", checkpoints);
   fault_obj.set("steps_replayed", steps_replayed);
   root.set("fault", std::move(fault_obj));
+  if (sweep_workpackages > 0) {
+    json::Value sweep_obj{json::Object{}};
+    sweep_obj.set("workpackages", sweep_workpackages);
+    sweep_obj.set("jobs", sweep_jobs);
+    sweep_obj.set("cache_hits", sweep_cache_hits);
+    sweep_obj.set("cache_misses", sweep_cache_misses);
+    root.set("sweep", std::move(sweep_obj));
+  }
   json::Value results_obj{json::Object{}};
   for (const auto& [key, value] : results) results_obj.set(key, value);
   root.set("results", std::move(results_obj));
@@ -91,6 +99,13 @@ Manifest Manifest::from_json_line(const std::string& line) {
     manifest.restarts = fault_obj.at("restarts").as_int();
     manifest.checkpoints = fault_obj.at("checkpoints").as_int();
     manifest.steps_replayed = fault_obj.at("steps_replayed").as_int();
+  }
+  if (root.contains("sweep")) {
+    const json::Value& sweep_obj = root.at("sweep");
+    manifest.sweep_workpackages = sweep_obj.at("workpackages").as_int();
+    manifest.sweep_jobs = static_cast<int>(sweep_obj.at("jobs").as_int());
+    manifest.sweep_cache_hits = sweep_obj.at("cache_hits").as_int();
+    manifest.sweep_cache_misses = sweep_obj.at("cache_misses").as_int();
   }
   for (const auto& [key, value] : root.at("results").as_object()) {
     manifest.results[key] = value.as_number();

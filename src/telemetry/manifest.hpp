@@ -40,6 +40,15 @@ struct Manifest {
   std::int64_t checkpoints = 0;
   std::int64_t steps_replayed = 0;
 
+  // Sweep execution provenance (parallel JUBE runs, src/jube/sweep.hpp).
+  // Serialized only when a sweep actually ran (sweep_workpackages > 0), so
+  // non-sweep commands keep their line format; older lines parse with the
+  // defaults below.
+  std::int64_t sweep_workpackages = 0;
+  int sweep_jobs = 0;                   // 0 = sequential / not a sweep
+  std::int64_t sweep_cache_hits = 0;
+  std::int64_t sweep_cache_misses = 0;
+
   std::map<std::string, double> results;  // headline metrics of the run
 
   /// Serialize as a single JSON line (no trailing newline).

@@ -21,6 +21,17 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::add_worker() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) throw std::runtime_error("ThreadPool: add_worker after stop");
+  workers_.emplace_back([this] { worker_loop(); });
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -27,7 +27,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.size(); }
+  std::size_t size() const;
+
+  /// Grow the pool by one worker. Used to restore capacity after a timed-out
+  /// task permanently occupies its worker (jube's detach-on-timeout
+  /// semantics): the hung task keeps its thread, the pool keeps its
+  /// throughput. Throws after the pool has begun stopping.
+  void add_worker();
 
   /// Enqueue a callable; returns a future for its result.
   template <typename F>
@@ -59,7 +65,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -276,5 +276,80 @@ TEST(Jube, FromYamlStepDependencies) {
   EXPECT_EQ(order.size(), 2u);
 }
 
+// --- analyse / substitution regressions -------------------------------------------
+
+// The last-match reduce must see step outputs in *execution* order, not the
+// std::map (alphabetical) order of wp.outputs: the dependent step here sorts
+// alphabetically *before* its dependency, so the pre-fix concatenation made
+// the dependency's stale value win.
+TEST(Jube, AnalyseConcatenatesOutputsInExecutionOrder) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"x", {"1"}, ""});
+  benchmark.add_parameter_set(set);
+  benchmark.add_step(Step{"z_train", {}, "train", ""});
+  benchmark.add_step(Step{"a_report", {"z_train"}, "report", ""});
+  benchmark.add_pattern(Pattern{"metric", R"(metric:\s*(\w+))"});
+
+  ActionRegistry registry;
+  registry.register_action("train",
+                           [](const Context&) { return "metric: raw\n"; });
+  registry.register_action("report",
+                           [](const Context&) { return "metric: final\n"; });
+
+  const auto result = benchmark.run(registry, {});
+  ASSERT_EQ(result.workpackages.size(), 1u);
+  EXPECT_EQ(result.workpackages[0].analysed.at("metric"), "final");
+}
+
+// A capture group that legitimately matches the empty string still counts as
+// a match; the pre-fix engine dropped it (`if (!last.empty())`).
+TEST(Jube, AnalyseKeepsEmptyCapture) {
+  Benchmark benchmark("demo");
+  ParameterSet set;
+  set.name = "p";
+  set.parameters.push_back(Parameter{"x", {"1"}, ""});
+  benchmark.add_parameter_set(set);
+  benchmark.add_step(Step{"run", {}, "emit", ""});
+  benchmark.add_pattern(Pattern{"suffix", R"(suffix:(\w*))"});
+
+  ActionRegistry registry;
+  registry.register_action("emit", [](const Context&) { return "suffix:\n"; });
+
+  const auto result = benchmark.run(registry, {});
+  ASSERT_EQ(result.workpackages.size(), 1u);
+  ASSERT_TRUE(result.workpackages[0].analysed.count("suffix"));
+  EXPECT_EQ(result.workpackages[0].analysed.at("suffix"), "");
+}
+
+TEST(Jube, SubstituteContextCycleThrowsNamingParameters) {
+  const Context context{{"a", "${b}"}, {"b", "${a}"}};
+  try {
+    substitute_context("${a}", context);
+    FAIL() << "expected Error on parameter cycle";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("${a}"), std::string::npos) << what;
+    EXPECT_NE(what.find("${b}"), std::string::npos) << what;
+  }
+}
+
+TEST(Jube, SubstituteContextUnresolvedReferenceThrows) {
+  const Context context{{"present", "1"}};
+  try {
+    substitute_context("run-${missing}", context);
+    FAIL() << "expected Error on unresolved reference";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("${missing}"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Jube, SelfReferentialParameterThrows) {
+  const Context context{{"a", "prefix-${a}"}};
+  EXPECT_THROW(substitute_context("${a}", context), Error);
+}
+
 }  // namespace
 }  // namespace caraml::jube
