@@ -1,0 +1,105 @@
+#include "check/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "check/rules.hpp"
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace caraml::check {
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  throw Error("unreachable severity");
+}
+
+void DiagnosticList::add(Diagnostic diagnostic) {
+  for (const auto& existing : diagnostics_) {
+    if (existing.rule_id == diagnostic.rule_id &&
+        existing.location.file == diagnostic.location.file &&
+        existing.location.line == diagnostic.location.line &&
+        existing.location.column == diagnostic.location.column &&
+        existing.message == diagnostic.message) {
+      return;  // same defect rediscovered (e.g. in another tag set)
+    }
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticList::report(const std::string& rule_id,
+                            SourceLocation location, std::string message) {
+  const RuleInfo* rule = find_rule(rule_id);
+  if (rule == nullptr) {
+    throw NotFound("lint rule '" + rule_id + "' is not in the catalogue");
+  }
+  add(Diagnostic{rule_id, rule->severity, std::move(location),
+                 std::move(message)});
+}
+
+std::size_t DiagnosticList::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& diagnostic : diagnostics_) {
+    if (diagnostic.severity == severity) ++n;
+  }
+  return n;
+}
+
+void DiagnosticList::sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.location.file, a.location.line,
+                                     a.location.column, a.rule_id) <
+                            std::tie(b.location.file, b.location.line,
+                                     b.location.column, b.rule_id);
+                   });
+}
+
+std::string DiagnosticList::render_human() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) {
+    os << d.location.file;
+    if (d.location.line > 0) {
+      os << ':' << d.location.line;
+      if (d.location.column > 0) os << ':' << d.location.column;
+    }
+    os << ": " << severity_name(d.severity) << ": " << d.message << " ["
+       << d.rule_id << "]\n";
+  }
+  os << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
+     << " warning(s), " << count(Severity::kInfo) << " info(s)\n";
+  return os.str();
+}
+
+std::string DiagnosticList::render_json() const {
+  namespace json = telemetry::json;
+  json::Array results;
+  results.reserve(diagnostics_.size());
+  for (const auto& d : diagnostics_) {
+    json::Value entry{json::Object{}};
+    entry.set("rule", d.rule_id);
+    entry.set("severity", severity_name(d.severity));
+    entry.set("file", d.location.file);
+    entry.set("line", static_cast<std::int64_t>(d.location.line));
+    entry.set("column", static_cast<std::int64_t>(d.location.column));
+    entry.set("message", d.message);
+    results.push_back(std::move(entry));
+  }
+  json::Value summary{json::Object{}};
+  summary.set("errors", static_cast<std::int64_t>(count(Severity::kError)));
+  summary.set("warnings",
+              static_cast<std::int64_t>(count(Severity::kWarning)));
+  summary.set("infos", static_cast<std::int64_t>(count(Severity::kInfo)));
+  json::Value document{json::Object{}};
+  document.set("version", 1);
+  document.set("diagnostics", json::Value{std::move(results)});
+  document.set("summary", std::move(summary));
+  return json::dump(document);
+}
+
+}  // namespace caraml::check

@@ -1,0 +1,70 @@
+// Diagnostics engine for `caraml lint` (src/check).
+//
+// A Diagnostic is one finding: rule id, severity, file:line:col source
+// location, message. DiagnosticList collects findings across files, sorts
+// them into a stable order, and renders them for humans
+// (`file:line:col: error: message [rule-id]`, the gcc/clang convention) or
+// as a JSON document (SARIF-style flat result list) for CI artifacts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "yaml/yaml.hpp"
+
+namespace caraml::check {
+
+enum class Severity { kError, kWarning, kInfo };
+
+std::string severity_name(Severity severity);
+
+struct SourceLocation {
+  std::string file;
+  std::size_t line = 0;    // 1-based; 0 = whole file
+  std::size_t column = 0;  // 1-based; 0 = whole line
+
+  static SourceLocation at(const std::string& file, const yaml::Mark& mark) {
+    return SourceLocation{file, mark.line, mark.column};
+  }
+};
+
+struct Diagnostic {
+  std::string rule_id;  // e.g. "jube/param-cycle"
+  Severity severity = Severity::kError;
+  SourceLocation location;
+  std::string message;
+};
+
+class DiagnosticList {
+ public:
+  /// Append a finding with an explicit severity. Exact duplicates (same
+  /// rule, location and message — e.g. the same defect rediscovered in two
+  /// tag sets) are dropped.
+  void add(Diagnostic diagnostic);
+
+  /// Append a finding whose severity comes from the rule catalogue
+  /// (rules.hpp). Throws caraml::NotFound for an unregistered rule id, so a
+  /// rule cannot ship without catalogue documentation.
+  void report(const std::string& rule_id, SourceLocation location,
+              std::string message);
+
+  const std::vector<Diagnostic>& items() const { return diagnostics_; }
+  std::size_t count(Severity severity) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  /// Stable order: file, then line, then column, then rule id.
+  void sort();
+
+  /// One line per finding plus a trailing summary line.
+  std::string render_human() const;
+
+  /// {"version":1,"diagnostics":[...],"summary":{...}} as compact JSON.
+  std::string render_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace caraml::check

@@ -1,0 +1,116 @@
+#include "check/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace caraml::check {
+
+namespace fs = std::filesystem;
+
+FileKind classify(const yaml::Node& root) {
+  if (!root.is_map()) return FileKind::kUnknown;
+  if (root.has("benchmark") || root.has("parametersets") || root.has("steps")) {
+    return FileKind::kJube;
+  }
+  if (root.has("fault_plan") || root.has("events")) return FileKind::kFaultPlan;
+  if (root.has("systems")) return FileKind::kSpecTable;
+  return FileKind::kUnknown;
+}
+
+void lint_document(const yaml::Document& doc, const std::string& file,
+                   const LintOptions& options, DiagnosticList& diags) {
+  for (const auto& dup : doc.duplicate_keys) {
+    diags.report("yaml/duplicate-key", SourceLocation::at(file, dup.duplicate),
+                 "duplicate mapping key '" + dup.key + "' (first defined at " +
+                     "line " + std::to_string(dup.first.line) +
+                     "); the last value silently wins");
+  }
+  switch (classify(*doc.root)) {
+    case FileKind::kJube:
+      lint_jube(*doc.root, file, options, diags);
+      break;
+    case FileKind::kFaultPlan:
+      lint_fault_plan(*doc.root, file, diags);
+      break;
+    case FileKind::kSpecTable:
+      lint_spec_table(*doc.root, file, diags);
+      break;
+    case FileKind::kUnknown:
+      diags.report("yaml/unknown-schema",
+                   SourceLocation::at(file, doc.root->mark()),
+                   "file matches no suite input schema (expected a JUBE "
+                   "benchmark, fault plan, or calibration table)");
+      break;
+  }
+}
+
+void lint_text(const std::string& text, const std::string& file,
+               const LintOptions& options, DiagnosticList& diags) {
+  yaml::Document doc;
+  try {
+    yaml::ParseOptions parse_options;
+    parse_options.allow_duplicate_keys = true;
+    doc = yaml::parse_document(text, parse_options);
+  } catch (const yaml::LocatedParseError& e) {
+    diags.report("yaml/parse-error", SourceLocation::at(file, e.mark()),
+                 e.what());
+    return;
+  } catch (const ParseError& e) {
+    diags.report("yaml/parse-error", SourceLocation{file, 0, 0}, e.what());
+    return;
+  }
+  lint_document(doc, file, options, diags);
+}
+
+void lint_file(const std::string& path, const LintOptions& options,
+               DiagnosticList& diags) {
+  std::ifstream in(path);
+  if (!in) {
+    diags.report("yaml/parse-error", SourceLocation{path, 0, 0},
+                 "cannot open file");
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  lint_text(buffer.str(), path, options, diags);
+}
+
+namespace {
+
+bool is_yaml_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".yaml" || ext == ".yml";
+}
+
+}  // namespace
+
+DiagnosticList lint_paths(const std::vector<std::string>& paths,
+                          const LintOptions& options) {
+  DiagnosticList diags;
+  for (const auto& arg : paths) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file() && is_yaml_file(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) lint_file(file, options, diags);
+    } else if (fs::exists(arg, ec)) {
+      lint_file(arg, options, diags);
+    } else {
+      diags.report("yaml/parse-error", SourceLocation{arg, 0, 0},
+                   "no such file or directory");
+    }
+  }
+  diags.sort();
+  return diags;
+}
+
+}  // namespace caraml::check

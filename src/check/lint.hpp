@@ -1,0 +1,59 @@
+// `caraml lint` driver: classify suite inputs and run the per-layer rule
+// passes over them, without executing anything.
+//
+// A file is classified by its top-level keys:
+//   * "benchmark" / "parametersets" / "steps"  -> JUBE benchmark script
+//   * "fault_plan" / "events"                  -> fault-injection schedule
+//   * "systems"                                -> hardware calibration table
+// Unclassifiable files get a yaml/unknown-schema warning; YAML-layer rules
+// (parse errors, duplicate keys) run on every file regardless of kind.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "yaml/yaml.hpp"
+
+namespace caraml::check {
+
+enum class FileKind { kJube, kFaultPlan, kSpecTable, kUnknown };
+
+FileKind classify(const yaml::Node& root);
+
+struct LintOptions {
+  /// Predicate for jube/unknown-action: true when the name is a registered
+  /// step action. Unset disables the rule (tests and callers without an
+  /// action registry).
+  std::function<bool(const std::string&)> known_action;
+};
+
+/// Lint one parsed document (yaml-layer duplicate keys have already been
+/// recorded on `doc`). `file` is only used for diagnostic locations.
+void lint_document(const yaml::Document& doc, const std::string& file,
+                   const LintOptions& options, DiagnosticList& diags);
+
+/// Parse + lint YAML text. Parse failures become yaml/parse-error.
+void lint_text(const std::string& text, const std::string& file,
+               const LintOptions& options, DiagnosticList& diags);
+
+/// Lint one file on disk.
+void lint_file(const std::string& path, const LintOptions& options,
+               DiagnosticList& diags);
+
+/// Expand paths (directories recurse into *.yaml / *.yml, sorted) and lint
+/// every file. Missing paths produce a yaml/parse-error diagnostic rather
+/// than throwing, so one bad argument cannot hide other findings.
+DiagnosticList lint_paths(const std::vector<std::string>& paths,
+                          const LintOptions& options = {});
+
+// --- per-layer passes (exposed for tests) -----------------------------------
+void lint_jube(const yaml::Node& root, const std::string& file,
+               const LintOptions& options, DiagnosticList& diags);
+void lint_fault_plan(const yaml::Node& root, const std::string& file,
+                     DiagnosticList& diags);
+void lint_spec_table(const yaml::Node& root, const std::string& file,
+                     DiagnosticList& diags);
+
+}  // namespace caraml::check

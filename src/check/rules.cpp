@@ -1,0 +1,105 @@
+#include "check/rules.hpp"
+
+namespace caraml::check {
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> catalogue = {
+      // --- yaml: structural problems in any suite input ---------------------
+      {"yaml/parse-error", Severity::kError,
+       "file is not parseable YAML (subset)"},
+      {"yaml/duplicate-key", Severity::kError,
+       "mapping repeats a key; the last value silently wins"},
+      {"yaml/type-mismatch", Severity::kError,
+       "node kind differs from what the schema expects (map/sequence/scalar)"},
+      {"yaml/unknown-schema", Severity::kWarning,
+       "file matches no suite input schema (JUBE / fault plan / calibration "
+       "table)"},
+
+      // --- jube: benchmark scripts ------------------------------------------
+      {"jube/missing-name", Severity::kError,
+       "parameterset, parameter, step or pattern without a name"},
+      {"jube/empty-values", Severity::kError,
+       "parameter declares no values; expansion aborts at run time"},
+      {"jube/unresolved-param", Severity::kError,
+       "${ref} names a parameter no parameterset declares"},
+      {"jube/param-cycle", Severity::kError,
+       "parameter values reference each other in a cycle"},
+      {"jube/duplicate-step", Severity::kError,
+       "two steps share a name; dependency resolution is ambiguous"},
+      {"jube/dangling-depend", Severity::kError,
+       "step depends on a step that does not exist"},
+      {"jube/step-cycle", Severity::kError,
+       "step depend graph contains a cycle"},
+      {"jube/bad-regex", Severity::kError,
+       "analyse pattern regex does not compile"},
+      {"jube/regex-no-capture", Severity::kError,
+       "analyse pattern has no capture group; JUBE reduces group 1"},
+      {"jube/duplicate-pattern", Severity::kWarning,
+       "two analyse patterns share a name; the later one wins"},
+      {"jube/no-steps", Severity::kWarning,
+       "benchmark declares no steps; a run produces empty workpackages"},
+      {"jube/unknown-action", Severity::kWarning,
+       "step 'do' names no registered action"},
+      {"jube/tag-selects-nothing", Severity::kWarning,
+       "a tag set activates zero steps — the sweep would do no work"},
+
+      // --- fault: injection schedules ---------------------------------------
+      {"fault/unknown-kind", Severity::kError,
+       "event kind is not device_failure/thermal_throttle/link_degrade/"
+       "sensor_dropout"},
+      {"fault/bad-severity", Severity::kError,
+       "severity outside (0, 1]"},
+      {"fault/negative-time", Severity::kError,
+       "negative time_s or duration_s"},
+      {"fault/bad-rate", Severity::kError, "negative fault rate"},
+      {"fault/bad-device", Severity::kError,
+       "device index below -1 or beyond any system's device count"},
+      {"fault/zero-window", Severity::kWarning,
+       "window fault with duration 0 can never be active"},
+      {"fault/overlap", Severity::kWarning,
+       "two same-kind windows overlap on the same device; effects compound"},
+      {"fault/beyond-horizon", Severity::kWarning,
+       "event scheduled past the declared horizon never fires"},
+      {"fault/retry-unbounded", Severity::kError,
+       "retry policy with max_attempts <= 0 can never terminate"},
+      {"fault/retry-invalid", Severity::kError,
+       "retry policy field out of range (delay < 0, multiplier <= 0, "
+       "jitter outside [0, 1])"},
+      {"fault/unknown-field", Severity::kWarning,
+       "key is not part of the fault-plan schema and is ignored by the "
+       "loader"},
+
+      // --- sim: hardware calibration tables + static workload checks --------
+      {"sim/missing-tag", Severity::kError,
+       "calibration entry without a 'tag'"},
+      {"sim/nonpositive-spec", Severity::kError,
+       "spec quantity that must be positive (peak FLOP/s, memory, TDP, ...) "
+       "is zero or negative"},
+      {"sim/anchor-mismatch", Severity::kWarning,
+       "override deviates >50% from the paper's Table I anchor for this "
+       "system"},
+      {"sim/duplicate-tag", Severity::kWarning,
+       "two calibration entries share a tag; the later one wins downstream"},
+      {"sim/unknown-system", Severity::kWarning,
+       "tag not in the built-in registry; entry starts from an empty spec"},
+      {"sim/unknown-field", Severity::kWarning,
+       "key is not part of the calibration schema and is ignored by the "
+       "loader"},
+      {"sim/invalid-layout", Severity::kError,
+       "workpackage layout cannot run (batch not divisible by "
+       "micro-batch x data-parallel, or devices not divisible by tp x pp)"},
+      {"sim/static-oom", Severity::kWarning,
+       "predicted per-device memory footprint exceeds HBM capacity; the "
+       "workpackage is guaranteed to OOM"},
+  };
+  return catalogue;
+}
+
+const RuleInfo* find_rule(const std::string& id) {
+  for (const auto& rule : rule_catalogue()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace caraml::check

@@ -1,0 +1,29 @@
+// Rule registry for `caraml lint`.
+//
+// Every diagnostic a lint pass can emit is registered here with its id,
+// default severity and a one-line summary. The catalogue is the single
+// source of truth: DiagnosticList::report refuses ids that are not
+// registered, `caraml lint --list-rules` prints the table, and
+// docs/static-analysis.md documents the same set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+
+namespace caraml::check {
+
+struct RuleInfo {
+  std::string id;        // "<layer>/<rule>", e.g. "sim/static-oom"
+  Severity severity = Severity::kError;
+  std::string summary;   // one line, shown by --list-rules
+};
+
+/// All registered rules, grouped by layer (yaml, jube, fault, sim).
+const std::vector<RuleInfo>& rule_catalogue();
+
+/// nullptr when the id is not registered.
+const RuleInfo* find_rule(const std::string& id);
+
+}  // namespace caraml::check

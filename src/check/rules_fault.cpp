@@ -1,0 +1,252 @@
+// Fault-layer lint rules: injection schedule sanity. Everything here mirrors
+// what fault::FaultPlan::from_yaml would reject at load time (as errors) or
+// silently tolerate (as warnings: ignored keys, windows that can never fire,
+// events past the horizon).
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/lint.hpp"
+#include "fault/fault.hpp"
+#include "topo/specs.hpp"
+#include "util/strings.hpp"
+
+namespace caraml::check {
+
+namespace {
+
+const std::set<std::string>& known_kinds() {
+  static const std::set<std::string> kinds = {
+      "device_failure", "thermal_throttle", "link_degrade", "sensor_dropout"};
+  return kinds;
+}
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+bool is_window_kind(const std::string& kind) {
+  return kind == "thermal_throttle" || kind == "link_degrade" ||
+         kind == "sensor_dropout";
+}
+
+/// Largest per-node device count of any registered system (MI250: 8 GCDs) —
+/// device indices at or beyond it reference hardware no system has.
+int max_registry_devices() {
+  int max_devices = 1;
+  for (const auto& node : topo::SystemRegistry::instance().all()) {
+    max_devices = std::max(max_devices, node.devices_per_node);
+  }
+  return max_devices;
+}
+
+void warn_unknown_fields(const yaml::Node& map,
+                         const std::set<std::string>& known,
+                         const std::string& what, const std::string& file,
+                         DiagnosticList& diags) {
+  for (const auto& [key, value] : map.entries()) {
+    if (!known.count(key)) {
+      diags.report("fault/unknown-field",
+                   SourceLocation::at(file, value->mark()),
+                   what + " key '" + key + "' is not part of the schema and "
+                   "is ignored by the loader");
+    }
+  }
+}
+
+struct ParsedEvent {
+  std::string kind;
+  double time_s = 0.0;
+  double duration_s = 0.0;
+  int device = -1;
+  yaml::Mark mark;
+  bool usable = false;  // fields parsed well enough for cross-event checks
+};
+
+}  // namespace
+
+void lint_fault_plan(const yaml::Node& root, const std::string& file,
+                     DiagnosticList& diags) {
+  const yaml::NodePtr body_ptr = root.find("fault_plan");
+  const yaml::Node& body = body_ptr ? *body_ptr : root;
+  if (!body.is_map()) {
+    diags.report("yaml/type-mismatch", SourceLocation::at(file, body.mark()),
+                 "'fault_plan' must be a mapping");
+    return;
+  }
+  auto loc = [&](const yaml::Mark& mark) {
+    return SourceLocation::at(file, mark);
+  };
+
+  warn_unknown_fields(body,
+                      {"seed", "rate", "horizon_s", "events", "retry",
+                       "fault_plan"},
+                      "fault plan", file, diags);
+
+  double rate = 0.0;
+  if (const yaml::NodePtr node = body.find("rate");
+      node && node->is_scalar()) {
+    try {
+      rate = node->as_double();
+    } catch (const ParseError&) {
+      diags.report("yaml/type-mismatch", loc(node->mark()),
+                   "'rate' must be a number");
+    }
+    if (rate < 0.0) {
+      diags.report("fault/bad-rate", loc(node->mark()),
+                   "fault rate must be >= 0");
+    }
+  }
+  double horizon_s = 0.0;
+  if (const yaml::NodePtr node = body.find("horizon_s");
+      node && node->is_scalar()) {
+    try {
+      horizon_s = node->as_double();
+    } catch (const ParseError&) {
+      diags.report("yaml/type-mismatch", loc(node->mark()),
+                   "'horizon_s' must be a number");
+    }
+  }
+
+  // --- events --------------------------------------------------------------
+  std::vector<ParsedEvent> events;
+  if (const yaml::NodePtr list = body.find("events")) {
+    if (!list->is_sequence()) {
+      diags.report("yaml/type-mismatch", loc(list->mark()),
+                   "'events' must be a sequence");
+    } else {
+      for (const auto& node : list->items()) {
+        if (!node->is_map()) {
+          diags.report("yaml/type-mismatch", loc(node->mark()),
+                       "event entry must be a mapping");
+          continue;
+        }
+        warn_unknown_fields(
+            *node, {"kind", "time_s", "duration_s", "device", "severity"},
+            "event", file, diags);
+        ParsedEvent event;
+        event.mark = node->mark();
+        event.kind = node->get_or("kind", "");
+        if (!known_kinds().count(event.kind)) {
+          const yaml::NodePtr kind = node->find("kind");
+          diags.report("fault/unknown-kind",
+                       loc(kind ? kind->mark() : node->mark()),
+                       "unknown fault kind '" + event.kind +
+                           "' (expected device_failure, thermal_throttle, "
+                           "link_degrade or sensor_dropout)");
+          continue;
+        }
+        try {
+          event.time_s = node->get_double_or("time_s", 0.0);
+          event.duration_s = node->get_double_or("duration_s", 0.0);
+          event.device = static_cast<int>(node->get_int_or("device", -1));
+          const double severity = node->get_double_or("severity", 0.5);
+          if (severity <= 0.0 || severity > 1.0) {
+            diags.report("fault/bad-severity", loc(node->mark()),
+                         "severity " + fmt(severity) +
+                             " outside (0, 1]");
+          }
+        } catch (const ParseError& e) {
+          diags.report("yaml/type-mismatch", loc(node->mark()), e.what());
+          continue;
+        }
+        event.usable = true;
+        if (event.time_s < 0.0 || event.duration_s < 0.0) {
+          diags.report("fault/negative-time", loc(node->mark()),
+                       "negative time_s/duration_s");
+        }
+        if (event.device < -1) {
+          diags.report("fault/bad-device", loc(node->mark()),
+                       "device index " + std::to_string(event.device) +
+                           " is invalid (-1 = all devices)");
+        } else if (event.device >= max_registry_devices()) {
+          diags.report("fault/bad-device", loc(node->mark()),
+                       "device index " + std::to_string(event.device) +
+                           " exceeds every registered system's device count "
+                           "(max " +
+                           std::to_string(max_registry_devices() - 1) + ")");
+        }
+        if (is_window_kind(event.kind) && event.duration_s == 0.0) {
+          diags.report("fault/zero-window", loc(node->mark()),
+                       event.kind +
+                           " with duration_s 0 can never be active");
+        }
+        if (horizon_s > 0.0 && event.time_s >= horizon_s) {
+          diags.report("fault/beyond-horizon", loc(node->mark()),
+                       "event at t=" + fmt(event.time_s) +
+                           "s lies past horizon_s=" +
+                           fmt(horizon_s) + "s");
+        }
+        events.push_back(event);
+      }
+    }
+  }
+
+  // Overlapping same-kind windows on the same device compound silently.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const ParsedEvent& a = events[i];
+      const ParsedEvent& b = events[j];
+      if (!a.usable || !b.usable) continue;
+      if (a.kind != b.kind || !is_window_kind(a.kind)) continue;
+      if (a.duration_s <= 0.0 || b.duration_s <= 0.0) continue;
+      const bool same_device =
+          a.device == b.device || a.device < 0 || b.device < 0;
+      if (!same_device) continue;
+      const bool overlap = a.time_s < b.time_s + b.duration_s &&
+                           b.time_s < a.time_s + a.duration_s;
+      if (overlap) {
+        diags.report("fault/overlap", loc(b.mark),
+                     a.kind + " windows at t=" +
+                         fmt(a.time_s) + "s and t=" +
+                         fmt(b.time_s) +
+                         "s overlap on the same device; derates compound");
+      }
+    }
+  }
+
+  // --- retry policy --------------------------------------------------------
+  if (const yaml::NodePtr retry = body.find("retry")) {
+    if (!retry->is_map()) {
+      diags.report("yaml/type-mismatch", loc(retry->mark()),
+                   "'retry' must be a mapping");
+      return;
+    }
+    warn_unknown_fields(
+        *retry,
+        {"max_attempts", "base_delay_s", "multiplier", "jitter_frac", "seed"},
+        "retry", file, diags);
+    try {
+      const std::int64_t max_attempts = retry->get_int_or("max_attempts", 3);
+      if (max_attempts <= 0) {
+        diags.report("fault/retry-unbounded", loc(retry->mark()),
+                     "max_attempts " + std::to_string(max_attempts) +
+                         " — a policy with no attempt budget can never "
+                         "terminate");
+      }
+      const double base_delay_s = retry->get_double_or("base_delay_s", 0.25);
+      const double multiplier = retry->get_double_or("multiplier", 2.0);
+      const double jitter_frac = retry->get_double_or("jitter_frac", 0.1);
+      if (base_delay_s < 0.0) {
+        diags.report("fault/retry-invalid", loc(retry->mark()),
+                     "base_delay_s must be >= 0");
+      }
+      if (multiplier <= 0.0) {
+        diags.report("fault/retry-invalid", loc(retry->mark()),
+                     "multiplier must be > 0");
+      }
+      if (jitter_frac < 0.0 || jitter_frac > 1.0) {
+        diags.report("fault/retry-invalid", loc(retry->mark()),
+                     "jitter_frac must be in [0, 1]");
+      }
+    } catch (const ParseError& e) {
+      diags.report("yaml/type-mismatch", loc(retry->mark()), e.what());
+    }
+  }
+}
+
+}  // namespace caraml::check

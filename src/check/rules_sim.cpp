@@ -1,0 +1,271 @@
+// Sim-layer lint rules over hardware calibration tables (topo/spec_yaml):
+// quantities that must be positive for the performance/power model to mean
+// anything, overrides that drift implausibly far from the paper's Table I
+// anchors, duplicate/unknown tags, and keys the loader would ignore.
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "check/lint.hpp"
+#include "topo/spec_yaml.hpp"
+#include "topo/specs.hpp"
+
+namespace caraml::check {
+
+namespace {
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+/// Overrides further than this factor from the registry anchor are suspect:
+/// a mistyped exponent (e15 vs e12) lands far outside it, a refit does not.
+constexpr double kAnchorTolerance = 0.5;
+
+void warn_unknown_keys(const yaml::Node& section,
+                       const std::set<std::string>& known,
+                       const std::string& what, const std::string& file,
+                       DiagnosticList& diags) {
+  if (!section.is_map()) return;
+  for (const auto& [key, value] : section.entries()) {
+    if (!known.count(key)) {
+      diags.report("sim/unknown-field", SourceLocation::at(file, value->mark()),
+                   what + " key '" + key +
+                       "' is not part of the calibration schema and is "
+                       "ignored by the loader");
+    }
+  }
+}
+
+std::set<std::string> device_known_keys() {
+  std::set<std::string> keys;
+  for (const auto& field : topo::device_double_fields()) keys.insert(field.name);
+  for (const auto& field : topo::device_int_fields()) keys.insert(field.name);
+  for (const auto& name : topo::device_string_fields()) keys.insert(name);
+  return keys;
+}
+
+std::set<std::string> node_known_keys() {
+  std::set<std::string> keys;
+  for (const auto& field : topo::node_double_fields()) keys.insert(field.name);
+  for (const auto& field : topo::node_int_fields()) keys.insert(field.name);
+  for (const auto& name : topo::node_string_fields()) keys.insert(name);
+  return keys;
+}
+
+std::set<std::string> link_known_keys() {
+  std::set<std::string> keys = {"name"};
+  for (const auto& field : topo::link_double_fields()) keys.insert(field.name);
+  return keys;
+}
+
+/// Numeric value of a section key, or nothing when absent/non-numeric
+/// (non-numeric gets a yaml/type-mismatch).
+template <typename Check>
+void each_numeric(const yaml::Node& section, const char* name,
+                  const std::string& file, DiagnosticList& diags,
+                  Check&& check) {
+  const yaml::NodePtr value = section.find(name);
+  if (!value || !value->is_scalar()) return;
+  double parsed = 0.0;
+  try {
+    parsed = value->as_double();
+  } catch (const ParseError&) {
+    diags.report("yaml/type-mismatch", SourceLocation::at(file, value->mark()),
+                 std::string("'") + name + "' must be a number");
+    return;
+  }
+  check(parsed, SourceLocation::at(file, value->mark()));
+}
+
+void lint_entry(const yaml::Node& entry, const std::string& file,
+                DiagnosticList& diags) {
+  auto loc = [&](const yaml::Mark& mark) {
+    return SourceLocation::at(file, mark);
+  };
+  const std::string tag = entry.get_or("tag", "");
+  if (tag.empty()) {
+    diags.report("sim/missing-tag", loc(entry.mark()),
+                 "calibration entry without a 'tag'");
+    return;
+  }
+  const auto& registry = topo::SystemRegistry::instance();
+  const bool known = registry.has_tag(tag);
+  if (!known) {
+    diags.report("sim/unknown-system", loc(entry.at("tag")->mark()),
+                 "system '" + tag +
+                     "' is not in the built-in registry; the entry starts "
+                     "from an empty spec and must set every field");
+  }
+
+  warn_unknown_keys(entry, {"tag", "device", "node", "links"},
+                    "calibration entry", file, diags);
+
+  const yaml::NodePtr device = entry.find("device");
+  if (device && device->is_map()) {
+    warn_unknown_keys(*device, device_known_keys(), "device", file, diags);
+    // Anchor check: overrides of datasheet quantities that land far from the
+    // paper's Table I values are almost certainly unit mistakes.
+    if (known) {
+      const topo::DeviceSpec& anchor = registry.by_tag(tag).device;
+      for (const auto& field : topo::device_double_fields()) {
+        const double reference = anchor.*(field.member);
+        if (reference <= 0.0) continue;
+        each_numeric(*device, field.name, file, diags,
+                     [&](double value, SourceLocation where) {
+                       const double ratio = value / reference;
+                       if (ratio < 1.0 - kAnchorTolerance ||
+                           ratio > 1.0 + kAnchorTolerance) {
+                         diags.report(
+                             "sim/anchor-mismatch", where,
+                             std::string(field.name) + " = " + fmt(value) +
+                                 " deviates " +
+                                 fmt(std::abs(ratio - 1.0) * 100.0) +
+                                 "% from the Table I anchor " +
+                                 fmt(reference) + " for " + tag);
+                       }
+                     });
+      }
+    }
+  } else if (device) {
+    diags.report("yaml/type-mismatch", loc(device->mark()),
+                 "'device' must be a mapping");
+  }
+  const yaml::NodePtr node = entry.find("node");
+  if (node && node->is_map()) {
+    warn_unknown_keys(*node, node_known_keys(), "node", file, diags);
+  } else if (node) {
+    diags.report("yaml/type-mismatch", loc(node->mark()),
+                 "'node' must be a mapping");
+  }
+  if (const yaml::NodePtr links = entry.find("links")) {
+    if (!links->is_map()) {
+      diags.report("yaml/type-mismatch", loc(links->mark()),
+                   "'links' must be a mapping");
+    } else {
+      warn_unknown_keys(*links, {"host", "peer", "inter"}, "links", file,
+                        diags);
+      for (const char* role : {"host", "peer", "inter"}) {
+        const yaml::NodePtr link = links->find(role);
+        if (!link) continue;
+        if (!link->is_map()) {
+          diags.report("yaml/type-mismatch", loc(link->mark()),
+                       std::string("'") + role + "' link must be a mapping");
+          continue;
+        }
+        warn_unknown_keys(*link, link_known_keys(),
+                          std::string(role) + " link", file, diags);
+      }
+    }
+  }
+
+  // Resolve the entry over its base spec and validate the *result* — an
+  // override file that zeroes TDP and one that inherits a zero both produce
+  // a model-breaking spec.
+  topo::NodeSpec resolved;
+  try {
+    resolved = topo::node_spec_from_yaml(entry);
+  } catch (const Error& e) {
+    diags.report("yaml/type-mismatch", loc(entry.mark()), e.what());
+    return;
+  }
+  auto field_loc = [&](const yaml::NodePtr& section,
+                       const char* name) -> SourceLocation {
+    if (section && section->is_map()) {
+      if (const yaml::NodePtr value = section->find(name)) {
+        return loc(value->mark());
+      }
+    }
+    return loc(entry.mark());
+  };
+  for (const auto& field : topo::device_double_fields()) {
+    const double value = resolved.device.*(field.member);
+    if (field.required_positive && value <= 0.0) {
+      diags.report("sim/nonpositive-spec", field_loc(device, field.name),
+                   "system " + tag + ": device " + field.name + " = " +
+                       fmt(value) + " must be positive");
+    } else if (value < 0.0) {
+      diags.report("sim/nonpositive-spec", field_loc(device, field.name),
+                   "system " + tag + ": device " + field.name + " = " +
+                       fmt(value) + " must not be negative");
+    }
+  }
+  for (const auto& field : topo::device_int_fields()) {
+    const int value = resolved.device.*(field.member);
+    if (field.required_positive && value <= 0) {
+      diags.report("sim/nonpositive-spec", field_loc(device, field.name),
+                   "system " + tag + ": device " + field.name + " = " +
+                       std::to_string(value) + " must be positive");
+    }
+  }
+  for (const auto& field : topo::node_int_fields()) {
+    const int value = resolved.*(field.member);
+    if (field.required_positive && value <= 0) {
+      diags.report("sim/nonpositive-spec", field_loc(node, field.name),
+                   "system " + tag + ": node " + field.name + " = " +
+                       std::to_string(value) + " must be positive");
+    }
+  }
+  // The host link must move bytes; a peer link only exists with more than
+  // one device per node (GH200-JRDC is a single-device node), and inter-node
+  // bandwidth 0 legitimately means "single node only" (paper Table I).
+  struct LinkCheck {
+    const char* role;
+    const topo::LinkSpec* link;
+    bool bandwidth_required;
+  };
+  const LinkCheck link_checks[] = {
+      {"host", &resolved.host_link, true},
+      {"peer", &resolved.peer_link, resolved.devices_per_node > 1},
+      {"inter", &resolved.inter_node, resolved.max_nodes > 1},
+  };
+  for (const auto& check : link_checks) {
+    if (check.bandwidth_required && check.link->bandwidth <= 0.0) {
+      diags.report("sim/nonpositive-spec", loc(entry.mark()),
+                   "system " + tag + ": " + check.role +
+                       " link bandwidth = " + fmt(check.link->bandwidth) +
+                       " must be positive");
+    }
+    if (check.link->latency_s < 0.0) {
+      diags.report("sim/nonpositive-spec", loc(entry.mark()),
+                   "system " + tag + ": " + check.role +
+                       " link latency_s must not be negative");
+    }
+  }
+}
+
+}  // namespace
+
+void lint_spec_table(const yaml::Node& root, const std::string& file,
+                     DiagnosticList& diags) {
+  const yaml::NodePtr systems = root.find("systems");
+  if (!systems || !systems->is_sequence()) {
+    diags.report("yaml/type-mismatch",
+                 SourceLocation::at(
+                     file, systems ? systems->mark() : root.mark()),
+                 "'systems' must be a sequence of calibration entries");
+    return;
+  }
+  std::set<std::string> seen;
+  for (const auto& entry : systems->items()) {
+    if (!entry->is_map()) {
+      diags.report("yaml/type-mismatch",
+                   SourceLocation::at(file, entry->mark()),
+                   "calibration entry must be a mapping");
+      continue;
+    }
+    const std::string tag = entry->get_or("tag", "");
+    if (!tag.empty() && !seen.insert(tag).second) {
+      diags.report("sim/duplicate-tag",
+                   SourceLocation::at(file, entry->at("tag")->mark()),
+                   "calibration entry for '" + tag +
+                       "' appears twice; the later entry wins downstream");
+    }
+    lint_entry(*entry, file, diags);
+  }
+}
+
+}  // namespace caraml::check

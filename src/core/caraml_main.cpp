@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -20,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "check/lint.hpp"
+#include "check/rules.hpp"
 #include "core/caraml.hpp"
 #include "core/experiments.hpp"
 #include "core/inference.hpp"
@@ -704,6 +707,70 @@ int cmd_inference(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_lint(const std::vector<std::string>& args) {
+  ArgParser parser("caraml lint",
+                   "statically validate suite inputs (JUBE scripts, fault "
+                   "plans, calibration tables) without running anything");
+  parser.add_option("format", "report format: human|json",
+                    std::string("human"));
+  parser.add_option("json-out",
+                    "also write the JSON report here ('' = off)",
+                    std::string(""));
+  parser.add_flag("strict", "treat warnings as errors for the exit code");
+  parser.add_flag("list-rules", "print the rule catalogue and exit");
+  parser.set_collect_positionals(true);  // paths and options interleave
+  if (!parser.parse(args)) return 0;
+
+  if (parser.get_flag("list-rules")) {
+    TextTable table({"rule", "severity", "summary"});
+    for (const auto& rule : check::rule_catalogue()) {
+      table.add_row(
+          {rule.id, check::severity_name(rule.severity), rule.summary});
+    }
+    std::cout << table.render();
+    return 0;
+  }
+
+  const std::vector<std::string>& paths = parser.rest();
+  if (paths.empty()) {
+    std::cerr << "caraml lint: no paths given (try: caraml lint configs)\n";
+    return 2;
+  }
+
+  // The registered action names give jube/unknown-action its universe.
+  jube::ActionRegistry registry;
+  core::register_caraml_actions(registry);
+  check::LintOptions options;
+  options.known_action = [&registry](const std::string& name) {
+    return registry.has(name);
+  };
+
+  check::DiagnosticList diags = check::lint_paths(paths, options);
+  const std::string format = parser.get("format");
+  if (format == "json") {
+    std::cout << diags.render_json() << "\n";
+  } else if (format == "human") {
+    std::cout << diags.render_human();
+  } else {
+    std::cerr << "caraml lint: unknown format '" << format << "'\n";
+    return 2;
+  }
+  if (!parser.get("json-out").empty()) {
+    std::ofstream out(parser.get("json-out"));
+    if (!out) {
+      std::cerr << "caraml lint: cannot write " << parser.get("json-out")
+                << "\n";
+      return 2;
+    }
+    out << diags.render_json() << "\n";
+  }
+  const bool failed =
+      diags.has_errors() ||
+      (parser.get_flag("strict") &&
+       diags.count(check::Severity::kWarning) > 0);
+  return failed ? 1 : 0;
+}
+
 int cmd_tts(const std::vector<std::string>& args) {
   ArgParser parser("caraml tts", "time/energy to a target loss");
   parser.add_option("system", "system tag", std::string("JEDI"));
@@ -760,6 +827,9 @@ void print_usage() {
       "  llm         one LLM-training point (--system, --batch, ...)\n"
       "  resnet      one ResNet50 point (--system, --batch, --devices)\n"
       "  inference   LLM inference extension (--system, --batch)\n"
+      "  lint        statically validate configs / fault plans / calibration\n"
+      "              tables (options, then paths; --format human|json,\n"
+      "              --json-out FILE, --strict, --list-rules)\n"
       "  tts         time/energy-to-solution estimate (--system, --loss)\n"
       "  combine     merge per-rank jpwr CSVs (--dir)\n"
       "  export      write every experiment's data as CSV (--out)\n\n"
@@ -798,6 +868,7 @@ int main(int argc, char** argv) {
     if (command == "llm") return cmd_llm(args);
     if (command == "resnet") return cmd_resnet(args);
     if (command == "inference") return cmd_inference(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "tts") return cmd_tts(args);
     if (command == "combine") return cmd_combine(args);
     if (command == "export") return cmd_export(args);

@@ -115,6 +115,25 @@ FaultPlan FaultPlan::from_yaml(const yaml::NodePtr& root) {
       plan.events.push_back(parse_event(node));
     }
   }
+  if (const yaml::NodePtr retry = body->find("retry")) {
+    CARAML_CHECK_MSG(retry->is_map(), "fault_plan retry must be a map");
+    RetryPolicy policy;
+    policy.max_attempts =
+        static_cast<int>(retry->get_int_or("max_attempts", policy.max_attempts));
+    policy.base_delay_s = retry->get_double_or("base_delay_s", policy.base_delay_s);
+    policy.multiplier = retry->get_double_or("multiplier", policy.multiplier);
+    policy.jitter_frac = retry->get_double_or("jitter_frac", policy.jitter_frac);
+    policy.seed = static_cast<std::uint64_t>(retry->get_int_or("seed", 0));
+    CARAML_CHECK_MSG(policy.max_attempts >= 1,
+                     "retry max_attempts must be >= 1");
+    CARAML_CHECK_MSG(policy.base_delay_s >= 0.0,
+                     "retry base_delay_s must be >= 0");
+    CARAML_CHECK_MSG(policy.multiplier > 0.0, "retry multiplier must be > 0");
+    CARAML_CHECK_MSG(
+        policy.jitter_frac >= 0.0 && policy.jitter_frac <= 1.0,
+        "retry jitter_frac must be in [0, 1]");
+    plan.retry = policy;
+  }
   std::stable_sort(plan.events.begin(), plan.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.time_s < b.time_s;

@@ -56,6 +56,19 @@ struct Derate {
   double power_factor = 1.0;
 };
 
+/// Bounded exponential backoff with deterministic, seed-derived jitter.
+struct RetryPolicy {
+  int max_attempts = 3;        // total tries, including the first
+  double base_delay_s = 0.25;  // backoff before the 2nd attempt
+  double multiplier = 2.0;     // exponential growth per retry
+  double jitter_frac = 0.1;    // +/- fraction of the delay
+  std::uint64_t seed = 0;      // jitter stream (deterministic per attempt)
+
+  /// Backoff before attempt `attempt` (2-based; attempt 1 has no delay).
+  /// Deterministic in (seed, attempt).
+  double delay_s(int attempt) const;
+};
+
 /// A deterministic fault schedule over a simulated run of `horizon_s`
 /// seconds. Either generated from (seed, rate) or loaded from YAML.
 struct FaultPlan {
@@ -63,6 +76,10 @@ struct FaultPlan {
   double rate = 0.0;       // expected faults per simulated minute
   double horizon_s = 0.0;  // run window the schedule covers
   std::vector<FaultEvent> events;  // sorted by time_s
+  /// Retry policy carried alongside the schedule (YAML `retry:` section) so
+  /// one file can describe both the faults and how to survive them; empty
+  /// when the YAML does not set one.
+  std::optional<RetryPolicy> retry;
 
   bool empty() const { return events.empty(); }
 
@@ -110,19 +127,6 @@ struct FaultPlan {
 
   /// One line per event, for logs and --verbose output.
   std::string summary() const;
-};
-
-/// Bounded exponential backoff with deterministic, seed-derived jitter.
-struct RetryPolicy {
-  int max_attempts = 3;        // total tries, including the first
-  double base_delay_s = 0.25;  // backoff before the 2nd attempt
-  double multiplier = 2.0;     // exponential growth per retry
-  double jitter_frac = 0.1;    // +/- fraction of the delay
-  std::uint64_t seed = 0;      // jitter stream (deterministic per attempt)
-
-  /// Backoff before attempt `attempt` (2-based; attempt 1 has no delay).
-  /// Deterministic in (seed, attempt).
-  double delay_s(int attempt) const;
 };
 
 struct RetryOutcome {

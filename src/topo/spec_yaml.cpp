@@ -1,0 +1,214 @@
+#include "topo/spec_yaml.hpp"
+
+#include "util/error.hpp"
+
+namespace caraml::topo {
+
+const std::vector<DoubleField<DeviceSpec>>& device_double_fields() {
+  static const std::vector<DoubleField<DeviceSpec>> fields = {
+      {"peak_fp16_flops", &DeviceSpec::peak_fp16_flops, true},
+      {"mem_capacity_bytes", &DeviceSpec::mem_capacity_bytes, true},
+      {"mem_bandwidth", &DeviceSpec::mem_bandwidth, true},
+      {"sram_bytes", &DeviceSpec::sram_bytes, false},
+      {"tdp_watts", &DeviceSpec::tdp_watts, true},
+      {"idle_watts", &DeviceSpec::idle_watts, false},
+      {"max_mfu_gemm", &DeviceSpec::max_mfu_gemm, false},
+      {"max_mfu_conv", &DeviceSpec::max_mfu_conv, false},
+      {"batch_half_mfu", &DeviceSpec::batch_half_mfu, false},
+      {"power_floor_frac", &DeviceSpec::power_floor_frac, false},
+      {"launch_overhead_s", &DeviceSpec::launch_overhead_s, false},
+      {"util_at_tdp", &DeviceSpec::util_at_tdp, true},
+      {"conv_power_boost", &DeviceSpec::conv_power_boost, false},
+      {"mcm_shared_watts", &DeviceSpec::mcm_shared_watts, false},
+  };
+  return fields;
+}
+
+const std::vector<IntField<DeviceSpec>>& device_int_fields() {
+  static const std::vector<IntField<DeviceSpec>> fields = {
+      {"compute_units", &DeviceSpec::compute_units, true},
+  };
+  return fields;
+}
+
+const std::vector<DoubleField<NodeSpec>>& node_double_fields() {
+  static const std::vector<DoubleField<NodeSpec>> fields = {
+      {"cpu_mem_bytes", &NodeSpec::cpu_mem_bytes, false},
+      {"cpu_mem_bw", &NodeSpec::cpu_mem_bw, false},
+      {"host_contention", &NodeSpec::host_contention, false},
+      {"contention_power_frac", &NodeSpec::contention_power_frac, false},
+      {"fixed_iter_overhead_s", &NodeSpec::fixed_iter_overhead_s, false},
+      {"host_pipeline_images_per_s", &NodeSpec::host_pipeline_images_per_s,
+       false},
+  };
+  return fields;
+}
+
+const std::vector<IntField<NodeSpec>>& node_int_fields() {
+  static const std::vector<IntField<NodeSpec>> fields = {
+      {"devices_per_node", &NodeSpec::devices_per_node, true},
+      {"cpu_cores", &NodeSpec::cpu_cores, false},
+      {"max_nodes", &NodeSpec::max_nodes, true},
+  };
+  return fields;
+}
+
+const std::vector<DoubleField<LinkSpec>>& link_double_fields() {
+  static const std::vector<DoubleField<LinkSpec>> fields = {
+      {"bandwidth", &LinkSpec::bandwidth, false},
+      {"latency_s", &LinkSpec::latency_s, false},
+  };
+  return fields;
+}
+
+const std::vector<std::string>& device_string_fields() {
+  static const std::vector<std::string> fields = {"name", "vendor", "arch"};
+  return fields;
+}
+
+const std::vector<std::string>& node_string_fields() {
+  static const std::vector<std::string> fields = {"platform", "display_name",
+                                                  "cpu_model"};
+  return fields;
+}
+
+bool is_spec_table(const yaml::Node& root) {
+  return root.is_map() && root.has("systems");
+}
+
+namespace {
+
+// Dispatch helpers so apply_fields can be written once per owner type.
+template <typename Owner>
+struct DoubleFieldsOf;
+template <>
+struct DoubleFieldsOf<DeviceSpec> {
+  static const std::vector<DoubleField<DeviceSpec>>& get() {
+    return device_double_fields();
+  }
+};
+template <>
+struct DoubleFieldsOf<NodeSpec> {
+  static const std::vector<DoubleField<NodeSpec>>& get() {
+    return node_double_fields();
+  }
+};
+
+template <typename Owner>
+struct IntFieldsOf;
+template <>
+struct IntFieldsOf<DeviceSpec> {
+  static const std::vector<IntField<DeviceSpec>>& get() {
+    return device_int_fields();
+  }
+};
+template <>
+struct IntFieldsOf<NodeSpec> {
+  static const std::vector<IntField<NodeSpec>>& get() {
+    return node_int_fields();
+  }
+};
+
+template <typename Owner>
+void apply_fields(const yaml::Node& section, Owner& out) {
+  for (const auto& field : DoubleFieldsOf<Owner>::get()) {
+    if (const yaml::NodePtr value = section.find(field.name);
+        value && value->is_scalar()) {
+      out.*(field.member) = value->as_double();
+    }
+  }
+  for (const auto& field : IntFieldsOf<Owner>::get()) {
+    if (const yaml::NodePtr value = section.find(field.name);
+        value && value->is_scalar()) {
+      out.*(field.member) = static_cast<int>(value->as_int());
+    }
+  }
+}
+
+void apply_link(const yaml::Node& section, LinkSpec& out) {
+  for (const auto& field : link_double_fields()) {
+    if (const yaml::NodePtr value = section.find(field.name);
+        value && value->is_scalar()) {
+      out.*(field.member) = value->as_double();
+    }
+  }
+  if (section.has("name")) out.name = section.get_or("name", out.name);
+}
+
+Vendor vendor_from_string(const std::string& s) {
+  if (s == "nvidia") return Vendor::kNvidia;
+  if (s == "amd") return Vendor::kAmd;
+  if (s == "graphcore") return Vendor::kGraphcore;
+  throw ParseError("unknown vendor '" + s +
+                   "' (expected nvidia|amd|graphcore)");
+}
+
+ArchClass arch_from_string(const std::string& s) {
+  if (s == "gpu") return ArchClass::kGpuSimd;
+  if (s == "ipu") return ArchClass::kIpuMimd;
+  throw ParseError("unknown arch '" + s + "' (expected gpu|ipu)");
+}
+
+}  // namespace
+
+NodeSpec node_spec_from_yaml(const yaml::Node& entry) {
+  if (!entry.is_map()) throw ParseError("calibration entry is not a mapping");
+  const std::string tag = entry.get_or("tag", "");
+  if (tag.empty()) throw ParseError("calibration entry is missing 'tag'");
+
+  NodeSpec spec;
+  const auto& registry = SystemRegistry::instance();
+  if (registry.has_tag(tag)) spec = registry.by_tag(tag);
+  spec.jube_tag = tag;
+
+  if (const yaml::NodePtr device = entry.find("device");
+      device && device->is_map()) {
+    apply_fields(*device, spec.device);
+    if (device->has("name")) spec.device.name = device->get_or("name", "");
+    if (device->has("vendor")) {
+      spec.device.vendor = vendor_from_string(device->get_or("vendor", ""));
+    }
+    if (device->has("arch")) {
+      spec.device.arch = arch_from_string(device->get_or("arch", ""));
+    }
+  }
+  if (const yaml::NodePtr node = entry.find("node"); node && node->is_map()) {
+    apply_fields(*node, spec);
+    spec.platform = node->get_or("platform", spec.platform);
+    spec.display_name = node->get_or("display_name", spec.display_name);
+    spec.cpu_model = node->get_or("cpu_model", spec.cpu_model);
+  }
+  if (const yaml::NodePtr links = entry.find("links");
+      links && links->is_map()) {
+    if (const yaml::NodePtr host = links->find("host"); host && host->is_map())
+      apply_link(*host, spec.host_link);
+    if (const yaml::NodePtr peer = links->find("peer"); peer && peer->is_map())
+      apply_link(*peer, spec.peer_link);
+    if (const yaml::NodePtr inter = links->find("inter");
+        inter && inter->is_map())
+      apply_link(*inter, spec.inter_node);
+  }
+  if (spec.display_name.empty()) spec.display_name = tag;
+  return spec;
+}
+
+SpecTable load_spec_table(const yaml::Node& root) {
+  if (!is_spec_table(root)) {
+    throw ParseError("calibration table has no top-level 'systems' list");
+  }
+  const yaml::NodePtr systems = root.at("systems");
+  if (!systems->is_sequence()) {
+    throw ParseError("'systems' must be a sequence of calibration entries");
+  }
+  SpecTable table;
+  for (const auto& entry : systems->items()) {
+    table.systems.push_back(node_spec_from_yaml(*entry));
+  }
+  return table;
+}
+
+SpecTable load_spec_table_file(const std::string& path) {
+  return load_spec_table(*yaml::parse_file(path));
+}
+
+}  // namespace caraml::topo

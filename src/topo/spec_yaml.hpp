@@ -1,0 +1,74 @@
+// YAML hardware calibration tables.
+//
+// The built-in SystemRegistry carries the seven paper systems (Table I +
+// fitted calibration knobs). A calibration table lets a user override those
+// knobs — or describe an entirely new system — from a YAML file:
+//
+//   systems:
+//     - tag: A100
+//       device: {tdp_watts: 400, max_mfu_gemm: 0.52}
+//       node: {devices_per_node: 4}
+//       links:
+//         peer: {bandwidth: 600.0e9, latency_s: 2.0e-6}
+//
+// Known tags start from the registry entry and apply overrides on top;
+// unknown tags start from an empty NodeSpec (and must therefore supply every
+// load-bearing field). The field tables below are the single source of truth
+// for the schema: the loader and the `caraml lint` sim rules both iterate
+// them, so a new knob added here is automatically loadable *and* linted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/specs.hpp"
+#include "yaml/yaml.hpp"
+
+namespace caraml::topo {
+
+/// Schema entry for a double-typed field. `required_positive` marks
+/// quantities that make the performance/power model meaningless when <= 0
+/// (peak FLOP/s, memory capacity/bandwidth, TDP) — lint reports those as
+/// errors; other fields merely have to be finite and non-negative.
+template <typename Owner>
+struct DoubleField {
+  const char* name;
+  double Owner::* member;
+  bool required_positive = false;
+};
+
+/// Schema entry for an int-typed field.
+template <typename Owner>
+struct IntField {
+  const char* name;
+  int Owner::* member;
+  bool required_positive = false;
+};
+
+const std::vector<DoubleField<DeviceSpec>>& device_double_fields();
+const std::vector<IntField<DeviceSpec>>& device_int_fields();
+const std::vector<DoubleField<NodeSpec>>& node_double_fields();
+const std::vector<IntField<NodeSpec>>& node_int_fields();
+const std::vector<DoubleField<LinkSpec>>& link_double_fields();
+
+/// String-valued keys accepted in each section (for unknown-field lint).
+const std::vector<std::string>& device_string_fields();
+const std::vector<std::string>& node_string_fields();
+
+/// A parsed calibration table.
+struct SpecTable {
+  std::vector<NodeSpec> systems;
+};
+
+/// True when the root node looks like a calibration table ("systems" list).
+bool is_spec_table(const yaml::Node& root);
+
+/// Build one NodeSpec from a `systems:` entry. Starts from the registry spec
+/// when the tag is known, from a zeroed NodeSpec otherwise. Unknown keys are
+/// ignored here (lint reports them); malformed values throw ParseError.
+NodeSpec node_spec_from_yaml(const yaml::Node& entry);
+
+SpecTable load_spec_table(const yaml::Node& root);
+SpecTable load_spec_table_file(const std::string& path);
+
+}  // namespace caraml::topo

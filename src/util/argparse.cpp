@@ -68,6 +68,10 @@ bool ArgParser::parse(const std::vector<std::string>& args) {
       rest_.assign(args.begin() + static_cast<std::ptrdiff_t>(i), args.end());
       break;
     }
+    if (collect_positionals_) {
+      rest_.push_back(arg);
+      continue;
+    }
     throw ParseError("unexpected positional argument: " + arg);
   }
   return true;

@@ -27,6 +27,15 @@ class ArgParser {
   /// jpwr CLI uses this to capture the wrapped application command line.
   void set_collect_rest(bool collect) { collect_rest_ = collect; }
 
+  /// When enabled, positional arguments accumulate into `rest()` while
+  /// option parsing continues, so `caraml lint configs --strict` and
+  /// `caraml lint --strict configs` are equivalent. Mutually exclusive with
+  /// set_collect_rest (which must stop so wrapped-command options pass
+  /// through untouched).
+  void set_collect_positionals(bool collect) {
+    collect_positionals_ = collect;
+  }
+
   /// Parse argv; throws caraml::ParseError on unknown options. Returns false
   /// if --help was requested (help text printed to stdout).
   bool parse(int argc, const char* const* argv);
@@ -58,6 +67,7 @@ class ArgParser {
   std::map<std::string, bool> flags_;
   std::vector<std::string> rest_;
   bool collect_rest_ = false;
+  bool collect_positionals_ = false;
 };
 
 }  // namespace caraml

@@ -1,6 +1,7 @@
 #include "yaml/yaml.hpp"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -183,11 +184,18 @@ struct Line {
   int indent = 0;
   std::string content;  // without indentation, comment stripped
   std::size_t number = 0;
+
+  /// Column (1-based) of content[index] in the original source line.
+  std::size_t column(std::size_t index) const {
+    return static_cast<std::size_t>(indent) + index + 1;
+  }
 };
 
 [[noreturn]] void fail(const Line& line, const std::string& message) {
-  throw ParseError("YAML line " + std::to_string(line.number) + ": " + message +
-                   " — '" + line.content + "'");
+  throw LocatedParseError(
+      "YAML line " + std::to_string(line.number) + ": " + message + " — '" +
+          line.content + "'",
+      Mark{line.number, line.column(0)});
 }
 
 // Strip a trailing comment, honoring quotes. A '#' starts a comment when at
@@ -220,8 +228,10 @@ std::vector<Line> tokenize(const std::string& text) {
       const std::size_t first_non_ws = raw.find_first_not_of(" \t");
       if (first_non_ws != std::string::npos &&
           raw.substr(0, first_non_ws).find('\t') != std::string::npos) {
-        throw ParseError("YAML line " + std::to_string(number) +
-                         ": tab character in indentation");
+        throw LocatedParseError(
+            "YAML line " + std::to_string(number) +
+                ": tab character in indentation",
+            Mark{number, 1});
       }
     }
     std::string content = strip_comment(raw);
@@ -235,110 +245,6 @@ std::vector<Line> tokenize(const std::string& text) {
     lines.push_back(std::move(line));
   }
   return lines;
-}
-
-// Parse one scalar token, removing quotes.
-NodePtr parse_scalar_token(const std::string& raw, const Line& line) {
-  const std::string s = str::trim(raw);
-  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
-    std::string out;
-    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
-      if (s[i] == '\\' && i + 2 < s.size()) {
-        const char next = s[i + 1];
-        if (next == '"' || next == '\\') {
-          out.push_back(next);
-          ++i;
-          continue;
-        }
-        if (next == 'n') {
-          out.push_back('\n');
-          ++i;
-          continue;
-        }
-        if (next == 't') {
-          out.push_back('\t');
-          ++i;
-          continue;
-        }
-      }
-      out.push_back(s[i]);
-    }
-    return Node::make_scalar(out);
-  }
-  if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
-    return Node::make_scalar(
-        str::replace_all(s.substr(1, s.size() - 2), "''", "'"));
-  }
-  if (!s.empty() && (s.front() == '"' || s.front() == '\'')) {
-    fail(line, "unterminated quoted scalar");
-  }
-  return Node::make_scalar(s);
-}
-
-// Split a flow sequence "[a, b, c]" body on top-level commas.
-std::vector<std::string> split_flow_items(const std::string& body,
-                                          const Line& line) {
-  std::vector<std::string> items;
-  std::string current;
-  int depth = 0;
-  bool in_single = false, in_double = false;
-  for (char c : body) {
-    if (c == '\'' && !in_double) in_single = !in_single;
-    else if (c == '"' && !in_single) in_double = !in_double;
-    if (!in_single && !in_double) {
-      if (c == '[' || c == '{') ++depth;
-      if (c == ']' || c == '}') --depth;
-      if (depth < 0) fail(line, "unbalanced brackets in flow sequence");
-      if (c == ',' && depth == 0) {
-        items.push_back(current);
-        current.clear();
-        continue;
-      }
-    }
-    current.push_back(c);
-  }
-  if (depth != 0 || in_single || in_double) {
-    fail(line, "unterminated flow sequence");
-  }
-  if (!str::trim(current).empty() || !items.empty()) items.push_back(current);
-  return items;
-}
-
-std::size_t find_map_colon(const std::string& s);
-
-NodePtr parse_flow_or_scalar(const std::string& raw, const Line& line) {
-  const std::string s = str::trim(raw);
-  if (!s.empty() && s.front() == '[') {
-    if (s.back() != ']') fail(line, "unterminated flow sequence");
-    auto seq = Node::make_sequence();
-    for (const auto& item : split_flow_items(s.substr(1, s.size() - 2), line)) {
-      const std::string trimmed = str::trim(item);
-      if (trimmed.empty()) fail(line, "empty item in flow sequence");
-      if (trimmed.front() == '[' || trimmed.front() == '{') {
-        seq->push_back(parse_flow_or_scalar(trimmed, line));
-      } else {
-        seq->push_back(parse_scalar_token(trimmed, line));
-      }
-    }
-    return seq;
-  }
-  if (!s.empty() && s.front() == '{') {
-    if (s.back() != '}') fail(line, "unterminated flow mapping");
-    auto map = Node::make_map();
-    for (const auto& item : split_flow_items(s.substr(1, s.size() - 2), line)) {
-      const std::string trimmed = str::trim(item);
-      if (trimmed.empty()) fail(line, "empty entry in flow mapping");
-      const std::size_t colon = find_map_colon(trimmed);
-      if (colon == std::string::npos) {
-        fail(line, "flow mapping entry without ':'");
-      }
-      const std::string key = str::trim(trimmed.substr(0, colon));
-      if (key.empty()) fail(line, "empty key in flow mapping");
-      map->set(key, parse_flow_or_scalar(trimmed.substr(colon + 1), line));
-    }
-    return map;
-  }
-  return parse_scalar_token(s, line);
 }
 
 // Find the position of the key/value separating ':' outside quotes/brackets.
@@ -362,20 +268,167 @@ std::size_t find_map_colon(const std::string& s) {
   return std::string::npos;
 }
 
+/// Leading-space count, for translating trimmed substrings back to columns.
+std::size_t leading_spaces(const std::string& s) {
+  std::size_t n = 0;
+  while (n < s.size() && s[n] == ' ') ++n;
+  return n;
+}
+
 class Parser {
  public:
-  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+  Parser(std::vector<Line> lines, const ParseOptions& options)
+      : lines_(std::move(lines)), options_(options) {}
 
-  NodePtr parse_document() {
-    if (lines_.empty()) return Node::make_map();
-    NodePtr root = parse_block(lines_.front().indent);
-    if (pos_ != lines_.size()) fail(lines_[pos_], "trailing content");
-    return root;
+  Document parse_document() {
+    Document doc;
+    if (lines_.empty()) {
+      doc.root = Node::make_map();
+    } else {
+      doc.root = parse_block(lines_.front().indent);
+      if (pos_ != lines_.size()) fail(lines_[pos_], "trailing content");
+    }
+    doc.duplicate_keys = std::move(duplicates_);
+    return doc;
   }
 
  private:
   bool done() const { return pos_ >= lines_.size(); }
   const Line& current() const { return lines_[pos_]; }
+
+  /// Record (lenient) or reject (strict) a repeated mapping key.
+  void handle_duplicate(const Line& line, const std::string& key, Mark first,
+                        Mark repeat) {
+    if (!options_.allow_duplicate_keys) {
+      fail(line, "duplicate map key '" + key + "'");
+    }
+    duplicates_.push_back(DuplicateKey{key, first, repeat});
+  }
+
+  // Parse one scalar token, removing quotes. `col` is the column of raw[0].
+  NodePtr parse_scalar_token(const std::string& raw, const Line& line,
+                             std::size_t col) {
+    col += leading_spaces(raw);
+    const std::string s = str::trim(raw);
+    NodePtr node;
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+      std::string out;
+      for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        if (s[i] == '\\' && i + 2 < s.size()) {
+          const char next = s[i + 1];
+          if (next == '"' || next == '\\') {
+            out.push_back(next);
+            ++i;
+            continue;
+          }
+          if (next == 'n') {
+            out.push_back('\n');
+            ++i;
+            continue;
+          }
+          if (next == 't') {
+            out.push_back('\t');
+            ++i;
+            continue;
+          }
+        }
+        out.push_back(s[i]);
+      }
+      node = Node::make_scalar(out);
+    } else if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+      node = Node::make_scalar(
+          str::replace_all(s.substr(1, s.size() - 2), "''", "'"));
+    } else if (!s.empty() && (s.front() == '"' || s.front() == '\'')) {
+      fail(line, "unterminated quoted scalar");
+    } else {
+      node = Node::make_scalar(s);
+    }
+    node->set_mark(Mark{line.number, col});
+    return node;
+  }
+
+  /// Split a flow sequence "[a, b, c]" body on top-level commas, returning
+  /// each item together with its offset within `body` (for column tracking).
+  std::vector<std::pair<std::string, std::size_t>> split_flow_items(
+      const std::string& body, const Line& line) {
+    std::vector<std::pair<std::string, std::size_t>> items;
+    std::string current;
+    std::size_t current_start = 0;
+    int depth = 0;
+    bool in_single = false, in_double = false;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      const char c = body[i];
+      if (c == '\'' && !in_double) in_single = !in_single;
+      else if (c == '"' && !in_single) in_double = !in_double;
+      if (!in_single && !in_double) {
+        if (c == '[' || c == '{') ++depth;
+        if (c == ']' || c == '}') --depth;
+        if (depth < 0) fail(line, "unbalanced brackets in flow sequence");
+        if (c == ',' && depth == 0) {
+          items.emplace_back(current, current_start);
+          current.clear();
+          current_start = i + 1;
+          continue;
+        }
+      }
+      current.push_back(c);
+    }
+    if (depth != 0 || in_single || in_double) {
+      fail(line, "unterminated flow sequence");
+    }
+    if (!str::trim(current).empty() || !items.empty()) {
+      items.emplace_back(current, current_start);
+    }
+    return items;
+  }
+
+  /// Parse a flow collection or scalar. `col` is the column of raw[0].
+  NodePtr parse_flow_or_scalar(const std::string& raw, const Line& line,
+                               std::size_t col) {
+    col += leading_spaces(raw);
+    const std::string s = str::trim(raw);
+    if (!s.empty() && s.front() == '[') {
+      if (s.back() != ']') fail(line, "unterminated flow sequence");
+      auto seq = Node::make_sequence();
+      seq->set_mark(Mark{line.number, col});
+      const std::size_t body_col = col + 1;
+      for (const auto& [item, offset] :
+           split_flow_items(s.substr(1, s.size() - 2), line)) {
+        const std::string trimmed = str::trim(item);
+        if (trimmed.empty()) fail(line, "empty item in flow sequence");
+        seq->push_back(parse_flow_or_scalar(item, line, body_col + offset));
+      }
+      return seq;
+    }
+    if (!s.empty() && s.front() == '{') {
+      if (s.back() != '}') fail(line, "unterminated flow mapping");
+      auto map = Node::make_map();
+      map->set_mark(Mark{line.number, col});
+      const std::size_t body_col = col + 1;
+      std::map<std::string, Mark> seen;
+      for (const auto& [item, offset] :
+           split_flow_items(s.substr(1, s.size() - 2), line)) {
+        const std::string trimmed = str::trim(item);
+        if (trimmed.empty()) fail(line, "empty entry in flow mapping");
+        const std::size_t colon = find_map_colon(trimmed);
+        if (colon == std::string::npos) {
+          fail(line, "flow mapping entry without ':'");
+        }
+        const std::string key = str::trim(trimmed.substr(0, colon));
+        if (key.empty()) fail(line, "empty key in flow mapping");
+        const std::size_t key_col =
+            body_col + offset + leading_spaces(item);
+        const Mark key_mark{line.number, key_col};
+        const auto [it, inserted] = seen.emplace(key, key_mark);
+        if (!inserted) handle_duplicate(line, key, it->second, key_mark);
+        map->set(key,
+                 parse_flow_or_scalar(trimmed.substr(colon + 1), line,
+                                      key_col + colon + 1));
+      }
+      return map;
+    }
+    return parse_scalar_token(s, line, col);
+  }
 
   NodePtr parse_block(int indent) {
     const Line& first = current();
@@ -387,13 +440,15 @@ class Parser {
       return parse_map(indent);
     }
     // Bare scalar document.
-    NodePtr scalar = parse_flow_or_scalar(first.content, first);
+    NodePtr scalar = parse_flow_or_scalar(first.content, first, first.column(0));
     ++pos_;
     return scalar;
   }
 
   NodePtr parse_map(int indent) {
     auto map = Node::make_map();
+    map->set_mark(Mark{current().number, current().column(0)});
+    std::map<std::string, Mark> seen;
     while (!done() && current().indent == indent) {
       const Line line = current();
       const std::size_t colon = find_map_colon(line.content);
@@ -402,14 +457,18 @@ class Parser {
       if (key.size() >= 2 &&
           ((key.front() == '"' && key.back() == '"') ||
            (key.front() == '\'' && key.back() == '\''))) {
-        key = parse_scalar_token(key, line)->as_string();
+        key = parse_scalar_token(key, line, line.column(0))->as_string();
       }
       if (key.empty()) fail(line, "empty map key");
-      if (map->has(key)) fail(line, "duplicate map key '" + key + "'");
-      const std::string value_text = str::trim(line.content.substr(colon + 1));
+      const Mark key_mark{line.number, line.column(0)};
+      const auto [it, inserted] = seen.emplace(key, key_mark);
+      if (!inserted) handle_duplicate(line, key, it->second, key_mark);
+      const std::string value_raw = line.content.substr(colon + 1);
+      const std::string value_text = str::trim(value_raw);
       ++pos_;
       if (!value_text.empty()) {
-        map->set(key, parse_flow_or_scalar(value_text, line));
+        map->set(key,
+                 parse_flow_or_scalar(value_raw, line, line.column(colon + 1)));
       } else if (!done() && current().indent > indent) {
         map->set(key, parse_block(current().indent));
       } else if (!done() && current().indent == indent &&
@@ -419,7 +478,9 @@ class Parser {
         // and common YAML.
         map->set(key, parse_sequence(indent));
       } else {
-        map->set(key, Node::make_scalar(""));
+        auto empty = Node::make_scalar("");
+        empty->set_mark(key_mark);
+        map->set(key, std::move(empty));
       }
     }
     if (!done() && current().indent > indent) {
@@ -430,32 +491,36 @@ class Parser {
 
   NodePtr parse_sequence(int indent) {
     auto seq = Node::make_sequence();
+    seq->set_mark(Mark{current().number, current().column(0)});
     while (!done() && current().indent == indent &&
            (str::starts_with(current().content, "- ") ||
             current().content == "-")) {
       const Line line = current();
       const std::string after_dash =
-          line.content == "-" ? "" : str::trim(line.content.substr(2));
-      if (after_dash.empty()) {
+          line.content == "-" ? "" : line.content.substr(2);
+      if (str::trim(after_dash).empty()) {
         ++pos_;
         if (!done() && current().indent > indent) {
           seq->push_back(parse_block(current().indent));
         } else {
-          seq->push_back(Node::make_scalar(""));
+          auto empty = Node::make_scalar("");
+          empty->set_mark(Mark{line.number, line.column(0)});
+          seq->push_back(std::move(empty));
         }
         continue;
       }
-      const std::size_t colon = find_map_colon(after_dash);
+      const std::size_t colon = find_map_colon(str::trim(after_dash));
       if (colon != std::string::npos) {
         // "- key: value" — an inline map item; rewrite the current line as a
         // map entry at the dash-content indentation and parse a map block.
-        const int item_indent = indent + 2;
+        const int item_indent =
+            indent + 2 + static_cast<int>(leading_spaces(after_dash));
         lines_[pos_].indent = item_indent;
-        lines_[pos_].content = after_dash;
+        lines_[pos_].content = str::trim(after_dash);
         seq->push_back(parse_map(item_indent));
         continue;
       }
-      seq->push_back(parse_flow_or_scalar(after_dash, line));
+      seq->push_back(parse_flow_or_scalar(after_dash, line, line.column(2)));
       ++pos_;
     }
     if (!done() && current().indent > indent) {
@@ -465,21 +530,30 @@ class Parser {
   }
 
   std::vector<Line> lines_;
+  ParseOptions options_;
+  std::vector<DuplicateKey> duplicates_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-NodePtr parse(const std::string& text) {
-  return Parser(tokenize(text)).parse_document();
+Document parse_document(const std::string& text, const ParseOptions& options) {
+  return Parser(tokenize(text), options).parse_document();
 }
 
-NodePtr parse_file(const std::string& path) {
+Document parse_document_file(const std::string& path,
+                             const ParseOptions& options) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open YAML file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  return parse_document(buffer.str(), options);
+}
+
+NodePtr parse(const std::string& text) { return parse_document(text).root; }
+
+NodePtr parse_file(const std::string& path) {
+  return parse_document_file(path).root;
 }
 
 }  // namespace caraml::yaml

@@ -8,6 +8,13 @@
 //   * scalars (plain / single- / double-quoted), `#` comments,
 //   * lazily typed scalar access (string/int/double/bool).
 // Anchors, aliases, multi-document streams and block scalars are out of scope.
+//
+// Every node carries the source location (1-based line/column) it was parsed
+// from, so downstream consumers — most importantly the `caraml lint` static
+// analyser (src/check) — can report file:line:col diagnostics. Duplicate
+// mapping keys are rejected by the strict entry points (parse / parse_file)
+// and recorded, with both occurrences' locations, by parse_document when
+// ParseOptions::allow_duplicate_keys is set.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +23,30 @@
 #include <utility>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace caraml::yaml {
 
 class Node;
 using NodePtr = std::shared_ptr<Node>;
+
+/// Source position of a parsed node; 1-based, {0, 0} = unknown (nodes built
+/// programmatically via make_*).
+struct Mark {
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// ParseError that carries the source position of the offending token.
+class LocatedParseError : public ParseError {
+ public:
+  LocatedParseError(const std::string& what, Mark mark)
+      : ParseError(what), mark_(mark) {}
+  const Mark& mark() const { return mark_; }
+
+ private:
+  Mark mark_;
+};
 
 enum class NodeKind { kScalar, kMap, kSequence };
 
@@ -33,6 +60,10 @@ class Node {
   bool is_scalar() const { return kind_ == NodeKind::kScalar; }
   bool is_map() const { return kind_ == NodeKind::kMap; }
   bool is_sequence() const { return kind_ == NodeKind::kSequence; }
+
+  /// Where this node started in the source text ({0,0} when synthesized).
+  const Mark& mark() const { return mark_; }
+  void set_mark(const Mark& mark) { mark_ = mark; }
 
   // --- scalar access -------------------------------------------------------
   const std::string& as_string() const;
@@ -67,15 +98,46 @@ class Node {
   explicit Node(NodeKind kind) : kind_(kind) {}
 
   NodeKind kind_;
+  Mark mark_;
   std::string scalar_;
   std::vector<std::pair<std::string, NodePtr>> map_;
   std::vector<NodePtr> seq_;
 };
 
-/// Parse a YAML document; throws caraml::ParseError on malformed input.
+struct ParseOptions {
+  /// When true, a repeated mapping key is recorded on the Document (last
+  /// value wins, matching permissive YAML loaders) instead of throwing.
+  /// Strict loads (parse / parse_file) reject duplicates — in block *and*
+  /// flow mappings — so a typo'd config cannot silently drop a setting.
+  bool allow_duplicate_keys = false;
+};
+
+/// One recorded duplicate mapping key (allow_duplicate_keys mode).
+struct DuplicateKey {
+  std::string key;
+  Mark first;      // first occurrence
+  Mark duplicate;  // the repeated key
+};
+
+/// A parsed document: the root node plus parse-time observations that do not
+/// live in the tree (currently duplicate mapping keys).
+struct Document {
+  NodePtr root;
+  std::vector<DuplicateKey> duplicate_keys;
+};
+
+/// Parse a YAML document; throws caraml::ParseError (LocatedParseError, with
+/// a source mark) on malformed input.
+Document parse_document(const std::string& text,
+                        const ParseOptions& options = {});
+Document parse_document_file(const std::string& path,
+                             const ParseOptions& options = {});
+
+/// Strict parse: like parse_document with default options (duplicate mapping
+/// keys throw); returns just the root.
 NodePtr parse(const std::string& text);
 
-/// Parse from a file path.
+/// Parse from a file path (strict).
 NodePtr parse_file(const std::string& path);
 
 }  // namespace caraml::yaml

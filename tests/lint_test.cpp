@@ -1,0 +1,281 @@
+// Golden-diagnostic tests for `caraml lint` (src/check).
+//
+// The corpus under tests/lint_corpus/ holds deliberately broken configs;
+// each test asserts the exact rule ids and file:line:column locations the
+// linter must produce — a column drifting by one means the caret no longer
+// points at the offending token. The clean-corpus test runs the linter over
+// every shipped file in configs/ and pins the expected result (zero errors,
+// two known warnings).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "check/lint.hpp"
+#include "check/rules.hpp"
+#include "topo/spec_yaml.hpp"
+#include "util/error.hpp"
+#include "yaml/yaml.hpp"
+
+namespace caraml::check {
+namespace {
+
+std::string corpus(const std::string& name) {
+  return std::string(CARAML_LINT_CORPUS_DIR) + "/" + name;
+}
+
+/// Compact "rule@line:col" fingerprints, in the list's sorted order.
+std::vector<std::string> fingerprints(DiagnosticList& diags) {
+  diags.sort();
+  std::vector<std::string> out;
+  for (const auto& d : diags.items()) {
+    out.push_back(d.rule_id + "@" + std::to_string(d.location.line) + ":" +
+                  std::to_string(d.location.column));
+  }
+  return out;
+}
+
+std::vector<std::string> lint_corpus_file(const std::string& name,
+                                          DiagnosticList* keep = nullptr) {
+  DiagnosticList diags;
+  lint_file(corpus(name), LintOptions{}, diags);
+  auto prints = fingerprints(diags);
+  if (keep != nullptr) *keep = diags;
+  return prints;
+}
+
+using V = std::vector<std::string>;
+
+// --- golden corpus --------------------------------------------------------------
+
+TEST(LintCorpus, DuplicateKeysBlockAndFlow) {
+  EXPECT_EQ(lint_corpus_file("dup_key.yaml"),
+            (V{"yaml/duplicate-key@3:3", "yaml/duplicate-key@7:24"}));
+}
+
+TEST(LintCorpus, BadAndCapturelessRegex) {
+  EXPECT_EQ(lint_corpus_file("bad_regex.yaml"),
+            (V{"jube/bad-regex@8:12", "jube/regex-no-capture@10:12"}));
+}
+
+TEST(LintCorpus, ParameterCycleAndUnresolvedReference) {
+  DiagnosticList diags;
+  EXPECT_EQ(lint_corpus_file("param_cycle.yaml", &diags),
+            (V{"jube/param-cycle@6:9", "jube/unresolved-param@11:18"}));
+  // The unresolved-param location is the value token "${missing}-suffix".
+  EXPECT_NE(diags.items()[1].message.find("${missing}"), std::string::npos);
+}
+
+TEST(LintCorpus, StepGraphDefects) {
+  EXPECT_EQ(lint_corpus_file("steps_bad.yaml"),
+            (V{"jube/dangling-depend@8:23", "jube/step-cycle@9:5",
+               "jube/duplicate-step@15:5"}));
+}
+
+TEST(LintCorpus, TagSetSelectingNothing) {
+  EXPECT_EQ(lint_corpus_file("tag_empty.yaml"),
+            (V{"jube/tag-selects-nothing@1:1"}));
+}
+
+TEST(LintCorpus, GuaranteedOomLlmWorkloadFlaggedStatically) {
+  DiagnosticList diags;
+  EXPECT_EQ(lint_corpus_file("oom_llm.yaml", &diags),
+            (V{"sim/static-oom@11:18"}));
+  // Warning, not error: the simulator survives an OOM (reports the cell as
+  // OOM), so a lint run over such a sweep must still exit 0.
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_NE(diags.items()[0].message.find("175B"), std::string::npos);
+  EXPECT_NE(diags.items()[0].message.find("A100"), std::string::npos);
+}
+
+TEST(LintCorpus, FaultPlanDefects) {
+  EXPECT_EQ(lint_corpus_file("fault_bad.yaml"),
+            (V{"fault/unknown-field@4:15", "fault/bad-rate@5:9",
+               "fault/unknown-kind@7:14", "fault/bad-severity@8:7",
+               "fault/negative-time@8:7", "fault/zero-window@9:7",
+               "fault/overlap@11:7", "fault/bad-device@12:7",
+               "fault/beyond-horizon@12:7", "fault/retry-invalid@14:5",
+               "fault/retry-unbounded@14:5"}));
+}
+
+TEST(LintCorpus, ZeroTdpCalibrationTable) {
+  EXPECT_EQ(
+      lint_corpus_file("zero_tdp.yaml"),
+      (V{"sim/anchor-mismatch@4:18", "sim/nonpositive-spec@4:18",
+         "sim/anchor-mismatch@5:22", "sim/nonpositive-spec@5:22",
+         "sim/anchor-mismatch@6:24", "sim/duplicate-tag@7:10",
+         "sim/unknown-field@9:19", "sim/missing-tag@10:5"}));
+}
+
+// --- clean corpus: every shipped config ----------------------------------------
+
+TEST(LintCorpus, ShippedConfigsProduceNoErrors) {
+  DiagnosticList diags = lint_paths({CARAML_CONFIG_DIR});
+  EXPECT_EQ(diags.count(Severity::kError), 0u) << diags.render_human();
+  // The two expected warnings: the hypothetical H200X system in the shipped
+  // calibration table, and the resnet50 batch-1024 cell that genuinely OOMs
+  // an A100 at runtime (the lint prediction matches the simulator).
+  ASSERT_EQ(diags.count(Severity::kWarning), 2u) << diags.render_human();
+  diags.sort();
+  const auto& unknown_system = diags.items()[0];
+  EXPECT_EQ(unknown_system.rule_id, "sim/unknown-system");
+  EXPECT_NE(unknown_system.location.file.find("calibration_table1.yaml"),
+            std::string::npos);
+  const auto& oom = diags.items()[1];
+  EXPECT_EQ(oom.rule_id, "sim/static-oom");
+  EXPECT_NE(oom.location.file.find("resnet50_benchmark.yaml"),
+            std::string::npos);
+  EXPECT_EQ(oom.location.line, 27u);
+  EXPECT_EQ(oom.location.column, 31u);  // the "1024" token in the batch list
+}
+
+// --- engine ---------------------------------------------------------------------
+
+TEST(LintEngine, ReportPullsSeverityFromCatalogue) {
+  DiagnosticList diags;
+  diags.report("sim/static-oom", {"f.yaml", 1, 1}, "msg");
+  EXPECT_EQ(diags.items()[0].severity, Severity::kWarning);
+  diags.report("jube/param-cycle", {"f.yaml", 2, 1}, "msg");
+  EXPECT_EQ(diags.items()[1].severity, Severity::kError);
+}
+
+TEST(LintEngine, ReportRejectsUnregisteredRule) {
+  DiagnosticList diags;
+  EXPECT_THROW(diags.report("made/up-rule", {"f.yaml", 1, 1}, "msg"),
+               NotFound);
+}
+
+TEST(LintEngine, ExactDuplicatesAreDropped) {
+  DiagnosticList diags;
+  diags.report("jube/param-cycle", {"f.yaml", 3, 7}, "same");
+  diags.report("jube/param-cycle", {"f.yaml", 3, 7}, "same");
+  diags.report("jube/param-cycle", {"f.yaml", 3, 7}, "different");
+  EXPECT_EQ(diags.items().size(), 2u);
+}
+
+TEST(LintEngine, SortIsByFileLineColumnRule) {
+  DiagnosticList diags;
+  diags.report("fault/bad-rate", {"b.yaml", 1, 1}, "m");
+  diags.report("jube/param-cycle", {"a.yaml", 9, 1}, "m");
+  diags.report("jube/bad-regex", {"a.yaml", 2, 5}, "m");
+  diags.report("jube/dangling-depend", {"a.yaml", 2, 1}, "m");
+  EXPECT_EQ(fingerprints(diags),
+            (V{"jube/dangling-depend@2:1", "jube/bad-regex@2:5",
+               "jube/param-cycle@9:1", "fault/bad-rate@1:1"}));
+}
+
+TEST(LintEngine, HumanRenderingFollowsCompilerConvention) {
+  DiagnosticList diags;
+  diags.report("sim/static-oom", {"cfg.yaml", 27, 31}, "needs too much");
+  const std::string text = diags.render_human();
+  EXPECT_NE(text.find("cfg.yaml:27:31: warning: needs too much "
+                      "[sim/static-oom]"),
+            std::string::npos);
+  EXPECT_NE(text.find("0 error(s), 1 warning(s), 0 info(s)"),
+            std::string::npos);
+}
+
+TEST(LintEngine, JsonRenderingCarriesSummary) {
+  DiagnosticList diags;
+  diags.report("fault/bad-rate", {"p.yaml", 5, 9}, "rate must be >= 0");
+  const std::string json = diags.render_json();
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"fault/bad-rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+}
+
+TEST(LintEngine, CatalogueIdsAreUniqueAndDocumented) {
+  std::vector<std::string> ids;
+  for (const auto& rule : rule_catalogue()) {
+    ids.push_back(rule.id);
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  EXPECT_GE(ids.size(), 30u);
+}
+
+TEST(LintEngine, MissingPathBecomesDiagnosticNotThrow) {
+  DiagnosticList diags = lint_paths({corpus("does_not_exist.yaml")});
+  ASSERT_EQ(diags.items().size(), 1u);
+  EXPECT_EQ(diags.items()[0].rule_id, "yaml/parse-error");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// --- classification & per-layer dispatch ---------------------------------------
+
+TEST(LintClassify, TopLevelKeysDecideKind) {
+  EXPECT_EQ(classify(*yaml::parse("steps: []")), FileKind::kJube);
+  EXPECT_EQ(classify(*yaml::parse("benchmark: {name: x}")), FileKind::kJube);
+  EXPECT_EQ(classify(*yaml::parse("fault_plan: {events: []}")),
+            FileKind::kFaultPlan);
+  EXPECT_EQ(classify(*yaml::parse("events: []")), FileKind::kFaultPlan);
+  EXPECT_EQ(classify(*yaml::parse("systems: []")), FileKind::kSpecTable);
+  EXPECT_EQ(classify(*yaml::parse("foo: 1")), FileKind::kUnknown);
+}
+
+TEST(LintClassify, UnknownSchemaIsWarning) {
+  DiagnosticList diags;
+  lint_text("foo: 1\n", "mystery.yaml", {}, diags);
+  ASSERT_EQ(diags.items().size(), 1u);
+  EXPECT_EQ(diags.items()[0].rule_id, "yaml/unknown-schema");
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(LintClassify, ParseErrorCarriesLocation) {
+  DiagnosticList diags;
+  lint_text("ok: 1\n\tbad: tab-indent\n", "broken.yaml", {}, diags);
+  ASSERT_EQ(diags.items().size(), 1u);
+  EXPECT_EQ(diags.items()[0].rule_id, "yaml/parse-error");
+  EXPECT_EQ(diags.items()[0].location.line, 2u);
+}
+
+TEST(LintJube, UnknownActionNeedsRegistryPredicate) {
+  const std::string text =
+      "benchmark: {name: x}\nsteps:\n  - name: s\n    do: bogus_action\n";
+  DiagnosticList without;
+  lint_text(text, "b.yaml", {}, without);
+  for (const auto& d : without.items()) {
+    EXPECT_NE(d.rule_id, "jube/unknown-action");
+  }
+  LintOptions options;
+  options.known_action = [](const std::string& name) {
+    return name == "llm_train";
+  };
+  DiagnosticList with;
+  lint_text(text, "b.yaml", options, with);
+  bool found = false;
+  for (const auto& d : with.items()) found |= d.rule_id == "jube/unknown-action";
+  EXPECT_TRUE(found);
+}
+
+// --- calibration table loader (topo/spec_yaml) ----------------------------------
+
+TEST(SpecYaml, OverridesApplyOnTopOfRegistryEntry) {
+  const topo::SpecTable table = topo::load_spec_table_file(
+      std::string(CARAML_CONFIG_DIR) + "/calibration_table1.yaml");
+  ASSERT_EQ(table.systems.size(), 3u);
+  const topo::NodeSpec& a100 = table.systems[0];
+  EXPECT_EQ(a100.jube_tag, "A100");
+  EXPECT_DOUBLE_EQ(a100.device.max_mfu_gemm, 0.47);  // overridden
+  EXPECT_DOUBLE_EQ(a100.device.batch_half_mfu, 26.0);
+  EXPECT_GT(a100.device.peak_fp16_flops, 0.0);  // inherited from registry
+  EXPECT_EQ(a100.devices_per_node, 4);
+}
+
+TEST(SpecYaml, UnknownTagStartsFromScratch) {
+  const topo::SpecTable table = topo::load_spec_table_file(
+      std::string(CARAML_CONFIG_DIR) + "/calibration_table1.yaml");
+  const topo::NodeSpec& h200x = table.systems[2];
+  EXPECT_EQ(h200x.jube_tag, "H200X");
+  EXPECT_DOUBLE_EQ(h200x.device.peak_fp16_flops, 1.2e15);
+  EXPECT_EQ(h200x.devices_per_node, 4);
+  EXPECT_EQ(h200x.max_nodes, 2);
+  EXPECT_DOUBLE_EQ(h200x.peer_link.bandwidth, 900.0e9);
+  EXPECT_DOUBLE_EQ(h200x.inter_node.bandwidth, 50.0e9);
+}
+
+}  // namespace
+}  // namespace caraml::check

@@ -313,6 +313,18 @@ TEST(ArgParser, RequiredOptionMissingThrows) {
   EXPECT_THROW(parser.get("x"), ParseError);
 }
 
+TEST(ArgParser, CollectPositionalsInterleavesWithOptions) {
+  ArgParser parser("p", "test");
+  parser.add_option("format", "f", std::string("human"));
+  parser.add_flag("strict", "s");
+  parser.set_collect_positionals(true);
+  ASSERT_TRUE(parser.parse({"configs", "--format", "json", "a.yaml",
+                            "--strict"}));
+  EXPECT_EQ(parser.get("format"), "json");
+  EXPECT_TRUE(parser.get_flag("strict"));
+  EXPECT_EQ(parser.rest(), (std::vector<std::string>{"configs", "a.yaml"}));
+}
+
 TEST(ArgParser, CollectRestCapturesWrappedCommand) {
   ArgParser parser("jpwr", "test");
   parser.add_option("methods", "m", std::string("procstat"));

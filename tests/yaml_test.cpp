@@ -136,6 +136,59 @@ TEST(Yaml, DuplicateKeyThrows) {
   EXPECT_THROW(parse("a: 1\na: 2\n"), ParseError);
 }
 
+TEST(Yaml, DuplicateFlowMapKeyThrows) {
+  // Strict loads must not let flow mappings silently last-win.
+  EXPECT_THROW(parse("event: {a: 1, a: 2}\n"), ParseError);
+}
+
+TEST(Yaml, LenientParseRecordsDuplicates) {
+  ParseOptions options;
+  options.allow_duplicate_keys = true;
+  const Document doc = parse_document("a: 1\nb: 2\na: 3\n", options);
+  EXPECT_EQ(doc.root->at("a")->as_int(), 3);  // last wins
+  ASSERT_EQ(doc.duplicate_keys.size(), 1u);
+  EXPECT_EQ(doc.duplicate_keys[0].key, "a");
+  EXPECT_EQ(doc.duplicate_keys[0].first.line, 1u);
+  EXPECT_EQ(doc.duplicate_keys[0].duplicate.line, 3u);
+  EXPECT_EQ(doc.duplicate_keys[0].duplicate.column, 1u);
+}
+
+TEST(Yaml, LenientParseRecordsFlowDuplicates) {
+  ParseOptions options;
+  options.allow_duplicate_keys = true;
+  const Document doc = parse_document("event: {a: 1, a: 2}\n", options);
+  ASSERT_EQ(doc.duplicate_keys.size(), 1u);
+  EXPECT_EQ(doc.duplicate_keys[0].key, "a");
+  EXPECT_EQ(doc.duplicate_keys[0].first.column, 9u);
+  EXPECT_EQ(doc.duplicate_keys[0].duplicate.column, 15u);
+}
+
+TEST(Yaml, NodeMarksTrackSource) {
+  const NodePtr root = parse(
+      "benchmark:\n"
+      "  name: llm\n"
+      "  batches: [16, 32]\n");
+  EXPECT_EQ(root->mark().line, 1u);
+  EXPECT_EQ(root->mark().column, 1u);
+  const NodePtr name = root->at("benchmark")->at("name");
+  EXPECT_EQ(name->mark().line, 2u);
+  EXPECT_EQ(name->mark().column, 9u);
+  const NodePtr batches = root->at("benchmark")->at("batches");
+  EXPECT_EQ(batches->mark().line, 3u);
+  EXPECT_EQ(batches->mark().column, 12u);
+  EXPECT_EQ(batches->item(1)->mark().line, 3u);
+  EXPECT_EQ(batches->item(1)->mark().column, 17u);
+}
+
+TEST(Yaml, ParseErrorsCarryMarks) {
+  try {
+    parse("a: 1\n  b: 2\n");
+    FAIL() << "expected LocatedParseError";
+  } catch (const LocatedParseError& e) {
+    EXPECT_EQ(e.mark().line, 2u);
+  }
+}
+
 TEST(Yaml, TabIndentationThrows) {
   EXPECT_THROW(parse("a:\n\tb: 1\n"), ParseError);
 }
