@@ -38,7 +38,7 @@ void BM_GptTrainStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);  // tokens per step
 }
-BENCHMARK(BM_GptTrainStep)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_GptTrainStep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_AttentionForward(benchmark::State& state) {
   Rng rng(2);
@@ -51,7 +51,7 @@ void BM_AttentionForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * time);
 }
-BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(128)->UseRealTime();
 
 void BM_AttentionBackward(benchmark::State& state) {
   Rng rng(3);
@@ -65,7 +65,7 @@ void BM_AttentionBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(dx.data());
   }
 }
-BENCHMARK(BM_AttentionBackward)->Arg(16)->Arg(64);
+BENCHMARK(BM_AttentionBackward)->Arg(16)->Arg(64)->UseRealTime();
 
 void BM_ResnetTrainStep(benchmark::State& state) {
   Rng rng(4);
@@ -85,7 +85,7 @@ void BM_ResnetTrainStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
-BENCHMARK(BM_ResnetTrainStep)->Arg(4)->Arg(16);
+BENCHMARK(BM_ResnetTrainStep)->Arg(4)->Arg(16)->UseRealTime();
 
 void BM_AdamStep(benchmark::State& state) {
   Rng rng(5);
@@ -99,7 +99,7 @@ void BM_AdamStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_AdamStep)->Arg(1 << 12)->Arg(1 << 18);
+BENCHMARK(BM_AdamStep)->Arg(1 << 12)->Arg(1 << 18)->UseRealTime();
 
 }  // namespace
 

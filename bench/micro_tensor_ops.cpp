@@ -1,5 +1,14 @@
 // google-benchmark microbenchmarks of the CPU tensor substrate: the GEMM,
 // conv2d and softmax kernels that execute the real (CPU) training path.
+//
+// All benchmarks use wall time (UseRealTime): the kernels run on the process
+// thread pool, so the main thread's CPU time measures dispatch overhead, not
+// compute. items_per_second for the GEMMs is FLOPs (2*m*n*k).
+//
+// scripts/bench_perf.py consumes --benchmark_format=json output from this
+// binary; the committed baseline (BENCH_tensor.json) records single-thread
+// numbers (CARAML_NUM_THREADS=1) so comparisons are stable across machines
+// with different core counts.
 #include <benchmark/benchmark.h>
 
 #include "tensor/tensor.hpp"
@@ -21,7 +30,7 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
 
 void BM_MatmulNt(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -34,7 +43,20 @@ void BM_MatmulNt(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
+
+void BM_MatmulTn(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = caraml::tensor::matmul_tn(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulTn)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
 
 void BM_Conv2d(benchmark::State& state) {
   const std::int64_t channels = state.range(0);
@@ -49,7 +71,28 @@ void BM_Conv2d(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
 }
-BENCHMARK(BM_Conv2d)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2d)->Arg(8)->Arg(16)->Arg(32)->UseRealTime();
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(1);
+  const Tensor input = Tensor::randn({4, channels, 16, 16}, rng);
+  const Tensor weight = Tensor::randn({channels, channels, 3, 3}, rng);
+  caraml::tensor::Conv2dArgs args;
+  args.stride = 1;
+  args.padding = 1;
+  const Tensor out = caraml::tensor::conv2d(input, weight, args);
+  const Tensor grad = Tensor::randn(out.shape(), rng);
+  for (auto _ : state) {
+    Tensor dw = caraml::tensor::conv2d_backward_weight(grad, input,
+                                                       weight.shape(), args);
+    Tensor dx = caraml::tensor::conv2d_backward_input(grad, weight,
+                                                      input.shape(), args);
+    benchmark::DoNotOptimize(dw.data());
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16)->Arg(32)->UseRealTime();
 
 void BM_SoftmaxRows(benchmark::State& state) {
   const std::int64_t rows = state.range(0);
@@ -61,7 +104,7 @@ void BM_SoftmaxRows(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * rows * 512);
 }
-BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(512);
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(512)->UseRealTime();
 
 void BM_LayerNormForward(benchmark::State& state) {
   Rng rng(1);
@@ -72,7 +115,7 @@ void BM_LayerNormForward(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
 }
-BENCHMARK(BM_LayerNormForward);
+BENCHMARK(BM_LayerNormForward)->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Record and compare google-benchmark JSON results against a committed baseline.
+
+Stdlib-only perf-regression harness for the tensor microbenchmarks:
+
+    # produce fresh numbers (single-thread for machine-independent gating)
+    CARAML_NUM_THREADS=1 ./build/bench/micro_tensor_ops \
+        --benchmark_format=json --benchmark_out=bench.json
+
+    # snapshot them as the committed baseline
+    python3 scripts/bench_perf.py record bench.json BENCH_tensor.json \
+        --note "post kernel-library rewrite"
+
+    # CI: fail when any benchmark got >25% slower than the baseline
+    python3 scripts/bench_perf.py compare BENCH_tensor.json bench.json \
+        --max-regression 0.25
+
+Comparison uses real_time (the kernels run on a thread pool; CPU time of the
+benchmark thread measures dispatch, not compute). Benchmarks present in only
+one of the two files are reported but never fail the check, so adding or
+retiring benchmarks does not require a lockstep baseline update.
+"""
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Return {name: real_time_ns} from a google-benchmark JSON file."""
+    with open(path) as handle:
+        data = json.load(handle)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            sys.exit(f"{path}: unknown time_unit '{unit}' in {bench['name']}")
+        out[bench["name"]] = float(bench["real_time"]) * scale
+    if not out:
+        sys.exit(f"{path}: no benchmarks found")
+    return out
+
+
+def cmd_record(args):
+    benchmarks = load_benchmarks(args.results)
+    baseline = {
+        "note": args.note,
+        "time_unit": "ns",
+        "metric": "real_time",
+        "benchmarks": {name: round(ns, 3) for name, ns in sorted(benchmarks.items())},
+    }
+    with open(args.baseline, "w") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"recorded {len(benchmarks)} benchmarks -> {args.baseline}")
+    return 0
+
+
+def cmd_compare(args):
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    base = baseline["benchmarks"]
+    current = load_benchmarks(args.results)
+
+    failures = []
+    width = max(len(name) for name in sorted(set(base) | set(current)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(set(base) | set(current)):
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  {current[name]:>10.0f}ns  (new)")
+            continue
+        if name not in current:
+            print(f"{name:<{width}}  {base[name]:>10.0f}ns  {'-':>12}  (missing)")
+            continue
+        ratio = current[name] / base[name]
+        delta = ratio - 1.0
+        marker = ""
+        if delta > args.max_regression:
+            marker = "  REGRESSION"
+            failures.append((name, delta))
+        print(
+            f"{name:<{width}}  {base[name]:>10.0f}ns  {current[name]:>10.0f}ns"
+            f"  {delta:+7.1%}{marker}"
+        )
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{args.max_regression:.0%}:"
+        )
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_regression:.0%}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="snapshot benchmark JSON as a baseline")
+    rec.add_argument("results", help="google-benchmark JSON output")
+    rec.add_argument("baseline", help="baseline file to write")
+    rec.add_argument("--note", default="", help="provenance note stored in the baseline")
+    rec.set_defaults(func=cmd_record)
+
+    cmp_ = sub.add_parser("compare", help="compare benchmark JSON to a baseline")
+    cmp_.add_argument("baseline", help="committed baseline file")
+    cmp_.add_argument("results", help="fresh google-benchmark JSON output")
+    cmp_.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="fail when current/baseline - 1 exceeds this (default 0.25)",
+    )
+    cmp_.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -40,6 +41,7 @@
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -177,6 +179,8 @@ struct TelemetryCli {
     manifest.git_revision = telemetry::git_describe();
     manifest.config = config;
     manifest.results = results;
+    manifest.num_threads =
+        static_cast<std::int64_t>(ThreadPool::global().size());
     if (sweep != nullptr) {
       manifest.sweep_workpackages = sweep->workpackages;
       manifest.sweep_jobs = sweep->jobs;
@@ -863,6 +867,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
   try {
+    // Fail fast on a malformed CARAML_NUM_THREADS even for subcommands that
+    // never touch the pool, so a typo is never silently ignored.
+    ThreadPool::parse_env_threads(std::getenv("CARAML_NUM_THREADS"));
     if (command == "systems") return cmd_systems();
     if (command == "run") return cmd_run(args);
     if (command == "llm") return cmd_llm(args);

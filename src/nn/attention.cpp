@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace caraml::nn {
 
@@ -61,39 +62,52 @@ Tensor CausalSelfAttention::forward(const Tensor& input) {
   const Tensor flat = input.reshape({b_count * t_count, c});
   cached_qkv_ = qkv_->forward(flat);  // [B*T, 3C]
 
-  cached_att_.clear();
-  cached_att_.reserve(static_cast<std::size_t>(b_count * num_heads_));
+  // Pre-size for indexed assignment: the head loop below runs in parallel
+  // and push_back would race.
+  cached_att_.assign(static_cast<std::size_t>(b_count * num_heads_), Tensor());
 
   Tensor heads_out({b_count * t_count, c});
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
-  for (std::int64_t b = 0; b < b_count; ++b) {
-    for (std::int64_t h = 0; h < num_heads_; ++h) {
-      const Tensor q = head_slice(cached_qkv_, b, h, 0, t_count, c, head_dim_);
-      const Tensor k = head_slice(cached_qkv_, b, h, 1, t_count, c, head_dim_);
-      const Tensor v = head_slice(cached_qkv_, b, h, 2, t_count, c, head_dim_);
+  // Each (b, h) pair reads its own qkv slice and writes a disjoint column
+  // block of heads_out, so the flattened head loop parallelizes cleanly; the
+  // tensor kernels it calls run inline on worker threads.
+  caraml::parallel_for_range(
+      0, static_cast<std::size_t>(b_count * num_heads_), 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t b =
+              static_cast<std::int64_t>(idx) / num_heads_;
+          const std::int64_t h = static_cast<std::int64_t>(idx) % num_heads_;
+          const Tensor q =
+              head_slice(cached_qkv_, b, h, 0, t_count, c, head_dim_);
+          const Tensor k =
+              head_slice(cached_qkv_, b, h, 1, t_count, c, head_dim_);
+          const Tensor v =
+              head_slice(cached_qkv_, b, h, 2, t_count, c, head_dim_);
 
-      Tensor scores = tensor::matmul_nt(q, k);  // [T, T]
-      for (std::int64_t i = 0; i < t_count; ++i) {
-        for (std::int64_t j = 0; j < t_count; ++j) {
-          if (j > i) {
-            scores[i * t_count + j] = -1e30f;  // causal mask
-          } else {
-            scores[i * t_count + j] *= scale;
+          Tensor scores = tensor::matmul_nt(q, k);  // [T, T]
+          for (std::int64_t i = 0; i < t_count; ++i) {
+            for (std::int64_t j = 0; j < t_count; ++j) {
+              if (j > i) {
+                scores[i * t_count + j] = -1e30f;  // causal mask
+              } else {
+                scores[i * t_count + j] *= scale;
+              }
+            }
+          }
+          Tensor att = tensor::softmax_rows(scores);  // [T, T]
+          Tensor y = tensor::matmul(att, v);          // [T, hd]
+          cached_att_[idx] = std::move(att);
+
+          for (std::int64_t t = 0; t < t_count; ++t) {
+            float* dst =
+                heads_out.data() + (b * t_count + t) * c + h * head_dim_;
+            const float* src = y.data() + t * head_dim_;
+            for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
           }
         }
-      }
-      Tensor att = tensor::softmax_rows(scores);  // [T, T]
-      Tensor y = tensor::matmul(att, v);          // [T, hd]
-      cached_att_.push_back(att);
-
-      for (std::int64_t t = 0; t < t_count; ++t) {
-        float* dst = heads_out.data() + (b * t_count + t) * c + h * head_dim_;
-        const float* src = y.data() + t * head_dim_;
-        for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
-      }
-    }
-  }
+      });
 
   Tensor out = proj_->forward(heads_out);  // [B*T, C]
   return out.reshape({b_count, t_count, c});
@@ -110,46 +124,57 @@ Tensor CausalSelfAttention::backward(const Tensor& grad_output) {
   Tensor d_qkv({b_count * t_count, 3 * c});
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
-  for (std::int64_t b = 0; b < b_count; ++b) {
-    for (std::int64_t h = 0; h < num_heads_; ++h) {
-      const Tensor q = head_slice(cached_qkv_, b, h, 0, t_count, c, head_dim_);
-      const Tensor k = head_slice(cached_qkv_, b, h, 1, t_count, c, head_dim_);
-      const Tensor v = head_slice(cached_qkv_, b, h, 2, t_count, c, head_dim_);
-      const Tensor& att = cached_att_[static_cast<std::size_t>(b * num_heads_ + h)];
+  // Parallel over (b, h): each pair scatters into disjoint (row, column)
+  // blocks of d_qkv, so no accumulation races.
+  caraml::parallel_for_range(
+      0, static_cast<std::size_t>(b_count * num_heads_), 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t b =
+              static_cast<std::int64_t>(idx) / num_heads_;
+          const std::int64_t h = static_cast<std::int64_t>(idx) % num_heads_;
+          const Tensor q =
+              head_slice(cached_qkv_, b, h, 0, t_count, c, head_dim_);
+          const Tensor k =
+              head_slice(cached_qkv_, b, h, 1, t_count, c, head_dim_);
+          const Tensor v =
+              head_slice(cached_qkv_, b, h, 2, t_count, c, head_dim_);
+          const Tensor& att = cached_att_[idx];
 
-      // dY per head [T, hd] from d_heads columns.
-      Tensor dy({t_count, head_dim_});
-      for (std::int64_t t = 0; t < t_count; ++t) {
-        const float* src = d_heads.data() + (b * t_count + t) * c + h * head_dim_;
-        float* dst = dy.data() + t * head_dim_;
-        for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
-      }
-
-      // y = att @ v  =>  datt = dy @ v^T ; dv = att^T @ dy
-      Tensor datt = tensor::matmul_nt(dy, v);     // [T, T]
-      Tensor dv = tensor::matmul_tn(att, dy);     // [T, hd]
-
-      // Softmax backward (masked entries have att == 0 so they drop out).
-      Tensor dscores = tensor::softmax_rows_backward(att, datt);  // [T, T]
-      // Apply mask + scale: masked entries contribute no gradient.
-      for (std::int64_t i = 0; i < t_count; ++i) {
-        for (std::int64_t j = 0; j < t_count; ++j) {
-          if (j > i) {
-            dscores[i * t_count + j] = 0.0f;
-          } else {
-            dscores[i * t_count + j] *= scale;
+          // dY per head [T, hd] from d_heads columns.
+          Tensor dy({t_count, head_dim_});
+          for (std::int64_t t = 0; t < t_count; ++t) {
+            const float* src =
+                d_heads.data() + (b * t_count + t) * c + h * head_dim_;
+            float* dst = dy.data() + t * head_dim_;
+            for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
           }
-        }
-      }
-      // scores = q @ k^T  =>  dq = dscores @ k ; dk = dscores^T @ q
-      Tensor dq = tensor::matmul(dscores, k);
-      Tensor dk = tensor::matmul_tn(dscores, q);
 
-      head_scatter(d_qkv, dq, b, h, 0, t_count, c, head_dim_);
-      head_scatter(d_qkv, dk, b, h, 1, t_count, c, head_dim_);
-      head_scatter(d_qkv, dv, b, h, 2, t_count, c, head_dim_);
-    }
-  }
+          // y = att @ v  =>  datt = dy @ v^T ; dv = att^T @ dy
+          Tensor datt = tensor::matmul_nt(dy, v);  // [T, T]
+          Tensor dv = tensor::matmul_tn(att, dy);  // [T, hd]
+
+          // Softmax backward (masked entries have att == 0 so they drop out).
+          Tensor dscores = tensor::softmax_rows_backward(att, datt);  // [T, T]
+          // Apply mask + scale: masked entries contribute no gradient.
+          for (std::int64_t i = 0; i < t_count; ++i) {
+            for (std::int64_t j = 0; j < t_count; ++j) {
+              if (j > i) {
+                dscores[i * t_count + j] = 0.0f;
+              } else {
+                dscores[i * t_count + j] *= scale;
+              }
+            }
+          }
+          // scores = q @ k^T  =>  dq = dscores @ k ; dk = dscores^T @ q
+          Tensor dq = tensor::matmul(dscores, k);
+          Tensor dk = tensor::matmul_tn(dscores, q);
+
+          head_scatter(d_qkv, dq, b, h, 0, t_count, c, head_dim_);
+          head_scatter(d_qkv, dk, b, h, 1, t_count, c, head_dim_);
+          head_scatter(d_qkv, dv, b, h, 2, t_count, c, head_dim_);
+        }
+      });
 
   Tensor d_input = qkv_->backward(d_qkv);  // [B*T, C]
   return d_input.reshape({b_count, t_count, c});

@@ -1,12 +1,21 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <mutex>
 
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace caraml::nn {
 
 using tensor::Shape;
+
+namespace {
+// Row-count grain for parallel per-row loops, targeting ~16K elements/chunk.
+std::int64_t row_grain(std::int64_t cols) {
+  return std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(1, cols));
+}
+}  // namespace
 
 // --- Linear ------------------------------------------------------------------
 
@@ -25,11 +34,17 @@ Tensor Linear::forward(const Tensor& input) {
   Tensor out = tensor::matmul_nt(input, weight_.value);  // [N, out]
   if (has_bias_) {
     const std::int64_t n = out.dim(0), c = out.dim(1);
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        out[i * c + j] += bias_.value[j];
-      }
-    }
+    float* __restrict po = out.data();
+    const float* __restrict pb = bias_.value.data();
+    parallel_for_range(0, static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(row_grain(c)),
+                       [=](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           float* __restrict row =
+                               po + static_cast<std::int64_t>(i) * c;
+                           for (std::int64_t j = 0; j < c; ++j) row[j] += pb[j];
+                         }
+                       });
   }
   return out;
 }
@@ -44,11 +59,22 @@ Tensor Linear::backward(const Tensor& grad_output) {
   tensor::add_inplace(weight_.grad, dw);
   if (has_bias_) {
     const std::int64_t n = grad_output.dim(0), c = grad_output.dim(1);
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        bias_.grad[j] += grad_output[i * c + j];
-      }
-    }
+    const float* __restrict pg = grad_output.data();
+    float* __restrict pbg = bias_.grad.data();
+    std::mutex merge_mutex;
+    parallel_for_range(
+        0, static_cast<std::size_t>(n), static_cast<std::size_t>(row_grain(c)),
+        [&, pg, pbg, c](std::size_t lo, std::size_t hi) {
+          std::vector<float> local(static_cast<std::size_t>(c), 0.0f);
+          float* __restrict pl = local.data();
+          for (std::size_t i = lo; i < hi; ++i) {
+            const float* __restrict row =
+                pg + static_cast<std::int64_t>(i) * c;
+            for (std::int64_t j = 0; j < c; ++j) pl[j] += row[j];
+          }
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          for (std::int64_t j = 0; j < c; ++j) pbg[j] += pl[j];
+        });
   }
   // dX [N,in] = g [N,out] * W [out,in]
   return tensor::matmul(grad_output, weight_.value);
@@ -112,25 +138,38 @@ Tensor LayerNorm::forward(const Tensor& input) {
   cached_normalized_ = Tensor({n, c});
   cached_inv_std_.assign(static_cast<std::size_t>(n), 0.0f);
   Tensor out({n, c});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = input.data() + i * c;
-    double total = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) total += row[j];
-    const float mu = static_cast<float>(total / c);
-    double var = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      const double d = row[j] - mu;
-      var += d * d;
-    }
-    const float inv_std =
-        1.0f / std::sqrt(static_cast<float>(var / c) + eps_);
-    cached_inv_std_[static_cast<std::size_t>(i)] = inv_std;
-    for (std::int64_t j = 0; j < c; ++j) {
-      const float norm = (row[j] - mu) * inv_std;
-      cached_normalized_[i * c + j] = norm;
-      out[i * c + j] = norm * gamma_.value[j] + beta_.value[j];
-    }
-  }
+  const float* __restrict src = input.data();
+  const float* __restrict pgamma = gamma_.value.data();
+  const float* __restrict pbeta = beta_.value.data();
+  float* __restrict pnorm = cached_normalized_.data();
+  float* __restrict pinv = cached_inv_std_.data();
+  float* __restrict po = out.data();
+  const float eps = eps_;
+  parallel_for_range(
+      0, static_cast<std::size_t>(n), static_cast<std::size_t>(row_grain(c)),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* __restrict row = src + static_cast<std::int64_t>(i) * c;
+          double total = 0.0;
+          for (std::int64_t j = 0; j < c; ++j) total += row[j];
+          const float mu = static_cast<float>(total / c);
+          double var = 0.0;
+          for (std::int64_t j = 0; j < c; ++j) {
+            const double d = row[j] - mu;
+            var += d * d;
+          }
+          const float inv_std =
+              1.0f / std::sqrt(static_cast<float>(var / c) + eps);
+          pinv[i] = inv_std;
+          float* __restrict norm_row = pnorm + static_cast<std::int64_t>(i) * c;
+          float* __restrict out_row = po + static_cast<std::int64_t>(i) * c;
+          for (std::int64_t j = 0; j < c; ++j) {
+            const float norm = (row[j] - mu) * inv_std;
+            norm_row[j] = norm;
+            out_row[j] = norm * pgamma[j] + pbeta[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -139,28 +178,53 @@ Tensor LayerNorm::backward(const Tensor& grad_output) {
   CARAML_CHECK_MSG(grad_output.same_shape(cached_input_),
                    "LayerNorm backward shape mismatch");
   Tensor dinput({n, c});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float inv_std = cached_inv_std_[static_cast<std::size_t>(i)];
-    const float* g = grad_output.data() + i * c;
-    const float* xn = cached_normalized_.data() + i * c;
-    // dnorm = g * gamma; dx = inv_std * (dnorm - mean(dnorm) - xn*mean(dnorm*xn))
-    double mean_dnorm = 0.0;
-    double mean_dnorm_xn = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      const double dn = static_cast<double>(g[j]) * gamma_.value[j];
-      mean_dnorm += dn;
-      mean_dnorm_xn += dn * xn[j];
-      gamma_.grad[j] += g[j] * xn[j];
-      beta_.grad[j] += g[j];
-    }
-    mean_dnorm /= c;
-    mean_dnorm_xn /= c;
-    for (std::int64_t j = 0; j < c; ++j) {
-      const double dn = static_cast<double>(g[j]) * gamma_.value[j];
-      dinput[i * c + j] = static_cast<float>(
-          inv_std * (dn - mean_dnorm - xn[j] * mean_dnorm_xn));
-    }
-  }
+  const float* __restrict pg = grad_output.data();
+  const float* __restrict pxn = cached_normalized_.data();
+  const float* __restrict pinv = cached_inv_std_.data();
+  const float* __restrict pgamma = gamma_.value.data();
+  float* __restrict pgamma_grad = gamma_.grad.data();
+  float* __restrict pbeta_grad = beta_.grad.data();
+  float* __restrict pdx = dinput.data();
+  std::mutex merge_mutex;
+  parallel_for_range(
+      0, static_cast<std::size_t>(n), static_cast<std::size_t>(row_grain(c)),
+      [&, pg, pxn, pinv, pgamma, pgamma_grad, pbeta_grad, pdx,
+       c](std::size_t lo, std::size_t hi) {
+        // Parameter gradients accumulate into chunk-local buffers, merged
+        // under a mutex at the end — rows are disjoint but gamma/beta are not.
+        std::vector<float> dgamma(static_cast<std::size_t>(c), 0.0f);
+        std::vector<float> dbeta(static_cast<std::size_t>(c), 0.0f);
+        float* __restrict pdg = dgamma.data();
+        float* __restrict pdb = dbeta.data();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float inv_std = pinv[i];
+          const float* __restrict g = pg + static_cast<std::int64_t>(i) * c;
+          const float* __restrict xn = pxn + static_cast<std::int64_t>(i) * c;
+          // dnorm = g*gamma; dx = inv_std*(dnorm - mean(dnorm) - xn*mean(dnorm*xn))
+          double mean_dnorm = 0.0;
+          double mean_dnorm_xn = 0.0;
+          for (std::int64_t j = 0; j < c; ++j) {
+            const double dn = static_cast<double>(g[j]) * pgamma[j];
+            mean_dnorm += dn;
+            mean_dnorm_xn += dn * xn[j];
+            pdg[j] += g[j] * xn[j];
+            pdb[j] += g[j];
+          }
+          mean_dnorm /= c;
+          mean_dnorm_xn /= c;
+          float* __restrict dx = pdx + static_cast<std::int64_t>(i) * c;
+          for (std::int64_t j = 0; j < c; ++j) {
+            const double dn = static_cast<double>(g[j]) * pgamma[j];
+            dx[j] = static_cast<float>(
+                inv_std * (dn - mean_dnorm - xn[j] * mean_dnorm_xn));
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::int64_t j = 0; j < c; ++j) {
+          pgamma_grad[j] += pdg[j];
+          pbeta_grad[j] += pdb[j];
+        }
+      });
   return dinput;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace caraml::par {
 
@@ -145,37 +146,45 @@ Tensor TensorParallelAttention::forward(const Tensor& input) {
   const Tensor flat = input.reshape({batch_ * time_, embed_dim_});
   cached_qkv_ = qkv_->forward(flat);  // [B*T, 3*localC]
 
-  cached_att_.clear();
-  cached_att_.reserve(static_cast<std::size_t>(batch_ * local_heads_));
+  // Pre-sized for indexed assignment — the head loop is parallel and
+  // push_back would race.
+  cached_att_.assign(static_cast<std::size_t>(batch_ * local_heads_),
+                     Tensor());
   Tensor heads_out({batch_ * time_, local_c});
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
-  for (std::int64_t b = 0; b < batch_; ++b) {
-    for (std::int64_t h = 0; h < local_heads_; ++h) {
-      const Tensor q = local_head_slice(cached_qkv_, b, h, 0, time_, local_c,
-                                        head_dim_);
-      const Tensor k = local_head_slice(cached_qkv_, b, h, 1, time_, local_c,
-                                        head_dim_);
-      const Tensor v = local_head_slice(cached_qkv_, b, h, 2, time_, local_c,
-                                        head_dim_);
-      Tensor scores = tensor::matmul_nt(q, k);
-      for (std::int64_t i = 0; i < time_; ++i) {
-        for (std::int64_t j = 0; j < time_; ++j) {
-          if (j > i) scores[i * time_ + j] = -1e30f;
-          else scores[i * time_ + j] *= scale;
+  caraml::parallel_for_range(
+      0, static_cast<std::size_t>(batch_ * local_heads_), 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t b =
+              static_cast<std::int64_t>(idx) / local_heads_;
+          const std::int64_t h =
+              static_cast<std::int64_t>(idx) % local_heads_;
+          const Tensor q =
+              local_head_slice(cached_qkv_, b, h, 0, time_, local_c, head_dim_);
+          const Tensor k =
+              local_head_slice(cached_qkv_, b, h, 1, time_, local_c, head_dim_);
+          const Tensor v =
+              local_head_slice(cached_qkv_, b, h, 2, time_, local_c, head_dim_);
+          Tensor scores = tensor::matmul_nt(q, k);
+          for (std::int64_t i = 0; i < time_; ++i) {
+            for (std::int64_t j = 0; j < time_; ++j) {
+              if (j > i) scores[i * time_ + j] = -1e30f;
+              else scores[i * time_ + j] *= scale;
+            }
+          }
+          Tensor att = tensor::softmax_rows(scores);
+          Tensor y = tensor::matmul(att, v);
+          cached_att_[idx] = std::move(att);
+          for (std::int64_t t = 0; t < time_; ++t) {
+            float* dst =
+                heads_out.data() + (b * time_ + t) * local_c + h * head_dim_;
+            const float* src = y.data() + t * head_dim_;
+            for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
+          }
         }
-      }
-      Tensor att = tensor::softmax_rows(scores);
-      Tensor y = tensor::matmul(att, v);
-      cached_att_.push_back(att);
-      for (std::int64_t t = 0; t < time_; ++t) {
-        float* dst =
-            heads_out.data() + (b * time_ + t) * local_c + h * head_dim_;
-        const float* src = y.data() + t * head_dim_;
-        for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
-      }
-    }
-  }
+      });
 
   // Row-parallel output projection: partial sums all-reduced across ranks.
   Tensor out = proj_->forward(heads_out);
@@ -190,39 +199,45 @@ Tensor TensorParallelAttention::backward(const Tensor& grad_output) {
 
   Tensor d_qkv({batch_ * time_, 3 * local_c});
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  for (std::int64_t b = 0; b < batch_; ++b) {
-    for (std::int64_t h = 0; h < local_heads_; ++h) {
-      const Tensor q = local_head_slice(cached_qkv_, b, h, 0, time_, local_c,
-                                        head_dim_);
-      const Tensor k = local_head_slice(cached_qkv_, b, h, 1, time_, local_c,
-                                        head_dim_);
-      const Tensor v = local_head_slice(cached_qkv_, b, h, 2, time_, local_c,
-                                        head_dim_);
-      const Tensor& att =
-          cached_att_[static_cast<std::size_t>(b * local_heads_ + h)];
-      Tensor dy({time_, head_dim_});
-      for (std::int64_t t = 0; t < time_; ++t) {
-        const float* src =
-            d_heads.data() + (b * time_ + t) * local_c + h * head_dim_;
-        float* dst = dy.data() + t * head_dim_;
-        for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
-      }
-      Tensor datt = tensor::matmul_nt(dy, v);
-      Tensor dv = tensor::matmul_tn(att, dy);
-      Tensor dscores = tensor::softmax_rows_backward(att, datt);
-      for (std::int64_t i = 0; i < time_; ++i) {
-        for (std::int64_t j = 0; j < time_; ++j) {
-          if (j > i) dscores[i * time_ + j] = 0.0f;
-          else dscores[i * time_ + j] *= scale;
+  // Parallel over (b, h): disjoint (row, column) blocks of d_qkv per pair.
+  caraml::parallel_for_range(
+      0, static_cast<std::size_t>(batch_ * local_heads_), 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t b =
+              static_cast<std::int64_t>(idx) / local_heads_;
+          const std::int64_t h =
+              static_cast<std::int64_t>(idx) % local_heads_;
+          const Tensor q =
+              local_head_slice(cached_qkv_, b, h, 0, time_, local_c, head_dim_);
+          const Tensor k =
+              local_head_slice(cached_qkv_, b, h, 1, time_, local_c, head_dim_);
+          const Tensor v =
+              local_head_slice(cached_qkv_, b, h, 2, time_, local_c, head_dim_);
+          const Tensor& att = cached_att_[idx];
+          Tensor dy({time_, head_dim_});
+          for (std::int64_t t = 0; t < time_; ++t) {
+            const float* src =
+                d_heads.data() + (b * time_ + t) * local_c + h * head_dim_;
+            float* dst = dy.data() + t * head_dim_;
+            for (std::int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
+          }
+          Tensor datt = tensor::matmul_nt(dy, v);
+          Tensor dv = tensor::matmul_tn(att, dy);
+          Tensor dscores = tensor::softmax_rows_backward(att, datt);
+          for (std::int64_t i = 0; i < time_; ++i) {
+            for (std::int64_t j = 0; j < time_; ++j) {
+              if (j > i) dscores[i * time_ + j] = 0.0f;
+              else dscores[i * time_ + j] *= scale;
+            }
+          }
+          Tensor dq = tensor::matmul(dscores, k);
+          Tensor dk = tensor::matmul_tn(dscores, q);
+          local_head_scatter(d_qkv, dq, b, h, 0, time_, local_c, head_dim_);
+          local_head_scatter(d_qkv, dk, b, h, 1, time_, local_c, head_dim_);
+          local_head_scatter(d_qkv, dv, b, h, 2, time_, local_c, head_dim_);
         }
-      }
-      Tensor dq = tensor::matmul(dscores, k);
-      Tensor dk = tensor::matmul_tn(dscores, q);
-      local_head_scatter(d_qkv, dq, b, h, 0, time_, local_c, head_dim_);
-      local_head_scatter(d_qkv, dk, b, h, 1, time_, local_c, head_dim_);
-      local_head_scatter(d_qkv, dv, b, h, 2, time_, local_c, head_dim_);
-    }
-  }
+      });
 
   Tensor d_input = qkv_->backward(d_qkv);
   // Column-parallel input gradient: sum of all shards' contributions.

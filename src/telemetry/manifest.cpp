@@ -23,6 +23,7 @@ std::string Manifest::to_json_line() const {
   json::Value config_obj{json::Object{}};
   for (const auto& [key, value] : config) config_obj.set(key, value);
   root.set("config", std::move(config_obj));
+  root.set("num_threads", num_threads);
   json::Value sampling{json::Object{}};
   sampling.set("power_samples", power_samples);
   sampling.set("overruns", sample_overruns);
@@ -84,6 +85,10 @@ Manifest Manifest::from_json_line(const std::string& line) {
   if (sampling.contains("methods_quarantined")) {
     manifest.methods_quarantined =
         sampling.at("methods_quarantined").as_int();
+  }
+  // Lines written before the thread-count field keep the 0 default.
+  if (root.contains("num_threads")) {
+    manifest.num_threads = root.at("num_threads").as_int();
   }
   // v1 lines predate the status/fault fields; keep their defaults.
   if (root.contains("status")) {

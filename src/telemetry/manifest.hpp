@@ -31,6 +31,11 @@ struct Manifest {
   std::int64_t methods_quarantined = 0;   // methods benched after repeats
 
   // How the run ended and what faults it survived (src/fault).
+  /// Effective size of the process-global compute thread pool (after
+  /// CARAML_NUM_THREADS is applied); 0 in lines written before this field
+  /// existed.
+  std::int64_t num_threads = 0;
+
   std::string status = "ok";      // ok | degraded | failed
   std::uint64_t fault_seed = 0;
   std::string fault_fingerprint;  // empty when no fault plan was active

@@ -1,0 +1,265 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/workspace.hpp"
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+
+namespace caraml::tensor::detail {
+namespace {
+
+constexpr int MR = kGemmMR;
+constexpr int NR = kGemmNR;
+
+#if defined(__GNUC__) || defined(__clang__)
+
+// 8-wide float vector with scalar (4-byte) alignment so loads/stores work on
+// arbitrarily offset C rows and packed panels.
+typedef float v8f __attribute__((vector_size(32), aligned(4)));
+
+// Rank-kc update of an MR x NR tile of C. The 12 accumulators are *named*
+// vector variables, not an array: an acc[MR*NR] aggregate exceeds the
+// compiler's scalar-replacement budget and gets spilled to the stack on
+// every k-iteration, which is the difference between ~1 and ~25 GFLOP/s.
+// `ap` is an MR-wide packed A panel (column-major micro-panel: ap[p*MR+i]),
+// `bp` an NR-wide packed B panel (bp[p*NR+j]); both are zero-padded, so the
+// hot loop is branch-free. rows/cols clip the C write-back for edge tiles.
+void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                  const float* __restrict bp, float* __restrict c,
+                  std::int64_t ldc, int rows, int cols) {
+  v8f c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
+  v8f c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict a_col = ap + p * MR;
+    const v8f b0 = *reinterpret_cast<const v8f*>(bp + p * NR);
+    const v8f b1 = *reinterpret_cast<const v8f*>(bp + p * NR + 8);
+    c00 += a_col[0] * b0;
+    c01 += a_col[0] * b1;
+    c10 += a_col[1] * b0;
+    c11 += a_col[1] * b1;
+    c20 += a_col[2] * b0;
+    c21 += a_col[2] * b1;
+    c30 += a_col[3] * b0;
+    c31 += a_col[3] * b1;
+    c40 += a_col[4] * b0;
+    c41 += a_col[4] * b1;
+    c50 += a_col[5] * b0;
+    c51 += a_col[5] * b1;
+  }
+  if (rows == MR && cols == NR) {
+    v8f* r0 = reinterpret_cast<v8f*>(c);
+    v8f* r1 = reinterpret_cast<v8f*>(c + ldc);
+    v8f* r2 = reinterpret_cast<v8f*>(c + 2 * ldc);
+    v8f* r3 = reinterpret_cast<v8f*>(c + 3 * ldc);
+    v8f* r4 = reinterpret_cast<v8f*>(c + 4 * ldc);
+    v8f* r5 = reinterpret_cast<v8f*>(c + 5 * ldc);
+    r0[0] += c00;
+    r0[1] += c01;
+    r1[0] += c10;
+    r1[1] += c11;
+    r2[0] += c20;
+    r2[1] += c21;
+    r3[0] += c30;
+    r3[1] += c31;
+    r4[0] += c40;
+    r4[1] += c41;
+    r5[0] += c50;
+    r5[1] += c51;
+  } else {
+    float acc[MR * NR];
+    *reinterpret_cast<v8f*>(acc + 0 * NR) = c00;
+    *reinterpret_cast<v8f*>(acc + 0 * NR + 8) = c01;
+    *reinterpret_cast<v8f*>(acc + 1 * NR) = c10;
+    *reinterpret_cast<v8f*>(acc + 1 * NR + 8) = c11;
+    *reinterpret_cast<v8f*>(acc + 2 * NR) = c20;
+    *reinterpret_cast<v8f*>(acc + 2 * NR + 8) = c21;
+    *reinterpret_cast<v8f*>(acc + 3 * NR) = c30;
+    *reinterpret_cast<v8f*>(acc + 3 * NR + 8) = c31;
+    *reinterpret_cast<v8f*>(acc + 4 * NR) = c40;
+    *reinterpret_cast<v8f*>(acc + 4 * NR + 8) = c41;
+    *reinterpret_cast<v8f*>(acc + 5 * NR) = c50;
+    *reinterpret_cast<v8f*>(acc + 5 * NR + 8) = c51;
+    for (int i = 0; i < rows; ++i) {
+      float* __restrict c_row = c + i * ldc;
+      const float* __restrict acc_row = acc + i * NR;
+      for (int j = 0; j < cols; ++j) c_row[j] += acc_row[j];
+    }
+  }
+}
+
+#else  // portable fallback, relies on autovectorization
+
+void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                  const float* __restrict bp, float* __restrict c,
+                  std::int64_t ldc, int rows, int cols) {
+  float acc[MR * NR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict a_col = ap + p * MR;
+    const float* __restrict b_row = bp + p * NR;
+    for (int i = 0; i < MR; ++i) {
+      const float a_val = a_col[i];
+      float* __restrict acc_row = acc + i * NR;
+      for (int j = 0; j < NR; ++j) acc_row[j] += a_val * b_row[j];
+    }
+  }
+  for (int i = 0; i < rows; ++i) {
+    float* __restrict c_row = c + i * ldc;
+    const float* __restrict acc_row = acc + i * NR;
+    for (int j = 0; j < cols; ++j) c_row[j] += acc_row[j];
+  }
+}
+
+#endif
+
+// Pack op(B)[pc:pc+kc, j0:j0+nc] into ceil(nc/NR) panels of NR columns
+// (panel stride kc*NR), zero-padding the ragged last panel.
+void pack_b(bool trans_b, const float* b, std::int64_t ldb, std::int64_t pc,
+            std::int64_t j0, std::int64_t kc, std::int64_t nc, float* bp) {
+  const std::int64_t panels = (nc + NR - 1) / NR;
+  for (std::int64_t pj = 0; pj < panels; ++pj) {
+    const std::int64_t jc = j0 + pj * NR;
+    const int cols = static_cast<int>(std::min<std::int64_t>(NR, j0 + nc - jc));
+    float* __restrict dst = bp + pj * kc * NR;
+    if (!trans_b) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* __restrict src = b + (pc + p) * ldb + jc;
+        float* __restrict row = dst + p * NR;
+        for (int jj = 0; jj < cols; ++jj) row[jj] = src[jj];
+        for (int jj = cols; jj < NR; ++jj) row[jj] = 0.0f;
+      }
+    } else {
+      // op(B)(p, j) = B[j, p]: one strided column write per source row.
+      if (cols < NR) std::memset(dst, 0, sizeof(float) * kc * NR);
+      for (int jj = 0; jj < cols; ++jj) {
+        const float* __restrict src = b + (jc + jj) * ldb + pc;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * NR + jj] = src[p];
+      }
+    }
+  }
+}
+
+// Pack op(A)[i0:i0+mc, pc:pc+kc] into ceil(mc/MR) panels of MR rows
+// (panel stride kc*MR), zero-padding the ragged last panel.
+void pack_a(bool trans_a, const float* a, std::int64_t lda, std::int64_t i0,
+            std::int64_t pc, std::int64_t mc, std::int64_t kc, float* ap) {
+  const std::int64_t panels = (mc + MR - 1) / MR;
+  for (std::int64_t pi = 0; pi < panels; ++pi) {
+    const std::int64_t ic = i0 + pi * MR;
+    const int rows = static_cast<int>(std::min<std::int64_t>(MR, i0 + mc - ic));
+    float* __restrict dst = ap + pi * kc * MR;
+    if (!trans_a) {
+      if (rows < MR) std::memset(dst, 0, sizeof(float) * kc * MR);
+      for (int ii = 0; ii < rows; ++ii) {
+        const float* __restrict src = a + (ic + ii) * lda + pc;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * MR + ii] = src[p];
+      }
+    } else {
+      // op(A)(i, p) = A[p, i]: contiguous row reads.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* __restrict src = a + (pc + p) * lda + ic;
+        float* __restrict col = dst + p * MR;
+        for (int ii = 0; ii < rows; ++ii) col[ii] = src[ii];
+        for (int ii = rows; ii < MR; ++ii) col[ii] = 0.0f;
+      }
+    }
+  }
+}
+
+// Direct register-accumulating loops for matrices too small to amortize
+// packing. Never skips zero operands: 0 * NaN must stay NaN.
+void gemm_direct(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                 std::int64_t k, const float* __restrict a, std::int64_t lda,
+                 const float* __restrict b, std::int64_t ldb,
+                 float* __restrict c, std::int64_t ldc) {
+  if (!trans_a && !trans_b) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* __restrict a_row = a + i * lda;
+      float* __restrict c_row = c + i * ldc;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float a_val = a_row[p];
+        const float* __restrict b_row = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* __restrict a_row = a + i * lda;
+      float* __restrict c_row = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* __restrict b_row = b + j * ldb;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += acc;
+      }
+    }
+  } else {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* __restrict a_row = a + p * lda;
+      const float* __restrict b_row = b + p * ldb;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float a_val = a_row[i];
+        float* __restrict c_row = c + i * ldc;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float* c, std::int64_t ldc) {
+  CARAML_CHECK_MSG(!(trans_a && trans_b), "gemm: T·T is unsupported");
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * n * k <= kGemmDirectThreshold) {
+    gemm_direct(trans_a, trans_b, m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    const std::int64_t kc = std::min(kGemmKC, k - pc);
+    for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
+      const std::int64_t nc = std::min(kGemmNC, n - jc);
+      const std::int64_t n_panels = (nc + NR - 1) / NR;
+      Workspace::Buffer b_panel =
+          Workspace::local().take(static_cast<std::size_t>(n_panels * kc * NR));
+      pack_b(trans_b, b, ldb, pc, jc, kc, nc, b_panel.data());
+
+      // Chunk rows so each task runs at least ~256K multiply-adds; the packed
+      // B panel is shared read-only across workers.
+      const std::int64_t grain = std::max<std::int64_t>(
+          MR, (4 * kGemmDirectThreshold) / std::max<std::int64_t>(1, nc * kc));
+      const float* bp = b_panel.data();
+      parallel_for_range(
+          0, static_cast<std::size_t>(m), static_cast<std::size_t>(grain),
+          [&](std::size_t lo, std::size_t hi) {
+            Workspace::Buffer a_panel = Workspace::local().take(
+                static_cast<std::size_t>(((kGemmMC + MR - 1) / MR) * kc * MR));
+            for (std::int64_t ic = static_cast<std::int64_t>(lo);
+                 ic < static_cast<std::int64_t>(hi); ic += kGemmMC) {
+              const std::int64_t mc =
+                  std::min(kGemmMC, static_cast<std::int64_t>(hi) - ic);
+              pack_a(trans_a, a, lda, ic, pc, mc, kc, a_panel.data());
+              const std::int64_t m_panels = (mc + MR - 1) / MR;
+              for (std::int64_t pj = 0; pj < n_panels; ++pj) {
+                const int cols = static_cast<int>(
+                    std::min<std::int64_t>(NR, nc - pj * NR));
+                for (std::int64_t pi = 0; pi < m_panels; ++pi) {
+                  const int rows = static_cast<int>(
+                      std::min<std::int64_t>(MR, mc - pi * MR));
+                  micro_kernel(kc, a_panel.data() + pi * kc * MR,
+                               bp + pj * kc * NR,
+                               c + (ic + pi * MR) * ldc + jc + pj * NR, ldc,
+                               rows, cols);
+                }
+              }
+            }
+          });
+    }
+  }
+}
+
+}  // namespace caraml::tensor::detail

@@ -1,0 +1,50 @@
+// Blocked, packed, register-tiled single-precision GEMM.
+//
+// One kernel powers matmul / matmul_nt / matmul_tn: C += op(A)·op(B) with
+// row-major operands and independent transpose flags. The implementation is
+// the classic three-level cache blocking (BLIS/GotoBLAS structure):
+//
+//   for each KC slice of k:            (B slice stays in L2)
+//     for each NC slice of n:
+//       pack op(B) into NR-wide column panels   (contiguous, zero-padded)
+//       parallel over rows:                     (grain-aware chunks)
+//         for each MC slice of the chunk:
+//           pack op(A) into MR-wide row panels  (per-thread workspace)
+//           MR x NR micro-kernel: rank-KC update accumulated in registers
+//
+// Packing makes the micro-kernel's loads contiguous and transpose-agnostic,
+// so `__restrict` plain loops auto-vectorize; accumulators live in registers
+// for the whole KC depth, eliminating the k-fold C traffic of the naive
+// kernel. Panels come from the per-thread Workspace, so steady-state
+// training reuses the same slabs every step.
+#pragma once
+
+#include <cstdint>
+
+namespace caraml::tensor::detail {
+
+// Register tile (micro-kernel footprint) and cache blocking. 6x16 fills the
+// 16 AVX2 ymm registers (12 accumulators + B row + A broadcast); KC keeps an
+// A panel pair in L1/L2, NC bounds the packed B panel to ~L2.
+inline constexpr int kGemmMR = 6;
+inline constexpr int kGemmNR = 16;
+inline constexpr std::int64_t kGemmMC = 72;    // multiple of kGemmMR
+inline constexpr std::int64_t kGemmKC = 256;
+inline constexpr std::int64_t kGemmNC = 1024;  // multiple of kGemmNR
+
+// Below this many multiply-adds (m*n*k) the packed path's overhead is not
+// worth it and a direct register-accumulating loop runs instead.
+inline constexpr std::int64_t kGemmDirectThreshold = 32 * 32 * 32;
+
+/// C[m,n] += op(A)·op(B).
+///
+/// op(A) is A[m,k] when !trans_a, else A is stored [k,m] and used transposed;
+/// op(B) is B[k,n] when !trans_b, else B is stored [n,k] and used transposed.
+/// lda/ldb/ldc are row strides of the *stored* matrices. C must be
+/// initialized by the caller (the kernel accumulates). trans_a && trans_b is
+/// unsupported (no caller needs it).
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float* c, std::int64_t ldc);
+
+}  // namespace caraml::tensor::detail

@@ -1,0 +1,28 @@
+// Naive single-threaded reference kernels.
+//
+// These are the seed implementations the optimized kernel library replaced,
+// kept (minus the 0*NaN-dropping zero-skip bug) as the oracle for the
+// kernel-equivalence test suite and for debugging numerical differences.
+// Deliberately simple: no blocking, no packing, no threading — every op is a
+// direct transcription of its defining formula.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace caraml::tensor::reference {
+
+/// C = A[m,k] · B[k,n], serial triple loop with double accumulation.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A[m,k] · B[n,k]^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// C = A[k,m]^T · B[k,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax of [rows, cols].
+Tensor softmax_rows(const Tensor& a);
+
+/// Direct (non-im2col) convolution: input [N,C,H,W], weight [O,C,kh,kw].
+Tensor conv2d(const Tensor& input, const Tensor& weight,
+              const Conv2dArgs& args);
+
+}  // namespace caraml::tensor::reference

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 #include "util/error.hpp"
 #include "util/threadpool.hpp"
 
@@ -28,6 +31,35 @@ std::int64_t shape_numel(const Shape& shape) {
   }
   return n;
 }
+
+namespace {
+
+// Minimum elements per parallel chunk: below this, dispatch overhead beats
+// the win. Elementwise kernels run serial until 2x the grain.
+constexpr std::int64_t kElementwiseGrain = 1 << 14;
+
+// Run body(lo, hi) over [0, n), in parallel chunks when n is large enough.
+template <typename F>
+void for_each_span(std::int64_t n, F&& body) {
+  if (n >= 2 * kElementwiseGrain) {
+    parallel_for_range(0, static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(kElementwiseGrain),
+                       [&body](std::size_t lo, std::size_t hi) {
+                         body(static_cast<std::int64_t>(lo),
+                              static_cast<std::int64_t>(hi));
+                       });
+  } else {
+    body(0, n);
+  }
+}
+
+// Row-count grain targeting ~kElementwiseGrain elements per chunk.
+std::int64_t row_grain(std::int64_t cols) {
+  return std::max<std::int64_t>(1,
+                                kElementwiseGrain / std::max<std::int64_t>(1, cols));
+}
+
+}  // namespace
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
@@ -110,12 +142,15 @@ Tensor Tensor::transpose2d() const {
   const std::int64_t rows = shape_[0];
   const std::int64_t cols = shape_[1];
   Tensor out({cols, rows});
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) {
-      out.data_[static_cast<std::size_t>(c * rows + r)] =
-          data_[static_cast<std::size_t>(r * cols + c)];
+  const float* __restrict src = data();
+  float* __restrict dst = out.data();
+  for_each_span(rows, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        dst[c * rows + r] = src[r * cols + c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -133,52 +168,88 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out.data();
+  for_each_span(a.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+  });
   return out;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out.data();
+  for_each_span(a.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
   return out;
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out.data();
+  for_each_span(a.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
   return out;
 }
 
 Tensor scale(const Tensor& a, float s) {
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  const float* __restrict pa = a.data();
+  float* __restrict po = out.data();
+  for_each_span(a.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+  });
   return out;
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
-  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+  float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  for_each_span(a.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+  });
 }
 
 void axpy(Tensor& y, float alpha, const Tensor& x) {
   check_same_shape(y, x, "axpy");
-  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] += alpha * x[i];
+  float* __restrict py = y.data();
+  const float* __restrict px = x.data();
+  for_each_span(y.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) py[i] += alpha * px[i];
+  });
 }
 
 Tensor relu(const Tensor& a) {
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  const float* __restrict pa = a.data();
+  float* __restrict po = out.data();
+  for_each_span(a.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  });
   return out;
 }
 
 Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
   check_same_shape(x, grad_out, "relu_backward");
   Tensor out(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    out[i] = x[i] > 0.0f ? grad_out[i] : 0.0f;
-  }
+  const float* __restrict px = x.data();
+  const float* __restrict pg = grad_out.data();
+  float* __restrict po = out.data();
+  for_each_span(x.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+    }
+  });
   return out;
 }
 
@@ -203,16 +274,25 @@ inline float gelu_grad_scalar(float x) {
 
 Tensor gelu(const Tensor& a) {
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = gelu_scalar(a[i]);
+  const float* __restrict pa = a.data();
+  float* __restrict po = out.data();
+  for_each_span(a.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = gelu_scalar(pa[i]);
+  });
   return out;
 }
 
 Tensor gelu_backward(const Tensor& x, const Tensor& grad_out) {
   check_same_shape(x, grad_out, "gelu_backward");
   Tensor out(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    out[i] = grad_out[i] * gelu_grad_scalar(x[i]);
-  }
+  const float* __restrict px = x.data();
+  const float* __restrict pg = grad_out.data();
+  float* __restrict po = out.data();
+  for_each_span(x.numel(), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      po[i] = pg[i] * gelu_grad_scalar(px[i]);
+    }
+  });
   return out;
 }
 
@@ -258,30 +338,10 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
 }
 
 // --- GEMM ------------------------------------------------------------------
-
-namespace {
-
-// Inner kernel: C[m,n] += A[m,k] * B[k,n] for a row range of C.
-// B is accessed row-wise (k outer) so the inner loop is contiguous.
-void gemm_rows(const float* a, const float* b, float* c, std::int64_t row_begin,
-               std::int64_t row_end, std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = row_begin; i < row_end; ++i) {
-    float* c_row = c + i * n;
-    const float* a_row = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float a_val = a_row[p];
-      if (a_val == 0.0f) continue;
-      const float* b_row = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        c_row[j] += a_val * b_row[j];
-      }
-    }
-  }
-}
-
-constexpr std::int64_t kParallelGemmThreshold = 64 * 64;
-
-}  // namespace
+//
+// All three variants are thin shims over the shared blocked/packed kernel in
+// tensor/gemm.cpp; the transpose flags select the packing order, so no
+// operand is ever materialized transposed.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   CARAML_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul needs 2-D tensors");
@@ -291,14 +351,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                        shape_to_string(a.shape()) + " x " +
                        shape_to_string(b.shape()));
   Tensor c({m, n});
-  if (m * n < kParallelGemmThreshold || m == 1) {
-    gemm_rows(a.data(), b.data(), c.data(), 0, m, k, n);
-    return c;
-  }
-  parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t i) {
-    gemm_rows(a.data(), b.data(), c.data(), static_cast<std::int64_t>(i),
-              static_cast<std::int64_t>(i + 1), k, n);
-  });
+  detail::gemm(false, false, m, n, k, a.data(), k, b.data(), n, c.data(), n);
   return c;
 }
 
@@ -307,25 +360,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   CARAML_CHECK_MSG(b.dim(1) == k, "matmul_nt inner dimension mismatch");
   Tensor c({m, n});
-  auto rows = [&](std::int64_t row_begin, std::int64_t row_end) {
-    for (std::int64_t i = row_begin; i < row_end; ++i) {
-      const float* a_row = a.data() + i * k;
-      float* c_row = c.data() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* b_row = b.data() + j * k;
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-        c_row[j] = acc;
-      }
-    }
-  };
-  if (m * n < kParallelGemmThreshold || m == 1) {
-    rows(0, m);
-  } else {
-    parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t i) {
-      rows(static_cast<std::int64_t>(i), static_cast<std::int64_t>(i + 1));
-    });
-  }
+  detail::gemm(false, true, m, n, k, a.data(), k, b.data(), k, c.data(), n);
   return c;
 }
 
@@ -334,17 +369,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   CARAML_CHECK_MSG(b.dim(0) == k, "matmul_tn inner dimension mismatch");
   Tensor c({m, n});
-  // c[i,j] = sum_p a[p,i] * b[p,j]; accumulate row-wise over p for locality.
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* a_row = a.data() + p * m;
-    const float* b_row = b.data() + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float a_val = a_row[i];
-      if (a_val == 0.0f) continue;
-      float* c_row = c.data() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-    }
-  }
+  detail::gemm(true, false, m, n, k, a.data(), m, b.data(), n, c.data(), n);
   return c;
 }
 
@@ -354,19 +379,30 @@ Tensor softmax_rows(const Tensor& a) {
   CARAML_CHECK_MSG(a.rank() == 2, "softmax_rows needs a 2-D tensor");
   const std::int64_t rows = a.dim(0), cols = a.dim(1);
   Tensor out(a.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in_row = a.data() + r * cols;
-    float* out_row = out.data() + r * cols;
-    float max_value = in_row[0];
-    for (std::int64_t c = 1; c < cols; ++c) max_value = std::max(max_value, in_row[c]);
-    double total = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      out_row[c] = std::exp(in_row[c] - max_value);
-      total += out_row[c];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (std::int64_t c = 0; c < cols; ++c) out_row[c] *= inv;
-  }
+  const float* __restrict src = a.data();
+  float* __restrict dst = out.data();
+  parallel_for_range(
+      0, static_cast<std::size_t>(rows),
+      static_cast<std::size_t>(row_grain(cols)),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* __restrict in_row =
+              src + static_cast<std::int64_t>(r) * cols;
+          float* __restrict out_row =
+              dst + static_cast<std::int64_t>(r) * cols;
+          float max_value = in_row[0];
+          for (std::int64_t c = 1; c < cols; ++c) {
+            max_value = std::max(max_value, in_row[c]);
+          }
+          double total = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            out_row[c] = std::exp(in_row[c] - max_value);
+            total += out_row[c];
+          }
+          const float inv = static_cast<float>(1.0 / total);
+          for (std::int64_t c = 0; c < cols; ++c) out_row[c] *= inv;
+        }
+      });
   return out;
 }
 
@@ -375,26 +411,95 @@ Tensor softmax_rows_backward(const Tensor& y, const Tensor& grad_out) {
   CARAML_CHECK_MSG(y.rank() == 2, "softmax_rows_backward needs 2-D");
   const std::int64_t rows = y.dim(0), cols = y.dim(1);
   Tensor out(y.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* y_row = y.data() + r * cols;
-    const float* g_row = grad_out.data() + r * cols;
-    float* o_row = out.data() + r * cols;
-    double dot = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) dot += static_cast<double>(y_row[c]) * g_row[c];
-    for (std::int64_t c = 0; c < cols; ++c) {
-      o_row[c] = y_row[c] * (g_row[c] - static_cast<float>(dot));
-    }
-  }
+  const float* __restrict py = y.data();
+  const float* __restrict pg = grad_out.data();
+  float* __restrict po = out.data();
+  parallel_for_range(
+      0, static_cast<std::size_t>(rows),
+      static_cast<std::size_t>(row_grain(cols)),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* __restrict y_row =
+              py + static_cast<std::int64_t>(r) * cols;
+          const float* __restrict g_row =
+              pg + static_cast<std::int64_t>(r) * cols;
+          float* __restrict o_row = po + static_cast<std::int64_t>(r) * cols;
+          double dot = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            dot += static_cast<double>(y_row[c]) * g_row[c];
+          }
+          for (std::int64_t c = 0; c < cols; ++c) {
+            o_row[c] = y_row[c] * (g_row[c] - static_cast<float>(dot));
+          }
+        }
+      });
   return out;
 }
 
 // --- conv2d ----------------------------------------------------------------
 
 namespace {
+
 std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
                            std::int64_t stride, std::int64_t padding) {
   return (in + 2 * padding - kernel) / stride + 1;
 }
+
+// im2col core: write [n*oh*ow, c*kh*kw] patch rows into `cols`, in parallel
+// over contiguous patch ranges.
+void im2col_into(const Tensor& input, std::int64_t kh, std::int64_t kw,
+                 const Conv2dArgs& args, std::int64_t oh, std::int64_t ow,
+                 float* cols) {
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t patch = c * kh * kw;
+  const float* __restrict src = input.data();
+  parallel_for_range(
+      0, static_cast<std::size_t>(n * oh * ow),
+      static_cast<std::size_t>(row_grain(patch)),
+      [=, &args](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t flat = static_cast<std::int64_t>(idx);
+          const std::int64_t img = flat / (oh * ow);
+          const std::int64_t oy = (flat / ow) % oh;
+          const std::int64_t ox = flat % ow;
+          float* __restrict dst = cols + flat * patch;
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = oy * args.stride + ky - args.padding;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ox * args.stride + kx - args.padding;
+                float value = 0.0f;
+                if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                  value = src[((img * c + ch) * h + iy) * w + ix];
+                }
+                *dst++ = value;
+              }
+            }
+          }
+        }
+      });
+}
+
+// Transpose grad_out [n, o, oh*ow] (NCHW) into GEMM row layout [n*oh*ow, o],
+// in parallel over pixel ranges (contiguous writes, strided reads).
+void nchw_to_rows(const float* src, std::int64_t n, std::int64_t o,
+                  std::int64_t pixels, float* dst) {
+  parallel_for_range(
+      0, static_cast<std::size_t>(n * pixels),
+      static_cast<std::size_t>(row_grain(o)),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t flat = static_cast<std::int64_t>(idx);
+          const std::int64_t img = flat / pixels;
+          const std::int64_t pixel = flat % pixels;
+          const float* __restrict s = src + (img * o) * pixels + pixel;
+          float* __restrict d = dst + flat * o;
+          for (std::int64_t ch = 0; ch < o; ++ch) d[ch] = s[ch * pixels];
+        }
+      });
+}
+
 }  // namespace
 
 Tensor im2col(const Tensor& input, std::int64_t kh, std::int64_t kw,
@@ -405,28 +510,8 @@ Tensor im2col(const Tensor& input, std::int64_t kh, std::int64_t kw,
   const std::int64_t oh = conv_out_size(h, kh, args.stride, args.padding);
   const std::int64_t ow = conv_out_size(w, kw, args.stride, args.padding);
   CARAML_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
-  // Columns: [n*oh*ow, c*kh*kw].
   Tensor cols({n * oh * ow, c * kh * kw});
-  parallel_for(0, static_cast<std::size_t>(n * oh * ow), [&](std::size_t idx) {
-    const std::int64_t flat = static_cast<std::int64_t>(idx);
-    const std::int64_t img = flat / (oh * ow);
-    const std::int64_t oy = (flat / ow) % oh;
-    const std::int64_t ox = flat % ow;
-    float* dst = cols.data() + flat * (c * kh * kw);
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t ky = 0; ky < kh; ++ky) {
-        const std::int64_t iy = oy * args.stride + ky - args.padding;
-        for (std::int64_t kx = 0; kx < kw; ++kx) {
-          const std::int64_t ix = ox * args.stride + kx - args.padding;
-          float value = 0.0f;
-          if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-            value = input[((img * c + ch) * h + iy) * w + ix];
-          }
-          *dst++ = value;
-        }
-      }
-    }
-  });
+  im2col_into(input, kh, kw, args, oh, ow, cols.data());
   return cols;
 }
 
@@ -440,21 +525,38 @@ Tensor conv2d(const Tensor& input, const Tensor& weight,
   CARAML_CHECK_MSG(weight.dim(1) == c, "conv2d channel mismatch");
   const std::int64_t oh = conv_out_size(h, kh, args.stride, args.padding);
   const std::int64_t ow = conv_out_size(w, kw, args.stride, args.padding);
+  CARAML_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
 
-  const Tensor cols = im2col(input, kh, kw, args);          // [n*oh*ow, ckk]
-  const Tensor w2 = weight.reshape({o, c * kh * kw});       // [o, ckk]
-  const Tensor out2 = matmul_nt(cols, w2);                  // [n*oh*ow, o]
+  const std::int64_t rows = n * oh * ow;     // one row per output pixel
+  const std::int64_t patch = c * kh * kw;    // im2col row width
+  Workspace& workspace = Workspace::local();
+  Workspace::Buffer cols = workspace.take(static_cast<std::size_t>(rows * patch));
+  im2col_into(input, kh, kw, args, oh, ow, cols.data());
+
+  // [rows, patch] x weight[o, patch]^T -> [rows, o]; weight's OCHW layout is
+  // already the [o, patch] GEMM operand, no reshape copy needed.
+  Workspace::Buffer out2 =
+      workspace.take_zeroed(static_cast<std::size_t>(rows * o));
+  detail::gemm(false, true, rows, o, patch, cols.data(), patch, weight.data(),
+               patch, out2.data(), o);
 
   // Rearrange [n*oh*ow, o] -> [n, o, oh, ow].
   Tensor out({n, o, oh, ow});
-  parallel_for(0, static_cast<std::size_t>(n * oh * ow), [&](std::size_t idx) {
-    const std::int64_t flat = static_cast<std::int64_t>(idx);
-    const std::int64_t img = flat / (oh * ow);
-    const std::int64_t pixel = flat % (oh * ow);
-    for (std::int64_t ch = 0; ch < o; ++ch) {
-      out[(img * o + ch) * oh * ow + pixel] = out2[flat * o + ch];
-    }
-  });
+  const float* __restrict src = out2.data();
+  float* __restrict dst = out.data();
+  const std::int64_t pixels = oh * ow;
+  parallel_for_range(
+      0, static_cast<std::size_t>(rows), static_cast<std::size_t>(row_grain(o)),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t flat = static_cast<std::int64_t>(idx);
+          const std::int64_t img = flat / pixels;
+          const std::int64_t pixel = flat % pixels;
+          const float* __restrict s = src + flat * o;
+          float* __restrict d = dst + (img * o) * pixels + pixel;
+          for (std::int64_t ch = 0; ch < o; ++ch) d[ch * pixels] = s[ch];
+        }
+      });
   return out;
 }
 
@@ -465,20 +567,21 @@ Tensor conv2d_backward_weight(const Tensor& grad_out, const Tensor& input,
   const std::int64_t o = weight_shape[0], c = weight_shape[1],
                      kh = weight_shape[2], kw = weight_shape[3];
   const std::int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
-  const Tensor cols = im2col(input, kh, kw, args);  // [n*oh*ow, ckk]
+  const std::int64_t rows = n * oh * ow;
+  const std::int64_t patch = c * kh * kw;
+
+  Workspace& workspace = Workspace::local();
+  Workspace::Buffer cols = workspace.take(static_cast<std::size_t>(rows * patch));
+  im2col_into(input, kh, kw, args, oh, ow, cols.data());
 
   // grad_out as [n*oh*ow, o].
-  Tensor g2({n * oh * ow, o});
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t ch = 0; ch < o; ++ch) {
-      for (std::int64_t pixel = 0; pixel < oh * ow; ++pixel) {
-        g2[(img * oh * ow + pixel) * o + ch] =
-            grad_out[(img * o + ch) * oh * ow + pixel];
-      }
-    }
-  }
-  // dW[o, ckk] = g2^T [o, n*oh*ow] * cols [n*oh*ow, ckk].
-  Tensor dw2 = matmul_tn(g2, cols);
+  Workspace::Buffer g2 = workspace.take(static_cast<std::size_t>(rows * o));
+  nchw_to_rows(grad_out.data(), n, o, oh * ow, g2.data());
+
+  // dW[o, patch] = g2^T [o, rows] * cols [rows, patch].
+  Tensor dw2({o, patch});
+  detail::gemm(true, false, o, patch, rows, g2.data(), o, cols.data(), patch,
+               dw2.data(), patch);
   return dw2.reshape({o, c, kh, kw});
 }
 
@@ -488,40 +591,48 @@ Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
                      h = input_shape[2], w = input_shape[3];
   const std::int64_t o = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
   const std::int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const std::int64_t rows = n * oh * ow;
+  const std::int64_t patch = c * kh * kw;
 
-  // g2 [n*oh*ow, o] * W [o, ckk] -> col gradients [n*oh*ow, ckk].
-  Tensor g2({n * oh * ow, o});
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t ch = 0; ch < o; ++ch) {
-      for (std::int64_t pixel = 0; pixel < oh * ow; ++pixel) {
-        g2[(img * oh * ow + pixel) * o + ch] =
-            grad_out[(img * o + ch) * oh * ow + pixel];
-      }
-    }
-  }
-  const Tensor w2 = weight.reshape({o, c * kh * kw});
-  const Tensor dcols = matmul(g2, w2);  // [n*oh*ow, ckk]
+  // g2 [n*oh*ow, o] * W [o, patch] -> col gradients [n*oh*ow, patch].
+  Workspace& workspace = Workspace::local();
+  Workspace::Buffer g2 = workspace.take(static_cast<std::size_t>(rows * o));
+  nchw_to_rows(grad_out.data(), n, o, oh * ow, g2.data());
+  Workspace::Buffer dcols =
+      workspace.take_zeroed(static_cast<std::size_t>(rows * patch));
+  detail::gemm(false, false, rows, patch, o, g2.data(), o, weight.data(), patch,
+               dcols.data(), patch);
 
-  // col2im scatter-add.
+  // col2im scatter-add, parallel over (image, channel) pairs: each pair owns
+  // a disjoint h*w slab of dinput, so the += is race-free.
   Tensor dinput({n, c, h, w});
-  for (std::int64_t flat = 0; flat < n * oh * ow; ++flat) {
-    const std::int64_t img = flat / (oh * ow);
-    const std::int64_t oy = (flat / ow) % oh;
-    const std::int64_t ox = flat % ow;
-    const float* src = dcols.data() + flat * (c * kh * kw);
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t ky = 0; ky < kh; ++ky) {
-        const std::int64_t iy = oy * args.stride + ky - args.padding;
-        for (std::int64_t kx = 0; kx < kw; ++kx) {
-          const std::int64_t ix = ox * args.stride + kx - args.padding;
-          const float value = *src++;
-          if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-            dinput[((img * c + ch) * h + iy) * w + ix] += value;
+  const float* __restrict src = dcols.data();
+  float* __restrict dst = dinput.data();
+  parallel_for_range(
+      0, static_cast<std::size_t>(n * c), 1,
+      [=, &args](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t img = static_cast<std::int64_t>(idx) / c;
+          const std::int64_t ch = static_cast<std::int64_t>(idx) % c;
+          float* __restrict plane = dst + (img * c + ch) * h * w;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t flat = (img * oh + oy) * ow + ox;
+              const float* __restrict patch_src =
+                  src + flat * patch + ch * kh * kw;
+              for (std::int64_t ky = 0; ky < kh; ++ky) {
+                const std::int64_t iy = oy * args.stride + ky - args.padding;
+                if (iy < 0 || iy >= h) continue;
+                for (std::int64_t kx = 0; kx < kw; ++kx) {
+                  const std::int64_t ix = ox * args.stride + kx - args.padding;
+                  if (ix < 0 || ix >= w) continue;
+                  plane[iy * w + ix] += patch_src[ky * kw + kx];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
   return dinput;
 }
 
@@ -535,30 +646,36 @@ Tensor maxpool2d(const Tensor& input, std::int64_t kernel,
   CARAML_CHECK_MSG(oh > 0 && ow > 0, "maxpool output would be empty");
   Tensor out({n, c, oh, ow});
   if (indices) indices->assign(static_cast<std::size_t>(out.numel()), 0);
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          float best = -1e30f;
-          std::int64_t best_index = 0;
-          for (std::int64_t ky = 0; ky < kernel; ++ky) {
-            for (std::int64_t kx = 0; kx < kernel; ++kx) {
-              const std::int64_t iy = oy * kernel + ky;
-              const std::int64_t ix = ox * kernel + kx;
-              const std::int64_t flat = ((img * c + ch) * h + iy) * w + ix;
-              if (input[flat] > best) {
-                best = input[flat];
-                best_index = flat;
+  const float* __restrict src = input.data();
+  float* __restrict dst = out.data();
+  std::int64_t* __restrict idx_out = indices ? indices->data() : nullptr;
+  parallel_for_range(
+      0, static_cast<std::size_t>(n * c), 1,
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t plane = lo; plane < hi; ++plane) {
+          const std::int64_t base = static_cast<std::int64_t>(plane);
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              float best = -1e30f;
+              std::int64_t best_index = 0;
+              for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                  const std::int64_t iy = oy * kernel + ky;
+                  const std::int64_t ix = ox * kernel + kx;
+                  const std::int64_t flat = (base * h + iy) * w + ix;
+                  if (src[flat] > best) {
+                    best = src[flat];
+                    best_index = flat;
+                  }
+                }
               }
+              const std::int64_t out_flat = (base * oh + oy) * ow + ox;
+              dst[out_flat] = best;
+              if (idx_out) idx_out[out_flat] = best_index;
             }
           }
-          const std::int64_t out_flat = ((img * c + ch) * oh + oy) * ow + ox;
-          out[out_flat] = best;
-          if (indices) (*indices)[static_cast<std::size_t>(out_flat)] = best_index;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -580,14 +697,20 @@ Tensor global_avg_pool(const Tensor& input) {
                      w = input.dim(3);
   Tensor out({n, c});
   const float inv = 1.0f / static_cast<float>(h * w);
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      double total = 0.0;
-      const float* src = input.data() + (img * c + ch) * h * w;
-      for (std::int64_t i = 0; i < h * w; ++i) total += src[i];
-      out[img * c + ch] = static_cast<float>(total) * inv;
-    }
-  }
+  const float* __restrict src = input.data();
+  float* __restrict dst = out.data();
+  parallel_for_range(
+      0, static_cast<std::size_t>(n * c),
+      static_cast<std::size_t>(row_grain(h * w)),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t plane = lo; plane < hi; ++plane) {
+          const std::int64_t base = static_cast<std::int64_t>(plane);
+          double total = 0.0;
+          const float* __restrict s = src + base * h * w;
+          for (std::int64_t i = 0; i < h * w; ++i) total += s[i];
+          dst[base] = static_cast<float>(total) * inv;
+        }
+      });
   return out;
 }
 
@@ -600,13 +723,19 @@ Tensor global_avg_pool_backward(const Tensor& grad_out,
                    "global_avg_pool_backward shape mismatch");
   Tensor dinput(input_shape);
   const float inv = 1.0f / static_cast<float>(h * w);
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float g = grad_out[img * c + ch] * inv;
-      float* dst = dinput.data() + (img * c + ch) * h * w;
-      for (std::int64_t i = 0; i < h * w; ++i) dst[i] = g;
-    }
-  }
+  const float* __restrict src = grad_out.data();
+  float* __restrict dst = dinput.data();
+  parallel_for_range(
+      0, static_cast<std::size_t>(n * c),
+      static_cast<std::size_t>(row_grain(h * w)),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t plane = lo; plane < hi; ++plane) {
+          const std::int64_t base = static_cast<std::int64_t>(plane);
+          const float g = src[base] * inv;
+          float* __restrict d = dst + base * h * w;
+          for (std::int64_t i = 0; i < h * w; ++i) d[i] = g;
+        }
+      });
   return dinput;
 }
 

@@ -1,0 +1,54 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace caraml::tensor {
+
+void Workspace::Buffer::release() {
+  if (owner_ == nullptr) return;
+  owner_->free_.push_back(std::move(storage_));
+  owner_ = nullptr;
+  size_ = 0;
+}
+
+Workspace::Buffer Workspace::take(std::size_t count) {
+  // Best fit: the smallest idle slab that already holds `count` floats; else
+  // recycle the largest one (fewest bytes to grow).
+  std::size_t best = free_.size();
+  std::size_t largest = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    const std::size_t cap = free_[i].size();
+    if (cap >= count && (best == free_.size() || cap < free_[best].size())) {
+      best = i;
+    }
+    if (largest == free_.size() || cap > free_[largest].size()) largest = i;
+  }
+  const std::size_t pick = best != free_.size() ? best : largest;
+  std::vector<float> storage;
+  if (pick != free_.size()) {
+    storage = std::move(free_[pick]);
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  if (storage.size() < count) storage.resize(count);
+  return Buffer(this, std::move(storage), count);
+}
+
+Workspace::Buffer Workspace::take_zeroed(std::size_t count) {
+  Buffer buffer = take(count);
+  if (count > 0) std::memset(buffer.data(), 0, count * sizeof(float));
+  return buffer;
+}
+
+std::size_t Workspace::idle_floats() const {
+  std::size_t total = 0;
+  for (const auto& slab : free_) total += slab.size();
+  return total;
+}
+
+Workspace& Workspace::local() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace caraml::tensor

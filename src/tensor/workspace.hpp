@@ -1,0 +1,75 @@
+// Reusable per-thread scratch memory for tensor kernels.
+//
+// GEMM packing panels and im2col column buffers are needed on every training
+// step; allocating them per call dominates small-kernel runtime and fragments
+// the heap. A Workspace keeps a free-list of float slabs per thread: `take(n)`
+// borrows a slab (grown to at least n floats, contents undefined) and the
+// returned Buffer hands it back on destruction, so steady-state training
+// reuses the same few allocations across steps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace caraml::tensor {
+
+class Workspace {
+ public:
+  /// A borrowed scratch slab. Movable, not copyable; returns its storage to
+  /// the owning workspace when destroyed. Must be destroyed on the thread
+  /// that called take() (workspaces are thread-local and unsynchronized) —
+  /// the buffer's *contents* may be read by other threads while it is alive.
+  class Buffer {
+   public:
+    Buffer() = default;
+    Buffer(Buffer&& other) noexcept { *this = std::move(other); }
+    Buffer& operator=(Buffer&& other) noexcept {
+      release();
+      owner_ = other.owner_;
+      storage_ = std::move(other.storage_);
+      size_ = other.size_;
+      other.owner_ = nullptr;
+      other.size_ = 0;
+      return *this;
+    }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { release(); }
+
+    float* data() { return storage_.data(); }
+    const float* data() const { return storage_.data(); }
+    std::size_t size() const { return size_; }
+
+   private:
+    friend class Workspace;
+    Buffer(Workspace* owner, std::vector<float> storage, std::size_t size)
+        : owner_(owner), storage_(std::move(storage)), size_(size) {}
+    void release();
+
+    Workspace* owner_ = nullptr;
+    std::vector<float> storage_;
+    std::size_t size_ = 0;
+  };
+
+  /// Borrow a slab of at least `count` floats; contents are undefined.
+  Buffer take(std::size_t count);
+
+  /// Borrow a slab of `count` floats, zero-filled.
+  Buffer take_zeroed(std::size_t count);
+
+  /// Number of idle slabs currently parked in the free-list (introspection
+  /// for tests/diagnostics).
+  std::size_t idle_slabs() const { return free_.size(); }
+
+  /// Total floats reserved across idle slabs.
+  std::size_t idle_floats() const;
+
+  /// The calling thread's workspace.
+  static Workspace& local();
+
+ private:
+  std::vector<std::vector<float>> free_;
+};
+
+}  // namespace caraml::tensor

@@ -2,15 +2,42 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 #include "util/error.hpp"
 
 namespace caraml {
 
+namespace {
+// Set while a thread is executing inside ThreadPool::worker_loop. Used to run
+// nested parallel dispatch inline: a worker that blocks waiting on sub-tasks
+// it submitted to its own (possibly fully-blocked) pool can deadlock.
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
 std::size_t ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return std::max<std::size_t>(2, hw == 0 ? 2 : hw);
+}
+
+std::size_t ThreadPool::parse_env_threads(const char* text) {
+  if (text == nullptr) return default_threads();
+  const std::string value(text);
+  constexpr std::size_t kMaxThreads = 1024;
+  const auto fail = [&value]() {
+    throw Error("CARAML_NUM_THREADS: invalid value '" + value +
+                "' — expected an integer in [1, 1024] "
+                "(unset it to use hardware concurrency)");
+  };
+  if (value.empty() || value.size() > 5) fail();
+  for (const char ch : value) {
+    if (ch < '0' || ch > '9') fail();
+  }
+  const unsigned long parsed = std::stoul(value);
+  if (parsed < 1 || parsed > kMaxThreads) fail();
+  return static_cast<std::size_t>(parsed);
 }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -41,7 +68,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -57,11 +87,25 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_range(begin, end, /*grain=*/1,
+                     [&fn](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) fn(i);
+                     });
+}
+
+void ThreadPool::parallel_for_range(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t num_chunks = std::min(total, size() * 4);
-  if (num_chunks <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  grain = std::max<std::size_t>(1, grain);
+  // Up to 4 chunks per worker for load balancing, but never chunks smaller
+  // than the grain.
+  const std::size_t max_chunks =
+      std::min(total, std::max<std::size_t>(1, size() * 4));
+  std::size_t num_chunks = std::min(max_chunks, (total + grain - 1) / grain);
+  if (num_chunks <= 1 || t_on_worker_thread) {
+    fn(begin, end);
     return;
   }
   const std::size_t chunk = (total + num_chunks - 1) / num_chunks;
@@ -71,9 +115,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + c * chunk;
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+    futures.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
@@ -87,13 +129,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(parse_env_threads(std::getenv("CARAML_NUM_THREADS")));
   return pool;
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
   ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+void parallel_for_range(std::size_t begin, std::size_t end, std::size_t grain,
+                        const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::global().parallel_for_range(begin, end, grain, fn);
 }
 
 }  // namespace caraml

@@ -1,7 +1,11 @@
-// Fixed-size thread pool with futures and a blocking parallel_for.
+// Fixed-size thread pool with futures and blocking parallel-for primitives.
 //
 // The pool is the execution substrate for (a) the CPU training stack's
 // parallel tensor kernels and (b) the thread-backed "devices" in caraml::par.
+//
+// Hot compute paths use `parallel_for_range`, which hands each worker a
+// contiguous [lo, hi) chunk sized by a caller-provided grain: one callable
+// invocation per chunk instead of one `std::function` dispatch per index.
 #pragma once
 
 #include <condition_variable>
@@ -55,10 +59,33 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Shared process-wide pool (lazily constructed).
+  /// Run `fn(lo, hi)` over disjoint chunks covering [begin, end), each chunk
+  /// at least `grain` indices (a grain of 0 counts as 1); blocks until all
+  /// chunks completed. The callable is invoked once per chunk, so per-index
+  /// dispatch cost is amortized away — this is the API hot kernels use.
+  /// Degenerate cases (empty range, single chunk, pool of one) and calls
+  /// made from inside a pool worker run inline on the calling thread; the
+  /// latter makes nested data-parallelism deadlock-free. Exceptions from
+  /// workers are rethrown (first one wins).
+  void parallel_for_range(std::size_t begin, std::size_t end,
+                          std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  static bool on_worker_thread();
+
+  /// Shared process-wide pool (lazily constructed). Its size honours
+  /// CARAML_NUM_THREADS when set (see parse_env_threads), else
+  /// default_threads().
   static ThreadPool& global();
 
   static std::size_t default_threads();
+
+  /// Validate a CARAML_NUM_THREADS value: an integer in [1, 1024]. Throws
+  /// caraml::Error with a lint-style message on garbage (empty, non-numeric,
+  /// out of range). `text == nullptr` (variable unset) yields
+  /// default_threads().
+  static std::size_t parse_env_threads(const char* text);
 
  private:
   void worker_loop();
@@ -73,5 +100,9 @@ class ThreadPool {
 /// Convenience: parallel_for on the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
+
+/// Convenience: parallel_for_range on the global pool.
+void parallel_for_range(std::size_t begin, std::size_t end, std::size_t grain,
+                        const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace caraml

@@ -283,6 +283,7 @@ Manifest example_manifest() {
   m.sample_overruns = 2;
   m.sample_jitter_ms_mean = 0.125;
   m.sample_jitter_ms_max = 1.5;
+  m.num_threads = 16;
   m.results = {{"tokens_per_s", 47261.5}, {"mfu", 0.291}};
   return m;
 }
@@ -304,8 +305,22 @@ TEST(TelemetryManifest, JsonLineRoundTrip) {
   EXPECT_DOUBLE_EQ(parsed.sample_jitter_ms_mean,
                    original.sample_jitter_ms_mean);
   EXPECT_DOUBLE_EQ(parsed.sample_jitter_ms_max, original.sample_jitter_ms_max);
+  EXPECT_EQ(parsed.num_threads, original.num_threads);
   ASSERT_EQ(parsed.results.size(), original.results.size());
   EXPECT_DOUBLE_EQ(parsed.results.at("tokens_per_s"), 47261.5);
+}
+
+TEST(TelemetryManifest, LinesWithoutThreadCountParseWithZeroDefault) {
+  Manifest m = example_manifest();
+  m.num_threads = 0;
+  std::string line = m.to_json_line();
+  // Simulate an older line by stripping the field.
+  const std::string needle = "\"num_threads\":0,";
+  const auto pos = line.find(needle);
+  ASSERT_NE(pos, std::string::npos) << line;
+  line.erase(pos, needle.size());
+  const Manifest parsed = Manifest::from_json_line(line);
+  EXPECT_EQ(parsed.num_threads, 0);
 }
 
 TEST(TelemetryManifest, AppendCreatesFileAndAccumulatesLines) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "tensor/reference.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -392,6 +395,180 @@ TEST(MaxPool, BackwardRoutesToArgmax) {
   EXPECT_EQ(dinput[5], 1.0f);
   EXPECT_EQ(dinput[0], 0.0f);
   EXPECT_NEAR(sum(dinput), 4.0f, 1e-6);
+}
+
+// --- kernel equivalence vs reference namespace ------------------------------
+//
+// The optimized GEMM packs into MR=6 x NR=16 tiles with MC/KC/NC cache
+// blocking; prime and degenerate dimensions exercise every ragged-edge path
+// (partial tiles in m and n, partial KC slices, m=1, k=1) in both the direct
+// and the blocked/packed regimes.
+
+void expect_close_rel(const Tensor& got, const Tensor& want,
+                      float rel_tol = 1e-4f) {
+  ASSERT_EQ(got.shape(), want.shape());
+  const float scale = std::max(1.0f, max_abs(want));
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_NEAR(got[i], want[i], rel_tol * scale) << "at flat index " << i;
+  }
+}
+
+struct GemmShape {
+  std::int64_t m, k, n;
+};
+
+class GemmEquivalence : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmEquivalence, MatmulMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(42);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  expect_close_rel(matmul(a, b), reference::matmul(a, b));
+}
+
+TEST_P(GemmEquivalence, MatmulNtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(43);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({n, k}, rng);
+  expect_close_rel(matmul_nt(a, b), reference::matmul_nt(a, b));
+}
+
+TEST_P(GemmEquivalence, MatmulTnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(44);
+  const Tensor a = Tensor::randn({k, m}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  expect_close_rel(matmul_tn(a, b), reference::matmul_tn(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartialTileShapes, GemmEquivalence,
+    ::testing::Values(GemmShape{1, 1, 1},      // single element
+                      GemmShape{17, 19, 23},   // primes, direct path
+                      GemmShape{6, 16, 16},    // exact single tile
+                      GemmShape{97, 101, 103},  // primes, blocked path
+                      GemmShape{1, 300, 200},  // m=1 through the blocked path
+                      GemmShape{64, 1, 700},   // k=1 through the blocked path
+                      GemmShape{129, 257, 65},  // ragged tiles + partial KC
+                      GemmShape{5, 2048, 3}),  // deep k, tiny m/n
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "_k" +
+             std::to_string(info.param.k) + "_n" + std::to_string(info.param.n);
+    });
+
+TEST(KernelEquivalence, SoftmaxMatchesReference) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn({37, 53}, rng, 3.0f);
+  expect_close_rel(softmax_rows(a), reference::softmax_rows(a));
+}
+
+TEST(KernelEquivalence, Conv2dMatchesReference) {
+  Rng rng(8);
+  const Tensor input = Tensor::randn({2, 3, 9, 7}, rng);
+  const Tensor weight = Tensor::randn({5, 3, 3, 3}, rng);
+  Conv2dArgs args;
+  args.stride = 2;
+  args.padding = 1;
+  expect_close_rel(conv2d(input, weight, args),
+                   reference::conv2d(input, weight, args));
+}
+
+// --- NaN/Inf propagation ----------------------------------------------------
+//
+// Regression test for the old zero-skip "optimization" (`if (a == 0)
+// continue`): 0 * NaN is NaN and 0 * Inf is NaN, so a zero operand must not
+// short-circuit the multiply.
+
+TEST(GemmNanPropagation, ZeroTimesNanIsNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const float poison : {nan, inf}) {
+    Tensor a({2, 3});  // all zeros
+    Tensor b({3, 2});  // all zeros
+    b[0] = poison;     // b(0, 0)
+    const Tensor c = matmul(a, b);
+    EXPECT_TRUE(std::isnan(c[0])) << "matmul dropped 0*" << poison;
+    EXPECT_FALSE(std::isnan(c[1]));
+
+    Tensor bt({2, 3});  // matmul_nt: b stored [n, k]
+    bt[0] = poison;     // bt(0, 0)
+    const Tensor c_nt = matmul_nt(a, bt);
+    EXPECT_TRUE(std::isnan(c_nt[0])) << "matmul_nt dropped 0*" << poison;
+    EXPECT_FALSE(std::isnan(c_nt[3]));
+
+    Tensor at({3, 2});  // matmul_tn: a stored [k, m]
+    Tensor bn({3, 2});
+    bn[0] = poison;  // bn(0, 0)
+    const Tensor c_tn = matmul_tn(at, bn);
+    EXPECT_TRUE(std::isnan(c_tn[0])) << "matmul_tn dropped 0*" << poison;
+    EXPECT_FALSE(std::isnan(c_tn[1]));
+  }
+}
+
+TEST(GemmNanPropagation, NanInputPoisonsBlockedPath) {
+  // Large enough to take the blocked/packed kernel, not the direct loop.
+  const std::int64_t n = 96;
+  Rng rng(11);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  a[5 * n + 7] = std::numeric_limits<float>::quiet_NaN();
+  const Tensor c = matmul(a, b);
+  for (std::int64_t j = 0; j < n; ++j) {
+    EXPECT_TRUE(std::isnan(c[5 * n + j])) << "column " << j;
+  }
+  EXPECT_FALSE(std::isnan(c[0]));
+}
+
+// --- workspace --------------------------------------------------------------
+
+TEST(WorkspaceTest, SlabIsReusedAcrossTakes) {
+  Workspace workspace;
+  const float* first = nullptr;
+  {
+    Workspace::Buffer buffer = workspace.take(1000);
+    ASSERT_GE(buffer.size(), 1000u);
+    first = buffer.data();
+    EXPECT_EQ(workspace.idle_slabs(), 0u);
+  }
+  EXPECT_EQ(workspace.idle_slabs(), 1u);
+  {
+    // A smaller request must reuse the parked slab, not allocate a new one.
+    Workspace::Buffer buffer = workspace.take(500);
+    EXPECT_EQ(buffer.data(), first);
+    EXPECT_EQ(workspace.idle_slabs(), 0u);
+  }
+  EXPECT_EQ(workspace.idle_slabs(), 1u);
+}
+
+TEST(WorkspaceTest, TakeZeroedClearsRecycledContents) {
+  Workspace workspace;
+  {
+    Workspace::Buffer buffer = workspace.take(64);
+    for (std::size_t i = 0; i < 64; ++i) buffer.data()[i] = 3.0f;
+  }
+  Workspace::Buffer buffer = workspace.take_zeroed(64);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(buffer.data()[i], 0.0f);
+}
+
+TEST(WorkspaceTest, BestFitPrefersSmallestSufficientSlab) {
+  Workspace workspace;
+  const float* small = nullptr;
+  {
+    Workspace::Buffer big = workspace.take(4096);
+    Workspace::Buffer little = workspace.take(128);
+    small = little.data();
+  }
+  EXPECT_EQ(workspace.idle_slabs(), 2u);
+  Workspace::Buffer buffer = workspace.take(100);
+  EXPECT_EQ(buffer.data(), small);
+}
+
+TEST(WorkspaceTest, LocalIsPerThreadSingleton) {
+  Workspace& a = Workspace::local();
+  Workspace& b = Workspace::local();
+  EXPECT_EQ(&a, &b);
 }
 
 TEST(GlobalAvgPool, ForwardBackward) {

@@ -270,6 +270,109 @@ TEST(ThreadPool, ZeroThreadsRejected) {
   EXPECT_THROW(ThreadPool pool(0), Error);
 }
 
+// --- parallel_for_range ------------------------------------------------------
+
+TEST(ParallelForRange, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_range(0, hits.size(), 16,
+                          [&](std::size_t lo, std::size_t hi) {
+                            ASSERT_LT(lo, hi);
+                            for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                          });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForRange, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_range(7, 7, 1,
+                          [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForRange, GrainLargerThanTotalRunsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_range(0, 10, 1000,
+                          [&](std::size_t lo, std::size_t hi) {
+                            ++calls;
+                            covered += hi - lo;
+                          });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(covered.load(), 10u);
+}
+
+TEST(ParallelForRange, ZeroGrainTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_range(0, 64, 0,
+                          [&](std::size_t lo, std::size_t hi) {
+                            covered += hi - lo;
+                          });
+  EXPECT_EQ(covered.load(), 64u);
+}
+
+TEST(ParallelForRange, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_range(0, 100, 1,
+                              [](std::size_t lo, std::size_t) {
+                                if (lo >= 50) throw std::runtime_error("x");
+                              }),
+      std::runtime_error);
+}
+
+TEST(ParallelForRange, NestedCallFromWorkerRunsInline) {
+  // A parallel_for_range issued from inside a pool worker must not deadlock
+  // (all workers could be blocked waiting on sub-chunks); it runs inline as
+  // one chunk on the calling worker instead.
+  ThreadPool pool(2);
+  std::atomic<int> inner_chunks{0};
+  pool.parallel_for_range(0, 4, 1, [&](std::size_t, std::size_t) {
+    pool.parallel_for_range(0, 100, 1, [&](std::size_t lo, std::size_t hi) {
+      if (lo == 0 && hi == 100) ++inner_chunks;
+    });
+  });
+  EXPECT_EQ(inner_chunks.load(), 4);
+}
+
+TEST(ParallelForRange, FreeFunctionUsesGlobalPool) {
+  std::vector<std::atomic<int>> hits(300);
+  parallel_for_range(0, hits.size(), 8,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                     });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// --- CARAML_NUM_THREADS parsing ---------------------------------------------
+
+TEST(ParseEnvThreads, UnsetFallsBackToDefault) {
+  EXPECT_EQ(ThreadPool::parse_env_threads(nullptr),
+            ThreadPool::default_threads());
+}
+
+TEST(ParseEnvThreads, ValidValuesParse) {
+  EXPECT_EQ(ThreadPool::parse_env_threads("1"), 1u);
+  EXPECT_EQ(ThreadPool::parse_env_threads("8"), 8u);
+  EXPECT_EQ(ThreadPool::parse_env_threads("1024"), 1024u);
+}
+
+TEST(ParseEnvThreads, GarbageIsRejectedWithClearError) {
+  for (const char* bad : {"", "0", "-3", "abc", "4x", "2.5", "1025", "999999"}) {
+    try {
+      ThreadPool::parse_env_threads(bad);
+      FAIL() << "expected rejection of '" << bad << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("CARAML_NUM_THREADS"),
+                std::string::npos)
+          << "error message should name the variable, got: " << e.what();
+    }
+  }
+}
+
 // --- argparse ----------------------------------------------------------------------
 
 TEST(ArgParser, ParsesOptionsAndFlags) {
