@@ -1,0 +1,177 @@
+#include "analysis/analyse.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/timeline.hpp"
+#include "check/rules.hpp"
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace caraml::analysis {
+
+namespace {
+
+namespace json = telemetry::json;
+
+std::string value_to_string(const json::Value& value) {
+  switch (value.kind()) {
+    case json::Value::Kind::kString: return value.as_string();
+    case json::Value::Kind::kNumber: return json::format_number(value.as_number());
+    case json::Value::Kind::kBool: return value.as_bool() ? "true" : "false";
+    case json::Value::Kind::kNull: return "null";
+    default: return json::dump(value);
+  }
+}
+
+/// Last manifest.jsonl row of a telemetry directory, flattened to strings.
+/// Best-effort: a missing or malformed manifest yields an empty list.
+std::vector<std::pair<std::string, std::string>> read_manifest_info(
+    const std::string& metrics_dir) {
+  std::vector<std::pair<std::string, std::string>> info;
+  if (metrics_dir.empty()) return info;
+  std::ifstream in(metrics_dir + "/manifest.jsonl");
+  if (!in) return info;
+  std::string line, last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  if (last.empty()) return info;
+  try {
+    const json::Value row = json::parse(last);
+    for (const auto& [key, value] : row.as_object()) {
+      info.emplace_back(key, value_to_string(value));
+    }
+  } catch (const Error&) {
+    // Companion metadata only; the trace analysis stands on its own.
+  }
+  return info;
+}
+
+}  // namespace
+
+AnalysisReport analyse(const Trace& trace, const AnalyseOptions& options) {
+  const Timeline timeline = build_timeline(trace);
+  AnalysisReport report;
+  report.num_tracks = timeline.tracks.size();
+  report.num_spans = trace.spans.size();
+  report.num_counters = trace.counters.size();
+  report.makespan_s = timeline.makespan_s;
+  report.manifest_info = read_manifest_info(options.metrics_dir);
+  report.findings = run_detectors(timeline);
+  return report;
+}
+
+AnalysisReport analyse_file(const std::string& path,
+                            const AnalyseOptions& options) {
+  const Trace trace = read_chrome_trace_file(path);
+  AnalysisReport report = analyse(trace, options);
+  report.trace_file = path;
+  return report;
+}
+
+void to_diagnostics(const AnalysisReport& report,
+                    check::DiagnosticList& diags) {
+  for (const auto& finding : report.findings) {
+    CARAML_CHECK_MSG(check::find_rule(finding.rule_id) != nullptr,
+                     "detector emitted unregistered rule id: " + finding.rule_id);
+    check::Diagnostic diagnostic;
+    diagnostic.rule_id = finding.rule_id;
+    diagnostic.severity = finding.severity;
+    diagnostic.location.file =
+        report.trace_file.empty() ? "<trace>" : report.trace_file;
+    diagnostic.message = finding.message;
+    diags.add(std::move(diagnostic));
+  }
+}
+
+std::string render_human(const AnalysisReport& report) {
+  std::ostringstream os;
+  os << (report.trace_file.empty() ? "<trace>" : report.trace_file) << ": "
+     << report.num_tracks << " track(s), " << report.num_spans
+     << " span(s), " << report.num_counters << " counter(s), makespan "
+     << units::format_fixed(report.makespan_s, 3) << " s\n";
+  if (!report.manifest_info.empty()) {
+    os << "run:";
+    for (const auto& [key, value] : report.manifest_info) {
+      os << " " << key << "=" << value;
+    }
+    os << "\n";
+  }
+  if (report.findings.empty()) {
+    os << "no findings\n";
+    return os.str();
+  }
+  int rank = 1;
+  for (const auto& finding : report.findings) {
+    os << "  " << rank++ << ". [" << check::severity_name(finding.severity)
+       << "] " << finding.detector << " (score "
+       << units::format_fixed(finding.score, 2) << "): " << finding.message
+       << " [" << finding.rule_id << "]\n";
+  }
+  return os.str();
+}
+
+std::string render_json(const AnalysisReport& report) {
+  json::Object summary;
+  summary.emplace_back("tracks",
+                       json::Value(static_cast<std::int64_t>(report.num_tracks)));
+  summary.emplace_back("spans",
+                       json::Value(static_cast<std::int64_t>(report.num_spans)));
+  summary.emplace_back(
+      "counters", json::Value(static_cast<std::int64_t>(report.num_counters)));
+  summary.emplace_back("makespan_s", json::Value(report.makespan_s));
+  summary.emplace_back(
+      "findings", json::Value(static_cast<std::int64_t>(report.findings.size())));
+
+  json::Array findings;
+  int rank = 1;
+  for (const auto& finding : report.findings) {
+    json::Object entry;
+    entry.emplace_back("rank", json::Value(rank++));
+    entry.emplace_back("detector", json::Value(finding.detector));
+    entry.emplace_back("rule", json::Value(finding.rule_id));
+    entry.emplace_back("severity",
+                       json::Value(check::severity_name(finding.severity)));
+    entry.emplace_back("score", json::Value(finding.score));
+    entry.emplace_back("message", json::Value(finding.message));
+    json::Object metrics;
+    for (const auto& [key, value] : finding.metrics) {
+      metrics.emplace_back(key, json::Value(value));
+    }
+    entry.emplace_back("metrics", json::Value(std::move(metrics)));
+    findings.push_back(json::Value(std::move(entry)));
+  }
+
+  json::Object root;
+  root.emplace_back("version", json::Value(1));
+  root.emplace_back("trace", json::Value(report.trace_file.empty()
+                                             ? "<trace>"
+                                             : report.trace_file));
+  root.emplace_back("summary", json::Value(std::move(summary)));
+  if (!report.manifest_info.empty()) {
+    json::Object manifest;
+    for (const auto& [key, value] : report.manifest_info) {
+      manifest.emplace_back(key, json::Value(value));
+    }
+    root.emplace_back("manifest", json::Value(std::move(manifest)));
+  }
+  root.emplace_back("findings", json::Value(std::move(findings)));
+  return json::dump(json::Value(std::move(root)));
+}
+
+std::string bottleneck_summary(const AnalysisReport& report, int top_n) {
+  if (report.findings.empty()) return "none";
+  std::ostringstream os;
+  int emitted = 0;
+  for (const auto& finding : report.findings) {
+    if (emitted >= top_n) break;
+    if (emitted > 0) os << ";";
+    os << finding.rule_id << ":" << units::format_fixed(finding.score, 2);
+    ++emitted;
+  }
+  return os.str();
+}
+
+}  // namespace caraml::analysis

@@ -1,0 +1,64 @@
+// End-to-end trace analysis: parse → timeline → detectors → report.
+//
+// This is the layer `caraml analyse-trace` and the sweep --analyse hook call
+// into. It owns the report model, its human/JSON renderers (mirroring the
+// lint renderers in src/check), the bridge into the diagnostics engine, and
+// the compact "top-N bottleneck" string that annotates sweep manifest rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/detectors.hpp"
+#include "analysis/trace_reader.hpp"
+#include "check/diagnostics.hpp"
+
+namespace caraml::analysis {
+
+struct AnalyseOptions {
+  /// Findings kept in bottleneck_summary(); the report itself keeps all.
+  int top_n = 5;
+  /// Optional telemetry directory (--metrics): the last manifest.jsonl row
+  /// is folded into the report header so the analysis names the run it
+  /// describes. Missing/unreadable manifests are ignored, not errors.
+  std::string metrics_dir;
+};
+
+struct AnalysisReport {
+  std::string trace_file;
+  std::size_t num_tracks = 0;
+  std::size_t num_spans = 0;
+  std::size_t num_counters = 0;
+  double makespan_s = 0.0;
+  /// Key/value pairs from the companion run manifest (may be empty).
+  std::vector<std::pair<std::string, std::string>> manifest_info;
+  /// Ranked findings, highest score first.
+  std::vector<Finding> findings;
+};
+
+/// Analyse an already-parsed trace.
+AnalysisReport analyse(const Trace& trace, const AnalyseOptions& options = {});
+
+/// Read, parse and analyse a trace file. Throws caraml::ParseError with
+/// "<path>: ... at offset N" context on malformed input.
+AnalysisReport analyse_file(const std::string& path,
+                            const AnalyseOptions& options = {});
+
+/// Feed the report's findings into the shared diagnostics engine. Every
+/// finding's rule id must be registered in the check catalogue.
+void to_diagnostics(const AnalysisReport& report, check::DiagnosticList& diags);
+
+/// Multi-line human rendering: summary header + ranked findings.
+std::string render_human(const AnalysisReport& report);
+
+/// Compact JSON document:
+/// {"version":1,"trace":...,"summary":{...},"manifest":{...},"findings":[...]}
+std::string render_json(const AnalysisReport& report);
+
+/// Whitespace-free ranked summary for sweep manifest rows, e.g.
+/// "analysis/load-imbalance:0.47;analysis/comm-pattern:0.12" — or "none"
+/// when the trace produced no findings.
+std::string bottleneck_summary(const AnalysisReport& report, int top_n = 3);
+
+}  // namespace caraml::analysis

@@ -1,0 +1,437 @@
+#include "analysis/detectors.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/energy.hpp"
+#include "util/units.hpp"
+
+namespace caraml::analysis {
+
+namespace {
+
+double clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+std::string fixed(double value, int digits = 3) {
+  return units::format_fixed(value, digits);
+}
+
+std::string percent(double fraction) {
+  return units::format_fixed(100.0 * fraction, 1) + "%";
+}
+
+// --- critical path ---------------------------------------------------------
+
+void detect_critical_path(const Timeline& timeline,
+                          std::vector<Finding>& findings) {
+  const TrackTimeline* critical = timeline.critical_compute();
+  if (critical == nullptr || timeline.makespan_s <= 0.0) return;
+
+  Finding finding;
+  finding.detector = "critical-path";
+  finding.rule_id = "analysis/critical-path";
+  finding.severity = check::Severity::kInfo;
+  const double busy_fraction = clamp01(critical->busy_s / timeline.makespan_s);
+  finding.score = clamp01(1.0 - busy_fraction);
+
+  std::ostringstream os;
+  os << "critical path runs through " << critical->name << ": busy "
+     << fixed(critical->busy_s) << " s of " << fixed(timeline.makespan_s)
+     << " s makespan (" << percent(busy_fraction) << ")";
+  bool first = true;
+  for (const auto& [phase, seconds] : critical->phase_time) {
+    os << (first ? "; " : ", ") << phase_name(phase) << " "
+       << fixed(seconds) << " s";
+    first = false;
+  }
+  finding.message = os.str();
+
+  finding.metrics = {{"busy_s", critical->busy_s},
+                     {"makespan_s", timeline.makespan_s},
+                     {"busy_fraction", busy_fraction},
+                     {"idle_fraction", finding.score}};
+  for (const auto& [phase, seconds] : critical->phase_time) {
+    finding.metrics.emplace_back(std::string(phase_name(phase)) + "_s",
+                                 seconds);
+  }
+  findings.push_back(std::move(finding));
+}
+
+// --- pipeline bubble -------------------------------------------------------
+
+void detect_pipeline_bubble(const Timeline& timeline,
+                            std::vector<Finding>& findings) {
+  const TrackTimeline* critical = timeline.critical_compute();
+  if (critical == nullptr || timeline.makespan_s <= 0.0) return;
+
+  // Only bubbles/stalls on the *critical* track cost makespan; idle on the
+  // other tracks is load imbalance and scored by that detector instead.
+  const double stall_s = critical->gap_s;
+  const double bubble_s = critical->bubble_s;
+  const double total_s = stall_s + bubble_s;
+
+  double mean_fraction = 0.0;
+  const auto compute = timeline.compute_tracks();
+  for (const TrackTimeline* track : compute) {
+    if (track->extent_s() > 0.0) {
+      mean_fraction +=
+          (track->gap_s + track->bubble_s) / track->extent_s();
+    }
+  }
+  if (!compute.empty()) mean_fraction /= static_cast<double>(compute.size());
+
+  Finding finding;
+  finding.detector = "pipeline-bubble";
+  finding.rule_id = "analysis/pipeline-bubble";
+  finding.score = clamp01(total_s / timeline.makespan_s);
+  finding.severity = finding.score >= 0.25 ? check::Severity::kWarning
+                                           : check::Severity::kInfo;
+  std::ostringstream os;
+  os << "bubbles + stalls occupy " << fixed(total_s)
+     << " s of critical track " << critical->name << " ("
+     << percent(finding.score) << " of makespan; explicit bubble spans "
+     << fixed(bubble_s) << " s, dependency stalls " << fixed(stall_s)
+     << " s; mean bubble fraction across " << compute.size()
+     << " device track(s) " << percent(clamp01(mean_fraction)) << ")";
+  finding.message = os.str();
+  finding.metrics = {
+      {"bubble_fraction", finding.score},
+      {"explicit_bubble_s", bubble_s},
+      {"stall_s", stall_s},
+      {"mean_bubble_fraction", clamp01(mean_fraction)},
+  };
+  findings.push_back(std::move(finding));
+}
+
+// --- communication pattern -------------------------------------------------
+
+struct CollectiveGroup {
+  std::set<std::uint32_t> participants;
+  std::map<std::uint32_t, int> spans_per_track;
+  std::set<int> steps;
+  bool hierarchical = false;
+  bool broadcast = false;
+  double time_s = 0.0;  // wall sum across participating links
+};
+
+bool parse_ring_suffix(const std::string& suffix, int& step) {
+  // ".s<digits>.d<digits>"
+  if (suffix.size() < 4 || suffix[0] != '.' || suffix[1] != 's') return false;
+  std::size_t i = 2;
+  int value = 0;
+  bool digits = false;
+  while (i < suffix.size() &&
+         std::isdigit(static_cast<unsigned char>(suffix[i]))) {
+    value = value * 10 + (suffix[i] - '0');
+    digits = true;
+    ++i;
+  }
+  if (!digits || i + 2 > suffix.size() || suffix[i] != '.' ||
+      suffix[i + 1] != 'd') {
+    return false;
+  }
+  step = value;
+  return true;
+}
+
+void detect_comm_pattern(const Timeline& timeline,
+                         std::vector<Finding>& findings) {
+  std::map<std::string, CollectiveGroup> groups;
+  for (const auto& track : timeline.tracks) {
+    if (track.kind != TrackKind::kLink) continue;
+    for (const auto& span : track.spans) {
+      const std::size_t dot = span.name.find('.');
+      const std::string base = span.name.substr(0, dot);
+      const std::string suffix =
+          dot == std::string::npos ? "" : span.name.substr(dot);
+      CollectiveGroup& group = groups[base];
+      group.participants.insert(track.tid);
+      ++group.spans_per_track[track.tid];
+      group.time_s += span.dur_s();
+      int step = 0;
+      if (suffix.find(".intra") == 0 || suffix.find(".inter") == 0 ||
+          suffix.find(".bcast") == 0) {
+        group.hierarchical = true;
+      } else if (suffix.find(".hop") == 0) {
+        group.broadcast = true;
+      } else if (parse_ring_suffix(suffix, step)) {
+        group.steps.insert(step);
+      }
+    }
+  }
+  if (groups.empty() || timeline.makespan_s <= 0.0) return;
+
+  const double comm_time_s = total_length(timeline.link_busy_union());
+  Finding finding;
+  finding.detector = "comm-pattern";
+  finding.rule_id = "analysis/comm-pattern";
+  finding.severity = check::Severity::kInfo;
+  finding.score = clamp01(comm_time_s / timeline.makespan_s);
+
+  std::ostringstream os;
+  os << "collectives occupy " << fixed(comm_time_s) << " s ("
+     << percent(finding.score) << " of makespan): ";
+  bool first = true;
+  for (const auto& [name, group] : groups) {
+    const std::size_t p = group.participants.size();
+    std::string pattern;
+    if (group.hierarchical) {
+      pattern = "hierarchical (intra-ring + inter-ring + bcast)";
+    } else if (group.broadcast) {
+      pattern = "broadcast chain";
+    } else if (!group.steps.empty()) {
+      if (group.steps.size() == 2 * (p - 1)) pattern = "ring all-reduce";
+      else if (group.steps.size() == p - 1) pattern = "ring all-gather";
+      else pattern = "ring";
+      pattern += " (" + std::to_string(group.steps.size()) + " steps)";
+    } else if (p > 1) {
+      int min_spans = 0;
+      bool have = false;
+      for (const auto& [tid, count] : group.spans_per_track) {
+        min_spans = have ? std::min(min_spans, count) : count;
+        have = true;
+      }
+      pattern = min_spans + 1 >= static_cast<int>(p) ? "all-to-all"
+                                                     : "point-to-point";
+    } else {
+      pattern = "point-to-point";
+    }
+    os << (first ? "" : ", ") << name << "=" << pattern << " ["
+       << p << " link(s), " << fixed(group.time_s) << " s]";
+    first = false;
+  }
+  finding.message = os.str();
+  finding.metrics = {
+      {"comm_time_s", comm_time_s},
+      {"comm_fraction", finding.score},
+      {"collective_groups", static_cast<double>(groups.size())},
+  };
+  findings.push_back(std::move(finding));
+}
+
+// --- load imbalance --------------------------------------------------------
+
+void detect_load_imbalance(const Timeline& timeline,
+                           std::vector<Finding>& findings) {
+  const auto compute = timeline.compute_tracks();
+  if (compute.size() < 2 || timeline.makespan_s <= 0.0) return;
+
+  double max_busy = 0.0, min_busy = 0.0, sum_busy = 0.0;
+  const TrackTimeline* busiest = nullptr;
+  for (const TrackTimeline* track : compute) {
+    sum_busy += track->busy_s;
+    if (busiest == nullptr || track->busy_s > max_busy) {
+      busiest = track;
+      max_busy = track->busy_s;
+    }
+    min_busy = (track == compute.front()) ? track->busy_s
+                                          : std::min(min_busy, track->busy_s);
+  }
+  const double mean_busy = sum_busy / static_cast<double>(compute.size());
+  if (max_busy <= 0.0) return;
+  const double skew = mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
+  const double saving_s = max_busy - mean_busy;
+
+  Finding finding;
+  finding.detector = "load-imbalance";
+  finding.rule_id = "analysis/load-imbalance";
+  finding.score = clamp01(saving_s / timeline.makespan_s);
+  finding.severity = finding.score >= 0.1 ? check::Severity::kWarning
+                                          : check::Severity::kInfo;
+  std::ostringstream os;
+  os << "compute busy-time skew across " << compute.size() << " devices: "
+     << busiest->name << " " << fixed(max_busy) << " s vs mean "
+     << fixed(mean_busy) << " s (skew " << fixed(skew, 2)
+     << "x, min " << fixed(min_busy) << " s) — balanced work would save ~"
+     << fixed(saving_s) << " s (" << percent(finding.score)
+     << " of makespan)";
+  finding.message = os.str();
+  finding.metrics = {
+      {"skew", skew},
+      {"busy_max_s", max_busy},
+      {"busy_mean_s", mean_busy},
+      {"busy_min_s", min_busy},
+      {"devices", static_cast<double>(compute.size())},
+      {"saving_s", saving_s},
+  };
+  findings.push_back(std::move(finding));
+}
+
+// --- queue wait ------------------------------------------------------------
+
+void detect_queue_wait(const Timeline& timeline,
+                       std::vector<Finding>& findings) {
+  if (timeline.queue_wait.empty() || timeline.makespan_s <= 0.0) return;
+  const std::string* worst_name = nullptr;
+  const QueueWaitStat* worst = nullptr;
+  for (const auto& [name, stat] : timeline.queue_wait) {
+    if (worst == nullptr || stat.total_s > worst->total_s) {
+      worst_name = &name;
+      worst = &stat;
+    }
+  }
+  if (worst->total_s <= 0.0) return;
+
+  double busy_s = 0.0;
+  for (const auto& track : timeline.tracks) {
+    if (track.name == *worst_name) busy_s = track.busy_s;
+  }
+  const double dominance =
+      busy_s > 0.0 ? worst->total_s / (worst->total_s + busy_s) : 1.0;
+
+  Finding finding;
+  finding.detector = "queue-wait";
+  finding.rule_id = "analysis/queue-wait";
+  finding.score = clamp01(worst->total_s / timeline.makespan_s);
+  finding.severity = dominance >= 0.5 || finding.score >= 0.25
+                         ? check::Severity::kWarning
+                         : check::Severity::kInfo;
+  std::ostringstream os;
+  os << "queue wait concentrates on " << *worst_name << ": "
+     << worst->samples << " task(s) waited " << fixed(worst->total_s)
+     << " s total (max " << fixed(worst->max_s) << " s) vs "
+     << fixed(busy_s) << " s busy (" << percent(clamp01(dominance))
+     << " of the resource's wall time spent queued)";
+  finding.message = os.str();
+  finding.metrics = {
+      {"wait_total_s", worst->total_s},
+      {"wait_max_s", worst->max_s},
+      {"wait_samples", static_cast<double>(worst->samples)},
+      {"busy_s", busy_s},
+      {"wait_dominance", clamp01(dominance)},
+  };
+  findings.push_back(std::move(finding));
+}
+
+// --- energy attribution ----------------------------------------------------
+
+const TrackTimeline* device_for_series(const Timeline& timeline,
+                                       const std::string& counter_name) {
+  // "power/dev0_w" -> "dev0"
+  const std::size_t slash = counter_name.find('/');
+  if (slash != std::string::npos) {
+    const std::size_t under = counter_name.find('_', slash);
+    const std::string device = counter_name.substr(
+        slash + 1,
+        under == std::string::npos ? std::string::npos : under - slash - 1);
+    for (const auto& track : timeline.tracks) {
+      if (track.name == device) return &track;
+    }
+  }
+  return timeline.critical_compute();
+}
+
+void detect_energy_attribution(const Timeline& timeline,
+                               std::vector<Finding>& findings) {
+  if (timeline.power.empty() || timeline.makespan_s <= 0.0) return;
+  const CounterSeries& series = timeline.power.front();
+  const TrackTimeline* device = device_for_series(timeline, series.name);
+  if (device == nullptr) return;
+
+  std::vector<std::pair<std::string, std::vector<Interval>>> labels;
+  for (const auto& [phase, intervals] : device->phase_intervals) {
+    labels.emplace_back(phase_name(phase), intervals);
+  }
+  const std::vector<Interval> whole = {Interval{0.0, timeline.makespan_s}};
+  const auto idle = subtract_intervals(whole, device->busy);
+  const auto links = timeline.link_busy_union();
+  const auto collective = intersect_intervals(idle, links);
+  labels.emplace_back("collective", collective);
+  labels.emplace_back("idle", subtract_intervals(idle, collective));
+
+  const EnergyBreakdown breakdown =
+      attribute_energy(series, labels, timeline.makespan_s);
+  if (breakdown.total_j <= 0.0) return;
+
+  double productive_j = 0.0;
+  for (const auto& share : breakdown.shares) {
+    if (share.label == "compute" || share.label == "prefill" ||
+        share.label == "decode" || share.label == "optimizer") {
+      productive_j += share.joules;
+    }
+  }
+  const double overhead_fraction =
+      clamp01(1.0 - productive_j / breakdown.total_j);
+
+  Finding finding;
+  finding.detector = "energy-attribution";
+  finding.rule_id = "analysis/energy-attribution";
+  finding.severity = check::Severity::kInfo;
+  finding.score = overhead_fraction;
+  std::ostringstream os;
+  os << device->name << " drew " << fixed(breakdown.total_j, 1) << " J over "
+     << fixed(timeline.makespan_s) << " s (" << series.name << "):";
+  bool first = true;
+  for (const auto& share : breakdown.shares) {
+    if (share.joules <= 0.0) continue;
+    os << (first ? " " : ", ") << share.label << " "
+       << percent(share.joules / breakdown.total_j) << " ("
+       << fixed(share.joules, 1) << " J)";
+    first = false;
+  }
+  finding.message = os.str();
+  finding.metrics = {{"total_j", breakdown.total_j},
+                     {"overhead_fraction", overhead_fraction}};
+  for (const auto& share : breakdown.shares) {
+    finding.metrics.emplace_back("energy_" + share.label + "_j",
+                                 share.joules);
+  }
+  findings.push_back(std::move(finding));
+}
+
+}  // namespace
+
+const std::vector<DetectorInfo>& detector_catalogue() {
+  static const std::vector<DetectorInfo> catalogue = {
+      {"critical-path", "analysis/critical-path",
+       "which device track the makespan runs through, with a per-phase "
+       "decomposition of its busy time"},
+      {"pipeline-bubble", "analysis/pipeline-bubble",
+       "explicit fill/drain bubble spans plus dependency stalls on the "
+       "critical device track"},
+      {"comm-pattern", "analysis/comm-pattern",
+       "collective pattern classification per group: ring / hierarchical / "
+       "broadcast chain / all-to-all"},
+      {"load-imbalance", "analysis/load-imbalance",
+       "inter-device busy-time skew (max vs mean); the makespan a balanced "
+       "layout would save"},
+      {"queue-wait", "analysis/queue-wait",
+       "resources whose tasks spend comparable time queued as running"},
+      {"energy-attribution", "analysis/energy-attribution",
+       "power counters integrated per phase: J for compute / collective / "
+       "bubble / idle (prefill vs decode for inference)"},
+  };
+  return catalogue;
+}
+
+std::vector<Finding> run_detectors(const Timeline& timeline) {
+  std::vector<Finding> findings;
+  if (timeline.compute_tracks().empty()) {
+    Finding finding;
+    finding.detector = "no-data";
+    finding.rule_id = "analysis/no-data";
+    finding.severity = check::Severity::kWarning;
+    finding.message =
+        "trace contains no device compute spans (dev*/stage* tracks); "
+        "nothing to analyse — was the run traced with --trace-out?";
+    findings.push_back(std::move(finding));
+    return findings;
+  }
+  detect_critical_path(timeline, findings);
+  detect_pipeline_bubble(timeline, findings);
+  detect_comm_pattern(timeline, findings);
+  detect_load_imbalance(timeline, findings);
+  detect_queue_wait(timeline, findings);
+  detect_energy_attribution(timeline, findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.score > b.score;
+                   });
+  return findings;
+}
+
+}  // namespace caraml::analysis

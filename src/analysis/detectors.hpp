@@ -1,0 +1,44 @@
+// Bottleneck detectors over a Timeline (PerFlow-style automated analysis).
+//
+// Each detector inspects the timeline and emits at most one Finding whose
+// score estimates, on a common [0, 1] scale, what fraction of the run's
+// makespan (or energy budget) the bottleneck explains — roughly "how much
+// faster/cheaper could this run be if only this problem were fixed". Scores
+// are therefore comparable across detectors and the ranked list reads as a
+// priority order, which is what the sweep --analyse hook stores per
+// workpackage.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/timeline.hpp"
+#include "check/diagnostics.hpp"
+
+namespace caraml::analysis {
+
+struct Finding {
+  std::string detector;  // short name, e.g. "load-imbalance"
+  std::string rule_id;   // catalogue id, e.g. "analysis/load-imbalance"
+  check::Severity severity = check::Severity::kInfo;
+  double score = 0.0;  // [0, 1] share of makespan/energy explained
+  std::string message;
+  /// Quantified evidence, rendered into the JSON report ("skew": 2.96, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct DetectorInfo {
+  std::string name;
+  std::string rule_id;
+  std::string summary;
+};
+
+/// Every registered detector (for `caraml analyse-trace --list-detectors`).
+const std::vector<DetectorInfo>& detector_catalogue();
+
+/// Run all detectors; findings come back ranked by descending score.
+/// An empty/unusable trace yields a single analysis/no-data finding.
+std::vector<Finding> run_detectors(const Timeline& timeline);
+
+}  // namespace caraml::analysis

@@ -1,0 +1,47 @@
+#include "analysis/energy.hpp"
+
+#include <algorithm>
+
+namespace caraml::analysis {
+
+double integrate_step(const std::vector<std::pair<double, double>>& samples,
+                      double t0, double t1) {
+  if (t1 <= t0 || samples.empty()) return 0.0;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double seg_start = samples[i].first;
+    const double seg_end =
+        i + 1 < samples.size() ? samples[i + 1].first : t1;
+    const double lo = std::max(t0, seg_start);
+    const double hi = std::min(t1, std::max(seg_end, seg_start));
+    if (hi > lo) energy += samples[i].second * (hi - lo);
+  }
+  return energy;
+}
+
+double integrate_over(const std::vector<std::pair<double, double>>& samples,
+                      const std::vector<Interval>& intervals) {
+  double energy = 0.0;
+  for (const auto& interval : intervals) {
+    energy += integrate_step(samples, interval.start, interval.end);
+  }
+  return energy;
+}
+
+EnergyBreakdown attribute_energy(
+    const CounterSeries& series,
+    const std::vector<std::pair<std::string, std::vector<Interval>>>& labels,
+    double end_s) {
+  EnergyBreakdown breakdown;
+  breakdown.total_j = integrate_step(series.samples, 0.0, end_s);
+  for (const auto& [label, intervals] : labels) {
+    EnergyShare share;
+    share.label = label;
+    share.joules = integrate_over(series.samples, intervals);
+    share.intervals_s = total_length(intervals);
+    breakdown.shares.push_back(std::move(share));
+  }
+  return breakdown;
+}
+
+}  // namespace caraml::analysis

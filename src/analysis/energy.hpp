@@ -1,0 +1,46 @@
+// Energy attribution: integrate a power counter series (piecewise-constant
+// watts samples, as the telemetry exporters emit) over labelled interval
+// sets to report joules per phase — the ML.ENERGY-style "where did the
+// joules go" decomposition behind the analysis/energy-attribution detector.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hpp"
+
+namespace caraml::analysis {
+
+/// Integral of the step function defined by `samples` over [t0, t1].
+/// Semantics match Chrome-trace counters: the value holds from one sample
+/// until the next, 0 before the first sample, and the last value holds
+/// forever. Empty series integrate to 0; a single sample (t, v) contributes
+/// v * (t1 - max(t0, t)). Samples must be sorted by time.
+double integrate_step(const std::vector<std::pair<double, double>>& samples,
+                      double t0, double t1);
+
+/// Integral over a disjoint interval list.
+double integrate_over(const std::vector<std::pair<double, double>>& samples,
+                      const std::vector<Interval>& intervals);
+
+struct EnergyShare {
+  std::string label;  // phase name ("compute", "collective", "idle", ...)
+  double joules = 0.0;
+  double intervals_s = 0.0;  // wall time the label covers
+};
+
+struct EnergyBreakdown {
+  std::vector<EnergyShare> shares;  // in the order the labels were given
+  double total_j = 0.0;             // integral over [0, end_s]
+};
+
+/// Attribute the series' energy to labelled interval sets (which should be
+/// disjoint and cover [0, end_s] if the caller wants shares to sum to
+/// total_j). The caller typically passes a device track's per-phase unions
+/// plus "collective" (idle under link activity) and "idle" (the rest).
+EnergyBreakdown attribute_energy(
+    const CounterSeries& series,
+    const std::vector<std::pair<std::string, std::vector<Interval>>>& labels,
+    double end_s);
+
+}  // namespace caraml::analysis

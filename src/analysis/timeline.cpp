@@ -1,0 +1,223 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace caraml::analysis {
+
+std::vector<Interval> union_intervals(std::vector<Interval> intervals) {
+  intervals.erase(
+      std::remove_if(intervals.begin(), intervals.end(),
+                     [](const Interval& i) { return i.end <= i.start; }),
+      intervals.end());
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  std::vector<Interval> merged;
+  for (const auto& interval : intervals) {
+    if (!merged.empty() && interval.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, interval.end);
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  return merged;
+}
+
+std::vector<Interval> intersect_intervals(const std::vector<Interval>& a,
+                                          const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double start = std::max(a[i].start, b[j].start);
+    const double end = std::min(a[i].end, b[j].end);
+    if (end > start) out.push_back(Interval{start, end});
+    if (a[i].end < b[j].end) ++i;
+    else ++j;
+  }
+  return out;
+}
+
+std::vector<Interval> subtract_intervals(const std::vector<Interval>& a,
+                                         const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t j = 0;
+  for (const auto& interval : a) {
+    double cursor = interval.start;
+    while (j < b.size() && b[j].end <= cursor) ++j;
+    std::size_t k = j;
+    while (k < b.size() && b[k].start < interval.end) {
+      if (b[k].start > cursor) out.push_back(Interval{cursor, b[k].start});
+      cursor = std::max(cursor, b[k].end);
+      ++k;
+    }
+    if (cursor < interval.end) out.push_back(Interval{cursor, interval.end});
+  }
+  return out;
+}
+
+double total_length(const std::vector<Interval>& intervals) {
+  double total = 0.0;
+  for (const auto& interval : intervals) total += interval.length();
+  return total;
+}
+
+namespace {
+
+bool prefix_then_digits(const std::string& name, const char* prefix) {
+  const std::size_t n = std::char_traits<char>::length(prefix);
+  if (name.compare(0, n, prefix) != 0 || name.size() == n) return false;
+  for (std::size_t i = n; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TrackKind classify_track(const std::string& name) {
+  if (prefix_then_digits(name, "dev") || prefix_then_digits(name, "stage")) {
+    return TrackKind::kCompute;
+  }
+  if (prefix_then_digits(name, "host")) return TrackKind::kHost;
+  if (prefix_then_digits(name, "link")) return TrackKind::kLink;
+  if (name == "power") return TrackKind::kPower;
+  return TrackKind::kOther;
+}
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kCompute: return "compute";
+    case Phase::kBubble: return "bubble";
+    case Phase::kOptimizer: return "optimizer";
+    case Phase::kHost: return "host";
+    case Phase::kCollective: return "collective";
+    case Phase::kPrefill: return "prefill";
+    case Phase::kDecode: return "decode";
+  }
+  return "unknown";
+}
+
+Phase classify_span(const std::string& name, TrackKind kind) {
+  if (kind == TrackKind::kLink) return Phase::kCollective;
+  if (kind == TrackKind::kHost) return Phase::kHost;
+  if (name == "bubble") return Phase::kBubble;
+  if (name == "optimizer" || name == "sgd") return Phase::kOptimizer;
+  if (name == "host" || name == "input") return Phase::kHost;
+  if (name == "prefill") return Phase::kPrefill;
+  if (name == "decode") return Phase::kDecode;
+  return Phase::kCompute;
+}
+
+std::vector<const TrackTimeline*> Timeline::compute_tracks() const {
+  std::vector<const TrackTimeline*> out;
+  for (const auto& track : tracks) {
+    if (track.kind == TrackKind::kCompute && !track.spans.empty()) {
+      out.push_back(&track);
+    }
+  }
+  return out;
+}
+
+const TrackTimeline* Timeline::critical_compute() const {
+  const TrackTimeline* critical = nullptr;
+  for (const TrackTimeline* track : compute_tracks()) {
+    if (critical == nullptr || track->last_end_s > critical->last_end_s ||
+        (track->last_end_s == critical->last_end_s &&
+         track->busy_s > critical->busy_s)) {
+      critical = track;
+    }
+  }
+  return critical;
+}
+
+std::vector<Interval> Timeline::link_busy_union() const {
+  std::vector<Interval> intervals;
+  for (const auto& track : tracks) {
+    if (track.kind != TrackKind::kLink) continue;
+    intervals.insert(intervals.end(), track.busy.begin(), track.busy.end());
+  }
+  return union_intervals(intervals);
+}
+
+Timeline build_timeline(const Trace& trace) {
+  Timeline timeline;
+
+  // One TrackTimeline per tid that actually carries spans (counter-only
+  // tracks like "power" never become span tracks).
+  std::map<std::uint32_t, std::size_t> by_tid;
+  for (const auto& span : trace.spans) {
+    auto it = by_tid.find(span.track);
+    if (it == by_tid.end()) {
+      TrackTimeline track;
+      track.tid = span.track;
+      track.name = trace.track_name(span.track);
+      track.kind = classify_track(track.name);
+      by_tid.emplace(span.track, timeline.tracks.size());
+      timeline.tracks.push_back(std::move(track));
+      it = by_tid.find(span.track);
+    }
+    timeline.tracks[it->second].spans.push_back(span);
+  }
+
+  for (auto& track : timeline.tracks) {
+    std::sort(track.spans.begin(), track.spans.end(),
+              [](const TraceSpan& a, const TraceSpan& b) {
+                return a.ts_us < b.ts_us;
+              });
+    std::vector<Interval> intervals;
+    track.first_start_s = track.spans.front().start_s();
+    track.last_end_s = track.spans.front().end_s();
+    for (const auto& span : track.spans) {
+      track.first_start_s = std::min(track.first_start_s, span.start_s());
+      track.last_end_s = std::max(track.last_end_s, span.end_s());
+      const Phase phase = classify_span(span.name, track.kind);
+      track.phase_time[phase] += span.dur_s();
+      track.phase_intervals[phase].push_back(
+          Interval{span.start_s(), span.end_s()});
+      if (phase == Phase::kBubble) track.bubble_s += span.dur_s();
+      intervals.push_back(Interval{span.start_s(), span.end_s()});
+    }
+    track.busy = union_intervals(std::move(intervals));
+    track.busy_s = total_length(track.busy);
+    track.gap_s = std::max(0.0, track.extent_s() - track.busy_s);
+    for (auto& [phase, list] : track.phase_intervals) {
+      list = union_intervals(std::move(list));
+    }
+    if (track.kind != TrackKind::kPower) {
+      timeline.makespan_s = std::max(timeline.makespan_s, track.last_end_s);
+    }
+  }
+
+  // Counter series: power overlays keep their full sample list; queue-wait
+  // counters aggregate into per-resource wait statistics.
+  std::map<std::string, std::size_t> series_index;
+  for (const auto& counter : trace.counters) {
+    if (counter.name.rfind("queue_wait/", 0) == 0) {
+      QueueWaitStat& stat = timeline.queue_wait[counter.name.substr(11)];
+      stat.total_s += counter.value;
+      stat.max_s = std::max(stat.max_s, counter.value);
+      ++stat.samples;
+      continue;
+    }
+    if (counter.series != "watts") continue;
+    auto it = series_index.find(counter.name);
+    if (it == series_index.end()) {
+      CounterSeries series;
+      series.name = counter.name;
+      series.series = counter.series;
+      series_index.emplace(counter.name, timeline.power.size());
+      timeline.power.push_back(std::move(series));
+      it = series_index.find(counter.name);
+    }
+    timeline.power[it->second].samples.emplace_back(counter.t_s(),
+                                                    counter.value);
+  }
+  for (auto& series : timeline.power) {
+    std::sort(series.samples.begin(), series.samples.end());
+  }
+  return timeline;
+}
+
+}  // namespace caraml::analysis

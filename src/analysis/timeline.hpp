@@ -1,0 +1,111 @@
+// Timeline model over a parsed trace: tracks classified by role (device
+// compute, host pipeline, interconnect link, power counters), per-track busy
+// unions / gaps / phase decomposition, power counter series, and queue-wait
+// statistics. This is the shared substrate the bottleneck detectors
+// (detectors.hpp) query, so every detector agrees on what "busy", "idle" and
+// "the makespan" mean.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_reader.hpp"
+
+namespace caraml::analysis {
+
+/// Half-open interval [start, end) in seconds.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+
+  double length() const { return end > start ? end - start : 0.0; }
+};
+
+/// Merge overlapping/touching intervals; result is sorted and disjoint.
+std::vector<Interval> union_intervals(std::vector<Interval> intervals);
+
+/// Pairwise intersection of two disjoint sorted interval lists.
+std::vector<Interval> intersect_intervals(const std::vector<Interval>& a,
+                                          const std::vector<Interval>& b);
+
+/// a minus b, both disjoint and sorted.
+std::vector<Interval> subtract_intervals(const std::vector<Interval>& a,
+                                         const std::vector<Interval>& b);
+
+double total_length(const std::vector<Interval>& intervals);
+
+/// What a track represents, derived from the sim/telemetry naming scheme:
+/// "dev<N>"/"stage<N>" compute queues, "host<N>" input pipelines, "link<N>"
+/// interconnect directions, "power" counter tracks, everything else
+/// (thread/<N>, queue_wait, ...) is kOther.
+enum class TrackKind { kCompute, kHost, kLink, kPower, kOther };
+
+TrackKind classify_track(const std::string& name);
+
+/// Phase of one span, from its name and the owning track's kind.
+enum class Phase {
+  kCompute,    // micro-steps, fwd+bwd, GEMMs — the useful work
+  kBubble,     // explicit pipeline fill/drain slots
+  kOptimizer,  // optimizer/sgd update
+  kHost,       // host data pipeline / fixed iteration overhead
+  kCollective, // anything on a link track
+  kPrefill,    // inference prompt processing
+  kDecode,     // inference token generation
+};
+
+const char* phase_name(Phase phase);
+Phase classify_span(const std::string& name, TrackKind kind);
+
+/// One track's view of the trace.
+struct TrackTimeline {
+  std::string name;
+  std::uint32_t tid = 0;
+  TrackKind kind = TrackKind::kOther;
+  std::vector<TraceSpan> spans;  // sorted by start time
+  std::vector<Interval> busy;    // union of span intervals
+  double busy_s = 0.0;           // total_length(busy)
+  double first_start_s = 0.0;
+  double last_end_s = 0.0;
+  double gap_s = 0.0;     // idle inside [first_start, last_end]
+  double bubble_s = 0.0;  // explicit Phase::kBubble span time
+  std::map<Phase, double> phase_time;
+  std::map<Phase, std::vector<Interval>> phase_intervals;
+
+  double extent_s() const { return last_end_s - first_start_s; }
+};
+
+/// One counter's sample series (t_s, value), sorted by time.
+struct CounterSeries {
+  std::string name;
+  std::string series;
+  std::vector<std::pair<double, double>> samples;
+};
+
+/// Aggregated queue-wait samples for one simulated resource, from the
+/// "queue_wait/<resource>" counters sim::append_queue_wait_counters emits
+/// (each sample = seconds one task waited between ready and start).
+struct QueueWaitStat {
+  double total_s = 0.0;
+  double max_s = 0.0;
+  std::size_t samples = 0;
+};
+
+struct Timeline {
+  std::vector<TrackTimeline> tracks;
+  std::vector<CounterSeries> power;  // series "watts" (power overlays)
+  std::map<std::string, QueueWaitStat> queue_wait;  // resource -> stats
+  /// End of the last span on a non-power track (the run's makespan).
+  double makespan_s = 0.0;
+
+  std::vector<const TrackTimeline*> compute_tracks() const;
+  /// The compute track that finishes last (ties: most busy time); nullptr
+  /// when the trace has no compute spans.
+  const TrackTimeline* critical_compute() const;
+  /// Union of busy intervals across every link track.
+  std::vector<Interval> link_busy_union() const;
+};
+
+Timeline build_timeline(const Trace& trace);
+
+}  // namespace caraml::analysis

@@ -1,0 +1,200 @@
+#include "analysis/trace_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "telemetry/span.hpp"
+#include "util/error.hpp"
+
+namespace caraml::analysis {
+
+namespace json = telemetry::json;
+
+std::string Trace::track_name(std::uint32_t tid) const {
+  if (tid < tracks.size() && !tracks[tid].empty()) return tracks[tid];
+  return "tid" + std::to_string(tid);
+}
+
+namespace {
+
+[[noreturn]] void schema_fail(const std::string& file, std::size_t index,
+                              const std::string& message) {
+  throw ParseError(file + ": event #" + std::to_string(index) + ": " +
+                   message);
+}
+
+double number_or_fail(const json::Value& event, const char* key,
+                      const std::string& file, std::size_t index) {
+  try {
+    return event.at(key).as_number();
+  } catch (const std::exception&) {
+    schema_fail(file, index,
+                std::string("missing or non-numeric \"") + key + "\"");
+  }
+}
+
+std::uint32_t tid_of(const json::Value& event, const std::string& file,
+                     std::size_t index) {
+  const double tid = number_or_fail(event, "tid", file, index);
+  if (tid < 0 || tid > 4e9) schema_fail(file, index, "tid out of range");
+  return static_cast<std::uint32_t>(tid);
+}
+
+}  // namespace
+
+Trace parse_chrome_trace(const std::string& text, const std::string& file) {
+  json::Value root;
+  try {
+    root = json::parse(text);
+  } catch (const ParseError& e) {
+    // json::parse messages already carry "at offset N"; prefix the file so
+    // the user gets a clickable file:offset diagnostic.
+    throw ParseError(file + ": " + e.what());
+  }
+
+  const json::Array* events = nullptr;
+  if (root.is_array()) {
+    events = &root.as_array();
+  } else if (root.is_object() && root.contains("traceEvents") &&
+             root.at("traceEvents").is_array()) {
+    events = &root.at("traceEvents").as_array();
+  } else {
+    throw ParseError(file +
+                     ": not a Chrome trace (expected {\"traceEvents\":[...]} "
+                     "or a bare event array)");
+  }
+
+  Trace trace;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& event = (*events)[i];
+    if (!event.is_object()) schema_fail(file, i, "event is not an object");
+    if (!event.contains("ph") || !event.at("ph").is_string()) {
+      schema_fail(file, i, "missing \"ph\" phase");
+    }
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "M") {
+      // Only thread_name metadata names tracks; other metadata is skipped.
+      if (!event.contains("name") || !event.at("name").is_string() ||
+          event.at("name").as_string() != "thread_name") {
+        ++trace.skipped_events;
+        continue;
+      }
+      const std::uint32_t tid = tid_of(event, file, i);
+      std::string name;
+      try {
+        name = event.at("args").at("name").as_string();
+      } catch (const std::exception&) {
+        schema_fail(file, i, "thread_name metadata without args.name");
+      }
+      if (tid >= trace.tracks.size()) trace.tracks.resize(tid + 1);
+      trace.tracks[tid] = name;
+    } else if (ph == "X") {
+      TraceSpan span;
+      if (!event.contains("name") || !event.at("name").is_string()) {
+        schema_fail(file, i, "span without a \"name\"");
+      }
+      span.name = event.at("name").as_string();
+      span.track = tid_of(event, file, i);
+      span.ts_us = number_or_fail(event, "ts", file, i);
+      span.dur_us = number_or_fail(event, "dur", file, i);
+      if (event.contains("args") && event.at("args").is_object() &&
+          !event.at("args").as_object().empty()) {
+        const auto& [key, value] = event.at("args").as_object().front();
+        if (value.is_number()) {
+          span.arg_name = key;
+          span.arg_value = value.as_number();
+          span.has_arg = true;
+        }
+      }
+      trace.spans.push_back(std::move(span));
+    } else if (ph == "C") {
+      TraceCounter counter;
+      if (!event.contains("name") || !event.at("name").is_string()) {
+        schema_fail(file, i, "counter without a \"name\"");
+      }
+      counter.name = event.at("name").as_string();
+      counter.track = tid_of(event, file, i);
+      counter.ts_us = number_or_fail(event, "ts", file, i);
+      if (!event.contains("args") || !event.at("args").is_object() ||
+          event.at("args").as_object().empty()) {
+        schema_fail(file, i, "counter without an args series");
+      }
+      const auto& [series, value] = event.at("args").as_object().front();
+      if (!value.is_number()) {
+        schema_fail(file, i, "counter series value is not a number");
+      }
+      counter.series = series;
+      counter.value = value.as_number();
+      trace.counters.push_back(std::move(counter));
+    } else {
+      ++trace.skipped_events;
+    }
+  }
+  return trace;
+}
+
+Trace read_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw NotFound("cannot read trace: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_chrome_trace(buffer.str(), path);
+}
+
+Trace snapshot(const telemetry::Tracer& tracer) {
+  Trace trace;
+  trace.tracks = tracer.track_names();
+  for (const auto& span : tracer.spans()) {
+    trace.spans.push_back(TraceSpan{span.name, span.track, span.start_s * 1e6,
+                                    span.dur_s * 1e6, span.arg_name,
+                                    span.arg_value, span.has_arg});
+  }
+  for (const auto& counter : tracer.counters()) {
+    trace.counters.push_back(TraceCounter{counter.name, counter.series,
+                                          counter.track, counter.t_s * 1e6,
+                                          counter.value});
+  }
+  return trace;
+}
+
+std::string to_chrome_trace(const Trace& trace) {
+  // Mirrors Tracer::to_chrome_trace event for event; keep the two writers in
+  // sync or the round-trip test under tests/ will flag the drift.
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (std::size_t t = 0; t < trace.tracks.size(); ++t) {
+    separator();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+       << ",\"args\":{\"name\":\"" << json::escape(trace.tracks[t]) << "\"}}";
+  }
+  for (const auto& span : trace.spans) {
+    separator();
+    os << "{\"name\":\"" << json::escape(span.name)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.track
+       << ",\"ts\":" << json::format_number(span.ts_us)
+       << ",\"dur\":" << json::format_number(span.dur_us);
+    if (span.has_arg) {
+      os << ",\"args\":{\"" << json::escape(span.arg_name)
+         << "\":" << json::format_number(span.arg_value) << "}";
+    }
+    os << "}";
+  }
+  for (const auto& counter : trace.counters) {
+    separator();
+    os << "{\"name\":\"" << json::escape(counter.name)
+       << "\",\"ph\":\"C\",\"pid\":1,\"tid\":" << counter.track
+       << ",\"ts\":" << json::format_number(counter.ts_us)
+       << ",\"args\":{\"" << json::escape(counter.series)
+       << "\":" << json::format_number(counter.value) << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace caraml::analysis

@@ -1,0 +1,83 @@
+// Chrome-trace reader: the inverse of telemetry::Tracer::to_chrome_trace().
+//
+// The suite has always been able to *write* trace-event JSON for Perfetto;
+// `caraml analyse-trace` needs to read those files back into a structured
+// model. The reader understands the subset our writers emit — "M" thread_name
+// metadata, "X" complete spans, "C" counters, all on pid 1 — and tolerates
+// (skips) other phase types so hand-edited or foreign traces still load.
+//
+// Numbers are kept in the file's native unit (microseconds) exactly as
+// parsed: converting to seconds and back multiplies by 1e6 twice, which is
+// not an identity in IEEE arithmetic. Storing the raw values is what lets
+// to_chrome_trace(read(text)) reproduce `text` byte for byte (the writers
+// share telemetry::json::format_number).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace caraml::telemetry {
+class Tracer;
+}
+
+namespace caraml::analysis {
+
+/// One "ph":"X" complete span, timestamps in microseconds as parsed.
+struct TraceSpan {
+  std::string name;
+  std::uint32_t track = 0;  // tid
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::string arg_name;
+  double arg_value = 0.0;
+  bool has_arg = false;
+
+  double start_s() const { return ts_us / 1e6; }
+  double dur_s() const { return dur_us / 1e6; }
+  double end_s() const { return (ts_us + dur_us) / 1e6; }
+};
+
+/// One "ph":"C" counter sample.
+struct TraceCounter {
+  std::string name;    // e.g. "power/dev0_w"
+  std::string series;  // the single args key, e.g. "watts"
+  std::uint32_t track = 0;
+  double ts_us = 0.0;
+  double value = 0.0;
+
+  double t_s() const { return ts_us / 1e6; }
+};
+
+/// A parsed trace: named tracks plus spans/counters in file order.
+struct Trace {
+  /// Track names from "thread_name" metadata, indexed by tid. Entries may be
+  /// empty when a tid never received metadata; use track_name() for lookup.
+  std::vector<std::string> tracks;
+  std::vector<TraceSpan> spans;
+  std::vector<TraceCounter> counters;
+  /// Events with a phase the reader does not model ("B", "E", ...).
+  std::size_t skipped_events = 0;
+
+  /// Name for a tid; synthesizes "tid<N>" when no metadata named it.
+  std::string track_name(std::uint32_t tid) const;
+};
+
+/// Parse Chrome-trace JSON: either {"traceEvents":[...]} or a bare event
+/// array. Throws caraml::ParseError whose message carries `file` plus the
+/// byte offset of the malformed construct ("<file>: json: ... at offset N").
+Trace parse_chrome_trace(const std::string& text,
+                         const std::string& file = "<trace>");
+
+/// Read and parse a trace file; errors include the path.
+Trace read_chrome_trace_file(const std::string& path);
+
+/// Snapshot a live tracer into the same model (for in-process analysis of a
+/// run that never went through a file, e.g. the sweep --analyse hook).
+Trace snapshot(const telemetry::Tracer& tracer);
+
+/// Re-serialize; byte-identical to Tracer::to_chrome_trace() for traces
+/// produced by it (same event order, same number formatting).
+std::string to_chrome_trace(const Trace& trace);
+
+}  // namespace caraml::analysis

@@ -91,6 +91,30 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"sim/static-oom", Severity::kWarning,
        "predicted per-device memory footprint exceeds HBM capacity; the "
        "workpackage is guaranteed to OOM"},
+
+      // --- analysis: automated trace bottleneck detection -------------------
+      {"analysis/trace-error", Severity::kError,
+       "trace file is missing, malformed, or violates the Chrome-trace event "
+       "schema"},
+      {"analysis/no-data", Severity::kWarning,
+       "trace has no device compute spans; detectors have nothing to rank"},
+      {"analysis/critical-path", Severity::kInfo,
+       "device track the makespan runs through, with per-phase busy-time "
+       "decomposition"},
+      {"analysis/pipeline-bubble", Severity::kInfo,
+       "fill/drain bubbles plus dependency stalls on the critical device "
+       "track"},
+      {"analysis/comm-pattern", Severity::kInfo,
+       "collective pattern classification (ring / hierarchical / broadcast "
+       "chain / all-to-all) and link-busy share"},
+      {"analysis/load-imbalance", Severity::kWarning,
+       "inter-device busy-time skew; the makespan a balanced layout would "
+       "recover"},
+      {"analysis/queue-wait", Severity::kWarning,
+       "resource whose tasks spend comparable time queued as running"},
+      {"analysis/energy-attribution", Severity::kInfo,
+       "power counters integrated per phase: joules for compute, collective, "
+       "bubble, idle"},
   };
   return catalogue;
 }

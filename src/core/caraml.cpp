@@ -5,8 +5,10 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/analyse.hpp"
 #include "core/resilient.hpp"
 #include "fault/fault.hpp"
+#include "telemetry/span.hpp"
 #include "topo/specs.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -67,6 +69,26 @@ void append_report(std::ostream& os, const fault::RunReport& report) {
      << "steps_replayed: " << report.steps_replayed << "\n";
 }
 
+// ---------------------------------------------------------------------------
+// Sweep --analyse hook: when the workpackage context carries analyse=1, the
+// train actions run their simulation against a local tracer (concurrent
+// workpackages must not interleave events in the global one), run the
+// bottleneck detectors over the snapshot, and emit the ranked summary as
+// output lines the analyse patterns lift into the manifest row.
+// ---------------------------------------------------------------------------
+
+bool analyse_requested(const jube::Context& context) {
+  return context_get(context, "analyse", "0") == "1";
+}
+
+void append_analysis(std::ostream& os, const telemetry::Tracer& tracer) {
+  const analysis::AnalysisReport report =
+      analysis::analyse(analysis::snapshot(tracer));
+  const std::string summary = analysis::bottleneck_summary(report);
+  os << "bottlenecks: " << summary << "\n"
+     << "top_bottleneck: " << summary.substr(0, summary.find(';')) << "\n";
+}
+
 std::string llm_train_action(const jube::Context& context) {
   LlmRunConfig config;
   config.system_tag = context_get(context, "system", "A100");
@@ -87,11 +109,18 @@ std::string llm_train_action(const jube::Context& context) {
 
   std::ostringstream os;
   if (config.system_tag == "GC200") {
+    // The IPU path only traces through the global tracer; no --analyse hook.
     const IpuLlmResult r = run_llm_ipu(config.global_batch);
     os << "tokens_per_s: " << r.tokens_per_s << "\n"
        << "energy_wh: " << r.energy_per_epoch_wh << "\n"
        << "tokens_per_wh: " << r.tokens_per_wh << "\n";
     return os.str();
+  }
+  telemetry::Tracer analysis_tracer;
+  const bool analyse = analyse_requested(context);
+  if (analyse) {
+    analysis_tracer.set_enabled(true);
+    config.trace_sink = &analysis_tracer;
   }
   if (fault_requested(context)) {
     const int devices_for_plan =
@@ -111,6 +140,7 @@ std::string llm_train_action(const jube::Context& context) {
          << "energy_wh: " << rr.base.energy_per_gpu_wh << "\n"
          << "tokens_per_wh: " << rr.base.tokens_per_wh << "\n"
          << "avg_power_w: " << rr.base.avg_power_per_gpu_w << "\n";
+      if (analyse) append_analysis(os, analysis_tracer);
     }
     return os.str();
   }
@@ -123,6 +153,7 @@ std::string llm_train_action(const jube::Context& context) {
      << "energy_wh: " << r.energy_per_gpu_wh << "\n"
      << "tokens_per_wh: " << r.tokens_per_wh << "\n"
      << "avg_power_w: " << r.avg_power_per_gpu_w << "\n";
+  if (analyse) append_analysis(os, analysis_tracer);
   return os.str();
 }
 
@@ -142,6 +173,12 @@ std::string resnet_train_action(const jube::Context& context) {
   else throw InvalidArgument("unknown resnet variant: " + variant);
 
   std::ostringstream os;
+  telemetry::Tracer analysis_tracer;
+  const bool analyse = analyse_requested(context);
+  if (analyse) {
+    analysis_tracer.set_enabled(true);
+    config.trace_sink = &analysis_tracer;
+  }
   if (fault_requested(context)) {
     const ResilientResnetResult rr = run_resnet_resilient(
         config, resilience_from_context(context, std::max(1, config.devices)));
@@ -155,6 +192,7 @@ std::string resnet_train_action(const jube::Context& context) {
          << "energy_wh: " << rr.base.energy_per_epoch_wh << "\n"
          << "images_per_wh: " << rr.base.images_per_wh << "\n"
          << "avg_power_w: " << rr.base.avg_power_per_device_w << "\n";
+      if (analyse) append_analysis(os, analysis_tracer);
     }
     return os.str();
   }
@@ -167,6 +205,7 @@ std::string resnet_train_action(const jube::Context& context) {
      << "energy_wh: " << r.energy_per_epoch_wh << "\n"
      << "images_per_wh: " << r.images_per_wh << "\n"
      << "avg_power_w: " << r.avg_power_per_device_w << "\n";
+  if (analyse) append_analysis(os, analysis_tracer);
   return os.str();
 }
 
@@ -220,6 +259,8 @@ std::vector<jube::Pattern> caraml_patterns() {
       {"effective_images_per_s",
        R"(effective_images_per_s:\s*([0-9.eE+-]+))"},
       {"slept_ms", R"(\bslept_ms:\s*([0-9]+))"},
+      {"bottlenecks", R"(\bbottlenecks:\s*(\S+))"},
+      {"top_bottleneck", R"(top_bottleneck:\s*(\S+))"},
   };
 }
 

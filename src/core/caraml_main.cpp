@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/analyse.hpp"
 #include "check/lint.hpp"
 #include "check/rules.hpp"
 #include "core/caraml.hpp"
@@ -40,6 +41,7 @@
 #include "util/argparse.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 #include "util/units.hpp"
@@ -119,6 +121,23 @@ std::map<std::string, std::string> fault_config_entries(
           {"retries", parser.get("retries")}};
 }
 
+/// Parse a --derate-device spec "d:f[,d:f]" into {device -> factor}.
+std::map<int, double> parse_device_derates(const std::string& spec) {
+  std::map<int, double> derates;
+  if (spec.empty()) return derates;
+  for (const auto& entry : str::split(spec, ',')) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      throw InvalidArgument("--derate-device expects d:f[,d:f], got '" +
+                            spec + "'");
+    }
+    derates[static_cast<int>(str::parse_int(entry.substr(0, colon)))] =
+        str::parse_double(entry.substr(colon + 1));
+  }
+  return derates;
+}
+
 void print_report(const fault::RunReport& report,
                   const fault::FaultPlan& plan) {
   std::cout << "  fault plan    : seed " << plan.seed << ", "
@@ -139,20 +158,64 @@ void print_report(const fault::RunReport& report,
 struct TelemetryCli {
   std::string metrics_out;
   std::string trace_out;
+  std::string command;
 
   /// Apply the parsed telemetry flags: set the log format and enable the
   /// global tracer when any output was requested (spans cost nothing
   /// otherwise).
-  static TelemetryCli from_parser(const ArgParser& parser) {
+  static TelemetryCli from_parser(const ArgParser& parser,
+                                  std::string command) {
     TelemetryCli t;
     t.metrics_out = parser.get("metrics-out");
     t.trace_out = parser.get("trace-out");
+    t.command = std::move(command);
     log::set_format(log::format_from_name(parser.get("log-format")));
     if (!t.trace_out.empty()) telemetry::Tracer::global().set_enabled(true);
     return t;
   }
 
   bool active() const { return !metrics_out.empty() || !trace_out.empty(); }
+
+  /// Failed runs must still leave their telemetry behind: when the command
+  /// throws before it could call finish(), this flushes whatever the global
+  /// tracer and metrics registry accumulated and appends a failed-status
+  /// manifest row. Best-effort — a flush error never masks the original one.
+  ~TelemetryCli() {
+    if (finished_ || !active()) return;
+    try {
+      auto& tracer = telemetry::Tracer::global();
+      if (!trace_out.empty() && tracer.enabled()) {
+        tracer.write_chrome_trace(trace_out);
+        std::cerr << "telemetry: trace written to " << trace_out
+                  << " (run did not finish)\n";
+      }
+      if (!metrics_out.empty()) {
+        telemetry::Registry::global().write_files(metrics_out);
+        telemetry::Manifest manifest;
+        manifest.command = command;
+        manifest.timestamp = telemetry::iso8601_utc_now();
+        manifest.git_revision = telemetry::git_describe();
+        manifest.status = "failed";
+        telemetry::append_manifest_line(manifest,
+                                        metrics_out + "/manifest.jsonl");
+        std::cerr << "telemetry: metrics + failed manifest written to "
+                  << metrics_out << "/\n";
+      }
+    } catch (...) {
+    }
+  }
+
+  TelemetryCli() = default;
+  TelemetryCli(TelemetryCli&& other) noexcept
+      : metrics_out(std::move(other.metrics_out)),
+        trace_out(std::move(other.trace_out)),
+        command(std::move(other.command)),
+        finished_(other.finished_) {
+    other.finished_ = true;  // the source must not flush again
+  }
+  TelemetryCli(const TelemetryCli&) = delete;
+  TelemetryCli& operator=(const TelemetryCli&) = delete;
+  TelemetryCli& operator=(TelemetryCli&&) = delete;
 
   /// Post-run export: replay the simulated device power trace through a
   /// PowerScope (fast-forwarded with a ScaledClock, as jpwr would sample the
@@ -172,6 +235,7 @@ struct TelemetryCli {
               const std::optional<sim::PowerTrace>& device_trace,
               const fault::RunReport* report = nullptr,
               const SweepInfo* sweep = nullptr) const {
+    finished_ = true;  // a deliberate export supersedes the destructor flush
     telemetry::Manifest manifest;
     manifest.command = command;
     manifest.timestamp = telemetry::iso8601_utc_now();
@@ -239,6 +303,9 @@ struct TelemetryCli {
                 << tracer.num_events() << " events)\n";
     }
   }
+
+ private:
+  mutable bool finished_ = false;
 };
 
 int cmd_systems() {
@@ -270,10 +337,13 @@ int cmd_run(const std::vector<std::string>& args) {
                     "JSONL result-cache file; re-runs skip cached "
                     "workpackages ('' = off)",
                     std::string(""));
+  parser.add_flag("analyse",
+                  "run bottleneck analysis per workpackage; annotates every "
+                  "manifest row with the ranked top bottlenecks");
   add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
-  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser, "run");
 
   jube::Benchmark benchmark =
       jube::Benchmark::from_yaml_file(parser.get("script"));
@@ -284,6 +354,17 @@ int cmd_run(const std::vector<std::string>& args) {
   core::register_caraml_actions(registry);
   std::set<std::string> tags;
   if (!parser.get("tag").empty()) tags.insert(parser.get("tag"));
+
+  const bool analyse = parser.get_flag("analyse");
+  if (analyse) {
+    // Thread the flag into every workpackage context, same as the fault
+    // flags below; the train actions emit bottlenecks/top_bottleneck lines
+    // the analyse patterns lift into the manifest rows.
+    jube::ParameterSet analyse_set;
+    analyse_set.name = "analysis";
+    analyse_set.parameters = {jube::Parameter{"analyse", {"1"}, ""}};
+    benchmark.add_parameter_set(std::move(analyse_set));
+  }
 
   jube::SweepOptions sweep;
   sweep.jobs = static_cast<int>(parser.get_int("sweep-jobs"));
@@ -343,7 +424,7 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   const bool llm = benchmark.name().find("llm") != std::string::npos;
   const bool smoke = benchmark.name().find("smoke") != std::string::npos;
-  const std::vector<std::string> columns =
+  std::vector<std::string> columns =
       smoke ? std::vector<std::string>{"shard", "sleep_ms", "slept_ms",
                                        "status"}
       : llm ? std::vector<std::string>{"system", "global_batch", "tokens_per_s",
@@ -351,6 +432,7 @@ int cmd_run(const std::vector<std::string>& args) {
             : std::vector<std::string>{"system", "global_batch", "devices",
                                        "images_per_s", "energy_wh",
                                        "images_per_wh", "status"};
+  if (analyse) columns.push_back("top_bottleneck");
   std::cout << result.table(columns).render();
   int failed = 0;
   for (const auto& wp : result.workpackages) {
@@ -393,10 +475,14 @@ int cmd_llm(const std::vector<std::string>& args) {
   parser.add_option("pp", "pipeline parallel", std::string("1"));
   parser.add_option("nodes", "number of nodes", std::string("1"));
   parser.add_option("model", "117M|800M|13B|175B", std::string("800M"));
+  parser.add_option("derate-device",
+                    "per-device compute slowdown d:f[,d:f] (factor >= 1) — "
+                    "builds an imbalanced layout for analyse-trace",
+                    std::string(""));
   add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
-  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser, "llm");
 
   if (parser.get("system") == "GC200") {
     const auto result = core::run_llm_ipu(parser.get_int("batch"));
@@ -430,6 +516,8 @@ int cmd_llm(const std::vector<std::string>& args) {
   config.tensor_parallel = static_cast<int>(parser.get_int("tp"));
   config.pipeline_parallel = static_cast<int>(parser.get_int("pp"));
   config.num_nodes = static_cast<int>(parser.get_int("nodes"));
+  config.device_compute_derate =
+      parse_device_derates(parser.get("derate-device"));
   const std::string model = parser.get("model");
   if (model == "117M") config.model = models::GptConfig::gpt_117m();
   else if (model == "800M") config.model = models::GptConfig::gpt_800m();
@@ -530,16 +618,21 @@ int cmd_resnet(const std::vector<std::string>& args) {
   parser.add_flag("synthetic", "use synthetic data (skip host pipeline)");
   parser.add_option("variant", "resnet18|resnet34|resnet50",
                     std::string("resnet50"));
+  parser.add_option("derate-device",
+                    "per-device compute slowdown d:f[,d:f] (factor >= 1)",
+                    std::string(""));
   add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
-  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser, "resnet");
 
   core::ResnetRunConfig config;
   config.system_tag = parser.get("system");
   config.global_batch = parser.get_int("batch");
   config.devices = static_cast<int>(parser.get_int("devices"));
   config.synthetic_data = parser.get_flag("synthetic");
+  config.device_compute_derate =
+      parse_device_derates(parser.get("derate-device"));
   const std::string variant = parser.get("variant");
   if (variant == "resnet18") config.variant = models::ResNetVariant::kResNet18;
   else if (variant == "resnet34") config.variant = models::ResNetVariant::kResNet34;
@@ -627,7 +720,7 @@ int cmd_inference(const std::vector<std::string>& args) {
   add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
-  const TelemetryCli telemetry = TelemetryCli::from_parser(parser);
+  const TelemetryCli telemetry = TelemetryCli::from_parser(parser, "inference");
 
   core::InferenceConfig config;
   config.system_tag = parser.get("system");
@@ -775,6 +868,96 @@ int cmd_lint(const std::vector<std::string>& args) {
   return failed ? 1 : 0;
 }
 
+int cmd_analyse_trace(const std::vector<std::string>& args) {
+  ArgParser parser("caraml analyse-trace",
+                   "automated bottleneck analysis over a Chrome trace: "
+                   "critical path, pipeline bubbles, collective patterns, "
+                   "load imbalance, queue wait, energy attribution");
+  parser.add_option("format", "report format: human|json",
+                    std::string("human"));
+  parser.add_option("json-out",
+                    "also write the JSON report here ('' = off)",
+                    std::string(""));
+  parser.add_option("top", "findings kept in the bottleneck summary",
+                    std::string("5"));
+  parser.add_option("metrics",
+                    "telemetry dir whose manifest.jsonl names the run "
+                    "('' = off)",
+                    std::string(""));
+  parser.add_flag("list-detectors", "print the detector catalogue and exit");
+  parser.set_collect_positionals(true);  // trace paths and options interleave
+  if (!parser.parse(args)) return 0;
+
+  if (parser.get_flag("list-detectors")) {
+    TextTable table({"detector", "rule", "severity", "summary"});
+    for (const auto& info : analysis::detector_catalogue()) {
+      const check::RuleInfo* rule = check::find_rule(info.rule_id);
+      table.add_row({info.name, info.rule_id,
+                     rule != nullptr ? check::severity_name(rule->severity)
+                                     : "?",
+                     info.summary});
+    }
+    std::cout << table.render();
+    return 0;
+  }
+
+  const std::string format = parser.get("format");
+  if (format != "human" && format != "json") {
+    std::cerr << "caraml analyse-trace: unknown format '" << format << "'\n";
+    return 2;
+  }
+  const std::vector<std::string>& paths = parser.rest();
+  if (paths.empty()) {
+    std::cerr << "caraml analyse-trace: no trace file given (run a benchmark "
+                 "with --trace-out first)\n";
+    return 2;
+  }
+
+  analysis::AnalyseOptions options;
+  options.top_n = static_cast<int>(parser.get_int("top"));
+  options.metrics_dir = parser.get("metrics");
+
+  int failed = 0;
+  for (const auto& path : paths) {
+    std::string rendered;
+    std::string json_doc;  // --json-out always gets JSON, whatever --format
+    try {
+      const analysis::AnalysisReport report =
+          analysis::analyse_file(path, options);
+      json_doc = analysis::render_json(report) + "\n";
+      rendered =
+          format == "json" ? json_doc : analysis::render_human(report);
+    } catch (const ParseError& e) {
+      // Malformed trace: report through the diagnostics engine in the chosen
+      // format (message carries the byte offset), exit nonzero.
+      std::string message = e.what();
+      const std::string prefix = path + ": ";
+      if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
+      check::DiagnosticList diags;
+      check::Diagnostic diagnostic;
+      diagnostic.rule_id = "analysis/trace-error";
+      diagnostic.severity = check::Severity::kError;
+      diagnostic.location.file = path;
+      diagnostic.message = message;
+      diags.add(std::move(diagnostic));
+      json_doc = diags.render_json() + "\n";
+      rendered = format == "json" ? json_doc : diags.render_human();
+      ++failed;
+    }
+    std::cout << rendered;
+    if (!parser.get("json-out").empty()) {
+      std::ofstream out(parser.get("json-out"));
+      if (!out) {
+        std::cerr << "caraml analyse-trace: cannot write "
+                  << parser.get("json-out") << "\n";
+        return 2;
+      }
+      out << json_doc;
+    }
+  }
+  return failed > 0 ? 1 : 0;
+}
+
 int cmd_tts(const std::vector<std::string>& args) {
   ArgParser parser("caraml tts", "time/energy to a target loss");
   parser.add_option("system", "system tag", std::string("JEDI"));
@@ -834,13 +1017,26 @@ void print_usage() {
       "  lint        statically validate configs / fault plans / calibration\n"
       "              tables (options, then paths; --format human|json,\n"
       "              --json-out FILE, --strict, --list-rules)\n"
+      "  analyse-trace\n"
+      "              automated bottleneck analysis over a --trace-out file:\n"
+      "              critical path, pipeline bubbles, collective patterns,\n"
+      "              load imbalance, queue wait, energy attribution\n"
+      "              (--format human|json, --json-out FILE, --top N,\n"
+      "              --metrics DIR, --list-detectors)\n"
       "  tts         time/energy-to-solution estimate (--system, --loss)\n"
       "  combine     merge per-rank jpwr CSVs (--dir)\n"
       "  export      write every experiment's data as CSV (--out)\n\n"
       "telemetry (llm / resnet / inference):\n"
       "  --metrics-out DIR   metrics.csv/json, energy CSVs, manifest.jsonl\n"
-      "  --trace-out FILE    Chrome-trace JSON (open in Perfetto)\n"
-      "  --log-format FMT    text (default) or json structured logs\n\n"
+      "  --trace-out FILE    Chrome-trace JSON (open in Perfetto, or feed to\n"
+      "                      caraml analyse-trace); written even when the\n"
+      "                      run fails\n"
+      "  --log-format FMT    text (default) or json structured logs\n"
+      "  --derate-device d:f[,d:f]\n"
+      "                      (llm / resnet) slow device d's compute by factor\n"
+      "                      f >= 1 — deliberate load imbalance for analysis\n"
+      "  --analyse           (run) per-workpackage bottleneck analysis; adds\n"
+      "                      bottlenecks/top_bottleneck to manifest rows\n\n"
       "fault injection (llm / resnet / inference / run):\n"
       "  --fault-plan FILE   YAML fault schedule (device/throttle/link/sensor)\n"
       "  --fault-seed N --fault-rate R\n"
@@ -876,6 +1072,7 @@ int main(int argc, char** argv) {
     if (command == "resnet") return cmd_resnet(args);
     if (command == "inference") return cmd_inference(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "analyse-trace") return cmd_analyse_trace(args);
     if (command == "tts") return cmd_tts(args);
     if (command == "combine") return cmd_combine(args);
     if (command == "export") return cmd_export(args);

@@ -104,6 +104,22 @@ InferenceResult run_llm_inference(const InferenceConfig& config) {
   const double generated =
       static_cast<double>(config.batch) * config.generate_tokens;
   result.energy_per_1k_tokens_wh = request_energy_wh / generated * 1000.0;
+
+  // One request on the virtual timeline: a prefill span then a decode span,
+  // with the matching power levels as a counter series, so analyse-trace can
+  // attribute joules to prefill vs decode.
+  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+    const std::uint32_t dev = tracer.track("dev0");
+    tracer.add_span("prefill", dev, 0.0, result.time_to_first_token_s);
+    tracer.add_span("decode", dev, result.time_to_first_token_s,
+                    result.request_latency_s - result.time_to_first_token_s);
+    const std::uint32_t power = tracer.track("power");
+    tracer.add_counter("power/dev0_w", "watts", power, 0.0, p_prefill);
+    tracer.add_counter("power/dev0_w", "watts", power,
+                       result.time_to_first_token_s, p_decode);
+    tracer.add_counter("power/dev0_w", "watts", power,
+                       result.request_latency_s, p_decode);
+  }
   return result;
 }
 

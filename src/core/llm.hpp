@@ -8,6 +8,7 @@
 // discrete-event engine; the resulting busy intervals feed the power model.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +16,10 @@
 #include "models/gpt_cost.hpp"
 #include "sim/power_model.hpp"
 #include "topo/specs.hpp"
+
+namespace caraml::telemetry {
+class Tracer;
+}
 
 namespace caraml::core {
 
@@ -37,6 +42,17 @@ struct LlmRunConfig {
   double compute_time_factor = 1.0;
   double power_cap_factor = 1.0;
   double link_time_factor = 1.0;
+
+  /// Extra per-device compute slowdown (device index -> factor >= 1),
+  /// multiplied on top of compute_time_factor. Lets tests and the
+  /// --derate-device CLI flag build deliberately imbalanced layouts for the
+  /// analysis/load-imbalance detector to find.
+  std::map<int, double> device_compute_derate;
+
+  /// Where trace events go. nullptr = the process-global tracer (the
+  /// --trace-out path); the sweep --analyse hook passes a local tracer so
+  /// concurrent workpackages do not interleave events.
+  telemetry::Tracer* trace_sink = nullptr;
 };
 
 struct LlmRunResult {

@@ -107,6 +107,12 @@ ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
     cluster.set_compute_derate(d, config.compute_time_factor);
     cluster.set_link_derate(d, config.link_time_factor);
   }
+  for (const auto& [d, factor] : config.device_compute_derate) {
+    CARAML_CHECK_MSG(d >= 0 && d < n,
+                     "device_compute_derate index out of range");
+    CARAML_CHECK_MSG(factor >= 1.0, "device derate factor must be >= 1");
+    cluster.set_compute_derate(d, config.compute_time_factor * factor);
+  }
   TaskGraph& graph = cluster.graph();
 
   const double mfu_uncontended =
@@ -183,9 +189,12 @@ ResnetRunResult run_resnet_gpu(const ResnetRunConfig& config) {
   // Average power over the steady-state window.
   sim::PowerTrace trace(node.device, cluster.compute(0)->busy_intervals(),
                         makespan);
-  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+  if (auto& tracer = config.trace_sink ? *config.trace_sink
+                                       : telemetry::Tracer::global();
+      tracer.enabled()) {
     sim::append_chrome_events(graph, tracer);
     sim::append_power_counters(trace, "power/dev0_w", tracer);
+    sim::append_queue_wait_counters(graph, tracer);
   }
   result.avg_power_per_device_w =
       last_done > first_done

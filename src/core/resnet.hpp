@@ -3,11 +3,16 @@
 // Poplar path for Graphcore), reporting images/s, Wh/epoch and images/Wh.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 
 #include "models/resnet_cost.hpp"
 #include "sim/power_model.hpp"
+
+namespace caraml::telemetry {
+class Tracer;
+}
 
 namespace caraml::core {
 
@@ -24,6 +29,13 @@ struct ResnetRunConfig {
   double compute_time_factor = 1.0;
   double power_cap_factor = 1.0;
   double link_time_factor = 1.0;
+
+  /// Extra per-device compute slowdown (device index -> factor >= 1),
+  /// multiplied on top of compute_time_factor — see LlmRunConfig.
+  std::map<int, double> device_compute_derate;
+
+  /// Trace destination; nullptr = the process-global tracer.
+  telemetry::Tracer* trace_sink = nullptr;
 };
 
 struct ResnetRunResult {

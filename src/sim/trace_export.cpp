@@ -33,6 +33,21 @@ void append_power_counters(const PowerTrace& trace,
   }
 }
 
+void append_queue_wait_counters(const TaskGraph& graph,
+                                telemetry::Tracer& tracer) {
+  const std::uint32_t track = tracer.track("queue_wait");
+  for (std::size_t r = 0; r < graph.num_resources(); ++r) {
+    const Resource* resource = graph.resource_at(r);
+    for (const auto& interval : resource->busy_intervals()) {
+      const double wait = graph.queue_wait(interval.task_index);
+      if (wait > 0.0) {
+        tracer.add_counter("queue_wait/" + resource->name(), "seconds", track,
+                           interval.start, wait);
+      }
+    }
+  }
+}
+
 std::string to_chrome_trace(const TaskGraph& graph) {
   telemetry::Tracer tracer;
   append_chrome_events(graph, tracer);

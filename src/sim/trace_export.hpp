@@ -29,6 +29,15 @@ void append_power_counters(const PowerTrace& trace,
                            const std::string& counter_name,
                            telemetry::Tracer& tracer);
 
+/// Append per-task queue-wait statistics as ph:"C" counters on a dedicated
+/// "queue_wait" track: counter "queue_wait/<resource>" (args key "seconds"),
+/// one sample per busy interval whose task actually waited, stamped at the
+/// interval's start. `caraml analyse-trace` aggregates these into its
+/// queue-wait dominance detector. Kept separate from append_chrome_events so
+/// plain span traces stay unchanged.
+void append_queue_wait_counters(const TaskGraph& graph,
+                                telemetry::Tracer& tracer);
+
 /// Serialize a finished TaskGraph as a standalone Chrome trace-event JSON
 /// document: one track (tid) per resource. Timestamps are microseconds of
 /// simulated time.

@@ -84,6 +84,18 @@ std::string escape(const std::string& text) {
   return out;
 }
 
+std::string format_number(double n) {
+  if (std::isfinite(n) && n == std::llround(n) && std::fabs(n) < 9.0e15) {
+    return std::to_string(std::llround(n));
+  }
+  if (std::isfinite(n)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", n);
+    return buf;
+  }
+  return "0";
+}
+
 namespace {
 
 void dump_to(const Value& value, std::ostringstream& os) {
@@ -92,13 +104,8 @@ void dump_to(const Value& value, std::ostringstream& os) {
     case Value::Kind::kBool: os << (value.as_bool() ? "true" : "false"); break;
     case Value::Kind::kNumber: {
       const double n = value.as_number();
-      if (std::isfinite(n) && n == std::llround(n) &&
-          std::fabs(n) < 9.0e15) {
-        os << std::llround(n);
-      } else if (std::isfinite(n)) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.17g", n);
-        os << buf;
+      if (std::isfinite(n)) {
+        os << format_number(n);
       } else {
         os << "null";  // JSON has no Inf/NaN
       }

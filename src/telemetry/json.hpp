@@ -69,6 +69,14 @@ class Value {
 /// JSON string escaping (quotes, backslash, control characters).
 std::string escape(const std::string& text);
 
+/// Canonical JSON number text: integral values print without a fraction,
+/// other finite values as shortest-fixed "%.17g" (which round-trips exactly
+/// through parse()), and non-finite values as "0" (JSON has no Inf/NaN; the
+/// Chrome-trace writers must still emit a valid number for ts/dur). Writers
+/// that share this formatter produce byte-identical output for the same
+/// double, which is what makes trace round-trips exact.
+std::string format_number(double n);
+
 /// Serialize a value to compact JSON.
 std::string dump(const Value& value);
 

@@ -118,14 +118,19 @@ std::string Tracer::to_chrome_trace() const {
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
        << ",\"args\":{\"name\":\"" << json::escape(tracks_[t]) << "\"}}";
   }
+  // json::format_number (not a raw ostream <<): default stream formatting
+  // truncates timestamps past ~10 virtual seconds to 6 significant digits
+  // and prints non-finite doubles as "nan"/"inf", which is not JSON. The
+  // shared formatter also makes read-back byte-exact (trace_reader).
   for (const auto& span : spans_) {
     separator();
     os << "{\"name\":\"" << json::escape(span.name)
        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.track
-       << ",\"ts\":" << span.start_s * 1e6 << ",\"dur\":" << span.dur_s * 1e6;
+       << ",\"ts\":" << json::format_number(span.start_s * 1e6)
+       << ",\"dur\":" << json::format_number(span.dur_s * 1e6);
     if (span.has_arg) {
       os << ",\"args\":{\"" << json::escape(span.arg_name)
-         << "\":" << span.arg_value << "}";
+         << "\":" << json::format_number(span.arg_value) << "}";
     }
     os << "}";
   }
@@ -133,8 +138,9 @@ std::string Tracer::to_chrome_trace() const {
     separator();
     os << "{\"name\":\"" << json::escape(counter.name)
        << "\",\"ph\":\"C\",\"pid\":1,\"tid\":" << counter.track
-       << ",\"ts\":" << counter.t_s * 1e6 << ",\"args\":{\""
-       << json::escape(counter.series) << "\":" << counter.value << "}}";
+       << ",\"ts\":" << json::format_number(counter.t_s * 1e6)
+       << ",\"args\":{\"" << json::escape(counter.series)
+       << "\":" << json::format_number(counter.value) << "}}";
   }
   os << "]}";
   return os.str();

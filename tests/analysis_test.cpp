@@ -1,0 +1,456 @@
+// Tests for src/analysis: the Chrome-trace reader (including the byte-exact
+// round trip against a golden fixture), the timeline model, the energy
+// integration math, and the bottleneck detectors end to end.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyse.hpp"
+#include "analysis/energy.hpp"
+#include "analysis/timeline.hpp"
+#include "analysis/trace_reader.hpp"
+#include "check/rules.hpp"
+#include "core/inference.hpp"
+#include "core/llm.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/span.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace caraml;
+using analysis::Interval;
+
+double metric(const analysis::Finding& finding, const std::string& key) {
+  for (const auto& [name, value] : finding.metrics) {
+    if (name == key) return value;
+  }
+  ADD_FAILURE() << "finding '" << finding.detector << "' has no metric '"
+                << key << "'";
+  return 0.0;
+}
+
+const analysis::Finding* find_finding(const analysis::AnalysisReport& report,
+                                      const std::string& rule_id) {
+  for (const auto& finding : report.findings) {
+    if (finding.rule_id == rule_id) return &finding;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace reader + byte-exact round trip (golden fixture).
+// ---------------------------------------------------------------------------
+
+// A tracer exercising the writer's sharp edges: names that need JSON
+// escaping, timestamps past 10 virtual seconds (which the old 6-significant-
+// digit writer truncated), long-fraction values, and non-finite counters.
+void fill_fixture_tracer(telemetry::Tracer& tracer) {
+  tracer.set_enabled(true);
+  const std::uint32_t dev0 = tracer.track("dev0");
+  const std::uint32_t dev1 = tracer.track("dev1");
+  const std::uint32_t link0 = tracer.track("link0");
+  const std::uint32_t host = tracer.track("host0");
+  const std::uint32_t weird = tracer.track("weird \"track\"\\\n");
+  const std::uint32_t power = tracer.track("power");
+  tracer.add_span("host", host, 0.0, 0.25);
+  tracer.add_span("micro", dev0, 0.25, 12.3456789, "utilization",
+                  0.123456789012345);
+  tracer.add_span("micro", dev1, 0.25, 6.5, "utilization", 0.5);
+  tracer.add_span("bubble", dev1, 6.75, 0.125);
+  tracer.add_span("allreduce.s0.d0", link0, 12.59567890123, 0.001);
+  tracer.add_span("with \"quotes\" and \\slashes\\", weird, 1.0, 2.0);
+  tracer.add_counter("power/dev0_w", "watts", power, 0.0, 312.49999999999994);
+  tracer.add_counter("power/dev0_w", "watts", power, 12.6,
+                     1.0 / 0.0);  // inf must serialize as a valid number
+}
+
+TEST(TraceReader, RoundTripIsByteIdentical) {
+  telemetry::Tracer tracer;
+  fill_fixture_tracer(tracer);
+  const std::string text = tracer.to_chrome_trace();
+  const analysis::Trace trace = analysis::parse_chrome_trace(text);
+  EXPECT_EQ(analysis::to_chrome_trace(trace), text);
+}
+
+TEST(TraceReader, RoundTripMatchesGoldenFixture) {
+  const std::string path =
+      std::string(CARAML_GOLDEN_DIR) + "/trace_roundtrip.json";
+  telemetry::Tracer tracer;
+  fill_fixture_tracer(tracer);
+  const std::string text = tracer.to_chrome_trace();
+  if (std::getenv("CARAML_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << text;
+    GTEST_SKIP() << "golden fixture regenerated";
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden fixture " << path
+                  << " (regenerate with CARAML_UPDATE_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  ASSERT_EQ(text, buffer.str())
+      << "writer output drifted from the committed fixture";
+  const analysis::Trace trace = analysis::parse_chrome_trace(buffer.str());
+  EXPECT_EQ(analysis::to_chrome_trace(trace), buffer.str());
+}
+
+TEST(TraceReader, SnapshotMatchesParsedFile) {
+  telemetry::Tracer tracer;
+  fill_fixture_tracer(tracer);
+  const analysis::Trace from_text =
+      analysis::parse_chrome_trace(tracer.to_chrome_trace());
+  const analysis::Trace from_snapshot = analysis::snapshot(tracer);
+  ASSERT_EQ(from_snapshot.spans.size(), from_text.spans.size());
+  ASSERT_EQ(from_snapshot.counters.size(), from_text.counters.size());
+  EXPECT_EQ(analysis::to_chrome_trace(from_snapshot),
+            analysis::to_chrome_trace(from_text));
+}
+
+TEST(TraceReader, AcceptsBareEventArray) {
+  const analysis::Trace trace = analysis::parse_chrome_trace(
+      R"([{"ph":"X","name":"micro","tid":0,"ts":0,"dur":5}])");
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_EQ(trace.spans[0].name, "micro");
+  EXPECT_EQ(trace.track_name(0), "tid0");  // no metadata: synthesized name
+}
+
+TEST(TraceReader, SkipsUnknownPhases) {
+  const analysis::Trace trace = analysis::parse_chrome_trace(
+      R"([{"ph":"B","name":"x","tid":0,"ts":0},)"
+      R"({"ph":"X","name":"y","tid":0,"ts":0,"dur":1}])");
+  EXPECT_EQ(trace.skipped_events, 1u);
+  EXPECT_EQ(trace.spans.size(), 1u);
+}
+
+TEST(TraceReader, MalformedJsonReportsFileAndOffset) {
+  try {
+    analysis::parse_chrome_trace("{\"traceEvents\":[", "t.json");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("t.json"), std::string::npos) << message;
+    EXPECT_NE(message.find("at offset"), std::string::npos) << message;
+  }
+}
+
+TEST(TraceReader, SchemaViolationNamesTheEvent) {
+  try {
+    analysis::parse_chrome_trace(
+        R"([{"ph":"X","name":"a","tid":0,"ts":0,"dur":1},)"
+        R"({"ph":"C","name":"c","tid":0,"ts":0}])",
+        "t.json");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("t.json"), std::string::npos) << message;
+    EXPECT_NE(message.find("event #1"), std::string::npos) << message;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timeline model.
+// ---------------------------------------------------------------------------
+
+TEST(Timeline, IntervalAlgebra) {
+  const auto merged = analysis::union_intervals(
+      {{0.0, 1.0}, {0.5, 2.0}, {3.0, 4.0}, {4.0, 4.0}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].end, 2.0);
+  EXPECT_DOUBLE_EQ(analysis::total_length(merged), 3.0);
+
+  const auto common =
+      analysis::intersect_intervals({{0.0, 2.0}}, {{1.0, 3.0}});
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_DOUBLE_EQ(common[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(common[0].end, 2.0);
+
+  const auto rest =
+      analysis::subtract_intervals({{0.0, 4.0}}, {{1.0, 2.0}, {3.0, 5.0}});
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_DOUBLE_EQ(rest[0].end, 1.0);
+  EXPECT_DOUBLE_EQ(rest[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(rest[1].end, 3.0);
+}
+
+TEST(Timeline, TrackClassification) {
+  EXPECT_EQ(analysis::classify_track("dev3"), analysis::TrackKind::kCompute);
+  EXPECT_EQ(analysis::classify_track("stage0"), analysis::TrackKind::kCompute);
+  EXPECT_EQ(analysis::classify_track("host1"), analysis::TrackKind::kHost);
+  EXPECT_EQ(analysis::classify_track("link12"), analysis::TrackKind::kLink);
+  EXPECT_EQ(analysis::classify_track("power"), analysis::TrackKind::kPower);
+  EXPECT_EQ(analysis::classify_track("thread/3"), analysis::TrackKind::kOther);
+  EXPECT_EQ(analysis::classify_track("device"), analysis::TrackKind::kOther);
+}
+
+TEST(Timeline, BuildAggregatesPhasesAndCounters) {
+  analysis::Trace trace;
+  trace.tracks = {"dev0", "power"};
+  trace.spans.push_back({"micro", 0, 0.0, 1.0e6, "", 0.0, false});
+  trace.spans.push_back({"bubble", 0, 1.0e6, 0.5e6, "", 0.0, false});
+  trace.spans.push_back({"optimizer", 0, 2.0e6, 0.5e6, "", 0.0, false});
+  trace.counters.push_back({"power/dev0_w", "watts", 1, 0.0, 300.0});
+  trace.counters.push_back({"queue_wait/dev0", "seconds", 1, 0.0, 0.25});
+
+  const analysis::Timeline timeline = analysis::build_timeline(trace);
+  ASSERT_EQ(timeline.tracks.size(), 1u);
+  const auto& dev = timeline.tracks[0];
+  EXPECT_DOUBLE_EQ(dev.busy_s, 2.0);
+  EXPECT_DOUBLE_EQ(dev.bubble_s, 0.5);
+  EXPECT_DOUBLE_EQ(dev.gap_s, 0.5);  // the [1.5, 2.0] hole
+  EXPECT_DOUBLE_EQ(timeline.makespan_s, 2.5);
+  ASSERT_EQ(timeline.power.size(), 1u);
+  EXPECT_EQ(timeline.power[0].name, "power/dev0_w");
+  ASSERT_EQ(timeline.queue_wait.count("dev0"), 1u);
+  EXPECT_DOUBLE_EQ(timeline.queue_wait.at("dev0").total_s, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Energy integration (hand-computed values).
+// ---------------------------------------------------------------------------
+
+TEST(Energy, StepIntegralHandComputed) {
+  const std::vector<std::pair<double, double>> samples = {{0.0, 100.0},
+                                                          {1.0, 50.0}};
+  EXPECT_DOUBLE_EQ(analysis::integrate_step(samples, 0.0, 2.0), 150.0);
+  EXPECT_DOUBLE_EQ(analysis::integrate_step(samples, 0.5, 1.5), 75.0);
+  EXPECT_DOUBLE_EQ(analysis::integrate_step(samples, 1.0, 4.0), 150.0);
+  EXPECT_DOUBLE_EQ(analysis::integrate_step(samples, 2.0, 2.0), 0.0);
+}
+
+TEST(Energy, EmptyAndSingleSampleEdgeCases) {
+  EXPECT_DOUBLE_EQ(analysis::integrate_step({}, 0.0, 10.0), 0.0);
+  const std::vector<std::pair<double, double>> one = {{2.0, 10.0}};
+  // Value holds from its sample onward; zero before the first sample.
+  EXPECT_DOUBLE_EQ(analysis::integrate_step(one, 0.0, 5.0), 30.0);
+  EXPECT_DOUBLE_EQ(analysis::integrate_step(one, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(analysis::integrate_step(one, 3.0, 4.0), 10.0);
+}
+
+TEST(Energy, AttributionSplitsTotal) {
+  analysis::CounterSeries series;
+  series.name = "power/dev0_w";
+  series.series = "watts";
+  series.samples = {{0.0, 100.0}};
+  const analysis::EnergyBreakdown breakdown = analysis::attribute_energy(
+      series, {{"compute", {{0.0, 1.0}}}, {"idle", {{1.0, 2.0}}}}, 2.0);
+  EXPECT_DOUBLE_EQ(breakdown.total_j, 200.0);
+  ASSERT_EQ(breakdown.shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(breakdown.shares[0].joules, 100.0);
+  EXPECT_DOUBLE_EQ(breakdown.shares[1].joules, 100.0);
+  EXPECT_DOUBLE_EQ(breakdown.shares[0].intervals_s, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Detectors.
+// ---------------------------------------------------------------------------
+
+TEST(Detectors, EmptyTraceYieldsNoData) {
+  const analysis::AnalysisReport report = analysis::analyse(analysis::Trace{});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "analysis/no-data");
+  EXPECT_EQ(analysis::bottleneck_summary(report), "analysis/no-data:0.00");
+}
+
+TEST(Detectors, ImbalancedRunRanksLoadImbalanceFirst) {
+  core::LlmRunConfig config;
+  config.system_tag = "A100";
+  config.global_batch = 256;
+  config.devices = 4;
+  config.device_compute_derate = {{0, 3.0}};
+  telemetry::Tracer tracer;
+  tracer.set_enabled(true);
+  config.trace_sink = &tracer;
+  const core::LlmRunResult result = core::run_llm_gpu(config);
+  ASSERT_FALSE(result.oom);
+
+  const analysis::AnalysisReport report =
+      analysis::analyse(analysis::snapshot(tracer));
+  ASSERT_FALSE(report.findings.empty());
+  // The acceptance scenario: one device 3x slower must surface as the top
+  // bottleneck, with the skew quantified (3c vs mean 1.5c -> 2.0).
+  EXPECT_EQ(report.findings[0].rule_id, "analysis/load-imbalance");
+  EXPECT_EQ(report.findings[0].severity, check::Severity::kWarning);
+  EXPECT_NEAR(metric(report.findings[0], "skew"), 2.0, 0.05);
+  EXPECT_GT(report.findings[0].score, 0.3);
+  for (const auto& finding : report.findings) {
+    EXPECT_GE(finding.score, 0.0) << finding.detector;
+    EXPECT_LE(finding.score, 1.0) << finding.detector;
+  }
+  const analysis::Finding* bubble =
+      find_finding(report, "analysis/pipeline-bubble");
+  ASSERT_NE(bubble, nullptr);
+  // The slow device is the critical track and never stalls: the bubble
+  // fraction must not mistake the fast devices' allreduce waits for bubbles.
+  EXPECT_LT(metric(*bubble, "bubble_fraction"), 0.1);
+  const analysis::Finding* critical =
+      find_finding(report, "analysis/critical-path");
+  ASSERT_NE(critical, nullptr);
+  EXPECT_GT(metric(*critical, "busy_fraction"), 0.8);
+  const analysis::Finding* comm = find_finding(report, "analysis/comm-pattern");
+  ASSERT_NE(comm, nullptr);
+  EXPECT_NE(comm->message.find("ring all-reduce"), std::string::npos)
+      << comm->message;
+  const std::string summary = analysis::bottleneck_summary(report, 2);
+  EXPECT_EQ(summary.rfind("analysis/load-imbalance:", 0), 0u) << summary;
+  EXPECT_EQ(summary.find(' '), std::string::npos) << summary;
+}
+
+TEST(Detectors, BalancedRunHasLowImbalance) {
+  core::LlmRunConfig config;
+  config.system_tag = "A100";
+  config.global_batch = 256;
+  config.devices = 4;
+  telemetry::Tracer tracer;
+  tracer.set_enabled(true);
+  config.trace_sink = &tracer;
+  ASSERT_FALSE(core::run_llm_gpu(config).oom);
+  const analysis::AnalysisReport report =
+      analysis::analyse(analysis::snapshot(tracer));
+  const analysis::Finding* imbalance =
+      find_finding(report, "analysis/load-imbalance");
+  ASSERT_NE(imbalance, nullptr);
+  EXPECT_LT(imbalance->score, 0.05);
+  EXPECT_NEAR(metric(*imbalance, "skew"), 1.0, 0.05);
+}
+
+analysis::Trace comm_fixture(const std::vector<std::string>& span_names,
+                             int links) {
+  analysis::Trace trace;
+  trace.tracks = {"dev0", "dev1"};
+  trace.spans.push_back({"micro", 0, 0.0, 1.0e6, "", 0.0, false});
+  trace.spans.push_back({"micro", 1, 0.0, 1.0e6, "", 0.0, false});
+  for (int l = 0; l < links; ++l) {
+    trace.tracks.push_back("link" + std::to_string(l));
+  }
+  double t = 1.0e6;
+  std::size_t next = 0;
+  for (const auto& name : span_names) {
+    const auto tid = static_cast<std::uint32_t>(2 + next % links);
+    trace.spans.push_back({name, tid, t, 0.1e6, "", 0.0, false});
+    ++next;
+    t += 0.1e6;
+  }
+  return trace;
+}
+
+TEST(Detectors, ClassifiesRingAllReduce) {
+  // 2 links, steps s0/s1 = 2*(P-1) for P=2.
+  const analysis::AnalysisReport report = analysis::analyse(comm_fixture(
+      {"allreduce.s0.d0", "allreduce.s0.d1", "allreduce.s1.d0",
+       "allreduce.s1.d1"},
+      2));
+  const analysis::Finding* comm = find_finding(report, "analysis/comm-pattern");
+  ASSERT_NE(comm, nullptr);
+  EXPECT_NE(comm->message.find("ring all-reduce"), std::string::npos)
+      << comm->message;
+}
+
+TEST(Detectors, ClassifiesHierarchicalCollective) {
+  const analysis::AnalysisReport report = analysis::analyse(comm_fixture(
+      {"allreduce.intra0.s0.d0", "allreduce.inter0.s0.d0",
+       "allreduce.bcast.hop1"},
+      2));
+  const analysis::Finding* comm = find_finding(report, "analysis/comm-pattern");
+  ASSERT_NE(comm, nullptr);
+  EXPECT_NE(comm->message.find("hierarchical"), std::string::npos)
+      << comm->message;
+}
+
+TEST(Detectors, ClassifiesAllToAll) {
+  // 3 links, each carrying P-1 = 2 unstructured spans of the same group.
+  const analysis::AnalysisReport report = analysis::analyse(comm_fixture(
+      {"a2a.x0", "a2a.x1", "a2a.x2", "a2a.x3", "a2a.x4", "a2a.x5"}, 3));
+  const analysis::Finding* comm = find_finding(report, "analysis/comm-pattern");
+  ASSERT_NE(comm, nullptr);
+  EXPECT_NE(comm->message.find("all-to-all"), std::string::npos)
+      << comm->message;
+}
+
+TEST(Detectors, QueueWaitDominance) {
+  analysis::Trace trace;
+  trace.tracks = {"dev0", "host0"};
+  trace.spans.push_back({"micro", 0, 0.0, 1.0e6, "", 0.0, false});
+  trace.spans.push_back({"input", 1, 0.0, 0.2e6, "", 0.0, false});
+  trace.counters.push_back({"queue_wait/host0", "seconds", 1, 0.0, 0.4});
+  trace.counters.push_back({"queue_wait/host0", "seconds", 1, 0.2e6, 0.3});
+  const analysis::AnalysisReport report = analysis::analyse(trace);
+  const analysis::Finding* wait = find_finding(report, "analysis/queue-wait");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_DOUBLE_EQ(metric(*wait, "wait_total_s"), 0.7);
+  EXPECT_DOUBLE_EQ(metric(*wait, "wait_max_s"), 0.4);
+  EXPECT_GT(metric(*wait, "wait_dominance"), 0.5);
+  EXPECT_EQ(wait->severity, check::Severity::kWarning);
+}
+
+TEST(Detectors, InferenceEnergySplitsPrefillAndDecode) {
+  auto& tracer = telemetry::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  core::InferenceConfig config;
+  config.system_tag = "GH200";
+  config.batch = 8;
+  const core::InferenceResult result = core::run_llm_inference(config);
+  tracer.set_enabled(false);
+  ASSERT_FALSE(result.oom);
+
+  const analysis::AnalysisReport report =
+      analysis::analyse(analysis::snapshot(tracer));
+  tracer.clear();
+  const analysis::Finding* energy =
+      find_finding(report, "analysis/energy-attribution");
+  ASSERT_NE(energy, nullptr);
+  const double prefill_j = metric(*energy, "energy_prefill_j");
+  const double decode_j = metric(*energy, "energy_decode_j");
+  const double total_j = metric(*energy, "total_j");
+  EXPECT_GT(prefill_j, 0.0);
+  EXPECT_GT(decode_j, 0.0);
+  EXPECT_NEAR(prefill_j + decode_j, total_j, total_j * 0.01);
+  // Cross-check against the analytic result: total energy over the request.
+  EXPECT_NEAR(total_j, result.avg_power_w * result.request_latency_s,
+              total_j * 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering + diagnostics bridge.
+// ---------------------------------------------------------------------------
+
+TEST(Report, JsonSchemaAndDiagnostics) {
+  const analysis::AnalysisReport report = analysis::analyse(comm_fixture(
+      {"allreduce.s0.d0", "allreduce.s1.d0"}, 1));
+  const std::string json_text = analysis::render_json(report);
+  const telemetry::json::Value doc = telemetry::json::parse(json_text);
+  EXPECT_EQ(doc.at("version").as_int(), 1);
+  ASSERT_TRUE(doc.at("summary").is_object());
+  EXPECT_EQ(static_cast<std::size_t>(doc.at("summary").at("findings").as_int()),
+            report.findings.size());
+  ASSERT_TRUE(doc.at("findings").is_array());
+  ASSERT_FALSE(doc.at("findings").as_array().empty());
+  const auto& first = doc.at("findings").as_array()[0];
+  for (const char* key :
+       {"rank", "detector", "rule", "severity", "score", "message",
+        "metrics"}) {
+    EXPECT_TRUE(first.contains(key)) << key;
+  }
+
+  check::DiagnosticList diags;
+  analysis::to_diagnostics(report, diags);
+  EXPECT_EQ(diags.items().size(), report.findings.size());
+  EXPECT_FALSE(diags.has_errors());
+  const std::string human = analysis::render_human(report);
+  EXPECT_NE(human.find("1. ["), std::string::npos) << human;
+}
+
+TEST(Report, EveryDetectorRuleIsRegistered) {
+  for (const auto& info : analysis::detector_catalogue()) {
+    EXPECT_NE(check::find_rule(info.rule_id), nullptr) << info.rule_id;
+  }
+  EXPECT_NE(check::find_rule("analysis/trace-error"), nullptr);
+  EXPECT_NE(check::find_rule("analysis/no-data"), nullptr);
+}
+
+}  // namespace

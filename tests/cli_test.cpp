@@ -123,6 +123,107 @@ TEST(CaramlCli, HelpListsSubcommands) {
   }
 }
 
+TEST(CaramlCli, AnalyseTraceRanksLoadImbalanceOnDeratedRun) {
+  const std::string dir = ::testing::TempDir() + "caraml_cli_analyse";
+  run_command("rm -rf " + dir + " && mkdir -p " + dir);
+  const auto run = run_command(
+      std::string(CARAML_CLI_PATH) +
+      " llm --system A100 --batch 256 --devices 4 --derate-device 0:3"
+      " --trace-out " + dir + "/trace.json");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+
+  const auto analyse = run_command(
+      std::string(CARAML_CLI_PATH) + " analyse-trace " + dir +
+      "/trace.json --format json --json-out " + dir + "/analysis.json");
+  EXPECT_EQ(analyse.exit_code, 0) << analyse.output;
+  // One device derated 3x must rank as the top bottleneck, with skew
+  // quantified in the metrics.
+  const std::string expected_first = "\"rule\":\"analysis/load-imbalance\"";
+  const std::string::size_type first_rule = analyse.output.find("\"rule\":");
+  ASSERT_NE(first_rule, std::string::npos) << analyse.output;
+  EXPECT_EQ(analyse.output.compare(first_rule, expected_first.size(),
+                                   expected_first),
+            0)
+      << analyse.output;
+  EXPECT_NE(analyse.output.find("\"skew\":"), std::string::npos);
+  EXPECT_NE(analyse.output.find("\"version\":1"), std::string::npos);
+  // --json-out mirrors the document regardless of --format.
+  std::ifstream json_file(dir + "/analysis.json");
+  ASSERT_TRUE(json_file.good());
+  std::stringstream json_text;
+  json_text << json_file.rdbuf();
+  EXPECT_NE(json_text.str().find("analysis/load-imbalance"),
+            std::string::npos);
+
+  const auto human =
+      run_command(std::string(CARAML_CLI_PATH) + " analyse-trace " + dir +
+                  "/trace.json");
+  EXPECT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("[warning] load-imbalance"), std::string::npos)
+      << human.output;
+}
+
+TEST(CaramlCli, AnalyseTraceListDetectors) {
+  const auto result = run_command(std::string(CARAML_CLI_PATH) +
+                                  " analyse-trace --list-detectors");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  for (const char* rule :
+       {"analysis/critical-path", "analysis/pipeline-bubble",
+        "analysis/comm-pattern", "analysis/load-imbalance",
+        "analysis/queue-wait", "analysis/energy-attribution"}) {
+    EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(CaramlCli, AnalyseTraceReportsMalformedJsonWithOffset) {
+  const std::string dir = ::testing::TempDir() + "caraml_cli_badtrace";
+  run_command("rm -rf " + dir + " && mkdir -p " + dir);
+  {
+    std::ofstream bad(dir + "/bad.json");
+    bad << "{\"traceEvents\":[{\"ph\":\"X\",";
+  }
+  const auto result = run_command(std::string(CARAML_CLI_PATH) +
+                                  " analyse-trace " + dir + "/bad.json");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("bad.json"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("at offset"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("analysis/trace-error"), std::string::npos)
+      << result.output;
+}
+
+TEST(CaramlCli, FailedRunStillFlushesTraceAndMetrics) {
+  const std::string dir = ::testing::TempDir() + "caraml_cli_failflush";
+  run_command("rm -rf " + dir + " && mkdir -p " + dir);
+  // batch 250 is not divisible into 8 micro-batches: the run throws after
+  // telemetry is armed, and the trace/metrics/manifest must flush anyway.
+  const auto result = run_command(
+      std::string(CARAML_CLI_PATH) + " llm --system GH200 --batch 250"
+      " --trace-out " + dir + "/trace.json --metrics-out " + dir + "/out");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+
+  EXPECT_TRUE(std::ifstream(dir + "/trace.json").good());
+  EXPECT_TRUE(std::ifstream(dir + "/out/metrics.csv").good());
+  std::ifstream manifest(dir + "/out/manifest.jsonl");
+  ASSERT_TRUE(manifest.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(manifest, line));
+  EXPECT_NE(line.find("\"status\":\"failed\""), std::string::npos) << line;
+}
+
+TEST(CaramlCli, SweepAnalyseAnnotatesWorkpackages) {
+  const auto result = run_command(
+      std::string(CARAML_CLI_PATH) + " run --script " + CARAML_CONFIG_DIR +
+      "/llm_benchmark_nvidia_amd.yaml --tag A100 --analyse");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("top_bottleneck"), std::string::npos)
+      << result.output;
+  // Every workpackage row carries a ranked bottleneck annotation.
+  EXPECT_NE(result.output.find("analysis/"), std::string::npos)
+      << result.output;
+}
+
 TEST(JpwrCli, WrapsCommandAndReportsEnergy) {
   const auto result = run_command(std::string(CARAML_JPWR_PATH) +
                                   " --methods synthetic --interval 5 sleep "

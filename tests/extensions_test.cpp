@@ -369,7 +369,7 @@ TEST(TraceExport, ChromeTraceContainsTracksAndEvents) {
   EXPECT_NE(json.find("\"nvlink\""), std::string::npos);
   EXPECT_NE(json.find("\"fwd\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
-  EXPECT_NE(json.find("\"dur\":1e+06"), std::string::npos);  // 1 s = 1e6 us
+  EXPECT_NE(json.find("\"dur\":1000000"), std::string::npos);  // 1 s = 1e6 us
 }
 
 TEST(TraceExport, FileWriteAndUtilizationSummary) {
