@@ -383,6 +383,54 @@ void detect_energy_attribution(const Timeline& timeline,
   findings.push_back(std::move(finding));
 }
 
+// --- recovery time ---------------------------------------------------------
+
+void detect_recovery_time(const Timeline& timeline,
+                          std::vector<Finding>& findings) {
+  if (timeline.makespan_s <= 0.0) return;
+  // Resilient runners emit "recovery/*" spans (restart + backoff windows)
+  // on a dedicated track and retry_with_backoff emits "retry/<name>" attempt
+  // spans; both are recovery spend rather than useful work.
+  double recovery_s = 0.0;
+  double retry_s = 0.0;
+  std::size_t restarts = 0;
+  std::size_t retry_spans = 0;
+  for (const auto& track : timeline.tracks) {
+    for (const auto& span : track.spans) {
+      if (span.name.rfind("recovery/", 0) == 0) {
+        recovery_s += span.dur_s();
+        ++restarts;
+      } else if (span.name.rfind("retry/", 0) == 0) {
+        retry_s += span.dur_s();
+        ++retry_spans;
+      }
+    }
+  }
+  const double total_s = recovery_s + retry_s;
+  if (total_s <= 0.0 && restarts == 0 && retry_spans == 0) return;
+
+  Finding finding;
+  finding.detector = "recovery-time";
+  finding.rule_id = "analysis/recovery-time";
+  finding.severity = check::Severity::kInfo;
+  finding.score = clamp01(total_s / timeline.makespan_s);
+  std::ostringstream os;
+  os << "recovery spend " << fixed(total_s) << " s ("
+     << percent(finding.score) << " of makespan): " << restarts
+     << " restart window(s) totalling " << fixed(recovery_s) << " s, "
+     << retry_spans << " retry attempt span(s) totalling " << fixed(retry_s)
+     << " s";
+  finding.message = os.str();
+  finding.metrics = {
+      {"recovery_s", recovery_s},
+      {"retry_s", retry_s},
+      {"recovery_fraction", finding.score},
+      {"restart_windows", static_cast<double>(restarts)},
+      {"retry_spans", static_cast<double>(retry_spans)},
+  };
+  findings.push_back(std::move(finding));
+}
+
 }  // namespace
 
 const std::vector<DetectorInfo>& detector_catalogue() {
@@ -404,6 +452,9 @@ const std::vector<DetectorInfo>& detector_catalogue() {
       {"energy-attribution", "analysis/energy-attribution",
        "power counters integrated per phase: J for compute / collective / "
        "bubble / idle (prefill vs decode for inference)"},
+      {"recovery-time", "analysis/recovery-time",
+       "recovery/retry span share of the makespan: restart windows and "
+       "backoff spend from resilient runs"},
   };
   return catalogue;
 }
@@ -427,6 +478,7 @@ std::vector<Finding> run_detectors(const Timeline& timeline) {
   detect_load_imbalance(timeline, findings);
   detect_queue_wait(timeline, findings);
   detect_energy_attribution(timeline, findings);
+  detect_recovery_time(timeline, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.score > b.score;

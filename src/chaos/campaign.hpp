@@ -1,0 +1,176 @@
+// Chaos campaigns: run every scenario of an enumerated fault space through
+// the resilient runners and verify that recovery was *correct*, not merely
+// that the process exited 0.
+//
+// Per scenario, four recovery invariants are checked:
+//   1. convergence — a survivable fault completes all steps and its wall
+//      time / effective throughput stay within the degradation its plan
+//      explains (average derate factors) plus the campaign tolerance, never
+//      beating the fault-free oracle; a non-survivable fault must fail with
+//      honest partial accounting.
+//   2. checkpoint — the persisted checkpoint restores byte-exactly (content
+//      fingerprint + re-serialization), sits on a checkpoint boundary, and
+//      its sample/sampler accounting matches the step it claims.
+//   3. manifest — a manifest line is flushed with the correct status and
+//      fault provenance even for failed runs, and parses back.
+//   4. deadline — the scenario finished inside the wall-clock watchdog
+//      (ThreadPool-compensating, like jube's run_action_bounded); hangs are
+//      caught and reported instead of wedging the campaign.
+//
+// Scenario outcomes carry recovery metrics (time-to-recover, wasted steps,
+// goodput vs oracle, retry/backoff spend), are cached in a sweep-style
+// fingerprint-keyed JSONL cache, and aggregate into a report that is
+// byte-identical for the same seed across --jobs values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+#include "check/diagnostics.hpp"
+#include "fault/fault.hpp"
+#include "yaml/yaml.hpp"
+
+namespace caraml::chaos {
+
+/// Campaign description (YAML top-level `campaign:` map).
+struct CampaignConfig {
+  std::string name = "campaign";
+  std::uint64_t seed = 0;
+  std::string workload = "llm";  // llm | resnet | inference
+  std::string system = "A100";
+  std::string mode = "grid";  // grid | random
+  int scenarios = 0;          // random mode: number of draws
+
+  // Virtual training timeline per scenario.
+  std::int64_t steps = 24;
+  std::int64_t checkpoint_every = 8;
+  double checkpoint_cost_s = 0.5;
+  double restart_cost_s = 5.0;
+  int retries = 3;  // retry max_attempts (restart budget = retries - 1)
+
+  double deadline_s = 120.0;  // wall-clock watchdog per scenario; <= 0 = off
+  double tolerance = 0.25;    // convergence slack (fraction)
+
+  // Workload shape.
+  std::string model = "800M";  // llm: GPT variant
+  std::int64_t global_batch = 256;
+  std::int64_t micro_batch = 4;  // llm
+  int devices = 4;
+  std::int64_t prompt_tokens = 512;    // inference
+  std::int64_t generate_tokens = 128;  // inference
+
+  FaultSpace space;
+
+  /// Parse from a YAML document with a top-level `campaign:` map (the key
+  /// `caraml lint` classifies campaign files by). Throws InvalidArgument /
+  /// ParseError on bad values.
+  static CampaignConfig from_yaml(const yaml::NodePtr& root);
+  static CampaignConfig from_yaml_file(const std::string& path);
+
+  /// Stable FNV-1a hex16 over every field that affects scenario outcomes
+  /// (not over jobs/cache/output paths). Keys the scenario result cache.
+  std::string fingerprint() const;
+};
+
+/// Fault-free reference run the invariants compare against.
+struct OracleBaseline {
+  double iteration_s = 0.0;
+  double wall_time_s = 0.0;
+  double throughput = 0.0;  // effective samples(tokens|images)/s
+  std::int64_t checkpoints = 0;
+};
+
+struct InvariantResult {
+  std::string rule;  // chaos/invariant-* rule id
+  bool passed = false;
+  std::string detail;
+};
+
+struct ScenarioOutcome {
+  std::size_t index = 0;
+  std::string id;
+  std::string kind;
+  double time_frac = 0.0;
+  int device = -1;
+  double severity = 1.0;
+  std::string plan_fingerprint;
+
+  std::string status;       // ok | degraded | failed | hung
+  bool survivable = true;   // expectation derived from the scenario
+  int restarts = 0;
+  int oom_retries = 0;
+  std::int64_t steps_replayed = 0;  // wasted work
+
+  // Recovery metrics (virtual timeline — deterministic).
+  double time_to_recover_s = 0.0;      // lost wall time (replay + restart)
+  double retry_backoff_s = 0.0;        // backoff spend
+  double checkpoint_overhead_s = 0.0;  // checkpoint write spend
+  double goodput_frac = 0.0;           // effective throughput / oracle
+
+  std::vector<InvariantResult> invariants;
+  bool from_cache = false;
+
+  int violations() const;
+};
+
+struct CampaignReport {
+  CampaignConfig config;
+  std::string campaign_fingerprint;
+  OracleBaseline oracle;
+  /// Ranked: most violations first, then lowest goodput, then index.
+  std::vector<ScenarioOutcome> scenarios;
+
+  int total() const { return static_cast<int>(scenarios.size()); }
+  int passed() const;
+  int violated() const;  // scenarios with >= 1 failed invariant
+  int hung() const;
+  int failed_runs() const;
+  int cache_hits() const;
+
+  /// Violations as located diagnostics (chaos/invariant-* rules) against
+  /// `file` — the campaign YAML path, or "<campaign>" when run from memory.
+  void to_diagnostics(const std::string& file,
+                      check::DiagnosticList& diags) const;
+
+  std::string render_human() const;
+  /// Deterministic JSON (no timestamps, no cache provenance): same seed =>
+  /// byte-identical text across job counts.
+  std::string render_json() const;
+};
+
+struct CampaignOptions {
+  int jobs = 0;            // <= 0: one per hardware thread
+  std::string cache_path;  // sweep-style scenario result cache (optional)
+  std::string out_dir;     // manifests + checkpoints; default: temp dir
+  bool verbose = false;
+};
+
+/// Run the full campaign: oracle first, then every scenario (parallel,
+/// deadline-bounded, cache-served when a fingerprint hits). Never throws for
+/// scenario-level failures — those become outcomes/violations.
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const CampaignOptions& options = {});
+
+// --- invariant checks (exposed for tests) ----------------------------------------
+
+/// Invariant 1. `derate_bound` is the compounded average time x link factor
+/// the plan explains; `iteration_s` / `throughput` are the scenario's.
+InvariantResult check_convergence(const fault::RunReport& report,
+                                  double iteration_s, double throughput,
+                                  double checkpoint_cost_s,
+                                  const OracleBaseline& oracle,
+                                  double derate_bound, double tolerance,
+                                  bool survivable);
+
+/// Invariant 2. Verifies the checkpoint at `path` against the run report:
+/// fingerprint-valid, byte-exact re-serialization, on a boundary, correct
+/// sample/sampler accounting for (plan_seed, samples_per_step).
+InvariantResult check_checkpoint(const std::string& path,
+                                 const fault::RunReport& report,
+                                 std::uint64_t plan_seed,
+                                 std::int64_t samples_per_step,
+                                 std::int64_t checkpoint_every);
+
+}  // namespace caraml::chaos

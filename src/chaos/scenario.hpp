@@ -1,0 +1,62 @@
+// Fault-space enumeration for chaos campaigns (`caraml chaos`).
+//
+// A campaign does not hand-write FaultPlans: it *enumerates* the fault space
+// — fault kind × injection time × target device × severity — either as the
+// full cartesian grid or as seeded random draws, and synthesizes a
+// one-event FaultPlan per point (fault::FaultPlan::single). Every scenario
+// is deterministic in (campaign seed, index): the same campaign config
+// always expands to byte-identical plans, which is what makes campaign
+// reports reproducible and cacheable like sweep results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace caraml::chaos {
+
+/// Axes of the explored fault space. Grid mode takes the cartesian product;
+/// the severity axis only applies to window kinds (throttle/link/sensor) —
+/// point faults (device failure) ignore it. Random mode draws kind/device
+/// from the lists and time/severity from the continuous span of the listed
+/// values.
+struct FaultSpace {
+  std::vector<fault::FaultKind> kinds;
+  std::vector<double> times_frac;  // injection time as fraction of horizon
+  std::vector<int> devices;        // -1 = all devices
+  std::vector<double> severities;  // remaining fraction, in (0, 1]
+  double window_frac = 0.2;        // window-fault duration / horizon
+
+  /// All four kinds, times {0.25, 0.75}, device -1, severity 0.5.
+  static FaultSpace defaults();
+
+  /// Grid cardinality for the given axes (severity collapsed for point
+  /// faults).
+  std::size_t grid_size() const;
+};
+
+/// One point of the fault space: the axis values plus the synthesized plan.
+struct Scenario {
+  std::size_t index = 0;
+  std::string id;  // "s007-link_degrade-t0.50-d-1-sev0.40"
+  fault::FaultKind kind = fault::FaultKind::kThermalThrottle;
+  double time_frac = 0.0;
+  int device = -1;
+  double severity = 1.0;
+  fault::FaultPlan plan;
+};
+
+/// Cartesian product of the axes, in axis order (kind, time, device,
+/// severity); plan seeds derive from (seed, index) via splitmix64.
+std::vector<Scenario> enumerate_grid(const FaultSpace& space,
+                                     std::uint64_t seed, double horizon_s);
+
+/// `count` seeded draws: kind/device uniform over the lists, time/severity
+/// uniform over [min, max] of the listed values.
+std::vector<Scenario> enumerate_random(const FaultSpace& space,
+                                       std::uint64_t seed, double horizon_s,
+                                       int count);
+
+}  // namespace caraml::chaos

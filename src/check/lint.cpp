@@ -18,6 +18,7 @@ FileKind classify(const yaml::Node& root) {
   }
   if (root.has("fault_plan") || root.has("events")) return FileKind::kFaultPlan;
   if (root.has("systems")) return FileKind::kSpecTable;
+  if (root.has("campaign")) return FileKind::kCampaign;
   return FileKind::kUnknown;
 }
 
@@ -38,6 +39,9 @@ void lint_document(const yaml::Document& doc, const std::string& file,
       break;
     case FileKind::kSpecTable:
       lint_spec_table(*doc.root, file, diags);
+      break;
+    case FileKind::kCampaign:
+      lint_campaign(*doc.root, file, diags);
       break;
     case FileKind::kUnknown:
       diags.report("yaml/unknown-schema",

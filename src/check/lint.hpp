@@ -5,6 +5,7 @@
 //   * "benchmark" / "parametersets" / "steps"  -> JUBE benchmark script
 //   * "fault_plan" / "events"                  -> fault-injection schedule
 //   * "systems"                                -> hardware calibration table
+//   * "campaign"                               -> chaos campaign
 // Unclassifiable files get a yaml/unknown-schema warning; YAML-layer rules
 // (parse errors, duplicate keys) run on every file regardless of kind.
 #pragma once
@@ -18,7 +19,7 @@
 
 namespace caraml::check {
 
-enum class FileKind { kJube, kFaultPlan, kSpecTable, kUnknown };
+enum class FileKind { kJube, kFaultPlan, kSpecTable, kCampaign, kUnknown };
 
 FileKind classify(const yaml::Node& root);
 
@@ -55,5 +56,7 @@ void lint_fault_plan(const yaml::Node& root, const std::string& file,
                      DiagnosticList& diags);
 void lint_spec_table(const yaml::Node& root, const std::string& file,
                      DiagnosticList& diags);
+void lint_campaign(const yaml::Node& root, const std::string& file,
+                   DiagnosticList& diags);
 
 }  // namespace caraml::check

@@ -68,6 +68,40 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"fault/unknown-field", Severity::kWarning,
        "key is not part of the fault-plan schema and is ignored by the "
        "loader"},
+      {"fault/checkpoint-corrupt", Severity::kError,
+       "checkpoint file rejected on load (invalid JSON, schema mismatch, or "
+       "content-fingerprint mismatch)"},
+
+      // --- chaos: fault-space campaigns + recovery invariants ---------------
+      {"chaos/bad-workload", Severity::kError,
+       "campaign workload is not llm/resnet/inference"},
+      {"chaos/bad-mode", Severity::kError,
+       "campaign mode is not grid/random (random also needs scenarios >= 1)"},
+      {"chaos/bad-tolerance", Severity::kError,
+       "convergence tolerance is non-finite or <= 0"},
+      {"chaos/bad-deadline", Severity::kError,
+       "scenario deadline is non-finite (<= 0 disables the watchdog)"},
+      {"chaos/empty-axis", Severity::kError,
+       "a fault-space axis (kinds/times/devices/severities) has no values"},
+      {"chaos/bad-axis", Severity::kError,
+       "fault-space axis value out of range (time outside [0, 1), severity "
+       "outside (0, 1], unknown kind, window_frac outside (0, 1])"},
+      {"chaos/small-campaign", Severity::kWarning,
+       "campaign expands to fewer than 12 scenarios; coverage of the fault "
+       "space is thin"},
+      {"chaos/unknown-field", Severity::kWarning,
+       "key is not part of the campaign schema and is ignored by the loader"},
+      {"chaos/invariant-convergence", Severity::kError,
+       "survivable fault did not converge to the fault-free oracle within "
+       "tolerance (or a non-survivable fault did not fail honestly)"},
+      {"chaos/invariant-checkpoint", Severity::kError,
+       "checkpoint did not restore byte-exactly at the expected step with "
+       "consistent sample/sampler accounting"},
+      {"chaos/invariant-manifest", Severity::kError,
+       "manifest line missing, unparseable, or carrying wrong status / fault "
+       "provenance"},
+      {"chaos/invariant-deadline", Severity::kError,
+       "scenario exceeded its wall-clock deadline; the watchdog detached it"},
 
       // --- sim: hardware calibration tables + static workload checks --------
       {"sim/missing-tag", Severity::kError,
@@ -115,6 +149,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"analysis/energy-attribution", Severity::kInfo,
        "power counters integrated per phase: joules for compute, collective, "
        "bubble, idle"},
+      {"analysis/recovery-time", Severity::kInfo,
+       "recovery and retry spans (restarts, backoff) and their share of the "
+       "makespan"},
   };
   return catalogue;
 }

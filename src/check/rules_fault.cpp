@@ -3,6 +3,7 @@
 // silently tolerate (as warnings: ignored keys, windows that can never fire,
 // events past the horizon).
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <string>
@@ -216,10 +217,10 @@ void lint_fault_plan(const yaml::Node& root, const std::string& file,
                    "'retry' must be a mapping");
       return;
     }
-    warn_unknown_fields(
-        *retry,
-        {"max_attempts", "base_delay_s", "multiplier", "jitter_frac", "seed"},
-        "retry", file, diags);
+    warn_unknown_fields(*retry,
+                        {"max_attempts", "base_delay_s", "multiplier",
+                         "jitter_frac", "max_delay_s", "seed"},
+                        "retry", file, diags);
     try {
       const std::int64_t max_attempts = retry->get_int_or("max_attempts", 3);
       if (max_attempts <= 0) {
@@ -231,17 +232,23 @@ void lint_fault_plan(const yaml::Node& root, const std::string& file,
       const double base_delay_s = retry->get_double_or("base_delay_s", 0.25);
       const double multiplier = retry->get_double_or("multiplier", 2.0);
       const double jitter_frac = retry->get_double_or("jitter_frac", 0.1);
-      if (base_delay_s < 0.0) {
+      const double max_delay_s = retry->get_double_or("max_delay_s", 60.0);
+      if (!std::isfinite(base_delay_s) || base_delay_s < 0.0) {
         diags.report("fault/retry-invalid", loc(retry->mark()),
-                     "base_delay_s must be >= 0");
+                     "base_delay_s must be finite and >= 0");
       }
-      if (multiplier <= 0.0) {
+      if (!std::isfinite(multiplier) || multiplier <= 0.0) {
         diags.report("fault/retry-invalid", loc(retry->mark()),
-                     "multiplier must be > 0");
+                     "multiplier must be finite and > 0");
       }
       if (jitter_frac < 0.0 || jitter_frac > 1.0) {
         diags.report("fault/retry-invalid", loc(retry->mark()),
                      "jitter_frac must be in [0, 1]");
+      }
+      if (!std::isfinite(max_delay_s) || max_delay_s < 0.0) {
+        diags.report("fault/retry-invalid", loc(retry->mark()),
+                     "max_delay_s must be finite and >= 0 (the backoff "
+                     "ceiling that caps exponential growth)");
       }
     } catch (const ParseError& e) {
       diags.report("yaml/type-mismatch", loc(retry->mark()), e.what());

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/analyse.hpp"
+#include "chaos/campaign.hpp"
 #include "check/lint.hpp"
 #include "check/rules.hpp"
 #include "core/caraml.hpp"
@@ -958,6 +959,72 @@ int cmd_analyse_trace(const std::vector<std::string>& args) {
   return failed > 0 ? 1 : 0;
 }
 
+int cmd_chaos(const std::vector<std::string>& args) {
+  ArgParser parser("caraml chaos",
+                   "systematic fault-space campaign: enumerate fault kind x "
+                   "time x device x severity, run each scenario through the "
+                   "resilient runners, verify the recovery invariants");
+  parser.add_option("campaign", "campaign YAML (top-level `campaign:` map)",
+                    std::string(""));
+  parser.add_option("jobs", "parallel scenarios (0 = one per hardware thread)",
+                    std::string("0"));
+  parser.add_option("cache",
+                    "sweep-style scenario result cache JSONL ('' = off)",
+                    std::string(""));
+  parser.add_option("out",
+                    "directory for manifests + checkpoints (default: temp)",
+                    std::string(""));
+  parser.add_option("format", "report format: human|json",
+                    std::string("human"));
+  parser.add_option("json-out",
+                    "also write the JSON report here ('' = off)",
+                    std::string(""));
+  parser.add_flag("verbose", "log each scenario outcome as it lands");
+  if (!parser.parse(args)) return 0;
+
+  const std::string format = parser.get("format");
+  if (format != "human" && format != "json") {
+    std::cerr << "caraml chaos: unknown format '" << format << "'\n";
+    return 2;
+  }
+  const std::string campaign_path = parser.get("campaign");
+  if (campaign_path.empty()) {
+    std::cerr << "caraml chaos: no campaign given (try: caraml chaos "
+                 "--campaign configs/chaos_smoke.yaml)\n";
+    return 2;
+  }
+
+  const chaos::CampaignConfig config =
+      chaos::CampaignConfig::from_yaml_file(campaign_path);
+  chaos::CampaignOptions options;
+  options.jobs = static_cast<int>(parser.get_int("jobs"));
+  options.cache_path = parser.get("cache");
+  options.out_dir = parser.get("out");
+  options.verbose = parser.get_flag("verbose");
+
+  const chaos::CampaignReport report = chaos::run_campaign(config, options);
+  const std::string json_doc = report.render_json() + "\n";
+  std::cout << (format == "json" ? json_doc : report.render_human());
+  if (format == "human" && report.violated() > 0) {
+    // Violations as located diagnostics against the campaign file, so the
+    // failure mode reads like every other caraml lint/check report.
+    check::DiagnosticList diags;
+    report.to_diagnostics(campaign_path, diags);
+    diags.sort();
+    std::cout << diags.render_human();
+  }
+  if (!parser.get("json-out").empty()) {
+    std::ofstream out(parser.get("json-out"));
+    if (!out) {
+      std::cerr << "caraml chaos: cannot write " << parser.get("json-out")
+                << "\n";
+      return 2;
+    }
+    out << json_doc;
+  }
+  return report.violated() > 0 ? 1 : 0;
+}
+
 int cmd_tts(const std::vector<std::string>& args) {
   ArgParser parser("caraml tts", "time/energy to a target loss");
   parser.add_option("system", "system tag", std::string("JEDI"));
@@ -1023,6 +1090,9 @@ void print_usage() {
       "              load imbalance, queue wait, energy attribution\n"
       "              (--format human|json, --json-out FILE, --top N,\n"
       "              --metrics DIR, --list-detectors)\n"
+      "  chaos       fault-space campaign with recovery-invariant checks\n"
+      "              (--campaign FILE, --jobs N, --cache FILE, --out DIR,\n"
+      "              --format human|json, --json-out FILE, --verbose)\n"
       "  tts         time/energy-to-solution estimate (--system, --loss)\n"
       "  combine     merge per-rank jpwr CSVs (--dir)\n"
       "  export      write every experiment's data as CSV (--out)\n\n"
@@ -1073,6 +1143,7 @@ int main(int argc, char** argv) {
     if (command == "inference") return cmd_inference(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "analyse-trace") return cmd_analyse_trace(args);
+    if (command == "chaos") return cmd_chaos(args);
     if (command == "tts") return cmd_tts(args);
     if (command == "combine") return cmd_combine(args);
     if (command == "export") return cmd_export(args);

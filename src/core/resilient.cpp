@@ -75,6 +75,14 @@ Timeline walk_steps(const ResilienceOptions& options, double iteration_s,
       report.steps_replayed += step - last_ckpt;
       report.lost_time_s +=
           (strike - ckpt_wall) + options.restart_cost_s + backoff;
+      report.retry_backoff_s += backoff;
+      report.restart_overhead_s += options.restart_cost_s;
+      // Recovery span on the virtual timeline so `caraml analyse-trace` can
+      // attribute the restart + backoff window.
+      if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+        tracer.add_span("recovery/restart", tracer.track("recovery"), strike,
+                        options.restart_cost_s + backoff);
+      }
       step = last_ckpt;
       t = strike + options.restart_cost_s + backoff;
       ckpt_wall = t;  // the restart resumes exactly at the checkpoint
@@ -90,6 +98,7 @@ Timeline walk_steps(const ResilienceOptions& options, double iteration_s,
       last_ckpt = step;
       ckpt_wall = t;
       ++report.checkpoints_saved;
+      report.checkpoint_overhead_s += options.checkpoint_cost_s;
       registry.counter("fault/checkpoints").add();
       if (!options.checkpoint_dir.empty()) {
         fault::TrainingCheckpoint checkpoint;

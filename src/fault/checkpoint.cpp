@@ -1,40 +1,98 @@
 #include "fault/checkpoint.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "telemetry/json.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace caraml::fault {
 
 namespace json = telemetry::json;
 
-std::string TrainingCheckpoint::to_json() const {
+namespace {
+
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// The fingerprinted payload: every field except the fingerprint itself, in
+/// a fixed member order so the serialization (and thus the hash) is stable.
+/// sampler_state is a full 64-bit RNG state and is stored as a hex string —
+/// a JSON double would silently lose bits above 2^53.
+std::string payload_json(const TrainingCheckpoint& checkpoint) {
   json::Value root{json::Object{}};
-  root.set("schema_version", schema_version);
-  root.set("step", step);
-  root.set("samples_consumed", samples_consumed);
-  root.set("optimizer_clock_s", optimizer_clock_s);
-  root.set("sampler_state", static_cast<double>(sampler_state));
+  root.set("schema_version", checkpoint.schema_version);
+  root.set("step", checkpoint.step);
+  root.set("samples_consumed", checkpoint.samples_consumed);
+  root.set("optimizer_clock_s", checkpoint.optimizer_clock_s);
+  root.set("sampler_state", hex16(checkpoint.sampler_state));
+  return json::dump(root);
+}
+
+}  // namespace
+
+std::string TrainingCheckpoint::to_json() const {
+  const std::string payload = payload_json(*this);
+  json::Value root = json::parse(payload);
+  root.set("fingerprint", fnv1a_hex(payload));
   return json::dump(root);
 }
 
 TrainingCheckpoint TrainingCheckpoint::from_json(const std::string& text) {
-  const json::Value root = json::parse(text);
-  TrainingCheckpoint checkpoint;
-  checkpoint.schema_version =
-      static_cast<int>(root.at("schema_version").as_int());
-  if (checkpoint.schema_version != TrainingCheckpoint{}.schema_version) {
-    throw Error("unsupported checkpoint schema_version " +
-                std::to_string(checkpoint.schema_version));
+  json::Value root{json::Object{}};
+  try {
+    root = json::parse(text);
+  } catch (const std::exception& e) {
+    throw ParseError(std::string("checkpoint is not valid JSON: ") + e.what());
   }
-  checkpoint.step = root.at("step").as_int();
-  checkpoint.samples_consumed = root.at("samples_consumed").as_int();
-  checkpoint.optimizer_clock_s = root.at("optimizer_clock_s").as_number();
-  checkpoint.sampler_state =
-      static_cast<std::uint64_t>(root.at("sampler_state").as_number());
+  TrainingCheckpoint checkpoint;
+  try {
+    checkpoint.schema_version =
+        static_cast<int>(root.at("schema_version").as_int());
+    if (checkpoint.schema_version != TrainingCheckpoint{}.schema_version) {
+      throw ParseError("unsupported checkpoint schema_version " +
+                       std::to_string(checkpoint.schema_version) +
+                       " (expected " +
+                       std::to_string(TrainingCheckpoint{}.schema_version) +
+                       ")");
+    }
+    checkpoint.step = root.at("step").as_int();
+    checkpoint.samples_consumed = root.at("samples_consumed").as_int();
+    checkpoint.optimizer_clock_s = root.at("optimizer_clock_s").as_number();
+    const std::string& state_hex = root.at("sampler_state").as_string();
+    checkpoint.sampler_state = std::strtoull(state_hex.c_str(), nullptr, 16);
+    const std::string stamped = root.at("fingerprint").as_string();
+    const std::string expected = fnv1a_hex(payload_json(checkpoint));
+    if (stamped != expected) {
+      throw ParseError("checkpoint fingerprint mismatch: stamped " + stamped +
+                       ", payload hashes to " + expected +
+                       " (file corrupted or hand-edited)");
+    }
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ParseError(std::string("checkpoint schema violation: ") + e.what());
+  }
   return checkpoint;
 }
 
@@ -54,11 +112,28 @@ void TrainingCheckpoint::save(const std::string& path) const {
 }
 
 TrainingCheckpoint TrainingCheckpoint::load(const std::string& path) {
+  // A leftover tmp file means a previous save crashed between write and
+  // rename; the rename never happened, so the tmp holds a possibly-partial
+  // write nobody will ever promote. Drop it so it cannot accumulate.
+  const std::string tmp = path + ".tmp";
+  std::error_code ec;
+  if (std::filesystem::exists(tmp, ec)) {
+    log::warn() << "removing stale checkpoint temp file (crash mid-save?): "
+                << tmp;
+    std::filesystem::remove(tmp, ec);
+  }
   std::ifstream in(path);
   if (!in) throw Error("cannot read checkpoint: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return from_json(buffer.str());
+  try {
+    return from_json(buffer.str());
+  } catch (const ParseError& e) {
+    // gcc-style located diagnostic, same shape src/check renders, so a
+    // corrupt checkpoint reads like any other lint/validation failure.
+    throw ParseError(path + ":1:1: error: " + e.what() +
+                     " [fault/checkpoint-corrupt]");
+  }
 }
 
 }  // namespace caraml::fault

@@ -5,6 +5,12 @@
 // (step, consumed samples/tokens, optimizer clock, data-sampler RNG state)
 // so remaining-step accounting stays exact across restarts. The on-disk
 // format is one JSON object per file, human-readable and stable.
+//
+// Schema v2 stamps an FNV-1a content fingerprint over the payload; load()
+// verifies it and rejects truncated, bit-flipped or wrong-schema files with
+// a located diagnostic ([fault/checkpoint-corrupt]) instead of resuming from
+// garbage. Stale "*.tmp" files left by a crash mid-save are cleaned up on
+// the next resume.
 #pragma once
 
 #include <cstdint>
@@ -13,18 +19,26 @@
 namespace caraml::fault {
 
 struct TrainingCheckpoint {
-  int schema_version = 1;
+  int schema_version = 2;
   std::int64_t step = 0;
   std::int64_t samples_consumed = 0;  // tokens (LLM) or images (ResNet)
   double optimizer_clock_s = 0.0;     // accumulated optimizer/update time
   std::uint64_t sampler_state = 0;    // data-sampler RNG/epoch state
 
+  /// Serialized payload plus a "fingerprint" member: the FNV-1a 64 hash (hex)
+  /// of the payload serialization itself.
   std::string to_json() const;
+  /// Parses and verifies the content fingerprint. Throws caraml::ParseError
+  /// on malformed JSON, wrong schema_version, missing fields, or a
+  /// fingerprint mismatch (corruption).
   static TrainingCheckpoint from_json(const std::string& text);
 
   /// Write to `path` atomically (tmp file + rename); creates parent dirs.
   void save(const std::string& path) const;
-  /// Throws caraml::Error when missing, caraml::ParseError when corrupt.
+  /// Throws caraml::Error when missing; caraml::ParseError with a
+  /// "<path>:1:1: error: ... [fault/checkpoint-corrupt]" diagnostic when the
+  /// file is corrupt. Removes (and warns about) a stale `path`.tmp from a
+  /// crash mid-save.
   static TrainingCheckpoint load(const std::string& path);
 };
 

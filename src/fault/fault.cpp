@@ -123,15 +123,9 @@ FaultPlan FaultPlan::from_yaml(const yaml::NodePtr& root) {
     policy.base_delay_s = retry->get_double_or("base_delay_s", policy.base_delay_s);
     policy.multiplier = retry->get_double_or("multiplier", policy.multiplier);
     policy.jitter_frac = retry->get_double_or("jitter_frac", policy.jitter_frac);
+    policy.max_delay_s = retry->get_double_or("max_delay_s", policy.max_delay_s);
     policy.seed = static_cast<std::uint64_t>(retry->get_int_or("seed", 0));
-    CARAML_CHECK_MSG(policy.max_attempts >= 1,
-                     "retry max_attempts must be >= 1");
-    CARAML_CHECK_MSG(policy.base_delay_s >= 0.0,
-                     "retry base_delay_s must be >= 0");
-    CARAML_CHECK_MSG(policy.multiplier > 0.0, "retry multiplier must be > 0");
-    CARAML_CHECK_MSG(
-        policy.jitter_frac >= 0.0 && policy.jitter_frac <= 1.0,
-        "retry jitter_frac must be in [0, 1]");
+    policy.validate();
     plan.retry = policy;
   }
   std::stable_sort(plan.events.begin(), plan.events.end(),
@@ -149,6 +143,20 @@ FaultPlan FaultPlan::from_yaml(const yaml::NodePtr& root) {
 
 FaultPlan FaultPlan::from_yaml_file(const std::string& path) {
   return from_yaml(yaml::parse_file(path));
+}
+
+FaultPlan FaultPlan::single(std::uint64_t seed, double horizon_s,
+                            const FaultEvent& event) {
+  CARAML_CHECK_MSG(horizon_s > 0.0, "fault-plan horizon must be positive");
+  CARAML_CHECK_MSG(event.time_s >= 0.0, "fault time_s must be >= 0");
+  CARAML_CHECK_MSG(event.duration_s >= 0.0, "fault duration_s must be >= 0");
+  CARAML_CHECK_MSG(event.severity > 0.0 && event.severity <= 1.0,
+                   "fault severity must be in (0, 1]");
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.horizon_s = std::max(horizon_s, event.time_s + event.duration_s);
+  plan.events.push_back(event);
+  return plan;
 }
 
 std::vector<double> FaultPlan::failure_times() const {
@@ -272,10 +280,32 @@ std::string FaultPlan::summary() const {
   return out;
 }
 
+void RetryPolicy::validate() const {
+  if (max_attempts < 1) {
+    throw InvalidArgument("retry max_attempts must be >= 1, got " +
+                          std::to_string(max_attempts));
+  }
+  if (!std::isfinite(base_delay_s) || base_delay_s < 0.0) {
+    throw InvalidArgument("retry base_delay_s must be finite and >= 0");
+  }
+  if (!std::isfinite(multiplier) || multiplier <= 0.0) {
+    throw InvalidArgument("retry multiplier must be finite and > 0");
+  }
+  if (!std::isfinite(jitter_frac) || jitter_frac < 0.0 || jitter_frac > 1.0) {
+    throw InvalidArgument("retry jitter_frac must be in [0, 1]");
+  }
+  if (!std::isfinite(max_delay_s) || max_delay_s < 0.0) {
+    throw InvalidArgument("retry max_delay_s must be finite and >= 0");
+  }
+}
+
 double RetryPolicy::delay_s(int attempt) const {
   if (attempt <= 1) return 0.0;
-  const double base =
+  // pow overflows to +inf for large attempt counts; the min() below clamps
+  // that (and every merely-large value) to the policy ceiling.
+  const double grown =
       base_delay_s * std::pow(multiplier, static_cast<double>(attempt - 2));
+  const double base = std::min(grown, max_delay_s);
   if (jitter_frac <= 0.0) return base;
   // splitmix64 over (seed, attempt): jitter is deterministic per attempt, so
   // two runs of the same plan back off identically.
@@ -293,7 +323,7 @@ RetryOutcome retry_with_backoff(const std::string& name,
                                 const RetryPolicy& policy,
                                 const std::function<void()>& body,
                                 const std::function<void(double)>& sleeper) {
-  CARAML_CHECK_MSG(policy.max_attempts >= 1, "retry needs >= 1 attempt");
+  policy.validate();
   auto& attempts_counter =
       telemetry::Registry::global().counter("fault/retry_attempts");
   auto& exhausted_counter =

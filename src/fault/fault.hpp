@@ -62,10 +62,19 @@ struct RetryPolicy {
   double base_delay_s = 0.25;  // backoff before the 2nd attempt
   double multiplier = 2.0;     // exponential growth per retry
   double jitter_frac = 0.1;    // +/- fraction of the delay
+  double max_delay_s = 60.0;   // backoff ceiling (pre-jitter); growth is
+                               // clamped here so huge attempt counts cannot
+                               // overflow the delay computation
   std::uint64_t seed = 0;      // jitter stream (deterministic per attempt)
 
-  /// Backoff before attempt `attempt` (2-based; attempt 1 has no delay).
-  /// Deterministic in (seed, attempt).
+  /// Throws InvalidArgument when the policy is unusable: max_attempts < 1,
+  /// non-finite or negative delays, non-positive multiplier, or jitter
+  /// outside [0, 1].
+  void validate() const;
+
+  /// Backoff before attempt `attempt` (2-based; attempt 1 has no delay),
+  /// clamped to max_delay_s before jitter is applied. Deterministic in
+  /// (seed, attempt).
   double delay_s(int attempt) const;
 };
 
@@ -98,6 +107,11 @@ struct FaultPlan {
   ///       - {kind: thermal_throttle, time_s: 3, duration_s: 10, severity: 0.6}
   static FaultPlan from_yaml(const yaml::NodePtr& root);
   static FaultPlan from_yaml_file(const std::string& path);
+
+  /// Synthesize a one-event plan (chaos campaigns explore the fault space one
+  /// scenario at a time). The horizon is stretched to cover the event.
+  static FaultPlan single(std::uint64_t seed, double horizon_s,
+                          const FaultEvent& event);
 
   /// Times of device-failure events within [0, horizon_s], sorted.
   std::vector<double> failure_times() const;
@@ -157,6 +171,9 @@ struct RunReport {
   std::int64_t steps_completed = 0;
   std::int64_t steps_replayed = 0;  // redone because of restarts
   double lost_time_s = 0.0;         // replay + restart overhead
+  double retry_backoff_s = 0.0;     // backoff spend (subset of lost_time_s)
+  double restart_overhead_s = 0.0;  // re-init spend (subset of lost_time_s)
+  double checkpoint_overhead_s = 0.0;  // wall time writing checkpoints
   double wall_time_s = 0.0;
   std::uint64_t fault_seed = 0;
   std::string fault_fingerprint;

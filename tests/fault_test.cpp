@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -196,6 +198,50 @@ TEST(RetryPolicy, JitterIsSeedDerived) {
   EXPECT_NE(a.delay_s(2), b.delay_s(2));
 }
 
+TEST(RetryPolicy, ValidateRejectsUnusablePolicies) {
+  RetryPolicy policy;
+  EXPECT_NO_THROW(policy.validate());
+
+  RetryPolicy bad = policy;
+  bad.max_attempts = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  bad = policy;
+  bad.base_delay_s = -1.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  bad = policy;
+  bad.base_delay_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  bad = policy;
+  bad.multiplier = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  bad = policy;
+  bad.jitter_frac = 1.5;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  bad = policy;
+  bad.max_delay_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(RetryPolicy, BackoffGrowthIsCappedAgainstOverflow) {
+  RetryPolicy policy;
+  policy.base_delay_s = 1.0;
+  policy.multiplier = 10.0;
+  policy.jitter_frac = 0.0;
+  policy.max_delay_s = 30.0;
+  EXPECT_DOUBLE_EQ(policy.delay_s(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.delay_s(3), 10.0);
+  EXPECT_DOUBLE_EQ(policy.delay_s(4), 30.0);  // 100 clamped to the ceiling
+  // Even an attempt count whose pow() overflows to inf stays at the ceiling.
+  const double huge = policy.delay_s(5000);
+  EXPECT_TRUE(std::isfinite(huge));
+  EXPECT_DOUBLE_EQ(huge, 30.0);
+}
+
 // --- retry_with_backoff -----------------------------------------------------------
 
 TEST(RetryWithBackoff, SucceedsAfterTransientErrors) {
@@ -281,6 +327,102 @@ TEST(TrainingCheckpoint, SaveAndLoadThroughDisk) {
 TEST(TrainingCheckpoint, MissingFileThrowsCorruptThrowsParseError) {
   EXPECT_THROW(TrainingCheckpoint::load("/nonexistent/ckpt.json"), Error);
   EXPECT_THROW(TrainingCheckpoint::from_json("not json at all"), ParseError);
+}
+
+TEST(TrainingCheckpoint, FullSamplerStateSurvivesRoundTrip) {
+  // A splitmix64-derived state uses all 64 bits; a JSON double would lose
+  // everything above 2^53.
+  TrainingCheckpoint original;
+  original.step = 8;
+  original.sampler_state = 0xFFFFFFFFFFFFFFFFULL - 1;
+  const TrainingCheckpoint parsed =
+      TrainingCheckpoint::from_json(original.to_json());
+  EXPECT_EQ(parsed.sampler_state, original.sampler_state);
+}
+
+// Corruption matrix: every damaged variant must be rejected with a located
+// [fault/checkpoint-corrupt] ParseError — never crash, never parse silently.
+class CheckpointCorruption : public ::testing::Test {
+ protected:
+  std::string path_;
+  std::string bytes_;
+
+  void SetUp() override {
+    path_ = testing::TempDir() + "corrupt_ckpt/checkpoint.json";
+    std::remove(path_.c_str());
+    TrainingCheckpoint checkpoint;
+    checkpoint.step = 16;
+    checkpoint.samples_consumed = 4096;
+    checkpoint.optimizer_clock_s = 3.5;
+    checkpoint.sampler_state = 0xABCDEF0123456789ULL;
+    checkpoint.save(path_);
+    std::ifstream in(path_);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes_ = buffer.str();
+  }
+
+  void write(const std::string& text) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << text;
+  }
+
+  void expect_rejected() {
+    try {
+      TrainingCheckpoint::load(path_);
+      FAIL() << "corrupted checkpoint parsed silently";
+    } catch (const ParseError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(path_ + ":1:1: error:"), std::string::npos) << what;
+      EXPECT_NE(what.find("[fault/checkpoint-corrupt]"), std::string::npos)
+          << what;
+    }
+  }
+};
+
+TEST_F(CheckpointCorruption, BitFlipInPayloadBreaksFingerprint) {
+  // Flip one digit inside the samples_consumed value.
+  const auto pos = bytes_.find("4096");
+  ASSERT_NE(pos, std::string::npos);
+  bytes_[pos] = '5';
+  write(bytes_);
+  expect_rejected();
+}
+
+TEST_F(CheckpointCorruption, TruncatedFileIsNotValidJson) {
+  write(bytes_.substr(0, bytes_.size() / 2));
+  expect_rejected();
+}
+
+TEST_F(CheckpointCorruption, EmptyFileIsRejected) {
+  write("");
+  expect_rejected();
+}
+
+TEST_F(CheckpointCorruption, ValidJsonWrongSchemaIsRejected) {
+  write("{\"schema_version\":99,\"step\":16}\n");
+  expect_rejected();
+}
+
+TEST_F(CheckpointCorruption, MissingFieldIsSchemaViolation) {
+  write("{\"schema_version\":2,\"step\":16}\n");
+  expect_rejected();
+}
+
+TEST(TrainingCheckpoint, StaleTmpFileIsCleanedUpOnLoad) {
+  const std::string path = testing::TempDir() + "stale_tmp/checkpoint.json";
+  std::remove(path.c_str());
+  TrainingCheckpoint checkpoint;
+  checkpoint.step = 4;
+  checkpoint.save(path);
+  {
+    // Simulate a crash between write and rename: a tmp file nobody promotes.
+    std::ofstream tmp(path + ".tmp");
+    tmp << "{\"partial";
+  }
+  const TrainingCheckpoint loaded = TrainingCheckpoint::load(path);
+  EXPECT_EQ(loaded.step, 4);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
 }
 
 }  // namespace

@@ -100,6 +100,15 @@ TEST(LintCorpus, FaultPlanDefects) {
                "fault/retry-unbounded@14:5"}));
 }
 
+TEST(LintCorpus, ChaosCampaignDefects) {
+  EXPECT_EQ(lint_corpus_file("campaign_bad.yaml"),
+            (V{"chaos/bad-mode@2:3", "chaos/bad-tolerance@2:3",
+               "chaos/bad-workload@2:3", "chaos/small-campaign@2:3",
+               "chaos/unknown-field@6:15", "chaos/bad-axis@8:5",
+               "chaos/bad-axis@8:13", "chaos/bad-axis@9:18",
+               "chaos/empty-axis@10:14", "chaos/bad-axis@11:18"}));
+}
+
 TEST(LintCorpus, ZeroTdpCalibrationTable) {
   EXPECT_EQ(
       lint_corpus_file("zero_tdp.yaml"),
