@@ -15,10 +15,18 @@ Stdlib-only perf-regression harness for the tensor microbenchmarks:
     python3 scripts/bench_perf.py compare BENCH_tensor.json bench.json \
         --max-regression 0.25
 
+    # CI: fail when the multi-thread speedup curve collapses — e.g. a grain
+    # bug that serializes the pool shows up here even if absolute single-run
+    # times stay within the compare tolerance
+    python3 scripts/bench_perf.py scaling \
+        BENCH_tensor.json BENCH_tensor_mt.json st.json mt.json --max-drop 0.20
+
 Comparison uses real_time (the kernels run on a thread pool; CPU time of the
 benchmark thread measures dispatch, not compute). Benchmarks present in only
 one of the two files are reported but never fail the check, so adding or
-retiring benchmarks does not require a lockstep baseline update.
+retiring benchmarks does not require a lockstep baseline update. All
+subcommands accept either raw google-benchmark JSON or a baseline previously
+written by `record`.
 """
 import argparse
 import json
@@ -26,11 +34,22 @@ import sys
 
 
 def load_benchmarks(path):
-    """Return {name: real_time_ns} from a google-benchmark JSON file."""
+    """Return {name: real_time_ns} from benchmark or baseline JSON.
+
+    Accepts either raw google-benchmark output (a list of benchmark dicts) or
+    a baseline file written by `record` (a flat {name: ns} mapping), so the
+    scaling check can mix committed baselines with fresh CI runs.
+    """
     with open(path) as handle:
         data = json.load(handle)
+    benches = data.get("benchmarks", [])
+    if isinstance(benches, dict):  # `record` baseline: already {name: ns}
+        out = {name: float(ns) for name, ns in benches.items()}
+        if not out:
+            sys.exit(f"{path}: no benchmarks found")
+        return out
     out = {}
-    for bench in data.get("benchmarks", []):
+    for bench in benches:
         if bench.get("run_type") == "aggregate":
             continue
         unit = bench.get("time_unit", "ns")
@@ -97,6 +116,49 @@ def cmd_compare(args):
     return 0
 
 
+def cmd_scaling(args):
+    base_st = load_benchmarks(args.baseline_st)
+    base_mt = load_benchmarks(args.baseline_mt)
+    cur_st = load_benchmarks(args.results_st)
+    cur_mt = load_benchmarks(args.results_mt)
+
+    # Only benchmarks present in all four files carry a comparable speedup;
+    # one-sided benches are reported but never fail, matching `compare`.
+    names = sorted(set(base_st) & set(base_mt) & set(cur_st) & set(cur_mt))
+    skipped = sorted((set(base_st) | set(base_mt) | set(cur_st) | set(cur_mt)) - set(names))
+    if not names:
+        sys.exit("scaling: no benchmark appears in all four files")
+
+    failures = []
+    width = max(len(name) for name in names)
+    print(f"{'benchmark':<{width}}  {'base MT/ST':>10}  {'cur MT/ST':>10}  delta")
+    for name in names:
+        base_speedup = base_st[name] / base_mt[name]
+        cur_speedup = cur_st[name] / cur_mt[name]
+        delta = cur_speedup / base_speedup - 1.0
+        marker = ""
+        if cur_speedup < base_speedup * (1.0 - args.max_drop):
+            marker = "  SCALING LOSS"
+            failures.append((name, delta))
+        print(
+            f"{name:<{width}}  {base_speedup:>9.2f}x  {cur_speedup:>9.2f}x"
+            f"  {delta:+7.1%}{marker}"
+        )
+    for name in skipped:
+        print(f"{name:<{width}}  (not in all four files, skipped)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) lost more than "
+            f"{args.max_drop:.0%} of their multi-thread speedup:"
+        )
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no benchmark lost more than {args.max_drop:.0%} of its speedup")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -117,6 +179,23 @@ def main():
         help="fail when current/baseline - 1 exceeds this (default 0.25)",
     )
     cmp_.set_defaults(func=cmd_compare)
+
+    sca = sub.add_parser(
+        "scaling",
+        help="compare the MT/ST speedup per benchmark against a baseline pair",
+    )
+    sca.add_argument("baseline_st", help="committed single-thread baseline")
+    sca.add_argument("baseline_mt", help="committed multi-thread baseline")
+    sca.add_argument("results_st", help="fresh single-thread benchmark JSON")
+    sca.add_argument("results_mt", help="fresh multi-thread benchmark JSON")
+    sca.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.20,
+        help="fail when a benchmark's MT/ST speedup falls below "
+        "baseline * (1 - this) (default 0.20)",
+    )
+    sca.set_defaults(func=cmd_scaling)
 
     args = parser.parse_args()
     return args.func(args)

@@ -1,7 +1,9 @@
 #include "nn/attention.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "tensor/fused.hpp"
 #include "util/error.hpp"
 #include "util/threadpool.hpp"
 
@@ -62,11 +64,24 @@ Tensor CausalSelfAttention::forward(const Tensor& input) {
   const Tensor flat = input.reshape({b_count * t_count, c});
   cached_qkv_ = qkv_->forward(flat);  // [B*T, 3C]
 
+  Tensor heads_out({b_count * t_count, c});
+
+  if (engine_ == Engine::kFused) {
+    cached_lse_ = Tensor({b_count * num_heads_, t_count});
+    tensor::fused::causal_attention_forward(cached_qkv_.data(), b_count,
+                                            t_count, c, num_heads_,
+                                            heads_out.data(),
+                                            cached_lse_.data());
+    cached_att_.clear();
+    cached_heads_out_ = std::move(heads_out);
+    Tensor out = proj_->forward(cached_heads_out_);  // [B*T, C]
+    return out.reshape({b_count, t_count, c});
+  }
+
+  // Head-loop engine: dense per-(b, h) composition of the generic kernels.
   // Pre-size for indexed assignment: the head loop below runs in parallel
   // and push_back would race.
   cached_att_.assign(static_cast<std::size_t>(b_count * num_heads_), Tensor());
-
-  Tensor heads_out({b_count * t_count, c});
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
   // Each (b, h) pair reads its own qkv slice and writes a disjoint column
@@ -121,8 +136,22 @@ Tensor CausalSelfAttention::backward(const Tensor& grad_output) {
   const Tensor g_flat = grad_output.reshape({b_count * t_count, c});
   const Tensor d_heads = proj_->backward(g_flat);  // [B*T, C]
 
-  Tensor d_qkv({b_count * t_count, 3 * c});
+  Tensor d_qkv({b_count * t_count, 3 * c});  // zero-initialized
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  if (engine_ == Engine::kFused) {
+    CARAML_CHECK_MSG(!cached_lse_.empty(),
+                     "fused attention backward requires a fused forward");
+    tensor::fused::causal_attention_backward(
+        cached_qkv_.data(), cached_heads_out_.data(), d_heads.data(),
+        cached_lse_.data(), b_count, t_count, c, num_heads_, d_qkv.data());
+    Tensor d_input = qkv_->backward(d_qkv);  // [B*T, C]
+    return d_input.reshape({b_count, t_count, c});
+  }
+
+  CARAML_CHECK_MSG(
+      cached_att_.size() == static_cast<std::size_t>(b_count * num_heads_),
+      "head-loop attention backward requires a head-loop forward");
 
   // Parallel over (b, h): each pair scatters into disjoint (row, column)
   // blocks of d_qkv, so no accumulation races.

@@ -1,6 +1,16 @@
 // Multi-head causal self-attention — the transformer core operation the
 // paper highlights (quadratic in sequence length, matrix products of token
 // representations).
+//
+// Two interchangeable engines compute the attention itself:
+//
+//   kFused (default) — flash-attention-style streaming kernel
+//     (tensor/fused.hpp): tiled QK^T → mask → online softmax → ·V in one
+//     pass, no [T, T] materialization; backward recomputes attention tiles
+//     from the cached QKV + per-row log-sum-exp, so the module's cache is
+//     O(B·T·C + B·H·T) instead of the head-loop's O(B·H·T²).
+//   kHeadLoop — the original per-(b, h) composition of matmul / softmax
+//     kernels, kept as the equivalence oracle for tests and benchmarks.
 #pragma once
 
 #include <memory>
@@ -12,6 +22,8 @@ namespace caraml::nn {
 
 class CausalSelfAttention : public Module {
  public:
+  enum class Engine { kFused, kHeadLoop };
+
   CausalSelfAttention(std::int64_t embed_dim, std::int64_t num_heads,
                       Rng& rng);
 
@@ -22,18 +34,27 @@ class CausalSelfAttention : public Module {
 
   std::int64_t num_heads() const { return num_heads_; }
 
+  /// Select the attention engine (affects subsequent forward/backward calls;
+  /// a backward must use the same engine as the forward that produced its
+  /// caches).
+  void set_engine(Engine engine) { engine_ = engine; }
+  Engine engine() const { return engine_; }
+
  private:
   std::int64_t embed_dim_;
   std::int64_t num_heads_;
   std::int64_t head_dim_;
+  Engine engine_ = Engine::kFused;
   std::shared_ptr<Linear> qkv_;
   std::shared_ptr<Linear> proj_;
 
   // Forward caches.
   std::int64_t batch_ = 0;
   std::int64_t time_ = 0;
-  Tensor cached_qkv_;                 // [B*T, 3C]
-  std::vector<Tensor> cached_att_;    // per (b, h): [T, T] post-softmax
+  Tensor cached_qkv_;        // [B*T, 3C]
+  Tensor cached_heads_out_;  // [B*T, C]   (fused engine)
+  Tensor cached_lse_;        // [B*H, T]   (fused engine)
+  std::vector<Tensor> cached_att_;  // per (b, h): [T, T] (head-loop engine)
 };
 
 }  // namespace caraml::nn

@@ -7,14 +7,19 @@ namespace caraml::nn {
 using tensor::Tensor;
 
 TransformerBlock::TransformerBlock(std::int64_t embed_dim,
-                                   std::int64_t num_heads, Rng& rng)
+                                   std::int64_t num_heads, Rng& rng,
+                                   float dropout)
     : embed_dim_(embed_dim),
       ln1_(std::make_shared<LayerNorm>(embed_dim)),
       attn_(std::make_shared<CausalSelfAttention>(embed_dim, num_heads, rng)),
       ln2_(std::make_shared<LayerNorm>(embed_dim)),
       fc_in_(std::make_shared<Linear>(embed_dim, 4 * embed_dim, rng)),
-      act_(std::make_shared<Gelu>()),
-      fc_out_(std::make_shared<Linear>(4 * embed_dim, embed_dim, rng)) {}
+      fc_out_(std::make_shared<Linear>(4 * embed_dim, embed_dim, rng)) {
+  fc_in_->set_gelu();
+  // Draw the mask seed only when dropout is on, so dropout-free models keep
+  // the exact parameter-initialization stream they had before.
+  if (dropout > 0.0f) fc_out_->set_dropout(dropout, rng.next_u64());
+}
 
 Tensor TransformerBlock::forward(const Tensor& input) {
   CARAML_CHECK_MSG(input.rank() == 3 && input.dim(2) == embed_dim_,
@@ -30,7 +35,7 @@ Tensor TransformerBlock::forward(const Tensor& input) {
 
   // x = x + mlp(ln2(x))
   Tensor ln2_out = ln2_->forward(x.reshape({n, embed_dim_}));
-  Tensor mlp = fc_out_->forward(act_->forward(fc_in_->forward(ln2_out)));
+  Tensor mlp = fc_out_->forward(fc_in_->forward(ln2_out));
   Tensor out = tensor::add(x, mlp.reshape({batch_, time_, embed_dim_}));
   return out;
 }
@@ -41,8 +46,7 @@ Tensor TransformerBlock::backward(const Tensor& grad_output) {
 
   // out = x + mlp(ln2(x)): grad flows through both branches.
   Tensor g_flat = grad_output.reshape({n, embed_dim_});
-  Tensor d_mlp = fc_in_->backward(
-      act_->backward(fc_out_->backward(g_flat)));       // d ln2_out
+  Tensor d_mlp = fc_in_->backward(fc_out_->backward(g_flat));  // d ln2_out
   Tensor d_x_from_ln2 = ln2_->backward(d_mlp);           // [n, C]
   Tensor d_x = tensor::add(g_flat, d_x_from_ln2);        // residual
 
@@ -78,9 +82,8 @@ GptModel::GptModel(GptModelConfig config, Rng& rng)
   CARAML_CHECK_MSG(config.num_layers >= 1, "GPT needs at least one layer");
   blocks_.reserve(static_cast<std::size_t>(config.num_layers));
   for (std::int64_t i = 0; i < config.num_layers; ++i) {
-    blocks_.push_back(std::make_shared<TransformerBlock>(config.embed_dim,
-                                                         config.num_heads,
-                                                         rng));
+    blocks_.push_back(std::make_shared<TransformerBlock>(
+        config.embed_dim, config.num_heads, rng, config.dropout));
   }
 }
 

@@ -24,12 +24,18 @@ struct GptModelConfig {
   std::int64_t num_layers = 2;
   std::int64_t num_heads = 2;
   std::int64_t embed_dim = 32;
+  float dropout = 0.0f;  // MLP output dropout (fused epilogue; 0 disables)
 };
 
 /// One pre-norm transformer block: x += attn(ln1(x)); x += mlp(ln2(x)).
+///
+/// The MLP is two fused-epilogue Linears: fc_in carries a bias+GELU epilogue
+/// (no separate activation module or extra pass over the [N, 4C]
+/// intermediate), fc_out optionally a bias+dropout epilogue.
 class TransformerBlock : public Module {
  public:
-  TransformerBlock(std::int64_t embed_dim, std::int64_t num_heads, Rng& rng);
+  TransformerBlock(std::int64_t embed_dim, std::int64_t num_heads, Rng& rng,
+                   float dropout = 0.0f);
 
   Tensor forward(const Tensor& input) override;   // [B, T, C]
   Tensor backward(const Tensor& grad_output) override;
@@ -40,9 +46,8 @@ class TransformerBlock : public Module {
   std::shared_ptr<LayerNorm> ln1_;
   std::shared_ptr<CausalSelfAttention> attn_;
   std::shared_ptr<LayerNorm> ln2_;
-  std::shared_ptr<Linear> fc_in_;
-  std::shared_ptr<Gelu> act_;
-  std::shared_ptr<Linear> fc_out_;
+  std::shared_ptr<Linear> fc_in_;   // bias+GELU epilogue
+  std::shared_ptr<Linear> fc_out_;  // bias(+dropout) epilogue
   std::int64_t batch_ = 0, time_ = 0;
 };
 

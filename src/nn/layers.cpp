@@ -3,6 +3,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "tensor/fused.hpp"
 #include "util/error.hpp"
 #include "util/threadpool.hpp"
 
@@ -26,27 +27,51 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
       bias_("bias", Tensor::zeros({out_features})),
       has_bias_(bias) {}
 
+void Linear::set_gelu() {
+  epilogue_ = Epilogue::kGelu;
+  dropout_p_ = 0.0f;
+}
+
+void Linear::set_dropout(float p, std::uint64_t seed) {
+  CARAML_CHECK_MSG(p < 1.0f, "dropout rate must be < 1");
+  if (p <= 0.0f) {
+    epilogue_ = Epilogue::kNone;
+    dropout_p_ = 0.0f;
+    return;
+  }
+  epilogue_ = Epilogue::kDropout;
+  dropout_p_ = p;
+  dropout_rng_.reseed(seed);
+}
+
 Tensor Linear::forward(const Tensor& input) {
   CARAML_CHECK_MSG(input.rank() == 2, "Linear expects [N, in]");
   CARAML_CHECK_MSG(input.dim(1) == weight_.value.dim(1),
                    "Linear input feature mismatch");
   cached_input_ = input;
-  Tensor out = tensor::matmul_nt(input, weight_.value);  // [N, out]
-  if (has_bias_) {
-    const std::int64_t n = out.dim(0), c = out.dim(1);
-    float* __restrict po = out.data();
-    const float* __restrict pb = bias_.value.data();
-    parallel_for_range(0, static_cast<std::size_t>(n),
-                       static_cast<std::size_t>(row_grain(c)),
-                       [=](std::size_t lo, std::size_t hi) {
-                         for (std::size_t i = lo; i < hi; ++i) {
-                           float* __restrict row =
-                               po + static_cast<std::int64_t>(i) * c;
-                           for (std::int64_t j = 0; j < c; ++j) row[j] += pb[j];
-                         }
-                       });
+  const Tensor* bias = has_bias_ ? &bias_.value : nullptr;
+  switch (epilogue_) {
+    case Epilogue::kGelu:
+      return tensor::fused::linear_gelu(input, weight_.value, bias,
+                                        &cached_pre_);
+    case Epilogue::kDropout: {
+      // Fresh inverted-dropout mask per forward: kept slots carry 1/(1-p) so
+      // the activation's expectation is unchanged.
+      const std::int64_t n = input.dim(0), out_dim = weight_.value.dim(0);
+      cached_mask_ = Tensor({n, out_dim});
+      const float inv_keep = 1.0f / (1.0f - dropout_p_);
+      float* __restrict pm = cached_mask_.data();
+      const std::int64_t count = n * out_dim;
+      for (std::int64_t i = 0; i < count; ++i) {
+        pm[i] = dropout_rng_.next_double() < dropout_p_ ? 0.0f : inv_keep;
+      }
+      return tensor::fused::linear_dropout(input, weight_.value, bias,
+                                           cached_mask_);
+    }
+    case Epilogue::kNone:
+      break;
   }
-  return out;
+  return tensor::fused::linear(input, weight_.value, bias);
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
@@ -54,12 +79,25 @@ Tensor Linear::backward(const Tensor& grad_output) {
                        grad_output.dim(0) == cached_input_.dim(0) &&
                        grad_output.dim(1) == weight_.value.dim(0),
                    "Linear backward shape mismatch");
+  // Fold the epilogue's gradient into g first: for kGelu the layer's output
+  // was gelu(pre), so dL/dpre = g ∘ gelu'(pre); for kDropout the mask is the
+  // (elementwise) Jacobian.
+  Tensor g_epi;
+  const Tensor* g_ptr = &grad_output;
+  if (epilogue_ == Epilogue::kGelu) {
+    g_epi = tensor::gelu_backward(cached_pre_, grad_output);
+    g_ptr = &g_epi;
+  } else if (epilogue_ == Epilogue::kDropout) {
+    g_epi = tensor::mul(grad_output, cached_mask_);
+    g_ptr = &g_epi;
+  }
+  const Tensor& g = *g_ptr;
   // dW [out,in] += g^T [out,N] * x [N,in]
-  Tensor dw = tensor::matmul_tn(grad_output, cached_input_);
+  Tensor dw = tensor::matmul_tn(g, cached_input_);
   tensor::add_inplace(weight_.grad, dw);
   if (has_bias_) {
-    const std::int64_t n = grad_output.dim(0), c = grad_output.dim(1);
-    const float* __restrict pg = grad_output.data();
+    const std::int64_t n = g.dim(0), c = g.dim(1);
+    const float* __restrict pg = g.data();
     float* __restrict pbg = bias_.grad.data();
     std::mutex merge_mutex;
     parallel_for_range(
@@ -77,7 +115,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
         });
   }
   // dX [N,in] = g [N,out] * W [out,in]
-  return tensor::matmul(grad_output, weight_.value);
+  return tensor::matmul(g, weight_.value);
 }
 
 std::vector<Parameter*> Linear::parameters() {

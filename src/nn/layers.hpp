@@ -11,6 +11,13 @@ namespace caraml::nn {
 
 class Linear : public Module {
  public:
+  /// Optional elementwise epilogue fused into the forward GEMM write-back
+  /// (tensor::fused): the bias is always fused; kGelu additionally applies
+  /// tanh-GELU (replacing a separate Gelu module), kDropout multiplies by a
+  /// freshly drawn inverted-dropout keep-mask. Backward folds the epilogue's
+  /// gradient into the incoming gradient before the usual dW/db/dX products.
+  enum class Epilogue { kNone, kGelu, kDropout };
+
   /// weight [out, in] initialized N(0, init_std); optional bias.
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
          bool bias = true, float init_std = 0.02f);
@@ -22,11 +29,23 @@ class Linear : public Module {
   Parameter& weight() { return weight_; }
   Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
 
+  /// Fuse a tanh-GELU after the bias (out = gelu(x·W^T + b)).
+  void set_gelu();
+  /// Fuse inverted dropout with rate `p` in [0, 1); a new mask is drawn each
+  /// forward from a stream seeded with `seed`. p <= 0 restores kNone.
+  void set_dropout(float p, std::uint64_t seed);
+  Epilogue epilogue() const { return epilogue_; }
+
  private:
   Parameter weight_;
   Parameter bias_;
   bool has_bias_;
+  Epilogue epilogue_ = Epilogue::kNone;
+  float dropout_p_ = 0.0f;
+  Rng dropout_rng_;
   Tensor cached_input_;
+  Tensor cached_pre_;   // kGelu: post-bias pre-activation
+  Tensor cached_mask_;  // kDropout: scaled keep-mask of the last forward
 };
 
 class Embedding : public Module {

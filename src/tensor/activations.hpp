@@ -1,0 +1,27 @@
+// Scalar activation formulas shared by the elementwise kernels (tensor.cpp)
+// and the GEMM epilogue hook (gemm.cpp). One definition keeps the fused
+// bias+GELU write-back bit-identical to the separate gelu() pass.
+#pragma once
+
+#include <cmath>
+
+namespace caraml::tensor::detail {
+
+// tanh-approximation GELU, as used by GPT-style models.
+inline float gelu_scalar(float x) {
+  const float c = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = c * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float gelu_grad_scalar(float x) {
+  const float c = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float inner = c * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * c * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+}  // namespace caraml::tensor::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/activations.hpp"
 #include "tensor/workspace.hpp"
 #include "util/error.hpp"
 #include "util/threadpool.hpp"
@@ -207,20 +208,49 @@ void gemm_direct(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   }
 }
 
+// Apply the epilogue to the C block rows [row0, row0+rows) x cols
+// [col0, col0+cols). Indices are absolute so bias/mask/pre line up with the
+// full output.
+void apply_epilogue(const GemmEpilogue& ep, float* c, std::int64_t ldc,
+                    std::int64_t row0, std::int64_t rows, std::int64_t col0,
+                    std::int64_t cols) {
+  for (std::int64_t i = row0; i < row0 + rows; ++i) {
+    float* __restrict c_row = c + i * ldc;
+    for (std::int64_t j = col0; j < col0 + cols; ++j) {
+      float v = c_row[j];
+      if (ep.bias != nullptr) v += ep.bias[j];
+      if (ep.pre_activation != nullptr) ep.pre_activation[i * ldc + j] = v;
+      if (ep.gelu) v = gelu_scalar(v);
+      if (ep.dropout_mask != nullptr) v *= ep.dropout_mask[i * ldc + j];
+      c_row[j] = v;
+    }
+  }
+}
+
 }  // namespace
 
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, const float* a, std::int64_t lda, const float* b,
-          std::int64_t ldb, float* c, std::int64_t ldc) {
+          std::int64_t ldb, float* c, std::int64_t ldc,
+          const GemmEpilogue& epilogue) {
   CARAML_CHECK_MSG(!(trans_a && trans_b), "gemm: T·T is unsupported");
-  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Nothing to accumulate, but the epilogue (e.g. a bias) still applies to
+    // the caller-initialized C.
+    if (!epilogue.empty()) apply_epilogue(epilogue, c, ldc, 0, m, 0, n);
+    return;
+  }
   if (m * n * k <= kGemmDirectThreshold) {
     gemm_direct(trans_a, trans_b, m, n, k, a, lda, b, ldb, c, ldc);
+    if (!epilogue.empty()) apply_epilogue(epilogue, c, ldc, 0, m, 0, n);
     return;
   }
 
   for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
     const std::int64_t kc = std::min(kGemmKC, k - pc);
+    // The epilogue fires once per C element, after its final accumulation.
+    const bool last_kc_slice = pc + kc == k;
     for (std::int64_t jc = 0; jc < n; jc += kGemmNC) {
       const std::int64_t nc = std::min(kGemmNC, n - jc);
       const std::int64_t n_panels = (nc + NR - 1) / NR;
@@ -228,16 +258,24 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           Workspace::local().take(static_cast<std::size_t>(n_panels * kc * NR));
       pack_b(trans_b, b, ldb, pc, jc, kc, nc, b_panel.data());
 
-      // Chunk rows so each task runs at least ~256K multiply-adds; the packed
-      // B panel is shared read-only across workers.
-      const std::int64_t grain = std::max<std::int64_t>(
+      // Chunk rows so each task runs at least ~256K multiply-adds. The grain
+      // is rounded up to a multiple of MR so chunk boundaries (which
+      // parallel_for_range keeps grain-aligned) never split a micro-panel:
+      // a mid-panel boundary would push interior tiles down the scalar
+      // ragged-edge write-back. The packed B panel is shared read-only
+      // across workers.
+      std::int64_t grain = std::max<std::int64_t>(
           MR, (4 * kGemmDirectThreshold) / std::max<std::int64_t>(1, nc * kc));
+      grain = ((grain + MR - 1) / MR) * MR;
       const float* bp = b_panel.data();
       parallel_for_range(
           0, static_cast<std::size_t>(m), static_cast<std::size_t>(grain),
           [&](std::size_t lo, std::size_t hi) {
+            const std::int64_t chunk_rows = std::min(
+                kGemmMC, static_cast<std::int64_t>(hi - lo));
             Workspace::Buffer a_panel = Workspace::local().take(
-                static_cast<std::size_t>(((kGemmMC + MR - 1) / MR) * kc * MR));
+                static_cast<std::size_t>(((chunk_rows + MR - 1) / MR) * kc *
+                                         MR));
             for (std::int64_t ic = static_cast<std::int64_t>(lo);
                  ic < static_cast<std::int64_t>(hi); ic += kGemmMC) {
               const std::int64_t mc =
@@ -256,10 +294,21 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
                                rows, cols);
                 }
               }
+              if (last_kc_slice && !epilogue.empty()) {
+                // Fused write-back: the mc x nc block was just accumulated
+                // and is still hot in this worker's cache.
+                apply_epilogue(epilogue, c, ldc, ic, mc, jc, nc);
+              }
             }
           });
     }
   }
+}
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float* c, std::int64_t ldc) {
+  gemm(trans_a, trans_b, m, n, k, a, lda, b, ldb, c, ldc, GemmEpilogue{});
 }
 
 }  // namespace caraml::tensor::detail

@@ -47,4 +47,39 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, const float* a, std::int64_t lda, const float* b,
           std::int64_t ldb, float* c, std::int64_t ldc);
 
+/// Elementwise post-processing fused into the GEMM write-back.
+///
+/// Each C element is transformed exactly once, immediately after its final
+/// KC-slice accumulation, while the row chunk is still cache-hot — no extra
+/// pass over C. Application order per element:
+///
+///   v  = C[i][j] + bias[j]            (bias may be null)
+///   pre_activation[i][j] = v          (optional post-bias capture — what a
+///                                      GELU backward needs)
+///   v  = gelu(v)                      (when gelu is set)
+///   v *= dropout_mask[i][j]           (scaled keep-mask, may be null)
+///   C[i][j] = v
+///
+/// pre_activation and dropout_mask are row-major [m, n] with row stride ldc
+/// (callers pass dense outputs, so ldc == n in practice). The epilogue is
+/// applied even for degenerate k <= 0 (C holds its initial value, usually 0).
+struct GemmEpilogue {
+  const float* bias = nullptr;          // [n], added to every row
+  bool gelu = false;                    // tanh-GELU after the bias
+  const float* dropout_mask = nullptr;  // [m, n], multiplied last
+  float* pre_activation = nullptr;      // [m, n], receives the post-bias value
+
+  bool empty() const {
+    return bias == nullptr && !gelu && dropout_mask == nullptr &&
+           pre_activation == nullptr;
+  }
+};
+
+/// GEMM with a fused epilogue (see GemmEpilogue). C must still be
+/// caller-initialized: the epilogue transforms the fully accumulated values.
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float* c, std::int64_t ldc,
+          const GemmEpilogue& epilogue);
+
 }  // namespace caraml::tensor::detail

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/activations.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/workspace.hpp"
 #include "util/error.hpp"
@@ -253,24 +254,8 @@ Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
   return out;
 }
 
-namespace {
-// tanh-approximation GELU, as used by GPT-style models.
-inline float gelu_scalar(float x) {
-  const float c = 0.7978845608028654f;  // sqrt(2/pi)
-  const float inner = c * (x + 0.044715f * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
-}
-
-inline float gelu_grad_scalar(float x) {
-  const float c = 0.7978845608028654f;
-  const float x3 = x * x * x;
-  const float inner = c * (x + 0.044715f * x3);
-  const float t = std::tanh(inner);
-  const float sech2 = 1.0f - t * t;
-  return 0.5f * (1.0f + t) +
-         0.5f * x * sech2 * c * (1.0f + 3.0f * 0.044715f * x * x);
-}
-}  // namespace
+using detail::gelu_grad_scalar;
+using detail::gelu_scalar;
 
 Tensor gelu(const Tensor& a) {
   Tensor out(a.shape());
@@ -378,6 +363,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 Tensor softmax_rows(const Tensor& a) {
   CARAML_CHECK_MSG(a.rank() == 2, "softmax_rows needs a 2-D tensor");
   const std::int64_t rows = a.dim(0), cols = a.dim(1);
+  // A zero-column row has no max to seed the stable reduction (reading
+  // in_row[0] would be out of bounds) and no well-defined softmax.
+  CARAML_CHECK_MSG(cols > 0, "softmax_rows: zero-column input " +
+                                 shape_to_string(a.shape()) +
+                                 " has no defined softmax");
   Tensor out(a.shape());
   const float* __restrict src = a.data();
   float* __restrict dst = out.data();
@@ -410,6 +400,9 @@ Tensor softmax_rows_backward(const Tensor& y, const Tensor& grad_out) {
   check_same_shape(y, grad_out, "softmax_rows_backward");
   CARAML_CHECK_MSG(y.rank() == 2, "softmax_rows_backward needs 2-D");
   const std::int64_t rows = y.dim(0), cols = y.dim(1);
+  CARAML_CHECK_MSG(cols > 0, "softmax_rows_backward: zero-column input " +
+                                 shape_to_string(y.shape()) +
+                                 " has no defined softmax");
   Tensor out(y.shape());
   const float* __restrict py = y.data();
   const float* __restrict pg = grad_out.data();

@@ -108,13 +108,21 @@ void ThreadPool::parallel_for_range(
     fn(begin, end);
     return;
   }
-  const std::size_t chunk = (total + num_chunks - 1) / num_chunks;
+  // Chunk size rounded up to a multiple of the grain so every boundary is
+  // grain-aligned; the last chunk absorbs the remainder (and is therefore the
+  // only one whose size may exceed — but never undershoot — the grain).
+  const std::size_t raw_chunk = (total + num_chunks - 1) / num_chunks;
+  const std::size_t chunk = ((raw_chunk + grain - 1) / grain) * grain;
+  num_chunks = std::max<std::size_t>(1, total / chunk);
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(num_chunks);
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
-    if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk);
+    const std::size_t hi = c + 1 == num_chunks ? end : lo + chunk;
     futures.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
   }
   std::exception_ptr first_error;

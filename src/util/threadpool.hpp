@@ -61,7 +61,11 @@ class ThreadPool {
 
   /// Run `fn(lo, hi)` over disjoint chunks covering [begin, end), each chunk
   /// at least `grain` indices (a grain of 0 counts as 1); blocks until all
-  /// chunks completed. The callable is invoked once per chunk, so per-index
+  /// chunks completed. Chunk boundaries are grain-aligned: every chunk but
+  /// the last is an exact multiple of `grain` long and starts at
+  /// `begin + c * chunk`; the last chunk absorbs the remainder. The only
+  /// chunk ever smaller than `grain` is a whole range shorter than one grain
+  /// (which runs inline). The callable is invoked once per chunk, so per-index
   /// dispatch cost is amortized away — this is the API hot kernels use.
   /// Degenerate cases (empty range, single chunk, pool of one) and calls
   /// made from inside a pool worker run inline on the calling thread; the

@@ -95,6 +95,56 @@ TEST(Linear, ShapeMismatchThrows) {
   EXPECT_THROW(layer.forward(Tensor({1, 3})), Error);
 }
 
+TEST(Linear, GeluEpilogueGradientsMatchFiniteDifference) {
+  Rng rng(31);
+  Linear layer(6, 5, rng, true, 0.5f);
+  layer.set_gelu();
+  const Tensor x = Tensor::randn({4, 6}, rng, 0.5f);
+  check_gradients(layer, x, 1e-2f, 5e-2f, 3, 1);
+}
+
+TEST(Linear, DropoutEpilogueMasksScalesAndRoutesGradient) {
+  // Two layers with identical weights; one applies a 0.5 inverted-dropout
+  // epilogue. Kept outputs must equal exactly twice the plain output, and
+  // backward must route gradient only through kept slots.
+  Rng rng_a(32), rng_b(32), rng_x(33);
+  Linear plain(6, 5, rng_a, true, 0.5f);
+  Linear dropped(6, 5, rng_b, true, 0.5f);
+  dropped.set_dropout(0.5f, 99);
+
+  const Tensor x = Tensor::randn({40, 6}, rng_x, 0.5f);
+  const Tensor base = plain.forward(x);
+  const Tensor out = dropped.forward(x);
+  std::int64_t kept = 0;
+  Tensor mask({40, 5});
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] == 0.0f) {
+      mask[i] = 0.0f;
+    } else {
+      ASSERT_EQ(out[i], base[i] * 2.0f) << "at flat index " << i;
+      mask[i] = 2.0f;
+      ++kept;
+    }
+  }
+  // 200 Bernoulli(0.5) draws: the kept fraction concentrates around half.
+  EXPECT_GT(kept, 60);
+  EXPECT_LT(kept, 140);
+
+  dropped.zero_grad();
+  const Tensor ones = Tensor::ones(out.shape());
+  const Tensor dx = dropped.backward(ones);
+  const Tensor dx_want = tensor::matmul(mask, dropped.weight().value);
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    ASSERT_NEAR(dx[i], dx_want[i], 1e-5f) << "input grad at " << i;
+  }
+  // Bias gradient is the column sum of the masked incoming gradient.
+  for (std::int64_t j = 0; j < 5; ++j) {
+    float col = 0.0f;
+    for (std::int64_t i = 0; i < 40; ++i) col += mask[i * 5 + j];
+    EXPECT_NEAR(dropped.bias()->grad[j], col, 1e-4f) << "bias grad " << j;
+  }
+}
+
 // --- Embedding --------------------------------------------------------------------
 
 TEST(Embedding, LooksUpRows) {
@@ -205,6 +255,55 @@ TEST(Attention, GradientsMatchFiniteDifference) {
 TEST(Attention, HeadDivisibilityEnforced) {
   Rng rng(13);
   EXPECT_THROW(CausalSelfAttention(10, 3, rng), Error);
+}
+
+TEST(Attention, FusedEngineMatchesHeadLoopEngine) {
+  // Two modules built from identical rng streams hold identical weights; the
+  // fused streaming engine and the dense head-loop engine must agree on the
+  // output, the input gradient, and every parameter gradient. T = 70 crosses
+  // the fused kernel's tile boundary; 12 (b, h) pairs exercise the parallel
+  // dispatch.
+  Rng rng_a(21), rng_b(21), rng_x(22);
+  CausalSelfAttention fused_attn(24, 4, rng_a);
+  CausalSelfAttention loop_attn(24, 4, rng_b);
+  fused_attn.set_engine(CausalSelfAttention::Engine::kFused);
+  loop_attn.set_engine(CausalSelfAttention::Engine::kHeadLoop);
+
+  const Tensor x = Tensor::randn({3, 70, 24}, rng_x, 0.5f);
+  const Tensor y_fused = fused_attn.forward(x);
+  const Tensor y_loop = loop_attn.forward(x);
+  ASSERT_EQ(y_fused.shape(), y_loop.shape());
+  const float tol = 1e-4f;
+  for (std::int64_t i = 0; i < y_fused.numel(); ++i) {
+    ASSERT_NEAR(y_fused[i], y_loop[i], tol) << "output at " << i;
+  }
+
+  const Tensor g = Tensor::randn(y_fused.shape(), rng_x);
+  const Tensor dx_fused = fused_attn.backward(g);
+  const Tensor dx_loop = loop_attn.backward(g);
+  for (std::int64_t i = 0; i < dx_fused.numel(); ++i) {
+    ASSERT_NEAR(dx_fused[i], dx_loop[i], tol) << "input grad at " << i;
+  }
+  const auto params_fused = fused_attn.parameters();
+  const auto params_loop = loop_attn.parameters();
+  ASSERT_EQ(params_fused.size(), params_loop.size());
+  for (std::size_t p = 0; p < params_fused.size(); ++p) {
+    const Tensor& gf = params_fused[p]->grad;
+    const Tensor& gl = params_loop[p]->grad;
+    ASSERT_EQ(gf.shape(), gl.shape());
+    for (std::int64_t i = 0; i < gf.numel(); ++i) {
+      ASSERT_NEAR(gf[i], gl[i], tol)
+          << "param " << params_fused[p]->name << " grad at " << i;
+    }
+  }
+}
+
+TEST(Attention, HeadLoopEngineGradientsMatchFiniteDifference) {
+  Rng rng(12);
+  CausalSelfAttention attn(4, 2, rng);
+  attn.set_engine(CausalSelfAttention::Engine::kHeadLoop);
+  const Tensor x = Tensor::randn({1, 3, 4}, rng, 0.5f);
+  check_gradients(attn, x, 1e-2f, 5e-2f, 11, 1);
 }
 
 // --- transformer block / GPT ----------------------------------------------------------

@@ -1,8 +1,16 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <limits>
+#include <string>
+#include <vector>
 
+#include "tensor/fused.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/reference.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/workspace.hpp"
@@ -452,7 +460,9 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmShape{1, 300, 200},  // m=1 through the blocked path
                       GemmShape{64, 1, 700},   // k=1 through the blocked path
                       GemmShape{129, 257, 65},  // ragged tiles + partial KC
-                      GemmShape{5, 2048, 3}),  // deep k, tiny m/n
+                      GemmShape{5, 2048, 3},   // deep k, tiny m/n
+                      GemmShape{997, 64, 48}),  // tall m: many parallel chunks
+                                                // with MR-rounded grains
     [](const auto& info) {
       return "m" + std::to_string(info.param.m) + "_k" +
              std::to_string(info.param.k) + "_n" + std::to_string(info.param.n);
@@ -569,6 +579,378 @@ TEST(WorkspaceTest, LocalIsPerThreadSingleton) {
   Workspace& a = Workspace::local();
   Workspace& b = Workspace::local();
   EXPECT_EQ(&a, &b);
+}
+
+// --- softmax degenerate shapes ----------------------------------------------
+
+TEST(Softmax, ZeroColumnInputThrows) {
+  EXPECT_THROW(softmax_rows(Tensor({3, 0})), Error);
+  EXPECT_THROW(softmax_rows_backward(Tensor({3, 0}), Tensor({3, 0})), Error);
+}
+
+// --- GEMM epilogue -----------------------------------------------------------
+//
+// The fused epilogue must be bit-identical to running the separate passes
+// (bias add, gelu, mask multiply) over the finished GEMM output: it applies
+// the very same scalar operations, merely during the write-back. Shapes cover
+// the direct path, and a blocked shape with several KC slices and several
+// parallel row chunks (the epilogue must fire exactly once per element, on
+// the final KC slice only).
+
+struct EpilogueCase {
+  std::int64_t m, k, n;
+};
+
+class GemmEpilogueEquivalence : public ::testing::TestWithParam<EpilogueCase> {
+};
+
+TEST_P(GemmEpilogueEquivalence, BiasGeluMaskMatchSeparatePasses) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(314);
+  const Tensor x = Tensor::randn({m, k}, rng);
+  const Tensor w = Tensor::randn({n, k}, rng);  // used transposed (nt)
+  const Tensor bias = Tensor::randn({n}, rng);
+  Tensor mask({m, n});
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng.next_double() < 0.25 ? 0.0f : 4.0f / 3.0f;
+  }
+
+  // Separate passes: GEMM, then bias, then gelu, then mask.
+  Tensor want = matmul_nt(x, w);
+  Tensor want_pre({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      want_pre[i * n + j] = want[i * n + j] + bias[j];
+    }
+  }
+  Tensor want_out = gelu(want_pre);
+  for (std::int64_t i = 0; i < want_out.numel(); ++i) want_out[i] *= mask[i];
+
+  Tensor got(Shape{m, n});
+  Tensor got_pre(Shape{m, n});
+  detail::GemmEpilogue epilogue;
+  epilogue.bias = bias.data();
+  epilogue.gelu = true;
+  epilogue.dropout_mask = mask.data();
+  epilogue.pre_activation = got_pre.data();
+  detail::gemm(false, true, m, n, k, x.data(), k, w.data(), k, got.data(), n,
+               epilogue);
+
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got[i], want_out[i]) << "output at flat index " << i;
+    ASSERT_EQ(got_pre[i], want_pre[i]) << "pre-activation at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, GemmEpilogueEquivalence,
+    ::testing::Values(EpilogueCase{7, 9, 11},     // direct path
+                      EpilogueCase{150, 300, 80},  // blocked: 2 KC slices,
+                                                   // several row chunks
+                      EpilogueCase{1, 1, 1}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "_k" +
+             std::to_string(info.param.k) + "_n" + std::to_string(info.param.n);
+    });
+
+TEST(GemmEpilogueTest, AppliedToInitialValueWhenKIsZero) {
+  const std::int64_t m = 3, n = 5;
+  Tensor c(Shape{m, n});  // zeros
+  const Tensor bias({n}, {1.0f, -2.0f, 0.5f, 3.0f, -0.25f});
+  detail::GemmEpilogue epilogue;
+  epilogue.bias = bias.data();
+  detail::gemm(false, false, m, n, 0, nullptr, 1, nullptr, 1, c.data(), n,
+               epilogue);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      EXPECT_EQ(c[i * n + j], bias[j]);
+    }
+  }
+}
+
+TEST(FusedLinearOps, MatchUnfusedComposition) {
+  Rng rng(99);
+  const Tensor x = Tensor::randn({13, 10}, rng);
+  const Tensor w = Tensor::randn({7, 10}, rng);
+  const Tensor bias = Tensor::randn({7}, rng);
+
+  Tensor want = matmul_nt(x, w);
+  for (std::int64_t i = 0; i < 13; ++i) {
+    for (std::int64_t j = 0; j < 7; ++j) want[i * 7 + j] += bias[j];
+  }
+  expect_close(fused::linear(x, w, &bias), want, 0.0f);
+
+  Tensor pre;
+  const Tensor got_gelu = fused::linear_gelu(x, w, &bias, &pre);
+  expect_close(pre, want, 0.0f);
+  expect_close(got_gelu, gelu(want), 0.0f);
+
+  Tensor mask({13, 7});
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = i % 3 == 0 ? 0.0f : 1.5f;
+  }
+  expect_close(fused::linear_dropout(x, w, &bias, mask), mul(want, mask),
+               0.0f);
+}
+
+// --- fused causal attention vs naive oracle ---------------------------------
+//
+// The oracle recomputes attention per (b, h) in double precision straight
+// from the definition (masked softmax over j <= i), reading the same packed
+// qkv layout the fused kernel consumes. Shapes cover T == 1, prime T below
+// one tile, T crossing the kAttentionBlock boundary with a ragged last tile,
+// few and many (b, h) pairs relative to the pool, and prime head_dim.
+
+struct AttentionShape {
+  std::int64_t batch, heads, time, embed;
+};
+
+Tensor naive_causal_attention(const Tensor& qkv, const AttentionShape& s) {
+  const std::int64_t hd = s.embed / s.heads;
+  const std::int64_t stride = 3 * s.embed;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(hd));
+  Tensor out({s.batch * s.time, s.embed});
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    for (std::int64_t h = 0; h < s.heads; ++h) {
+      const float* base = qkv.data() + b * s.time * stride + h * hd;
+      for (std::int64_t i = 0; i < s.time; ++i) {
+        std::vector<double> scores(static_cast<std::size_t>(i + 1));
+        double mx = -std::numeric_limits<double>::infinity();
+        for (std::int64_t j = 0; j <= i; ++j) {
+          double acc = 0.0;
+          for (std::int64_t c = 0; c < hd; ++c) {
+            acc += static_cast<double>(base[i * stride + c]) *
+                   base[j * stride + s.embed + c];
+          }
+          scores[static_cast<std::size_t>(j)] = acc * scale;
+          mx = std::max(mx, acc * scale);
+        }
+        double total = 0.0;
+        for (double& v : scores) {
+          v = std::exp(v - mx);
+          total += v;
+        }
+        float* dst = out.data() + (b * s.time + i) * s.embed + h * hd;
+        for (std::int64_t c = 0; c < hd; ++c) {
+          double acc = 0.0;
+          for (std::int64_t j = 0; j <= i; ++j) {
+            acc += scores[static_cast<std::size_t>(j)] / total *
+                   base[j * stride + 2 * s.embed + c];
+          }
+          dst[c] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Oracle backward: recompute att per (b, h) in double, then the chain
+// datt = dO·V^T, dv = att^T·dO, ds = att ∘ (datt - rowdot(att, datt)) · scale
+// (masked entries zero), dq = ds·K, dk = ds^T·Q, accumulated into d_qkv.
+Tensor naive_causal_attention_backward(const Tensor& qkv,
+                                       const Tensor& d_heads,
+                                       const AttentionShape& s) {
+  const std::int64_t hd = s.embed / s.heads;
+  const std::int64_t stride = 3 * s.embed;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(hd));
+  Tensor d_qkv({s.batch * s.time, 3 * s.embed});
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    for (std::int64_t h = 0; h < s.heads; ++h) {
+      const float* base = qkv.data() + b * s.time * stride + h * hd;
+      float* d_base = d_qkv.data() + b * s.time * stride + h * hd;
+      const auto at = [&](const std::int64_t which, std::int64_t t,
+                          std::int64_t c) {
+        return static_cast<double>(base[t * stride + which * s.embed + c]);
+      };
+      std::vector<double> att(static_cast<std::size_t>(s.time * s.time), 0.0);
+      for (std::int64_t i = 0; i < s.time; ++i) {
+        double mx = -std::numeric_limits<double>::infinity();
+        for (std::int64_t j = 0; j <= i; ++j) {
+          double acc = 0.0;
+          for (std::int64_t c = 0; c < hd; ++c) acc += at(0, i, c) * at(1, j, c);
+          att[static_cast<std::size_t>(i * s.time + j)] = acc * scale;
+          mx = std::max(mx, acc * scale);
+        }
+        double total = 0.0;
+        for (std::int64_t j = 0; j <= i; ++j) {
+          double& v = att[static_cast<std::size_t>(i * s.time + j)];
+          v = std::exp(v - mx);
+          total += v;
+        }
+        for (std::int64_t j = 0; j <= i; ++j) {
+          att[static_cast<std::size_t>(i * s.time + j)] /= total;
+        }
+      }
+      const auto d_out = [&](std::int64_t t, std::int64_t c) {
+        return static_cast<double>(
+            d_heads[(b * s.time + t) * s.embed + h * hd + c]);
+      };
+      for (std::int64_t i = 0; i < s.time; ++i) {
+        // datt row + softmax backward row.
+        std::vector<double> ds(static_cast<std::size_t>(i + 1));
+        double row_dot = 0.0;
+        for (std::int64_t j = 0; j <= i; ++j) {
+          double acc = 0.0;
+          for (std::int64_t c = 0; c < hd; ++c) acc += d_out(i, c) * at(2, j, c);
+          ds[static_cast<std::size_t>(j)] = acc;
+          row_dot += att[static_cast<std::size_t>(i * s.time + j)] * acc;
+        }
+        for (std::int64_t j = 0; j <= i; ++j) {
+          const double a = att[static_cast<std::size_t>(i * s.time + j)];
+          const double d_score =
+              a * (ds[static_cast<std::size_t>(j)] - row_dot) * scale;
+          for (std::int64_t c = 0; c < hd; ++c) {
+            // dq[i] += d_score * k[j]; dk[j] += d_score * q[i];
+            // dv[j] += att * dO[i]
+            d_base[i * stride + c] +=
+                static_cast<float>(d_score * at(1, j, c));
+            d_base[j * stride + s.embed + c] +=
+                static_cast<float>(d_score * at(0, i, c));
+            d_base[j * stride + 2 * s.embed + c] +=
+                static_cast<float>(a * d_out(i, c));
+          }
+        }
+      }
+    }
+  }
+  return d_qkv;
+}
+
+class FusedAttentionEquivalence
+    : public ::testing::TestWithParam<AttentionShape> {};
+
+TEST_P(FusedAttentionEquivalence, ForwardMatchesNaiveOracle) {
+  const AttentionShape s = GetParam();
+  Rng rng(2024);
+  const Tensor qkv = Tensor::randn({s.batch * s.time, 3 * s.embed}, rng);
+  Tensor heads_out({s.batch * s.time, s.embed});
+  Tensor lse({s.batch * s.heads, s.time});
+  fused::causal_attention_forward(qkv.data(), s.batch, s.time, s.embed,
+                                  s.heads, heads_out.data(), lse.data());
+  expect_close_rel(heads_out, naive_causal_attention(qkv, s), 2e-5f);
+}
+
+TEST_P(FusedAttentionEquivalence, BackwardMatchesNaiveOracle) {
+  const AttentionShape s = GetParam();
+  Rng rng(2025);
+  const Tensor qkv = Tensor::randn({s.batch * s.time, 3 * s.embed}, rng);
+  const Tensor d_heads = Tensor::randn({s.batch * s.time, s.embed}, rng);
+  Tensor heads_out({s.batch * s.time, s.embed});
+  Tensor lse({s.batch * s.heads, s.time});
+  fused::causal_attention_forward(qkv.data(), s.batch, s.time, s.embed,
+                                  s.heads, heads_out.data(), lse.data());
+  Tensor d_qkv({s.batch * s.time, 3 * s.embed});
+  fused::causal_attention_backward(qkv.data(), heads_out.data(),
+                                   d_heads.data(), lse.data(), s.batch, s.time,
+                                   s.embed, s.heads, d_qkv.data());
+  expect_close_rel(d_qkv, naive_causal_attention_backward(qkv, d_heads, s),
+                   5e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedAttentionEquivalence,
+    ::testing::Values(AttentionShape{1, 1, 1, 8},    // T == 1, one pair
+                      AttentionShape{2, 4, 13, 28},  // prime T, prime head_dim
+                      AttentionShape{3, 5, 70, 40},  // ragged second tile,
+                                                     // 15 (b, h) pairs
+                      AttentionShape{1, 2, 130, 64}),  // three tiles per row
+    [](const auto& info) {
+      return "b" + std::to_string(info.param.batch) + "_h" +
+             std::to_string(info.param.heads) + "_t" +
+             std::to_string(info.param.time) + "_c" +
+             std::to_string(info.param.embed);
+    });
+
+TEST(FusedAttention, MaskedNanIsErasedUnmaskedNanPoisonsItsRow) {
+  // A NaN in key row T-1 makes score (i, T-1) NaN for every query row i, but
+  // that slot is causally masked for all i < T-1: the mask overwrite must
+  // erase it there, and only the final row (where the slot is live) may go
+  // NaN. This mirrors the head-loop engine's semantics exactly.
+  const AttentionShape s{1, 2, 37, 16};
+  const std::int64_t hd = s.embed / s.heads;
+  Rng rng(5);
+  Tensor qkv = Tensor::randn({s.batch * s.time, 3 * s.embed}, rng);
+  qkv[(s.time - 1) * 3 * s.embed + s.embed + 0 * hd] =
+      std::numeric_limits<float>::quiet_NaN();  // K row T-1, head 0
+  Tensor heads_out({s.batch * s.time, s.embed});
+  Tensor lse({s.batch * s.heads, s.time});
+  fused::causal_attention_forward(qkv.data(), s.batch, s.time, s.embed,
+                                  s.heads, heads_out.data(), lse.data());
+  for (std::int64_t t = 0; t < s.time - 1; ++t) {
+    for (std::int64_t c = 0; c < s.embed; ++c) {
+      EXPECT_FALSE(std::isnan(heads_out[t * s.embed + c]))
+          << "row " << t << " col " << c;
+    }
+  }
+  for (std::int64_t c = 0; c < hd; ++c) {
+    EXPECT_TRUE(std::isnan(heads_out[(s.time - 1) * s.embed + c]))
+        << "head-0 col " << c;
+  }
+  for (std::int64_t c = hd; c < s.embed; ++c) {
+    EXPECT_FALSE(std::isnan(heads_out[(s.time - 1) * s.embed + c]))
+        << "head-1 col " << c;
+  }
+}
+
+// The thread pool reads CARAML_NUM_THREADS once at static init, so varying it
+// requires subprocesses: each child recomputes the same fused forward +
+// backward and dumps the raw bytes; the parent asserts all dumps are
+// byte-identical. (Per-(b, h) tile order is fixed and the GEMM accumulates
+// each C element in a chunking-independent order, so the outputs must not
+// depend on how pairs were distributed over threads.)
+TEST(FusedAttention, DeterministicAcrossThreadCounts) {
+  const AttentionShape s{2, 3, 70, 24};
+  const char* dump_path = std::getenv("CARAML_ATTENTION_DUMP");
+  if (dump_path != nullptr) {
+    Rng rng(77);
+    const Tensor qkv = Tensor::randn({s.batch * s.time, 3 * s.embed}, rng);
+    const Tensor d_heads = Tensor::randn({s.batch * s.time, s.embed}, rng);
+    Tensor heads_out({s.batch * s.time, s.embed});
+    Tensor lse({s.batch * s.heads, s.time});
+    fused::causal_attention_forward(qkv.data(), s.batch, s.time, s.embed,
+                                    s.heads, heads_out.data(), lse.data());
+    Tensor d_qkv({s.batch * s.time, 3 * s.embed});
+    fused::causal_attention_backward(qkv.data(), heads_out.data(),
+                                     d_heads.data(), lse.data(), s.batch,
+                                     s.time, s.embed, s.heads, d_qkv.data());
+    std::ofstream out(dump_path, std::ios::binary);
+    const auto write_tensor = [&out](const Tensor& t) {
+      out.write(reinterpret_cast<const char*>(t.data()),
+                static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    };
+    write_tensor(heads_out);
+    write_tensor(lse);
+    write_tensor(d_qkv);
+    ASSERT_TRUE(out.good());
+    return;
+  }
+
+  // Resolve our own binary path up front: /proc/self/exe inside the
+  // system() shell would name the shell, not this test.
+  char exe[4096];
+  const ssize_t exe_len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  ASSERT_GT(exe_len, 0);
+  exe[exe_len] = '\0';
+
+  std::vector<std::string> dumps;
+  for (const int threads : {1, 2, 8}) {
+    const std::string path = ::testing::TempDir() + "caraml_att_dump_" +
+                             std::to_string(threads) + ".bin";
+    const std::string cmd =
+        "CARAML_NUM_THREADS=" + std::to_string(threads) +
+        " CARAML_ATTENTION_DUMP=" + path + " '" + exe +
+        "' --gtest_filter=FusedAttention.DeterministicAcrossThreadCounts"
+        " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << "child failed: " << cmd;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    dumps.emplace_back(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+    ASSERT_FALSE(dumps.back().empty());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]) << "1-thread and 2-thread outputs differ";
+  EXPECT_EQ(dumps[0], dumps[2]) << "1-thread and 8-thread outputs differ";
 }
 
 TEST(GlobalAvgPool, ForwardBackward) {

@@ -338,6 +338,52 @@ TEST(ParallelForRange, NestedCallFromWorkerRunsInline) {
   EXPECT_EQ(inner_chunks.load(), 4);
 }
 
+TEST(ParallelForRange, GrainContractHoldsForAdversarialShapes) {
+  // Every chunk must span at least `grain` indices (the documented contract)
+  // whenever the range itself holds a full grain, chunk starts must be
+  // grain-aligned relative to `begin`, and the chunks must tile the range
+  // exactly. total=9/grain=4 is the historical violation: ceil-split into 3
+  // chunks of 3 undershot the grain.
+  const std::size_t totals[] = {1, 2, 3, 5, 8, 9, 10, 16, 17, 63, 100, 1023};
+  const std::size_t grains[] = {1, 2, 3, 4, 6, 7, 16, 64};
+  const std::size_t pool_sizes[] = {1, 2, 3, 8};
+  for (const std::size_t workers : pool_sizes) {
+    ThreadPool pool(workers);
+    for (const std::size_t total : totals) {
+      for (const std::size_t grain : grains) {
+        const std::size_t begin = 3;  // nonzero to catch absolute alignment
+        const std::size_t end = begin + total;
+        std::mutex mutex;
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        pool.parallel_for_range(begin, end, grain,
+                                [&](std::size_t lo, std::size_t hi) {
+                                  std::lock_guard<std::mutex> lock(mutex);
+                                  chunks.emplace_back(lo, hi);
+                                });
+        std::sort(chunks.begin(), chunks.end());
+        SCOPED_TRACE("total=" + std::to_string(total) +
+                     " grain=" + std::to_string(grain) +
+                     " workers=" + std::to_string(workers));
+        ASSERT_FALSE(chunks.empty());
+        EXPECT_EQ(chunks.front().first, begin);
+        EXPECT_EQ(chunks.back().second, end);
+        for (std::size_t c = 0; c < chunks.size(); ++c) {
+          const auto [lo, hi] = chunks[c];
+          ASSERT_LT(lo, hi);
+          if (c > 0) {
+            EXPECT_EQ(lo, chunks[c - 1].second);  // exact tiling
+          }
+          EXPECT_EQ((lo - begin) % std::max<std::size_t>(1, grain), 0u);
+          if (total >= std::max<std::size_t>(1, grain)) {
+            const std::size_t span = hi - lo;
+            EXPECT_GE(span, std::max<std::size_t>(1, grain));
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(ParallelForRange, FreeFunctionUsesGlobalPool) {
   std::vector<std::atomic<int>> hits(300);
   parallel_for_range(0, hits.size(), 8,
