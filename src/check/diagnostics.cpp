@@ -76,6 +76,41 @@ std::string DiagnosticList::render_human() const {
   return os.str();
 }
 
+namespace {
+
+// Lint findings quote bytes straight out of user config files (system names,
+// parameter values, regexes), which need not be valid UTF-8. The JSON escape
+// layer handles control characters, but raw invalid UTF-8 sequences would
+// still yield an invalid JSON document — replace them with U+FFFD so
+// --json-out artifacts always parse.
+std::string sanitize_utf8(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size();) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x80) {
+      out += static_cast<char>(c);
+      ++i;
+      continue;
+    }
+    const std::size_t len = c >= 0xf0 ? 4 : c >= 0xe0 ? 3 : c >= 0xc0 ? 2 : 0;
+    bool valid = len > 0 && i + len <= text.size();
+    for (std::size_t k = 1; valid && k < len; ++k) {
+      valid = (static_cast<unsigned char>(text[i + k]) & 0xc0) == 0x80;
+    }
+    if (valid) {
+      out.append(text, i, len);
+      i += len;
+    } else {
+      out += "\xef\xbf\xbd";  // U+FFFD replacement character
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string DiagnosticList::render_json() const {
   namespace json = telemetry::json;
   json::Array results;
@@ -84,10 +119,10 @@ std::string DiagnosticList::render_json() const {
     json::Value entry{json::Object{}};
     entry.set("rule", d.rule_id);
     entry.set("severity", severity_name(d.severity));
-    entry.set("file", d.location.file);
+    entry.set("file", sanitize_utf8(d.location.file));
     entry.set("line", static_cast<std::int64_t>(d.location.line));
     entry.set("column", static_cast<std::int64_t>(d.location.column));
-    entry.set("message", d.message);
+    entry.set("message", sanitize_utf8(d.message));
     results.push_back(std::move(entry));
   }
   json::Value summary{json::Object{}};

@@ -1,0 +1,116 @@
+// Static TP x PP x DP layout analysis shared by the `caraml lint` layout/*
+// rules (rules_layout.cpp for `layouts:` files, rules_jube.cpp for llm_train
+// workpackages) and the `caraml run --skip-doomed` gate.
+//
+// Everything here is closed-form: the analysis wraps the same analytic cost
+// hooks (sim/layout_analytic.hpp) the simulator's hot path runs on, so a
+// 10k+-device layout analyzes in microseconds and cannot drift from what a
+// simulation would measure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jube/jube.hpp"
+#include "models/gpt_cost.hpp"
+#include "sim/layout_analytic.hpp"
+#include "topo/specs.hpp"
+
+namespace caraml::check {
+
+/// Model preset by tag ("117M"/"800M"/"13B"/"175B"); nullopt otherwise.
+std::optional<models::GptConfig> gpt_config_from_tag(const std::string& tag);
+
+/// Pipeline schedule the layout trains under; decides how many micro-batches
+/// of activations are simultaneously in flight per stage.
+enum class LayoutSchedule { kGpipe, kOneFOneB };
+
+/// One candidate layout to analyze.
+struct LayoutSpec {
+  std::string name;      ///< for messages; may be empty (jube cells)
+  topo::NodeSpec node;   ///< resolved system (registry or calibration file)
+  models::GptConfig model;
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  int data_parallel = 1;
+  std::int64_t micro_batch = 1;
+  std::int64_t global_batch = 1;
+  LayoutSchedule schedule = LayoutSchedule::kOneFOneB;
+
+  int num_devices() const {
+    return tensor_parallel * pipeline_parallel * data_parallel;
+  }
+};
+
+struct LayoutAnalysis {
+  /// False when the layout cannot run at all (divisibility, node packing, a
+  /// link the layout needs is missing, non-GPU system); `invalid_reason`
+  /// explains. All other fields are meaningful only when valid.
+  bool valid = false;
+  std::string invalid_reason;
+
+  int devices_per_node = 0;
+  int num_nodes = 0;
+
+  /// Per-iteration memory/time/power/comm prediction (the analytic mirror of
+  /// core run_llm_gpu's task graph).
+  sim::LlmPrediction prediction;
+
+  /// Schedule-dependent activation pressure: GPipe keeps all m micro-batches
+  /// of stage activations alive until the backward phase; 1F1B at most
+  /// min(p, m). `inflight_bytes` is the footprint with that multiplier.
+  double inflight_factor = 1.0;
+  double inflight_bytes = 0.0;
+  bool activation_pressure = false;  ///< fits at rest, not in flight
+
+  /// Exposed communication exceeds compute time per iteration.
+  bool comm_bound = false;
+
+  /// Analytic bubble-fraction lower bound (p - 1)/(m + p - 1); 0 when pp==1.
+  double bubble_lower_bound = 0.0;
+
+  /// Sustained power during the compute phase vs calibrated caps
+  /// (DeviceSpec::power_cap_watts / NodeSpec::node_power_cap_watts; a cap of
+  /// 0 means uncapped).
+  double sustained_device_power_w = 0.0;
+  double predicted_node_power_w = 0.0;
+  bool device_power_infeasible = false;
+  bool node_power_infeasible = false;
+};
+
+LayoutAnalysis analyze_layout(const LayoutSpec& spec);
+
+/// One lint finding derived from an analysis: rule id + message body.
+struct LayoutFinding {
+  std::string rule;
+  std::string message;
+};
+
+/// "system TAG model 13B tp=4 pp=8 dp=16" (prefixed with `name: ` if set).
+std::string layout_label(const LayoutSpec& spec);
+
+/// The non-ranked findings for one *valid* analysis: layout/oom,
+/// layout/activation-pressure, layout/comm-bound, layout/power-infeasible,
+/// layout/schedule-bubble, layout/predicted-energy and
+/// layout/predicted-oom-margin. (layout/invalid and the ranked
+/// layout/predicted-time are the caller's responsibility.)
+std::vector<LayoutFinding> layout_findings(const LayoutSpec& spec,
+                                           const LayoutAnalysis& analysis);
+
+/// Message body for the ranked layout/predicted-time info; the caller
+/// appends ", rank k/N".
+std::string predicted_time_message(const LayoutSpec& spec,
+                                   const LayoutAnalysis& analysis);
+
+/// Static gate for `caraml run --skip-doomed`: "" means run the workpackage;
+/// otherwise a one-line reason why it is statically doomed (invalid layout
+/// or guaranteed OOM, from the same models the lint pass uses). `actions`
+/// are the workpackage's active step actions; parameter defaults mirror the
+/// lint pass (system A100, model 800M, ...). Never throws — unparseable
+/// contexts simply run.
+std::string workpackage_doom_reason(const jube::Context& context,
+                                    const std::vector<std::string>& actions);
+
+}  // namespace caraml::check

@@ -19,6 +19,7 @@ FileKind classify(const yaml::Node& root) {
   if (root.has("fault_plan") || root.has("events")) return FileKind::kFaultPlan;
   if (root.has("systems")) return FileKind::kSpecTable;
   if (root.has("campaign")) return FileKind::kCampaign;
+  if (root.has("layouts")) return FileKind::kLayouts;
   return FileKind::kUnknown;
 }
 
@@ -43,11 +44,15 @@ void lint_document(const yaml::Document& doc, const std::string& file,
     case FileKind::kCampaign:
       lint_campaign(*doc.root, file, diags);
       break;
+    case FileKind::kLayouts:
+      lint_layouts(*doc.root, file, diags);
+      break;
     case FileKind::kUnknown:
       diags.report("yaml/unknown-schema",
                    SourceLocation::at(file, doc.root->mark()),
                    "file matches no suite input schema (expected a JUBE "
-                   "benchmark, fault plan, or calibration table)");
+                   "benchmark, fault plan, calibration table, chaos "
+                   "campaign, or layout manifest)");
       break;
   }
 }

@@ -6,6 +6,7 @@
 //   * "fault_plan" / "events"                  -> fault-injection schedule
 //   * "systems"                                -> hardware calibration table
 //   * "campaign"                               -> chaos campaign
+//   * "layouts"                                -> parallel-layout manifest
 // Unclassifiable files get a yaml/unknown-schema warning; YAML-layer rules
 // (parse errors, duplicate keys) run on every file regardless of kind.
 #pragma once
@@ -19,7 +20,14 @@
 
 namespace caraml::check {
 
-enum class FileKind { kJube, kFaultPlan, kSpecTable, kCampaign, kUnknown };
+enum class FileKind {
+  kJube,
+  kFaultPlan,
+  kSpecTable,
+  kCampaign,
+  kLayouts,
+  kUnknown,
+};
 
 FileKind classify(const yaml::Node& root);
 
@@ -58,5 +66,7 @@ void lint_spec_table(const yaml::Node& root, const std::string& file,
                      DiagnosticList& diags);
 void lint_campaign(const yaml::Node& root, const std::string& file,
                    DiagnosticList& diags);
+void lint_layouts(const yaml::Node& root, const std::string& file,
+                  DiagnosticList& diags);
 
 }  // namespace caraml::check

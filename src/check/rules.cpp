@@ -1,6 +1,26 @@
 #include "check/rules.hpp"
 
+#include <set>
+
+#include "util/error.hpp"
+
 namespace caraml::check {
+
+namespace {
+
+// Fail fast at first catalogue access if two rules ever register the same id
+// — a duplicate would make severity lookup and --list-rules ambiguous.
+const std::vector<RuleInfo>& verify_unique_ids(
+    const std::vector<RuleInfo>& catalogue) {
+  std::set<std::string> seen;
+  for (const auto& rule : catalogue) {
+    CARAML_CHECK_MSG(seen.insert(rule.id).second,
+                     "rule id '" + rule.id + "' registered twice");
+  }
+  return catalogue;
+}
+
+}  // namespace
 
 const std::vector<RuleInfo>& rule_catalogue() {
   static const std::vector<RuleInfo> catalogue = {
@@ -152,7 +172,47 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"analysis/recovery-time", Severity::kInfo,
        "recovery and retry spans (restarts, backoff) and their share of the "
        "makespan"},
+
+      // --- layout: static TP x PP x DP layout analysis ----------------------
+      {"layout/invalid", Severity::kError,
+       "layout cannot run: tp*pp*dp does not match the device count, batch "
+       "does not divide, the model/system is unknown, or a needed link is "
+       "missing"},
+      {"layout/oom", Severity::kWarning,
+       "sharded per-device footprint (params + grads + optimizer + "
+       "activations under the pipeline schedule) exceeds HBM capacity"},
+      {"layout/activation-pressure", Severity::kWarning,
+       "model state fits but in-flight activations of the pipeline schedule "
+       "(GPipe holds all m micros, 1F1B min(p, m)) push the footprint over "
+       "capacity"},
+      {"layout/comm-bound", Severity::kWarning,
+       "exposed communication time (TP all-reduces + PP exchanges + DP "
+       "gradient all-reduce) exceeds the layout's compute time"},
+      {"layout/schedule-deadlock", Severity::kError,
+       "custom pipeline schedule misses slots or orders them against their "
+       "data dependencies; it deadlocks under blocking sends"},
+      {"layout/schedule-overlap", Severity::kError,
+       "custom pipeline schedule runs two slots on one stage at the same "
+       "time"},
+      {"layout/schedule-starved", Severity::kWarning,
+       "schedule's realized bubble fraction is far above the analytic "
+       "(p-1)/(m+p-1) lower bound; stages sit idle"},
+      {"layout/schedule-bubble", Severity::kInfo,
+       "analytic pipeline-bubble lower bound for the layout's stage/micro "
+       "grid"},
+      {"layout/power-infeasible", Severity::kWarning,
+       "predicted sustained device (or node) power exceeds the calibrated "
+       "power cap; the layout throttles below its predicted throughput"},
+      {"layout/predicted-time", Severity::kInfo,
+       "predicted training iteration time and throughput, ranked across the "
+       "file's feasible layouts"},
+      {"layout/predicted-energy", Severity::kInfo,
+       "predicted energy per iteration per device from the calibrated power "
+       "model"},
+      {"layout/predicted-oom-margin", Severity::kInfo,
+       "per-device memory footprint and margin to HBM capacity"},
   };
+  verify_unique_ids(catalogue);
   return catalogue;
 }
 

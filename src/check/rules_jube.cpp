@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/layout_model.hpp"
 #include "check/lint.hpp"
 #include "jube/jube.hpp"
 #include "models/gpt_cost.hpp"
@@ -98,6 +99,7 @@ class JubeLinter {
     check_patterns();
     check_tag_coverage();
     check_workloads();
+    emit_layout_findings();
   }
 
  private:
@@ -609,6 +611,60 @@ class JubeLinter {
                         " per device but " + node->device.name + " has " +
                         fmt_gib(capacity));
     }
+
+    // Full layout analysis (memory at scale, comm volume, schedule bubble,
+    // power feasibility, predicted time/energy). Collected per unique cell
+    // and emitted after all tag sets ran, so the predicted-time ranking is
+    // consistent regardless of which tag set discovered a cell first.
+    LayoutSpec layout;
+    layout.node = *node;
+    layout.model = model;
+    layout.tensor_parallel = static_cast<int>(*tp);
+    layout.pipeline_parallel = static_cast<int>(*pp);
+    layout.data_parallel = dp;
+    layout.micro_batch = *micro;
+    layout.global_batch = *batch;
+    const std::string cell_key =
+        layout_label(layout) + " b" + std::to_string(*batch) + " m" +
+        std::to_string(*micro) + " @" + std::to_string(batch_mark.line) + ":" +
+        std::to_string(batch_mark.column);
+    if (!layout_cells_seen_.insert(cell_key).second) return;
+    const LayoutAnalysis analysis = analyze_layout(layout);
+    if (!analysis.valid) {
+      // Divisibility problems were already reported as sim/invalid-layout
+      // above; what reaches here is node packing / missing links — defects
+      // the simulator would only hit at run time.
+      diags_.report("layout/invalid", loc(batch_mark),
+                    "llm_train: " + analysis.invalid_reason);
+      return;
+    }
+    layout_cells_.push_back({layout, analysis, batch_mark});
+  }
+
+  /// Emit the collected per-cell layout findings, ranking the feasible cells
+  /// by predicted iteration time. layout/oom is skipped here: sim/static-oom
+  /// already covers guaranteed OOM in JUBE scripts.
+  void emit_layout_findings() {
+    std::vector<const LayoutCell*> feasible;
+    for (const auto& cell : layout_cells_) {
+      for (const auto& finding : layout_findings(cell.spec, cell.analysis)) {
+        if (finding.rule == "layout/oom") continue;
+        diags_.report(finding.rule, loc(cell.mark), finding.message);
+      }
+      if (!cell.analysis.prediction.oom) feasible.push_back(&cell);
+    }
+    std::stable_sort(feasible.begin(), feasible.end(),
+                     [](const LayoutCell* a, const LayoutCell* b) {
+                       return a->analysis.prediction.iteration_time_s <
+                              b->analysis.prediction.iteration_time_s;
+                     });
+    for (std::size_t i = 0; i < feasible.size(); ++i) {
+      diags_.report(
+          "layout/predicted-time", loc(feasible[i]->mark),
+          predicted_time_message(feasible[i]->spec, feasible[i]->analysis) +
+              ", rank " + std::to_string(i + 1) + "/" +
+              std::to_string(feasible.size()));
+    }
   }
 
   void check_resnet(const MarkedContext& context, const StepDecl& step) {
@@ -659,6 +715,13 @@ class JubeLinter {
     }
   }
 
+  /// One analyzed llm_train workpackage cell, unique per (layout, mark).
+  struct LayoutCell {
+    LayoutSpec spec;
+    LayoutAnalysis analysis;
+    yaml::Mark mark;
+  };
+
   const yaml::Node& root_;
   const std::string& file_;
   const LintOptions& options_;
@@ -667,6 +730,8 @@ class JubeLinter {
   std::vector<StepDecl> steps_;
   std::vector<PatternDecl> patterns_;
   bool cyclic_params_ = false;
+  std::vector<LayoutCell> layout_cells_;
+  std::set<std::string> layout_cells_seen_;
 };
 
 }  // namespace

@@ -209,6 +209,18 @@ void lint_entry(const yaml::Node& entry, const std::string& file,
                        std::to_string(value) + " must be positive");
     }
   }
+  for (const auto& field : topo::node_double_fields()) {
+    const double value = resolved.*(field.member);
+    if (field.required_positive && value <= 0.0) {
+      diags.report("sim/nonpositive-spec", field_loc(node, field.name),
+                   "system " + tag + ": node " + field.name + " = " +
+                       fmt(value) + " must be positive");
+    } else if (value < 0.0) {
+      diags.report("sim/nonpositive-spec", field_loc(node, field.name),
+                   "system " + tag + ": node " + field.name + " = " +
+                       fmt(value) + " must not be negative");
+    }
+  }
   // The host link must move bytes; a peer link only exists with more than
   // one device per node (GH200-JRDC is a single-device node), and inter-node
   // bandwidth 0 legitimately means "single node only" (paper Table I).
@@ -233,6 +245,14 @@ void lint_entry(const yaml::Node& entry, const std::string& file,
       diags.report("sim/nonpositive-spec", loc(entry.mark()),
                    "system " + tag + ": " + check.role +
                        " link latency_s must not be negative");
+    }
+    // Efficiency is the achievable fraction of the nominal bandwidth; the
+    // effective bandwidth (bandwidth * efficiency) divides collective times.
+    if (check.link->efficiency <= 0.0 || check.link->efficiency > 1.0) {
+      diags.report("sim/nonpositive-spec", loc(entry.mark()),
+                   "system " + tag + ": " + check.role +
+                       " link efficiency = " + fmt(check.link->efficiency) +
+                       " must be in (0, 1]");
     }
   }
 }

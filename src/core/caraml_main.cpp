@@ -24,6 +24,7 @@
 
 #include "analysis/analyse.hpp"
 #include "chaos/campaign.hpp"
+#include "check/layout_model.hpp"
 #include "check/lint.hpp"
 #include "check/rules.hpp"
 #include "core/caraml.hpp"
@@ -341,6 +342,10 @@ int cmd_run(const std::vector<std::string>& args) {
   parser.add_flag("analyse",
                   "run bottleneck analysis per workpackage; annotates every "
                   "manifest row with the ranked top bottlenecks");
+  parser.add_flag("skip-doomed",
+                  "statically analyze each workpackage's parallel layout "
+                  "before dispatch and skip those the layout analyzer proves "
+                  "cannot run (invalid layout or certain OOM)");
   add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
@@ -370,6 +375,12 @@ int cmd_run(const std::vector<std::string>& args) {
   jube::SweepOptions sweep;
   sweep.jobs = static_cast<int>(parser.get_int("sweep-jobs"));
   sweep.cache_path = parser.get("sweep-cache");
+  if (parser.get_flag("skip-doomed")) {
+    sweep.static_gate = [](const jube::Context& context,
+                           const std::vector<std::string>& actions) {
+      return check::workpackage_doom_reason(context, actions);
+    };
+  }
   if (!parser.get("fault-plan").empty()) {
     // A fault-plan file changes what workpackages experience without leaving
     // a trace in their contexts' values alone — fold its fingerprint into
@@ -417,6 +428,9 @@ int cmd_run(const std::vector<std::string>& args) {
   std::cout << "benchmark '" << benchmark.name() << "': "
             << result.workpackages.size() << " workpackages";
   if (sweep.jobs != 1) std::cout << " (jobs=" << sweep.jobs << ")";
+  if (result.skipped > 0) {
+    std::cout << ", " << result.skipped << " skipped as statically doomed";
+  }
   std::cout << "\n";
   if (!sweep.cache_path.empty()) {
     std::cout << "sweep cache " << sweep.cache_path << ": "
@@ -820,10 +834,18 @@ int cmd_lint(const std::vector<std::string>& args) {
   if (!parser.parse(args)) return 0;
 
   if (parser.get_flag("list-rules")) {
+    // Deterministically sorted by rule id, independent of registration
+    // order, so the output is diff-stable as rule families grow.
+    std::vector<const check::RuleInfo*> rules;
+    for (const auto& rule : check::rule_catalogue()) rules.push_back(&rule);
+    std::sort(rules.begin(), rules.end(),
+              [](const check::RuleInfo* a, const check::RuleInfo* b) {
+                return a->id < b->id;
+              });
     TextTable table({"rule", "severity", "summary"});
-    for (const auto& rule : check::rule_catalogue()) {
+    for (const check::RuleInfo* rule : rules) {
       table.add_row(
-          {rule.id, check::severity_name(rule.severity), rule.summary});
+          {rule->id, check::severity_name(rule->severity), rule->summary});
     }
     std::cout << table.render();
     return 0;

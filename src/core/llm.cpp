@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/cluster.hpp"
+#include "sim/layout_analytic.hpp"
 #include "sim/memory.hpp"
 #include "sim/trace_export.hpp"
 #include "telemetry/metrics.hpp"
@@ -80,52 +81,27 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
   // ---- per-iteration task graph --------------------------------------------
   const std::int64_t b_dev = config.global_batch / dp;
   const std::int64_t n_micro = b_dev / config.micro_batch;
-  const double micro_tokens =
-      static_cast<double>(config.micro_batch) * config.model.seq_length;
 
-  // Effective MFU: host contention degrades per-device efficiency when more
-  // devices are active (paper §IV-A, GH200-JEDI vs GH200-JRDC).
-  const double contention =
-      1.0 + node.host_contention *
-                (std::min(num_devices, devices_per_node) - 1);
-  const double mfu = node.device.max_mfu_gemm / contention;
-  // Power during the (possibly contention-stalled) kernels: stalls draw idle
-  // power on GH200 (host-memory waits) but busy-wait power on MI250
-  // (Infinity-Fabric communication), cf. topo::NodeSpec::contention_power_frac.
   CARAML_CHECK_MSG(config.compute_time_factor >= 1.0 &&
                        config.link_time_factor >= 1.0,
                    "derate time factors must be >= 1");
-  CARAML_CHECK_MSG(config.power_cap_factor > 0.0 &&
-                       config.power_cap_factor <= 1.0,
-                   "power cap factor must be in (0, 1]");
-  const double power_util =
-      config.power_cap_factor *
-      (mfu + node.contention_power_frac * (node.device.max_mfu_gemm - mfu));
-  const double flops_micro = config.model.flops_per_token_train() *
-                             micro_tokens / (tp * pp);
-  double t_micro = flops_micro / (node.device.peak_fp16_flops * mfu) +
-                   node.device.launch_overhead_s;
-  if (tp > 1) {
-    // Megatron tensor parallelism: 4 activation all-reduces per layer per
-    // micro-step (2 forward, 2 backward) over the intra-node peer link.
-    const double act_bytes = micro_tokens *
-                             static_cast<double>(config.model.hidden_size) *
-                             2.0;  // fp16
-    const double layers_local =
-        static_cast<double>(config.model.num_layers) / pp;
-    const double ring_factor = 2.0 * (tp - 1) / tp;
-    t_micro += 4.0 * layers_local *
-               (node.peer_link.latency_s +
-                act_bytes * ring_factor / node.peer_link.bandwidth);
-  }
-  if (pp > 1) {
-    // Inter-stage activation send/recv per micro-step (both directions).
-    const double act_bytes = micro_tokens *
-                             static_cast<double>(config.model.hidden_size) *
-                             2.0 / tp;
-    t_micro += 2.0 * (node.peer_link.latency_s +
-                      act_bytes / node.peer_link.bandwidth);
-  }
+  // Per-micro-step cost (contention-degraded MFU, Megatron TP all-reduces,
+  // PP activation exchange) comes from the shared analytic hook so the static
+  // layout analyzer (`caraml lint` layout/* rules) cannot drift from the
+  // simulated hot path.
+  sim::LlmLayoutCost layout;
+  layout.model = config.model;
+  layout.tensor_parallel = tp;
+  layout.pipeline_parallel = pp;
+  layout.data_parallel = dp;
+  layout.micro_batch = config.micro_batch;
+  layout.global_batch = config.global_batch;
+  layout.devices_per_node = devices_per_node;
+  layout.num_nodes = config.num_nodes;
+  const sim::LlmMicroCost micro_cost =
+      sim::llm_micro_cost(node, layout, config.power_cap_factor);
+  const double power_util = micro_cost.power_util;
+  const double t_micro = micro_cost.t_micro_s;
 
   ClusterSim cluster(node, devices_per_node, config.num_nodes);
   for (int d = 0; d < num_devices; ++d) {

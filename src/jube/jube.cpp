@@ -437,21 +437,42 @@ RunResult Benchmark::run_sweep(const ActionRegistry& registry,
     }
   }
 
-  // Serve cache hits first; everything else is dispatched below. Results
-  // are written by expansion index, so the table order is deterministic
+  // Statically-doomed workpackages (the --skip-doomed gate) and cache hits
+  // are settled first; everything else is dispatched below. Results are
+  // written by expansion index, so the table order is deterministic
   // regardless of completion order.
+  std::vector<std::string> gate_actions;
+  if (sweep.static_gate) {
+    for (const auto& [step, action] : active_steps(order, tags)) {
+      (void)step;
+      gate_actions.push_back(action);
+    }
+  }
   std::vector<std::size_t> pending;
   pending.reserve(contexts.size());
   for (std::size_t i = 0; i < contexts.size(); ++i) {
+    if (sweep.static_gate) {
+      const std::string reason = sweep.static_gate(contexts[i], gate_actions);
+      if (!reason.empty()) {
+        Workpackage skipped;
+        skipped.context = contexts[i];
+        skipped.status = "skipped";
+        skipped.analysed["status"] = "skipped";
+        skipped.analysed["skip_reason"] = reason;
+        result.workpackages[i] = std::move(skipped);
+        ++result.skipped;
+        continue;
+      }
+    }
     Workpackage cached;
     if (cache.enabled() && cache.lookup(fingerprints[i], cached)) {
       cached.context = contexts[i];
       result.workpackages[i] = std::move(cached);
+      ++result.cache_hits;
       continue;
     }
     pending.push_back(i);
   }
-  result.cache_hits = contexts.size() - pending.size();
   result.cache_misses = pending.size();
 
   const auto run_one = [&](std::size_t i) {

@@ -92,7 +92,7 @@ struct Workpackage {
   Context context;                          // expanded parameters
   std::map<std::string, std::string> outputs;  // step name -> output text
   Context analysed;                         // pattern name -> extracted value
-  std::string status = "ok";                // ok | degraded | failed
+  std::string status = "ok";                // ok | degraded | failed | skipped
   std::vector<StepOutcome> step_outcomes;   // resilient run() only
   /// True when the workpackage was served from a sweep result cache instead
   /// of executing its steps (step_outcomes stay empty in that case).
@@ -132,12 +132,20 @@ struct SweepOptions {
   /// fingerprint) so cached results are never reused across different fault
   /// schedules.
   std::string fault_fingerprint;
+  /// Static pre-dispatch gate (`caraml run --skip-doomed`): called with each
+  /// expanded context and the active step actions *before* cache lookup or
+  /// execution. A non-empty return is the reason the workpackage is
+  /// statically doomed; it is marked status "skipped" (skip_reason in the
+  /// analysed columns) without running or caching anything. Unset = run all.
+  std::function<std::string(const Context&, const std::vector<std::string>&)>
+      static_gate;
 };
 
 struct RunResult {
   std::vector<Workpackage> workpackages;
   std::size_t cache_hits = 0;    // workpackages served from the sweep cache
   std::size_t cache_misses = 0;  // workpackages that had to execute
+  std::size_t skipped = 0;       // statically-doomed workpackages gated out
 
   /// JUBE-style result table over parameter/pattern columns.
   TextTable table(const std::vector<std::string>& columns) const;

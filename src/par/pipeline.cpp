@@ -1,6 +1,7 @@
 #include "par/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 
 #include "util/error.hpp"
@@ -11,6 +12,152 @@ double gpipe_bubble_fraction(int stages, int micro) {
   CARAML_CHECK_MSG(stages >= 1 && micro >= 1, "need positive stages/micro");
   return static_cast<double>(stages - 1) /
          static_cast<double>(micro + stages - 1);
+}
+
+double pipeline_bubble_lower_bound(int stages, int micro) {
+  return gpipe_bubble_fraction(stages, micro);
+}
+
+namespace {
+
+std::string slot_name(int stage, int micro, bool forward) {
+  return std::string(forward ? "forward" : "backward") + " of micro " +
+         std::to_string(micro) + " on stage " + std::to_string(stage);
+}
+
+}  // namespace
+
+std::vector<ScheduleIssue> validate_pipeline_schedule(
+    const PipelineSchedule& schedule, double backward_cost,
+    double starvation_slack) {
+  CARAML_CHECK_MSG(schedule.num_stages >= 1 && schedule.num_micro >= 1,
+                   "schedule must declare positive stages/micro");
+  CARAML_CHECK_MSG(backward_cost > 0.0, "backward cost must be positive");
+  constexpr double kEps = 1e-9;
+  const int p = schedule.num_stages;
+  const int m = schedule.num_micro;
+  std::vector<ScheduleIssue> issues;
+
+  const auto duration = [backward_cost](bool forward) {
+    return forward ? 1.0 : backward_cost;
+  };
+
+  // Index slots; out-of-grid references and duplicates are structural errors.
+  std::map<std::tuple<int, int, bool>, int> count;
+  std::map<std::tuple<int, int, bool>, double> finish;
+  for (const PipelineSlot& slot : schedule.slots) {
+    if (slot.stage < 0 || slot.stage >= p || slot.micro < 0 ||
+        slot.micro >= m) {
+      issues.push_back({ScheduleIssue::Kind::kMissingSlot, slot.stage,
+                        slot.micro, slot.forward,
+                        slot_name(slot.stage, slot.micro, slot.forward) +
+                            " lies outside the declared " + std::to_string(p) +
+                            "-stage x " + std::to_string(m) + "-micro grid"});
+      continue;
+    }
+    const std::tuple<int, int, bool> key{slot.stage, slot.micro, slot.forward};
+    ++count[key];
+    const double end = static_cast<double>(slot.time) + duration(slot.forward);
+    const auto [it, inserted] = finish.emplace(key, end);
+    if (!inserted) it->second = std::max(it->second, end);
+  }
+  bool complete = true;
+  for (int s = 0; s < p; ++s) {
+    for (int i = 0; i < m; ++i) {
+      for (const bool forward : {true, false}) {
+        const int n = count.count({s, i, forward}) ? count[{s, i, forward}] : 0;
+        if (n == 1) continue;
+        complete = false;
+        issues.push_back(
+            {ScheduleIssue::Kind::kMissingSlot, s, i, forward,
+             n == 0 ? slot_name(s, i, forward) +
+                          " is never scheduled — the pipeline cannot complete"
+                    : slot_name(s, i, forward) + " is scheduled " +
+                          std::to_string(n) + " times"});
+      }
+    }
+  }
+
+  // Data dependencies: a slot starting before its producer finishes would
+  // block forever under synchronous (blocking) sends — a deadlock.
+  for (const PipelineSlot& slot : schedule.slots) {
+    if (slot.stage < 0 || slot.stage >= p || slot.micro < 0 ||
+        slot.micro >= m) {
+      continue;
+    }
+    int dep_stage = -1;
+    bool dep_forward = true;
+    if (slot.forward) {
+      if (slot.stage == 0) continue;  // stage 0 forwards have no producer
+      dep_stage = slot.stage - 1;
+    } else if (slot.stage < p - 1) {
+      dep_stage = slot.stage + 1;
+      dep_forward = false;
+    } else {
+      dep_stage = slot.stage;  // last stage: backward follows own forward
+    }
+    const auto it = finish.find({dep_stage, slot.micro, dep_forward});
+    if (it == finish.end()) continue;  // already reported as missing
+    if (static_cast<double>(slot.time) + kEps < it->second) {
+      issues.push_back(
+          {ScheduleIssue::Kind::kDependency, slot.stage, slot.micro,
+           slot.forward,
+           slot_name(slot.stage, slot.micro, slot.forward) + " starts at t=" +
+               std::to_string(slot.time) + " before its dependency " +
+               slot_name(dep_stage, slot.micro, dep_forward) +
+               " finishes — the schedule deadlocks under blocking sends"});
+    }
+  }
+
+  // Stage exclusivity: one slot at a time per stage.
+  std::vector<std::vector<const PipelineSlot*>> per_stage(
+      static_cast<std::size_t>(p));
+  for (const PipelineSlot& slot : schedule.slots) {
+    if (slot.stage >= 0 && slot.stage < p) {
+      per_stage[static_cast<std::size_t>(slot.stage)].push_back(&slot);
+    }
+  }
+  double makespan = 0.0;
+  for (int s = 0; s < p; ++s) {
+    auto& slots = per_stage[static_cast<std::size_t>(s)];
+    std::sort(slots.begin(), slots.end(),
+              [](const PipelineSlot* a, const PipelineSlot* b) {
+                return a->time < b->time;
+              });
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const double end =
+          static_cast<double>(slots[i]->time) + duration(slots[i]->forward);
+      makespan = std::max(makespan, end);
+      if (i + 1 < slots.size() &&
+          static_cast<double>(slots[i + 1]->time) + kEps < end) {
+        issues.push_back(
+            {ScheduleIssue::Kind::kOverlap, s, slots[i + 1]->micro,
+             slots[i + 1]->forward,
+             slot_name(s, slots[i + 1]->micro, slots[i + 1]->forward) +
+                 " overlaps " +
+                 slot_name(s, slots[i]->micro, slots[i]->forward) +
+                 " — a stage executes one slot at a time"});
+      }
+    }
+  }
+
+  // Starvation: realized bubble far above the analytic floor means slots are
+  // ordered so stages sit idle (e.g. all-forward-then-all-backward with a
+  // 1F1B-sized grid, or gratuitous gaps).
+  if (complete && makespan > 0.0) {
+    const double useful = static_cast<double>(m) * (1.0 + backward_cost);
+    const double bubble = 1.0 - useful / makespan;
+    const double bound = pipeline_bubble_lower_bound(p, m);
+    if (bubble > bound + starvation_slack) {
+      char text[128];
+      std::snprintf(text, sizeof(text),
+                    "schedule realizes a %.1f%% bubble fraction vs the "
+                    "%.1f%% analytic lower bound — stages are starved",
+                    bubble * 100.0, bound * 100.0);
+      issues.push_back({ScheduleIssue::Kind::kStarved, -1, -1, true, text});
+    }
+  }
+  return issues;
 }
 
 namespace {

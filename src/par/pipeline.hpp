@@ -52,6 +52,42 @@ PipelineSchedule build_pipeline_schedule(PipelineScheduleKind kind, int stages,
 /// Closed-form GPipe bubble fraction: (p - 1) / (m + p - 1).
 double gpipe_bubble_fraction(int stages, int micro);
 
+/// Analytic lower bound on the bubble fraction of *any* synchronous pipeline
+/// schedule of `micro` micro-batches over `stages` stages: the (p - 1)
+/// fill/drain slots are unavoidable, so no valid schedule beats
+/// (p - 1) / (m + p - 1) — both GPipe and non-interleaved 1F1B attain it.
+double pipeline_bubble_lower_bound(int stages, int micro);
+
+/// A structural defect in a pipeline schedule found by
+/// validate_pipeline_schedule().
+struct ScheduleIssue {
+  enum class Kind {
+    kMissingSlot,  ///< a (stage, micro, direction) slot absent or duplicated
+    kDependency,   ///< slot starts before its data dependency finishes
+    kOverlap,      ///< two slots occupy the same stage at the same time
+    kStarved,      ///< bubble fraction far above the analytic lower bound
+  };
+  Kind kind = Kind::kMissingSlot;
+  int stage = -1;
+  int micro = -1;
+  bool forward = true;
+  std::string message;
+};
+
+/// Validate that `schedule.slots` forms an executable synchronous-pipeline
+/// timeline: every (stage, micro) pair has exactly one forward and one
+/// backward slot, no two slots overlap on a stage, and every slot starts at
+/// or after its data dependency finishes — forward(s, m) needs
+/// forward(s-1, m); backward(s, m) needs backward(s+1, m), or the local
+/// forward on the last stage. A dependency violation means the schedule
+/// deadlocks under blocking sends. Additionally flags starvation: a realized
+/// bubble fraction more than `starvation_slack` above
+/// pipeline_bubble_lower_bound(). Durations are 1 stage-time (forward) and
+/// `backward_cost` (backward), matching build_pipeline_schedule().
+std::vector<ScheduleIssue> validate_pipeline_schedule(
+    const PipelineSchedule& schedule, double backward_cost = 2.0,
+    double starvation_slack = 0.15);
+
 /// A real threaded pipeline: stage s (one rank) applies its module to each
 /// incoming micro-batch and forwards the activation to stage s+1. Returns
 /// the outputs of the last stage, in micro-batch order. Forward-only

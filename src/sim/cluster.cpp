@@ -79,7 +79,7 @@ double ClusterSim::hop_time(int device, double bytes) const {
   CARAML_CHECK_MSG(link.bandwidth > 0.0,
                    "hop over absent link from device " +
                        std::to_string(device));
-  return (link.latency_s + bytes / link.bandwidth) *
+  return (link.latency_s + bytes / link.effective_bandwidth()) *
          link_derate_[static_cast<std::size_t>(device)];
 }
 
@@ -194,9 +194,10 @@ std::vector<TaskId> ClusterSim::hierarchical_all_reduce(
       TaskId prev = deps[static_cast<std::size_t>(d)];
       if (dpn > 1) {
         for (int step = 0; step < 2 * (dpn - 1); ++step) {
-          const double t = (node_.peer_link.latency_s +
-                            intra_chunk / node_.peer_link.bandwidth) *
-                           link_derate_[static_cast<std::size_t>(d)];
+          const double t =
+              (node_.peer_link.latency_s +
+               intra_chunk / node_.peer_link.effective_bandwidth()) *
+              link_derate_[static_cast<std::size_t>(d)];
           const TaskId send = graph_.add_task(
               links_[static_cast<std::size_t>(d)], t, utilization,
               name + ".intra" + std::to_string(step));
@@ -227,9 +228,10 @@ std::vector<TaskId> ClusterSim::hierarchical_all_reduce(
       prev = merge;
     }
     for (int step = 0; step < 2 * (num_nodes_ - 1); ++step) {
-      const double t = (node_.inter_node.latency_s +
-                        inter_chunk / node_.inter_node.bandwidth) *
-                       link_derate_[static_cast<std::size_t>(leader)];
+      const double t =
+          (node_.inter_node.latency_s +
+           inter_chunk / node_.inter_node.effective_bandwidth()) *
+          link_derate_[static_cast<std::size_t>(leader)];
       const TaskId send = graph_.add_task(
           links_[static_cast<std::size_t>(leader)], t, utilization,
           name + ".inter" + std::to_string(step));
@@ -252,7 +254,7 @@ std::vector<TaskId> ClusterSim::hierarchical_all_reduce(
       }
       const double t =
           (node_.peer_link.latency_s +
-           bytes / dpn / node_.peer_link.bandwidth) *
+           bytes / dpn / node_.peer_link.effective_bandwidth()) *
           link_derate_[static_cast<std::size_t>(d)];
       const TaskId bc = graph_.add_task(links_[static_cast<std::size_t>(d)],
                                         t, utilization, name + ".bcast");

@@ -1,0 +1,235 @@
+#include "sim/layout_analytic.hpp"
+
+#include <algorithm>
+
+#include "sim/power_model.hpp"
+#include "util/error.hpp"
+
+namespace caraml::sim {
+
+namespace {
+
+/// Utilization the optimizer update presents to the power model
+/// (memory-bandwidth bound; mirrors core/llm.cpp).
+constexpr double kOptimizerUtil = 0.08;
+
+double micro_tokens_of(const LlmLayoutCost& layout) {
+  return static_cast<double>(layout.micro_batch) * layout.model.seq_length;
+}
+
+}  // namespace
+
+LlmMicroCost llm_micro_cost(const topo::NodeSpec& node,
+                            const LlmLayoutCost& layout,
+                            double power_cap_factor) {
+  CARAML_CHECK_MSG(layout.tensor_parallel >= 1 &&
+                       layout.pipeline_parallel >= 1,
+                   "tp/pp must be >= 1");
+  CARAML_CHECK_MSG(power_cap_factor > 0.0 && power_cap_factor <= 1.0,
+                   "power cap factor must be in (0, 1]");
+  const int tp = layout.tensor_parallel;
+  const int pp = layout.pipeline_parallel;
+
+  LlmMicroCost cost;
+  // Effective MFU: host contention degrades per-device efficiency when more
+  // devices are active on the node (paper §IV-A, GH200-JEDI vs GH200-JRDC).
+  const double contention =
+      1.0 + node.host_contention *
+                (std::min(layout.num_devices(), layout.devices_per_node) - 1);
+  cost.mfu = node.device.max_mfu_gemm / contention;
+  // Power during the (possibly contention-stalled) kernels: stalls draw idle
+  // power on GH200 (host-memory waits) but busy-wait power on MI250
+  // (Infinity-Fabric communication), cf. topo::NodeSpec::contention_power_frac.
+  cost.power_util =
+      power_cap_factor *
+      (cost.mfu +
+       node.contention_power_frac * (node.device.max_mfu_gemm - cost.mfu));
+
+  const double micro_tokens = micro_tokens_of(layout);
+  const double flops_micro =
+      layout.model.flops_per_token_train() * micro_tokens / (tp * pp);
+  cost.t_compute_s = flops_micro / (node.device.peak_fp16_flops * cost.mfu) +
+                     node.device.launch_overhead_s;
+  if (tp > 1) {
+    // Megatron tensor parallelism: 4 activation all-reduces per layer per
+    // micro-step (2 forward, 2 backward) over the intra-node peer link.
+    CARAML_CHECK_MSG(node.peer_link.bandwidth > 0.0,
+                     node.display_name + " has no peer link for tp > 1");
+    const double act_bytes =
+        micro_tokens * static_cast<double>(layout.model.hidden_size) * 2.0;
+    const double layers_local =
+        static_cast<double>(layout.model.num_layers) / pp;
+    const double ring_factor = 2.0 * (tp - 1) / tp;
+    cost.t_tp_comm_s =
+        4.0 * layers_local *
+        (node.peer_link.latency_s +
+         act_bytes * ring_factor / node.peer_link.effective_bandwidth());
+  }
+  if (pp > 1) {
+    // Inter-stage activation send/recv per micro-step (both directions).
+    CARAML_CHECK_MSG(node.peer_link.bandwidth > 0.0,
+                     node.display_name + " has no peer link for pp > 1");
+    const double act_bytes = micro_tokens *
+                             static_cast<double>(layout.model.hidden_size) *
+                             2.0 / tp;
+    cost.t_pp_comm_s =
+        2.0 * (node.peer_link.latency_s +
+               act_bytes / node.peer_link.effective_bandwidth());
+  }
+  cost.t_micro_s = cost.t_compute_s + cost.t_tp_comm_s + cost.t_pp_comm_s;
+  return cost;
+}
+
+AllReduceCost analytic_all_reduce(const topo::NodeSpec& node,
+                                  int devices_per_node, int num_nodes,
+                                  double bytes) {
+  CARAML_CHECK_MSG(devices_per_node >= 1 && num_nodes >= 1,
+                   "need at least one device and node");
+  AllReduceCost cost;
+  const int n = devices_per_node * num_nodes;
+  if (n <= 1) return cost;
+
+  if (num_nodes == 1) {
+    // Flat ring over the peer link: 2*(n-1) steps of bytes/n chunks. Every
+    // device starts in lockstep and every hop costs the same, so the
+    // dependency wavefront (ClusterSim::ring_all_reduce) finishes after
+    // exactly 2*(n-1) hop times.
+    CARAML_CHECK_MSG(node.peer_link.bandwidth > 0.0,
+                     node.display_name + " has no peer link");
+    const double chunk = bytes / n;
+    const double hop = node.peer_link.latency_s +
+                       chunk / node.peer_link.effective_bandwidth();
+    cost.total_s = 2.0 * (n - 1) * hop;
+    cost.leader_s = cost.total_s;
+    cost.intra_bytes_per_device = 2.0 * (n - 1) * chunk;
+    return cost;
+  }
+
+  // Hierarchical (ClusterSim::hierarchical_all_reduce): intra-node ring,
+  // inter-node ring across node leaders, intra-node broadcast.
+  CARAML_CHECK_MSG(node.inter_node.bandwidth > 0.0,
+                   node.display_name + " has no inter-node interconnect");
+  const int dpn = devices_per_node;
+  double intra = 0.0;
+  double bcast = 0.0;
+  if (dpn > 1) {
+    CARAML_CHECK_MSG(node.peer_link.bandwidth > 0.0,
+                     node.display_name + " has no peer link");
+    const double chunk = bytes / dpn;
+    const double hop = node.peer_link.latency_s +
+                       chunk / node.peer_link.effective_bandwidth();
+    intra = 2.0 * (dpn - 1) * hop;
+    bcast = hop;
+    cost.intra_bytes_per_device = 2.0 * (dpn - 1) * chunk + chunk;
+  }
+  const double inter_chunk = bytes / num_nodes;
+  const double inter =
+      2.0 * (num_nodes - 1) *
+      (node.inter_node.latency_s +
+       inter_chunk / node.inter_node.effective_bandwidth());
+  cost.inter_bytes_per_leader = 2.0 * (num_nodes - 1) * inter_chunk;
+  cost.leader_s = intra + inter;
+  cost.total_s = cost.leader_s + bcast;
+  return cost;
+}
+
+LlmPrediction predict_llm_iteration(const topo::NodeSpec& node,
+                                    const LlmLayoutCost& layout) {
+  CARAML_CHECK_MSG(node.device.arch == topo::ArchClass::kGpuSimd,
+                   "layout prediction targets GPU systems");
+  const int tp = layout.tensor_parallel;
+  const int pp = layout.pipeline_parallel;
+  const int dp = layout.data_parallel;
+  CARAML_CHECK_MSG(tp >= 1 && pp >= 1 && dp >= 1, "tp/pp/dp must be >= 1");
+  CARAML_CHECK_MSG(dp * tp * pp == layout.num_devices(),
+                   "dp*tp*pp must equal the device count");
+  CARAML_CHECK_MSG(layout.micro_batch > 0 && layout.global_batch > 0 &&
+                       layout.global_batch % (layout.micro_batch * dp) == 0,
+                   "global batch must divide by micro-batch x data-parallel");
+
+  LlmPrediction out;
+
+  // ---- memory (identical to the simulator's MemoryTracker allocations) ----
+  models::GptMemoryModel memory;
+  memory.config = layout.model;
+  memory.tensor_parallel = tp;
+  memory.pipeline_parallel = pp;
+  memory.data_parallel = dp;
+  memory.micro_batch = static_cast<int>(layout.micro_batch);
+  out.memory_per_device_bytes = memory.total_bytes();
+  out.memory_margin_bytes =
+      node.device.mem_capacity_bytes - out.memory_per_device_bytes;
+  out.oom = out.memory_margin_bytes < 0.0;
+
+  // ---- timing --------------------------------------------------------------
+  out.n_micro = layout.global_batch / (layout.micro_batch * dp);
+  out.bubble_slots = pp - 1;
+  const LlmMicroCost micro = llm_micro_cost(node, layout);
+  out.t_micro_s = micro.t_micro_s;
+  out.t_compute_s = micro.t_compute_s;
+  out.mfu = micro.mfu;
+  out.power_util = micro.power_util;
+
+  const double grad_bytes = memory.gradient_comm_bytes();
+  AllReduceCost all_reduce;
+  if (dp > 1) {
+    all_reduce = analytic_all_reduce(node, layout.devices_per_node,
+                                     layout.num_nodes, grad_bytes);
+  }
+  out.t_allreduce_s = all_reduce.total_s;
+  out.t_optimizer_s = memory.model_state_bytes() / node.device.mem_bandwidth;
+
+  const double compute_phase =
+      static_cast<double>(out.n_micro + out.bubble_slots) * out.t_micro_s;
+  out.iteration_time_s = node.fixed_iter_overhead_s + compute_phase +
+                         out.t_allreduce_s + out.t_optimizer_s;
+
+  // ---- throughput ----------------------------------------------------------
+  const double tokens_per_iter = static_cast<double>(layout.global_batch) *
+                                 layout.model.seq_length;
+  out.tokens_per_s_total = tokens_per_iter / out.iteration_time_s;
+  out.tokens_per_s_per_device =
+      out.tokens_per_s_total / layout.num_devices();
+  // Achieved (end-to-end) MFU, as core::run_llm_gpu reports it: the kernel
+  // MFU diluted by host overhead, bubbles, all-reduce and optimizer time.
+  out.mfu = out.tokens_per_s_per_device *
+            layout.model.flops_per_token_train() /
+            node.device.peak_fp16_flops;
+
+  // ---- power (device 0's PowerTrace over [0, iteration]) -------------------
+  const double busy_micro = busy_power_watts(node.device, micro.power_util);
+  const double busy_floor = busy_power_watts(node.device, 0.0);
+  const double busy_opt = busy_power_watts(node.device, kOptimizerUtil);
+  const double busy_s =
+      compute_phase + out.t_optimizer_s;  // device 0 idles during all-reduce
+  out.energy_per_device_j =
+      busy_micro * static_cast<double>(out.n_micro) * out.t_micro_s +
+      busy_floor * static_cast<double>(out.bubble_slots) * out.t_micro_s +
+      busy_opt * out.t_optimizer_s +
+      node.device.idle_watts * (out.iteration_time_s - busy_s);
+  out.avg_power_w = out.energy_per_device_j / out.iteration_time_s;
+
+  // ---- per-iteration communication volume ----------------------------------
+  const double micro_tokens = micro_tokens_of(layout);
+  if (tp > 1) {
+    const double act_bytes =
+        micro_tokens * static_cast<double>(layout.model.hidden_size) * 2.0;
+    out.tp_bytes_per_device =
+        static_cast<double>(out.n_micro) * 4.0 *
+        (static_cast<double>(layout.model.num_layers) / pp) * act_bytes *
+        (2.0 * (tp - 1) / tp);
+  }
+  if (pp > 1) {
+    out.pp_bytes_per_device =
+        static_cast<double>(out.n_micro) * 2.0 * micro_tokens *
+        static_cast<double>(layout.model.hidden_size) * 2.0 / tp;
+  }
+  out.dp_intra_bytes_per_device = all_reduce.intra_bytes_per_device;
+  out.dp_inter_bytes_per_leader = all_reduce.inter_bytes_per_leader;
+  out.exposed_comm_s = static_cast<double>(out.n_micro) *
+                           (micro.t_tp_comm_s + micro.t_pp_comm_s) +
+                       out.t_allreduce_s;
+  return out;
+}
+
+}  // namespace caraml::sim

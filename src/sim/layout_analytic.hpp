@@ -1,0 +1,114 @@
+// Closed-form analytic mirror of the LLM-training task graph that
+// core/llm.cpp builds through ClusterSim.
+//
+// The static layout analyzer (`caraml lint` layout/* rules) must predict what
+// the simulator would measure without constructing a task graph — a 10k+
+// device layout has millions of tasks, but its makespan has a closed form
+// because every device follows the same schedule. To keep the two from
+// drifting, core/llm.cpp's hot path calls llm_micro_cost() for its per-micro
+// step cost, and the collective formulas here mirror ClusterSim's ring /
+// hierarchical all-reduce dependency structure step for step (asserted by the
+// sim-agreement test in tests/layout_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "models/gpt_cost.hpp"
+#include "topo/specs.hpp"
+
+namespace caraml::sim {
+
+/// A TP x PP x DP layout of an LLM training job over a homogeneous cluster.
+struct LlmLayoutCost {
+  models::GptConfig model;
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  int data_parallel = 1;
+  std::int64_t micro_batch = 1;
+  std::int64_t global_batch = 1;
+  int devices_per_node = 1;  // devices actually used per node
+  int num_nodes = 1;
+
+  int num_devices() const { return devices_per_node * num_nodes; }
+};
+
+/// Cost of one gradient-accumulation micro-step on one device: GEMM compute
+/// at contention-degraded MFU plus the serialized TP all-reduces and PP
+/// activation exchanges (cf. core/llm.cpp run_llm_gpu).
+struct LlmMicroCost {
+  double t_micro_s = 0.0;    ///< total micro-step time (compute + tp + pp)
+  double t_compute_s = 0.0;  ///< GEMM time incl. launch overhead
+  double t_tp_comm_s = 0.0;  ///< Megatron activation all-reduces per micro
+  double t_pp_comm_s = 0.0;  ///< inter-stage activation send/recv per micro
+  double mfu = 0.0;          ///< contention-degraded achieved MFU
+  double power_util = 0.0;   ///< utilization fed to the power model
+};
+
+/// Per-micro-step cost; `power_cap_factor` in (0, 1] scales power_util
+/// (the simulator's --power-cap knob; the static analyzer uses 1.0).
+LlmMicroCost llm_micro_cost(const topo::NodeSpec& node,
+                            const LlmLayoutCost& layout,
+                            double power_cap_factor = 1.0);
+
+/// Analytic timing of ClusterSim::hierarchical_all_reduce (which degenerates
+/// to the flat ring for num_nodes == 1) when every participating device
+/// starts at the same instant — exactly the situation after the synchronized
+/// compute phase of run_llm_gpu.
+struct AllReduceCost {
+  double total_s = 0.0;   ///< worst device's completion (non-leaders wait
+                          ///< for the phase-3 broadcast)
+  double leader_s = 0.0;  ///< device 0's completion (skips the broadcast)
+  double intra_bytes_per_device = 0.0;  ///< peer-link traffic per device
+  double inter_bytes_per_leader = 0.0;  ///< inter-node traffic per leader
+};
+
+AllReduceCost analytic_all_reduce(const topo::NodeSpec& node,
+                                  int devices_per_node, int num_nodes,
+                                  double bytes);
+
+/// Full per-iteration prediction: timing, throughput, power and per-link
+/// communication volume for one layout. Matches run_llm_gpu's task graph in
+/// the fault-free case (no derates, power_cap_factor 1).
+struct LlmPrediction {
+  // memory (same GptMemoryModel the simulator allocates from)
+  double memory_per_device_bytes = 0.0;
+  double memory_margin_bytes = 0.0;  ///< capacity - footprint (< 0 = OOM)
+  bool oom = false;
+
+  // timing
+  double iteration_time_s = 0.0;
+  double t_micro_s = 0.0;
+  double t_compute_s = 0.0;
+  double t_allreduce_s = 0.0;  ///< exposed DP gradient all-reduce time
+  double t_optimizer_s = 0.0;
+  std::int64_t n_micro = 0;
+  std::int64_t bubble_slots = 0;  ///< pp - 1 fill/drain slots per device
+  double mfu = 0.0;
+  double power_util = 0.0;
+
+  // throughput
+  double tokens_per_s_total = 0.0;
+  double tokens_per_s_per_device = 0.0;
+
+  // power/energy (device 0, mirroring the simulator's PowerTrace)
+  double avg_power_w = 0.0;
+  double energy_per_device_j = 0.0;
+
+  // per-iteration communication volume per link class, bytes
+  double tp_bytes_per_device = 0.0;     ///< TP activation all-reduces (peer)
+  double pp_bytes_per_device = 0.0;     ///< PP activation exchange (peer)
+  double dp_intra_bytes_per_device = 0.0;  ///< gradient ring, peer link
+  double dp_inter_bytes_per_leader = 0.0;  ///< gradient ring, inter-node
+  /// Communication time not overlapped with compute: the TP/PP terms are
+  /// serialized inside every micro-step and the DP all-reduce runs after the
+  /// compute phase.
+  double exposed_comm_s = 0.0;
+};
+
+/// Predict one training iteration. Preconditions (checked): layout divides
+/// (global % (micro * dp) == 0, dp*tp*pp == num_devices), GPU arch, and the
+/// links the layout needs exist.
+LlmPrediction predict_llm_iteration(const topo::NodeSpec& node,
+                                    const LlmLayoutCost& layout);
+
+}  // namespace caraml::sim

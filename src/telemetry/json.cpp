@@ -72,7 +72,9 @@ std::string escape(const std::string& text) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (c < 0x20) {
+        // 0x7f (DEL) is a control character too; escape it so consumers
+        // never see raw control bytes in string literals.
+        if (c < 0x20 || c == 0x7f) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x", c);
           out += buf;

@@ -20,6 +20,7 @@ const std::vector<DoubleField<DeviceSpec>>& device_double_fields() {
       {"util_at_tdp", &DeviceSpec::util_at_tdp, true},
       {"conv_power_boost", &DeviceSpec::conv_power_boost, false},
       {"mcm_shared_watts", &DeviceSpec::mcm_shared_watts, false},
+      {"power_cap_watts", &DeviceSpec::power_cap_watts, false},
   };
   return fields;
 }
@@ -40,6 +41,7 @@ const std::vector<DoubleField<NodeSpec>>& node_double_fields() {
       {"fixed_iter_overhead_s", &NodeSpec::fixed_iter_overhead_s, false},
       {"host_pipeline_images_per_s", &NodeSpec::host_pipeline_images_per_s,
        false},
+      {"node_power_cap_watts", &NodeSpec::node_power_cap_watts, false},
   };
   return fields;
 }
@@ -57,6 +59,7 @@ const std::vector<DoubleField<LinkSpec>>& link_double_fields() {
   static const std::vector<DoubleField<LinkSpec>> fields = {
       {"bandwidth", &LinkSpec::bandwidth, false},
       {"latency_s", &LinkSpec::latency_s, false},
+      {"efficiency", &LinkSpec::efficiency, false},
   };
   return fields;
 }

@@ -51,6 +51,10 @@ struct DeviceSpec {
   /// For MCM devices (MI250): package power shared between the two GCDs,
   /// attributed to a lone active GCD when its sibling idles.
   double mcm_shared_watts = 0.0;
+  /// Facility power cap per device (W); 0 = uncapped. A layout whose
+  /// predicted sustained power exceeds the cap is statically infeasible
+  /// (checked by `caraml lint` layout/power-infeasible).
+  double power_cap_watts = 0.0;
 };
 
 /// Exponent of the power-vs-utilization curve (DVFS makes power superlinear
@@ -63,6 +67,13 @@ struct LinkSpec {
   std::string name;           // "NVLink4", "PCIe Gen 5", "IPU-Link", ...
   double bandwidth = 0.0;     // bytes/s, bidirectional per device
   double latency_s = 0.0;     // per-message latency
+  /// Achievable fraction of the datasheet bandwidth (protocol overhead,
+  /// congestion); must lie in (0, 1]. Both the simulator's hop model and the
+  /// static layout analyzer divide by bandwidth * efficiency.
+  double efficiency = 1.0;
+
+  /// Bandwidth the cost models may actually use.
+  double effective_bandwidth() const { return bandwidth * efficiency; }
 };
 
 /// A full node configuration (one column of paper Table I).
@@ -104,6 +115,11 @@ struct NodeSpec {
   /// page-cache factor). Models the "faster data loading with 4x CPU memory"
   /// effect of paper §IV-B.
   double host_pipeline_images_per_s = 0.0;
+
+  /// Facility power cap for the whole node (W); 0 = uncapped. Compared
+  /// against predicted sustained power x devices_per_node by the static
+  /// layout analyzer.
+  double node_power_cap_watts = 0.0;
 
   /// CPU host memory available per accelerator (drives the data-staging
   /// model that explains GH200-JEDI vs GH200-JRDC, paper §IV-A/B).

@@ -15,6 +15,7 @@
 #include "check/diagnostics.hpp"
 #include "check/lint.hpp"
 #include "check/rules.hpp"
+#include "telemetry/json.hpp"
 #include "topo/spec_yaml.hpp"
 #include "util/error.hpp"
 #include "yaml/yaml.hpp"
@@ -56,8 +57,12 @@ TEST(LintCorpus, DuplicateKeysBlockAndFlow) {
 }
 
 TEST(LintCorpus, BadAndCapturelessRegex) {
+  // The llm_train cell is itself fine, so it picks up the layout analyzer's
+  // info-level predictions alongside the seeded regex defects.
   EXPECT_EQ(lint_corpus_file("bad_regex.yaml"),
-            (V{"jube/bad-regex@8:12", "jube/regex-no-capture@10:12"}));
+            (V{"layout/predicted-energy@4:5",
+               "layout/predicted-oom-margin@4:5", "layout/predicted-time@4:5",
+               "jube/bad-regex@8:12", "jube/regex-no-capture@10:12"}));
 }
 
 TEST(LintCorpus, ParameterCycleAndUnresolvedReference) {
@@ -76,18 +81,77 @@ TEST(LintCorpus, StepGraphDefects) {
 
 TEST(LintCorpus, TagSetSelectingNothing) {
   EXPECT_EQ(lint_corpus_file("tag_empty.yaml"),
-            (V{"jube/tag-selects-nothing@1:1"}));
+            (V{"jube/tag-selects-nothing@1:1", "layout/predicted-energy@10:5",
+               "layout/predicted-oom-margin@10:5",
+               "layout/predicted-time@10:5"}));
 }
 
 TEST(LintCorpus, GuaranteedOomLlmWorkloadFlaggedStatically) {
   DiagnosticList diags;
   EXPECT_EQ(lint_corpus_file("oom_llm.yaml", &diags),
-            (V{"sim/static-oom@11:18"}));
+            (V{"layout/predicted-oom-margin@11:18", "sim/static-oom@11:18"}));
   // Warning, not error: the simulator survives an OOM (reports the cell as
   // OOM), so a lint run over such a sweep must still exit 0.
   EXPECT_FALSE(diags.has_errors());
-  EXPECT_NE(diags.items()[0].message.find("175B"), std::string::npos);
-  EXPECT_NE(diags.items()[0].message.find("A100"), std::string::npos);
+  EXPECT_NE(diags.items()[1].message.find("175B"), std::string::npos);
+  EXPECT_NE(diags.items()[1].message.find("A100"), std::string::npos);
+  // The layout analyzer states the same footprint/capacity verdict, at the
+  // same mark, from the shared analytic hooks.
+  EXPECT_NE(diags.items()[0].message.find("37.3 GiB"), std::string::npos);
+}
+
+// --- layout analyzer corpus -----------------------------------------------------
+
+TEST(LintCorpus, LayoutFeasibilityDefects) {
+  DiagnosticList diags;
+  EXPECT_EQ(lint_corpus_file("layout_bad.yaml", &diags),
+            (V{"layout/invalid@5:5", "layout/invalid@10:5", "layout/oom@18:5",
+               "layout/predicted-oom-margin@18:5",
+               "layout/activation-pressure@26:5",
+               "layout/predicted-energy@26:5",
+               "layout/predicted-oom-margin@26:5", "layout/predicted-time@26:5",
+               "layout/schedule-bubble@26:5", "layout/comm-bound@39:5",
+               "layout/power-infeasible@39:5", "layout/power-infeasible@39:5",
+               "layout/predicted-energy@39:5",
+               "layout/predicted-oom-margin@39:5",
+               "layout/predicted-time@39:5"}));
+  // Invalid layouts are errors (they cannot run); feasibility hazards the
+  // simulator would survive (OOM, pressure, comm-bound, power) are warnings.
+  EXPECT_EQ(diags.count(Severity::kError), 2u);
+  EXPECT_EQ(diags.count(Severity::kWarning), 5u);
+  // Both the 200 W device cap and the 500 W node cap fire on slow-fabric.
+  const auto& items = diags.items();
+  int power = 0;
+  for (const auto& d : items) power += d.rule_id == "layout/power-infeasible";
+  EXPECT_EQ(power, 2);
+}
+
+TEST(LintCorpus, SeededBadPipelineSchedules) {
+  DiagnosticList diags;
+  lint_file(corpus("schedule_bad.yaml"), LintOptions{}, diags);
+  diags.sort();
+  std::vector<std::string> schedule_prints;
+  for (const auto& d : diags.items()) {
+    if (d.rule_id.rfind("layout/schedule-", 0) == 0 &&
+        d.rule_id != "layout/schedule-bubble") {
+      schedule_prints.push_back(d.rule_id + "@" +
+                                std::to_string(d.location.line) + ":" +
+                                std::to_string(d.location.column));
+    }
+  }
+  // Four never-scheduled backward slots, one blocking-send dependency
+  // violation, one double-booked stage, one starved-but-valid timeline.
+  EXPECT_EQ(schedule_prints,
+            (V{"layout/schedule-deadlock@14:7", "layout/schedule-deadlock@14:7",
+               "layout/schedule-deadlock@14:7", "layout/schedule-deadlock@14:7",
+               "layout/schedule-deadlock@32:7", "layout/schedule-overlap@53:7",
+               "layout/schedule-starved@75:7"}));
+}
+
+TEST(LintCorpus, LinkEfficiencyAndPowerCapRanges) {
+  EXPECT_EQ(lint_corpus_file("link_bad.yaml"),
+            (V{"sim/nonpositive-spec@4:5", "sim/nonpositive-spec@4:5",
+               "sim/nonpositive-spec@6:29"}));
 }
 
 TEST(LintCorpus, FaultPlanDefects) {
@@ -128,16 +192,40 @@ TEST(LintCorpus, ShippedConfigsProduceNoErrors) {
   // an A100 at runtime (the lint prediction matches the simulator).
   ASSERT_EQ(diags.count(Severity::kWarning), 2u) << diags.render_human();
   diags.sort();
-  const auto& unknown_system = diags.items()[0];
-  EXPECT_EQ(unknown_system.rule_id, "sim/unknown-system");
-  EXPECT_NE(unknown_system.location.file.find("calibration_table1.yaml"),
+  const Diagnostic* unknown_system = nullptr;
+  const Diagnostic* oom = nullptr;
+  for (const auto& d : diags.items()) {
+    if (d.rule_id == "sim/unknown-system") unknown_system = &d;
+    if (d.rule_id == "sim/static-oom") oom = &d;
+  }
+  ASSERT_NE(unknown_system, nullptr);
+  EXPECT_NE(unknown_system->location.file.find("calibration_table1.yaml"),
             std::string::npos);
-  const auto& oom = diags.items()[1];
-  EXPECT_EQ(oom.rule_id, "sim/static-oom");
-  EXPECT_NE(oom.location.file.find("resnet50_benchmark.yaml"),
+  ASSERT_NE(oom, nullptr);
+  EXPECT_NE(oom->location.file.find("resnet50_benchmark.yaml"),
             std::string::npos);
-  EXPECT_EQ(oom.location.line, 27u);
-  EXPECT_EQ(oom.location.column, 31u);  // the "1024" token in the batch list
+  EXPECT_EQ(oom->location.line, 27u);
+  EXPECT_EQ(oom->location.column, 31u);  // the "1024" token in the batch list
+}
+
+TEST(LintCorpus, ShippedLayoutManifestIsCleanAndRanked) {
+  DiagnosticList diags =
+      lint_paths({std::string(CARAML_CONFIG_DIR) + "/layouts_paper_scale.yaml"});
+  EXPECT_EQ(diags.count(Severity::kError), 0u) << diags.render_human();
+  EXPECT_EQ(diags.count(Severity::kWarning), 0u) << diags.render_human();
+  // Every shipped entry is feasible, so each gets the full predicted-* set
+  // and a rank; the 10240-device 175B layout participates like any other.
+  int ranked = 0;
+  bool saw_paper_scale = false;
+  for (const auto& d : diags.items()) {
+    if (d.rule_id != "layout/predicted-time") continue;
+    ++ranked;
+    EXPECT_NE(d.message.find(", rank "), std::string::npos);
+    saw_paper_scale |=
+        d.message.find("waih100-175b-10240dev") != std::string::npos;
+  }
+  EXPECT_EQ(ranked, 5);
+  EXPECT_TRUE(saw_paper_scale);
 }
 
 // --- engine ---------------------------------------------------------------------
@@ -195,6 +283,42 @@ TEST(LintEngine, JsonRenderingCarriesSummary) {
   EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
 }
 
+TEST(LintEngine, JsonRenderingEscapesControlAndInvalidBytes) {
+  DiagnosticList diags;
+  // Messages quote bytes straight from user configs: control characters,
+  // DEL, a bare continuation byte (invalid UTF-8) and a valid two-byte
+  // sequence. The artifact must stay parseable JSON regardless.
+  diags.report("fault/bad-rate", {"bad\x01name.yaml", 1, 1},
+               std::string("ctrl \x02 del \x7f bad \xbf ok \xc3\xa9"));
+  const std::string json = diags.render_json();
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+  EXPECT_NE(json.find("\\u007f"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  // The stray continuation byte became U+FFFD; the valid sequence survived.
+  EXPECT_NE(json.find("\xef\xbf\xbd"), std::string::npos);
+  EXPECT_NE(json.find("\xc3\xa9"), std::string::npos);
+  // Round-trips through the strict in-repo JSON parser.
+  const auto parsed = telemetry::json::parse(json);
+  EXPECT_EQ(parsed.at("summary").at("errors").as_int(), 1);
+  const std::string message =
+      parsed.at("diagnostics").as_array()[0].at("message").as_string();
+  EXPECT_NE(message.find('\x02'), std::string::npos);
+  EXPECT_NE(message.find("bad \xef\xbf\xbd ok"), std::string::npos);
+}
+
+TEST(LintEngine, ListedRulesSortDeterministically) {
+  // The CLI sorts --list-rules by id; mirror the invariant here so the
+  // catalogue stays renderable in a stable order however rules register.
+  std::vector<std::string> ids;
+  for (const auto& rule : rule_catalogue()) ids.push_back(rule.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(),
+                                 std::string("layout/predicted-time")));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(),
+                                 std::string("layout/schedule-deadlock")));
+}
+
 TEST(LintEngine, CatalogueIdsAreUniqueAndDocumented) {
   std::vector<std::string> ids;
   for (const auto& rule : rule_catalogue()) {
@@ -222,6 +346,7 @@ TEST(LintClassify, TopLevelKeysDecideKind) {
             FileKind::kFaultPlan);
   EXPECT_EQ(classify(*yaml::parse("events: []")), FileKind::kFaultPlan);
   EXPECT_EQ(classify(*yaml::parse("systems: []")), FileKind::kSpecTable);
+  EXPECT_EQ(classify(*yaml::parse("layouts: []")), FileKind::kLayouts);
   EXPECT_EQ(classify(*yaml::parse("foo: 1")), FileKind::kUnknown);
 }
 
