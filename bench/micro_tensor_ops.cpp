@@ -15,7 +15,10 @@
 
 #include <cmath>
 
+#include "tensor/dtype.hpp"
 #include "tensor/fused.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
@@ -23,6 +26,8 @@
 namespace {
 
 using caraml::Rng;
+using caraml::tensor::Bf16Tensor;
+using caraml::tensor::QuantizedTensor;
 using caraml::tensor::Tensor;
 
 void BM_Matmul(benchmark::State& state) {
@@ -63,6 +68,98 @@ void BM_MatmulTn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_MatmulTn)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
+
+// --- dtype variants ----------------------------------------------------------
+//
+// Naming contract for `bench_perf.py dtype-speedup`: a dtype benchmark pairs
+// with the fp32 benchmark whose name is the same minus the "Bf16" / "Int8"
+// token (BM_MatmulBf16Wide/4096 <-> BM_MatmulWide/4096). The Wide shapes are
+// the bandwidth-bound decode case (8 rows against a square weight): there the
+// GEMM streams op(B) once per call and the 2x / 4x smaller storage of
+// bf16 / int8 converts directly into speedup. The cubic shapes are
+// compute-bound on this substrate and document that dtype storage does NOT
+// help when the packing already amortizes the traffic.
+
+void BM_MatmulBf16(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Bf16Tensor a = Bf16Tensor::from_float(Tensor::randn({n, n}, rng));
+  const Bf16Tensor b = Bf16Tensor::from_float(Tensor::randn({n, n}, rng));
+  for (auto _ : state) {
+    Tensor c = caraml::tensor::matmul_bf16(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulBf16)->Arg(256)->UseRealTime();
+
+void BM_MatmulInt8(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const QuantizedTensor a =
+      caraml::tensor::quantize_per_tensor(Tensor::randn({n, n}, rng));
+  const QuantizedTensor b =
+      caraml::tensor::quantize_per_channel_rows(Tensor::randn({n, n}, rng));
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.fill(0.0f);  // gemm_i8 accumulates into C
+    caraml::tensor::detail::gemm_i8(true, n, n, n, a.data.data(), n,
+                                    b.data.data(), n, a.scales[0],
+                                    b.scales.data(), c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulInt8)->Arg(256)->UseRealTime();
+
+// fp32 anchor of the Wide pairs: 8 decode rows against an [n, n] weight,
+// matmul_nt like every Linear forward.
+void BM_MatmulWide(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({8, n}, rng);
+  const Tensor w = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = caraml::tensor::matmul_nt(a, w);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 8 * n * n);
+}
+BENCHMARK(BM_MatmulWide)->Arg(2048)->Arg(4096)->UseRealTime();
+
+void BM_MatmulBf16Wide(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Bf16Tensor a = Bf16Tensor::from_float(Tensor::randn({8, n}, rng));
+  const Bf16Tensor w = Bf16Tensor::from_float(Tensor::randn({n, n}, rng));
+  for (auto _ : state) {
+    Tensor c = caraml::tensor::matmul_nt_bf16(a, w);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 8 * n * n);
+}
+BENCHMARK(BM_MatmulBf16Wide)->Arg(2048)->Arg(4096)->UseRealTime();
+
+void BM_MatmulInt8Wide(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a_f32 = Tensor::randn({8, n}, rng);
+  const QuantizedTensor w =
+      caraml::tensor::quantize_per_channel_rows(Tensor::randn({n, n}, rng));
+  Tensor c({8, n});
+  for (auto _ : state) {
+    // Activations quantize per forward in the inference path — that pass is
+    // part of what the Wide pair measures (it is O(m·k) next to O(m·k·n)).
+    const QuantizedTensor a = caraml::tensor::quantize_per_tensor(a_f32);
+    c.fill(0.0f);
+    caraml::tensor::detail::gemm_i8(true, 8, n, n, a.data.data(), n,
+                                    w.data.data(), n, a.scales[0],
+                                    w.scales.data(), c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 8 * n * n);
+}
+BENCHMARK(BM_MatmulInt8Wide)->Arg(2048)->Arg(4096)->UseRealTime();
 
 void BM_Conv2d(benchmark::State& state) {
   const std::int64_t channels = state.range(0);

@@ -21,6 +21,13 @@ Stdlib-only perf-regression harness for the tensor microbenchmarks:
     python3 scripts/bench_perf.py scaling \
         BENCH_tensor.json BENCH_tensor_mt.json st.json mt.json --max-drop 0.20
 
+    # CI: fail when a bf16/int8 kernel's speedup over its fp32 twin drops
+    # >20% below the committed baseline. Pairing is by name: a benchmark
+    # containing "Bf16" or "Int8" gates against the benchmark named the same
+    # minus that token (BM_MatmulBf16Wide/4096 <-> BM_MatmulWide/4096).
+    python3 scripts/bench_perf.py dtype-speedup \
+        BENCH_tensor_dtype.json fresh.json --max-drop 0.20
+
 Comparison uses real_time (the kernels run on a thread pool; CPU time of the
 benchmark thread measures dispatch, not compute). Benchmarks present in only
 one of the two files are reported but never fail the check, so adding or
@@ -52,11 +59,16 @@ def load_benchmarks(path):
     for bench in benches:
         if bench.get("run_type") == "aggregate":
             continue
+        name = bench.get("name")
+        if name is None:
+            sys.exit(f"{path}: benchmark entry is missing its 'name' key")
+        if "real_time" not in bench:
+            sys.exit(f"{path}: benchmark '{name}' is missing its 'real_time' key")
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
         if scale is None:
-            sys.exit(f"{path}: unknown time_unit '{unit}' in {bench['name']}")
-        out[bench["name"]] = float(bench["real_time"]) * scale
+            sys.exit(f"{path}: unknown time_unit '{unit}' in {name}")
+        out[name] = float(bench["real_time"]) * scale
     if not out:
         sys.exit(f"{path}: no benchmarks found")
     return out
@@ -78,9 +90,7 @@ def cmd_record(args):
 
 
 def cmd_compare(args):
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    base = baseline["benchmarks"]
+    base = load_benchmarks(args.baseline)
     current = load_benchmarks(args.results)
 
     failures = []
@@ -159,6 +169,68 @@ def cmd_scaling(args):
     return 0
 
 
+def dtype_pairs(names):
+    """Yield (dtype_bench, fp32_partner) for every Bf16/Int8 benchmark name."""
+    for name in sorted(names):
+        for token in ("Bf16", "Int8"):
+            if token in name:
+                yield name, name.replace(token, "", 1)
+                break
+
+
+def cmd_dtype_speedup(args):
+    base = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.results)
+
+    pairs = list(dtype_pairs(base))
+    if not pairs:
+        sys.exit(f"{args.baseline}: no Bf16/Int8 benchmark to gate")
+    # Unlike compare/scaling, a missing half of a tagged pair is an error, not
+    # a skip: silently dropping the fp32 anchor (or the dtype bench) would
+    # disarm the gate without failing anything.
+    for name, partner in pairs:
+        for key, path, mapping in (
+            (partner, args.baseline, base),
+            (name, args.results, current),
+            (partner, args.results, current),
+        ):
+            if key not in mapping:
+                sys.exit(
+                    f"{path}: missing benchmark '{key}' needed to gate the "
+                    f"dtype speedup of '{name}'"
+                )
+
+    failures = []
+    width = max(len(name) for name, _ in pairs)
+    print(f"{'benchmark':<{width}}  {'base vs fp32':>12}  {'cur vs fp32':>12}  delta")
+    for name, partner in pairs:
+        base_speedup = base[partner] / base[name]
+        cur_speedup = current[partner] / current[name]
+        delta = cur_speedup / base_speedup - 1.0
+        marker = ""
+        if cur_speedup < base_speedup * (1.0 - args.max_drop):
+            marker = "  SPEEDUP LOSS"
+            failures.append((name, delta))
+        print(
+            f"{name:<{width}}  {base_speedup:>11.2f}x  {cur_speedup:>11.2f}x"
+            f"  {delta:+7.1%}{marker}"
+        )
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} dtype benchmark(s) lost more than "
+            f"{args.max_drop:.0%} of their speedup over fp32:"
+        )
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(
+        f"\nOK: no dtype benchmark lost more than {args.max_drop:.0%} of its "
+        "speedup over fp32"
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -196,6 +268,21 @@ def main():
         "baseline * (1 - this) (default 0.20)",
     )
     sca.set_defaults(func=cmd_scaling)
+
+    dts = sub.add_parser(
+        "dtype-speedup",
+        help="gate the bf16/int8 speedup over fp32 name-pairs against a baseline",
+    )
+    dts.add_argument("baseline", help="committed baseline with the dtype pairs")
+    dts.add_argument("results", help="fresh google-benchmark JSON output")
+    dts.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.20,
+        help="fail when a pair's dtype/fp32 speedup falls below "
+        "baseline * (1 - this) (default 0.20)",
+    )
+    dts.set_defaults(func=cmd_dtype_speedup)
 
     args = parser.parse_args()
     return args.func(args)

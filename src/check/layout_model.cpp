@@ -289,8 +289,15 @@ std::string llm_doom_reason(const jube::Context& context) {
   const std::int64_t devices = ctx_int(context, "devices", "-1");
   const std::int64_t tp = ctx_int(context, "tp", "1");
   const std::int64_t pp = ctx_int(context, "pp", "1");
-  const auto model = gpt_config_from_tag(ctx_get(context, "model", "800M"));
+  auto model = gpt_config_from_tag(ctx_get(context, "model", "800M"));
   if (!model) return "";
+  const std::string dtype = ctx_get(context, "dtype", "bf16");
+  if (dtype == "fp32") {
+    model->mixed_precision = false;
+  } else if (dtype != "bf16") {
+    return "invalid layout: llm_train dtype '" + dtype +
+           "' is not bf16 or fp32 (int8 is inference-only)";
+  }
 
   const int num_devices =
       devices > 0 ? static_cast<int>(devices) : node.devices_per_node;

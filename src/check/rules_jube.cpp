@@ -572,6 +572,16 @@ class JubeLinter {
                         "' is not one of 117M/800M/13B/175B");
       return;
     }
+    const std::string dtype = context_get(context, "dtype", "bf16");
+    if (dtype == "fp32") {
+      model.mixed_precision = false;
+    } else if (dtype != "bf16") {
+      diags_.report("yaml/type-mismatch",
+                    loc(context_mark(context, "dtype", step.mark)),
+                    "llm_train dtype '" + dtype +
+                        "' is not bf16 or fp32 (int8 is inference-only)");
+      return;
+    }
 
     const int num_devices = *devices > 0 ? static_cast<int>(*devices)
                                          : node->devices_per_node;

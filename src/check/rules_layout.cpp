@@ -124,6 +124,19 @@ class LayoutLinter {
     }
     spec.model = *model;
 
+    // Optional training precision: bf16 (the paper's mixed-precision default)
+    // or fp32 — drives the memory model's bytes-per-value, the comm-volume
+    // derivations, and the tensor-peak scale, exactly as `caraml llm --dtype`.
+    const std::string dtype = entry.get_or("dtype", "bf16");
+    if (dtype == "fp32") {
+      spec.model.mixed_precision = false;
+    } else if (dtype != "bf16") {
+      diags_.report("layout/invalid", loc(entry.mark()),
+                    spec.name + ": dtype '" + dtype +
+                        "' is not bf16 or fp32 (int8 is inference-only)");
+      return std::nullopt;
+    }
+
     try {
       spec.tensor_parallel = static_cast<int>(entry.get_int_or("tp", 1));
       spec.pipeline_parallel = static_cast<int>(entry.get_int_or("pp", 1));

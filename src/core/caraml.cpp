@@ -106,6 +106,12 @@ std::string llm_train_action(const jube::Context& context) {
       static_cast<int>(str::parse_int(context_get(context, "tp", "1")));
   config.pipeline_parallel =
       static_cast<int>(str::parse_int(context_get(context, "pp", "1")));
+  const std::string dtype = context_get(context, "dtype", "bf16");
+  if (dtype == "fp32") config.model.mixed_precision = false;
+  else if (dtype != "bf16") {
+    throw InvalidArgument("llm_train dtype must be bf16 or fp32 (int8 is "
+                          "inference-only), got '" + dtype + "'");
+  }
 
   std::ostringstream os;
   if (config.system_tag == "GC200") {

@@ -161,6 +161,10 @@ struct TelemetryCli {
   std::string metrics_out;
   std::string trace_out;
   std::string command;
+  /// Compute precision the run used ("fp32"/"bf16"/"int8"); stamped into the
+  /// manifest when non-empty. Commands with a --dtype flag set this after
+  /// parsing; commands without one leave it out of their manifest lines.
+  std::string dtype;
 
   /// Apply the parsed telemetry flags: set the log format and enable the
   /// global tracer when any output was requested (spans cost nothing
@@ -197,6 +201,7 @@ struct TelemetryCli {
         manifest.command = command;
         manifest.timestamp = telemetry::iso8601_utc_now();
         manifest.git_revision = telemetry::git_describe();
+        manifest.dtype = dtype;
         manifest.status = "failed";
         telemetry::append_manifest_line(manifest,
                                         metrics_out + "/manifest.jsonl");
@@ -212,6 +217,7 @@ struct TelemetryCli {
       : metrics_out(std::move(other.metrics_out)),
         trace_out(std::move(other.trace_out)),
         command(std::move(other.command)),
+        dtype(std::move(other.dtype)),
         finished_(other.finished_) {
     other.finished_ = true;  // the source must not flush again
   }
@@ -247,6 +253,7 @@ struct TelemetryCli {
     manifest.results = results;
     manifest.num_threads =
         static_cast<std::int64_t>(ThreadPool::global().size());
+    manifest.dtype = dtype;
     if (sweep != nullptr) {
       manifest.sweep_workpackages = sweep->workpackages;
       manifest.sweep_jobs = sweep->jobs;
@@ -442,8 +449,9 @@ int cmd_run(const std::vector<std::string>& args) {
   std::vector<std::string> columns =
       smoke ? std::vector<std::string>{"shard", "sleep_ms", "slept_ms",
                                        "status"}
-      : llm ? std::vector<std::string>{"system", "global_batch", "tokens_per_s",
-                                       "energy_wh", "tokens_per_wh", "status"}
+      : llm ? std::vector<std::string>{"system", "global_batch", "dtype",
+                                       "tokens_per_s", "energy_wh",
+                                       "tokens_per_wh", "status"}
             : std::vector<std::string>{"system", "global_batch", "devices",
                                        "images_per_s", "energy_wh",
                                        "images_per_wh", "status"};
@@ -490,6 +498,10 @@ int cmd_llm(const std::vector<std::string>& args) {
   parser.add_option("pp", "pipeline parallel", std::string("1"));
   parser.add_option("nodes", "number of nodes", std::string("1"));
   parser.add_option("model", "117M|800M|13B|175B", std::string("800M"));
+  parser.add_option("dtype",
+                    "training precision: bf16 (mixed precision, default) | "
+                    "fp32 (int8 is inference-only)",
+                    std::string("bf16"));
   parser.add_option("derate-device",
                     "per-device compute slowdown d:f[,d:f] (factor >= 1) — "
                     "builds an imbalanced layout for analyse-trace",
@@ -497,7 +509,7 @@ int cmd_llm(const std::vector<std::string>& args) {
   add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
-  const TelemetryCli telemetry = TelemetryCli::from_parser(parser, "llm");
+  TelemetryCli telemetry = TelemetryCli::from_parser(parser, "llm");
 
   if (parser.get("system") == "GC200") {
     const auto result = core::run_llm_ipu(parser.get_int("batch"));
@@ -539,9 +551,22 @@ int cmd_llm(const std::vector<std::string>& args) {
   else if (model == "13B") config.model = models::GptConfig::gpt_13b();
   else if (model == "175B") config.model = models::GptConfig::gpt_175b();
   else throw caraml::InvalidArgument("unknown model: " + model);
+  const std::string dtype = parser.get("dtype");
+  if (dtype == "fp32") {
+    config.model.mixed_precision = false;  // 4-byte state, half tensor peak
+  } else if (dtype == "int8") {
+    throw caraml::InvalidArgument(
+        "int8 is inference-only; `caraml llm` trains in bf16 or fp32 "
+        "(use `caraml inference --dtype int8`)");
+  } else if (dtype != "bf16") {
+    throw caraml::InvalidArgument("unknown dtype: '" + dtype +
+                                  "' (expected bf16 or fp32)");
+  }
+  telemetry.dtype = dtype;
 
   std::map<std::string, std::string> run_config = {
       {"model", config.model.name},
+      {"dtype", dtype},
       {"global_batch", std::to_string(config.global_batch)},
       {"micro_batch", std::to_string(config.micro_batch)},
       {"devices", std::to_string(config.devices)},
@@ -732,16 +757,22 @@ int cmd_inference(const std::vector<std::string>& args) {
   parser.add_option("batch", "concurrent sequences", std::string("8"));
   parser.add_option("prompt", "prompt tokens", std::string("512"));
   parser.add_option("generate", "generated tokens", std::string("128"));
+  parser.add_option("dtype",
+                    "serving precision: bf16 (default) | fp32 | int8 "
+                    "(quantized weights, 2x prefill peak)",
+                    std::string("bf16"));
   add_telemetry_options(parser);
   add_fault_options(parser);
   if (!parser.parse(args)) return 0;
-  const TelemetryCli telemetry = TelemetryCli::from_parser(parser, "inference");
+  TelemetryCli telemetry = TelemetryCli::from_parser(parser, "inference");
 
   core::InferenceConfig config;
   config.system_tag = parser.get("system");
   config.batch = parser.get_int("batch");
   config.prompt_tokens = parser.get_int("prompt");
   config.generate_tokens = parser.get_int("generate");
+  config.dtype = parser.get("dtype");
+  telemetry.dtype = config.dtype;
 
   // Inference has no step timeline to checkpoint; fault flags stamp the
   // manifest with the plan's provenance and retry a flaky run.
@@ -756,6 +787,7 @@ int cmd_inference(const std::vector<std::string>& args) {
   }
   std::map<std::string, std::string> run_config = {
       {"batch", std::to_string(config.batch)},
+      {"dtype", config.dtype},
       {"prompt_tokens", std::to_string(config.prompt_tokens)},
       {"generate_tokens", std::to_string(config.generate_tokens)}};
   if (resilience.has_value()) {
@@ -805,7 +837,8 @@ int cmd_inference(const std::vector<std::string>& args) {
          {"energy_per_1k_tokens_wh", result.energy_per_1k_tokens_wh}},
         std::nullopt, resilience.has_value() ? &report : nullptr);
   }
-  std::cout << result.system << ", batch " << result.batch << ":\n"
+  std::cout << result.system << ", batch " << result.batch << ", "
+            << config.dtype << ":\n"
             << "  time-to-first-token : "
             << units::format_seconds(result.time_to_first_token_s) << "\n"
             << "  tokens/s/user       : "

@@ -15,11 +15,34 @@ using topo::NodeSpec;
 using topo::SystemRegistry;
 
 double kv_cache_bytes(const models::GptConfig& model, std::int64_t batch,
-                      std::int64_t tokens) {
-  // K and V, fp16, per layer: tokens * hidden.
-  return 2.0 * 2.0 * model.num_layers * static_cast<double>(model.hidden_size) *
-         static_cast<double>(batch) * static_cast<double>(tokens);
+                      std::int64_t tokens, double bytes_per_value) {
+  // K and V, per layer: tokens * hidden values of bytes_per_value each.
+  return 2.0 * bytes_per_value * model.num_layers *
+         static_cast<double>(model.hidden_size) * static_cast<double>(batch) *
+         static_cast<double>(tokens);
 }
+
+namespace {
+
+/// Byte widths and tensor-peak scale of one serving precision.
+struct ServingDtype {
+  double weight_bytes = 2.0;  ///< per parameter
+  double kv_bytes = 2.0;      ///< per cached KV element
+  double peak_scale = 1.0;    ///< vs DeviceSpec::peak_fp16_flops
+};
+
+ServingDtype serving_dtype(const std::string& dtype) {
+  if (dtype == "bf16") return {2.0, 2.0, 1.0};
+  if (dtype == "fp32") return {4.0, 4.0, 0.5};
+  // int8 weights stream at a quarter of fp32 and the int8 tensor pipes run
+  // at twice the fp16 rate; the KV cache stays fp16/bf16 — the kernel
+  // library's int8 path quantizes weights and activations, not KV history.
+  if (dtype == "int8") return {1.0, 2.0, 2.0};
+  throw InvalidArgument("unknown inference dtype: '" + dtype +
+                        "' (expected fp32, bf16, or int8)");
+}
+
+}  // namespace
 
 InferenceResult run_llm_inference(const InferenceConfig& config) {
   TELEMETRY_SPAN("inference/run");
@@ -31,15 +54,19 @@ InferenceResult run_llm_inference(const InferenceConfig& config) {
                        config.generate_tokens >= 1,
                    "inference config must be positive");
 
+  const ServingDtype dtype = serving_dtype(config.dtype);
+
   InferenceResult result;
   result.system = node.display_name;
   result.batch = config.batch;
 
-  const double weight_bytes = config.model.total_parameters() * 2.0;  // fp16
+  const double weight_bytes =
+      config.model.total_parameters() * dtype.weight_bytes;
+  const double peak_flops = node.device.peak_fp16_flops * dtype.peak_scale;
   const std::int64_t max_context =
       config.prompt_tokens + config.generate_tokens;
   result.kv_cache_bytes = kv_cache_bytes(config.model, config.batch,
-                                         max_context);
+                                         max_context, dtype.kv_bytes);
   try {
     sim::MemoryTracker tracker(node.device.name,
                                node.device.mem_capacity_bytes);
@@ -59,7 +86,7 @@ InferenceResult run_llm_inference(const InferenceConfig& config) {
                                static_cast<double>(config.prompt_tokens);
   const double prefill_mfu = node.device.max_mfu_gemm;  // large GEMMs
   result.time_to_first_token_s =
-      prefill_flops / (node.device.peak_fp16_flops * prefill_mfu) +
+      prefill_flops / (peak_flops * prefill_mfu) +
       node.device.launch_overhead_s * config.model.num_layers;
 
   // --- decode: bandwidth-bound per step ---------------------------------------
@@ -67,12 +94,12 @@ InferenceResult run_llm_inference(const InferenceConfig& config) {
   // cache (average fill: prompt + half the generation).
   const double avg_kv = kv_cache_bytes(
       config.model, config.batch,
-      config.prompt_tokens + config.generate_tokens / 2);
+      config.prompt_tokens + config.generate_tokens / 2, dtype.kv_bytes);
   const double bytes_per_step = weight_bytes + avg_kv;
   const double decode_flops = config.model.flops_per_token_forward() *
                               static_cast<double>(config.batch);
   const double t_compute =
-      decode_flops / (node.device.peak_fp16_flops * node.device.max_mfu_gemm);
+      decode_flops / (peak_flops * node.device.max_mfu_gemm);
   const double t_memory = bytes_per_step / node.device.mem_bandwidth;
   result.decode_time_per_token_s =
       std::max(t_compute, t_memory) +

@@ -5,8 +5,8 @@
 // Model: a request processes a prompt of `prompt_tokens` (prefill —
 // compute-bound batched GEMMs) and generates `generate_tokens`
 // autoregressively (decode — memory-bandwidth-bound: every generated token
-// streams the fp16 weights plus the KV cache). Reported metrics follow the
-// common serving figures: time-to-first-token, per-user decode rate,
+// streams the weights, at the serving dtype, plus the KV cache). Reported
+// metrics follow the common serving figures: time-to-first-token, decode rate,
 // aggregate throughput, energy per 1k generated tokens.
 #pragma once
 
@@ -22,6 +22,16 @@ struct InferenceConfig {
   std::int64_t batch = 8;            // concurrent sequences
   std::int64_t prompt_tokens = 512;
   std::int64_t generate_tokens = 128;
+
+  /// Serving precision (mirrors the tensor library's dtype axis):
+  ///   "bf16" — 2-byte weights and KV cache, full tensor peak (default;
+  ///            identical to the pre-dtype fp16 model);
+  ///   "fp32" — 4-byte weights and KV cache, half the tensor peak;
+  ///   "int8" — 1-byte weights (symmetric per-channel quantization), 2x the
+  ///            tensor peak on prefill GEMMs; the KV cache stays 2-byte (KV
+  ///            quantization is out of scope, as in the int8 kernel path).
+  /// Anything else makes run_llm_inference throw InvalidArgument.
+  std::string dtype = "bf16";
 };
 
 struct InferenceResult {
@@ -40,9 +50,10 @@ struct InferenceResult {
   double kv_cache_bytes = 0.0;
 };
 
-/// KV-cache bytes for `tokens` cached positions of `batch` sequences.
+/// KV-cache bytes for `tokens` cached positions of `batch` sequences, at
+/// `bytes_per_value` per cached element (2 = fp16/bf16 default, 4 = fp32).
 double kv_cache_bytes(const models::GptConfig& model, std::int64_t batch,
-                      std::int64_t tokens);
+                      std::int64_t tokens, double bytes_per_value = 2.0);
 
 InferenceResult run_llm_inference(const InferenceConfig& config);
 

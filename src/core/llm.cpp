@@ -172,7 +172,7 @@ LlmRunResult run_llm_gpu(const LlmRunConfig& config) {
   result.tokens_per_s_per_gpu = result.tokens_per_s_total / num_devices;
   result.mfu = result.tokens_per_s_per_gpu *
                config.model.flops_per_token_train() /
-               node.device.peak_fp16_flops;
+               (node.device.peak_fp16_flops * config.model.peak_flops_scale());
 
   sim::PowerTrace trace(node.device, cluster.compute(0)->busy_intervals(),
                         iteration_time);

@@ -101,18 +101,16 @@ double GptMemoryModel::model_state_bytes() const {
   const double params = config.total_parameters() /
                         (static_cast<double>(tensor_parallel) *
                          static_cast<double>(pipeline_parallel));
-  if (!config.mixed_precision) {
-    // fp32 training: 4 (weights) + 4 (grads) + 8 (Adam) = 16 bytes/param.
-    const double optim = config.distributed_optimizer
-                             ? 8.0 / data_parallel
-                             : 8.0;
-    return params * (8.0 + optim);
-  }
-  // Mixed precision: 2 + 4 = 6 resident, 12 optimizer+master (shardable).
+  // Resident per-param state: weights at the training precision plus fp32
+  // gradients. Shardable state: Adam m,v (8 bytes) plus, under mixed
+  // precision only, the fp32 master copy — fp32 training IS the master copy.
+  // Mixed: 2 + 4 resident, 12 shardable (18 B/param); fp32: 4 + 4, 8 (16).
+  const double resident = config.training_value_bytes() + 4.0;
+  const double shardable = config.mixed_precision ? 12.0 : 8.0;
   const double optim = config.distributed_optimizer
-                           ? 12.0 / data_parallel
-                           : 12.0;
-  return params * (6.0 + optim);
+                           ? shardable / data_parallel
+                           : shardable;
+  return params * (resident + optim);
 }
 
 double GptMemoryModel::activation_bytes() const {
@@ -124,17 +122,24 @@ double GptMemoryModel::activation_bytes() const {
   const double t = tensor_parallel;
 
   // Korthikanti et al. per-layer activation memory for one micro-batch:
-  // s*b*h*34 bytes for the GEMM activations (divided by t with sequence
-  // parallelism for the LN/dropout parts; approximate by dividing all), plus
-  // the attention matrix 5*a*s^2*b bytes unless flash attention avoids
-  // materializing it.
-  double per_layer = 34.0 * s * b * h / (config.sequence_parallel ? t : 1.0);
-  if (!config.flash_attention) per_layer += 5.0 * a * s * s * b / t;
+  // s*b*h*17 *values* for the GEMM activations — 34 bytes at the paper's
+  // bf16/fp16 mixed precision, doubled under fp32 (divided by t with
+  // sequence parallelism for the LN/dropout parts; approximate by dividing
+  // all) — plus the attention matrix (2 value-sized score/softmax buffers +
+  // 1-byte dropout mask = 5*a*s^2*b bytes at 2-byte values) unless flash
+  // attention avoids materializing it.
+  const double bytes = config.training_value_bytes();
+  const double gemm_bytes = 17.0 * bytes;
+  double per_layer = gemm_bytes * s * b * h / (config.sequence_parallel ? t : 1.0);
+  if (!config.flash_attention) {
+    per_layer += (2.0 * bytes + 1.0) * a * s * s * b / t;
+  }
   if (config.activation_recompute) {
     // Full recompute stores only the layer inputs.
-    per_layer = 2.0 * s * b * h;
+    per_layer = bytes * s * b * h;
   }
-  // Embedding/dropout + final LN + logits buffer.
+  // Embedding/dropout + final LN + logits buffer (logits stay fp32 at every
+  // training precision — they feed the softmax).
   const double head = 4.0 * s * b * config.vocab_size / t / pipeline_parallel;
   return per_layer * l + head;
 }

@@ -36,6 +36,18 @@ struct GptConfig {
   static GptConfig gpt_13b();
   static GptConfig gpt_175b();
 
+  /// Bytes per weight/activation value on the training hot path: bf16/fp16
+  /// under mixed precision, fp32 otherwise. Every bytes-per-value derivation
+  /// (model state, activations, comm volume) keys off this instead of a
+  /// hardcoded constant so `--dtype fp32` and `dtype:` layout entries change
+  /// exactly the places a real precision switch would.
+  double training_value_bytes() const { return mixed_precision ? 2.0 : 4.0; }
+
+  /// Scale on the device's fp16/bf16 tensor peak for the active training
+  /// precision: fp32 GEMMs run at half the bf16 tensor-core rate on every
+  /// system in the paper's Table I.
+  double peak_flops_scale() const { return mixed_precision ? 1.0 : 0.5; }
+
   /// Transformer-block parameters: 12 * L * h^2 (+ biases/LN, included).
   double transformer_parameters() const;
   /// Embedding (+ LM head, tied) parameters: V * h.

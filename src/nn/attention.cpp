@@ -54,6 +54,14 @@ void head_scatter(Tensor& d_qkv, const Tensor& grad, std::int64_t b,
 
 }  // namespace
 
+void CausalSelfAttention::set_compute_dtype(tensor::DType dtype) {
+  CARAML_CHECK_MSG(dtype != tensor::DType::kI8,
+                   "attention projections sit on the training path; int8 is "
+                   "inference-only (use kF32 or kBf16)");
+  qkv_->set_compute_dtype(dtype);
+  proj_->set_compute_dtype(dtype);
+}
+
 Tensor CausalSelfAttention::forward(const Tensor& input) {
   CARAML_CHECK_MSG(input.rank() == 3 && input.dim(2) == embed_dim_,
                    "attention expects [B, T, C]");

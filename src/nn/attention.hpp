@@ -40,6 +40,11 @@ class CausalSelfAttention : public Module {
   void set_engine(Engine engine) { engine_ = engine; }
   Engine engine() const { return engine_; }
 
+  /// Run the QKV and output projections in the given precision (kF32 or
+  /// kBf16; the attention core itself — QK^T, softmax, ·V — stays fp32).
+  /// kI8 is rejected: the projections sit on the training path.
+  void set_compute_dtype(tensor::DType dtype);
+
  private:
   std::int64_t embed_dim_;
   std::int64_t num_heads_;

@@ -58,6 +58,19 @@ Tensor TransformerBlock::backward(const Tensor& grad_output) {
   return d_input.reshape({batch_, time_, embed_dim_});
 }
 
+void TransformerBlock::set_compute_dtype(tensor::DType dtype) {
+  if (dtype == tensor::DType::kI8) {
+    // int8 is inference-only, so it covers exactly the GPT MLP linears; the
+    // attention projections keep fp32 (they feed the fp32 attention core and
+    // must stay trainable when the caller flips back to kF32).
+    attn_->set_compute_dtype(tensor::DType::kF32);
+  } else {
+    attn_->set_compute_dtype(dtype);
+  }
+  fc_in_->set_compute_dtype(dtype);
+  fc_out_->set_compute_dtype(dtype);
+}
+
 std::vector<Parameter*> TransformerBlock::parameters() {
   std::vector<Parameter*> out;
   for (auto* m : {static_cast<Module*>(ln1_.get()),
@@ -193,6 +206,17 @@ std::vector<std::int64_t> GptModel::generate(
     sequence.push_back(next);
   }
   return sequence;
+}
+
+void GptModel::set_compute_dtype(tensor::DType dtype) {
+  for (auto& block : blocks_) block->set_compute_dtype(dtype);
+  // The LM head follows bf16 (it is the largest single GEMM in the model)
+  // but stays fp32 under int8: its logits feed a softmax whose sampling
+  // behavior is too sensitive to per-tensor activation scales.
+  lm_head_->set_compute_dtype(dtype == tensor::DType::kBf16
+                                  ? tensor::DType::kBf16
+                                  : tensor::DType::kF32);
+  compute_dtype_ = dtype;
 }
 
 float GptModel::train_step(const Tensor& tokens,

@@ -41,6 +41,12 @@ class TransformerBlock : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
 
+  /// kBf16: attention projections + both MLP linears run bf16 (training-
+  /// capable, fp32 master weights). kI8: the two MLP linears run int8
+  /// inference GEMMs while attention stays fp32 (the int8 path has no
+  /// backward). kF32 restores the original path everywhere.
+  void set_compute_dtype(tensor::DType dtype);
+
  private:
   std::int64_t embed_dim_;
   std::shared_ptr<LayerNorm> ln1_;
@@ -76,6 +82,13 @@ class GptModel : public Module {
                                      std::int64_t new_tokens,
                                      float temperature, Rng& rng);
 
+  /// Propagate a compute precision to every block (and, for kBf16, the LM
+  /// head). kBf16 keeps the model trainable with fp32 master weights; kI8
+  /// switches the MLP linears of each block to inference-only int8 GEMMs
+  /// (train_step will CHECK-fail); kF32 restores the default path.
+  void set_compute_dtype(tensor::DType dtype);
+  tensor::DType compute_dtype() const { return compute_dtype_; }
+
  private:
   GptModelConfig config_;
   std::shared_ptr<Embedding> tok_emb_;
@@ -83,6 +96,7 @@ class GptModel : public Module {
   std::vector<std::shared_ptr<TransformerBlock>> blocks_;
   std::shared_ptr<LayerNorm> ln_f_;
   std::shared_ptr<Linear> lm_head_;
+  tensor::DType compute_dtype_ = tensor::DType::kF32;
   std::int64_t batch_ = 0, time_ = 0;
 };
 

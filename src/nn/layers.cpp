@@ -1,5 +1,6 @@
 #include "nn/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 
@@ -44,12 +45,78 @@ void Linear::set_dropout(float p, std::uint64_t seed) {
   dropout_rng_.reseed(seed);
 }
 
+void Linear::set_compute_dtype(tensor::DType dtype) {
+  if (dtype == tensor::DType::kI8) {
+    CARAML_CHECK_MSG(epilogue_ != Epilogue::kDropout,
+                     "int8 Linear is inference-only; dropout unsupported");
+  }
+  compute_dtype_ = dtype;
+  weight_i8_valid_ = false;  // weights may have moved since the last quantize
+}
+
+void Linear::calibrate_int8(const Tensor& sample_input) {
+  const float* __restrict p = sample_input.data();
+  float absmax = calibrated_absmax_;
+  const std::int64_t count = sample_input.numel();
+  for (std::int64_t i = 0; i < count; ++i) {
+    absmax = std::max(absmax, std::fabs(p[i]));
+  }
+  calibrated_absmax_ = absmax;
+}
+
 Tensor Linear::forward(const Tensor& input) {
   CARAML_CHECK_MSG(input.rank() == 2, "Linear expects [N, in]");
   CARAML_CHECK_MSG(input.dim(1) == weight_.value.dim(1),
                    "Linear input feature mismatch");
-  cached_input_ = input;
   const Tensor* bias = has_bias_ ? &bias_.value : nullptr;
+  if (compute_dtype_ == tensor::DType::kBf16) {
+    // Re-round the fp32 master weights every forward (the optimizer moves
+    // them between steps); backward reuses the same rounded copies for
+    // dW and dX so forward and backward see one consistent bf16 snapshot.
+    weight_bf16_ = tensor::Bf16Tensor::from_float(weight_.value);
+    cached_input_bf16_ = tensor::Bf16Tensor::from_float(input);
+    switch (epilogue_) {
+      case Epilogue::kGelu:
+        return tensor::fused::linear_gelu_bf16(cached_input_bf16_,
+                                               weight_bf16_, bias,
+                                               &cached_pre_);
+      case Epilogue::kDropout: {
+        const std::int64_t n = input.dim(0), out_dim = weight_.value.dim(0);
+        cached_mask_ = Tensor({n, out_dim});
+        const float inv_keep = 1.0f / (1.0f - dropout_p_);
+        float* __restrict pm = cached_mask_.data();
+        const std::int64_t count = n * out_dim;
+        for (std::int64_t i = 0; i < count; ++i) {
+          pm[i] = dropout_rng_.next_double() < dropout_p_ ? 0.0f : inv_keep;
+        }
+        return tensor::fused::linear_dropout_bf16(cached_input_bf16_,
+                                                  weight_bf16_, bias,
+                                                  cached_mask_);
+      }
+      case Epilogue::kNone:
+        break;
+    }
+    return tensor::fused::linear_bf16(cached_input_bf16_, weight_bf16_, bias);
+  }
+  if (compute_dtype_ == tensor::DType::kI8) {
+    CARAML_CHECK_MSG(epilogue_ != Epilogue::kDropout,
+                     "int8 Linear is inference-only; dropout unsupported");
+    if (!weight_i8_valid_) {
+      weight_i8_ = tensor::quantize_per_channel_rows(weight_.value);
+      weight_i8_valid_ = true;
+    }
+    const float scale =
+        calibrated_absmax_ > 0.0f
+            ? calibrated_absmax_ / 127.0f
+            : tensor::absmax_scale(input.data(), input.numel());
+    const tensor::QuantizedTensor qx =
+        tensor::quantize_with_scale(input, scale);
+    if (epilogue_ == Epilogue::kGelu) {
+      return tensor::fused::linear_gelu_i8(qx, weight_i8_, bias, &cached_pre_);
+    }
+    return tensor::fused::linear_i8(qx, weight_i8_, bias);
+  }
+  cached_input_ = input;
   switch (epilogue_) {
     case Epilogue::kGelu:
       return tensor::fused::linear_gelu(input, weight_.value, bias,
@@ -75,8 +142,13 @@ Tensor Linear::forward(const Tensor& input) {
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+  CARAML_CHECK_MSG(compute_dtype_ != tensor::DType::kI8,
+                   "Linear: int8 path is inference-only (no backward)");
+  const bool bf16 = compute_dtype_ == tensor::DType::kBf16;
+  const std::int64_t cached_rows =
+      bf16 ? cached_input_bf16_.dim(0) : cached_input_.dim(0);
   CARAML_CHECK_MSG(grad_output.rank() == 2 &&
-                       grad_output.dim(0) == cached_input_.dim(0) &&
+                       grad_output.dim(0) == cached_rows &&
                        grad_output.dim(1) == weight_.value.dim(0),
                    "Linear backward shape mismatch");
   // Fold the epilogue's gradient into g first: for kGelu the layer's output
@@ -92,8 +164,14 @@ Tensor Linear::backward(const Tensor& grad_output) {
     g_ptr = &g_epi;
   }
   const Tensor& g = *g_ptr;
+  // In bf16 mode both gradient GEMMs run on bf16-rounded operands (the same
+  // weight/input snapshot the forward used) with fp32 accumulation; the
+  // gradients themselves stay fp32.
+  tensor::Bf16Tensor g_bf16;
+  if (bf16) g_bf16 = tensor::Bf16Tensor::from_float(g);
   // dW [out,in] += g^T [out,N] * x [N,in]
-  Tensor dw = tensor::matmul_tn(g, cached_input_);
+  Tensor dw = bf16 ? tensor::matmul_tn_bf16(g_bf16, cached_input_bf16_)
+                   : tensor::matmul_tn(g, cached_input_);
   tensor::add_inplace(weight_.grad, dw);
   if (has_bias_) {
     const std::int64_t n = g.dim(0), c = g.dim(1);
@@ -115,6 +193,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
         });
   }
   // dX [N,in] = g [N,out] * W [out,in]
+  if (bf16) return tensor::matmul_bf16(g_bf16, weight_bf16_);
   return tensor::matmul(g, weight_.value);
 }
 

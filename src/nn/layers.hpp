@@ -5,6 +5,8 @@
 #pragma once
 
 #include "nn/module.hpp"
+#include "tensor/dtype.hpp"
+#include "tensor/quant.hpp"
 #include "util/rng.hpp"
 
 namespace caraml::nn {
@@ -36,6 +38,26 @@ class Linear : public Module {
   void set_dropout(float p, std::uint64_t seed);
   Epilogue epilogue() const { return epilogue_; }
 
+  /// Select the precision of the forward/backward matrix products.
+  ///
+  /// kF32 (default) is the original path, untouched. kBf16 re-encodes the
+  /// fp32 master weights (and the incoming activations) to bf16 each forward
+  /// and runs forward *and* backward GEMMs on the bf16 copies with fp32
+  /// accumulation — the Parameter values and gradients stay full fp32, so
+  /// the optimizer sees ordinary master weights. kI8 is inference-only:
+  /// weights quantize symmetrically per output channel once (cached; the
+  /// layer assumes frozen weights — any set_compute_dtype call invalidates
+  /// the cache), activations per tensor using the calibrated absmax scale
+  /// when calibrate_int8() was called, else a dynamic per-forward absmax;
+  /// backward CHECK-fails in kI8 mode.
+  void set_compute_dtype(tensor::DType dtype);
+  tensor::DType compute_dtype() const { return compute_dtype_; }
+
+  /// Record activation statistics for the int8 path: after one or more calls
+  /// the activation scale is the running max absmax / 127 instead of a
+  /// per-forward dynamic absmax.
+  void calibrate_int8(const Tensor& sample_input);
+
  private:
   Parameter weight_;
   Parameter bias_;
@@ -43,9 +65,15 @@ class Linear : public Module {
   Epilogue epilogue_ = Epilogue::kNone;
   float dropout_p_ = 0.0f;
   Rng dropout_rng_;
+  tensor::DType compute_dtype_ = tensor::DType::kF32;
   Tensor cached_input_;
   Tensor cached_pre_;   // kGelu: post-bias pre-activation
   Tensor cached_mask_;  // kDropout: scaled keep-mask of the last forward
+  tensor::Bf16Tensor cached_input_bf16_;  // kBf16: input of the last forward
+  tensor::Bf16Tensor weight_bf16_;        // kBf16: weights of the last forward
+  tensor::QuantizedTensor weight_i8_;     // kI8: cached per-channel weights
+  bool weight_i8_valid_ = false;
+  float calibrated_absmax_ = 0.0f;  // kI8: running activation absmax
 };
 
 class Embedding : public Module {

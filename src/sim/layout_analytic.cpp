@@ -48,15 +48,21 @@ LlmMicroCost llm_micro_cost(const topo::NodeSpec& node,
   const double micro_tokens = micro_tokens_of(layout);
   const double flops_micro =
       layout.model.flops_per_token_train() * micro_tokens / (tp * pp);
-  cost.t_compute_s = flops_micro / (node.device.peak_fp16_flops * cost.mfu) +
+  // fp16/bf16 tensor peak under mixed precision, half of it for fp32 GEMMs.
+  const double peak_flops =
+      node.device.peak_fp16_flops * layout.model.peak_flops_scale();
+  cost.t_compute_s = flops_micro / (peak_flops * cost.mfu) +
                      node.device.launch_overhead_s;
+  // Activation exchanges move values at the training precision.
+  const double act_value_bytes = layout.model.training_value_bytes();
   if (tp > 1) {
     // Megatron tensor parallelism: 4 activation all-reduces per layer per
     // micro-step (2 forward, 2 backward) over the intra-node peer link.
     CARAML_CHECK_MSG(node.peer_link.bandwidth > 0.0,
                      node.display_name + " has no peer link for tp > 1");
-    const double act_bytes =
-        micro_tokens * static_cast<double>(layout.model.hidden_size) * 2.0;
+    const double act_bytes = micro_tokens *
+                             static_cast<double>(layout.model.hidden_size) *
+                             act_value_bytes;
     const double layers_local =
         static_cast<double>(layout.model.num_layers) / pp;
     const double ring_factor = 2.0 * (tp - 1) / tp;
@@ -71,7 +77,7 @@ LlmMicroCost llm_micro_cost(const topo::NodeSpec& node,
                      node.display_name + " has no peer link for pp > 1");
     const double act_bytes = micro_tokens *
                              static_cast<double>(layout.model.hidden_size) *
-                             2.0 / tp;
+                             act_value_bytes / tp;
     cost.t_pp_comm_s =
         2.0 * (node.peer_link.latency_s +
                act_bytes / node.peer_link.effective_bandwidth());
@@ -194,7 +200,7 @@ LlmPrediction predict_llm_iteration(const topo::NodeSpec& node,
   // MFU diluted by host overhead, bubbles, all-reduce and optimizer time.
   out.mfu = out.tokens_per_s_per_device *
             layout.model.flops_per_token_train() /
-            node.device.peak_fp16_flops;
+            (node.device.peak_fp16_flops * layout.model.peak_flops_scale());
 
   // ---- power (device 0's PowerTrace over [0, iteration]) -------------------
   const double busy_micro = busy_power_watts(node.device, micro.power_util);
@@ -211,9 +217,11 @@ LlmPrediction predict_llm_iteration(const topo::NodeSpec& node,
 
   // ---- per-iteration communication volume ----------------------------------
   const double micro_tokens = micro_tokens_of(layout);
+  const double act_value_bytes = layout.model.training_value_bytes();
   if (tp > 1) {
-    const double act_bytes =
-        micro_tokens * static_cast<double>(layout.model.hidden_size) * 2.0;
+    const double act_bytes = micro_tokens *
+                             static_cast<double>(layout.model.hidden_size) *
+                             act_value_bytes;
     out.tp_bytes_per_device =
         static_cast<double>(out.n_micro) * 4.0 *
         (static_cast<double>(layout.model.num_layers) / pp) * act_bytes *
@@ -222,7 +230,7 @@ LlmPrediction predict_llm_iteration(const topo::NodeSpec& node,
   if (pp > 1) {
     out.pp_bytes_per_device =
         static_cast<double>(out.n_micro) * 2.0 * micro_tokens *
-        static_cast<double>(layout.model.hidden_size) * 2.0 / tp;
+        static_cast<double>(layout.model.hidden_size) * act_value_bytes / tp;
   }
   out.dp_intra_bytes_per_device = all_reduce.intra_bytes_per_device;
   out.dp_inter_bytes_per_leader = all_reduce.inter_bytes_per_leader;

@@ -24,6 +24,7 @@ std::string Manifest::to_json_line() const {
   for (const auto& [key, value] : config) config_obj.set(key, value);
   root.set("config", std::move(config_obj));
   root.set("num_threads", num_threads);
+  if (!dtype.empty()) root.set("dtype", dtype);
   json::Value sampling{json::Object{}};
   sampling.set("power_samples", power_samples);
   sampling.set("overruns", sample_overruns);
@@ -89,6 +90,10 @@ Manifest Manifest::from_json_line(const std::string& line) {
   // Lines written before the thread-count field keep the 0 default.
   if (root.contains("num_threads")) {
     manifest.num_threads = root.at("num_threads").as_int();
+  }
+  // Lines without a dtype dimension keep the empty default.
+  if (root.contains("dtype")) {
+    manifest.dtype = root.at("dtype").as_string();
   }
   // v1 lines predate the status/fault fields; keep their defaults.
   if (root.contains("status")) {

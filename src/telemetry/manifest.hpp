@@ -36,6 +36,12 @@ struct Manifest {
   /// existed.
   std::int64_t num_threads = 0;
 
+  /// Compute precision of the run ("fp32" / "bf16" / "int8"); serialized
+  /// only when the command records one, so lines written before the --dtype
+  /// flag (or by commands without a dtype dimension) keep their format and
+  /// parse back with an empty string.
+  std::string dtype;
+
   std::string status = "ok";      // ok | degraded | failed
   std::uint64_t fault_seed = 0;
   std::string fault_fingerprint;  // empty when no fault plan was active

@@ -1,0 +1,123 @@
+#include "tensor/dtype.hpp"
+
+#include "tensor/gemm.hpp"
+#include "util/error.hpp"
+
+namespace caraml::tensor {
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "fp32";
+    case DType::kBf16:
+      return "bf16";
+    case DType::kI8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+std::optional<DType> dtype_from_string(const std::string& name) {
+  if (name == "fp32") return DType::kF32;
+  if (name == "bf16") return DType::kBf16;
+  if (name == "int8") return DType::kI8;
+  return std::nullopt;
+}
+
+std::size_t dtype_bytes(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 4;
+    case DType::kBf16:
+      return 2;
+    case DType::kI8:
+      return 1;
+  }
+  return 4;
+}
+
+void bf16_to_float_n(const bf16_t* __restrict src, float* __restrict dst,
+                     std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::uint32_t bits = static_cast<std::uint32_t>(src[i]) << 16;
+    std::memcpy(&dst[i], &bits, sizeof(float));
+  }
+}
+
+void float_to_bf16_n(const float* __restrict src, bf16_t* __restrict dst,
+                     std::int64_t count) {
+  // Branch-free body of float_to_bf16 (the NaN case becomes a select) so the
+  // loop vectorizes.
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &src[i], sizeof(bits));
+    const bool is_nan = (bits & 0x7f800000u) == 0x7f800000u &&
+                        (bits & 0x007fffffu) != 0u;
+    const std::uint32_t rounded = bits + 0x7fffu + ((bits >> 16) & 1u);
+    const std::uint16_t quiet_nan =
+        static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+    dst[i] = is_nan ? quiet_nan : static_cast<std::uint16_t>(rounded >> 16);
+  }
+}
+
+Bf16Tensor::Bf16Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(static_cast<std::size_t>(numel_), 0) {}
+
+Bf16Tensor Bf16Tensor::from_float(const Tensor& t) {
+  Bf16Tensor out(t.shape());
+  float_to_bf16_n(t.data(), out.data(), t.numel());
+  return out;
+}
+
+Tensor Bf16Tensor::to_float() const {
+  Tensor out(shape_);
+  bf16_to_float_n(data(), out.data(), numel_);
+  return out;
+}
+
+std::int64_t Bf16Tensor::dim(std::size_t i) const {
+  CARAML_CHECK_MSG(i < shape_.size(), "Bf16Tensor::dim: axis out of range");
+  return shape_[i];
+}
+
+namespace {
+
+void check_2d(const Bf16Tensor& t, const char* what) {
+  CARAML_CHECK_MSG(t.rank() == 2, std::string(what) + ": operand must be 2-D");
+}
+
+}  // namespace
+
+Tensor matmul_bf16(const Bf16Tensor& a, const Bf16Tensor& b) {
+  check_2d(a, "matmul_bf16");
+  check_2d(b, "matmul_bf16");
+  CARAML_CHECK_MSG(a.dim(1) == b.dim(0), "matmul_bf16: inner dims mismatch");
+  Tensor c({a.dim(0), b.dim(1)});
+  detail::gemm_bf16(false, false, a.dim(0), b.dim(1), a.dim(1), a.data(),
+                    a.dim(1), b.data(), b.dim(1), c.data(), b.dim(1));
+  return c;
+}
+
+Tensor matmul_nt_bf16(const Bf16Tensor& a, const Bf16Tensor& b) {
+  check_2d(a, "matmul_nt_bf16");
+  check_2d(b, "matmul_nt_bf16");
+  CARAML_CHECK_MSG(a.dim(1) == b.dim(1), "matmul_nt_bf16: inner dims mismatch");
+  Tensor c({a.dim(0), b.dim(0)});
+  detail::gemm_bf16(false, true, a.dim(0), b.dim(0), a.dim(1), a.data(),
+                    a.dim(1), b.data(), b.dim(1), c.data(), b.dim(0));
+  return c;
+}
+
+Tensor matmul_tn_bf16(const Bf16Tensor& a, const Bf16Tensor& b) {
+  check_2d(a, "matmul_tn_bf16");
+  check_2d(b, "matmul_tn_bf16");
+  CARAML_CHECK_MSG(a.dim(0) == b.dim(0), "matmul_tn_bf16: inner dims mismatch");
+  Tensor c({a.dim(1), b.dim(1)});
+  detail::gemm_bf16(true, false, a.dim(1), b.dim(1), a.dim(0), a.data(),
+                    a.dim(1), b.data(), b.dim(1), c.data(), b.dim(1));
+  return c;
+}
+
+}  // namespace caraml::tensor

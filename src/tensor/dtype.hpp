@@ -1,0 +1,106 @@
+// Storage dtypes of the kernel library beyond fp32: bf16 (brain float)
+// storage with fp32 accumulation, and the DType tag the CLI / nn layers use
+// to select a compute path.
+//
+// bf16 is the top 16 bits of an IEEE-754 binary32: same 8-bit exponent, a
+// 7-bit mantissa. Every bf16 value is exactly representable in fp32, so the
+// bf16 GEMM path stores A/B panels in bf16 (halving their memory traffic on
+// bandwidth-bound shapes), widens to fp32 while packing, and accumulates in
+// fp32 — the arithmetic is bit-identical to an fp32 GEMM over the rounded
+// inputs. float -> bf16 uses round-to-nearest-even; NaNs keep their payload's
+// quiet bit (a plain truncate-with-carry would overflow an all-ones exponent
+// into the sign bit).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace caraml::tensor {
+
+/// Compute/storage precision of a kernel path or model layer.
+enum class DType { kF32, kBf16, kI8 };
+
+/// "fp32" / "bf16" / "int8".
+const char* dtype_name(DType dtype);
+
+/// Parse a dtype name; nullopt for anything else.
+std::optional<DType> dtype_from_string(const std::string& name);
+
+/// Storage bytes per element: 4 / 2 / 1.
+std::size_t dtype_bytes(DType dtype);
+
+/// bf16 storage: raw top-16 bits of a binary32.
+using bf16_t = std::uint16_t;
+
+/// Widen one bf16 to the fp32 it exactly represents.
+inline float bf16_to_float(bf16_t x) {
+  const std::uint32_t bits = static_cast<std::uint32_t>(x) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+/// Round one fp32 to bf16 (round-to-nearest-even). NaN payloads are
+/// truncated but the quiet bit is forced so a signalling-NaN mantissa can
+/// never round to all-zeros (which would turn NaN into Inf).
+inline bf16_t float_to_bf16(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0u) {
+    return static_cast<bf16_t>((bits >> 16) | 0x0040u);
+  }
+  // RNE: add 0x7fff plus the round bit's own LSB; ties go to even.
+  bits += 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<bf16_t>(bits >> 16);
+}
+
+/// Bulk converters — simple __restrict loops that vectorize (widening is a
+/// shift, narrowing is branch-free except the NaN select).
+void bf16_to_float_n(const bf16_t* __restrict src, float* __restrict dst,
+                     std::int64_t count);
+void float_to_bf16_n(const float* __restrict src, bf16_t* __restrict dst,
+                     std::int64_t count);
+
+/// A dense row-major bf16 tensor — the storage sidecar nn::Linear and the
+/// attention projections use to run their hot path in bf16 while the fp32
+/// master weights stay in the regular Tensor. Deliberately minimal: shape +
+/// bits + conversions; all arithmetic happens in the bf16 GEMM entry points
+/// below, which accumulate in fp32 and return fp32 Tensors.
+class Bf16Tensor {
+ public:
+  Bf16Tensor() = default;
+  explicit Bf16Tensor(Shape shape);  // zero-initialized
+
+  /// Round an fp32 tensor to bf16 (RNE per element).
+  static Bf16Tensor from_float(const Tensor& t);
+
+  /// Widen back to fp32 (exact).
+  Tensor to_float() const;
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const;
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return numel_; }
+
+  bf16_t* data() { return data_.data(); }
+  const bf16_t* data() const { return data_.data(); }
+
+ private:
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::vector<bf16_t> data_;
+};
+
+/// C = A[m,k] · B[k,n], bf16 storage, fp32 accumulation; returns fp32.
+Tensor matmul_bf16(const Bf16Tensor& a, const Bf16Tensor& b);
+/// C = A[m,k] · B[n,k]^T.
+Tensor matmul_nt_bf16(const Bf16Tensor& a, const Bf16Tensor& b);
+/// C = A[k,m]^T · B[k,n].
+Tensor matmul_tn_bf16(const Bf16Tensor& a, const Bf16Tensor& b);
+
+}  // namespace caraml::tensor

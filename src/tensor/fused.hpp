@@ -31,6 +31,8 @@
 //    passes over the output.
 #pragma once
 
+#include "tensor/dtype.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace caraml::tensor::fused {
@@ -84,5 +86,25 @@ Tensor linear_gelu(const Tensor& x, const Tensor& w, const Tensor* bias,
 /// (inverted-dropout convention: kept elements hold 1/(1-p), dropped 0).
 Tensor linear_dropout(const Tensor& x, const Tensor& w, const Tensor* bias,
                       const Tensor& mask);
+
+/// bf16 variants of the fused linears: x and w are stored bf16, the GEMM
+/// widens while packing and accumulates fp32, and the bias/GELU/dropout
+/// epilogue applies to the fp32 result exactly as in the fp32 path. The bias
+/// and mask stay fp32 (they are O(N) next to the O(N·C) GEMM traffic).
+Tensor linear_bf16(const Bf16Tensor& x, const Bf16Tensor& w,
+                   const Tensor* bias);
+Tensor linear_gelu_bf16(const Bf16Tensor& x, const Bf16Tensor& w,
+                        const Tensor* bias, Tensor* pre);
+Tensor linear_dropout_bf16(const Bf16Tensor& x, const Bf16Tensor& w,
+                           const Tensor* bias, const Tensor& mask);
+
+/// int8 inference linears: x per-tensor quantized, w per-channel quantized
+/// ([out, in], one scale per output row). Integer accumulation with fp32
+/// dequant fused into the same epilogue write-back, so bias/GELU compose
+/// unchanged on the dequantized values.
+Tensor linear_i8(const QuantizedTensor& x, const QuantizedTensor& w,
+                 const Tensor* bias);
+Tensor linear_gelu_i8(const QuantizedTensor& x, const QuantizedTensor& w,
+                      const Tensor* bias, Tensor* pre);
 
 }  // namespace caraml::tensor::fused

@@ -82,4 +82,48 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t ldb, float* c, std::int64_t ldc,
           const GemmEpilogue& epilogue);
 
+/// bf16 GEMM: A and B are stored as bf16 (the top 16 bits of a binary32, see
+/// dtype.hpp); the pack routines widen panels to fp32 so the fp32
+/// micro-kernel and all accumulation run in full precision while A/B memory
+/// traffic is halved. Semantics otherwise identical to the fp32 gemm: C is
+/// fp32, caller-initialized, accumulated into; trans_a && trans_b
+/// unsupported. Skinny shapes (m <= kGemmSkinnyRows) take a widen-on-load
+/// streaming path that reads B exactly once instead of pack-then-reload —
+/// that single pass is where bandwidth-bound decode GEMMs gain ~2x.
+void gemm_bf16(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::uint16_t* a, std::int64_t lda,
+               const std::uint16_t* b, std::int64_t ldb, float* c,
+               std::int64_t ldc);
+void gemm_bf16(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::uint16_t* a, std::int64_t lda,
+               const std::uint16_t* b, std::int64_t ldb, float* c,
+               std::int64_t ldc, const GemmEpilogue& epilogue);
+
+/// int8 inference GEMM with fused dequantization:
+///
+///   C[i,j] += (float(sum_p qa[i,p] * qb(p,j)) * scale_a) * scale_b[j]
+///
+/// qa/qb are symmetric int8 quantized operands (see quant.hpp): scale_a is
+/// the per-tensor activation scale, scale_b the per-output-channel weight
+/// scales ([n]; pass a broadcast array for per-tensor weights). The integer
+/// product accumulates exactly in int32 per KC slice (safe for k <= 2^17:
+/// pair sums of 127*127 products stay far below 2^31), then dequantizes into
+/// fp32 C, so across-slice accumulation is fp32 just like the other paths.
+/// The epilogue composes unchanged on the dequantized values. A is never
+/// transposed (activations are row-major in every inference call site).
+void gemm_i8(bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+             const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+             std::int64_t ldb, float scale_a, const float* scale_b, float* c,
+             std::int64_t ldc);
+void gemm_i8(bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+             const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+             std::int64_t ldb, float scale_a, const float* scale_b, float* c,
+             std::int64_t ldc, const GemmEpilogue& epilogue);
+
+// Row count at or below which the bf16/int8 paths stream op(B) directly
+// (widen/dequant on load, no packing): with so few rows the packed path
+// writes and re-reads an op(B)-sized panel, doubling the traffic that
+// dominates these bandwidth-bound shapes.
+inline constexpr std::int64_t kGemmSkinnyRows = 2 * kGemmMR;
+
 }  // namespace caraml::tensor::detail

@@ -1,0 +1,90 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caraml::tensor {
+namespace {
+
+// Quantize one row with a fixed scale: q = clamp(rint(x/s), -127, 127).
+// rint under the default rounding mode is round-to-nearest-even, matching
+// the bf16 converters' tie behavior.
+void quantize_row(const float* __restrict src, std::int64_t count, float scale,
+                  std::int8_t* __restrict dst) {
+  const float inv = 1.0f / scale;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const float q = std::rintf(src[i] * inv);
+    dst[i] = static_cast<std::int8_t>(std::max(-127.0f, std::min(127.0f, q)));
+  }
+}
+
+}  // namespace
+
+float absmax_scale(const float* x, std::int64_t count) {
+  float absmax = 0.0f;
+  for (std::int64_t i = 0; i < count; ++i)
+    absmax = std::max(absmax, std::fabs(x[i]));
+  // The floor keeps the scale finite and nonzero for all-zero (or all-denormal)
+  // inputs; everything then quantizes to 0 and dequantizes back to 0.
+  return std::max(absmax, 1e-30f) / 127.0f;
+}
+
+QuantizedTensor quantize_per_tensor(const Tensor& t) {
+  return quantize_with_scale(t, absmax_scale(t.data(), t.numel()));
+}
+
+QuantizedTensor quantize_with_scale(const Tensor& t, float scale) {
+  CARAML_CHECK_MSG(scale > 0.0f && std::isfinite(scale),
+                   "quantize_with_scale: scale must be positive and finite");
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  q.scales = {scale};
+  quantize_row(t.data(), t.numel(), scale, q.data.data());
+  return q;
+}
+
+QuantizedTensor quantize_per_channel_rows(const Tensor& t) {
+  CARAML_CHECK_MSG(t.rank() == 2,
+                   "quantize_per_channel_rows: tensor must be 2-D");
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = t.dim(1);
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  q.scales.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src = t.data() + r * cols;
+    const float scale = absmax_scale(src, cols);
+    q.scales[static_cast<std::size_t>(r)] = scale;
+    quantize_row(src, cols, scale, q.data.data() + r * cols);
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor out(q.shape);
+  const std::int64_t numel = out.numel();
+  if (q.per_channel()) {
+    const std::int64_t rows = q.rows();
+    const std::int64_t cols = q.cols();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float scale = q.scales[static_cast<std::size_t>(r)];
+      const std::int8_t* __restrict src = q.data.data() + r * cols;
+      float* __restrict dst = out.data() + r * cols;
+      for (std::int64_t i = 0; i < cols; ++i)
+        dst[i] = static_cast<float>(src[i]) * scale;
+    }
+  } else {
+    const float scale = q.scales.empty() ? 1.0f : q.scales[0];
+    const std::int8_t* __restrict src = q.data.data();
+    float* __restrict dst = out.data();
+    for (std::int64_t i = 0; i < numel; ++i)
+      dst[i] = static_cast<float>(src[i]) * scale;
+  }
+  return out;
+}
+
+}  // namespace caraml::tensor

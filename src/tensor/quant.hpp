@@ -1,0 +1,50 @@
+// Symmetric int8 quantization for the inference GEMM path.
+//
+// The scheme is the standard symmetric absmax one: a scale s = absmax/127
+// maps fp32 x to q = clamp(rint(x/s), -127, 127), so dequantization is just
+// q*s and zero stays exactly zero (no zero-point arithmetic in the kernel).
+// Weights quantize per output channel (one scale per row of the [out, in]
+// weight matrix — a single large-magnitude channel then cannot crush the
+// resolution of the others); activations quantize per tensor, with the scale
+// either calibrated offline over sample batches (absmax running max) or
+// computed on the fly from the live activation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace caraml::tensor {
+
+/// Symmetric scale for a buffer: absmax/127, floored at a tiny epsilon so an
+/// all-zero tensor still round-trips (q = 0, dequant = 0) without a 0/0.
+float absmax_scale(const float* x, std::int64_t count);
+
+/// A symmetrically quantized 2-D tensor: int8 values plus either one scale
+/// (per-tensor) or one per row (per-channel over dim 0).
+struct QuantizedTensor {
+  Shape shape;
+  std::vector<std::int8_t> data;
+  std::vector<float> scales;  ///< size 1 (per-tensor) or shape[0] rows
+
+  bool per_channel() const { return scales.size() > 1; }
+  std::int64_t rows() const { return shape.empty() ? 0 : shape[0]; }
+  std::int64_t cols() const { return shape.size() < 2 ? 0 : shape[1]; }
+};
+
+/// Quantize with one scale over the whole tensor (activations).
+QuantizedTensor quantize_per_tensor(const Tensor& t);
+
+/// Quantize a [rows, cols] tensor with one scale per row (weights stored
+/// [out_features, in_features], so rows are output channels).
+QuantizedTensor quantize_per_channel_rows(const Tensor& t);
+
+/// Quantize with a caller-provided per-tensor scale (calibrated activations;
+/// values beyond +-127*scale saturate).
+QuantizedTensor quantize_with_scale(const Tensor& t, float scale);
+
+/// Widen back to fp32 (q * scale per element).
+Tensor dequantize(const QuantizedTensor& q);
+
+}  // namespace caraml::tensor

@@ -522,5 +522,61 @@ TEST(Inference, InvalidConfigRejected) {
   EXPECT_THROW(core::run_llm_inference(config), Error);
 }
 
+TEST(Inference, ServingDtypeOrdersThroughputAndLatency) {
+  // int8 streams 1 B/param and doubles the prefill peak; fp32 streams
+  // 4 B/param and halves it. Decode is weight-streaming-bound, so the
+  // aggregate throughput and TTFT must strictly order int8 > bf16 > fp32.
+  core::InferenceConfig config;
+  config.system_tag = "GH200";
+  config.batch = 8;
+  config.dtype = "int8";
+  const auto int8 = core::run_llm_inference(config);
+  config.dtype = "bf16";
+  const auto bf16 = core::run_llm_inference(config);
+  config.dtype = "fp32";
+  const auto fp32 = core::run_llm_inference(config);
+  ASSERT_FALSE(int8.oom);
+  ASSERT_FALSE(bf16.oom);
+  ASSERT_FALSE(fp32.oom);
+  EXPECT_GT(int8.tokens_per_s_total, bf16.tokens_per_s_total);
+  EXPECT_GT(bf16.tokens_per_s_total, fp32.tokens_per_s_total);
+  EXPECT_LT(int8.time_to_first_token_s, bf16.time_to_first_token_s);
+  EXPECT_LT(bf16.time_to_first_token_s, fp32.time_to_first_token_s);
+}
+
+TEST(Inference, ServingDtypeSizesKvCache) {
+  // fp32 keeps a 4-byte KV cache (2x bf16); int8 keeps the cache at fp16
+  // (KV quantization is out of scope), so its KV matches bf16 exactly.
+  core::InferenceConfig config;
+  config.system_tag = "GH200";
+  config.batch = 16;
+  const auto bf16 = core::run_llm_inference(config);
+  config.dtype = "fp32";
+  const auto fp32 = core::run_llm_inference(config);
+  config.dtype = "int8";
+  const auto int8 = core::run_llm_inference(config);
+  ASSERT_GT(bf16.kv_cache_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(fp32.kv_cache_bytes, 2.0 * bf16.kv_cache_bytes);
+  EXPECT_DOUBLE_EQ(int8.kv_cache_bytes, bf16.kv_cache_bytes);
+}
+
+TEST(Inference, ServingDtypeUnblocksOom) {
+  // 13B at batch 32 OOMs a 40 GB A100 in bf16 (26 GB weights + ~17 GB KV)
+  // but fits once int8 halves the weight footprint to 13 GB.
+  core::InferenceConfig config;
+  config.system_tag = "A100";
+  config.model = models::GptConfig::gpt_13b();
+  config.batch = 32;
+  EXPECT_TRUE(core::run_llm_inference(config).oom);
+  config.dtype = "int8";
+  EXPECT_FALSE(core::run_llm_inference(config).oom);
+}
+
+TEST(Inference, UnknownDtypeRejected) {
+  core::InferenceConfig config;
+  config.dtype = "fp8";
+  EXPECT_THROW(core::run_llm_inference(config), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace caraml

@@ -126,6 +126,34 @@ TEST(LintCorpus, LayoutFeasibilityDefects) {
   EXPECT_EQ(power, 2);
 }
 
+TEST(LintCorpus, LayoutDtypeAxisDoublesFootprint) {
+  DiagnosticList diags;
+  EXPECT_EQ(lint_corpus_file("layout_dtype.yaml", &diags),
+            (V{"layout/predicted-energy@7:5",
+               "layout/predicted-oom-margin@7:5", "layout/predicted-time@7:5",
+               "layout/oom@16:5", "layout/predicted-oom-margin@16:5",
+               "layout/invalid@24:5"}));
+  // Only the non-training precision is an error; the fp32 OOM is a warning
+  // (the simulator survives it), the bf16 twin lints clean.
+  EXPECT_EQ(diags.count(Severity::kError), 1u);
+  EXPECT_EQ(diags.count(Severity::kWarning), 1u);
+  // Pin the dtype-dependent margins: the identical layout goes from a
+  // 5.8 GiB margin at bf16 to OOM at fp32 — the memory model doubled its
+  // bytes-per-value, it did not just rescale a constant.
+  const auto& items = diags.items();
+  EXPECT_NE(items[1].message.find("31.5 GiB"), std::string::npos)
+      << items[1].message;
+  EXPECT_NE(items[1].message.find("margin 5.8 GiB"), std::string::npos)
+      << items[1].message;
+  EXPECT_NE(items[3].message.find("40.4 GiB"), std::string::npos)
+      << items[3].message;
+  EXPECT_NE(items[3].message.find("margin -3.2 GiB"), std::string::npos)
+      << items[3].message;
+  EXPECT_NE(items[5].message.find("int8 is inference-only"),
+            std::string::npos)
+      << items[5].message;
+}
+
 TEST(LintCorpus, SeededBadPipelineSchedules) {
   DiagnosticList diags;
   lint_file(corpus("schedule_bad.yaml"), LintOptions{}, diags);

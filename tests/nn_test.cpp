@@ -637,5 +637,171 @@ TEST(Sequential, GradientsMatchFiniteDifference) {
   check_gradients(sequential, x, 1e-2f, 4e-2f, 3, 1);
 }
 
+// --- compute dtypes -----------------------------------------------------------------------
+
+TEST(LinearDtype, Bf16ForwardTracksFp32) {
+  Rng rng(40);
+  Linear layer(24, 16, rng, true, 0.5f);
+  const Tensor x = Tensor::randn({9, 24}, rng);
+  const Tensor y32 = layer.forward(x);
+  layer.set_compute_dtype(tensor::DType::kBf16);
+  EXPECT_EQ(layer.compute_dtype(), tensor::DType::kBf16);
+  const Tensor y16 = layer.forward(x);
+  ASSERT_EQ(y16.shape(), y32.shape());
+  // bf16 carries ~3 decimal digits; with k = 24 the relative drift of each
+  // dot product stays well under 2^-7.
+  float absmax = 0.0f;
+  for (std::int64_t i = 0; i < y32.numel(); ++i) {
+    absmax = std::max(absmax, std::fabs(y32[i]));
+  }
+  for (std::int64_t i = 0; i < y32.numel(); ++i) {
+    ASSERT_NEAR(y16[i], y32[i], 0x1p-7f * absmax) << "flat index " << i;
+  }
+}
+
+TEST(LinearDtype, Bf16GradientsTrackFp32) {
+  Rng rng(41);
+  Linear layer(12, 10, rng, true, 0.5f);
+  layer.set_gelu();
+  const Tensor x = Tensor::randn({7, 12}, rng);
+  const Tensor g = Tensor::randn({7, 10}, rng);
+  layer.forward(x);
+  const Tensor dx32 = layer.backward(g);
+  Tensor dw32 = layer.weight().grad;  // copy before the bf16 pass accumulates
+  layer.zero_grad();
+  layer.set_compute_dtype(tensor::DType::kBf16);
+  layer.forward(x);
+  const Tensor dx16 = layer.backward(g);
+  const Tensor& dw16 = layer.weight().grad;
+  float dw_absmax = 0.0f, dx_absmax = 0.0f;
+  for (std::int64_t i = 0; i < dw32.numel(); ++i) {
+    dw_absmax = std::max(dw_absmax, std::fabs(dw32[i]));
+  }
+  for (std::int64_t i = 0; i < dx32.numel(); ++i) {
+    dx_absmax = std::max(dx_absmax, std::fabs(dx32[i]));
+  }
+  for (std::int64_t i = 0; i < dw32.numel(); ++i) {
+    ASSERT_NEAR(dw16[i], dw32[i], 0x1p-6f * dw_absmax) << "dW index " << i;
+  }
+  for (std::int64_t i = 0; i < dx32.numel(); ++i) {
+    ASSERT_NEAR(dx16[i], dx32[i], 0x1p-6f * dx_absmax) << "dX index " << i;
+  }
+}
+
+TEST(LinearDtype, Int8ForwardTracksFp32AndBackwardRefuses) {
+  Rng rng(42);
+  Linear layer(32, 12, rng, true, 0.5f);
+  const Tensor x = Tensor::randn({6, 32}, rng);
+  const Tensor y32 = layer.forward(x);
+  layer.set_compute_dtype(tensor::DType::kI8);
+  const Tensor y8 = layer.forward(x);
+  float absmax = 0.0f;
+  for (std::int64_t i = 0; i < y32.numel(); ++i) {
+    absmax = std::max(absmax, std::fabs(y32[i]));
+  }
+  for (std::int64_t i = 0; i < y32.numel(); ++i) {
+    // int8 quantization noise: ~k * step_a * step_b accumulated, a few
+    // percent of the output scale on random activations.
+    ASSERT_NEAR(y8[i], y32[i], 0.05f * absmax + 1e-4f) << "flat index " << i;
+  }
+  EXPECT_THROW(layer.backward(Tensor::ones(y8.shape())), Error);
+}
+
+TEST(LinearDtype, Int8CalibrationPinsActivationScale) {
+  Rng rng(43);
+  Linear layer(16, 8, rng, true, 0.5f);
+  layer.set_compute_dtype(tensor::DType::kI8);
+  const Tensor sample = Tensor::randn({32, 16}, rng);
+  layer.calibrate_int8(sample);
+  // A calibrated layer must produce identical outputs for an input subrange
+  // regardless of what else sits in the batch (per-forward dynamic scales
+  // would differ between the two batches).
+  Tensor small({1, 16});
+  for (std::int64_t j = 0; j < 16; ++j) small[j] = sample[j];
+  const Tensor y_alone = layer.forward(small);
+  const Tensor y_batch = layer.forward(sample);
+  for (std::int64_t j = 0; j < 8; ++j) {
+    ASSERT_EQ(y_alone[j], y_batch[j]) << "col " << j;
+  }
+}
+
+TEST(LinearDtype, Int8RejectsDropoutEpilogue) {
+  Rng rng(44);
+  Linear layer(8, 8, rng);
+  layer.set_dropout(0.5f, 123);
+  EXPECT_THROW(layer.set_compute_dtype(tensor::DType::kI8), Error);
+  layer.set_dropout(0.0f, 123);  // clears the epilogue
+  layer.set_compute_dtype(tensor::DType::kI8);
+  EXPECT_EQ(layer.compute_dtype(), tensor::DType::kI8);
+}
+
+TEST(AttentionDtype, RejectsInt8AndAcceptsBf16) {
+  Rng rng(45);
+  CausalSelfAttention attn(16, 2, rng);
+  EXPECT_THROW(attn.set_compute_dtype(tensor::DType::kI8), Error);
+  attn.set_compute_dtype(tensor::DType::kBf16);
+  const Tensor x = Tensor::randn({2, 8, 16}, rng);
+  const Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  const Tensor dx = attn.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(GptDtype, Bf16TrainStepReducesLossAndInt8RefusesTraining) {
+  GptModelConfig config;
+  config.vocab_size = 48;
+  config.block_size = 8;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.embed_dim = 16;
+  Rng rng(46);
+  GptModel model(config, rng);
+  model.set_compute_dtype(tensor::DType::kBf16);
+  EXPECT_EQ(model.compute_dtype(), tensor::DType::kBf16);
+  Tensor tokens({2, 8});
+  std::vector<std::int64_t> targets(16);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    tokens[i] = static_cast<float>(i % 7);
+    targets[static_cast<std::size_t>(i)] = (i + 1) % 7;
+  }
+  Sgd sgd(model.parameters(), 0.05f);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 12; ++step) {
+    sgd.zero_grad();
+    const float loss = model.train_step(tokens, targets);
+    ASSERT_TRUE(std::isfinite(loss)) << "step " << step;
+    if (step == 0) first = loss;
+    last = loss;
+    sgd.step();
+  }
+  EXPECT_LT(last, first);
+
+  model.set_compute_dtype(tensor::DType::kI8);
+  EXPECT_THROW(model.train_step(tokens, targets), Error);
+}
+
+TEST(GptDtype, Int8GenerationMatchesFp32Greedy) {
+  GptModelConfig config;
+  config.vocab_size = 32;
+  config.block_size = 8;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.embed_dim = 16;
+  Rng rng(47);
+  GptModel model(config, rng);
+  Rng gen_rng(1);
+  const auto ids32 = model.generate({3, 1, 4}, 8, 0.0f, gen_rng);
+  model.set_compute_dtype(tensor::DType::kI8);
+  Rng gen_rng2(1);
+  const auto ids8 = model.generate({3, 1, 4}, 8, 0.0f, gen_rng2);
+  // Greedy decoding of an untrained-but-deterministic model: the int8 logit
+  // noise is far below typical logit gaps, so the argmax sequence matches.
+  EXPECT_EQ(ids32, ids8);
+  // And flipping back restores the fp32 path exactly.
+  model.set_compute_dtype(tensor::DType::kF32);
+  Rng gen_rng3(1);
+  EXPECT_EQ(model.generate({3, 1, 4}, 8, 0.0f, gen_rng3), ids32);
+}
+
 }  // namespace
 }  // namespace caraml::nn

@@ -310,6 +310,23 @@ TEST(TelemetryManifest, JsonLineRoundTrip) {
   EXPECT_DOUBLE_EQ(parsed.results.at("tokens_per_s"), 47261.5);
 }
 
+TEST(TelemetryManifest, DtypeRoundTripsWhenSet) {
+  Manifest m = example_manifest();
+  m.dtype = "int8";
+  const std::string line = m.to_json_line();
+  EXPECT_NE(line.find("\"dtype\":\"int8\""), std::string::npos) << line;
+  EXPECT_EQ(Manifest::from_json_line(line).dtype, "int8");
+}
+
+TEST(TelemetryManifest, DtypeOmittedWhenEmpty) {
+  // Commands without a precision axis leave dtype empty; the field must
+  // stay out of the line so pre-dtype manifest consumers see no change.
+  const Manifest m = example_manifest();
+  const std::string line = m.to_json_line();
+  EXPECT_EQ(line.find("dtype"), std::string::npos) << line;
+  EXPECT_TRUE(Manifest::from_json_line(line).dtype.empty());
+}
+
 TEST(TelemetryManifest, LinesWithoutThreadCountParseWithZeroDefault) {
   Manifest m = example_manifest();
   m.num_threads = 0;
